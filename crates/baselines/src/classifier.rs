@@ -1,0 +1,117 @@
+//! The common classifier interface swept by the Table II harness.
+
+use univsa_data::Dataset;
+
+/// A trained classifier over discretized `(W, L)` samples.
+///
+/// Object-safe so the benchmark harness can hold a heterogeneous list of
+/// `Box<dyn Classifier>`.
+pub trait Classifier {
+    /// Human-readable method name (e.g. `"SVM"`).
+    fn name(&self) -> &str;
+
+    /// Predicts the class of one sample (its `W·L` discretized levels).
+    fn predict(&self, values: &[u8]) -> usize;
+
+    /// Deployed model size in bits, or `None` when the method has no
+    /// compact model (KNN stores its training set; the paper prints `–`).
+    fn memory_bits(&self) -> Option<usize>;
+}
+
+/// Accuracy of a classifier over a labelled dataset (0 for an empty one).
+pub fn evaluate<C: Classifier + ?Sized>(classifier: &C, dataset: &Dataset) -> f64 {
+    if dataset.is_empty() {
+        return 0.0;
+    }
+    let correct = dataset
+        .samples()
+        .iter()
+        .filter(|s| classifier.predict(&s.values) == s.label)
+        .count();
+    correct as f64 / dataset.len() as f64
+}
+
+/// Normalizes a sample's levels to centred floats in `[-1, 1]`, the input
+/// convention shared by the float baselines.
+pub fn normalize_sample(values: &[u8], levels: usize) -> Vec<f32> {
+    let m = (levels - 1).max(1) as f32;
+    values.iter().map(|&v| v as f32 / m * 2.0 - 1.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa_data::{Sample, TaskSpec};
+
+    struct Constant(usize);
+
+    impl Classifier for Constant {
+        fn name(&self) -> &str {
+            "const"
+        }
+        fn predict(&self, _: &[u8]) -> usize {
+            self.0
+        }
+        fn memory_bits(&self) -> Option<usize> {
+            Some(1)
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 1,
+            length: 1,
+            classes: 2,
+            levels: 2,
+        };
+        Dataset::new(
+            spec,
+            vec![
+                Sample {
+                    values: vec![0],
+                    label: 0,
+                },
+                Sample {
+                    values: vec![1],
+                    label: 1,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluate_counts_hits() {
+        let ds = dataset();
+        assert_eq!(evaluate(&Constant(0), &ds), 0.5);
+        assert_eq!(evaluate(&Constant(1), &ds), 0.5);
+    }
+
+    #[test]
+    fn evaluate_empty_is_zero() {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 1,
+            length: 1,
+            classes: 2,
+            levels: 2,
+        };
+        let ds = Dataset::new(spec, vec![]).unwrap();
+        assert_eq!(evaluate(&Constant(0), &ds), 0.0);
+    }
+
+    #[test]
+    fn normalize_endpoints() {
+        let v = normalize_sample(&[0, 255], 256);
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[1], 1.0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Classifier> = Box::new(Constant(0));
+        assert_eq!(boxed.predict(&[0]), 0);
+        assert_eq!(evaluate(boxed.as_ref(), &dataset()), 0.5);
+    }
+}

@@ -1,0 +1,158 @@
+//! k-nearest-neighbour classifier.
+
+use univsa_data::Dataset;
+
+use crate::{normalize_sample, Classifier};
+
+/// k-nearest neighbours with Euclidean distance and majority vote
+/// (the paper uses `K = 5`). Vote ties break toward the nearest
+/// neighbour's class.
+///
+/// KNN has no compact deployed model — it memorizes the training split —
+/// so [`Classifier::memory_bits`] returns `None` (the paper prints `–`).
+#[derive(Debug, Clone)]
+pub struct Knn {
+    points: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+    k: usize,
+    classes: usize,
+    levels: usize,
+}
+
+impl Knn {
+    /// Memorizes the training split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `k == 0`.
+    pub fn fit(train: &Dataset, k: usize) -> Self {
+        assert!(!train.is_empty(), "KNN needs a nonempty training split");
+        assert!(k > 0, "k must be positive");
+        let points = (0..train.len()).map(|i| train.normalized(i)).collect();
+        Self {
+            points,
+            labels: train.labels(),
+            k,
+            classes: train.spec().classes,
+            levels: train.spec().levels,
+        }
+    }
+
+    /// The neighbourhood size.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Classifier for Knn {
+    fn name(&self) -> &str {
+        "KNN"
+    }
+
+    fn predict(&self, values: &[u8]) -> usize {
+        let x = normalize_sample(values, self.levels);
+        // (distance², label) for all training points
+        let mut dists: Vec<(f32, usize)> = self
+            .points
+            .iter()
+            .zip(&self.labels)
+            .map(|(p, &l)| {
+                let d: f32 = p.iter().zip(&x).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                (d, l)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| {
+            a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut neighbours = dists[..k].to_vec();
+        neighbours.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes = vec![0usize; self.classes];
+        for &(_, l) in &neighbours {
+            votes[l] += 1;
+        }
+        let best = *votes.iter().max().expect("classes > 0");
+        // tie → nearest neighbour among tied classes
+        neighbours
+            .iter()
+            .find(|&&(_, l)| votes[l] == best)
+            .map(|&(_, l)| l)
+            .unwrap_or(0)
+    }
+
+    fn memory_bits(&self) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa_data::{Sample, TaskSpec};
+
+    fn dataset(points: &[(u8, usize)]) -> Dataset {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 1,
+            length: 1,
+            classes: 2,
+            levels: 256,
+        };
+        Dataset::new(
+            spec,
+            points
+                .iter()
+                .map(|&(v, label)| Sample {
+                    values: vec![v],
+                    label,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_nn_returns_nearest() {
+        let ds = dataset(&[(0, 0), (255, 1)]);
+        let knn = Knn::fit(&ds, 1);
+        assert_eq!(knn.predict(&[10]), 0);
+        assert_eq!(knn.predict(&[250]), 1);
+    }
+
+    #[test]
+    fn majority_wins_over_single_nearest() {
+        // nearest point is class 1, but two of three neighbours are class 0
+        let ds = dataset(&[(100, 1), (120, 0), (130, 0)]);
+        let knn = Knn::fit(&ds, 3);
+        assert_eq!(knn.predict(&[99]), 0);
+    }
+
+    #[test]
+    fn tie_breaks_to_nearest() {
+        let ds = dataset(&[(90, 1), (110, 0)]);
+        let knn = Knn::fit(&ds, 2);
+        // one vote each → the closer point (90, class 1) wins at query 95
+        assert_eq!(knn.predict(&[95]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let ds = dataset(&[(0, 0), (255, 1)]);
+        let knn = Knn::fit(&ds, 10);
+        // both points vote; tie → nearest
+        assert_eq!(knn.predict(&[10]), 0);
+    }
+
+    #[test]
+    fn no_compact_model() {
+        let ds = dataset(&[(0, 0), (255, 1)]);
+        assert_eq!(Knn::fit(&ds, 1).memory_bits(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        Knn::fit(&dataset(&[(0, 0)]), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Linear discriminant analysis with shrinkage covariance.
+
+use univsa_data::Dataset;
+use univsa_tensor::Tensor;
+
+use crate::{normalize_sample, Classifier};
+
+/// Multi-class LDA: pooled within-class covariance with diagonal shrinkage,
+/// linear discriminants `δ_c(x) = wᵀ_c x + b_c`.
+///
+/// The deployed model is the `C × N` float32 weight matrix plus `C`
+/// biases — the memory the paper charges LDA (e.g. 8.19 KB for EEGMMI's
+/// `2 × 1024` floats).
+#[derive(Debug, Clone)]
+pub struct Lda {
+    weights: Vec<f32>, // (classes, features)
+    biases: Vec<f32>,
+    features: usize,
+    classes: usize,
+    levels: usize,
+}
+
+impl Lda {
+    /// Fits LDA on a training split with the given shrinkage coefficient
+    /// `γ ∈ [0, 1]` (`Σ' = (1−γ)·Σ + γ·tr(Σ)/N·I`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `γ` is outside `[0, 1]`.
+    pub fn fit(train: &Dataset, shrinkage: f64) -> Self {
+        assert!(!train.is_empty(), "LDA needs a nonempty training split");
+        assert!(
+            (0.0..=1.0).contains(&shrinkage),
+            "shrinkage must be in [0, 1]"
+        );
+        let n = train.spec().features();
+        let classes = train.spec().classes;
+        let total = train.len();
+
+        // class means and priors
+        let counts = train.class_counts();
+        let mut means = vec![vec![0.0f64; n]; classes];
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(total);
+        for (i, s) in train.samples().iter().enumerate() {
+            let x = train.normalized(i);
+            for (m, &v) in means[s.label].iter_mut().zip(&x) {
+                *m += v as f64;
+            }
+            rows.push(x);
+        }
+        for (c, mean) in means.iter_mut().enumerate() {
+            let k = counts[c].max(1) as f64;
+            for m in mean.iter_mut() {
+                *m /= k;
+            }
+        }
+
+        // pooled covariance
+        let mut cov = vec![0.0f64; n * n];
+        for (s, x) in train.samples().iter().zip(&rows) {
+            let mean = &means[s.label];
+            let centred: Vec<f64> = x
+                .iter()
+                .zip(mean)
+                .map(|(&v, &m)| v as f64 - m)
+                .collect();
+            for i in 0..n {
+                let ci = centred[i];
+                if ci == 0.0 {
+                    continue;
+                }
+                let row = &mut cov[i * n..(i + 1) * n];
+                for (slot, &cj) in row.iter_mut().zip(&centred) {
+                    *slot += ci * cj;
+                }
+            }
+        }
+        let denom = (total.saturating_sub(classes)).max(1) as f64;
+        let mut trace = 0.0f64;
+        for i in 0..n {
+            trace += cov[i * n + i];
+        }
+        let ridge = shrinkage * trace / denom / n as f64 + 1e-6;
+        for v in cov.iter_mut() {
+            *v = (1.0 - shrinkage) * *v / denom;
+        }
+        for i in 0..n {
+            cov[i * n + i] += ridge;
+        }
+
+        // solve Σ' W = Mᵀ  → W columns are Σ'⁻¹ μ_c
+        let a = Tensor::from_vec(cov.iter().map(|&v| v as f32).collect(), &[n, n])
+            .expect("covariance is square");
+        let mut mt = vec![0.0f32; n * classes];
+        for (c, mean) in means.iter().enumerate() {
+            for (i, &m) in mean.iter().enumerate() {
+                mt[i * classes + c] = m as f32;
+            }
+        }
+        let b = Tensor::from_vec(mt, &[n, classes]).expect("rhs shape");
+        let w = a.solve(&b).expect("shrinkage keeps the system regular");
+
+        // weights and biases
+        let mut weights = vec![0.0f32; classes * n];
+        let mut biases = vec![0.0f32; classes];
+        for c in 0..classes {
+            let mut dot = 0.0f64;
+            for i in 0..n {
+                let wi = w.at(&[i, c]);
+                weights[c * n + i] = wi;
+                dot += wi as f64 * means[c][i];
+            }
+            let prior = (counts[c].max(1) as f64 / total as f64).ln();
+            biases[c] = (prior - 0.5 * dot) as f32;
+        }
+        Self {
+            weights,
+            biases,
+            features: n,
+            classes,
+            levels: train.spec().levels,
+        }
+    }
+
+    /// Per-class discriminant scores for one normalized sample.
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        (0..self.classes)
+            .map(|c| {
+                let w = &self.weights[c * self.features..(c + 1) * self.features];
+                let dot: f32 = w.iter().zip(x).map(|(&a, &b)| a * b).sum();
+                dot + self.biases[c]
+            })
+            .collect()
+    }
+}
+
+impl Classifier for Lda {
+    fn name(&self) -> &str {
+        "LDA"
+    }
+
+    fn predict(&self, values: &[u8]) -> usize {
+        let x = normalize_sample(values, self.levels);
+        let scores = self.scores(&x);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn memory_bits(&self) -> Option<usize> {
+        // C×N float32 weights + C float32 biases
+        Some((self.classes * self.features + self.classes) * 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use univsa_data::{GeneratorParams, SyntheticGenerator, TaskSpec};
+
+    fn linear_task(seed: u64) -> (Dataset, Dataset) {
+        let spec = TaskSpec {
+            name: "lin".into(),
+            width: 4,
+            length: 8,
+            classes: 3,
+            levels: 256,
+        };
+        let mut p = GeneratorParams::new(spec);
+        p.linear_bias = 1.0;
+        p.interaction = 0.0;
+        p.noise = 0.3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = SyntheticGenerator::new(p, &mut rng);
+        (
+            g.dataset(&[40, 40, 40], &mut rng),
+            g.dataset(&[20, 20, 20], &mut rng),
+        )
+    }
+
+    #[test]
+    fn separates_linear_task() {
+        let (train, test) = linear_task(0);
+        let lda = Lda::fit(&train, 0.3);
+        let acc = crate::evaluate(&lda, &test);
+        assert!(acc > 0.8, "LDA accuracy {acc} too low on a linear task");
+    }
+
+    #[test]
+    fn memory_matches_paper_formula() {
+        let (train, _) = linear_task(1);
+        let lda = Lda::fit(&train, 0.3);
+        // 3 classes × 32 features × 32 bits + biases
+        assert_eq!(lda.memory_bits(), Some((3 * 32 + 3) * 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn rejects_empty() {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 1,
+            length: 1,
+            classes: 2,
+            levels: 2,
+        };
+        let ds = Dataset::new(spec, vec![]).unwrap();
+        Lda::fit(&ds, 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrinkage")]
+    fn rejects_bad_shrinkage() {
+        let (train, _) = linear_task(2);
+        Lda::fit(&train, 1.5);
+    }
+}

@@ -1,0 +1,47 @@
+//! # univsa-baselines
+//!
+//! The baseline classifiers the UniVSA paper compares against in Table II:
+//!
+//! * [`Lda`] — linear discriminant analysis with shrinkage covariance
+//!   (32-bit float model, as in the paper).
+//! * [`Knn`] — k-nearest neighbours (`K = 5` in the paper).
+//! * [`Svm`] — RBF-kernel support vector machine trained with simplified
+//!   SMO, one-vs-rest for multiclass (16-bit-float model size accounting,
+//!   as in the paper).
+//! * [`LeHdc`] — high-dimensional learned binary VSA (`D = 10,000`):
+//!   random value/feature vectors, majority-rule encoding, learned then
+//!   binarized class vectors.
+//! * [`Ldc`] — low-dimensional binary VSA (`D = 128`) trained with the LDC
+//!   strategy (trainable ValueBox and feature vectors, one dense head).
+//!
+//! All baselines implement the [`Classifier`] trait so the Table II harness
+//! can sweep them uniformly.
+//!
+//! # Examples
+//!
+//! ```
+//! use univsa_baselines::{Classifier, Knn};
+//! use univsa_data::tasks;
+//!
+//! let task = tasks::bci3v(3);
+//! let knn = Knn::fit(&task.train, 5);
+//! let acc = univsa_baselines::evaluate(&knn, &task.test);
+//! assert!(acc > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classifier;
+mod knn;
+mod lda;
+mod ldc;
+mod lehdc;
+mod svm;
+
+pub use classifier::{evaluate, normalize_sample, Classifier};
+pub use knn::Knn;
+pub use lda::Lda;
+pub use ldc::{Ldc, LdcOptions};
+pub use lehdc::{LeHdc, LeHdcOptions};
+pub use svm::{Svm, SvmOptions};

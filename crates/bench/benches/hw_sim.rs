@@ -1,0 +1,48 @@
+//! Speed of the hardware simulator itself: schedule construction and full
+//! report evaluation (these run inside the evolutionary search objective,
+//! so they must be cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use univsa_bench::{all_tasks, paper_config};
+use univsa_hw::{HwConfig, HwReport, Pipeline};
+
+fn bench_schedule(c: &mut Criterion) {
+    let task = all_tasks(1)
+        .into_iter()
+        .find(|t| t.spec.name == "EEGMMI")
+        .expect("task exists");
+    let pipeline = Pipeline::new(HwConfig::new(&paper_config(&task)));
+    let mut group = c.benchmark_group("hw_schedule");
+    for samples in [3usize, 64, 1024] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &samples,
+            |bench, &n| {
+                bench.iter(|| pipeline.schedule(n));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_report(c: &mut Criterion) {
+    let hws: Vec<HwConfig> = all_tasks(1)
+        .iter()
+        .map(|t| HwConfig::new(&paper_config(t)))
+        .collect();
+    c.bench_function("hw_report_all_tasks", |bench| {
+        bench.iter(|| {
+            hws.iter()
+                .map(HwReport::for_config)
+                .map(|r| r.latency_ms)
+                .sum::<f64>()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_schedule, bench_report
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! End-to-end packed inference throughput of trained-shape UniVSA models
+//! on every Table I configuration — the software analogue of Table IV's
+//! latency column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use univsa::{Mask, UniVsaModel};
+use univsa_bench::{all_tasks, paper_config};
+use univsa_bits::BitMatrix;
+
+/// Builds a random-weight model with a task's paper configuration
+/// (inference cost is weight-independent).
+fn random_model(task_name: &str, seed: u64) -> (UniVsaModel, Vec<u8>) {
+    let task = all_tasks(1)
+        .into_iter()
+        .find(|t| t.spec.name == task_name)
+        .expect("task exists");
+    let cfg = paper_config(&task);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = Mask::from_bits((0..cfg.features()).map(|i| i % 4 != 3).collect());
+    let v_h = BitMatrix::random(cfg.levels, cfg.d_h, &mut rng);
+    let v_l = BitMatrix::random(cfg.levels, cfg.effective_d_l(), &mut rng);
+    let kernel = (0..cfg.out_channels * cfg.d_k * cfg.d_k)
+        .map(|_| rng.gen::<u64>())
+        .collect();
+    let f = BitMatrix::random(cfg.encoding_channels(), cfg.vsa_dim(), &mut rng);
+    let c = (0..cfg.effective_voters())
+        .map(|_| BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng))
+        .collect();
+    let model = UniVsaModel::from_parts(cfg, mask, v_h, v_l, kernel, f, c)
+        .expect("random parts are consistent");
+    let values = task.test.samples()[0].values.clone();
+    (model, values)
+}
+
+fn bench_infer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packed_infer");
+    for name in ["EEGMMI", "BCI-III-V", "CHB-B", "CHB-IB", "ISOLET", "HAR"] {
+        let (model, values) = random_model(name, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |bench, _| {
+            bench.iter(|| model.infer(&values).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (model, values) = random_model("ISOLET", 9);
+    c.bench_function("packed_encode_isolet", |bench| {
+        bench.iter(|| model.encode(&values).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_infer, bench_encode
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Microbenchmarks of the packed bit substrate: XNOR binding, Hamming /
+//! dot-product similarity, and majority bundling — the primitive
+//! operations every stage of the UniVSA pipeline reduces to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use univsa_bits::{BitMatrix, BitVec, Bundler};
+
+fn bench_xnor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xnor");
+    for dim in [64usize, 1024, 10_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = BitVec::random(dim, &mut rng);
+        let b = BitVec::random(dim, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| a.xnor(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot");
+    for dim in [64usize, 1024, 10_000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = BitVec::random(dim, &mut rng);
+        let b = BitVec::random(dim, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| a.dot(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_bundle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundle");
+    for n in [8usize, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let vectors: Vec<BitVec> = (0..n).map(|_| BitVec::random(1024, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut bundler = Bundler::new(1024);
+                for v in &vectors {
+                    bundler.add(v).unwrap();
+                }
+                bundler.finish()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nearest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nearest_class");
+    for classes in [2usize, 26] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = BitMatrix::random(classes, 640, &mut rng);
+        let q = BitVec::random(640, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &classes,
+            |bench, _| {
+                bench.iter(|| m.nearest(&q).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40).measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_xnor, bench_dot, bench_bundle, bench_nearest
+}
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Regenerates **Fig. 1**: the qualitative comparison of UniVSA against
+//! high-dimensional VSA, LDC, and lightweight ML across five axes
+//! (accuracy, memory, latency, power, resource), rendered as a normalized
+//! score table plus ASCII bars.
+//!
+//! Accuracy/memory come from a quick Table II-style run on BCI-III-V (the
+//! fastest task); latency/power/resource come from the hardware rows of
+//! Table III.
+//!
+//! Run: `cargo run -p univsa-bench --release --bin fig1`
+
+use univsa_baselines::{evaluate, Classifier, Knn, Lda, LdcOptions, SvmOptions};
+use univsa_bench::{print_row, quick_mode, train_univsa};
+use univsa_data::tasks;
+
+struct Axis {
+    name: &'static str,
+    /// Raw per-method values in the order of `METHODS`; lower-is-better
+    /// axes are inverted during normalization.
+    values: [f64; 5],
+    lower_is_better: bool,
+}
+
+const METHODS: [&str; 5] = ["LDA/SVM", "KNN", "VSA-H (LeHDC)", "LDC", "UniVSA"];
+
+fn bars(score: f64) -> String {
+    let n = (score * 20.0).round() as usize;
+    "#".repeat(n.min(20))
+}
+
+fn main() {
+    let seed = 7;
+    let task = tasks::bci3v(seed);
+    let quick = quick_mode();
+
+    eprintln!("[fig1] measuring accuracy on {} ...", task.spec.name);
+    let lda = Lda::fit(&task.train, 0.3);
+    let lda_acc = evaluate(&lda, &task.test);
+    let svm = univsa_baselines::Svm::fit(&task.train, &SvmOptions::default(), seed);
+    let svm_acc = evaluate(&svm, &task.test);
+    let knn = Knn::fit(&task.train, 5);
+    let knn_acc = evaluate(&knn, &task.test);
+    let lehdc_opts = univsa_baselines::LeHdcOptions {
+        dims: if quick { 1000 } else { 10_000 },
+        ..Default::default()
+    };
+    let lehdc = univsa_baselines::LeHdc::fit(&task.train, &lehdc_opts, seed);
+    let lehdc_acc = evaluate(&lehdc, &task.test);
+    let ldc = univsa_baselines::Ldc::fit(&task.train, &LdcOptions::default(), seed);
+    let ldc_acc = evaluate(&ldc, &task.test);
+    let (model, uni_acc) = train_univsa(&task, seed).expect("training succeeds");
+
+    let axes = [
+        Axis {
+            name: "accuracy",
+            values: [
+                lda_acc.max(svm_acc),
+                knn_acc,
+                lehdc_acc,
+                ldc_acc,
+                uni_acc,
+            ],
+            lower_is_better: false,
+        },
+        Axis {
+            name: "memory KB",
+            values: [
+                svm.memory_bits().unwrap_or(0) as f64 / 8192.0,
+                // KNN memorizes the training set
+                (task.train.len() * task.spec.features() * 32) as f64 / 8192.0,
+                lehdc.memory_bits().unwrap_or(0) as f64 / 8192.0,
+                ldc.memory_bits().unwrap_or(0) as f64 / 8192.0,
+                model.memory_report().total_kib(),
+            ],
+            lower_is_better: true,
+        },
+        // latency / power / resource from Table III (published + simulated)
+        Axis {
+            name: "latency ms",
+            values: [14.29, 69.12, 24.33, 0.004, 0.044],
+            lower_is_better: true,
+        },
+        Axis {
+            name: "power W",
+            values: [3.2, 24.0, 9.52, 0.016, 0.11],
+            lower_is_better: true,
+        },
+        Axis {
+            name: "LUTs k",
+            values: [31.85, 135.0, 165.0, 0.75, 7.92],
+            lower_is_better: true,
+        },
+    ];
+
+    let widths = [12usize, 14, 26];
+    for axis in &axes {
+        println!("\n== {} ==", axis.name);
+        // normalize to [0, 1] where 1 = best (log scale for the
+        // order-of-magnitude axes)
+        let transformed: Vec<f64> = axis
+            .values
+            .iter()
+            .map(|&v| if axis.lower_is_better { -(v.max(1e-6)).ln() } else { v })
+            .collect();
+        let lo = transformed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = transformed
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        for (i, method) in METHODS.iter().enumerate() {
+            let score = if hi > lo {
+                (transformed[i] - lo) / (hi - lo)
+            } else {
+                1.0
+            };
+            print_row(
+                &[
+                    method.to_string(),
+                    format!("{:.4}", axis.values[i]),
+                    bars(score),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!();
+    println!("Expected shape (paper Fig. 1): UniVSA spans the largest area — near-best accuracy");
+    println!("with orders-of-magnitude smaller memory/latency/power than classic ML and VSA-H,");
+    println!("and only slightly more resource than LDC.");
+}

@@ -1,0 +1,104 @@
+//! Regenerates **Fig. 4**: the ablation of the three UniVSA enhancements
+//! (DVP, BiConv, SV) over the plain binary VSA baseline, across vector
+//! dimensions, with accuracy (mean ± deviation over seeds) and memory.
+//!
+//! The paper sweeps the effective vector dimension on EEGMMI; in UniVSA's
+//! convolutional layout the dimension-like capacity knob is the channel
+//! width, so the sweep here varies `D_H`/`O` proportionally and reports
+//! the Eq. 5 memory alongside.
+//!
+//! Run: `cargo run -p univsa-bench --release --bin fig4`
+//! (`UNIVSA_QUICK=1` shrinks the sweep).
+
+use univsa::{Enhancements, MemoryReport, TrainOptions, UniVsaConfig, UniVsaTrainer};
+use univsa_bench::{print_row, quick_mode};
+use univsa_data::tasks;
+
+fn variant(name: &str) -> Enhancements {
+    match name {
+        "base" => Enhancements::none(),
+        "+DVP" => Enhancements {
+            dvp: true,
+            ..Enhancements::none()
+        },
+        "+BiConv" => Enhancements {
+            biconv: true,
+            ..Enhancements::none()
+        },
+        "+SV" => Enhancements {
+            soft_voting: true,
+            ..Enhancements::none()
+        },
+        "UniVSA" => Enhancements::all(),
+        other => panic!("unknown variant {other}"),
+    }
+}
+
+fn main() {
+    let task = tasks::eegmmi(2025);
+    let quick = quick_mode();
+    let dims: &[usize] = if quick { &[4] } else { &[2, 4, 8] };
+    let seeds: &[u64] = if quick { &[1] } else { &[1, 2] };
+    let variants = ["base", "+DVP", "+BiConv", "+SV", "UniVSA"];
+    // the ablation needs 5 variants × |dims| × |seeds| trainings; a reduced
+    // epoch budget keeps the sweep tractable without changing the ordering
+    let options = TrainOptions {
+        epochs: if quick { 2 } else { 10 },
+        ..TrainOptions::default()
+    };
+
+    let widths = [8usize, 10, 22, 12];
+    print_row(
+        &["Variant", "D_H", "accuracy mean±dev", "memory KB"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        &widths,
+    );
+
+    for &name in &variants {
+        for &d_h in dims {
+            let e = variant(name);
+            let cfg = UniVsaConfig::for_task(&task.spec)
+                .d_h(d_h)
+                .d_l((d_h / 4).max(1))
+                .d_k(3)
+                .out_channels(4 * d_h) // capacity scales with the dimension knob
+                .voters(3)
+                .enhancements(e)
+                .build()
+                .expect("sweep configs are valid");
+            let memory = MemoryReport::for_config(&cfg).total_kib();
+            let accs: Vec<f64> = seeds
+                .iter()
+                .map(|&s| {
+                    let trainer = UniVsaTrainer::new(cfg.clone(), options.clone());
+                    let outcome = trainer.fit(&task.train, s).expect("training succeeds");
+                    outcome
+                        .model
+                        .evaluate(&task.test)
+                        .expect("evaluation succeeds")
+                })
+                .collect();
+            let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+            let dev = (accs.iter().map(|a| (a - mean).powi(2)).sum::<f64>()
+                / accs.len() as f64)
+                .sqrt();
+            print_row(
+                &[
+                    name.to_string(),
+                    format!("{d_h}"),
+                    format!("{mean:.4} ± {dev:.4}"),
+                    format!("{memory:.2}"),
+                ],
+                &widths,
+            );
+            eprintln!("[fig4] {name} D_H={d_h} done");
+        }
+    }
+    println!();
+    println!("Expected shape (paper Fig. 4): BiConv lifts accuracy consistently across dimensions");
+    println!("and stabilizes training; DVP helps more at larger dimensions; SV helps most at small");
+    println!("dimensions (underfitting relief); the full UniVSA is best; all enhancements add only");
+    println!("a few percent of memory.");
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Fig. 5** (bottom right): the pipelined execution schedule
+//! of the four modules under streaming inputs, where one convolution
+//! iteration takes `α = max(D_K, log₂ D_H)` cycles.
+//!
+//! Run: `cargo run -p univsa-bench --release --bin fig5`
+
+use univsa_bench::{all_tasks, paper_config};
+use univsa_hw::{HwConfig, Pipeline};
+
+fn main() {
+    let isolet = all_tasks(1)
+        .into_iter()
+        .find(|t| t.spec.name == "ISOLET")
+        .expect("ISOLET task exists");
+    let hw = HwConfig::new(&paper_config(&isolet));
+    let pipeline = Pipeline::new(hw.clone());
+
+    println!("UniVSA streaming schedule — ISOLET config (D_H=4, D_K=3, O=22, Θ=3)");
+    println!("α = max(D_K, log2 D_H) = {} cycles per conv iteration", hw.alpha());
+    println!();
+    for (stage, cycles) in pipeline.stage_latencies() {
+        println!("  {stage:>10}: {cycles:>6} cycles per sample");
+    }
+    println!(
+        "  single-sample latency: {} cycles; steady-state interval: {} cycles (= BiConv)",
+        pipeline.sample_latency_cycles(),
+        pipeline.initiation_interval_cycles()
+    );
+    println!();
+    let trace = pipeline.schedule(3);
+    println!("three streamed samples (digits = sample index; '.' = idle):");
+    print!("{}", trace.ascii_timeline(96));
+    println!();
+    println!("Expected shape: DVP/Encoding/Similarity of sample k+1 hide under BiConv of sample k");
+    println!("(double buffering), so the stream advances at the BiConv latency.");
+}

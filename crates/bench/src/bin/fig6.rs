@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 6**: the per-stage hardware overhead (execution time
+//! share and memory share) of UniVSA on every task.
+//!
+//! Run: `cargo run -p univsa-bench --release --bin fig6`
+
+use univsa_bench::{all_tasks, paper_config, print_row};
+use univsa_hw::{HwConfig, HwReport};
+
+fn main() {
+    let widths = [9usize, 26, 26, 26, 26];
+    print_row(
+        &["Task", "DVP", "BiConv", "Encoding", "Similarity"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        &widths,
+    );
+    println!("(each cell: % of execution time / memory bits)");
+    for task in all_tasks(1) {
+        let report = HwReport::for_config(&HwConfig::new(&paper_config(&task)));
+        let mut cells = vec![task.spec.name.clone()];
+        for s in &report.stages {
+            cells.push(format!(
+                "{:>5.1}% / {:>8} bits",
+                s.time_fraction * 100.0,
+                s.memory_bits
+            ));
+        }
+        print_row(&cells, &widths);
+    }
+    println!();
+    println!("Expected shape (paper): BiConv dominates execution time on every task, far above the");
+    println!("other stages, while its kernel memory K is tiny; F (Encoding) and C (Similarity) hold");
+    println!("most of the memory when the input grid or class count is large.");
+}

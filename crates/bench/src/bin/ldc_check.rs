@@ -1,0 +1,16 @@
+//! Developer utility: VSA-model accuracy probe on a single task (used
+//! while calibrating the synthetic generators).
+use univsa_baselines::{evaluate, Lda, Ldc, LdcOptions, Svm, SvmOptions};
+use univsa_bench::train_univsa;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "HAR".into());
+    let task = univsa_data::tasks::by_name(&name, 2025).unwrap();
+    let lda = evaluate(&Lda::fit(&task.train, 0.3), &task.test);
+    let svm = evaluate(&Svm::fit(&task.train, &SvmOptions::default(), 2025), &task.test);
+    let ldc = Ldc::fit(&task.train, &LdcOptions::default(), 2025);
+    let ldc_train = evaluate(&ldc, &task.train);
+    let ldc_test = evaluate(&ldc, &task.test);
+    let (_, uni) = train_univsa(&task, 2025).unwrap();
+    println!("{name}: LDA {lda:.3} SVM {svm:.3} LDC train/test {ldc_train:.3}/{ldc_test:.3} UniVSA {uni:.3}");
+}

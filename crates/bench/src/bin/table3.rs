@@ -1,0 +1,188 @@
+//! Regenerates **Table III**: UniVSA's hardware cost against published
+//! FPGA implementations of SVM, KNN, BNN, QNN, LookHD and LDC.
+//!
+//! The competitor rows are the published numbers the paper itself cites
+//! (it did not re-implement those accelerators); the LDC and UniVSA rows
+//! are produced by our simulator.
+//!
+//! Run: `cargo run -p univsa-bench --release --bin table3`
+
+use univsa::{Enhancements, UniVsaConfig};
+use univsa_bench::{all_tasks, paper_config, print_row};
+use univsa_hw::{HwConfig, HwReport};
+
+struct LiteratureRow {
+    name: &'static str,
+    fpga: &'static str,
+    input: &'static str,
+    freq_mhz: &'static str,
+    memory_kb: &'static str,
+    latency_ms: &'static str,
+    power_w: &'static str,
+    luts_k: &'static str,
+    brams: &'static str,
+    dsps: &'static str,
+}
+
+/// Published rows exactly as the paper's Table III lists them
+/// (parenthesized values were estimated by the paper's authors).
+const LITERATURE: [LiteratureRow; 5] = [
+    LiteratureRow {
+        name: "SVM [31]",
+        fpga: "Virtex-5",
+        input: "(20,20)/-",
+        freq_mhz: "84",
+        memory_kb: "(406)",
+        latency_ms: "14.29",
+        power_w: "3.2",
+        luts_k: "31.85",
+        brams: "131",
+        dsps: "59",
+    },
+    LiteratureRow {
+        name: "KNN [16]",
+        fpga: "Stratix IV",
+        input: "64/2",
+        freq_mhz: "131.42",
+        memory_kb: "—",
+        latency_ms: "69.12",
+        power_w: "24",
+        luts_k: "135",
+        brams: "—",
+        dsps: "80",
+    },
+    LiteratureRow {
+        name: "BNN [14]",
+        fpga: "Zynq-ZU3EG",
+        input: "(3,32,32)/10",
+        freq_mhz: "250",
+        memory_kb: "—",
+        latency_ms: "(0.36)",
+        power_w: "4.1",
+        luts_k: "51.44",
+        brams: "212",
+        dsps: "126",
+    },
+    LiteratureRow {
+        name: "QNN [13]",
+        fpga: "Zynq-ZU3EG",
+        input: "(3,224,224)/1000",
+        freq_mhz: "250",
+        memory_kb: "(1450)",
+        latency_ms: "(24.33)",
+        power_w: "5.5",
+        luts_k: "51.78",
+        brams: "159",
+        dsps: "360",
+    },
+    LiteratureRow {
+        name: "LookHD [9]",
+        fpga: "Kintex-7",
+        input: "617/26",
+        freq_mhz: "200",
+        memory_kb: "(165)",
+        latency_ms: "—",
+        power_w: "(9.52)",
+        luts_k: "165",
+        brams: "175",
+        dsps: "807",
+    },
+];
+
+fn main() {
+    let widths = [11usize, 11, 17, 7, 11, 12, 9, 8, 6, 5];
+    print_row(
+        &[
+            "Model", "FPGA", "Input/Classes", "MHz", "Mem KB", "Latency ms", "Power W",
+            "LUTs k", "BRAM", "DSP",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
+        &widths,
+    );
+    for row in &LITERATURE {
+        print_row(
+            &[
+                row.name.to_string(),
+                row.fpga.to_string(),
+                row.input.to_string(),
+                row.freq_mhz.to_string(),
+                row.memory_kb.to_string(),
+                row.latency_ms.to_string(),
+                row.power_w.to_string(),
+                row.luts_k.to_string(),
+                row.brams.to_string(),
+                row.dsps.to_string(),
+            ],
+            &widths,
+        );
+    }
+
+    // LDC row: the paper cites its own prior implementation — a 784-feature
+    // 10-class model with D = 64, which in our framework is a
+    // BiConv-/DVP-/SV-free configuration on a 28×28 grid.
+    let ldc_spec = univsa_data::TaskSpec {
+        name: "MNIST-like".into(),
+        width: 28,
+        length: 28,
+        classes: 10,
+        levels: 256,
+    };
+    let ldc_cfg = UniVsaConfig::for_task(&ldc_spec)
+        .d_h(64)
+        .d_l(64)
+        .out_channels(64)
+        .voters(1)
+        .enhancements(Enhancements::none())
+        .build()
+        .expect("LDC reference config is valid");
+    let ldc = HwReport::with_cost_model(
+        &HwConfig::with_clock(&ldc_cfg, 200.0),
+        &univsa_hw::CostModel::calibrated(),
+        "LDC (sim)",
+    );
+    print_row(
+        &[
+            "LDC (sim)".to_string(),
+            "Zynq-ZU3EG".to_string(),
+            "784/10".to_string(),
+            "200".to_string(),
+            format!("{:.2}", ldc.memory_kib),
+            format!("{:.3}", ldc.latency_ms),
+            format!("{:.3}", ldc.power_w),
+            format!("{:.2}", ldc.luts_k),
+            format!("{}", ldc.brams),
+            format!("{}", ldc.dsps),
+        ],
+        &widths,
+    );
+    println!("(paper LDC row:  Zynq-ZU3EG, 784/10, 200 MHz, 6.48 KB, 0.004 ms, 0.016 W, 0.75k LUTs, 5 BRAM, 1 DSP)");
+
+    // UniVSA row: ISOLET, as in the paper (closest input size to the other
+    // binary VSA implementations).
+    let isolet = all_tasks(1)
+        .into_iter()
+        .find(|t| t.spec.name == "ISOLET")
+        .expect("ISOLET task exists");
+    let uni = HwReport::for_config(&HwConfig::new(&paper_config(&isolet)));
+    print_row(
+        &[
+            "UniVSA".to_string(),
+            "Zynq-ZU3EG".to_string(),
+            "(16,40)/26".to_string(),
+            "250".to_string(),
+            format!("{:.2}", uni.memory_kib),
+            format!("{:.3}", uni.latency_ms),
+            format!("{:.2}", uni.power_w),
+            format!("{:.2}", uni.luts_k),
+            format!("{}", uni.brams),
+            format!("{}", uni.dsps),
+        ],
+        &widths,
+    );
+    println!("(paper UniVSA row: Zynq-ZU3EG, (16,40)/26, 250 MHz, 8.36 KB, 0.044 ms, 0.11 W, 7.92k LUTs, 1 BRAM, 0 DSP)");
+    println!();
+    println!("Expected shape: UniVSA orders of magnitude below SVM/KNN/BNN/QNN/LookHD in power and");
+    println!("latency with 0 DSPs; only LDC is smaller, but UniVSA buys accuracy and memory (Table II).");
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Table IV**: UniVSA hardware performance on all six tasks
+//! (latency, power, LUTs, BRAMs, DSPs, streaming throughput).
+//!
+//! Run: `cargo run -p univsa-bench --release --bin table4`
+
+use univsa_bench::{all_tasks, paper_config, print_row};
+use univsa_hw::{HwConfig, HwReport};
+
+/// Paper Table IV rows: (latency ms, power W, LUTs k, BRAM, DSP,
+/// throughput k/s).
+const PAPER: [(&str, f64, f64, f64, u32, u32, f64); 6] = [
+    ("EEGMMI", 0.070, 0.45, 33.62, 3, 0, 17.34),
+    ("BCI-III-V", 0.007, 0.18, 10.10, 1, 0, 184.84),
+    ("CHB-B", 0.100, 0.34, 13.92, 1, 0, 12.06),
+    ("CHB-IB", 0.206, 0.21, 16.46, 1, 0, 5.30),
+    ("ISOLET", 0.044, 0.11, 7.92, 1, 0, 27.78),
+    ("HAR", 0.039, 0.10, 6.78, 1, 0, 30.85),
+];
+
+fn main() {
+    let widths = [9usize, 22, 18, 18, 12, 6, 22];
+    print_row(
+        &[
+            "Task",
+            "Latency ms (paper)",
+            "Power W (paper)",
+            "LUTs k (paper)",
+            "BRAM (p.)",
+            "DSP",
+            "Thruput k/s (paper)",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
+        &widths,
+    );
+    for task in all_tasks(1) {
+        let report = HwReport::for_config(&HwConfig::new(&paper_config(&task)));
+        let paper = PAPER
+            .iter()
+            .find(|(n, ..)| *n == task.spec.name)
+            .expect("paper row exists");
+        print_row(
+            &[
+                task.spec.name.clone(),
+                format!("{:.3} ({:.3})", report.latency_ms, paper.1),
+                format!("{:.2} ({:.2})", report.power_w, paper.2),
+                format!("{:.2} ({:.2})", report.luts_k, paper.3),
+                format!("{} ({})", report.brams, paper.4),
+                format!("{}", report.dsps),
+                format!("{:.2} ({:.2})", report.throughput_kps, paper.6),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("Expected shape: all tasks < 0.5 W and < 0.25 ms; throughput > 5 k/s everywhere;");
+    println!("EEGMMI the largest design (O = 95 on a 1024-cell grid), BCI-III-V the fastest (96-cell grid).");
+}

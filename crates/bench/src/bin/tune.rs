@@ -1,0 +1,51 @@
+//! Developer utility: quick difficulty profile of the synthetic tasks
+//! using the cheap classifiers only (LDA / KNN / SVM / small LDC). Used to
+//! calibrate the generators against the paper's Table II bands; not a
+//! paper artifact itself.
+//!
+//! Run: `cargo run -p univsa-bench --release --bin tune`
+
+use univsa_baselines::{evaluate, Knn, Lda, Ldc, LdcOptions, Svm, SvmOptions};
+use univsa_bench::{all_tasks, print_row};
+
+fn main() {
+    let seed = 2025;
+    let widths = [9usize, 8, 8, 8, 8];
+    print_row(
+        &["Task", "LDA", "KNN", "SVM", "LDC64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        &widths,
+    );
+    for task in all_tasks(seed) {
+        let lda = evaluate(&Lda::fit(&task.train, 0.3), &task.test);
+        let knn = evaluate(&Knn::fit(&task.train, 5), &task.test);
+        let svm = evaluate(
+            &Svm::fit(&task.train, &SvmOptions::default(), seed),
+            &task.test,
+        );
+        let ldc = evaluate(
+            &Ldc::fit(
+                &task.train,
+                &LdcOptions {
+                    dims: 64,
+                    epochs: 10,
+                    ..LdcOptions::default()
+                },
+                seed,
+            ),
+            &task.test,
+        );
+        print_row(
+            &[
+                task.spec.name.clone(),
+                format!("{lda:.3}"),
+                format!("{knn:.3}"),
+                format!("{svm:.3}"),
+                format!("{ldc:.3}"),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! # univsa-bench
+//!
+//! Shared harness for the binaries that regenerate the UniVSA paper's
+//! tables and figures:
+//!
+//! | Binary   | Regenerates |
+//! |----------|-------------|
+//! | `table1` | Table I — evolutionary-searched model configurations |
+//! | `table2` | Table II — accuracy/memory vs LDA, KNN, SVM, LeHDC, LDC |
+//! | `table3` | Table III — hardware comparison vs published accelerators |
+//! | `table4` | Table IV — UniVSA hardware performance on all tasks |
+//! | `fig1`   | Fig. 1 — qualitative framework comparison |
+//! | `fig4`   | Fig. 4 — enhancement ablation across vector dimensions |
+//! | `fig5`   | Fig. 5 — pipelined streaming schedule |
+//! | `fig6`   | Fig. 6 — per-stage hardware overhead |
+//!
+//! Run e.g. `cargo run -p univsa-bench --release --bin table2`. All
+//! binaries honour `UNIVSA_QUICK=1` for a reduced-budget smoke run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use univsa::{TrainOptions, UniVsaConfig, UniVsaError, UniVsaModel, UniVsaTrainer};
+use univsa_data::{tasks, Task};
+
+/// The paper's Table I: per-task `(D_H, D_L, D_K, O, Θ)` configurations.
+pub const PAPER_CONFIGS: [(&str, (usize, usize, usize, usize, usize)); 6] = [
+    ("EEGMMI", (8, 2, 3, 95, 1)),
+    ("BCI-III-V", (8, 1, 3, 151, 3)),
+    ("CHB-B", (8, 2, 3, 16, 3)),
+    ("CHB-IB", (4, 1, 5, 16, 1)),
+    ("ISOLET", (4, 4, 3, 22, 3)),
+    ("HAR", (8, 4, 3, 18, 3)),
+];
+
+/// Whether a quick (reduced-budget) run was requested via `UNIVSA_QUICK=1`.
+pub fn quick_mode() -> bool {
+    std::env::var("UNIVSA_QUICK").map_or(false, |v| v == "1")
+}
+
+/// Builds all six benchmark tasks with one seed.
+pub fn all_tasks(seed: u64) -> Vec<Task> {
+    tasks::all(seed)
+}
+
+/// The paper's configuration for a task name, materialized against the
+/// task geometry.
+///
+/// # Panics
+///
+/// Panics if the name is not one of the six Table I tasks or the tuple is
+/// invalid for the geometry (cannot happen for the paper's values).
+pub fn paper_config(task: &Task) -> UniVsaConfig {
+    let (_, (d_h, d_l, d_k, o, theta)) = PAPER_CONFIGS
+        .iter()
+        .find(|(name, _)| *name == task.spec.name)
+        .unwrap_or_else(|| panic!("no paper config for task {}", task.spec.name));
+    UniVsaConfig::for_task(&task.spec)
+        .d_h(*d_h)
+        .d_l(*d_l)
+        .d_k(*d_k)
+        .out_channels(*o)
+        .voters(*theta)
+        .build()
+        .expect("paper configurations are valid")
+}
+
+/// Training options used by the harness (reduced epochs under
+/// [`quick_mode`]).
+pub fn harness_train_options() -> TrainOptions {
+    harness_train_options_for(1024)
+}
+
+/// Training options scaled to the task size: small grids are cheap to
+/// train, so they get a larger epoch budget (the tiny BCI-III-V grid needs
+/// it to converge).
+pub fn harness_train_options_for(features: usize) -> TrainOptions {
+    let epochs = if quick_mode() {
+        3
+    } else if features <= 128 {
+        60
+    } else {
+        20
+    };
+    TrainOptions {
+        epochs,
+        ..TrainOptions::default()
+    }
+}
+
+/// Trains UniVSA on a task with its paper configuration and returns the
+/// model plus test accuracy.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors from the core crate.
+pub fn train_univsa(task: &Task, seed: u64) -> Result<(UniVsaModel, f64), UniVsaError> {
+    train_univsa_with(task, paper_config(task), seed)
+}
+
+/// Trains UniVSA on a task with an explicit configuration.
+///
+/// # Errors
+///
+/// Propagates training/evaluation errors from the core crate.
+pub fn train_univsa_with(
+    task: &Task,
+    config: UniVsaConfig,
+    seed: u64,
+) -> Result<(UniVsaModel, f64), UniVsaError> {
+    let trainer = UniVsaTrainer::new(config, harness_train_options_for(task.spec.features()));
+    let outcome = trainer.fit(&task.train, seed)?;
+    let acc = outcome.model.evaluate(&task.test)?;
+    Ok((outcome.model, acc))
+}
+
+/// Formats bits as KiB with two decimals, or `–` for `None`.
+pub fn fmt_kib(bits: Option<usize>) -> String {
+    match bits {
+        Some(b) => format!("{:.2}", b as f64 / 8.0 / 1024.0),
+        None => "–".to_string(),
+    }
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("| {} |", row.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_build_for_their_tasks() {
+        for task in all_tasks(1) {
+            let cfg = paper_config(&task);
+            let (name, tuple) = PAPER_CONFIGS
+                .iter()
+                .find(|(n, _)| *n == task.spec.name)
+                .unwrap();
+            assert_eq!(&task.spec.name, name);
+            assert_eq!(cfg.tuple(), *tuple);
+        }
+    }
+
+    #[test]
+    fn fmt_kib_formats() {
+        assert_eq!(fmt_kib(Some(8 * 1024)), "1.00");
+        assert_eq!(fmt_kib(None), "–");
+    }
+
+    #[test]
+    #[should_panic(expected = "no paper config")]
+    fn unknown_task_panics() {
+        let mut task = all_tasks(1).remove(0);
+        task.spec.name = "UNKNOWN".into();
+        paper_config(&task);
+    }
+}

@@ -1,0 +1,253 @@
+//! Row-major stacks of equal-dimension packed binary vectors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DimMismatchError;
+use crate::BitVec;
+
+/// A row-major stack of equal-dimension [`BitVec`]s.
+///
+/// Binary VSA models are bundles of such matrices: the value box **V**
+/// (`M × D`), feature vectors **F** (`O × D`), convolution kernels **K**
+/// (flattened per output channel), and class vectors **C** (`C × D`).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use univsa_bits::BitMatrix;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let m = BitMatrix::random(4, 128, &mut rng);
+/// assert_eq!(m.rows(), 4);
+/// assert_eq!(m.dim(), 128);
+/// let nearest = m.nearest(m.row(2)).unwrap();
+/// assert_eq!(nearest, 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    dim: usize,
+    rows: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates a matrix of all-zero rows.
+    pub fn zeros(rows: usize, dim: usize) -> Self {
+        Self {
+            dim,
+            rows: (0..rows).map(|_| BitVec::zeros(dim)).collect(),
+        }
+    }
+
+    /// Creates a matrix of uniformly random rows.
+    pub fn random<R: rand::Rng + ?Sized>(rows: usize, dim: usize, rng: &mut R) -> Self {
+        Self {
+            dim,
+            rows: (0..rows).map(|_| BitVec::random(dim, rng)).collect(),
+        }
+    }
+
+    /// Builds a matrix from existing rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if rows disagree in dimension (the error
+    /// reports the first row's dimension and the offending row's dimension).
+    /// An empty row set produces an empty matrix of dimension 0.
+    pub fn from_rows(rows: Vec<BitVec>) -> Result<Self, DimMismatchError> {
+        let dim = rows.first().map_or(0, BitVec::dim);
+        for r in &rows {
+            if r.dim() != dim {
+                return Err(DimMismatchError {
+                    left: dim,
+                    right: r.dim(),
+                });
+            }
+        }
+        Ok(Self { dim, rows })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Dimension of every row.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the matrix has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Mutably borrows row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut BitVec {
+        &mut self.rows[i]
+    }
+
+    /// Fallible row access.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&BitVec> {
+        self.rows.get(i)
+    }
+
+    /// Iterates over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, BitVec> {
+        self.rows.iter()
+    }
+
+    /// Dot products of a query against every row: the similarity vector
+    /// `C·s` of the paper's Eq. 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if the query dimension differs from the
+    /// matrix dimension.
+    pub fn dots(&self, query: &BitVec) -> Result<Vec<i64>, DimMismatchError> {
+        self.rows.iter().map(|r| r.dot(query)).collect()
+    }
+
+    /// Index of the row with the highest dot-product similarity to `query`
+    /// (ties broken toward the lower index, matching `argmax` semantics).
+    /// An empty matrix yields index 0 by convention (callers construct
+    /// class sets with at least one row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if the query dimension differs from the
+    /// matrix dimension.
+    pub fn nearest(&self, query: &BitVec) -> Result<usize, DimMismatchError> {
+        let dots = self.dots(query)?;
+        Ok(dots
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    /// Total packed storage in bits: `rows * dim` — the quantity charged by
+    /// the paper's memory model (Eq. 5).
+    #[inline]
+    pub fn storage_bits(&self) -> usize {
+        self.rows.len() * self.dim
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitMatrix({}x{})", self.rows.len(), self.dim)
+    }
+}
+
+impl<'a> IntoIterator for &'a BitMatrix {
+    type Item = &'a BitVec;
+    type IntoIter = std::slice::Iter<'a, BitVec>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+impl FromIterator<BitVec> for BitMatrix {
+    /// Collects rows into a matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows disagree in dimension; use
+    /// [`BitMatrix::from_rows`] for a fallible build.
+    fn from_iter<I: IntoIterator<Item = BitVec>>(iter: I) -> Self {
+        Self::from_rows(iter.into_iter().collect()).expect("rows must share one dimension")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_rows_checks_dims() {
+        let rows = vec![BitVec::zeros(8), BitVec::zeros(9)];
+        let err = BitMatrix::from_rows(rows).unwrap_err();
+        assert_eq!(err.left, 8);
+        assert_eq!(err.right, 9);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = BitMatrix::from_rows(vec![]).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.dim(), 0);
+        assert_eq!(m.storage_bits(), 0);
+    }
+
+    #[test]
+    fn nearest_finds_self() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = BitMatrix::random(10, 256, &mut rng);
+        for i in 0..10 {
+            assert_eq!(m.nearest(m.row(i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn nearest_ties_break_low() {
+        let rows = vec![BitVec::ones(4), BitVec::ones(4), BitVec::zeros(4)];
+        let m = BitMatrix::from_rows(rows).unwrap();
+        assert_eq!(m.nearest(&BitVec::ones(4)).unwrap(), 0);
+    }
+
+    #[test]
+    fn dots_match_manual() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = BitMatrix::random(3, 65, &mut rng);
+        let q = BitVec::random(65, &mut rng);
+        let dots = m.dots(&q).unwrap();
+        for (i, d) in dots.iter().enumerate() {
+            assert_eq!(*d, m.row(i).dot(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn dots_dim_mismatch() {
+        let m = BitMatrix::zeros(2, 8);
+        assert!(m.dots(&BitVec::zeros(9)).is_err());
+    }
+
+    #[test]
+    fn storage_bits_counts_all_rows() {
+        let m = BitMatrix::zeros(7, 100);
+        assert_eq!(m.storage_bits(), 700);
+    }
+
+    #[test]
+    fn collect_rows() {
+        let m: BitMatrix = (0..4).map(|_| BitVec::zeros(16)).collect();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.iter().count(), 4);
+    }
+}

@@ -1,0 +1,648 @@
+//! Packed fixed-dimension binary vector.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{DimMismatchError, ParseBitVecError};
+use crate::word::{locate, tail_mask, words_for};
+
+/// A packed binary vector of fixed dimension, interpreted as a bipolar
+/// (`{-1, +1}`) VSA vector.
+///
+/// Bit `1` encodes bipolar `+1`; bit `0` encodes bipolar `-1`. Elements are
+/// packed 64 per [`u64`] word; see [`crate::word`] for the layout.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_bits::BitVec;
+///
+/// let v = BitVec::from_bipolar(&[1, -1, 1]).unwrap();
+/// assert_eq!(v.dim(), 3);
+/// assert_eq!(v.count_ones(), 2);
+/// assert_eq!(v.to_bipolar(), vec![1, -1, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero (all bipolar `-1`) vector of the given dimension.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let v = BitVec::zeros(100);
+    /// assert_eq!(v.dim(), 100);
+    /// assert_eq!(v.count_ones(), 0);
+    /// ```
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            dim,
+            words: vec![0; words_for(dim)],
+        }
+    }
+
+    /// Creates an all-one (all bipolar `+1`) vector of the given dimension.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let v = BitVec::ones(70);
+    /// assert_eq!(v.count_ones(), 70);
+    /// ```
+    pub fn ones(dim: usize) -> Self {
+        let mut v = Self {
+            dim,
+            words: vec![u64::MAX; words_for(dim)],
+        };
+        v.canonicalize();
+        v
+    }
+
+    /// Creates a vector from raw packed words.
+    ///
+    /// Surplus high bits in the final word are cleared; surplus words are
+    /// truncated and missing words are zero-filled, so the result is always
+    /// canonical.
+    pub fn from_words(dim: usize, mut words: Vec<u64>) -> Self {
+        words.resize(words_for(dim), 0);
+        let mut v = Self { dim, words };
+        v.canonicalize();
+        v
+    }
+
+    /// Creates a vector from a slice of bipolar values.
+    ///
+    /// Any strictly positive value maps to `+1` (bit 1); zero and negative
+    /// values map to `-1` (bit 0) — note that the VSA `sgn(0) = +1` tiebreak
+    /// is applied by [`crate::Bundler`], not here, because here a literal `0`
+    /// element is an input error tolerated as `-1`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; returns `Result` so the encoding contract can
+    /// tighten (e.g. rejecting zeros) without breaking callers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let v = BitVec::from_bipolar(&[1, -1, 1, -1]).unwrap();
+    /// assert_eq!(v.to_bipolar(), vec![1, -1, 1, -1]);
+    /// ```
+    pub fn from_bipolar(values: &[i8]) -> Result<Self, ParseBitVecError> {
+        let mut v = Self::zeros(values.len());
+        for (i, &x) in values.iter().enumerate() {
+            if x > 0 {
+                v.set(i, true);
+            }
+        }
+        Ok(v)
+    }
+
+    /// Creates a uniformly random vector using the supplied RNG.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use univsa_bits::BitVec;
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    /// let v = BitVec::random(256, &mut rng);
+    /// assert_eq!(v.dim(), 256);
+    /// ```
+    pub fn random<R: rand::Rng + ?Sized>(dim: usize, rng: &mut R) -> Self {
+        let mut words = vec![0u64; words_for(dim)];
+        for w in &mut words {
+            *w = rng.gen();
+        }
+        let mut v = Self { dim, words };
+        v.canonicalize();
+        v
+    }
+
+    /// The number of elements in the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether the vector has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dim == 0
+    }
+
+    /// Borrows the packed word storage.
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns element `i` as a bit (`true` = bipolar `+1`).
+    ///
+    /// Returns `None` when `i >= self.dim()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if i >= self.dim {
+            return None;
+        }
+        let (w, b) = locate(i);
+        Some((self.words[w] >> b) & 1 == 1)
+    }
+
+    /// Returns element `i` as a bipolar value (`+1` or `-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn bipolar(&self, i: usize) -> i8 {
+        match self.get(i) {
+            Some(true) => 1,
+            Some(false) => -1,
+            None => panic!("index {i} out of bounds for BitVec of dim {}", self.dim),
+        }
+    }
+
+    /// Sets element `i` to the given bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(
+            i < self.dim,
+            "index {i} out of bounds for BitVec of dim {}",
+            self.dim
+        );
+        let (w, b) = locate(i);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Number of `1` bits (bipolar `+1` elements).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// assert_eq!(BitVec::ones(9).count_ones(), 9);
+    /// ```
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Elementwise XNOR — the bipolar *binding* (elementwise product).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if the operands have different dimensions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let a = BitVec::from_bipolar(&[1, 1, -1]).unwrap();
+    /// let b = BitVec::from_bipolar(&[1, -1, -1]).unwrap();
+    /// assert_eq!(a.xnor(&b).unwrap().to_bipolar(), vec![1, -1, 1]);
+    /// ```
+    pub fn xnor(&self, other: &Self) -> Result<Self, DimMismatchError> {
+        self.check_dim(other)?;
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| !(a ^ b))
+            .collect();
+        Ok(Self::from_words(self.dim, words))
+    }
+
+    /// Elementwise XOR (bipolar elementwise product of `a` and `-b`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if the operands have different dimensions.
+    pub fn xor(&self, other: &Self) -> Result<Self, DimMismatchError> {
+        self.check_dim(other)?;
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        Ok(Self::from_words(self.dim, words))
+    }
+
+    /// Bitwise complement — the bipolar negation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let a = BitVec::from_bipolar(&[1, -1]).unwrap();
+    /// assert_eq!(a.not().to_bipolar(), vec![-1, 1]);
+    /// ```
+    pub fn not(&self) -> Self {
+        let words = self.words.iter().map(|w| !w).collect();
+        Self::from_words(self.dim, words)
+    }
+
+    /// Hamming distance: the number of positions where the vectors differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if the operands have different dimensions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let a = BitVec::from_bipolar(&[1, 1, -1, -1]).unwrap();
+    /// let b = BitVec::from_bipolar(&[1, -1, -1, 1]).unwrap();
+    /// assert_eq!(a.hamming(&b).unwrap(), 2);
+    /// ```
+    pub fn hamming(&self, other: &Self) -> Result<u32, DimMismatchError> {
+        self.check_dim(other)?;
+        Ok(self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum())
+    }
+
+    /// Bipolar dot product: `Σ aᵢ·bᵢ` with `aᵢ, bᵢ ∈ {-1, +1}`.
+    ///
+    /// Computed as `dim - 2 * hamming`, equivalent to
+    /// `2 * popcount(xnor) - dim`. This is the similarity measurement used by
+    /// binary VSA classification (the paper's Eq. 2), and is provably
+    /// equivalent (up to affine transform) to Hamming similarity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if the operands have different dimensions.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let a = BitVec::from_bipolar(&[1, 1, -1, -1]).unwrap();
+    /// let b = BitVec::from_bipolar(&[1, -1, -1, 1]).unwrap();
+    /// assert_eq!(a.dot(&b).unwrap(), 0); // 1 - 1 + 1 - 1
+    /// ```
+    pub fn dot(&self, other: &Self) -> Result<i64, DimMismatchError> {
+        let h = self.hamming(other)? as i64;
+        Ok(self.dim as i64 - 2 * h)
+    }
+
+    /// Cyclic rotation by `k` positions — the VSA *permutation* operator
+    /// `ρ`, used to protect sequence/position information. Rotation is a
+    /// similarity-preserving bijection: `ρ(a)·ρ(b) = a·b`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let v: BitVec = "1100".parse().unwrap();
+    /// assert_eq!(v.rotate(1).to_string(), "0110");
+    /// assert_eq!(v.rotate(4), v);
+    /// ```
+    pub fn rotate(&self, k: usize) -> Self {
+        if self.dim == 0 {
+            return self.clone();
+        }
+        let k = k % self.dim;
+        let mut out = BitVec::zeros(self.dim);
+        for i in 0..self.dim {
+            if self.get(i) == Some(true) {
+                out.set((i + k) % self.dim, true);
+            }
+        }
+        out
+    }
+
+    /// Converts to a vector of bipolar values.
+    pub fn to_bipolar(&self) -> Vec<i8> {
+        (0..self.dim).map(|i| self.bipolar(i)).collect()
+    }
+
+    /// Converts to a vector of `f32` bipolar values (for feeding the training
+    /// substrate).
+    pub fn to_f32(&self) -> Vec<f32> {
+        (0..self.dim)
+            .map(|i| if self.get(i) == Some(true) { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// Iterates over elements as bits.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { vec: self, pos: 0 }
+    }
+
+    /// Serialized size in bits when stored packed — the quantity charged by
+    /// the paper's memory model (Eq. 5).
+    #[inline]
+    pub fn storage_bits(&self) -> usize {
+        self.dim
+    }
+
+    fn check_dim(&self, other: &Self) -> Result<(), DimMismatchError> {
+        if self.dim != other.dim {
+            Err(DimMismatchError {
+                left: self.dim,
+                right: other.dim,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn canonicalize(&mut self) {
+        if let Some(last) = self.words.last_mut() {
+            *last &= tail_mask(self.dim);
+        }
+    }
+}
+
+/// Iterator over the bits of a [`BitVec`], produced by [`BitVec::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    vec: &'a BitVec,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let bit = self.vec.get(self.pos)?;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.vec.dim.saturating_sub(self.pos);
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec(dim={}, bits=", self.dim)?;
+        let shown = self.dim.min(64);
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.get(i) == Some(true)))?;
+        }
+        if self.dim > shown {
+            write!(f, "…")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.dim {
+            write!(f, "{}", u8::from(self.get(i) == Some(true)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for BitVec {
+    type Err = ParseBitVecError;
+
+    /// Parses a string of `'0'` and `'1'` characters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_bits::BitVec;
+    /// let v: BitVec = "1011".parse().unwrap();
+    /// assert_eq!(v.to_bipolar(), vec![1, -1, 1, 1]);
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut v = BitVec::zeros(s.chars().count());
+        for (i, c) in s.chars().enumerate() {
+            match c {
+                '0' => {}
+                '1' => v.set(i, true),
+                found => return Err(ParseBitVecError { position: i, found }),
+            }
+        }
+        Ok(v)
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        let mut v = BitVec::zeros(bits.len());
+        for (i, b) in bits.into_iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+}
+
+impl<'a> IntoIterator for &'a BitVec {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::BITS_PER_WORD;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(130);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        // canonical: no stray bits beyond dim
+        assert_eq!(o.as_words()[2], tail_mask(130));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(100);
+        v.set(0, true);
+        v.set(63, true);
+        v.set(64, true);
+        v.set(99, true);
+        assert_eq!(v.get(0), Some(true));
+        assert_eq!(v.get(1), Some(false));
+        assert_eq!(v.get(63), Some(true));
+        assert_eq!(v.get(64), Some(true));
+        assert_eq!(v.get(99), Some(true));
+        assert_eq!(v.get(100), None);
+        assert_eq!(v.count_ones(), 4);
+        v.set(63, false);
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_out_of_bounds_panics() {
+        let mut v = BitVec::zeros(8);
+        v.set(8, true);
+    }
+
+    #[test]
+    fn xnor_is_bipolar_product() {
+        let a = BitVec::from_bipolar(&[1, 1, -1, -1]).unwrap();
+        let b = BitVec::from_bipolar(&[1, -1, 1, -1]).unwrap();
+        let c = a.xnor(&b).unwrap();
+        assert_eq!(c.to_bipolar(), vec![1, -1, -1, 1]);
+    }
+
+    #[test]
+    fn xnor_dim_mismatch() {
+        let a = BitVec::zeros(4);
+        let b = BitVec::zeros(5);
+        let err = a.xnor(&b).unwrap_err();
+        assert_eq!(err, DimMismatchError { left: 4, right: 5 });
+        assert!(err.to_string().contains("dimension mismatch"));
+    }
+
+    #[test]
+    fn dot_equals_dim_minus_twice_hamming() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for dim in [1usize, 63, 64, 65, 100, 1000] {
+            let a = BitVec::random(dim, &mut rng);
+            let b = BitVec::random(dim, &mut rng);
+            let h = a.hamming(&b).unwrap();
+            let d = a.dot(&b).unwrap();
+            assert_eq!(d, dim as i64 - 2 * h as i64);
+            // brute-force check
+            let brute: i64 = a
+                .to_bipolar()
+                .iter()
+                .zip(b.to_bipolar())
+                .map(|(&x, y)| x as i64 * y as i64)
+                .sum();
+            assert_eq!(d, brute);
+        }
+    }
+
+    #[test]
+    fn self_dot_is_dim() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = BitVec::random(257, &mut rng);
+        assert_eq!(a.dot(&a).unwrap(), 257);
+        assert_eq!(a.hamming(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn not_negates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = BitVec::random(129, &mut rng);
+        let n = a.not();
+        assert_eq!(a.dot(&n).unwrap(), -129);
+        assert_eq!(n.count_ones() + a.count_ones(), 129);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = "10110001101";
+        let v: BitVec = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+    }
+
+    #[test]
+    fn parse_rejects_bad_char() {
+        let err = "10x1".parse::<BitVec>().unwrap_err();
+        assert_eq!(err.position, 2);
+        assert_eq!(err.found, 'x');
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.to_bipolar(), vec![1, -1, 1]);
+        let bits: Vec<bool> = v.iter().collect();
+        assert_eq!(bits, vec![true, false, true]);
+        assert_eq!(v.iter().len(), 3);
+    }
+
+    #[test]
+    fn random_is_canonical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dim in [1usize, 3, 63, 64, 65, 127] {
+            let v = BitVec::random(dim, &mut rng);
+            if dim % BITS_PER_WORD != 0 {
+                assert_eq!(v.as_words().last().unwrap() & !tail_mask(dim), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = BitVec::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.dot(&BitVec::zeros(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let v = BitVec::zeros(4);
+        assert!(!format!("{v:?}").is_empty());
+    }
+
+    #[test]
+    fn rotate_preserves_similarity() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let a = BitVec::random(129, &mut rng);
+        let b = BitVec::random(129, &mut rng);
+        for k in [0usize, 1, 64, 128, 129, 200] {
+            assert_eq!(
+                a.rotate(k).dot(&b.rotate(k)).unwrap(),
+                a.dot(&b).unwrap(),
+                "rotation by {k} must preserve similarity"
+            );
+            assert_eq!(a.rotate(k).count_ones(), a.count_ones());
+        }
+    }
+
+    #[test]
+    fn rotate_composes() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let a = BitVec::random(70, &mut rng);
+        assert_eq!(a.rotate(3).rotate(4), a.rotate(7));
+        assert_eq!(a.rotate(70), a);
+        assert!(BitVec::zeros(0).rotate(5).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_via_words() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = BitVec::random(100, &mut rng);
+        let w = BitVec::from_words(v.dim(), v.as_words().to_vec());
+        assert_eq!(v, w);
+    }
+}

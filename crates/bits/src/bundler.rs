@@ -1,0 +1,194 @@
+//! Majority-rule bundling accumulator.
+
+use crate::error::DimMismatchError;
+use crate::BitVec;
+
+/// Accumulator implementing the VSA *bundling* operation
+/// `s = sgn(Σᵢ vᵢ)` over bipolar vectors, with the paper's `sgn(0) = +1`
+/// tiebreak.
+///
+/// Internally keeps one signed counter per element; adding a vector adds
+/// `+1`/`-1` per element, and [`Bundler::finish`] thresholds at zero.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_bits::{BitVec, Bundler};
+///
+/// let mut b = Bundler::new(3);
+/// b.add(&BitVec::from_bipolar(&[1, 1, -1]).unwrap()).unwrap();
+/// b.add(&BitVec::from_bipolar(&[1, -1, -1]).unwrap()).unwrap();
+/// b.add(&BitVec::from_bipolar(&[-1, 1, -1]).unwrap()).unwrap();
+/// // sums: [1, 1, -3] → sgn → [+1, +1, -1]
+/// assert_eq!(b.finish().to_bipolar(), vec![1, 1, -1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bundler {
+    counts: Vec<i32>,
+}
+
+impl Bundler {
+    /// Creates an empty accumulator for `dim`-element vectors.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            counts: vec![0; dim],
+        }
+    }
+
+    /// The element dimension this bundler accepts.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds a bipolar vector to the accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if `v.dim() != self.dim()`.
+    pub fn add(&mut self, v: &BitVec) -> Result<(), DimMismatchError> {
+        self.add_weighted(v, 1)
+    }
+
+    /// Adds a bipolar vector scaled by an integer weight.
+    ///
+    /// Negative weights subtract (equivalent to adding the complement
+    /// `weight` times).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DimMismatchError`] if `v.dim() != self.dim()`.
+    pub fn add_weighted(&mut self, v: &BitVec, weight: i32) -> Result<(), DimMismatchError> {
+        if v.dim() != self.counts.len() {
+            return Err(DimMismatchError {
+                left: self.counts.len(),
+                right: v.dim(),
+            });
+        }
+        for (i, c) in self.counts.iter_mut().enumerate() {
+            // bit 1 → +weight, bit 0 → -weight
+            if v.get(i) == Some(true) {
+                *c += weight;
+            } else {
+                *c -= weight;
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrows the raw per-element counters.
+    #[inline]
+    pub fn counts(&self) -> &[i32] {
+        &self.counts
+    }
+
+    /// Thresholds the accumulated sums: `sgn(Σ)` with `sgn(0) = +1`.
+    ///
+    /// Consumes the bundler (bundling is a one-shot reduction); use
+    /// [`Bundler::snapshot`] to binarize without consuming.
+    pub fn finish(self) -> BitVec {
+        self.snapshot()
+    }
+
+    /// Binarizes the current sums without consuming the accumulator.
+    pub fn snapshot(&self) -> BitVec {
+        let mut v = BitVec::zeros(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            // sgn(0) = +1 tiebreak, exactly as the paper specifies.
+            if c >= 0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Resets all counters to zero, keeping the dimension.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sgn_zero_is_plus_one() {
+        let mut b = Bundler::new(2);
+        b.add(&BitVec::from_bipolar(&[1, -1]).unwrap()).unwrap();
+        b.add(&BitVec::from_bipolar(&[-1, 1]).unwrap()).unwrap();
+        // sums are [0, 0] → tiebreak to +1
+        assert_eq!(b.finish().to_bipolar(), vec![1, 1]);
+    }
+
+    #[test]
+    fn single_vector_passes_through() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let v = BitVec::random(200, &mut rng);
+        let mut b = Bundler::new(200);
+        b.add(&v).unwrap();
+        assert_eq!(b.finish(), v);
+    }
+
+    #[test]
+    fn majority_wins() {
+        let mut b = Bundler::new(1);
+        let plus = BitVec::from_bipolar(&[1]).unwrap();
+        let minus = BitVec::from_bipolar(&[-1]).unwrap();
+        b.add(&plus).unwrap();
+        b.add(&plus).unwrap();
+        b.add(&minus).unwrap();
+        assert_eq!(b.finish().to_bipolar(), vec![1]);
+    }
+
+    #[test]
+    fn weighted_add_matches_repeats() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let u = BitVec::random(64, &mut rng);
+        let v = BitVec::random(64, &mut rng);
+        let mut a = Bundler::new(64);
+        a.add_weighted(&u, 3).unwrap();
+        a.add(&v).unwrap();
+        let mut b = Bundler::new(64);
+        for _ in 0..3 {
+            b.add(&u).unwrap();
+        }
+        b.add(&v).unwrap();
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn negative_weight_subtracts() {
+        let v = BitVec::from_bipolar(&[1, -1]).unwrap();
+        let mut b = Bundler::new(2);
+        b.add_weighted(&v, -1).unwrap();
+        // counts: [-1, +1] → sgn → [-1, +1]
+        assert_eq!(b.finish().to_bipolar(), vec![-1, 1]);
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let mut b = Bundler::new(4);
+        assert!(b.add(&BitVec::zeros(5)).is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = Bundler::new(3);
+        b.add(&BitVec::ones(3)).unwrap();
+        b.clear();
+        assert_eq!(b.counts(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let mut b = Bundler::new(2);
+        b.add(&BitVec::ones(2)).unwrap();
+        let s1 = b.snapshot();
+        b.add(&BitVec::ones(2)).unwrap();
+        let s2 = b.snapshot();
+        assert_eq!(s1, s2);
+    }
+}

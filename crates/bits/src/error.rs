@@ -1,0 +1,52 @@
+//! Error types for packed binary vector operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Two operands had different dimensions where equal dimensions are required.
+///
+/// Returned by binary operations such as [`crate::BitVec::xnor`] and
+/// [`crate::BitVec::hamming`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DimMismatchError {
+    /// Dimension of the left-hand operand.
+    pub left: usize,
+    /// Dimension of the right-hand operand.
+    pub right: usize,
+}
+
+impl fmt::Display for DimMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dimension mismatch: left operand has {} elements, right has {}",
+            self.left, self.right
+        )
+    }
+}
+
+impl Error for DimMismatchError {}
+
+/// A string could not be parsed as a packed binary vector.
+///
+/// Returned by the [`std::str::FromStr`] implementation of
+/// [`crate::BitVec`], which accepts strings of `'0'`/`'1'` characters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitVecError {
+    /// Byte offset of the first offending character.
+    pub position: usize,
+    /// The offending character.
+    pub found: char,
+}
+
+impl fmt::Display for ParseBitVecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid character {:?} at position {} (expected '0' or '1')",
+            self.found, self.position
+        )
+    }
+}
+
+impl Error for ParseBitVecError {}

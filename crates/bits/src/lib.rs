@@ -1,0 +1,59 @@
+//! # univsa-bits
+//!
+//! Packed binary/bipolar vector substrate for binary vector symbolic
+//! architectures (VSA).
+//!
+//! Binary VSA represents symbols as *bipolar* vectors with elements in
+//! `{-1, +1}`. For hardware efficiency these are stored packed, one element per
+//! bit, with the convention used throughout this workspace:
+//!
+//! * bit `1` ⇔ bipolar `+1`
+//! * bit `0` ⇔ bipolar `-1`
+//!
+//! Under this convention the elementwise bipolar product is `XNOR`, the
+//! bipolar dot product of two vectors of dimension `D` is
+//! `2 * popcount(xnor(a, b)) - D`, and the Hamming distance relates to the
+//! dot product by `dot = D - 2 * hamming`.
+//!
+//! The crate provides:
+//!
+//! * [`BitVec`] — a packed, fixed-dimension binary vector with the VSA
+//!   operations (XNOR binding, Hamming distance, bipolar dot product).
+//! * [`BitMatrix`] — a row-major stack of equal-dimension [`BitVec`]s
+//!   (used for value boxes **V**, feature vectors **F**, kernels **K**, and
+//!   class vectors **C**).
+//! * [`Bundler`] — the majority-rule accumulator implementing the VSA
+//!   bundling operation `sgn(Σ ...)` with the paper's `sgn(0) = +1` tiebreak.
+//!
+//! # Examples
+//!
+//! ```
+//! use univsa_bits::{BitVec, Bundler};
+//!
+//! // Bind two random vectors and bundle three of them.
+//! let a = BitVec::from_bipolar(&[1, -1, 1, 1]).unwrap();
+//! let b = BitVec::from_bipolar(&[1, 1, -1, 1]).unwrap();
+//! let bound = a.xnor(&b).unwrap();
+//! assert_eq!(bound.to_bipolar(), vec![1, -1, -1, 1]);
+//!
+//! let mut bundler = Bundler::new(4);
+//! bundler.add(&a).unwrap();
+//! bundler.add(&b).unwrap();
+//! bundler.add(&bound).unwrap();
+//! let s = bundler.finish();
+//! assert_eq!(s.dim(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmatrix;
+mod bitvec;
+mod bundler;
+mod error;
+pub mod word;
+
+pub use bitmatrix::BitMatrix;
+pub use bitvec::BitVec;
+pub use bundler::Bundler;
+pub use error::{DimMismatchError, ParseBitVecError};

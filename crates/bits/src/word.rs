@@ -1,0 +1,87 @@
+//! Word-level helpers for packed bit storage.
+//!
+//! A packed vector stores 64 elements per [`u64`] word in little-endian bit
+//! order: element `i` lives in word `i / 64`, bit `i % 64`. The final word of
+//! a vector whose dimension is not a multiple of 64 has its unused high bits
+//! kept at zero (the *canonical* form); every mutating operation in this
+//! crate restores canonical form before returning.
+
+/// Number of elements packed into one storage word.
+pub const BITS_PER_WORD: usize = u64::BITS as usize;
+
+/// Number of `u64` words needed to store `dim` packed elements.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_bits::word::words_for;
+/// assert_eq!(words_for(0), 0);
+/// assert_eq!(words_for(1), 1);
+/// assert_eq!(words_for(64), 1);
+/// assert_eq!(words_for(65), 2);
+/// ```
+#[inline]
+pub const fn words_for(dim: usize) -> usize {
+    dim.div_ceil(BITS_PER_WORD)
+}
+
+/// Mask selecting the valid bits of the final word of a `dim`-element vector.
+///
+/// Returns `u64::MAX` when `dim` is a multiple of 64 (all bits of the last
+/// word are valid), otherwise a mask with the low `dim % 64` bits set.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_bits::word::tail_mask;
+/// assert_eq!(tail_mask(64), u64::MAX);
+/// assert_eq!(tail_mask(3), 0b111);
+/// ```
+#[inline]
+pub const fn tail_mask(dim: usize) -> u64 {
+    let rem = dim % BITS_PER_WORD;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+/// Word index and bit offset of element `i`.
+#[inline]
+pub const fn locate(i: usize) -> (usize, u32) {
+    (i / BITS_PER_WORD, (i % BITS_PER_WORD) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(63), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+
+    #[test]
+    fn tail_mask_boundaries() {
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(2), 0b11);
+        assert_eq!(tail_mask(63), u64::MAX >> 1);
+        assert_eq!(tail_mask(64), u64::MAX);
+        assert_eq!(tail_mask(65), 1);
+    }
+
+    #[test]
+    fn locate_examples() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(63), (0, 63));
+        assert_eq!(locate(64), (1, 0));
+        assert_eq!(locate(130), (2, 2));
+    }
+}

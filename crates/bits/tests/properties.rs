@@ -1,0 +1,111 @@
+//! Property-based tests for the packed bit substrate.
+
+use proptest::prelude::*;
+use univsa_bits::{BitMatrix, BitVec, Bundler};
+
+fn arb_bipolar(dim: usize) -> impl Strategy<Value = Vec<i8>> {
+    proptest::collection::vec(prop_oneof![Just(-1i8), Just(1i8)], dim)
+}
+
+fn arb_pair() -> impl Strategy<Value = (Vec<i8>, Vec<i8>)> {
+    (1usize..300).prop_flat_map(|d| (arb_bipolar(d), arb_bipolar(d)))
+}
+
+proptest! {
+    #[test]
+    fn bipolar_roundtrip(vals in (0usize..300).prop_flat_map(arb_bipolar)) {
+        let v = BitVec::from_bipolar(&vals).unwrap();
+        prop_assert_eq!(v.to_bipolar(), vals);
+    }
+
+    #[test]
+    fn dot_matches_naive((a, b) in arb_pair()) {
+        let va = BitVec::from_bipolar(&a).unwrap();
+        let vb = BitVec::from_bipolar(&b).unwrap();
+        let naive: i64 = a.iter().zip(&b).map(|(&x, &y)| x as i64 * y as i64).sum();
+        prop_assert_eq!(va.dot(&vb).unwrap(), naive);
+    }
+
+    #[test]
+    fn hamming_symmetry_and_bounds((a, b) in arb_pair()) {
+        let va = BitVec::from_bipolar(&a).unwrap();
+        let vb = BitVec::from_bipolar(&b).unwrap();
+        let h1 = va.hamming(&vb).unwrap();
+        let h2 = vb.hamming(&va).unwrap();
+        prop_assert_eq!(h1, h2);
+        prop_assert!(h1 as usize <= a.len());
+    }
+
+    #[test]
+    fn xnor_is_elementwise_product((a, b) in arb_pair()) {
+        let va = BitVec::from_bipolar(&a).unwrap();
+        let vb = BitVec::from_bipolar(&b).unwrap();
+        let prod: Vec<i8> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+        prop_assert_eq!(va.xnor(&vb).unwrap().to_bipolar(), prod);
+    }
+
+    #[test]
+    fn xnor_self_is_ones(a in (1usize..300).prop_flat_map(arb_bipolar)) {
+        let v = BitVec::from_bipolar(&a).unwrap();
+        let s = v.xnor(&v).unwrap();
+        prop_assert_eq!(s.count_ones() as usize, a.len());
+    }
+
+    #[test]
+    fn double_negation_is_identity(a in (1usize..300).prop_flat_map(arb_bipolar)) {
+        let v = BitVec::from_bipolar(&a).unwrap();
+        prop_assert_eq!(v.not().not(), v);
+    }
+
+    #[test]
+    fn xor_xnor_complementary((a, b) in arb_pair()) {
+        let va = BitVec::from_bipolar(&a).unwrap();
+        let vb = BitVec::from_bipolar(&b).unwrap();
+        let x1 = va.xor(&vb).unwrap();
+        let x2 = va.xnor(&vb).unwrap().not();
+        prop_assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn bundler_matches_naive_majority(
+        rows in (1usize..120, 1usize..9).prop_flat_map(|(d, n)| {
+            proptest::collection::vec(arb_bipolar(d), n)
+        })
+    ) {
+        let dim = rows[0].len();
+        let mut bundler = Bundler::new(dim);
+        for r in &rows {
+            bundler.add(&BitVec::from_bipolar(r).unwrap()).unwrap();
+        }
+        let s = bundler.finish();
+        for i in 0..dim {
+            let sum: i32 = rows.iter().map(|r| r[i] as i32).sum();
+            let expect = sum >= 0; // sgn(0) = +1
+            prop_assert_eq!(s.get(i), Some(expect));
+        }
+    }
+
+    #[test]
+    fn nearest_row_dot_is_maximal(
+        (rows, q) in (1usize..100, 1usize..8).prop_flat_map(|(d, n)| {
+            (proptest::collection::vec(arb_bipolar(d), n), arb_bipolar(d))
+        })
+    ) {
+        let m = BitMatrix::from_rows(
+            rows.iter().map(|r| BitVec::from_bipolar(r).unwrap()).collect(),
+        ).unwrap();
+        let query = BitVec::from_bipolar(&q).unwrap();
+        let best = m.nearest(&query).unwrap();
+        let dots = m.dots(&query).unwrap();
+        for d in &dots {
+            prop_assert!(dots[best] >= *d);
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in (0usize..200).prop_flat_map(arb_bipolar)) {
+        let v = BitVec::from_bipolar(&a).unwrap();
+        let parsed: BitVec = v.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+}

@@ -1,0 +1,353 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use std::error::Error;
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `univsa train …`
+    Train {
+        /// Built-in task name (`--task`) — mutually exclusive with `csv`.
+        task: Option<String>,
+        /// CSV dataset path (`--csv`) with `--geometry W,L,C`.
+        csv: Option<String>,
+        /// Geometry for CSV input: `(W, L, classes)`.
+        geometry: Option<(usize, usize, usize)>,
+        /// Model tuple `(D_H, D_L, D_K, O, Θ)` (`--config`).
+        config: (usize, usize, usize, usize, usize),
+        /// Training epochs.
+        epochs: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output model path.
+        out: String,
+    },
+    /// `univsa infer --model m.uvsa --csv data.csv [--geometry W,L,C]`
+    Infer {
+        /// Saved model path.
+        model: String,
+        /// CSV dataset to classify.
+        csv: String,
+    },
+    /// `univsa info --model m.uvsa`
+    Info {
+        /// Saved model path.
+        model: String,
+    },
+    /// `univsa rtl --model m.uvsa --out-dir rtl/`
+    Rtl {
+        /// Saved model path.
+        model: String,
+        /// Directory for the Verilog + hex files.
+        out_dir: String,
+    },
+    /// `univsa tasks`
+    Tasks,
+    /// `univsa help` (or `--help`)
+    Help,
+}
+
+/// An argument error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+/// Usage text shown by `help` and on errors.
+pub const USAGE: &str = "\
+univsa — binary vector symbolic architecture toolkit
+
+USAGE:
+  univsa train --task <NAME> --config DH,DL,DK,O,THETA --out MODEL
+               [--epochs N] [--seed S]
+  univsa train --csv DATA.csv --geometry W,L,C --config DH,DL,DK,O,THETA
+               --out MODEL [--epochs N] [--seed S]
+  univsa infer --model MODEL --csv DATA.csv
+  univsa info  --model MODEL
+  univsa rtl   --model MODEL --out-dir DIR
+  univsa tasks
+  univsa help
+
+Built-in tasks: EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR (synthetic,
+with the paper's Table I geometry). CSV format: one sample per line,
+`label,v0,v1,…` with values in 0..=255; `#` lines are ignored.
+";
+
+impl Command {
+    /// Parses a full argument list (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError`] with a user-facing message on unknown
+    /// subcommands, missing/duplicate flags, or malformed values.
+    pub fn parse(args: &[String]) -> Result<Self, ParseArgsError> {
+        let Some((sub, rest)) = args.split_first() else {
+            return Ok(Command::Help);
+        };
+        match sub.as_str() {
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            "tasks" => {
+                expect_no_extra(rest)?;
+                Ok(Command::Tasks)
+            }
+            "train" => parse_train(rest),
+            "infer" => {
+                let flags = parse_flags(rest)?;
+                Ok(Command::Infer {
+                    model: required(&flags, "model")?,
+                    csv: required(&flags, "csv")?,
+                })
+            }
+            "info" => {
+                let flags = parse_flags(rest)?;
+                Ok(Command::Info {
+                    model: required(&flags, "model")?,
+                })
+            }
+            "rtl" => {
+                let flags = parse_flags(rest)?;
+                Ok(Command::Rtl {
+                    model: required(&flags, "model")?,
+                    out_dir: required(&flags, "out-dir")?,
+                })
+            }
+            other => Err(ParseArgsError(format!(
+                "unknown subcommand {other:?}; run `univsa help`"
+            ))),
+        }
+    }
+}
+
+fn parse_train(rest: &[String]) -> Result<Command, ParseArgsError> {
+    let flags = parse_flags(rest)?;
+    let task = flags_get(&flags, "task");
+    let csv = flags_get(&flags, "csv");
+    if task.is_some() == csv.is_some() {
+        return Err(ParseArgsError(
+            "train needs exactly one of --task or --csv".into(),
+        ));
+    }
+    let geometry = match flags_get(&flags, "geometry") {
+        Some(g) => Some(parse_triple(&g)?),
+        None => None,
+    };
+    if csv.is_some() && geometry.is_none() {
+        return Err(ParseArgsError(
+            "--csv requires --geometry W,L,C".into(),
+        ));
+    }
+    let config = parse_tuple5(&required(&flags, "config")?)?;
+    let epochs = match flags_get(&flags, "epochs") {
+        Some(e) => e
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad --epochs {e:?}")))?,
+        None => 20,
+    };
+    let seed = match flags_get(&flags, "seed") {
+        Some(s) => s
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad --seed {s:?}")))?,
+        None => 42,
+    };
+    Ok(Command::Train {
+        task,
+        csv,
+        geometry,
+        config,
+        epochs,
+        seed,
+        out: required(&flags, "out")?,
+    })
+}
+
+type Flags = Vec<(String, String)>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, ParseArgsError> {
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(ParseArgsError(format!(
+                "unexpected positional argument {arg:?}"
+            )));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| ParseArgsError(format!("--{name} needs a value")))?;
+        if flags.iter().any(|(n, _)| n == name) {
+            return Err(ParseArgsError(format!("duplicate flag --{name}")));
+        }
+        flags.push((name.to_string(), value.clone()));
+    }
+    Ok(flags)
+}
+
+fn flags_get(flags: &Flags, name: &str) -> Option<String> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.clone())
+}
+
+fn required(flags: &Flags, name: &str) -> Result<String, ParseArgsError> {
+    flags_get(flags, name).ok_or_else(|| ParseArgsError(format!("missing required --{name}")))
+}
+
+fn expect_no_extra(rest: &[String]) -> Result<(), ParseArgsError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(ParseArgsError(format!(
+            "unexpected arguments: {}",
+            rest.join(" ")
+        )))
+    }
+}
+
+fn parse_triple(s: &str) -> Result<(usize, usize, usize), ParseArgsError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(ParseArgsError(format!(
+            "expected W,L,C — got {s:?}"
+        )));
+    }
+    let mut nums = [0usize; 3];
+    for (slot, part) in nums.iter_mut().zip(&parts) {
+        *slot = part
+            .trim()
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad number {part:?} in {s:?}")))?;
+    }
+    Ok((nums[0], nums[1], nums[2]))
+}
+
+fn parse_tuple5(s: &str) -> Result<(usize, usize, usize, usize, usize), ParseArgsError> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 5 {
+        return Err(ParseArgsError(format!(
+            "expected DH,DL,DK,O,THETA — got {s:?}"
+        )));
+    }
+    let mut nums = [0usize; 5];
+    for (slot, part) in nums.iter_mut().zip(&parts) {
+        *slot = part
+            .trim()
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad number {part:?} in {s:?}")))?;
+    }
+    Ok((nums[0], nums[1], nums[2], nums[3], nums[4]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn train_with_task() {
+        let cmd = Command::parse(&argv(
+            "train --task ISOLET --config 4,4,3,22,3 --out m.uvsa --epochs 5 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Train {
+                task: Some("ISOLET".into()),
+                csv: None,
+                geometry: None,
+                config: (4, 4, 3, 22, 3),
+                epochs: 5,
+                seed: 7,
+                out: "m.uvsa".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn train_with_csv_needs_geometry() {
+        let err = Command::parse(&argv(
+            "train --csv d.csv --config 4,4,3,22,3 --out m.uvsa",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("--geometry"));
+        let ok = Command::parse(&argv(
+            "train --csv d.csv --geometry 4,8,2 --config 4,2,3,8,1 --out m.uvsa",
+        ))
+        .unwrap();
+        match ok {
+            Command::Train { geometry, .. } => assert_eq!(geometry, Some((4, 8, 2))),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_rejects_both_sources() {
+        let err = Command::parse(&argv(
+            "train --task HAR --csv d.csv --geometry 1,1,2 --config 4,2,3,8,1 --out m",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("exactly one"));
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let cmd = Command::parse(&argv("train --task HAR --config 8,4,3,18,3 --out m"))
+            .unwrap();
+        match cmd {
+            Command::Train { epochs, seed, .. } => {
+                assert_eq!(epochs, 20);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infer_info_rtl() {
+        assert_eq!(
+            Command::parse(&argv("infer --model m --csv d.csv")).unwrap(),
+            Command::Infer {
+                model: "m".into(),
+                csv: "d.csv".into()
+            }
+        );
+        assert_eq!(
+            Command::parse(&argv("info --model m")).unwrap(),
+            Command::Info { model: "m".into() }
+        );
+        assert_eq!(
+            Command::parse(&argv("rtl --model m --out-dir rtl")).unwrap(),
+            Command::Rtl {
+                model: "m".into(),
+                out_dir: "rtl".into()
+            }
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(Command::parse(&argv("frobnicate")).is_err());
+        assert!(Command::parse(&argv("info")).is_err());
+        assert!(Command::parse(&argv("info --model")).is_err());
+        assert!(Command::parse(&argv("info --model a --model b")).is_err());
+        assert!(Command::parse(&argv("tasks extra")).is_err());
+        assert!(Command::parse(&argv("train --task T --config 1,2,3 --out m")).is_err());
+        assert!(Command::parse(&argv("infer positional")).is_err());
+    }
+}

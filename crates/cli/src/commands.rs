@@ -1,0 +1,293 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::path::Path;
+
+use univsa::{load_model, save_model, TrainOptions, UniVsaConfig, UniVsaTrainer};
+use univsa_data::{csv, Dataset, TaskSpec};
+use univsa_hw::{export_weights, HwConfig, HwReport, RtlGenerator};
+
+use crate::args::USAGE;
+use crate::Command;
+
+/// Runs a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a boxed error with a user-facing message on any I/O, parsing,
+/// training, or inference failure.
+pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    match command {
+        Command::Help => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Tasks => {
+            writeln!(out, "built-in synthetic tasks (paper Table I geometry):")?;
+            for task in univsa_data::tasks::all(1) {
+                writeln!(
+                    out,
+                    "  {:10} {} classes, grid ({}, {}), {} train / {} test samples",
+                    task.spec.name,
+                    task.spec.classes,
+                    task.spec.width,
+                    task.spec.length,
+                    task.train.len(),
+                    task.test.len()
+                )?;
+            }
+            Ok(())
+        }
+        Command::Train {
+            task,
+            csv: csv_path,
+            geometry,
+            config,
+            epochs,
+            seed,
+            out: out_path,
+        } => {
+            let (train, test) = load_training_data(task.as_deref(), csv_path.as_deref(), geometry)?;
+            let (d_h, d_l, d_k, o, theta) = config;
+            let cfg = UniVsaConfig::for_task(train.spec())
+                .d_h(d_h)
+                .d_l(d_l)
+                .d_k(d_k)
+                .out_channels(o)
+                .voters(theta)
+                .build()?;
+            writeln!(
+                out,
+                "training UniVSA {:?} on {} ({} samples, {} epochs, seed {seed}) ...",
+                cfg.tuple(),
+                train.spec().name,
+                train.len(),
+                epochs
+            )?;
+            let trainer = UniVsaTrainer::new(
+                cfg,
+                TrainOptions {
+                    epochs,
+                    ..TrainOptions::default()
+                },
+            );
+            let outcome = trainer.fit(&train, seed)?;
+            if let Some(test) = test {
+                let acc = outcome.model.evaluate(&test)?;
+                writeln!(out, "held-out accuracy: {acc:.4}")?;
+            }
+            let bytes = save_model(&outcome.model)?;
+            std::fs::write(&out_path, &bytes)?;
+            writeln!(
+                out,
+                "saved {} ({} bytes, {:.2} KiB model memory)",
+                out_path,
+                bytes.len(),
+                outcome.model.memory_report().total_kib()
+            )?;
+            Ok(())
+        }
+        Command::Infer { model, csv: path } => {
+            let model = load_model(&std::fs::read(&model)?)?;
+            let cfg = model.config();
+            let spec = TaskSpec {
+                name: "csv".into(),
+                width: cfg.width,
+                length: cfg.length,
+                classes: cfg.classes,
+                levels: cfg.levels,
+            };
+            let data = csv::from_csv(&std::fs::read_to_string(&path)?, spec)?;
+            let mut correct = 0usize;
+            for (i, sample) in data.samples().iter().enumerate() {
+                let label = model.infer(&sample.values)?;
+                writeln!(out, "{i}: predicted {label} (true {})", sample.label)?;
+                if label == sample.label {
+                    correct += 1;
+                }
+            }
+            if !data.is_empty() {
+                writeln!(
+                    out,
+                    "accuracy: {:.4} ({correct}/{})",
+                    correct as f64 / data.len() as f64,
+                    data.len()
+                )?;
+            }
+            Ok(())
+        }
+        Command::Info { model } => {
+            let model = load_model(&std::fs::read(&model)?)?;
+            let cfg = model.config();
+            writeln!(out, "UniVSA model")?;
+            writeln!(
+                out,
+                "  geometry : grid ({}, {}), {} classes, {} levels",
+                cfg.width, cfg.length, cfg.classes, cfg.levels
+            )?;
+            writeln!(out, "  config   : (D_H, D_L, D_K, O, Θ) = {:?}", cfg.tuple())?;
+            writeln!(
+                out,
+                "  enhancements: dvp={} biconv={} soft_voting={}",
+                cfg.enhancements.dvp, cfg.enhancements.biconv, cfg.enhancements.soft_voting
+            )?;
+            let mem = model.memory_report();
+            writeln!(
+                out,
+                "  memory   : {:.2} KiB (V {} + K {} + F {} + C {} bits)",
+                mem.total_kib(),
+                mem.value_bits,
+                mem.kernel_bits,
+                mem.feature_bits,
+                mem.class_bits
+            )?;
+            let report = HwReport::for_config(&HwConfig::new(cfg));
+            writeln!(out, "  FPGA estimate (Zynq-ZU3EG @ 250 MHz):")?;
+            write!(out, "{report}")?;
+            Ok(())
+        }
+        Command::Rtl { model, out_dir } => {
+            let model = load_model(&std::fs::read(&model)?)?;
+            let dir = Path::new(&out_dir);
+            std::fs::create_dir_all(dir)?;
+            let bundle = RtlGenerator::new(HwConfig::new(model.config())).emit();
+            let weights = export_weights(&model);
+            let mut count = 0;
+            for f in bundle.files.iter().chain(&weights) {
+                std::fs::write(dir.join(&f.name), &f.contents)?;
+                count += 1;
+            }
+            writeln!(out, "wrote {count} files to {out_dir}/")?;
+            Ok(())
+        }
+    }
+}
+
+/// Loads the training (and optional held-out) split from a built-in task or
+/// a CSV file.
+fn load_training_data(
+    task: Option<&str>,
+    csv_path: Option<&str>,
+    geometry: Option<(usize, usize, usize)>,
+) -> Result<(Dataset, Option<Dataset>), Box<dyn Error>> {
+    if let Some(name) = task {
+        let task = univsa_data::tasks::by_name(name, 2025)
+            .ok_or_else(|| format!("unknown task {name:?}; run `univsa tasks`"))?;
+        return Ok((task.train, Some(task.test)));
+    }
+    let path = csv_path.expect("parser guarantees a source");
+    let (w, l, c) = geometry.expect("parser guarantees geometry with --csv");
+    let spec = TaskSpec {
+        name: path.to_string(),
+        width: w,
+        length: l,
+        classes: c,
+        levels: 256,
+    };
+    let data = csv::from_csv(&std::fs::read_to_string(path)?, spec)?;
+    Ok((data, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_string(cmd: Command) -> Result<String, Box<dyn Error>> {
+        let mut buf = Vec::new();
+        run(cmd, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_to_string(Command::Help).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("univsa train"));
+    }
+
+    #[test]
+    fn tasks_lists_all_six() {
+        let text = run_to_string(Command::Tasks).unwrap();
+        for name in ["EEGMMI", "BCI-III-V", "CHB-B", "CHB-IB", "ISOLET", "HAR"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn full_train_infer_info_rtl_flow() {
+        let dir = std::env::temp_dir().join(format!("univsa_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("train.csv");
+        let model_path = dir.join("model.uvsa");
+        let rtl_dir = dir.join("rtl");
+
+        // tiny two-class CSV dataset: class 0 low levels, class 1 high
+        let mut csv_text = String::new();
+        for i in 0..24 {
+            let label = i % 2;
+            let value = if label == 0 { 40 + i } else { 200 + i };
+            let row: Vec<String> = std::iter::once(label.to_string())
+                .chain((0..12).map(|j| ((value + j) % 256).to_string()))
+                .collect();
+            csv_text.push_str(&row.join(","));
+            csv_text.push('\n');
+        }
+        std::fs::write(&csv_path, &csv_text).unwrap();
+
+        // train
+        let text = run_to_string(Command::Train {
+            task: None,
+            csv: Some(csv_path.to_string_lossy().into_owned()),
+            geometry: Some((3, 4, 2)),
+            config: (4, 2, 3, 4, 1),
+            epochs: 3,
+            seed: 1,
+            out: model_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(text.contains("saved"), "{text}");
+
+        // infer on the same file
+        let text = run_to_string(Command::Infer {
+            model: model_path.to_string_lossy().into_owned(),
+            csv: csv_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(text.contains("accuracy:"), "{text}");
+
+        // info
+        let text = run_to_string(Command::Info {
+            model: model_path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(text.contains("memory"), "{text}");
+        assert!(text.contains("FPGA estimate"), "{text}");
+
+        // rtl emission
+        let text = run_to_string(Command::Rtl {
+            model: model_path.to_string_lossy().into_owned(),
+            out_dir: rtl_dir.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(text.contains("wrote"), "{text}");
+        assert!(rtl_dir.join("univsa_top.v").exists());
+        assert!(rtl_dir.join("vb_h.hex").exists());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_task_is_an_error() {
+        let err = run_to_string(Command::Train {
+            task: Some("MNIST".into()),
+            csv: None,
+            geometry: None,
+            config: (4, 2, 3, 4, 1),
+            epochs: 1,
+            seed: 1,
+            out: "/tmp/never.uvsa".into(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown task"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # univsa-cli
+//!
+//! Library backing the `univsa` command-line tool: argument parsing and the
+//! five subcommands —
+//!
+//! * `train`  — train a UniVSA model on a built-in synthetic task or a CSV
+//!   dataset and save the packed model.
+//! * `infer`  — classify a CSV dataset with a saved model (reports
+//!   accuracy when labels are present).
+//! * `info`   — print a saved model's configuration, Eq. 5 memory
+//!   breakdown, and estimated FPGA deployment cost.
+//! * `rtl`    — emit the parameterized Verilog bundle plus `$readmemh`
+//!   weight files for a saved model.
+//! * `tasks`  — list the built-in synthetic benchmark tasks.
+//!
+//! The parsing layer is exposed for testing; `main.rs` is a thin shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{Command, ParseArgsError};
+pub use commands::run;

@@ -1,0 +1,165 @@
+//! Fault injection: bit-flip corruption of deployed models.
+//!
+//! Binary VSA's claim to hardware friendliness rests partly on holographic
+//! robustness: every bit of **V**, **F**, **K**, **C** carries the same
+//! tiny share of the decision, so single-event upsets (radiation, weak
+//! retention in low-voltage SRAM) degrade accuracy gracefully instead of
+//! catastrophically — unlike a float MSB flip. This module makes that
+//! claim testable: [`UniVsaModel::with_bit_flips`] returns a copy of a
+//! model with every stored weight bit flipped independently with
+//! probability `rate`. This is an *extension* experiment beyond the
+//! paper's evaluation (see `ext_robustness` in the bench crate).
+
+use rand::Rng;
+use univsa_bits::{BitMatrix, BitVec};
+
+use crate::UniVsaModel;
+
+impl UniVsaModel {
+    /// Returns a copy of the model with every stored weight bit flipped
+    /// independently with probability `rate` (the DVP mask and the
+    /// configuration are metadata, not weight memory, and are left
+    /// intact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    pub fn with_bit_flips<R: Rng + ?Sized>(&self, rate: f64, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "flip rate must be in [0, 1]");
+        let mut copy = self.clone();
+        if rate == 0.0 {
+            return copy;
+        }
+        copy.corrupt_in_place(rate, rng);
+        copy
+    }
+
+    pub(crate) fn corrupt_in_place<R: Rng + ?Sized>(&mut self, rate: f64, rng: &mut R) {
+        let d_h = self.config().d_h;
+        let (v_h, v_l, kernel, f, c) = self.weights_mut();
+        flip_matrix(v_h, rate, rng);
+        flip_matrix(v_l, rate, rng);
+        for word in kernel.iter_mut() {
+            for bit in 0..d_h {
+                if rng.gen_bool(rate) {
+                    *word ^= 1 << bit;
+                }
+            }
+        }
+        flip_matrix(f, rate, rng);
+        for set in c.iter_mut() {
+            flip_matrix(set, rate, rng);
+        }
+    }
+}
+
+fn flip_matrix<R: Rng + ?Sized>(m: &mut BitMatrix, rate: f64, rng: &mut R) {
+    for row_idx in 0..m.rows() {
+        let row = m.row_mut(row_idx);
+        flip_vec(row, rate, rng);
+    }
+}
+
+fn flip_vec<R: Rng + ?Sized>(v: &mut BitVec, rate: f64, rng: &mut R) {
+    for i in 0..v.dim() {
+        if rng.gen_bool(rate) {
+            let current = v.get(i) == Some(true);
+            v.set(i, !current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Enhancements, Mask, UniVsaConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use univsa_data::TaskSpec;
+
+    fn model(seed: u64) -> UniVsaModel {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 4,
+            length: 6,
+            classes: 2,
+            levels: 8,
+        };
+        let cfg = UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(2)
+            .d_k(3)
+            .out_channels(6)
+            .voters(2)
+            .enhancements(Enhancements::all())
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        UniVsaModel::from_parts(
+            cfg.clone(),
+            Mask::all_high(cfg.features()),
+            BitMatrix::random(cfg.levels, cfg.d_h, &mut rng),
+            BitMatrix::random(cfg.levels, cfg.d_l, &mut rng),
+            (0..cfg.out_channels * 9).map(|_| rand::Rng::gen::<u64>(&mut rng) & 0xF).collect(),
+            BitMatrix::random(cfg.out_channels, cfg.vsa_dim(), &mut rng),
+            vec![
+                BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng),
+                BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let m = model(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.with_bit_flips(0.0, &mut rng), m);
+    }
+
+    #[test]
+    fn full_rate_flips_everything() {
+        let m = model(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let flipped = m.with_bit_flips(1.0, &mut rng);
+        // every V bit inverted
+        for r in 0..m.v_h().rows() {
+            assert_eq!(flipped.v_h().row(r), &m.v_h().row(r).not());
+        }
+        for (a, b) in m.kernel_words().iter().zip(flipped.kernel_words()) {
+            assert_eq!(a ^ b, 0xF, "kernel channel bits must all flip");
+        }
+    }
+
+    #[test]
+    fn small_rate_changes_few_bits() {
+        let m = model(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let flipped = m.with_bit_flips(0.01, &mut rng);
+        let mut changed = 0u32;
+        for r in 0..m.f().rows() {
+            changed += m.f().row(r).hamming(flipped.f().row(r)).unwrap();
+        }
+        let total = m.f().storage_bits() as f64;
+        assert!((changed as f64) < total * 0.05, "{changed} of {total} flipped");
+        assert!(flipped != m || changed == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip rate")]
+    fn rejects_bad_rate() {
+        let m = model(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = m.with_bit_flips(1.5, &mut rng);
+    }
+
+    #[test]
+    fn corrupted_model_still_infers() {
+        let m = model(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let flipped = m.with_bit_flips(0.2, &mut rng);
+        let values: Vec<u8> = (0..24).map(|i| (i % 8) as u8).collect();
+        let label = flipped.infer(&values).unwrap();
+        assert!(label < 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Discriminated value projection: building the packed value-vector map.
+
+use univsa_bits::BitMatrix;
+
+use crate::{Mask, UniVsaError};
+
+/// The packed value-vector map of one sample: for every grid position a
+/// `D_H`-bit channel word (bit `c` = bipolar channel value `+1`).
+///
+/// High-importance features take their full `D_H` bits from `VB_H`'s table;
+/// low-importance features take `D_L` bits from `VB_L`'s table and fill the
+/// remaining `D_H − D_L` channels with constant `+1`. The constant fill is
+/// the zero-memory choice consistent with Eq. 5, which charges
+/// `M × (D_H + D_L)` bits for **V** and nothing else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueMap {
+    words: Vec<u64>,
+    d_h: usize,
+    width: usize,
+    length: usize,
+}
+
+impl ValueMap {
+    /// Builds the map for one sample.
+    ///
+    /// `values` holds `W·L` discretized levels; `mask` flags high-importance
+    /// features; `v_h`/`v_l` are the exported ValueBox tables (`M × D_H`
+    /// and `M × D_L`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Input`] if lengths disagree, a level is out
+    /// of table range, or `D_L > D_H`/`D_H > 64`.
+    pub fn build(
+        values: &[u8],
+        mask: &Mask,
+        v_h: &BitMatrix,
+        v_l: &BitMatrix,
+        width: usize,
+        length: usize,
+    ) -> Result<Self, UniVsaError> {
+        let n = width * length;
+        if values.len() != n {
+            return Err(UniVsaError::Input(format!(
+                "expected {n} values for a ({width}, {length}) grid, got {}",
+                values.len()
+            )));
+        }
+        if mask.len() != n {
+            return Err(UniVsaError::Input(format!(
+                "mask covers {} features, grid has {n}",
+                mask.len()
+            )));
+        }
+        let d_h = v_h.dim();
+        let d_l = v_l.dim();
+        if d_h > 64 {
+            return Err(UniVsaError::Input(format!(
+                "D_H = {d_h} exceeds the packed-word limit of 64"
+            )));
+        }
+        if d_l > d_h {
+            return Err(UniVsaError::Input(format!(
+                "D_L = {d_l} must not exceed D_H = {d_h}"
+            )));
+        }
+        let mut words = Vec::with_capacity(n);
+        for (i, &level) in values.iter().enumerate() {
+            let level = level as usize;
+            let word = if mask.is_high(i) {
+                let row = v_h.get(level).ok_or_else(|| {
+                    UniVsaError::Input(format!(
+                        "level {level} out of range for VB_H table of {} rows",
+                        v_h.rows()
+                    ))
+                })?;
+                row.as_words().first().copied().unwrap_or(0)
+            } else {
+                let row = v_l.get(level).ok_or_else(|| {
+                    UniVsaError::Input(format!(
+                        "level {level} out of range for VB_L table of {} rows",
+                        v_l.rows()
+                    ))
+                })?;
+                let low = row.as_words().first().copied().unwrap_or(0);
+                // channels d_l..d_h are constant +1 (bit 1)
+                let fill = if d_h == d_l {
+                    0
+                } else {
+                    (word_mask(d_h)) & !(word_mask(d_l))
+                };
+                low | fill
+            };
+            words.push(word);
+        }
+        Ok(Self {
+            words,
+            d_h,
+            width,
+            length,
+        })
+    }
+
+    /// Channel depth `D_H`.
+    #[inline]
+    pub fn d_h(&self) -> usize {
+        self.d_h
+    }
+
+    /// Grid height `W`.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid width `L`.
+    #[inline]
+    pub fn length(&self) -> usize {
+        self.length
+    }
+
+    /// The packed channel word at flat position `pos = w·L + l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    #[inline]
+    pub fn word(&self, pos: usize) -> u64 {
+        self.words[pos]
+    }
+
+    /// The packed channel word at grid coordinates, or `None` out of
+    /// bounds — boundary probes during convolution use this.
+    #[inline]
+    pub fn word_at(&self, w: isize, l: isize) -> Option<u64> {
+        if w < 0 || l < 0 || w >= self.width as isize || l >= self.length as isize {
+            None
+        } else {
+            Some(self.words[w as usize * self.length + l as usize])
+        }
+    }
+
+    /// Bipolar channel value (`±1`) of channel `c` at flat position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` or `c` is out of range.
+    pub fn bipolar(&self, pos: usize, c: usize) -> i32 {
+        assert!(c < self.d_h, "channel {c} out of range");
+        if (self.words[pos] >> c) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+/// Mask with the low `bits` bits set (`bits ≤ 64`).
+fn word_mask(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tables(seed: u64, m: usize, d_h: usize, d_l: usize) -> (BitMatrix, BitMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            BitMatrix::random(m, d_h, &mut rng),
+            BitMatrix::random(m, d_l, &mut rng),
+        )
+    }
+
+    #[test]
+    fn high_features_use_vh() {
+        let (vh, vl) = tables(0, 4, 8, 2);
+        let mask = Mask::all_high(4);
+        let vm = ValueMap::build(&[0, 1, 2, 3], &mask, &vh, &vl, 2, 2).unwrap();
+        for pos in 0..4 {
+            assert_eq!(vm.word(pos), vh.row(pos).as_words()[0]);
+        }
+    }
+
+    #[test]
+    fn low_features_pad_with_plus_one() {
+        let (vh, vl) = tables(1, 4, 8, 2);
+        let mask = Mask::from_bits(vec![false; 4]);
+        let vm = ValueMap::build(&[0, 1, 2, 3], &mask, &vh, &vl, 2, 2).unwrap();
+        for pos in 0..4 {
+            // low 2 bits from VB_L
+            let expect_low = vl.row(pos).as_words()[0] & 0b11;
+            assert_eq!(vm.word(pos) & 0b11, expect_low);
+            // channels 2..8 all +1
+            for c in 2..8 {
+                assert_eq!(vm.bipolar(pos, c), 1);
+            }
+            // channels 8..64 untouched (zero)
+            assert_eq!(vm.word(pos) >> 8, 0);
+        }
+    }
+
+    #[test]
+    fn word_at_boundary() {
+        let (vh, vl) = tables(2, 2, 4, 2);
+        let mask = Mask::all_high(4);
+        let vm = ValueMap::build(&[0, 1, 0, 1], &mask, &vh, &vl, 2, 2).unwrap();
+        assert!(vm.word_at(-1, 0).is_none());
+        assert!(vm.word_at(0, 2).is_none());
+        assert_eq!(vm.word_at(1, 1), Some(vm.word(3)));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let (vh, vl) = tables(3, 4, 4, 2);
+        let mask = Mask::all_high(4);
+        assert!(ValueMap::build(&[0, 1], &mask, &vh, &vl, 2, 2).is_err());
+        let short_mask = Mask::all_high(2);
+        assert!(ValueMap::build(&[0, 1, 2, 3], &short_mask, &vh, &vl, 2, 2).is_err());
+    }
+
+    #[test]
+    fn rejects_level_out_of_range() {
+        let (vh, vl) = tables(4, 2, 4, 2);
+        let mask = Mask::all_high(1);
+        assert!(ValueMap::build(&[5], &mask, &vh, &vl, 1, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_dl_above_dh() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let vh = BitMatrix::random(2, 2, &mut rng);
+        let vl = BitMatrix::random(2, 4, &mut rng);
+        let mask = Mask::all_high(1);
+        assert!(ValueMap::build(&[0], &mask, &vh, &vl, 1, 1).is_err());
+    }
+
+    #[test]
+    fn full_width_dl_no_fill() {
+        let (vh, vl) = tables(6, 4, 8, 8);
+        let mask = Mask::from_bits(vec![false; 1]);
+        let vm = ValueMap::build(&[2], &mask, &vh, &vl, 1, 1).unwrap();
+        assert_eq!(vm.word(0), vl.row(2).as_words()[0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the UniVSA crate.
+
+use std::error::Error;
+use std::fmt;
+
+use univsa_bits::DimMismatchError;
+use univsa_tensor::ShapeError;
+
+/// Errors produced by UniVSA configuration, training, and inference.
+#[derive(Debug)]
+pub enum UniVsaError {
+    /// A configuration value is invalid or inconsistent.
+    Config(String),
+    /// A tensor operation received incompatible shapes.
+    Shape(ShapeError),
+    /// A packed bit operation received mismatched dimensions.
+    Dim(DimMismatchError),
+    /// Input data does not match the model geometry.
+    Input(String),
+    /// Model (de)serialization failed.
+    Serialize(String),
+}
+
+impl fmt::Display for UniVsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Shape(e) => write!(f, "{e}"),
+            Self::Dim(e) => write!(f, "{e}"),
+            Self::Input(msg) => write!(f, "invalid input: {msg}"),
+            Self::Serialize(msg) => write!(f, "serialization failed: {msg}"),
+        }
+    }
+}
+
+impl Error for UniVsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Shape(e) => Some(e),
+            Self::Dim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for UniVsaError {
+    fn from(e: ShapeError) -> Self {
+        Self::Shape(e)
+    }
+}
+
+impl From<DimMismatchError> for UniVsaError {
+    fn from(e: DimMismatchError) -> Self {
+        Self::Dim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = UniVsaError::Config("bad".into());
+        assert!(e.to_string().contains("invalid configuration"));
+        let e: UniVsaError = ShapeError::new("x").into();
+        assert!(e.to_string().contains("shape error"));
+        let e: UniVsaError = DimMismatchError { left: 1, right: 2 }.into();
+        assert!(e.to_string().contains("dimension mismatch"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e: UniVsaError = ShapeError::new("x").into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = UniVsaError::Config("c".into());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UniVsaError>();
+    }
+}

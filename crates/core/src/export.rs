@@ -1,0 +1,154 @@
+//! Model (de)serialization.
+//!
+//! Models serialize through a small framed binary container built on
+//! [`bytes`]: a 8-byte magic, a format version, and a JSON payload (the
+//! packed bit sets serialize compactly as word arrays). JSON keeps the
+//! format debuggable; the dominant payload is the packed words either way.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{UniVsaError, UniVsaModel};
+
+const MAGIC: &[u8; 8] = b"UNIVSA\0\x01";
+const VERSION: u32 = 1;
+
+/// Serializes a model to a framed byte buffer.
+///
+/// # Errors
+///
+/// Returns [`UniVsaError::Serialize`] if JSON encoding fails (cannot happen
+/// for well-formed models; kept fallible for forward compatibility).
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn demo(model: &univsa::UniVsaModel) -> Result<(), univsa::UniVsaError> {
+/// let bytes = univsa::save_model(model)?;
+/// let restored = univsa::load_model(&bytes)?;
+/// assert_eq!(&restored, model);
+/// # Ok(())
+/// # }
+/// ```
+pub fn save_model(model: &UniVsaModel) -> Result<Bytes, UniVsaError> {
+    let payload = serde_json::to_vec(model)
+        .map_err(|e| UniVsaError::Serialize(format!("encode: {e}")))?;
+    let mut buf = BytesMut::with_capacity(16 + payload.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    Ok(buf.freeze())
+}
+
+/// Restores a model from a buffer produced by [`save_model`].
+///
+/// # Errors
+///
+/// Returns [`UniVsaError::Serialize`] on a bad magic, unsupported version,
+/// truncated buffer, or malformed payload.
+pub fn load_model(bytes: &[u8]) -> Result<UniVsaModel, UniVsaError> {
+    let mut buf = bytes;
+    if buf.len() < 16 {
+        return Err(UniVsaError::Serialize("buffer too short".into()));
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(UniVsaError::Serialize("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(UniVsaError::Serialize(format!(
+            "unsupported format version {version}"
+        )));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(UniVsaError::Serialize(format!(
+            "payload truncated: expected {len} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    serde_json::from_slice(&buf[..len])
+        .map_err(|e| UniVsaError::Serialize(format!("decode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Enhancements, Mask, UniVsaConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use univsa_bits::BitMatrix;
+    use univsa_data::TaskSpec;
+
+    fn model(seed: u64) -> UniVsaModel {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 3,
+            length: 4,
+            classes: 2,
+            levels: 4,
+        };
+        let cfg = UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(2)
+            .d_k(3)
+            .out_channels(4)
+            .voters(1)
+            .enhancements(Enhancements::all())
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        UniVsaModel::from_parts(
+            cfg.clone(),
+            Mask::all_high(cfg.features()),
+            BitMatrix::random(4, 4, &mut rng),
+            BitMatrix::random(4, 2, &mut rng),
+            (0..4 * 9).map(|i| i as u64 & 0xF).collect(),
+            BitMatrix::random(4, 12, &mut rng),
+            vec![BitMatrix::random(2, 12, &mut rng)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = model(0);
+        let bytes = save_model(&m).unwrap();
+        let restored = load_model(&bytes).unwrap();
+        assert_eq!(restored, m);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let m = model(1);
+        let bytes = save_model(&m).unwrap();
+        assert!(load_model(&bytes[..bytes.len() - 4]).is_err());
+        assert!(load_model(&bytes[..4]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let m = model(2);
+        let mut bytes = save_model(&m).unwrap().to_vec();
+        bytes[0] = b'X';
+        assert!(load_model(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let m = model(3);
+        let mut bytes = save_model(&m).unwrap().to_vec();
+        bytes[8] = 99;
+        assert!(load_model(&bytes).is_err());
+    }
+
+    #[test]
+    fn restored_model_infers_identically() {
+        let m = model(4);
+        let restored = load_model(&save_model(&m).unwrap()).unwrap();
+        let values: Vec<u8> = (0..12).map(|i| (i % 4) as u8).collect();
+        assert_eq!(m.infer(&values).unwrap(), restored.infer(&values).unwrap());
+    }
+}

@@ -1,0 +1,247 @@
+//! Feature-importance mask for discriminated value projection.
+
+use serde::{Deserialize, Serialize};
+use univsa_data::Dataset;
+
+use crate::UniVsaError;
+
+/// The input-wise binary importance mask of the paper's DVP module.
+///
+/// Features marked `true` are *high-importance* and routed through the wide
+/// ValueBox `VB_H`; features marked `false` are low-importance and use the
+/// narrow `VB_L`.
+///
+/// The paper derives the mask with a wrapper feature-subset-selection
+/// strategy; this implementation ranks features by the mutual information
+/// between their (coarsely re-binned) value and the class label on the
+/// training split, then keeps the top fraction — the same role with a much
+/// cheaper, deterministic estimator.
+///
+/// # Examples
+///
+/// ```
+/// use univsa::Mask;
+/// let m = Mask::all_high(4);
+/// assert_eq!(m.high_count(), 4);
+/// assert!(m.is_high(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mask {
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// A mask marking every feature high-importance (DVP disabled).
+    pub fn all_high(features: usize) -> Self {
+        Self {
+            bits: vec![true; features],
+        }
+    }
+
+    /// Builds a mask from explicit per-feature flags.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// Learns a mask from a training split: ranks features by mutual
+    /// information with the label and marks the top `high_fraction` as
+    /// high-importance (at least one feature is always high).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Input`] if the dataset is empty or
+    /// `high_fraction` is outside `(0, 1]`.
+    pub fn learn(dataset: &Dataset, high_fraction: f32) -> Result<Self, UniVsaError> {
+        if dataset.is_empty() {
+            return Err(UniVsaError::Input(
+                "cannot learn a mask from an empty dataset".into(),
+            ));
+        }
+        if !(high_fraction > 0.0 && high_fraction <= 1.0) {
+            return Err(UniVsaError::Input(format!(
+                "high_fraction {high_fraction} must be in (0, 1]"
+            )));
+        }
+        let n = dataset.spec().features();
+        let scores = mutual_information(dataset);
+        let mut order: Vec<usize> = (0..n).collect();
+        // descending score; ties broken by index for determinism
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let keep = ((n as f32 * high_fraction).round() as usize).clamp(1, n);
+        let mut bits = vec![false; n];
+        for &i in order.iter().take(keep) {
+            bits[i] = true;
+        }
+        Ok(Self { bits })
+    }
+
+    /// Number of features covered by the mask.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the mask covers zero features.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Whether feature `i` is high-importance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn is_high(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Count of high-importance features.
+    pub fn high_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// The raw flags.
+    #[inline]
+    pub fn as_bits(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+/// Per-feature mutual information `I(feature; label)` with features
+/// re-binned to 8 coarse bins (MI over 256 raw levels would be hopelessly
+/// undersampled on small training sets).
+fn mutual_information(dataset: &Dataset) -> Vec<f64> {
+    const BINS: usize = 8;
+    let n = dataset.spec().features();
+    let classes = dataset.spec().classes;
+    let levels = dataset.spec().levels;
+    let total = dataset.len() as f64;
+    let class_counts = dataset.class_counts();
+    let p_class: Vec<f64> = class_counts.iter().map(|&c| c as f64 / total).collect();
+
+    let mut scores = vec![0.0f64; n];
+    let mut joint = vec![0usize; BINS * classes];
+    for (f, score) in scores.iter_mut().enumerate() {
+        joint.fill(0);
+        for s in dataset.samples() {
+            let bin = (s.values[f] as usize * BINS) / levels;
+            joint[bin * classes + s.label] += 1;
+        }
+        let mut mi = 0.0f64;
+        let mut occupied_bins = 0usize;
+        for bin in 0..BINS {
+            let p_bin: f64 =
+                joint[bin * classes..(bin + 1) * classes].iter().sum::<usize>() as f64 / total;
+            if p_bin == 0.0 {
+                continue;
+            }
+            occupied_bins += 1;
+            for c in 0..classes {
+                let pj = joint[bin * classes + c] as f64 / total;
+                if pj > 0.0 && p_class[c] > 0.0 {
+                    mi += pj * (pj / (p_bin * p_class[c])).ln();
+                }
+            }
+        }
+        // Miller–Madow bias correction: a feature spread over many bins
+        // accumulates ≈ (B−1)(C−1)/(2N) nats of spurious MI from sampling
+        // noise alone; without the correction, wide pure-noise features
+        // outrank tight but uninformative ones.
+        let bias = (occupied_bins.saturating_sub(1) * (classes - 1)) as f64 / (2.0 * total);
+        *score = mi - bias;
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa_data::{Sample, TaskSpec};
+
+    /// Dataset where feature 0 fully determines the label and feature 1 is
+    /// constant noise.
+    fn informative_dataset() -> Dataset {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 1,
+            length: 3,
+            classes: 2,
+            levels: 256,
+        };
+        let mut samples = Vec::new();
+        for i in 0..40 {
+            let label = i % 2;
+            samples.push(Sample {
+                values: vec![if label == 0 { 10 } else { 240 }, 128, (i * 6) as u8],
+                label,
+            });
+        }
+        Dataset::new(spec, samples).unwrap()
+    }
+
+    #[test]
+    fn informative_feature_ranked_high() {
+        let ds = informative_dataset();
+        let m = Mask::learn(&ds, 1.0 / 3.0).unwrap();
+        assert_eq!(m.high_count(), 1);
+        assert!(m.is_high(0), "the label-determining feature must be kept");
+    }
+
+    #[test]
+    fn all_high_when_fraction_one() {
+        let ds = informative_dataset();
+        let m = Mask::learn(&ds, 1.0).unwrap();
+        assert_eq!(m.high_count(), 3);
+    }
+
+    #[test]
+    fn at_least_one_high() {
+        let ds = informative_dataset();
+        let m = Mask::learn(&ds, 0.0001).unwrap();
+        assert_eq!(m.high_count(), 1);
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 1,
+            length: 1,
+            classes: 2,
+            levels: 2,
+        };
+        let ds = Dataset::new(spec, vec![]).unwrap();
+        assert!(Mask::learn(&ds, 0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_fraction() {
+        let ds = informative_dataset();
+        assert!(Mask::learn(&ds, 0.0).is_err());
+        assert!(Mask::learn(&ds, 1.5).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = informative_dataset();
+        assert_eq!(
+            Mask::learn(&ds, 0.5).unwrap(),
+            Mask::learn(&ds, 0.5).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let m = Mask::from_bits(vec![true, false, true]);
+        assert_eq!(m.as_bits(), &[true, false, true]);
+        assert_eq!(m.high_count(), 2);
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! The paper's hardware-overhead models: memory (Eq. 5), resource (Eq. 6),
+//! and the combined hardware loss (Eq. 7).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Enhancements, UniVsaConfig};
+
+/// Per-component memory footprint of a UniVSA model, in bits.
+///
+/// Implements the paper's Eq. 5,
+/// `Memory = M·(D_H + D_L) + O·D_H·D_K² + W·L·O + W·L·Θ·C`,
+/// adjusted for whichever enhancements are active (a disabled DVP drops the
+/// `VB_L` table; a disabled BiConv drops the kernel and encodes directly
+/// over the `D_H` value channels; disabled soft voting forces `Θ = 1`).
+///
+/// # Examples
+///
+/// ```
+/// use univsa::{MemoryReport, UniVsaConfig};
+/// use univsa_data::TaskSpec;
+/// let spec = TaskSpec { name: "t".into(), width: 16, length: 40, classes: 26, levels: 256 };
+/// let cfg = UniVsaConfig::for_task(&spec)
+///     .d_h(4).d_l(4).d_k(3).out_channels(22).voters(3).build()?;
+/// let report = MemoryReport::for_config(&cfg);
+/// // ISOLET config: paper reports 8.36 KB
+/// assert!((report.total_kib() - 8.36).abs() < 0.5);
+/// # Ok::<(), univsa::UniVsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Value-box tables **V**: `M·D_H (+ M·D_L with DVP)` bits.
+    pub value_bits: usize,
+    /// Convolution kernels **K**: `O·D_H·D_K²` bits (0 without BiConv).
+    pub kernel_bits: usize,
+    /// Feature vectors **F**: `W·L·O` bits.
+    pub feature_bits: usize,
+    /// Class vectors **C**: `W·L·Θ·C` bits.
+    pub class_bits: usize,
+}
+
+impl MemoryReport {
+    /// Evaluates the memory model for a configuration.
+    pub fn for_config(config: &UniVsaConfig) -> Self {
+        let d = config.vsa_dim();
+        let value_bits = config.levels * config.d_h
+            + if config.enhancements.dvp {
+                config.levels * config.d_l
+            } else {
+                0
+            };
+        let kernel_bits = if config.enhancements.biconv {
+            config.out_channels * config.d_h * config.d_k * config.d_k
+        } else {
+            0
+        };
+        let feature_bits = d * config.encoding_channels();
+        let class_bits = d * config.effective_voters() * config.classes;
+        Self {
+            value_bits,
+            kernel_bits,
+            feature_bits,
+            class_bits,
+        }
+    }
+
+    /// Total footprint in bits.
+    pub fn total_bits(&self) -> usize {
+        self.value_bits + self.kernel_bits + self.feature_bits + self.class_bits
+    }
+
+    /// Total footprint in KiB (bits / 8 / 1024).
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+/// The paper's Eq. 6 resource estimate in units of the coefficient `β`:
+/// `Resource / β ≈ D_K · O · D_H` — the BiConv datapath dominates resource
+/// usage, so the estimate tracks its kernel size and channel widths.
+///
+/// Without BiConv the convolution datapath disappears and the estimate
+/// falls back to the encoding datapath width `D_H`.
+pub fn resource_estimate(config: &UniVsaConfig) -> f64 {
+    if config.enhancements.biconv {
+        (config.d_k * config.out_channels * config.d_h) as f64
+    } else {
+        config.d_h as f64
+    }
+}
+
+/// The paper's Eq. 7 combined hardware penalty:
+/// `L_HW = λ₁·Memory/M₀ + λ₂·Resource/R₀`,
+/// with the basis `(M₀, R₀)` evaluated at the paper's reference
+/// configuration `(D_H, D_L, D_K, O, Θ, M) = (4, 2, 3, 64, 1, 256)` on the
+/// same task geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareLoss {
+    /// Memory weight `λ₁` (paper: 0.005).
+    pub lambda_memory: f64,
+    /// Resource weight `λ₂` (paper: 0.005).
+    pub lambda_resource: f64,
+}
+
+impl HardwareLoss {
+    /// The paper's evaluation setting `λ₁ = λ₂ = 0.005`.
+    pub fn paper() -> Self {
+        Self {
+            lambda_memory: 0.005,
+            lambda_resource: 0.005,
+        }
+    }
+
+    /// Evaluates `L_HW` for a configuration.
+    pub fn evaluate(&self, config: &UniVsaConfig) -> f64 {
+        let basis = basis_config(config);
+        let m0 = MemoryReport::for_config(&basis).total_bits() as f64;
+        let r0 = resource_estimate(&basis);
+        let m = MemoryReport::for_config(config).total_bits() as f64;
+        let r = resource_estimate(config);
+        self.lambda_memory * m / m0 + self.lambda_resource * r / r0
+    }
+}
+
+impl Default for HardwareLoss {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The paper's basis configuration on the given task geometry.
+fn basis_config(config: &UniVsaConfig) -> UniVsaConfig {
+    UniVsaConfig {
+        d_h: 4,
+        d_l: 2,
+        d_k: 3,
+        out_channels: 64,
+        voters: 1,
+        levels: 256,
+        enhancements: Enhancements::all(),
+        ..config.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa_data::TaskSpec;
+
+    fn config(
+        d_h: usize,
+        d_l: usize,
+        d_k: usize,
+        o: usize,
+        theta: usize,
+        w: usize,
+        l: usize,
+        c: usize,
+    ) -> UniVsaConfig {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: w,
+            length: l,
+            classes: c,
+            levels: 256,
+        };
+        UniVsaConfig::for_task(&spec)
+            .d_h(d_h)
+            .d_l(d_l)
+            .d_k(d_k)
+            .out_channels(o)
+            .voters(theta)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eq5_components() {
+        let c = config(8, 2, 3, 95, 1, 16, 64, 2);
+        let r = MemoryReport::for_config(&c);
+        assert_eq!(r.value_bits, 256 * (8 + 2));
+        assert_eq!(r.kernel_bits, 95 * 8 * 9);
+        assert_eq!(r.feature_bits, 16 * 64 * 95);
+        assert_eq!(r.class_bits, 16 * 64 * 1 * 2);
+        assert_eq!(
+            r.total_bits(),
+            256 * 10 + 95 * 72 + 1024 * 95 + 1024 * 2
+        );
+    }
+
+    /// The paper's Table II memory column for UniVSA should be reproduced
+    /// by Eq. 5 to within rounding: EEGMMI 13.59 KB, ISOLET 8.36 KB,
+    /// HAR 3.14 KB, BCI-III-V 3.57 KB.
+    #[test]
+    fn table2_memory_shapes() {
+        let eegmmi = MemoryReport::for_config(&config(8, 2, 3, 95, 1, 16, 64, 2));
+        assert!(
+            (eegmmi.total_kib() - 13.59).abs() < 0.6,
+            "EEGMMI {:.2}",
+            eegmmi.total_kib()
+        );
+        let isolet = MemoryReport::for_config(&config(4, 4, 3, 22, 3, 16, 40, 26));
+        assert!(
+            (isolet.total_kib() - 8.36).abs() < 0.6,
+            "ISOLET {:.2}",
+            isolet.total_kib()
+        );
+        let har = MemoryReport::for_config(&config(8, 4, 3, 18, 3, 16, 36, 6));
+        assert!(
+            (har.total_kib() - 3.14).abs() < 0.6,
+            "HAR {:.2}",
+            har.total_kib()
+        );
+        let bci = MemoryReport::for_config(&config(8, 1, 3, 151, 3, 16, 6, 3));
+        assert!(
+            (bci.total_kib() - 3.57).abs() < 0.6,
+            "BCI {:.2}",
+            bci.total_kib()
+        );
+    }
+
+    #[test]
+    fn disabled_enhancements_shrink_memory() {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 8,
+            length: 8,
+            classes: 2,
+            levels: 256,
+        };
+        let full = UniVsaConfig::for_task(&spec)
+            .d_h(8)
+            .d_l(2)
+            .voters(3)
+            .out_channels(16)
+            .build()
+            .unwrap();
+        let bare = UniVsaConfig::for_task(&spec)
+            .d_h(8)
+            .d_l(2)
+            .voters(3)
+            .out_channels(16)
+            .enhancements(Enhancements::none())
+            .build()
+            .unwrap();
+        let mf = MemoryReport::for_config(&full);
+        let mb = MemoryReport::for_config(&bare);
+        assert_eq!(mb.kernel_bits, 0);
+        assert!(mb.value_bits < mf.value_bits);
+        assert!(mb.class_bits < mf.class_bits);
+    }
+
+    #[test]
+    fn resource_tracks_conv_size() {
+        let small = config(4, 2, 3, 16, 1, 8, 8, 2);
+        let big = config(8, 2, 5, 64, 1, 8, 8, 2);
+        assert!(resource_estimate(&big) > resource_estimate(&small));
+        assert_eq!(resource_estimate(&small), (3 * 16 * 4) as f64);
+    }
+
+    #[test]
+    fn basis_loss_is_lambda_sum() {
+        // at the basis configuration both ratios are 1
+        let c = config(4, 2, 3, 64, 1, 8, 8, 2);
+        let loss = HardwareLoss::paper().evaluate(&c);
+        assert!((loss - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_monotone_in_config_size() {
+        let small = config(4, 2, 3, 16, 1, 8, 8, 2);
+        let big = config(16, 8, 5, 64, 5, 8, 8, 2);
+        let hl = HardwareLoss::paper();
+        assert!(hl.evaluate(&big) > hl.evaluate(&small));
+    }
+}

@@ -1,0 +1,347 @@
+//! The frozen, packed UniVSA model.
+
+use serde::{Deserialize, Serialize};
+use univsa_bits::BitMatrix;
+
+use crate::{Mask, MemoryReport, UniVsaConfig, UniVsaError};
+
+/// A trained UniVSA model in its deployment form: only the packed binary
+/// weight sets the paper's hardware stores — value tables **V** (`VB_H` and
+/// `VB_L`), convolution kernels **K**, feature vectors **F**, and class
+/// vectors **C** — plus the DVP mask. Inference is pure XNOR/popcount;
+/// no float ever appears.
+///
+/// Construct via [`crate::UniVsaTrainer::fit`] (training) or
+/// [`UniVsaModel::from_parts`] (e.g. when loading hand-built weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniVsaModel {
+    config: UniVsaConfig,
+    mask: Mask,
+    v_h: BitMatrix,
+    v_l: BitMatrix,
+    /// Packed kernels: word `o·D_K² + ky·D_K + kx` holds the `D_H` channel
+    /// bits of kernel tap `(ky, kx)` for output channel `o`. Empty when
+    /// BiConv is disabled.
+    kernel: Vec<u64>,
+    f: BitMatrix,
+    c: Vec<BitMatrix>,
+}
+
+impl UniVsaModel {
+    /// Assembles a model from its packed parts, validating every dimension
+    /// against the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Config`] describing the first inconsistency:
+    /// wrong table sizes, kernel word count, feature/class vector
+    /// dimensions, or mask length.
+    pub fn from_parts(
+        config: UniVsaConfig,
+        mask: Mask,
+        v_h: BitMatrix,
+        v_l: BitMatrix,
+        kernel: Vec<u64>,
+        f: BitMatrix,
+        c: Vec<BitMatrix>,
+    ) -> Result<Self, UniVsaError> {
+        let err = |msg: String| Err(UniVsaError::Config(msg));
+        let d = config.vsa_dim();
+        if mask.len() != config.features() {
+            return err(format!(
+                "mask covers {} features, config has {}",
+                mask.len(),
+                config.features()
+            ));
+        }
+        if v_h.rows() != config.levels || v_h.dim() != config.d_h {
+            return err(format!(
+                "VB_H table must be {}x{}, got {}x{}",
+                config.levels,
+                config.d_h,
+                v_h.rows(),
+                v_h.dim()
+            ));
+        }
+        let expect_d_l = config.effective_d_l();
+        if v_l.rows() != config.levels || v_l.dim() != expect_d_l {
+            return err(format!(
+                "VB_L table must be {}x{}, got {}x{}",
+                config.levels,
+                expect_d_l,
+                v_l.rows(),
+                v_l.dim()
+            ));
+        }
+        if config.enhancements.biconv {
+            let expect = config.out_channels * config.d_k * config.d_k;
+            if kernel.len() != expect {
+                return err(format!(
+                    "kernel must hold {expect} packed words, got {}",
+                    kernel.len()
+                ));
+            }
+        } else if !kernel.is_empty() {
+            return err("kernel must be empty when BiConv is disabled".into());
+        }
+        if f.rows() != config.encoding_channels() || f.dim() != d {
+            return err(format!(
+                "feature vectors F must be {}x{}, got {}x{}",
+                config.encoding_channels(),
+                d,
+                f.rows(),
+                f.dim()
+            ));
+        }
+        if c.len() != config.effective_voters() {
+            return err(format!(
+                "expected {} class-vector sets, got {}",
+                config.effective_voters(),
+                c.len()
+            ));
+        }
+        for (theta, set) in c.iter().enumerate() {
+            if set.rows() != config.classes || set.dim() != d {
+                return err(format!(
+                    "class set {theta} must be {}x{}, got {}x{}",
+                    config.classes,
+                    d,
+                    set.rows(),
+                    set.dim()
+                ));
+            }
+        }
+        Ok(Self {
+            config,
+            mask,
+            v_h,
+            v_l,
+            kernel,
+            f,
+            c,
+        })
+    }
+
+    /// The model configuration.
+    #[inline]
+    pub fn config(&self) -> &UniVsaConfig {
+        &self.config
+    }
+
+    /// The DVP importance mask.
+    #[inline]
+    pub fn mask(&self) -> &Mask {
+        &self.mask
+    }
+
+    /// The high-importance value table `VB_H` (`M × D_H`).
+    #[inline]
+    pub fn v_h(&self) -> &BitMatrix {
+        &self.v_h
+    }
+
+    /// The low-importance value table `VB_L` (`M × D_L`).
+    #[inline]
+    pub fn v_l(&self) -> &BitMatrix {
+        &self.v_l
+    }
+
+    /// The packed convolution kernels (see the field layout note on the
+    /// type). Empty when BiConv is disabled.
+    #[inline]
+    pub fn kernel_words(&self) -> &[u64] {
+        &self.kernel
+    }
+
+    /// The channel word of kernel tap `(ky, kx)` for output channel `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or BiConv is disabled.
+    #[inline]
+    pub fn kernel_word(&self, o: usize, ky: usize, kx: usize) -> u64 {
+        let k = self.config.d_k;
+        self.kernel[o * k * k + ky * k + kx]
+    }
+
+    /// The feature vectors **F** (`O × D`).
+    #[inline]
+    pub fn f(&self) -> &BitMatrix {
+        &self.f
+    }
+
+    /// The class-vector sets **C** (`Θ` matrices of `C × D`).
+    #[inline]
+    pub fn class_sets(&self) -> &[BitMatrix] {
+        &self.c
+    }
+
+    /// Mutable access to all weight stores, for fault injection
+    /// (`crate::corrupt`). Kept crate-private so external code cannot
+    /// silently break the validated invariants.
+    pub(crate) fn weights_mut(
+        &mut self,
+    ) -> (
+        &mut BitMatrix,
+        &mut BitMatrix,
+        &mut [u64],
+        &mut BitMatrix,
+        &mut [BitMatrix],
+    ) {
+        (
+            &mut self.v_h,
+            &mut self.v_l,
+            &mut self.kernel,
+            &mut self.f,
+            &mut self.c,
+        )
+    }
+
+    /// The memory footprint of this model under the paper's Eq. 5.
+    pub fn memory_report(&self) -> MemoryReport {
+        MemoryReport::for_config(&self.config)
+    }
+
+    /// Actual packed storage in bits (must agree with
+    /// [`UniVsaModel::memory_report`] up to the mask, which Eq. 5 does not
+    /// charge).
+    pub fn storage_bits(&self) -> usize {
+        // without DVP the VB_L table is a placeholder copy of VB_H and is
+        // never consulted, so it is not deployed storage
+        let v_l_bits = if self.config.enhancements.dvp {
+            self.v_l.storage_bits()
+        } else {
+            0
+        };
+        self.v_h.storage_bits() + v_l_bits
+            + self.kernel.len() * self.config.d_h
+            + self.f.storage_bits()
+            + self.c.iter().map(BitMatrix::storage_bits).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Enhancements;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use univsa_data::TaskSpec;
+
+    fn config() -> UniVsaConfig {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 4,
+            length: 5,
+            classes: 2,
+            levels: 8,
+        };
+        UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(2)
+            .d_k(3)
+            .out_channels(6)
+            .voters(2)
+            .build()
+            .unwrap()
+    }
+
+    fn parts(
+        cfg: &UniVsaConfig,
+        seed: u64,
+    ) -> (Mask, BitMatrix, BitMatrix, Vec<u64>, BitMatrix, Vec<BitMatrix>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = Mask::all_high(cfg.features());
+        let v_h = BitMatrix::random(cfg.levels, cfg.d_h, &mut rng);
+        let v_l = BitMatrix::random(cfg.levels, cfg.effective_d_l(), &mut rng);
+        let kernel = if cfg.enhancements.biconv {
+            (0..cfg.out_channels * cfg.d_k * cfg.d_k)
+                .map(|i| i as u64 % 16)
+                .collect()
+        } else {
+            vec![]
+        };
+        let f = BitMatrix::random(cfg.encoding_channels(), cfg.vsa_dim(), &mut rng);
+        let c = (0..cfg.effective_voters())
+            .map(|_| BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng))
+            .collect();
+        (mask, v_h, v_l, kernel, f, c)
+    }
+
+    #[test]
+    fn valid_parts_assemble() {
+        let cfg = config();
+        let (mask, v_h, v_l, kernel, f, c) = parts(&cfg, 0);
+        let m = UniVsaModel::from_parts(cfg, mask, v_h, v_l, kernel, f, c).unwrap();
+        assert_eq!(m.class_sets().len(), 2);
+        assert!(m.storage_bits() > 0);
+    }
+
+    #[test]
+    fn rejects_wrong_vh() {
+        let cfg = config();
+        let (mask, _, v_l, kernel, f, c) = parts(&cfg, 1);
+        let mut rng = StdRng::seed_from_u64(99);
+        let bad_vh = BitMatrix::random(cfg.levels, cfg.d_h + 1, &mut rng);
+        assert!(UniVsaModel::from_parts(cfg, mask, bad_vh, v_l, kernel, f, c).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_kernel_len() {
+        let cfg = config();
+        let (mask, v_h, v_l, mut kernel, f, c) = parts(&cfg, 2);
+        kernel.pop();
+        assert!(UniVsaModel::from_parts(cfg, mask, v_h, v_l, kernel, f, c).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_class_set_count() {
+        let cfg = config();
+        let (mask, v_h, v_l, kernel, f, mut c) = parts(&cfg, 3);
+        c.pop();
+        assert!(UniVsaModel::from_parts(cfg, mask, v_h, v_l, kernel, f, c).is_err());
+    }
+
+    #[test]
+    fn rejects_kernel_without_biconv() {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 4,
+            length: 5,
+            classes: 2,
+            levels: 8,
+        };
+        let cfg = UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(2)
+            .d_k(3)
+            .out_channels(6)
+            .voters(2)
+            .enhancements(Enhancements {
+                biconv: false,
+                ..Enhancements::all()
+            })
+            .build()
+            .unwrap();
+        let (mask, v_h, v_l, _, _, _) = parts(&cfg, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = BitMatrix::random(cfg.encoding_channels(), cfg.vsa_dim(), &mut rng);
+        let c: Vec<BitMatrix> = (0..cfg.effective_voters())
+            .map(|_| BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng))
+            .collect();
+        assert!(
+            UniVsaModel::from_parts(cfg.clone(), mask.clone(), v_h.clone(), v_l.clone(), vec![1], f.clone(), c.clone())
+                .is_err()
+        );
+        assert!(UniVsaModel::from_parts(cfg, mask, v_h, v_l, vec![], f, c).is_ok());
+    }
+
+    #[test]
+    fn storage_close_to_eq5() {
+        let cfg = config();
+        let (mask, v_h, v_l, kernel, f, c) = parts(&cfg, 6);
+        let m = UniVsaModel::from_parts(cfg, mask, v_h, v_l, kernel, f, c).unwrap();
+        // Eq. 5 charges exactly the packed sets
+        assert_eq!(m.storage_bits(), m.memory_report().total_bits());
+    }
+}

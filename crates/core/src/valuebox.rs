@@ -1,0 +1,208 @@
+//! The ValueBox: an MLP projecting a discretized feature value to a
+//! bipolar value vector.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use univsa_bits::{BitMatrix, BitVec};
+use univsa_nn::ste::{sign, ste_grad};
+use univsa_nn::{Linear, Optimizer, Tanh};
+use univsa_tensor::Tensor;
+
+use crate::UniVsaError;
+
+/// The LDC ValueBox `VB(x) = sgn(MLP(x))`, realized as
+/// `1 → hidden → dim` with a `tanh` hidden layer and sign binarization.
+///
+/// Because inputs are discretized to `M` levels, the box is only ever
+/// evaluated on the level grid; [`ValueBox::forward_table`] computes the
+/// whole `(M, dim)` pre-activation table in one shot, and after training
+/// [`ValueBox::export_table`] freezes the binarized table **V** used by
+/// packed inference.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValueBox {
+    l1: Linear,
+    act: Tanh,
+    l2: Linear,
+    levels: usize,
+    dim: usize,
+    cached_pre: Option<Tensor>,
+}
+
+impl ValueBox {
+    /// Creates a ValueBox for `levels` discrete inputs and `dim`-bit output
+    /// vectors, with the given hidden width.
+    pub fn new<R: Rng + ?Sized>(levels: usize, dim: usize, hidden: usize, rng: &mut R) -> Self {
+        Self {
+            l1: Linear::new(1, hidden, rng),
+            act: Tanh::new(),
+            l2: Linear::new(hidden, dim, rng),
+            levels,
+            dim,
+            cached_pre: None,
+        }
+    }
+
+    /// Output vector dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of discrete input levels `M`.
+    #[inline]
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The normalized level grid fed to the MLP: level `m` maps to
+    /// `2m/(M-1) - 1 ∈ [-1, 1]`.
+    fn level_grid(&self) -> Tensor {
+        let m = (self.levels - 1).max(1) as f32;
+        let data = (0..self.levels).map(|i| i as f32 / m * 2.0 - 1.0).collect();
+        Tensor::from_vec(data, &[self.levels, 1]).expect("grid shape is consistent")
+    }
+
+    /// Forward pass over the full level grid, returning the binarized
+    /// `(M, dim)` value table and caching pre-activations for
+    /// [`ValueBox::backward_table`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the internal layers (none occur for a
+    /// well-constructed box).
+    pub fn forward_table(&mut self) -> Result<Tensor, UniVsaError> {
+        let grid = self.level_grid();
+        let h = self.l1.forward(&grid)?;
+        let a = self.act.forward(&h);
+        let pre = self.l2.forward(&a)?;
+        let out = sign(&pre);
+        self.cached_pre = Some(pre);
+        Ok(out)
+    }
+
+    /// Backward pass given the gradient w.r.t. the *binarized* table;
+    /// applies the STE at the output sign and accumulates all MLP
+    /// parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called before [`ValueBox::forward_table`].
+    pub fn backward_table(&mut self, grad_table: &Tensor) -> Result<(), UniVsaError> {
+        let pre = self.cached_pre.as_ref().ok_or_else(|| {
+            UniVsaError::Input("ValueBox::backward_table called before forward_table".into())
+        })?;
+        let g_pre = ste_grad(grad_table, pre);
+        let g_a = self.l2.backward(&g_pre)?;
+        let g_h = self.act.backward(&g_a)?;
+        let _ = self.l1.backward(&g_h)?;
+        Ok(())
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.l1.zero_grad();
+        self.l2.zero_grad();
+    }
+
+    /// Applies one optimizer step to all parameters.
+    pub fn step(&mut self, opt: &mut dyn Optimizer) {
+        self.l1.visit_params(&mut |p| opt.step(p));
+        self.l2.visit_params(&mut |p| opt.step(p));
+    }
+
+    /// Freezes the trained box into the packed value table **V**
+    /// (`M` rows of `dim` bits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the forward evaluation.
+    pub fn export_table(&self) -> Result<BitMatrix, UniVsaError> {
+        let grid = self.level_grid();
+        let h = self.l1.infer(&grid)?;
+        let a = self.act.infer(&h);
+        let pre = self.l2.infer(&a)?;
+        let table = sign(&pre);
+        let rows = table
+            .as_slice()
+            .chunks(self.dim)
+            .map(|row| {
+                let mut v = BitVec::zeros(self.dim);
+                for (i, &x) in row.iter().enumerate() {
+                    if x > 0.0 {
+                        v.set(i, true);
+                    }
+                }
+                v
+            })
+            .collect();
+        BitMatrix::from_rows(rows).map_err(UniVsaError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use univsa_nn::Adam;
+
+    #[test]
+    fn table_shape_and_bipolarity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut vb = ValueBox::new(16, 8, 4, &mut rng);
+        let t = vb.forward_table().unwrap();
+        assert_eq!(t.shape().dims(), &[16, 8]);
+        assert!(t.as_slice().iter().all(|&x| x == 1.0 || x == -1.0));
+    }
+
+    #[test]
+    fn export_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut vb = ValueBox::new(16, 8, 4, &mut rng);
+        let t = vb.forward_table().unwrap();
+        let m = vb.export_table().unwrap();
+        assert_eq!(m.rows(), 16);
+        assert_eq!(m.dim(), 8);
+        for (r, row) in t.as_slice().chunks(8).enumerate() {
+            for (i, &x) in row.iter().enumerate() {
+                assert_eq!(m.row(r).get(i) == Some(true), x > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut vb = ValueBox::new(4, 2, 2, &mut rng);
+        assert!(vb.backward_table(&Tensor::zeros(&[4, 2])).is_err());
+    }
+
+    #[test]
+    fn training_changes_table() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut vb = ValueBox::new(8, 4, 8, &mut rng);
+        let before = vb.export_table().unwrap();
+        let mut opt = Adam::new(0.1);
+        // push all outputs toward +1 by descending on -table
+        for _ in 0..50 {
+            let t = vb.forward_table().unwrap();
+            let grad = t.map(|_| -1.0);
+            vb.zero_grad();
+            vb.backward_table(&grad).unwrap();
+            vb.step(&mut opt);
+        }
+        let after = vb.export_table().unwrap();
+        let ones_before: u32 = (0..8).map(|r| before.row(r).count_ones()).sum();
+        let ones_after: u32 = (0..8).map(|r| after.row(r).count_ones()).sum();
+        assert!(ones_after > ones_before, "{ones_after} vs {ones_before}");
+    }
+
+    #[test]
+    fn level_grid_endpoints() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let vb = ValueBox::new(256, 4, 4, &mut rng);
+        let g = vb.level_grid();
+        assert_eq!(g.at(&[0, 0]), -1.0);
+        assert_eq!(g.at(&[255, 0]), 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! CSV import/export for datasets.
+//!
+//! Lets users of the library bring their *own* preprocessed recordings
+//! (the paper's pipeline assumes inputs are windowed and discretized in
+//! advance). The format is one sample per line: the label followed by
+//! `W·L` discretized values, comma-separated; a `#`-prefixed header line
+//! is optional and ignored.
+
+use std::num::ParseIntError;
+
+use crate::{Dataset, Sample, TaskSpec};
+
+/// Serializes a dataset to CSV (one line per sample: `label, v0, v1, …`),
+/// with a `#` header describing the geometry.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_data::{csv, Dataset, Sample, TaskSpec};
+/// let spec = TaskSpec { name: "toy".into(), width: 1, length: 2, classes: 2, levels: 256 };
+/// let ds = Dataset::new(spec, vec![Sample { values: vec![7, 9], label: 1 }]).unwrap();
+/// let text = csv::to_csv(&ds);
+/// let back = csv::from_csv(&text, ds.spec().clone()).unwrap();
+/// assert_eq!(back, ds);
+/// ```
+pub fn to_csv(dataset: &Dataset) -> String {
+    let spec = dataset.spec();
+    let mut out = format!(
+        "# univsa dataset: name={} width={} length={} classes={} levels={}\n",
+        spec.name, spec.width, spec.length, spec.classes, spec.levels
+    );
+    for sample in dataset.samples() {
+        out.push_str(&sample.label.to_string());
+        for v in &sample.values {
+            out.push(',');
+            out.push_str(&v.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a dataset from CSV text against an expected task spec.
+///
+/// # Errors
+///
+/// Returns a line-tagged message when a line has the wrong field count, a
+/// non-numeric field, or when the assembled dataset violates the spec
+/// (label/value out of range).
+pub fn from_csv(text: &str, spec: TaskSpec) -> Result<Dataset, String> {
+    let n = spec.features();
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let label: usize = parse_field(fields.next(), lineno, "label")?;
+        let values: Vec<u8> = fields
+            .map(|f| {
+                f.trim()
+                    .parse::<u8>()
+                    .map_err(|e: ParseIntError| format!("line {}: bad value {f:?}: {e}", lineno + 1))
+            })
+            .collect::<Result<_, _>>()?;
+        if values.len() != n {
+            return Err(format!(
+                "line {}: expected {} values, got {}",
+                lineno + 1,
+                n,
+                values.len()
+            ));
+        }
+        samples.push(Sample { values, label });
+    }
+    Dataset::new(spec, samples)
+}
+
+fn parse_field(field: Option<&str>, lineno: usize, what: &str) -> Result<usize, String> {
+    field
+        .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+        .trim()
+        .parse()
+        .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TaskSpec {
+        TaskSpec {
+            name: "t".into(),
+            width: 1,
+            length: 3,
+            classes: 2,
+            levels: 256,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::new(
+            spec(),
+            vec![
+                Sample {
+                    values: vec![1, 2, 3],
+                    label: 0,
+                },
+                Sample {
+                    values: vec![200, 100, 0],
+                    label: 1,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = dataset();
+        let text = to_csv(&ds);
+        assert_eq!(from_csv(&text, spec()).unwrap(), ds);
+    }
+
+    #[test]
+    fn header_and_blank_lines_ignored() {
+        let text = "# comment\n\n0,1,2,3\n";
+        let ds = from_csv(text, spec()).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let ds = from_csv("1, 10 ,20,30", spec()).unwrap();
+        assert_eq!(ds.samples()[0].values, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = from_csv("0,1,2", spec()).unwrap_err();
+        assert!(err.contains("expected 3 values, got 2"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        assert!(from_csv("x,1,2,3", spec()).unwrap_err().contains("bad label"));
+        assert!(from_csv("0,1,abc,3", spec()).unwrap_err().contains("bad value"));
+        assert!(from_csv("0,1,300,3", spec()).unwrap_err().contains("bad value"));
+    }
+
+    #[test]
+    fn rejects_label_out_of_range() {
+        let err = from_csv("5,1,2,3", spec()).unwrap_err();
+        assert!(err.contains("label 5 out of range"), "{err}");
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_skip_comments() {
+        let err = from_csv("# header\n0,1,2,3\n0,1,2\n", spec()).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Dataset containers.
+
+use serde::{Deserialize, Serialize};
+
+/// One classification sample: a `(W, L)` grid of discretized feature
+/// values (row-major, `W` rows of `L` values) and its class label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Discretized feature values in `0..levels`, length `W·L`.
+    pub values: Vec<u8>,
+    /// Class index in `0..classes`.
+    pub label: usize,
+}
+
+/// Static description of a classification task — the quantities the paper's
+/// Table I lists per benchmark.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Task name (e.g. `"EEGMMI"`).
+    pub name: String,
+    /// Number of sliding windows `W`.
+    pub width: usize,
+    /// Snippet length `L` per window.
+    pub length: usize,
+    /// Number of classes `C`.
+    pub classes: usize,
+    /// Number of discretization levels `M` (256 throughout the paper).
+    pub levels: usize,
+}
+
+impl TaskSpec {
+    /// Total feature count `N = W·L`.
+    #[inline]
+    pub fn features(&self) -> usize {
+        self.width * self.length
+    }
+}
+
+/// An in-memory labelled dataset with uniform geometry.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_data::{Dataset, Sample, TaskSpec};
+/// let spec = TaskSpec {
+///     name: "toy".into(), width: 2, length: 3, classes: 2, levels: 256,
+/// };
+/// let ds = Dataset::new(spec.clone(), vec![
+///     Sample { values: vec![0, 1, 2, 3, 4, 5], label: 0 },
+/// ]).unwrap();
+/// assert_eq!(ds.len(), 1);
+/// assert_eq!(ds.spec().features(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    spec: TaskSpec,
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Wraps samples with their task spec, validating geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending sample if any sample
+    /// has the wrong feature count, a label out of range, or a value at or
+    /// above `levels`.
+    pub fn new(spec: TaskSpec, samples: Vec<Sample>) -> Result<Self, String> {
+        let n = spec.features();
+        for (i, s) in samples.iter().enumerate() {
+            if s.values.len() != n {
+                return Err(format!(
+                    "sample {i}: expected {n} values, got {}",
+                    s.values.len()
+                ));
+            }
+            if s.label >= spec.classes {
+                return Err(format!(
+                    "sample {i}: label {} out of range for {} classes",
+                    s.label, spec.classes
+                ));
+            }
+            if let Some(&v) = s.values.iter().find(|&&v| v as usize >= spec.levels) {
+                return Err(format!(
+                    "sample {i}: value {v} out of range for {} levels",
+                    spec.levels
+                ));
+            }
+        }
+        Ok(Self { spec, samples })
+    }
+
+    /// The task description.
+    #[inline]
+    pub fn spec(&self) -> &TaskSpec {
+        &self.spec
+    }
+
+    /// The samples.
+    #[inline]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0; self.spec.classes];
+        for s in &self.samples {
+            counts[s.label] += 1;
+        }
+        counts
+    }
+
+    /// All labels in sample order.
+    pub fn labels(&self) -> Vec<usize> {
+        self.samples.iter().map(|s| s.label).collect()
+    }
+
+    /// Converts a sample's values to centred floats in `[-1, 1]`
+    /// (`level / (M-1) * 2 - 1`), the normalization the training substrate
+    /// consumes.
+    pub fn normalized(&self, index: usize) -> Vec<f32> {
+        let m = (self.spec.levels - 1).max(1) as f32;
+        self.samples[index]
+            .values
+            .iter()
+            .map(|&v| v as f32 / m * 2.0 - 1.0)
+            .collect()
+    }
+}
+
+/// A task bundled with its train/test split.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// The task description (shared by both splits).
+    pub spec: TaskSpec,
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out evaluation split.
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> TaskSpec {
+        TaskSpec {
+            name: "t".into(),
+            width: 2,
+            length: 2,
+            classes: 2,
+            levels: 4,
+        }
+    }
+
+    #[test]
+    fn validates_feature_count() {
+        let err = Dataset::new(
+            spec(),
+            vec![Sample {
+                values: vec![0, 1, 2],
+                label: 0,
+            }],
+        )
+        .unwrap_err();
+        assert!(err.contains("expected 4 values"));
+    }
+
+    #[test]
+    fn validates_label_range() {
+        let err = Dataset::new(
+            spec(),
+            vec![Sample {
+                values: vec![0; 4],
+                label: 2,
+            }],
+        )
+        .unwrap_err();
+        assert!(err.contains("label 2 out of range"));
+    }
+
+    #[test]
+    fn validates_value_range() {
+        let err = Dataset::new(
+            spec(),
+            vec![Sample {
+                values: vec![0, 0, 0, 4],
+                label: 0,
+            }],
+        )
+        .unwrap_err();
+        assert!(err.contains("value 4 out of range"));
+    }
+
+    #[test]
+    fn class_counts_and_labels() {
+        let ds = Dataset::new(
+            spec(),
+            vec![
+                Sample {
+                    values: vec![0; 4],
+                    label: 0,
+                },
+                Sample {
+                    values: vec![1; 4],
+                    label: 1,
+                },
+                Sample {
+                    values: vec![2; 4],
+                    label: 1,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(ds.class_counts(), vec![1, 2]);
+        assert_eq!(ds.labels(), vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn normalization_range() {
+        let ds = Dataset::new(
+            spec(),
+            vec![Sample {
+                values: vec![0, 1, 2, 3],
+                label: 0,
+            }],
+        )
+        .unwrap();
+        let v = ds.normalized(0);
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[3], 1.0);
+        assert!(v[1] > -1.0 && v[1] < 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # univsa-data
+//!
+//! Synthetic classification tasks with the exact input geometry of the
+//! UniVSA paper's benchmarks (Table I).
+//!
+//! The paper evaluates on six real recordings (EEGMMI, BCI-III-V, CHB-B,
+//! CHB-IB, ISOLET, HAR) that are either access-gated or large; this crate
+//! substitutes seeded synthetic generators that preserve what the algorithms
+//! under test actually consume:
+//!
+//! * the `(W, L)` sliding-window grid shape and class count of each task,
+//! * discretization to `M = 256` levels,
+//! * class-conditional band-limited oscillatory structure with noise,
+//! * **cross-feature interactions** (class information carried by products
+//!   of neighbouring cells) — the signal component that plain binary VSA
+//!   encoding cannot exploit but convolutional feature extraction can,
+//!   which is the paper's central algorithmic claim,
+//! * irrelevant/noisy feature regions — the signal component that
+//!   discriminated value projection (DVP) is designed to down-weight.
+//!
+//! Every generator is deterministic given its seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use univsa_data::tasks;
+//!
+//! let task = tasks::isolet(42);
+//! assert_eq!(task.spec.classes, 26);
+//! assert_eq!((task.spec.width, task.spec.length), (16, 40));
+//! let sample = &task.train.samples()[0];
+//! assert_eq!(sample.values.len(), 16 * 40);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+mod dataset;
+mod quantize;
+mod split;
+mod synth;
+pub mod tasks;
+mod window;
+
+pub use dataset::{Dataset, Sample, Task, TaskSpec};
+pub use quantize::quantize;
+pub use split::stratified_split;
+pub use synth::{ClassProfile, GeneratorParams, SyntheticGenerator};
+pub use window::WindowSpec;

@@ -1,0 +1,81 @@
+//! Discretization of continuous signals to integer levels.
+
+/// Discretizes a float signal to `levels` integer bins by min–max scaling
+/// over the given slice, mirroring the paper's preprocessing (inputs are
+/// "discretized to 256 levels in advance").
+///
+/// A constant signal maps to level 0. `levels` must be in `2..=256` so the
+/// result fits a `u8`.
+///
+/// # Panics
+///
+/// Panics if `levels < 2` or `levels > 256`.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_data::quantize;
+/// let q = quantize(&[0.0, 0.5, 1.0], 256);
+/// assert_eq!(q, vec![0, 128, 255]);
+/// ```
+pub fn quantize(signal: &[f32], levels: usize) -> Vec<u8> {
+    assert!((2..=256).contains(&levels), "levels must be in 2..=256");
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &x in signal {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let range = hi - lo;
+    if !range.is_finite() || range <= 0.0 {
+        return vec![0; signal.len()];
+    }
+    let max_level = (levels - 1) as f32;
+    signal
+        .iter()
+        .map(|&x| (((x - lo) / range * max_level).round() as usize).min(levels - 1) as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_map_to_extremes() {
+        let q = quantize(&[-2.0, 3.0], 256);
+        assert_eq!(q, vec![0, 255]);
+    }
+
+    #[test]
+    fn constant_signal_maps_to_zero() {
+        assert_eq!(quantize(&[5.0, 5.0, 5.0], 16), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_signal() {
+        assert!(quantize(&[], 256).is_empty());
+    }
+
+    #[test]
+    fn binary_levels() {
+        let q = quantize(&[0.0, 0.4, 0.6, 1.0], 2);
+        assert_eq!(q, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn monotone() {
+        let xs: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let q = quantize(&xs, 16);
+        for w in q.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(q[0], 0);
+        assert_eq!(q[99], 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels must be in")]
+    fn rejects_one_level() {
+        quantize(&[0.0], 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Stratified train/test splitting.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Dataset, Sample};
+
+/// Splits a dataset into train/test parts, preserving per-class proportions.
+///
+/// `train_fraction` of each class (rounded down, but at least one sample
+/// when the class has ≥ 2 samples) goes to the training split.
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use univsa_data::{stratified_split, Dataset, Sample, TaskSpec};
+/// let spec = TaskSpec { name: "t".into(), width: 1, length: 1, classes: 2, levels: 2 };
+/// let samples = (0..10).map(|i| Sample { values: vec![0], label: i % 2 }).collect();
+/// let ds = Dataset::new(spec, samples).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let (train, test) = stratified_split(&ds, 0.8, &mut rng);
+/// assert_eq!(train.len(), 8);
+/// assert_eq!(test.len(), 2);
+/// ```
+pub fn stratified_split<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    train_fraction: f64,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    assert!(
+        train_fraction > 0.0 && train_fraction < 1.0,
+        "train fraction must be in (0, 1)"
+    );
+    let mut by_class: Vec<Vec<&Sample>> = vec![Vec::new(); dataset.spec().classes];
+    for s in dataset.samples() {
+        by_class[s.label].push(s);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut group in by_class {
+        group.shuffle(rng);
+        let mut take = (group.len() as f64 * train_fraction).floor() as usize;
+        if take == 0 && group.len() >= 2 {
+            take = 1;
+        }
+        for (i, s) in group.into_iter().enumerate() {
+            if i < take {
+                train.push(s.clone());
+            } else {
+                test.push(s.clone());
+            }
+        }
+    }
+    train.shuffle(rng);
+    test.shuffle(rng);
+    let spec = dataset.spec().clone();
+    (
+        Dataset::new(spec.clone(), train).expect("split preserves validity"),
+        Dataset::new(spec, test).expect("split preserves validity"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaskSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(per_class: &[usize]) -> Dataset {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 1,
+            length: 1,
+            classes: per_class.len(),
+            levels: 2,
+        };
+        let mut samples = Vec::new();
+        for (label, &n) in per_class.iter().enumerate() {
+            for _ in 0..n {
+                samples.push(Sample {
+                    values: vec![0],
+                    label,
+                });
+            }
+        }
+        Dataset::new(spec, samples).unwrap()
+    }
+
+    #[test]
+    fn preserves_class_proportions() {
+        let ds = dataset(&[100, 50]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (train, test) = stratified_split(&ds, 0.8, &mut rng);
+        assert_eq!(train.class_counts(), vec![80, 40]);
+        assert_eq!(test.class_counts(), vec![20, 10]);
+    }
+
+    #[test]
+    fn no_sample_lost() {
+        let ds = dataset(&[33, 67, 10]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = stratified_split(&ds, 0.7, &mut rng);
+        assert_eq!(train.len() + test.len(), 110);
+    }
+
+    #[test]
+    fn tiny_class_keeps_one_in_train() {
+        let ds = dataset(&[2]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test) = stratified_split(&ds, 0.1, &mut rng);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "train fraction")]
+    fn rejects_full_fraction() {
+        let ds = dataset(&[4]);
+        let mut rng = StdRng::seed_from_u64(3);
+        stratified_split(&ds, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset(&[20, 20]);
+        let (a, _) = stratified_split(&ds, 0.5, &mut StdRng::seed_from_u64(4));
+        let (b, _) = stratified_split(&ds, 0.5, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,541 @@
+//! Class-conditional synthetic signal generator.
+//!
+//! Each class is a mixture of *modes*; each mode is a sum of band-limited
+//! oscillatory components over the `(W, L)` window grid. On top of the
+//! per-class oscillatory base the generator injects:
+//!
+//! * **cross-feature interactions** — a class-specific `±1` pattern
+//!   multiplied with the product of horizontally adjacent cells, carrying
+//!   class information that no per-feature encoding can see but a small
+//!   convolution can;
+//! * **irrelevant rows** — a class-independent subset of window rows
+//!   replaced by pure noise, giving the DVP feature-importance mask
+//!   something real to discard;
+//! * additive Gaussian noise and per-sample amplitude jitter.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::quantize::quantize;
+use crate::{Dataset, Sample, TaskSpec};
+
+/// Tunable knobs of the synthetic generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorParams {
+    /// Task geometry and class count.
+    pub spec: TaskSpec,
+    /// Oscillatory components per mode.
+    pub components: usize,
+    /// Modes (sub-clusters) per class. More than one makes classes
+    /// multi-modal, which favours local methods (KNN) over global linear
+    /// ones (LDA).
+    pub modes: usize,
+    /// Standard deviation of the additive Gaussian noise.
+    pub noise: f32,
+    /// Strength of the class-conditional neighbour-product interaction term.
+    /// This is the component only feature-interacting models (BiConv) can
+    /// decode.
+    pub interaction: f32,
+    /// Fraction of window rows that carry no class information (pure
+    /// noise). These are what the DVP mask should mark low-importance.
+    pub irrelevant_rows: f32,
+    /// Relative weight of the linearly separable per-class mean offset.
+    /// Larger values make the task easier for linear models.
+    pub linear_bias: f32,
+    /// Per-sample amplitude jitter range (multiplicative `1 ± jitter`).
+    pub jitter: f32,
+    /// Scale of the per-class perturbation of the *shared* oscillator
+    /// bank. All classes ride the same base signal; only this fraction of
+    /// frequency/phase shift separates them — the knob that controls how
+    /// hard the task is overall.
+    pub class_signal: f32,
+    /// Fraction of features that carry any class information at all (both
+    /// the linear offsets and the interaction patterns are sparse): with
+    /// hundreds of features, dense class signal accumulates into a trivial
+    /// margin, so difficulty is controlled by keeping the informative set
+    /// small.
+    pub informative_fraction: f32,
+    /// Amplitude of the shared oscillatory texture. The texture carries no
+    /// linear class signal (its carrier phase is randomized per sample)
+    /// but inflates distances, so it directly controls how hard
+    /// distance-based methods (KNN) have it.
+    pub texture: f32,
+    /// Amplitude of the per-mode cluster offsets. Because the modes of a
+    /// class average out, this component is nearly invisible to linear
+    /// class means but trivially resolved by local methods — it is what
+    /// makes KNN shine on the BCI-III-V-like task.
+    pub cluster_spread: f32,
+    /// Per-class multiplicative gain spread on the oscillatory texture and
+    /// noise: class `c` gets gain `1 + class_gain·(c/(C−1) − ½)`. Energy
+    /// differences are invisible to linear class means (LDA) but easy for
+    /// RBF kernels and nearest neighbours — the CHB-style profile.
+    pub class_gain: f32,
+    /// Probability that a sample's label is replaced by a uniformly random
+    /// other class — label noise, capping every method's achievable
+    /// accuracy the way real recording/annotation noise does.
+    pub label_noise: f32,
+    /// Probability that a cell is corrupted by a heavy-tail outlier
+    /// (value amplified 3–6×). Float methods (LDA, SVM, KNN) eat the full
+    /// outlier; the 256-level fixed-range discretization clips it — the
+    /// honest mechanism behind quantized VSA models outperforming float
+    /// baselines on noisy IMU data (the paper's HAR result).
+    pub outlier_rate: f32,
+}
+
+impl GeneratorParams {
+    /// Sensible defaults for a given geometry: moderately noisy, with
+    /// interaction and irrelevant structure present.
+    pub fn new(spec: TaskSpec) -> Self {
+        Self {
+            spec,
+            components: 3,
+            modes: 1,
+            noise: 0.35,
+            interaction: 0.5,
+            irrelevant_rows: 0.25,
+            linear_bias: 0.4,
+            jitter: 0.15,
+            class_signal: 0.05,
+            informative_fraction: 0.15,
+            texture: 1.0,
+            cluster_spread: 0.0,
+            class_gain: 0.0,
+            label_noise: 0.0,
+            outlier_rate: 0.0,
+        }
+    }
+}
+
+/// Frozen per-class signal structure drawn once from the master seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassProfile {
+    /// `modes × components` tuples of (frequency, amplitude, phase,
+    /// per-row phase velocity).
+    pub oscillators: Vec<Vec<(f32, f32, f32, f32)>>,
+    /// `(W, L)` grid of `±1` controlling the sign of the neighbour-product
+    /// interaction term for this class.
+    pub interaction_pattern: Vec<f32>,
+    /// Per-class common mean offsets — the linearly separable component.
+    pub common_offset: Vec<f32>,
+    /// Per-mode, per-feature cluster offsets, scaled by
+    /// [`GeneratorParams::cluster_spread`]. Modes of one class average
+    /// out, so this component defeats linear class means while local
+    /// methods resolve it.
+    pub mean_offset: Vec<Vec<f32>>,
+}
+
+/// The generator: frozen class profiles plus sampling parameters.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use univsa_data::{GeneratorParams, SyntheticGenerator, TaskSpec};
+/// let spec = TaskSpec { name: "toy".into(), width: 4, length: 8, classes: 2, levels: 256 };
+/// let params = GeneratorParams::new(spec);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let gen = SyntheticGenerator::new(params, &mut rng);
+/// let ds = gen.dataset(&[10, 10], &mut rng);
+/// assert_eq!(ds.len(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticGenerator {
+    params: GeneratorParams,
+    profiles: Vec<ClassProfile>,
+    /// Rows (windows) that carry no class information.
+    noise_rows: Vec<bool>,
+}
+
+impl SyntheticGenerator {
+    /// Draws frozen class profiles from the RNG.
+    pub fn new<R: Rng + ?Sized>(params: GeneratorParams, rng: &mut R) -> Self {
+        let (w, l) = (params.spec.width, params.spec.length);
+        let n = w * l;
+        // one shared oscillator bank per mode — classes are perturbations
+        // of the SAME signal, so separability is governed by
+        // `class_signal`, not by entirely different waveforms
+        let base: Vec<Vec<(f32, f32, f32, f32)>> = (0..params.modes)
+            .map(|_| {
+                (0..params.components)
+                    .map(|_| {
+                        (
+                            rng.gen_range(1.0..8.0),                   // frequency
+                            rng.gen_range(0.5..1.0),                   // amplitude
+                            rng.gen_range(0.0..std::f32::consts::TAU), // phase
+                            rng.gen_range(-0.6..0.6),                  // row velocity
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let cs = params.class_signal;
+        let profiles = (0..params.spec.classes)
+            .map(|_| ClassProfile {
+                oscillators: base
+                    .iter()
+                    .map(|mode| {
+                        mode.iter()
+                            .map(|&(freq, amp, phase, vel)| {
+                                (
+                                    freq + rng.gen_range(-0.5..0.5) * cs * freq,
+                                    amp,
+                                    phase + rng.gen_range(-1.0..1.0)
+                                        * cs
+                                        * std::f32::consts::PI,
+                                    vel + rng.gen_range(-0.3..0.3) * cs,
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect(),
+                interaction_pattern: (0..n)
+                    .map(|_| {
+                        if rng.gen::<f32>() < params.informative_fraction {
+                            if rng.gen::<bool>() {
+                                1.0
+                            } else {
+                                -1.0
+                            }
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect(),
+                common_offset: (0..n)
+                    .map(|_| {
+                        if rng.gen::<f32>() < params.informative_fraction {
+                            if rng.gen::<bool>() {
+                                1.0
+                            } else {
+                                -1.0
+                            }
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect(),
+                mean_offset: {
+                    // antipodal pairing: modes 2k and 2k+1 use opposite
+                    // patterns, so the class mean of the cluster offsets is
+                    // (near) zero — linear class means cannot see the
+                    // clusters, local methods can
+                    let half = params.modes.div_ceil(2);
+                    let patterns: Vec<Vec<f32>> = (0..half)
+                        .map(|_| {
+                            (0..n)
+                                .map(|_| {
+                                    if rng.gen::<f32>() < params.informative_fraction {
+                                        if rng.gen::<bool>() {
+                                            1.0
+                                        } else {
+                                            -1.0
+                                        }
+                                    } else {
+                                        0.0
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    (0..params.modes)
+                        .map(|m| {
+                            let sign = if m % 2 == 0 { 1.0 } else { -1.0 };
+                            patterns[m / 2].iter().map(|&v| sign * v).collect()
+                        })
+                        .collect()
+                },
+            })
+            .collect();
+        let noisy = ((w as f32) * params.irrelevant_rows).round() as usize;
+        let mut noise_rows = vec![false; w];
+        // the *last* rows are the uninformative ones (deterministic, so the
+        // DVP mask has a stable target across seeds of the same task)
+        for row in noise_rows.iter_mut().skip(w - noisy.min(w)) {
+            *row = true;
+        }
+        Self {
+            params,
+            profiles,
+            noise_rows,
+        }
+    }
+
+    /// The generator parameters.
+    #[inline]
+    pub fn params(&self) -> &GeneratorParams {
+        &self.params
+    }
+
+    /// Which window rows are class-independent noise (ground truth for
+    /// feature-importance evaluation).
+    #[inline]
+    pub fn noise_rows(&self) -> &[bool] {
+        &self.noise_rows
+    }
+
+    /// Draws one sample of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class >= classes`.
+    pub fn sample<R: Rng + ?Sized>(&self, class: usize, rng: &mut R) -> Sample {
+        let p = &self.params;
+        let (w, l) = (p.spec.width, p.spec.length);
+        let profile = &self.profiles[class];
+        let mode = rng.gen_range(0..p.modes);
+        let oscillators = &profile.oscillators[mode];
+        let denom = (p.spec.classes - 1).max(1) as f32;
+        let class_energy = 1.0 + p.class_gain * (class as f32 / denom - 0.5);
+        let gain = class_energy * (1.0 + rng.gen_range(-p.jitter..=p.jitter));
+        // per-sample random carrier phases: feature marginals of the
+        // oscillatory base average to zero across samples, so the base
+        // texture (and anything multiplying it, like the interaction term)
+        // carries no *linear* per-feature class signal
+        let carrier: Vec<f32> = (0..oscillators.len())
+            .map(|_| rng.gen_range(0.0..std::f32::consts::TAU))
+            .collect();
+
+        // oscillatory base
+        let mut base = vec![0.0f32; w * l];
+        for (wi, row) in base.chunks_mut(l).enumerate() {
+            for (li, cell) in row.iter_mut().enumerate() {
+                let t = li as f32 / l as f32;
+                let mut v = 0.0;
+                for (&(freq, amp, phase, vel), &shift) in oscillators.iter().zip(&carrier) {
+                    v += amp
+                        * (std::f32::consts::TAU * freq * t + phase + shift + vel * wi as f32)
+                            .sin();
+                }
+                *cell = gain * p.texture * v;
+            }
+        }
+
+        // class-conditional neighbour-product interaction: flip the product
+        // of adjacent cells toward the class's ±1 pattern
+        let mut signal = base.clone();
+        if p.interaction > 0.0 {
+            for wi in 0..w {
+                for li in 0..l.saturating_sub(1) {
+                    let idx = wi * l + li;
+                    let pattern = profile.interaction_pattern[idx];
+                    if pattern == 0.0 {
+                        continue;
+                    }
+                    let neighbour = base[idx + 1];
+                    signal[idx] += p.interaction
+                        * pattern
+                        * neighbour.signum()
+                        * neighbour.abs().min(1.0);
+                }
+            }
+        }
+
+        // linear per-class offset, noise, irrelevant rows
+        for wi in 0..w {
+            for li in 0..l {
+                let idx = wi * l + li;
+                if self.noise_rows[wi] {
+                    signal[idx] = 1.5 * gaussian(rng);
+                } else {
+                    signal[idx] += p.linear_bias * profile.common_offset[idx]
+                        + p.cluster_spread * profile.mean_offset[mode][idx];
+                    signal[idx] += class_energy * p.noise * gaussian(rng);
+                    if p.outlier_rate > 0.0 && rng.gen::<f32>() < p.outlier_rate {
+                        signal[idx] *= rng.gen_range(3.0..6.0);
+                    }
+                }
+            }
+        }
+
+        // fixed-range discretization (clip to ±4, matching the paper's
+        // "discretized to 256 levels in advance")
+        let clipped: Vec<f32> = signal.iter().map(|&x| x.clamp(-4.0, 4.0)).collect();
+        let values = fixed_quantize(&clipped, p.spec.levels);
+        let mut label = class;
+        if p.label_noise > 0.0 && rng.gen::<f32>() < p.label_noise {
+            let c = p.spec.classes;
+            if c > 1 {
+                let mut other = rng.gen_range(0..c - 1);
+                if other >= class {
+                    other += 1;
+                }
+                label = other;
+            }
+        }
+        Sample { values, label }
+    }
+
+    /// Draws a dataset with the given per-class sample counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_class.len() != classes`.
+    pub fn dataset<R: Rng + ?Sized>(&self, per_class: &[usize], rng: &mut R) -> Dataset {
+        assert_eq!(
+            per_class.len(),
+            self.params.spec.classes,
+            "per_class must list one count per class"
+        );
+        let mut samples = Vec::new();
+        for (class, &n) in per_class.iter().enumerate() {
+            for _ in 0..n {
+                samples.push(self.sample(class, rng));
+            }
+        }
+        Dataset::new(self.params.spec.clone(), samples).expect("generator emits valid samples")
+    }
+}
+
+/// Standard normal draw via Box–Muller (rand 0.8 core has no Gaussian).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Quantizes over the fixed range `[-4, 4]` rather than per-sample min–max,
+/// so amplitude information survives.
+fn fixed_quantize(signal: &[f32], levels: usize) -> Vec<u8> {
+    let mut padded = Vec::with_capacity(signal.len() + 2);
+    padded.extend_from_slice(signal);
+    padded.push(-4.0);
+    padded.push(4.0);
+    let mut q = quantize(&padded, levels);
+    q.truncate(signal.len());
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn generator(seed: u64) -> SyntheticGenerator {
+        let spec = TaskSpec {
+            name: "toy".into(),
+            width: 4,
+            length: 16,
+            classes: 3,
+            levels: 256,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        SyntheticGenerator::new(GeneratorParams::new(spec), &mut rng)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = generator(5);
+        let g2 = generator(5);
+        let s1 = g1.sample(0, &mut StdRng::seed_from_u64(1));
+        let s2 = g2.sample(0, &mut StdRng::seed_from_u64(1));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_classes_differ() {
+        let g = generator(6);
+        let a = g.sample(0, &mut StdRng::seed_from_u64(1));
+        let b = g.sample(1, &mut StdRng::seed_from_u64(1));
+        assert_ne!(a.values, b.values);
+    }
+
+    #[test]
+    fn dataset_counts_and_labels() {
+        let g = generator(7);
+        let ds = g.dataset(&[5, 3, 2], &mut StdRng::seed_from_u64(2));
+        assert_eq!(ds.class_counts(), vec![5, 3, 2]);
+    }
+
+    #[test]
+    fn values_fill_level_range_reasonably() {
+        let g = generator(8);
+        let ds = g.dataset(&[50, 50, 50], &mut StdRng::seed_from_u64(3));
+        let mut lo = u8::MAX;
+        let mut hi = 0u8;
+        for s in ds.samples() {
+            for &v in &s.values {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        // signal spans a good part of the 256-level range
+        assert!(hi > 160, "hi={hi}");
+        assert!(lo < 96, "lo={lo}");
+    }
+
+    #[test]
+    fn noise_rows_marked() {
+        let g = generator(9);
+        // 25% of 4 rows = 1 noise row, placed last
+        assert_eq!(g.noise_rows(), &[false, false, false, true]);
+    }
+
+    #[test]
+    fn classes_are_separable_by_nearest_mean() {
+        // sanity: with a strong linear component, a trivial
+        // nearest-class-mean classifier should beat chance
+        let spec = TaskSpec {
+            name: "toy".into(),
+            width: 4,
+            length: 16,
+            classes: 3,
+            levels: 256,
+        };
+        let mut params = GeneratorParams::new(spec);
+        params.linear_bias = 0.9;
+        params.informative_fraction = 0.5;
+        params.noise = 0.25;
+        params.texture = 0.4;
+        let mut grng = StdRng::seed_from_u64(10);
+        let g = SyntheticGenerator::new(params, &mut grng);
+        let mut rng = StdRng::seed_from_u64(4);
+        let train = g.dataset(&[40, 40, 40], &mut rng);
+        let test = g.dataset(&[20, 20, 20], &mut rng);
+        let n = train.spec().features();
+        let mut means = vec![vec![0.0f64; n]; 3];
+        let counts = train.class_counts();
+        for (i, s) in train.samples().iter().enumerate() {
+            let v = train.normalized(i);
+            for (m, &x) in means[s.label].iter_mut().zip(&v) {
+                *m += x as f64;
+            }
+        }
+        for (c, m) in means.iter_mut().enumerate() {
+            for x in m.iter_mut() {
+                *x /= counts[c] as f64;
+            }
+        }
+        let mut correct = 0;
+        for (i, s) in test.samples().iter().enumerate() {
+            let v = test.normalized(i);
+            let best = (0..3)
+                .min_by(|&a, &b| {
+                    let da: f64 = means[a]
+                        .iter()
+                        .zip(&v)
+                        .map(|(&m, &x)| (m - x as f64).powi(2))
+                        .sum();
+                    let db: f64 = means[b]
+                        .iter()
+                        .zip(&v)
+                        .map(|(&m, &x)| (m - x as f64).powi(2))
+                        .sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == s.label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.5, "nearest-mean accuracy {acc} not above chance");
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per class")]
+    fn dataset_checks_class_count() {
+        let g = generator(11);
+        g.dataset(&[1, 1], &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Sliding-window preprocessing of continuous multi-channel recordings.
+//!
+//! The paper's input format is a preprocessed signal "evenly divided into
+//! `W` sliding windows with overlap, where each window contains a signal
+//! snippet of length `L`". This module implements that step for users who
+//! bring raw recordings: a [`WindowSpec`] slices a 1-D stream into
+//! `(W, L)` grids (one grid per classification sample), and
+//! [`WindowSpec::grid`] + [`crate::quantize`] produce model-ready samples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::quantize::quantize;
+
+/// Sliding-window geometry: `W` windows of length `L` with a fixed hop
+/// (stride) between window starts; `hop < L` means overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Number of windows per grid (the model's `W`).
+    pub windows: usize,
+    /// Snippet length per window (the model's `L`).
+    pub length: usize,
+    /// Samples between consecutive window starts. Must be ≥ 1; `hop <
+    /// length` overlaps neighbouring windows (the common BCI setting).
+    pub hop: usize,
+}
+
+impl WindowSpec {
+    /// A spec with 50 % overlap (`hop = length / 2`, minimum 1).
+    pub fn with_half_overlap(windows: usize, length: usize) -> Self {
+        Self {
+            windows,
+            length,
+            hop: (length / 2).max(1),
+        }
+    }
+
+    /// Total signal samples one grid consumes:
+    /// `(W − 1)·hop + L`.
+    pub fn span(&self) -> usize {
+        if self.windows == 0 {
+            0
+        } else {
+            (self.windows - 1) * self.hop + self.length
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if any extent is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.windows == 0 || self.length == 0 || self.hop == 0 {
+            return Err("windows, length, and hop must all be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// Slices one `(W, L)` grid starting at `offset`, row-major
+    /// (window-major), or `None` if the signal is too short.
+    pub fn grid(&self, signal: &[f32], offset: usize) -> Option<Vec<f32>> {
+        if self.validate().is_err() {
+            return None;
+        }
+        let end = offset.checked_add(self.span())?;
+        if end > signal.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.windows * self.length);
+        for w in 0..self.windows {
+            let start = offset + w * self.hop;
+            out.extend_from_slice(&signal[start..start + self.length]);
+        }
+        Some(out)
+    }
+
+    /// Iterates every grid of a long recording with the given stride
+    /// between *grids* (e.g. one grid per second of signal), quantized to
+    /// `levels` — ready for [`crate::Dataset`] assembly or direct
+    /// inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_stride` is zero or the spec is invalid.
+    pub fn quantized_grids(
+        &self,
+        signal: &[f32],
+        grid_stride: usize,
+        levels: usize,
+    ) -> Vec<Vec<u8>> {
+        assert!(grid_stride > 0, "grid stride must be positive");
+        self.validate().expect("window spec must be valid");
+        let mut grids = Vec::new();
+        let mut offset = 0;
+        while let Some(grid) = self.grid(signal, offset) {
+            grids.push(quantize(&grid, levels));
+            offset += grid_stride;
+        }
+        grids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_formula() {
+        let spec = WindowSpec {
+            windows: 4,
+            length: 8,
+            hop: 4,
+        };
+        assert_eq!(spec.span(), 3 * 4 + 8);
+        assert_eq!(
+            WindowSpec {
+                windows: 0,
+                length: 8,
+                hop: 4
+            }
+            .span(),
+            0
+        );
+    }
+
+    #[test]
+    fn half_overlap_constructor() {
+        let spec = WindowSpec::with_half_overlap(4, 8);
+        assert_eq!(spec.hop, 4);
+        let tiny = WindowSpec::with_half_overlap(4, 1);
+        assert_eq!(tiny.hop, 1);
+    }
+
+    #[test]
+    fn grid_slices_with_overlap() {
+        let signal: Vec<f32> = (0..20).map(|x| x as f32).collect();
+        let spec = WindowSpec {
+            windows: 3,
+            length: 4,
+            hop: 2,
+        };
+        let grid = spec.grid(&signal, 0).unwrap();
+        assert_eq!(
+            grid,
+            vec![0.0, 1.0, 2.0, 3.0, 2.0, 3.0, 4.0, 5.0, 4.0, 5.0, 6.0, 7.0]
+        );
+    }
+
+    #[test]
+    fn grid_rejects_short_signal() {
+        let spec = WindowSpec {
+            windows: 3,
+            length: 4,
+            hop: 2,
+        };
+        // span = 8
+        assert!(spec.grid(&[0.0; 7], 0).is_none());
+        assert!(spec.grid(&[0.0; 8], 0).is_some());
+        assert!(spec.grid(&[0.0; 8], 1).is_none());
+    }
+
+    #[test]
+    fn quantized_grids_walk_the_recording() {
+        let signal: Vec<f32> = (0..100).map(|x| (x as f32).sin()).collect();
+        let spec = WindowSpec {
+            windows: 2,
+            length: 8,
+            hop: 4,
+        };
+        // span = 12; stride 10 → offsets 0, 10, 20, ..., 88
+        let grids = spec.quantized_grids(&signal, 10, 256);
+        assert_eq!(grids.len(), 9);
+        for g in &grids {
+            assert_eq!(g.len(), 16);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero() {
+        assert!(WindowSpec {
+            windows: 0,
+            length: 4,
+            hop: 1
+        }
+        .validate()
+        .is_err());
+        assert!(WindowSpec {
+            windows: 2,
+            length: 0,
+            hop: 1
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_panics() {
+        let spec = WindowSpec {
+            windows: 2,
+            length: 4,
+            hop: 2,
+        };
+        spec.quantized_grids(&[0.0; 32], 0, 256);
+    }
+}

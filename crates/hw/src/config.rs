@@ -1,0 +1,149 @@
+//! Hardware instance configuration.
+
+use serde::{Deserialize, Serialize};
+use univsa::UniVsaConfig;
+
+/// The accelerator instance: the model geometry it is synthesized for plus
+/// the clock it runs at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// High-importance value dimension `D_H` (conv input channels).
+    pub d_h: usize,
+    /// Low-importance value dimension `D_L`.
+    pub d_l: usize,
+    /// Kernel side `D_K`.
+    pub d_k: usize,
+    /// Conv output channels `O`.
+    pub out_channels: usize,
+    /// Similarity heads `Θ`.
+    pub voters: usize,
+    /// Window count `W`.
+    pub width: usize,
+    /// Snippet length `L`.
+    pub length: usize,
+    /// Class count `C`.
+    pub classes: usize,
+    /// Whether the BiConv module is instantiated.
+    pub biconv: bool,
+    /// Memory footprint in KiB (drives BRAM allocation).
+    pub memory_kib: f64,
+    /// Clock frequency in MHz (the paper's UniVSA runs at 250 MHz on the
+    /// ZU3EG).
+    pub clock_mhz: f64,
+}
+
+impl HwConfig {
+    /// Derives the accelerator instance for a model configuration at the
+    /// paper's 250 MHz clock.
+    pub fn new(config: &UniVsaConfig) -> Self {
+        Self::with_clock(config, 250.0)
+    }
+
+    /// Derives the instance at a custom clock frequency (MHz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_mhz` is not positive.
+    pub fn with_clock(config: &UniVsaConfig, clock_mhz: f64) -> Self {
+        assert!(clock_mhz > 0.0, "clock must be positive");
+        Self {
+            d_h: config.d_h,
+            d_l: config.effective_d_l(),
+            d_k: config.d_k,
+            out_channels: config.encoding_channels(),
+            voters: config.effective_voters(),
+            width: config.width,
+            length: config.length,
+            classes: config.classes,
+            biconv: config.enhancements.biconv,
+            memory_kib: univsa::MemoryReport::for_config(config).total_kib(),
+            clock_mhz,
+        }
+    }
+
+    /// Grid positions `D = W·L`.
+    #[inline]
+    pub fn vsa_dim(&self) -> usize {
+        self.width * self.length
+    }
+
+    /// The paper's per-iteration convolution time
+    /// `α = max(D_K, ⌈log₂ D_H⌉)` in cycles (Fig. 5).
+    pub fn alpha(&self) -> usize {
+        self.d_k.max(ceil_log2(self.d_h))
+    }
+}
+
+/// `⌈log₂ n⌉` with `ceil_log2(0) = 0` and `ceil_log2(1) = 1` (a single
+/// input still needs one adder stage).
+pub(crate) fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        return n;
+    }
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa_data::TaskSpec;
+
+    fn model_config() -> UniVsaConfig {
+        let spec = TaskSpec {
+            name: "ISOLET".into(),
+            width: 16,
+            length: 40,
+            classes: 26,
+            levels: 256,
+        };
+        UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(4)
+            .d_k(3)
+            .out_channels(22)
+            .voters(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn derives_from_model_config() {
+        let hw = HwConfig::new(&model_config());
+        assert_eq!(hw.d_h, 4);
+        assert_eq!(hw.out_channels, 22);
+        assert_eq!(hw.voters, 3);
+        assert_eq!(hw.vsa_dim(), 640);
+        assert_eq!(hw.clock_mhz, 250.0);
+        assert!(hw.biconv);
+        assert!(hw.memory_kib > 1.0);
+    }
+
+    #[test]
+    fn alpha_is_paper_formula() {
+        let hw = HwConfig::new(&model_config());
+        // max(3, ceil(log2 4) = 2) = 3
+        assert_eq!(hw.alpha(), 3);
+        let mut hw64 = hw.clone();
+        hw64.d_h = 64;
+        hw64.d_k = 3;
+        // max(3, 6) = 6
+        assert_eq!(hw64.alpha(), 6);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 1);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock")]
+    fn rejects_zero_clock() {
+        HwConfig::with_clock(&model_config(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # univsa-hw
+//!
+//! A cycle-level simulator of the UniVSA FPGA accelerator (the paper's
+//! Section IV), with area/power cost models calibrated against the paper's
+//! Table IV measurements on the Zynq-ZU3EG.
+//!
+//! The accelerator has four compute modules orchestrated by a central
+//! controller:
+//!
+//! * **DVP** — sequential value projection through a FIFO (one feature per
+//!   cycle; parallelism here would cost area without helping latency, since
+//!   BiConv dominates).
+//! * **BiConv** — the binary convolution, `W'·L'·D_K` iterations of
+//!   `α = max(D_K, log₂ D_H)` cycles each, double-buffered so the next
+//!   sample's data loads during the current convolution.
+//! * **Encoding** — XNOR with **F** plus a pipelined adder tree over the
+//!   `O` channels.
+//! * **Similarity** — XNOR with the `Θ` class-vector sets (voter-parallel)
+//!   and popcount accumulation.
+//!
+//! [`Pipeline::schedule`] replays the streaming schedule of the paper's
+//! Fig. 5 cycle by cycle; [`CostModel`] maps a configuration to LUTs,
+//! BRAMs, DSPs and power; [`HwReport::for_config`] bundles everything into
+//! the Table III/IV row format.
+//!
+//! # Examples
+//!
+//! ```
+//! use univsa_hw::{HwConfig, HwReport};
+//! use univsa::UniVsaConfig;
+//! use univsa_data::TaskSpec;
+//!
+//! // the paper's ISOLET configuration
+//! let spec = TaskSpec { name: "ISOLET".into(), width: 16, length: 40, classes: 26, levels: 256 };
+//! let cfg = UniVsaConfig::for_task(&spec)
+//!     .d_h(4).d_l(4).d_k(3).out_channels(22).voters(3).build().unwrap();
+//! let report = HwReport::for_config(&HwConfig::new(&cfg));
+//! assert!(report.latency_ms < 0.1);
+//! assert!(report.power_w < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cost;
+mod pipeline;
+mod report;
+mod rtl;
+mod stage;
+
+pub use config::HwConfig;
+pub use cost::CostModel;
+pub use pipeline::{Pipeline, ScheduleEntry, ScheduleTrace};
+pub use report::{HwReport, StageBreakdown};
+pub use rtl::{export_weights, RtlBundle, RtlFile, RtlGenerator};
+pub use stage::Stage;

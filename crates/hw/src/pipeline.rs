@@ -1,0 +1,331 @@
+//! Streaming pipeline schedule (the paper's Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{HwConfig, Stage};
+
+/// One scheduled execution of a stage on one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// Which module executes.
+    pub stage: Stage,
+    /// Index of the streamed sample.
+    pub sample: usize,
+    /// First busy cycle.
+    pub start: u64,
+    /// One past the last busy cycle.
+    pub end: u64,
+}
+
+/// The full schedule of a streamed batch: entries sorted by start cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleTrace {
+    /// Scheduled stage executions.
+    pub entries: Vec<ScheduleEntry>,
+    /// Cycle at which the last sample's similarity completes.
+    pub makespan: u64,
+}
+
+impl ScheduleTrace {
+    /// Entries of one sample in dataflow order.
+    pub fn sample_entries(&self, sample: usize) -> Vec<&ScheduleEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.sample == sample)
+            .collect()
+    }
+
+    /// Renders an ASCII timeline (one row per stage), matching the bottom-
+    /// right schedule diagram of the paper's Fig. 5.
+    pub fn ascii_timeline(&self, columns: usize) -> String {
+        let mut out = String::new();
+        let scale = (self.makespan.max(1) as f64) / columns as f64;
+        for stage in Stage::ALL {
+            let mut row = vec![b'.'; columns];
+            for e in self.entries.iter().filter(|e| e.stage == stage) {
+                let from = (e.start as f64 / scale) as usize;
+                let to = (((e.end as f64) / scale) as usize).min(columns);
+                let glyph = b'0' + (e.sample % 10) as u8;
+                for slot in row.iter_mut().take(to).skip(from) {
+                    *slot = glyph;
+                }
+            }
+            out.push_str(&format!("{stage:>10} |"));
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The accelerator pipeline: computes per-stage latencies and schedules
+/// streamed samples with double buffering (a stage starts a sample as soon
+/// as both the stage itself and the sample's previous stage are done —
+/// exactly what the paper's double-buffered BiConv permits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pipeline {
+    hw: HwConfig,
+}
+
+impl Pipeline {
+    /// Builds the pipeline for an accelerator instance.
+    pub fn new(hw: HwConfig) -> Self {
+        Self { hw }
+    }
+
+    /// The accelerator instance.
+    #[inline]
+    pub fn hw(&self) -> &HwConfig {
+        &self.hw
+    }
+
+    /// Latency of each stage for one sample, in dataflow order.
+    pub fn stage_latencies(&self) -> Vec<(Stage, u64)> {
+        Stage::ALL
+            .iter()
+            .map(|&s| (s, s.latency_cycles(&self.hw)))
+            .collect()
+    }
+
+    /// Single-sample latency in cycles: the sum of the stage latencies
+    /// plus controller overhead.
+    pub fn sample_latency_cycles(&self) -> u64 {
+        self.stage_latencies().iter().map(|&(_, c)| c).sum::<u64>()
+            + Stage::CONTROLLER_CYCLES
+    }
+
+    /// Steady-state initiation interval under streaming, in cycles: the
+    /// slowest stage bounds the stream (BiConv in every paper
+    /// configuration).
+    pub fn initiation_interval_cycles(&self) -> u64 {
+        self.stage_latencies()
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+
+    /// Schedules `samples` inputs with NO pipelining: each sample runs all
+    /// four stages to completion before the next one starts. This is the
+    /// baseline the paper's double-buffered design is measured against.
+    pub fn schedule_sequential(&self, samples: usize) -> ScheduleTrace {
+        let latencies = self.stage_latencies();
+        let mut entries = Vec::with_capacity(samples * latencies.len());
+        let mut clock = 0u64;
+        for sample in 0..samples {
+            for &(stage, cycles) in &latencies {
+                if cycles == 0 {
+                    continue;
+                }
+                entries.push(ScheduleEntry {
+                    stage,
+                    sample,
+                    start: clock,
+                    end: clock + cycles,
+                });
+                clock += cycles;
+            }
+        }
+        ScheduleTrace {
+            entries,
+            makespan: clock,
+        }
+    }
+
+    /// Steady-state streaming speedup of the pipelined schedule over the
+    /// sequential one (≥ 1; approaches `Σ stages / max stage`).
+    pub fn pipelining_speedup(&self) -> f64 {
+        let total: u64 = self.stage_latencies().iter().map(|&(_, c)| c).sum();
+        total.max(1) as f64 / self.initiation_interval_cycles() as f64
+    }
+
+    /// Schedules `samples` streamed inputs and returns the full trace.
+    pub fn schedule(&self, samples: usize) -> ScheduleTrace {
+        let latencies = self.stage_latencies();
+        let stages = latencies.len();
+        // stage_free[s]: cycle at which module s becomes available
+        let mut stage_free = vec![0u64; stages];
+        let mut entries = Vec::with_capacity(samples * stages);
+        let mut makespan = 0;
+        for sample in 0..samples {
+            let mut ready = 0u64; // when this sample's data is available
+            for (s, &(stage, cycles)) in latencies.iter().enumerate() {
+                if cycles == 0 {
+                    continue; // module not instantiated (e.g. BiConv off)
+                }
+                let start = ready.max(stage_free[s]);
+                let end = start + cycles;
+                entries.push(ScheduleEntry {
+                    stage,
+                    sample,
+                    start,
+                    end,
+                });
+                stage_free[s] = end;
+                ready = end;
+            }
+            makespan = makespan.max(ready);
+        }
+        entries.sort_by_key(|e| (e.start, e.sample));
+        ScheduleTrace { entries, makespan }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa::UniVsaConfig;
+    use univsa_data::TaskSpec;
+
+    fn pipeline() -> Pipeline {
+        let spec = TaskSpec {
+            name: "ISOLET".into(),
+            width: 16,
+            length: 40,
+            classes: 26,
+            levels: 256,
+        };
+        let cfg = UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(4)
+            .d_k(3)
+            .out_channels(22)
+            .voters(3)
+            .build()
+            .unwrap();
+        Pipeline::new(HwConfig::new(&cfg))
+    }
+
+    #[test]
+    fn interval_is_biconv_latency() {
+        let p = pipeline();
+        assert_eq!(
+            p.initiation_interval_cycles(),
+            Stage::BiConv.latency_cycles(p.hw())
+        );
+    }
+
+    #[test]
+    fn single_sample_latency_sums_stages() {
+        let p = pipeline();
+        let expect: u64 = Stage::ALL
+            .iter()
+            .map(|s| s.latency_cycles(p.hw()))
+            .sum::<u64>()
+            + Stage::CONTROLLER_CYCLES;
+        assert_eq!(p.sample_latency_cycles(), expect);
+    }
+
+    #[test]
+    fn schedule_respects_dataflow_order() {
+        let p = pipeline();
+        let trace = p.schedule(3);
+        for sample in 0..3 {
+            let entries = trace.sample_entries(sample);
+            assert_eq!(entries.len(), 4);
+            for pair in entries.windows(2) {
+                assert!(
+                    pair[1].start >= pair[0].end,
+                    "stage {} of sample {sample} started before {} finished",
+                    pair[1].stage,
+                    pair[0].stage
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_never_double_books_a_module() {
+        let p = pipeline();
+        let trace = p.schedule(5);
+        for stage in Stage::ALL {
+            let mut busy: Vec<(u64, u64)> = trace
+                .entries
+                .iter()
+                .filter(|e| e.stage == stage)
+                .map(|e| (e.start, e.end))
+                .collect();
+            busy.sort();
+            for pair in busy.windows(2) {
+                assert!(pair[1].0 >= pair[0].1, "{stage} overlaps: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelining_overlaps_samples() {
+        let p = pipeline();
+        let trace = p.schedule(3);
+        // streamed makespan must beat 3 sequential samples
+        assert!(trace.makespan < 3 * p.sample_latency_cycles());
+        // sample 1's DVP runs while sample 0's BiConv runs (double buffering)
+        let dvp1 = trace
+            .entries
+            .iter()
+            .find(|e| e.stage == Stage::Dvp && e.sample == 1)
+            .unwrap();
+        let conv0 = trace
+            .entries
+            .iter()
+            .find(|e| e.stage == Stage::BiConv && e.sample == 0)
+            .unwrap();
+        assert!(dvp1.start < conv0.end, "DVP of sample 1 did not overlap");
+    }
+
+    #[test]
+    fn steady_state_interval_matches_schedule() {
+        let p = pipeline();
+        let trace = p.schedule(8);
+        // spacing between consecutive similarity completions converges to
+        // the initiation interval
+        let ends: Vec<u64> = (0..8)
+            .map(|s| {
+                trace
+                    .sample_entries(s)
+                    .last()
+                    .expect("sample scheduled")
+                    .end
+            })
+            .collect();
+        let ii = p.initiation_interval_cycles();
+        assert_eq!(ends[7] - ends[6], ii);
+    }
+
+    #[test]
+    fn sequential_schedule_never_overlaps_anything() {
+        let p = pipeline();
+        let trace = p.schedule_sequential(4);
+        let mut sorted = trace.entries.clone();
+        sorted.sort_by_key(|e| e.start);
+        for pair in sorted.windows(2) {
+            assert!(pair[1].start >= pair[0].end);
+        }
+        assert_eq!(trace.makespan, 4 * (p.sample_latency_cycles() - Stage::CONTROLLER_CYCLES));
+    }
+
+    #[test]
+    fn pipelining_beats_sequential() {
+        let p = pipeline();
+        let piped = p.schedule(16).makespan;
+        let sequential = p.schedule_sequential(16).makespan;
+        assert!(piped < sequential);
+        let speedup = p.pipelining_speedup();
+        assert!(speedup > 1.0, "speedup {speedup}");
+        // ratio of makespans approaches the analytic speedup as the stream
+        // grows
+        let empirical = sequential as f64 / piped as f64;
+        assert!(
+            (empirical - speedup).abs() / speedup < 0.15,
+            "empirical {empirical} vs analytic {speedup}"
+        );
+    }
+
+    #[test]
+    fn ascii_timeline_renders() {
+        let p = pipeline();
+        let art = p.schedule(3).ascii_timeline(64);
+        assert!(art.contains("BiConv"));
+        assert!(art.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! The accelerator's pipeline stages and their cycle models.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ceil_log2;
+use crate::HwConfig;
+
+/// One of the four compute modules of the UniVSA accelerator (plus the
+/// central controller, modelled as fixed per-sample orchestration
+/// overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Discriminated value projection (sequential, FIFO-fed).
+    Dvp,
+    /// Binary convolution (double-buffered, `O`-parallel).
+    BiConv,
+    /// Encoding (XNOR + adder tree over channels).
+    Encoding,
+    /// Similarity measurement (voter-parallel XNOR + popcount).
+    Similarity,
+}
+
+impl Stage {
+    /// All stages in dataflow order.
+    pub const ALL: [Stage; 4] = [
+        Stage::Dvp,
+        Stage::BiConv,
+        Stage::Encoding,
+        Stage::Similarity,
+    ];
+
+    /// Latency of this stage for one sample, in cycles.
+    ///
+    /// * DVP streams the `N = W·L` features through the ValueBox tables
+    ///   one per cycle.
+    /// * BiConv runs `W'·L'·D_K` iterations of `α = max(D_K, log₂ D_H)`
+    ///   cycles (the paper's Fig. 5 annotation); zero when the module is
+    ///   not instantiated.
+    /// * Encoding processes one grid position per cycle through an adder
+    ///   tree of depth `⌈log₂ O⌉`.
+    /// * Similarity popcounts `⌈D/64⌉` words per class; the `Θ` voter
+    ///   sets run in parallel.
+    pub fn latency_cycles(self, hw: &HwConfig) -> u64 {
+        let d = hw.vsa_dim() as u64;
+        match self {
+            Stage::Dvp => d,
+            Stage::BiConv => {
+                if hw.biconv {
+                    d * hw.d_k as u64 * hw.alpha() as u64
+                } else {
+                    0
+                }
+            }
+            Stage::Encoding => d + ceil_log2(hw.out_channels) as u64,
+            Stage::Similarity => hw.classes as u64 * d.div_ceil(64),
+        }
+    }
+
+    /// Central-controller orchestration overhead per sample, in cycles.
+    pub const CONTROLLER_CYCLES: u64 = 16;
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::Dvp => "DVP",
+            Stage::BiConv => "BiConv",
+            Stage::Encoding => "Encoding",
+            Stage::Similarity => "Similarity",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa::UniVsaConfig;
+    use univsa_data::TaskSpec;
+
+    fn hw(biconv: bool) -> HwConfig {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 16,
+            length: 40,
+            classes: 26,
+            levels: 256,
+        };
+        let e = univsa::Enhancements {
+            biconv,
+            ..univsa::Enhancements::all()
+        };
+        let cfg = UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(4)
+            .d_k(3)
+            .out_channels(22)
+            .voters(3)
+            .enhancements(e)
+            .build()
+            .unwrap();
+        HwConfig::new(&cfg)
+    }
+
+    #[test]
+    fn biconv_dominates() {
+        let hw = hw(true);
+        let conv = Stage::BiConv.latency_cycles(&hw);
+        for s in [Stage::Dvp, Stage::Encoding, Stage::Similarity] {
+            assert!(
+                conv > s.latency_cycles(&hw),
+                "BiConv must dominate {s}: {conv} vs {}",
+                s.latency_cycles(&hw)
+            );
+        }
+    }
+
+    #[test]
+    fn isolet_conv_cycles_match_paper_formula() {
+        let hw = hw(true);
+        // 640 positions × D_K 3 iterations × α 3 = 5760 cycles
+        assert_eq!(Stage::BiConv.latency_cycles(&hw), 5760);
+        assert_eq!(Stage::Dvp.latency_cycles(&hw), 640);
+        // 640 + ceil(log2 22) = 645
+        assert_eq!(Stage::Encoding.latency_cycles(&hw), 645);
+        // 26 classes × ceil(640/64) = 260
+        assert_eq!(Stage::Similarity.latency_cycles(&hw), 260);
+    }
+
+    #[test]
+    fn disabled_biconv_has_zero_latency() {
+        let hw = hw(false);
+        assert_eq!(Stage::BiConv.latency_cycles(&hw), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Stage::Dvp.to_string(), "DVP");
+        assert_eq!(Stage::BiConv.to_string(), "BiConv");
+    }
+}

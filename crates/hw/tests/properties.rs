@@ -1,0 +1,98 @@
+//! Property-based tests of the pipeline scheduler: for arbitrary valid
+//! accelerator geometries, the schedule must respect dataflow order,
+//! module exclusivity, and steady-state throughput bounds.
+
+use proptest::prelude::*;
+use univsa::UniVsaConfig;
+use univsa_data::TaskSpec;
+use univsa_hw::{HwConfig, Pipeline, Stage};
+
+fn arb_hw() -> impl Strategy<Value = HwConfig> {
+    (
+        3usize..24,  // width
+        3usize..32,  // length
+        2usize..12,  // classes
+        1usize..17,  // d_h
+        1usize..4,   // voters
+        1usize..33,  // out channels
+        any::<bool>(), // biconv
+    )
+        .prop_map(|(w, l, c, d_h, voters, o, biconv)| {
+            let spec = TaskSpec {
+                name: "prop".into(),
+                width: w,
+                length: l,
+                classes: c,
+                levels: 256,
+            };
+            let e = univsa::Enhancements {
+                biconv,
+                ..univsa::Enhancements::all()
+            };
+            let cfg = UniVsaConfig::for_task(&spec)
+                .d_h(d_h)
+                .d_l(1.max(d_h / 2))
+                .d_k(3)
+                .out_channels(o)
+                .voters(voters)
+                .enhancements(e)
+                .build()
+                .expect("generated config valid");
+            HwConfig::new(&cfg)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedule_invariants(hw in arb_hw(), samples in 1usize..12) {
+        let pipeline = Pipeline::new(hw);
+        let trace = pipeline.schedule(samples);
+
+        // dataflow order within each sample
+        for s in 0..samples {
+            let entries = trace.sample_entries(s);
+            prop_assert!(!entries.is_empty());
+            for pair in entries.windows(2) {
+                prop_assert!(pair[1].start >= pair[0].end);
+            }
+        }
+        // module exclusivity
+        for stage in Stage::ALL {
+            let mut busy: Vec<(u64, u64)> = trace
+                .entries
+                .iter()
+                .filter(|e| e.stage == stage)
+                .map(|e| (e.start, e.end))
+                .collect();
+            busy.sort_unstable();
+            for pair in busy.windows(2) {
+                prop_assert!(pair[1].0 >= pair[0].1);
+            }
+        }
+        // makespan bounds: at least one full pass, at most fully sequential
+        let latency = pipeline.sample_latency_cycles()
+            - Stage::CONTROLLER_CYCLES;
+        prop_assert!(trace.makespan >= latency);
+        prop_assert!(trace.makespan <= samples as u64 * latency);
+    }
+
+    #[test]
+    fn steady_state_spacing_equals_interval(hw in arb_hw()) {
+        let pipeline = Pipeline::new(hw);
+        let trace = pipeline.schedule(6);
+        let ends: Vec<u64> = (0..6)
+            .map(|s| trace.sample_entries(s).last().expect("scheduled").end)
+            .collect();
+        let ii = pipeline.initiation_interval_cycles();
+        prop_assert_eq!(ends[5] - ends[4], ii);
+        prop_assert_eq!(ends[4] - ends[3], ii);
+    }
+
+    #[test]
+    fn speedup_at_least_one(hw in arb_hw()) {
+        let pipeline = Pipeline::new(hw);
+        prop_assert!(pipeline.pipelining_speedup() >= 1.0);
+    }
+}

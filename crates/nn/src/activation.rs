@@ -1,0 +1,94 @@
+//! Activation layers.
+
+use serde::{Deserialize, Serialize};
+use univsa_tensor::{ShapeError, Tensor};
+
+/// Elementwise `tanh` activation with cached output for the backward pass.
+///
+/// Used inside the ValueBox MLP.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_nn::Tanh;
+/// use univsa_tensor::Tensor;
+/// let mut t = Tanh::new();
+/// let y = t.forward(&Tensor::zeros(&[2, 2]));
+/// assert_eq!(y.as_slice(), &[0.0; 4]);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates the activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass, caching the output (tanh's derivative is `1 - y²`).
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = x.map(f32::tanh);
+        self.cached_output = Some(y.clone());
+        y
+    }
+
+    /// Forward pass without caching (inference only).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        x.map(f32::tanh)
+    }
+
+    /// Backward pass: `grad_in = grad_out ⊙ (1 - y²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `forward` was not called first or the
+    /// shapes disagree.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let y = self
+            .cached_output
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("Tanh::backward called before forward"))?;
+        grad_out.zip_map(y, |g, yv| g * (1.0 - yv * yv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_forward_values() {
+        let mut t = Tanh::new();
+        let y = t.forward(&Tensor::from_vec(vec![0.0, 100.0, -100.0], &[3]).unwrap());
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert!((y.as_slice()[1] - 1.0).abs() < 1e-6);
+        assert!((y.as_slice()[2] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[3]).unwrap();
+        let g = Tensor::from_vec(vec![1.0, 2.0, -1.0], &[3]).unwrap();
+        let mut t = Tanh::new();
+        let _ = t.forward(&x);
+        let gx = t.backward(&g).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let f = |x: &Tensor| x.map(f32::tanh).mul(&g).unwrap().sum();
+            let fd = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!((fd - gx.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut t = Tanh::new();
+        assert!(t.backward(&Tensor::zeros(&[1])).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Mini-batch index iteration.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Seeded, shuffling mini-batch index iterator.
+///
+/// Yields disjoint index chunks covering `0..n` in a fresh random order per
+/// construction; the final chunk may be short.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use univsa_nn::BatchIter;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let batches: Vec<Vec<usize>> = BatchIter::new(10, 4, &mut rng).collect();
+/// assert_eq!(batches.len(), 3);
+/// let mut all: Vec<usize> = batches.concat();
+/// all.sort();
+/// assert_eq!(all, (0..10).collect::<Vec<_>>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl BatchIter {
+    /// Creates an iterator over `n` samples in batches of `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new<R: Rng + ?Sized>(n: usize, batch_size: usize, rng: &mut R) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        Self {
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let chunk = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_all_indices_once() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen: Vec<usize> = BatchIter::new(23, 5, &mut rng).flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sizes: Vec<usize> = BatchIter::new(10, 4, &mut rng).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn empty_dataset_yields_nothing() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(BatchIter::new(0, 4, &mut rng).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        BatchIter::new(4, 0, &mut rng);
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let a: Vec<Vec<usize>> =
+            BatchIter::new(16, 4, &mut StdRng::seed_from_u64(9)).collect();
+        let b: Vec<Vec<usize>> =
+            BatchIter::new(16, 4, &mut StdRng::seed_from_u64(9)).collect();
+        assert_eq!(a, b);
+    }
+}

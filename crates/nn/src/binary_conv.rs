@@ -1,0 +1,234 @@
+//! The BiConv layer: 2-D convolution with binarized kernels and binarized
+//! activations.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use univsa_tensor::{
+    conv2d, conv2d_input_grad, conv2d_kernel_grad, uniform, Conv2dSpec, ShapeError, Tensor,
+};
+
+use crate::ste::{sign, ste_grad};
+use crate::Param;
+
+/// The binary feature-extraction convolution of UniVSA.
+///
+/// Forward (per sample): `a = sign( x ⊛ sign(K) )` where `x` is a
+/// `(D_H, W, L)` bipolar value-vector map and `K` is the latent
+/// `(O, D_H, D_K, D_K)` kernel bank. Both the kernel binarization and the
+/// output binarization backpropagate through the straight-through
+/// estimator.
+///
+/// This layer establishes the *interaction between features* that plain
+/// binary VSA encoding lacks — the paper's central algorithmic enhancement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinaryConv2d {
+    kernel: Param,
+    spec: Conv2dSpec,
+    cached_input: Option<Vec<Tensor>>,
+    cached_preact: Option<Vec<Tensor>>,
+}
+
+impl BinaryConv2d {
+    /// Creates the layer with latent kernels drawn from `U(-1, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the spec is invalid (zero extent or even
+    /// kernel).
+    pub fn new<R: Rng + ?Sized>(spec: Conv2dSpec, rng: &mut R) -> Result<Self, ShapeError> {
+        spec.validate()?;
+        Ok(Self {
+            kernel: Param::new(uniform(&spec.kernel_dims(), -1.0, 1.0, rng)),
+            spec,
+            cached_input: None,
+            cached_preact: None,
+        })
+    }
+
+    /// The convolution geometry.
+    #[inline]
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// The latent kernel parameter.
+    #[inline]
+    pub fn kernel(&self) -> &Param {
+        &self.kernel
+    }
+
+    /// Mutable latent kernel parameter (for the optimizer).
+    #[inline]
+    pub fn kernel_mut(&mut self) -> &mut Param {
+        &mut self.kernel
+    }
+
+    /// The binarized kernels `sign(K)` — exported as the VSA kernel set
+    /// **K** after training.
+    pub fn binary_kernel(&self) -> Tensor {
+        sign(self.kernel.value())
+    }
+
+    /// Forward pass over a batch of `(D_H, W, L)` samples, caching
+    /// intermediates for [`BinaryConv2d::backward`].
+    ///
+    /// Returns the binarized activations, one `(O, W, L)` tensor per
+    /// sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any sample has the wrong shape.
+    pub fn forward(&mut self, batch: &[Tensor]) -> Result<Vec<Tensor>, ShapeError> {
+        let kb = self.binary_kernel();
+        let mut preacts = Vec::with_capacity(batch.len());
+        let mut outs = Vec::with_capacity(batch.len());
+        for x in batch {
+            let pre = conv2d(x, &kb, &self.spec)?;
+            outs.push(sign(&pre));
+            preacts.push(pre);
+        }
+        self.cached_input = Some(batch.to_vec());
+        self.cached_preact = Some(preacts);
+        Ok(outs)
+    }
+
+    /// Forward pass without caching (inference only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the sample has the wrong shape.
+    pub fn infer(&self, x: &Tensor) -> Result<Tensor, ShapeError> {
+        Ok(sign(&conv2d(x, &self.binary_kernel(), &self.spec)?))
+    }
+
+    /// Backward pass: accumulates the latent kernel gradient and returns
+    /// per-sample input gradients.
+    ///
+    /// The STE is applied twice: once for the output binarization (masked
+    /// by the pre-activation) and once for the kernel binarization (masked
+    /// by the latent kernel values). The pre-activation STE window is
+    /// widened to the kernel fan-in because the pre-activation of a
+    /// `±1 × ±1` convolution has integer magnitude up to `D_H·D_K²`; a
+    /// `|x| ≤ 1` window would zero almost all gradients. This matches the
+    /// common BNN practice of scaling the hardtanh window by fan-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if shapes disagree or `forward` was not
+    /// called first.
+    pub fn backward(&mut self, grad_out: &[Tensor]) -> Result<Vec<Tensor>, ShapeError> {
+        let inputs = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("BinaryConv2d::backward called before forward"))?;
+        let preacts = self
+            .cached_preact
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("BinaryConv2d::backward called before forward"))?;
+        if grad_out.len() != inputs.len() {
+            return Err(ShapeError::new(format!(
+                "backward batch size {} disagrees with forward batch size {}",
+                grad_out.len(),
+                inputs.len()
+            )));
+        }
+        let fan_in = (self.spec.in_channels * self.spec.kernel * self.spec.kernel) as f32;
+        let kb = self.binary_kernel();
+        let mut grad_inputs = Vec::with_capacity(grad_out.len());
+        let mut dkb_total = Tensor::zeros(&self.spec.kernel_dims());
+        for ((g, pre), x) in grad_out.iter().zip(preacts).zip(inputs) {
+            // STE through the output sign, window scaled by fan-in.
+            let scaled = pre.scale(1.0 / fan_in);
+            let g_pre = ste_grad(g, &scaled);
+            dkb_total.axpy(1.0, &conv2d_kernel_grad(x, &g_pre, &self.spec)?)?;
+            grad_inputs.push(conv2d_input_grad(&g_pre, &kb, &self.spec)?);
+        }
+        // STE through the kernel sign.
+        let dk = ste_grad(&dkb_total, self.kernel.value());
+        self.kernel.grad_mut().axpy(1.0, &dk)?;
+        Ok(grad_inputs)
+    }
+
+    /// Zeroes the latent kernel gradient.
+    pub fn zero_grad(&mut self) {
+        self.kernel.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> Conv2dSpec {
+        Conv2dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            height: 4,
+            width: 5,
+        }
+    }
+
+    #[test]
+    fn outputs_are_bipolar() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = BinaryConv2d::new(spec(), &mut rng).unwrap();
+        let x = univsa_tensor::signs(&[2, 4, 5], &mut rng);
+        let out = layer.forward(&[x]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].shape().dims(), &[3, 4, 5]);
+        assert!(out[0].as_slice().iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = BinaryConv2d::new(spec(), &mut rng).unwrap();
+        let x = univsa_tensor::signs(&[2, 4, 5], &mut rng);
+        let out = layer.forward(&[x.clone()]).unwrap();
+        assert_eq!(layer.infer(&x).unwrap(), out[0]);
+    }
+
+    #[test]
+    fn rejects_even_kernel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bad = Conv2dSpec {
+            kernel: 2,
+            ..spec()
+        };
+        assert!(BinaryConv2d::new(bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn backward_accumulates_kernel_grad() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = BinaryConv2d::new(spec(), &mut rng).unwrap();
+        let x = univsa_tensor::signs(&[2, 4, 5], &mut rng);
+        let out = layer.forward(&[x]).unwrap();
+        layer.zero_grad();
+        let g: Vec<Tensor> = out.iter().map(|o| o.map(|_| 1.0)).collect();
+        let gx = layer.backward(&g).unwrap();
+        assert_eq!(gx.len(), 1);
+        assert_eq!(gx[0].shape().dims(), &[2, 4, 5]);
+        // some gradient must flow
+        assert!(layer.kernel.grad().as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn backward_batch_size_checked() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut layer = BinaryConv2d::new(spec(), &mut rng).unwrap();
+        let x = univsa_tensor::signs(&[2, 4, 5], &mut rng);
+        let _ = layer.forward(&[x]).unwrap();
+        assert!(layer.backward(&[]).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = BinaryConv2d::new(spec(), &mut rng).unwrap();
+        assert!(layer.backward(&[Tensor::zeros(&[3, 4, 5])]).is_err());
+    }
+}

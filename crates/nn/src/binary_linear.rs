@@ -1,0 +1,195 @@
+//! Dense layer with binarized weights.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use univsa_tensor::{uniform, ShapeError, Tensor};
+
+use crate::ste::{sign, ste_grad};
+use crate::Param;
+
+/// A fully connected layer whose *effective* weights are the sign of latent
+/// float weights: `y = x · sign(W)ᵀ`.
+///
+/// This is the layer the LDC strategy uses for both the encoding stage
+/// (latent weights become the feature vectors **F**) and the similarity
+/// heads (latent weights become the class vectors **C**). No bias — binary
+/// VSA similarity is a pure dot product.
+///
+/// Gradients flow to the latent weights through the straight-through
+/// estimator, and the latent weights are clipped to `[-1, 1]` after every
+/// optimizer step (see [`Param::clip`]) to keep the STE window populated.
+///
+/// Input shape `(B, in)`, output shape `(B, out)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinaryLinear {
+    weight: Param, // latent (out, in)
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl BinaryLinear {
+    /// Creates a layer with latent weights drawn from `U(-1, 1)`.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Self {
+            weight: Param::new(uniform(&[out_features, in_features], -1.0, 1.0, rng)),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    #[inline]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    #[inline]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The latent weight parameter.
+    #[inline]
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable latent weight parameter (for the optimizer).
+    #[inline]
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// The binarized weights `sign(W)` — what gets exported into the VSA
+    /// model after training.
+    pub fn binary_weight(&self) -> Tensor {
+        sign(self.weight.value())
+    }
+
+    /// Forward pass, caching the input for [`BinaryLinear::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x` is not `(B, in_features)`.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, ShapeError> {
+        let y = self.infer(x)?;
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    /// Forward pass without caching (inference only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x` is not `(B, in_features)`.
+    pub fn infer(&self, x: &Tensor) -> Result<Tensor, ShapeError> {
+        x.matmul_nt(&self.binary_weight())
+    }
+
+    /// Backward pass: accumulates the latent weight gradient (through the
+    /// STE) and returns the gradient w.r.t. the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if shapes disagree or `forward` was not
+    /// called first.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("BinaryLinear::backward called before forward"))?;
+        // Gradient w.r.t. the *binary* weights, then STE to the latent ones.
+        let dwb = grad_out.matmul_tn(x)?;
+        let dw = ste_grad(&dwb, self.weight.value());
+        self.weight.grad_mut().axpy(1.0, &dw)?;
+        // Input gradient flows through the binary weights.
+        grad_out.matmul(&self.binary_weight())
+    }
+
+    /// Zeroes the latent weight gradient.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{softmax_cross_entropy, Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_uses_binarized_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = BinaryLinear::new(3, 1, &mut rng);
+        // force latent weights to known small values
+        l.weight.value_mut().as_mut_slice().copy_from_slice(&[0.1, -0.9, 0.0]);
+        // sign → [1, -1, 1]
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let y = l.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[1.0 - 2.0 + 3.0]);
+    }
+
+    #[test]
+    fn output_magnitude_bounded_by_dim() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = BinaryLinear::new(16, 4, &mut rng);
+        // bipolar input → outputs bounded by the input dimension
+        let x = Tensor::full(&[1, 16], 1.0);
+        let y = l.infer(&x).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.abs() <= 16.0));
+    }
+
+    #[test]
+    fn trains_toy_problem() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = BinaryLinear::new(8, 2, &mut rng);
+        let mut opt = Adam::new(0.05);
+        // two bipolar prototypes
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0, //
+                -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0,
+            ],
+            &[2, 8],
+        )
+        .unwrap();
+        let labels = [0usize, 1];
+        for _ in 0..100 {
+            let logits = l.forward(&x).unwrap();
+            let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+            l.zero_grad();
+            l.backward(&grad).unwrap();
+            opt.step(l.weight_mut());
+            l.weight_mut().clip(1.0);
+        }
+        let logits = l.infer(&x).unwrap();
+        assert!(logits.at(&[0, 0]) > logits.at(&[0, 1]));
+        assert!(logits.at(&[1, 1]) > logits.at(&[1, 0]));
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = BinaryLinear::new(2, 2, &mut rng);
+        assert!(l.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn ste_blocks_gradient_outside_window() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = BinaryLinear::new(2, 1, &mut rng);
+        l.weight.value_mut().as_mut_slice().copy_from_slice(&[5.0, 0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let _ = l.forward(&x).unwrap();
+        l.zero_grad();
+        let _ = l.backward(&Tensor::full(&[1, 1], 1.0)).unwrap();
+        // |5.0| > 1 → zero grad; |0.5| ≤ 1 → passes
+        assert_eq!(l.weight.grad().as_slice()[0], 0.0);
+        assert_ne!(l.weight.grad().as_slice()[1], 0.0);
+    }
+}

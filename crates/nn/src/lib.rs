@@ -1,0 +1,75 @@
+//! # univsa-nn
+//!
+//! Training substrate for the UniVSA "partial BNN".
+//!
+//! The low-dimensional-computing (LDC) strategy of the paper trains a binary
+//! VSA model by mapping it onto a small, specially structured binary neural
+//! network: an MLP *ValueBox* projecting feature values to bipolar vectors, a
+//! binary convolution extracting feature interactions, a binary encoding
+//! layer (whose weights become the feature vectors **F**), and one or more
+//! binary dense similarity heads (whose weights become the class vectors
+//! **C**). After training, only the binarized weights are exported; the
+//! float network is discarded.
+//!
+//! This crate provides the pieces that network is assembled from:
+//!
+//! * [`Param`] — a trainable tensor with gradient and Adam moments.
+//! * [`ste`] — the straight-through estimator for `sign`.
+//! * [`Linear`], [`Tanh`] — real-valued MLP building blocks (ValueBox).
+//! * [`BinaryLinear`] — dense layer with latent-float, sign-binarized
+//!   weights (encoding layer and similarity heads).
+//! * [`BinaryConv2d`] — the BiConv feature-extraction layer.
+//! * [`softmax_cross_entropy`] — classification loss with gradient.
+//! * [`Sgd`], [`Adam`] — optimizers over [`Param`]s.
+//! * [`accuracy`], [`ConfusionMatrix`] — evaluation metrics.
+//! * [`BatchIter`] — seeded shuffling mini-batch iterator.
+//!
+//! # Examples
+//!
+//! Train a tiny binary classifier on a linearly separable toy problem:
+//!
+//! ```
+//! use univsa_nn::{Adam, BinaryLinear, Optimizer, softmax_cross_entropy};
+//! use univsa_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut layer = BinaryLinear::new(2, 2, &mut rng);
+//! let mut opt = Adam::new(0.05);
+//! let x = Tensor::from_vec(vec![1.0, 1.0, -1.0, -1.0], &[2, 2]).unwrap();
+//! let labels = [0usize, 1];
+//! for _ in 0..50 {
+//!     let logits = layer.forward(&x).unwrap();
+//!     let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+//!     layer.zero_grad();
+//!     layer.backward(&grad).unwrap();
+//!     opt.step(layer.weight_mut());
+//! }
+//! let logits = layer.forward(&x).unwrap();
+//! assert!(logits.at(&[0, 0]) > logits.at(&[0, 1]));
+//! assert!(logits.at(&[1, 1]) > logits.at(&[1, 0]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod batch;
+mod binary_conv;
+mod binary_linear;
+mod linear;
+mod loss;
+mod metrics;
+mod optim;
+mod param;
+pub mod ste;
+
+pub use activation::Tanh;
+pub use batch::BatchIter;
+pub use binary_conv::BinaryConv2d;
+pub use binary_linear::BinaryLinear;
+pub use linear::Linear;
+pub use loss::softmax_cross_entropy;
+pub use metrics::{accuracy, ConfusionMatrix};
+pub use optim::{cosine_lr, Adam, Optimizer, Sgd};
+pub use param::Param;

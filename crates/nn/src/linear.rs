@@ -1,0 +1,222 @@
+//! Real-valued dense layer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use univsa_tensor::{kaiming_uniform, ShapeError, Tensor};
+
+use crate::Param;
+
+/// A real-valued fully connected layer `y = x·Wᵀ + b` over mini-batches.
+///
+/// Used for the hidden layers of the ValueBox MLP (only the final
+/// binarization makes the ValueBox's *output* binary; its internals are
+/// ordinary floats, exactly as in the LDC recipe).
+///
+/// Input shape `(B, in)`, output shape `(B, out)`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use univsa_nn::Linear;
+/// use univsa_tensor::Tensor;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut l = Linear::new(3, 5, &mut rng);
+/// let x = Tensor::zeros(&[2, 3]);
+/// let y = l.forward(&x)?;
+/// assert_eq!(y.shape().dims(), &[2, 5]);
+/// # Ok::<(), univsa_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Param, // (out, in)
+    bias: Param,   // (1, out)
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Self {
+            weight: Param::new(kaiming_uniform(
+                &[out_features, in_features],
+                in_features,
+                rng,
+            )),
+            bias: Param::new(Tensor::zeros(&[1, out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    #[inline]
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    #[inline]
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The weight parameter.
+    #[inline]
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight parameter (for the optimizer).
+    #[inline]
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Mutable bias parameter (for the optimizer).
+    #[inline]
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Forward pass, caching the input for [`Linear::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x` is not `(B, in_features)`.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, ShapeError> {
+        let y = self.infer(x)?;
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    /// Forward pass without caching (inference only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x` is not `(B, in_features)`.
+    pub fn infer(&self, x: &Tensor) -> Result<Tensor, ShapeError> {
+        let mut y = x.matmul_nt(self.weight.value())?;
+        let b = self.bias.value().as_slice();
+        let out = self.out_features;
+        for row in y.as_mut_slice().chunks_mut(out) {
+            for (v, &bv) in row.iter_mut().zip(b) {
+                *v += bv;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient w.r.t. the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `grad_out` is not `(B, out_features)` or
+    /// `forward` was not called first.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, ShapeError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| ShapeError::new("Linear::backward called before forward"))?;
+        // dW = gradᵀ · x  → (out, in)
+        let dw = grad_out.matmul_tn(x)?;
+        self.weight.grad_mut().axpy(1.0, &dw)?;
+        // db = column sums of grad
+        let out = self.out_features;
+        let mut db = vec![0.0f32; out];
+        for row in grad_out.as_slice().chunks(out) {
+            for (d, &g) in db.iter_mut().zip(row) {
+                *d += g;
+            }
+        }
+        self.bias
+            .grad_mut()
+            .axpy(1.0, &Tensor::from_vec(db, &[1, out])?)?;
+        // dx = grad · W → (B, in)
+        grad_out.matmul(self.weight.value())
+    }
+
+    /// Zeroes both parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+
+    /// Applies a function to each parameter (optimizer hook).
+    pub fn visit_params(&mut self, f: &mut impl FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let y = l.forward(&Tensor::zeros(&[5, 4])).unwrap();
+        assert_eq!(y.shape().dims(), &[5, 3]);
+        assert!(l.forward(&Tensor::zeros(&[5, 5])).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_fails() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        assert!(l.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5], &[2, 3]).unwrap();
+        let g = Tensor::from_vec(vec![1.0, -1.0, 0.5, 2.0], &[2, 2]).unwrap();
+
+        let _ = l.forward(&x).unwrap();
+        l.zero_grad();
+        let gx = l.backward(&g).unwrap();
+
+        let loss = |l: &Linear, x: &Tensor| l.infer(x).unwrap().mul(&g).unwrap().sum();
+        let eps = 1e-3;
+        // weight gradient check
+        for idx in [0usize, 3, 5] {
+            let mut lp = l.clone();
+            lp.weight.value_mut().as_mut_slice()[idx] += eps;
+            let mut lm = l.clone();
+            lm.weight.value_mut().as_mut_slice()[idx] -= eps;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            assert!((fd - l.weight.grad().as_slice()[idx]).abs() < 1e-2);
+        }
+        // input gradient check
+        for idx in [0usize, 2, 4] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * eps);
+            assert!((fd - gx.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_batch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Linear::new(1, 2, &mut rng);
+        let x = Tensor::zeros(&[3, 1]);
+        let _ = l.forward(&x).unwrap();
+        l.zero_grad();
+        let g = Tensor::full(&[3, 2], 1.0);
+        let _ = l.backward(&g).unwrap();
+        assert_eq!(l.bias.grad().as_slice(), &[3.0, 3.0]);
+    }
+}

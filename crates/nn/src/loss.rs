@@ -1,0 +1,131 @@
+//! Classification losses.
+
+use univsa_tensor::{ShapeError, Tensor};
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// `logits` has shape `(B, C)`; `labels` holds `B` class indices. Returns
+/// the mean loss and the gradient w.r.t. the logits (already divided by the
+/// batch size, ready to feed straight into a backward pass).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `logits` is not rank 2, the batch sizes
+/// disagree, or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_nn::softmax_cross_entropy;
+/// use univsa_tensor::Tensor;
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2])?;
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0])?;
+/// assert!(loss < 1e-6);
+/// assert!(grad.as_slice()[0].abs() < 1e-6);
+/// # Ok::<(), univsa_tensor::ShapeError>(())
+/// ```
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), ShapeError> {
+    let dims = logits.shape().dims();
+    if dims.len() != 2 {
+        return Err(ShapeError::new(format!(
+            "logits must be rank 2 (batch, classes), got rank {}",
+            dims.len()
+        )));
+    }
+    let (b, c) = (dims[0], dims[1]);
+    if labels.len() != b {
+        return Err(ShapeError::new(format!(
+            "batch size mismatch: {} logits rows vs {} labels",
+            b,
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(ShapeError::new(format!(
+            "label {bad} out of range for {c} classes"
+        )));
+    }
+    let x = logits.as_slice();
+    let mut grad = vec![0.0f32; b * c];
+    let mut total = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &x[i * c..(i + 1) * c];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let logz = z.ln() + max;
+        total += f64::from(logz - row[label]);
+        let grow = &mut grad[i * c..(i + 1) * c];
+        for (g, &e) in grow.iter_mut().zip(&exps) {
+            *g = e / z / b as f32;
+        }
+        grow[label] -= 1.0 / b as f32;
+    }
+    Ok((
+        (total / b as f64) as f32,
+        Tensor::from_vec(grad, &[b, c])?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]).unwrap();
+        for row in grad.as_slice().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.3], &[2, 3]).unwrap();
+        let labels = [1usize, 2];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels).unwrap();
+            let (fm, _) = softmax_cross_entropy(&lm, &labels).unwrap();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "at {i}: fd={fd}, analytic={}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, -1000.0], &[1, 2]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let logits = Tensor::zeros(&[1, 2]);
+        assert!(softmax_cross_entropy(&logits, &[2]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 1]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[4]), &[0]).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Evaluation metrics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to their labels.
+///
+/// Returns 0 for empty inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_nn::accuracy;
+/// assert_eq!(accuracy(&[0, 1, 2, 1], &[0, 1, 1, 1]), 0.75);
+/// ```
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must have equal length"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let hits = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hits as f64 / predictions.len() as f64
+}
+
+/// A confusion matrix over `C` classes: `matrix[label][prediction]`.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_nn::ConfusionMatrix;
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.count(0, 1), 1);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over the given class count.
+    pub fn new(classes: usize) -> Self {
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(label, prediction)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, label: usize, prediction: usize) {
+        assert!(label < self.classes, "label {label} out of range");
+        assert!(prediction < self.classes, "prediction {prediction} out of range");
+        self.counts[label * self.classes + prediction] += 1;
+    }
+
+    /// Count of samples with the given label predicted as `prediction`.
+    pub fn count(&self, label: usize, prediction: usize) -> u64 {
+        self.counts[label * self.classes + prediction]
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall: `count(c, c) / Σ_p count(c, p)`, `None` for classes
+    /// never observed.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Macro-averaged recall over observed classes (balanced accuracy).
+    pub fn balanced_accuracy(&self) -> f64 {
+        let recalls: Vec<f64> = (0..self.classes).filter_map(|c| self.recall(c)).collect();
+        if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes):", self.classes)?;
+        for l in 0..self.classes {
+            for p in 0..self.classes {
+                write!(f, "{:>7}", self.count(l, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(accuracy(&[0, 1], &[1, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn accuracy_length_checked() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(1, 2);
+        cm.record(1, 1);
+        cm.record(2, 2);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.count(1, 2), 1);
+        assert_eq!(cm.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn recall_and_balanced() {
+        let mut cm = ConfusionMatrix::new(2);
+        // class 0: 3 of 4 correct; class 1: 1 of 2 correct
+        for _ in 0..3 {
+            cm.record(0, 0);
+        }
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(1, 0);
+        assert_eq!(cm.recall(0), Some(0.75));
+        assert_eq!(cm.recall(1), Some(0.5));
+        assert!((cm.balanced_accuracy() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_unobserved_is_none() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.recall(0), None);
+        assert_eq!(cm.balanced_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let cm = ConfusionMatrix::new(2);
+        assert!(cm.to_string().contains("confusion"));
+    }
+}

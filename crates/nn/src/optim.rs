@@ -1,0 +1,229 @@
+//! Optimizers over [`Param`]s.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Param;
+
+/// A first-order optimizer: consumes a parameter's accumulated gradient and
+/// updates its value in place.
+///
+/// Implemented by [`Sgd`] and [`Adam`]. Object-safe so trainers can hold a
+/// `Box<dyn Optimizer>`.
+pub trait Optimizer {
+    /// Applies one update step to the parameter using its accumulated
+    /// gradient. Does not zero the gradient.
+    fn step(&mut self, param: &mut Param);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// The momentum buffer lives in the parameter's first-moment slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate (no momentum).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0 }
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, param: &mut Param) {
+        let momentum = self.momentum;
+        let lr = self.lr;
+        let (value, grad, m1, _, _) = param.optimizer_view();
+        for ((v, &g), m) in value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(m1.as_mut_slice())
+        {
+            *m = momentum * *m + g;
+            *v -= lr * *m;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba) with bias correction.
+///
+/// Moments live inside the [`Param`], so one `Adam` instance can serve many
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+}
+
+impl Adam {
+    /// Adam with standard coefficients `β₁ = 0.9`, `β₂ = 0.999`,
+    /// `ε = 1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Adam with custom moment coefficients.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, param: &mut Param) {
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (value, grad, m1, m2, t) = param.optimizer_view();
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        for (((v, &g), m), s) in value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(m1.as_mut_slice())
+            .zip(m2.as_mut_slice())
+        {
+            *m = b1 * *m + (1.0 - b1) * g;
+            *s = b2 * *s + (1.0 - b2) * g * g;
+            let mhat = *m / bc1;
+            let shat = *s / bc2;
+            *v -= lr * mhat / (shat.sqrt() + eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Cosine-annealed learning rate: `lr(t) = lr₀ · ½(1 + cos(π t / T))`.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_nn::{Adam, Optimizer};
+/// use univsa_nn::cosine_lr;
+/// let mut opt = Adam::new(0.1);
+/// opt.set_learning_rate(cosine_lr(0.1, 5, 10));
+/// assert!(opt.learning_rate() < 0.1);
+/// ```
+pub fn cosine_lr(base: f32, epoch: usize, total: usize) -> f32 {
+    if total == 0 {
+        return base;
+    }
+    let t = (epoch.min(total)) as f32 / total as f32;
+    base * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa_tensor::Tensor;
+
+    fn quadratic_grad(p: &Param) -> Tensor {
+        // d/dx of ½x² is x
+        p.value().clone()
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut p = Param::new(Tensor::from_vec(vec![4.0, -3.0], &[2]).unwrap());
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            p.zero_grad();
+            let g = quadratic_grad(&p);
+            p.grad_mut().axpy(1.0, &g).unwrap();
+            opt.step(&mut p);
+        }
+        assert!(p.value().as_slice().iter().all(|v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f32| {
+            let mut p = Param::new(Tensor::from_vec(vec![1.0], &[1]).unwrap());
+            let mut opt = Sgd::with_momentum(0.01, mom);
+            for _ in 0..50 {
+                p.zero_grad();
+                let g = quadratic_grad(&p);
+                p.grad_mut().axpy(1.0, &g).unwrap();
+                opt.step(&mut p);
+            }
+            p.value().as_slice()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = Param::new(Tensor::from_vec(vec![5.0, -2.0, 0.5], &[3]).unwrap());
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            p.zero_grad();
+            let g = quadratic_grad(&p);
+            p.grad_mut().axpy(1.0, &g).unwrap();
+            opt.step(&mut p);
+        }
+        assert!(p.value().as_slice().iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn adam_step_count_advances() {
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut p);
+        opt.step(&mut p);
+        assert_eq!(p.steps(), 2);
+    }
+
+    #[test]
+    fn lr_get_set() {
+        let mut opt: Box<dyn Optimizer> = Box::new(Adam::new(0.1));
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        assert_eq!(cosine_lr(1.0, 0, 10), 1.0);
+        assert!(cosine_lr(1.0, 10, 10) < 1e-6);
+        assert!((cosine_lr(1.0, 5, 10) - 0.5).abs() < 1e-6);
+        assert_eq!(cosine_lr(0.3, 1, 0), 0.3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Trainable parameters.
+
+use serde::{Deserialize, Serialize};
+use univsa_tensor::Tensor;
+
+/// A trainable tensor together with its gradient accumulator and the
+/// per-parameter optimizer state (first/second Adam moments, step count).
+///
+/// Layers own their `Param`s; optimizers mutate them through
+/// [`crate::Optimizer::step`].
+///
+/// # Examples
+///
+/// ```
+/// use univsa_nn::Param;
+/// use univsa_tensor::Tensor;
+/// let p = Param::new(Tensor::zeros(&[2, 2]));
+/// assert_eq!(p.value().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    value: Tensor,
+    grad: Tensor,
+    moment1: Tensor,
+    moment2: Tensor,
+    steps: u64,
+}
+
+impl Param {
+    /// Wraps an initial value as a trainable parameter with zeroed state.
+    pub fn new(value: Tensor) -> Self {
+        let dims = value.shape().dims().to_vec();
+        Self {
+            value,
+            grad: Tensor::zeros(&dims),
+            moment1: Tensor::zeros(&dims),
+            moment2: Tensor::zeros(&dims),
+            steps: 0,
+        }
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable access to the value (used by optimizers and weight clipping).
+    #[inline]
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// The accumulated gradient.
+    #[inline]
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable access to the gradient accumulator.
+    #[inline]
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_();
+    }
+
+    /// Number of optimizer steps applied so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Optimizer-internal access to `(value, grad, moment1, moment2)` plus a
+    /// pre-incremented step count.
+    pub(crate) fn optimizer_view(
+        &mut self,
+    ) -> (&mut Tensor, &Tensor, &mut Tensor, &mut Tensor, u64) {
+        self.steps += 1;
+        (
+            &mut self.value,
+            &self.grad,
+            &mut self.moment1,
+            &mut self.moment2,
+            self.steps,
+        )
+    }
+
+    /// Clamps the value elementwise into `[-bound, bound]`.
+    ///
+    /// Binary layers keep their latent weights clipped so that the STE
+    /// gradient window (`|w| ≤ 1`) stays populated.
+    pub fn clip(&mut self, bound: f32) {
+        self.value.map_inplace(|x| x.clamp(-bound, bound));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_zero_state() {
+        let p = Param::new(Tensor::full(&[3], 2.0));
+        assert_eq!(p.grad().as_slice(), &[0.0; 3]);
+        assert_eq!(p.steps(), 0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.grad_mut().as_mut_slice()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_bounds_values() {
+        let mut p = Param::new(Tensor::from_vec(vec![-3.0, 0.5, 2.0], &[3]).unwrap());
+        p.clip(1.0);
+        assert_eq!(p.value().as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+}

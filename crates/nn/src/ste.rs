@@ -1,0 +1,76 @@
+//! Straight-through estimator (STE) for the `sign` nonlinearity.
+//!
+//! Binarized networks use `sign(x)` in the forward pass, whose true
+//! derivative is zero almost everywhere. The straight-through estimator
+//! replaces it in the backward pass with the derivative of `hardtanh`:
+//! gradient `1` where `|x| ≤ 1`, `0` elsewhere. This is the estimator the
+//! LDC training strategy (and virtually all BNN literature) uses.
+
+use univsa_tensor::Tensor;
+
+/// `sign(x)` with the paper's `sgn(0) = +1` tiebreak, elementwise.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_nn::ste::sign;
+/// use univsa_tensor::Tensor;
+/// let x = Tensor::from_vec(vec![-0.5, 0.0, 2.0], &[3]).unwrap();
+/// assert_eq!(sign(&x).as_slice(), &[-1.0, 1.0, 1.0]);
+/// ```
+pub fn sign(x: &Tensor) -> Tensor {
+    x.map(|v| if v >= 0.0 { 1.0 } else { -1.0 })
+}
+
+/// Backward pass of the STE: masks the upstream gradient to the region
+/// `|x| ≤ 1` of the *pre-activation* input.
+///
+/// # Panics
+///
+/// Panics if the shapes of `grad_out` and `input` differ (programming
+/// error in layer wiring).
+///
+/// # Examples
+///
+/// ```
+/// use univsa_nn::ste::ste_grad;
+/// use univsa_tensor::Tensor;
+/// let x = Tensor::from_vec(vec![-2.0, 0.5, 1.5], &[3]).unwrap();
+/// let g = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]).unwrap();
+/// assert_eq!(ste_grad(&g, &x).as_slice(), &[0.0, 1.0, 0.0]);
+/// ```
+pub fn ste_grad(grad_out: &Tensor, input: &Tensor) -> Tensor {
+    grad_out
+        .zip_map(input, |g, x| if x.abs() <= 1.0 { g } else { 0.0 })
+        .expect("STE gradient and input shapes must match")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_zero_is_positive() {
+        let x = Tensor::zeros(&[4]);
+        assert!(sign(&x).as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn sign_output_is_bipolar() {
+        let x = Tensor::from_vec(vec![-1e9, -1e-9, 1e-9, 1e9], &[4]).unwrap();
+        assert_eq!(sign(&x).as_slice(), &[-1.0, -1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn ste_window_boundary_inclusive() {
+        let x = Tensor::from_vec(vec![-1.0, 1.0, -1.0001, 1.0001], &[4]).unwrap();
+        let g = Tensor::full(&[4], 2.0);
+        assert_eq!(ste_grad(&g, &x).as_slice(), &[2.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapes must match")]
+    fn ste_shape_mismatch_panics() {
+        ste_grad(&Tensor::zeros(&[2]), &Tensor::zeros(&[3]));
+    }
+}

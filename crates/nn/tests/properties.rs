@@ -1,0 +1,120 @@
+//! Property-based tests of the training substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use univsa_nn::ste::{sign, ste_grad};
+use univsa_nn::{accuracy, softmax_cross_entropy, Adam, BinaryLinear, Optimizer, Sgd};
+use univsa_tensor::Tensor;
+
+fn arb_tensor(n: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, &[n]).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sign_is_bipolar_and_idempotent(t in (1usize..64).prop_flat_map(arb_tensor)) {
+        let s = sign(&t);
+        prop_assert!(s.as_slice().iter().all(|&v| v == 1.0 || v == -1.0));
+        prop_assert_eq!(sign(&s.clone()), s);
+    }
+
+    #[test]
+    fn ste_never_amplifies(t in (1usize..64).prop_flat_map(|n| (arb_tensor(n), arb_tensor(n)))) {
+        let (g, x) = t;
+        let masked = ste_grad(&g, &x);
+        for (m, gv) in masked.as_slice().iter().zip(g.as_slice()) {
+            prop_assert!(m.abs() <= gv.abs() + 1e-9);
+            prop_assert!(*m == 0.0 || *m == *gv);
+        }
+    }
+
+    #[test]
+    fn ce_loss_nonnegative_and_grad_rows_zero_sum(
+        (b, c, seed) in (1usize..6, 2usize..8, 0u64..500)
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = univsa_tensor::uniform(&[b, c], -4.0, 4.0, &mut rng);
+        let labels: Vec<usize> = (0..b).map(|_| rng.gen_range(0..c)).collect();
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(loss >= 0.0);
+        for row in grad.as_slice().chunks(c) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+        // gradient at the true label is negative (pushes its logit up)
+        for (i, &label) in labels.iter().enumerate() {
+            prop_assert!(grad.as_slice()[i * c + label] <= 0.0);
+        }
+    }
+
+    #[test]
+    fn accuracy_bounds(preds in proptest::collection::vec(0usize..4, 0..40)) {
+        let labels: Vec<usize> = preds.iter().map(|&p| (p + 1) % 4).collect();
+        let a = accuracy(&preds, &labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+        let perfect = accuracy(&preds, &preds);
+        if preds.is_empty() {
+            prop_assert_eq!(perfect, 0.0);
+        } else {
+            prop_assert_eq!(perfect, 1.0);
+        }
+    }
+
+    #[test]
+    fn optimizers_descend_convex_loss(seed in 0u64..200) {
+        // f(w) = ||w - target||²; both optimizers must reduce it
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for mut opt in [
+            Box::new(Sgd::new(0.05)) as Box<dyn Optimizer>,
+            Box::new(Adam::new(0.05)) as Box<dyn Optimizer>,
+        ] {
+            let mut p = univsa_nn::Param::new(Tensor::zeros(&[4]));
+            let loss = |p: &univsa_nn::Param| -> f32 {
+                p.value()
+                    .as_slice()
+                    .iter()
+                    .zip(&target)
+                    .map(|(&w, &t)| (w - t) * (w - t))
+                    .sum()
+            };
+            let before = loss(&p);
+            for _ in 0..50 {
+                p.zero_grad();
+                let g: Vec<f32> = p
+                    .value()
+                    .as_slice()
+                    .iter()
+                    .zip(&target)
+                    .map(|(&w, &t)| 2.0 * (w - t))
+                    .collect();
+                p.grad_mut()
+                    .axpy(1.0, &Tensor::from_vec(g, &[4]).unwrap())
+                    .unwrap();
+                opt.step(&mut p);
+            }
+            prop_assert!(loss(&p) < before.max(1e-6), "optimizer failed to descend");
+        }
+    }
+
+    #[test]
+    fn binary_linear_output_parity(seed in 0u64..200) {
+        // with a ±1 input of dimension n, outputs have the same parity as n
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 8;
+        let layer = BinaryLinear::new(n, 3, &mut rng);
+        let x = univsa_tensor::signs(&[1, n], &mut rng);
+        let y = layer.infer(&x).unwrap();
+        for &v in y.as_slice() {
+            let vi = v as i64;
+            prop_assert_eq!((vi.rem_euclid(2)) as usize, n % 2);
+            prop_assert!(vi.unsigned_abs() as usize <= n);
+        }
+    }
+}

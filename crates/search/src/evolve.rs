@@ -1,0 +1,234 @@
+//! The evolutionary loop with elitist preservation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Genome, SearchSpace};
+
+/// Evolution hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Elites copied unchanged into the next generation (elitist
+    /// preservation, after reference 28 of the paper).
+    pub elites: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-child mutation probability.
+    pub mutation_rate: f64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            population: 24,
+            generations: 12,
+            elites: 4,
+            tournament: 3,
+            mutation_rate: 0.6,
+        }
+    }
+}
+
+/// Outcome of a search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The best genome found.
+    pub genome: Genome,
+    /// Its fitness.
+    pub fitness: f64,
+    /// Best fitness per generation (monotone thanks to elitism).
+    pub curve: Vec<f64>,
+    /// Total fitness evaluations spent (cache hits excluded).
+    pub evaluations: usize,
+}
+
+/// Evolutionary search with elitist preservation over a [`SearchSpace`].
+///
+/// Generic over the fitness function so surrogates and real
+/// train-and-evaluate objectives plug in interchangeably. Fitness values
+/// are cached per genome, so re-visiting a configuration is free — which
+/// matters when each evaluation is a full training run.
+#[derive(Debug, Clone)]
+pub struct EvolutionarySearch {
+    space: SearchSpace,
+    options: SearchOptions,
+}
+
+impl EvolutionarySearch {
+    /// Creates a search over the given space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options are degenerate (zero population/generations,
+    /// or more elites than population).
+    pub fn new(space: SearchSpace, options: SearchOptions) -> Self {
+        assert!(options.population > 0, "population must be positive");
+        assert!(options.generations > 0, "generations must be positive");
+        assert!(
+            options.elites < options.population,
+            "elites must leave room for offspring"
+        );
+        assert!(options.tournament > 0, "tournament must be positive");
+        Self { space, options }
+    }
+
+    /// Runs the search with a fitness function (higher is better).
+    pub fn run<F>(&self, mut fitness: F, seed: u64) -> SearchResult
+    where
+        F: FnMut(&Genome) -> f64,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let opts = &self.options;
+        let mut cache: std::collections::HashMap<Genome, f64> =
+            std::collections::HashMap::new();
+        let mut evaluations = 0usize;
+        let mut evaluate = |g: &Genome, cache: &mut std::collections::HashMap<Genome, f64>| {
+            if let Some(&f) = cache.get(g) {
+                return f;
+            }
+            let f = fitness(g);
+            evaluations += 1;
+            cache.insert(*g, f);
+            f
+        };
+
+        let mut population: Vec<Genome> = (0..opts.population)
+            .map(|_| self.space.sample(&mut rng))
+            .collect();
+        let mut curve = Vec::with_capacity(opts.generations);
+        let mut scored: Vec<(Genome, f64)> = Vec::new();
+
+        for _gen in 0..opts.generations {
+            scored = population
+                .iter()
+                .map(|g| (*g, evaluate(g, &mut cache)))
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            curve.push(scored[0].1);
+
+            // elitist preservation + tournament offspring
+            let mut next: Vec<Genome> =
+                scored.iter().take(opts.elites).map(|&(g, _)| g).collect();
+            while next.len() < opts.population {
+                let a = self.tournament_pick(&scored, &mut rng);
+                let b = self.tournament_pick(&scored, &mut rng);
+                let mut child = self.space.crossover(&a, &b, &mut rng);
+                if rng.gen::<f64>() < opts.mutation_rate {
+                    self.space.mutate(&mut child, &mut rng);
+                }
+                next.push(child);
+            }
+            population = next;
+        }
+        // final scoring pass for the last generation's offspring
+        let mut final_scored: Vec<(Genome, f64)> = population
+            .iter()
+            .map(|g| (*g, evaluate(g, &mut cache)))
+            .collect();
+        final_scored.extend(scored);
+        final_scored
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (genome, best) = final_scored[0];
+        curve.push(best);
+        SearchResult {
+            genome,
+            fitness: best,
+            curve,
+            evaluations,
+        }
+    }
+
+    fn tournament_pick(&self, scored: &[(Genome, f64)], rng: &mut StdRng) -> Genome {
+        let mut best: Option<(Genome, f64)> = None;
+        for _ in 0..self.options.tournament {
+            let c = scored[rng.gen_range(0..scored.len())];
+            if best.is_none() || c.1 > best.expect("just checked").1 {
+                best = Some(c);
+            }
+        }
+        best.expect("tournament is nonempty").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use univsa_data::TaskSpec;
+
+    fn space() -> SearchSpace {
+        SearchSpace::for_task(&TaskSpec {
+            name: "t".into(),
+            width: 8,
+            length: 10,
+            classes: 2,
+            levels: 256,
+        })
+    }
+
+    fn options() -> SearchOptions {
+        SearchOptions {
+            population: 16,
+            generations: 10,
+            elites: 3,
+            ..SearchOptions::default()
+        }
+    }
+
+    #[test]
+    fn finds_known_optimum() {
+        // fitness peaks at O = 100, D_H = 8
+        let f = |g: &Genome| {
+            -((g.out_channels as f64 - 100.0).powi(2)) / 1000.0
+                - (g.d_h as f64 - 8.0).abs()
+        };
+        let result = EvolutionarySearch::new(space(), options()).run(f, 0);
+        assert_eq!(result.genome.d_h, 8);
+        assert!(
+            (result.genome.out_channels as i64 - 100).abs() <= 10,
+            "O = {}",
+            result.genome.out_channels
+        );
+    }
+
+    #[test]
+    fn curve_is_monotone_with_elitism() {
+        let f = |g: &Genome| -(g.out_channels as f64);
+        let result = EvolutionarySearch::new(space(), options()).run(f, 1);
+        for pair in result.curve.windows(2) {
+            assert!(pair[1] >= pair[0], "elitism broken: {:?}", result.curve);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let f = |g: &Genome| g.d_h as f64 + g.voters as f64;
+        let a = EvolutionarySearch::new(space(), options()).run(f, 9);
+        let b = EvolutionarySearch::new(space(), options()).run(f, 9);
+        assert_eq!(a.genome, b.genome);
+        assert_eq!(a.curve, b.curve);
+    }
+
+    #[test]
+    fn caches_fitness_evaluations() {
+        let result = EvolutionarySearch::new(space(), options()).run(|_| 1.0, 2);
+        // all genomes identical fitness — evaluations must not exceed
+        // population × (generations + 1)
+        assert!(result.evaluations <= 16 * 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "elites")]
+    fn rejects_all_elites() {
+        let bad = SearchOptions {
+            population: 4,
+            elites: 4,
+            ..SearchOptions::default()
+        };
+        EvolutionarySearch::new(space(), bad);
+    }
+}

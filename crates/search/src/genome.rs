@@ -1,0 +1,218 @@
+//! The searched configuration tuple and its search space.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use univsa::{UniVsaConfig, UniVsaError};
+use univsa_data::TaskSpec;
+
+/// One candidate configuration: the paper's searched tuple
+/// `(D_H, D_L, D_K, O, Θ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Genome {
+    /// High value dimension.
+    pub d_h: usize,
+    /// Low value dimension.
+    pub d_l: usize,
+    /// Kernel side.
+    pub d_k: usize,
+    /// Conv output channels.
+    pub out_channels: usize,
+    /// Soft-voting heads.
+    pub voters: usize,
+}
+
+impl Genome {
+    /// Materializes the genome as a full model configuration for a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Config`] if the genome violates a config
+    /// constraint for this task (e.g. kernel larger than the grid) — such
+    /// genomes get fitness `−∞` during search.
+    pub fn to_config(self, spec: &TaskSpec) -> Result<UniVsaConfig, UniVsaError> {
+        UniVsaConfig::for_task(spec)
+            .d_h(self.d_h)
+            .d_l(self.d_l)
+            .d_k(self.d_k)
+            .out_channels(self.out_channels)
+            .voters(self.voters)
+            .build()
+    }
+}
+
+/// Bounds of the evolutionary search, matched to the ranges seen in the
+/// paper's Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Candidate `D_H` values.
+    pub d_h: Vec<usize>,
+    /// Candidate `D_L` values (filtered to `≤ D_H` at sampling time).
+    pub d_l: Vec<usize>,
+    /// Candidate kernel sides.
+    pub d_k: Vec<usize>,
+    /// Inclusive output-channel range.
+    pub out_channels: (usize, usize),
+    /// Candidate voter counts.
+    pub voters: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// The default space used for the Table I search, clipped so kernels
+    /// fit the task's grid.
+    pub fn for_task(spec: &TaskSpec) -> Self {
+        let max_k = spec.width.min(spec.length);
+        let d_k = [3usize, 5, 7]
+            .into_iter()
+            .filter(|&k| k <= max_k)
+            .collect::<Vec<_>>();
+        Self {
+            d_h: vec![2, 4, 8, 16],
+            d_l: vec![1, 2, 4, 8],
+            d_k: if d_k.is_empty() { vec![1] } else { d_k },
+            out_channels: (8, 160),
+            voters: vec![1, 3, 5],
+        }
+    }
+
+    /// Draws a uniformly random valid genome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Genome {
+        let d_h = self.d_h[rng.gen_range(0..self.d_h.len())];
+        let d_l_options: Vec<usize> =
+            self.d_l.iter().copied().filter(|&v| v <= d_h).collect();
+        let d_l = d_l_options[rng.gen_range(0..d_l_options.len())];
+        Genome {
+            d_h,
+            d_l,
+            d_k: self.d_k[rng.gen_range(0..self.d_k.len())],
+            out_channels: rng.gen_range(self.out_channels.0..=self.out_channels.1),
+            voters: self.voters[rng.gen_range(0..self.voters.len())],
+        }
+    }
+
+    /// Mutates one gene of a genome in place (uniform gene choice).
+    pub fn mutate<R: Rng + ?Sized>(&self, genome: &mut Genome, rng: &mut R) {
+        match rng.gen_range(0..5) {
+            0 => genome.d_h = self.d_h[rng.gen_range(0..self.d_h.len())],
+            1 => {
+                let options: Vec<usize> = self
+                    .d_l
+                    .iter()
+                    .copied()
+                    .filter(|&v| v <= genome.d_h)
+                    .collect();
+                genome.d_l = options[rng.gen_range(0..options.len())];
+            }
+            2 => genome.d_k = self.d_k[rng.gen_range(0..self.d_k.len())],
+            3 => {
+                // local perturbation of O keeps search smooth
+                let delta = rng.gen_range(-8i64..=8);
+                let o = genome.out_channels as i64 + delta;
+                genome.out_channels =
+                    o.clamp(self.out_channels.0 as i64, self.out_channels.1 as i64) as usize;
+            }
+            _ => genome.voters = self.voters[rng.gen_range(0..self.voters.len())],
+        }
+        // repair D_L ≤ D_H after a D_H mutation
+        if genome.d_l > genome.d_h {
+            genome.d_l = genome.d_h;
+        }
+    }
+
+    /// Uniform crossover of two genomes.
+    pub fn crossover<R: Rng + ?Sized>(&self, a: &Genome, b: &Genome, rng: &mut R) -> Genome {
+        let pick = |rng: &mut R, x: usize, y: usize| if rng.gen::<bool>() { x } else { y };
+        let mut child = Genome {
+            d_h: pick(rng, a.d_h, b.d_h),
+            d_l: pick(rng, a.d_l, b.d_l),
+            d_k: pick(rng, a.d_k, b.d_k),
+            out_channels: pick(rng, a.out_channels, b.out_channels),
+            voters: pick(rng, a.voters, b.voters),
+        };
+        if child.d_l > child.d_h {
+            child.d_l = child.d_h;
+        }
+        child
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> TaskSpec {
+        TaskSpec {
+            name: "t".into(),
+            width: 8,
+            length: 10,
+            classes: 2,
+            levels: 256,
+        }
+    }
+
+    #[test]
+    fn samples_are_valid_configs() {
+        let space = SearchSpace::for_task(&spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let g = space.sample(&mut rng);
+            assert!(g.d_l <= g.d_h);
+            assert!(
+                g.to_config(&spec()).is_ok(),
+                "sampled genome {g:?} is invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_keeps_validity() {
+        let space = SearchSpace::for_task(&spec());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = space.sample(&mut rng);
+        for _ in 0..500 {
+            space.mutate(&mut g, &mut rng);
+            assert!(g.d_l <= g.d_h);
+            assert!(g.to_config(&spec()).is_ok());
+        }
+    }
+
+    #[test]
+    fn crossover_mixes_parents() {
+        let space = SearchSpace::for_task(&spec());
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Genome {
+            d_h: 16,
+            d_l: 8,
+            d_k: 3,
+            out_channels: 8,
+            voters: 1,
+        };
+        let b = Genome {
+            d_h: 2,
+            d_l: 1,
+            d_k: 5,
+            out_channels: 160,
+            voters: 5,
+        };
+        for _ in 0..50 {
+            let c = space.crossover(&a, &b, &mut rng);
+            assert!(c.d_l <= c.d_h);
+            assert!([3, 5].contains(&c.d_k));
+            assert!([8, 160].contains(&c.out_channels));
+        }
+    }
+
+    #[test]
+    fn kernel_clipped_to_small_grids() {
+        let tiny = TaskSpec {
+            name: "tiny".into(),
+            width: 4,
+            length: 20,
+            classes: 2,
+            levels: 256,
+        };
+        let space = SearchSpace::for_task(&tiny);
+        assert_eq!(space.d_k, vec![3]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # univsa-search
+//!
+//! Evolutionary configuration search with elitist preservation over the
+//! UniVSA hyperparameter tuple `(D_H, D_L, D_K, O, Θ)` — the procedure the
+//! paper uses to derive its Table I configurations, maximizing
+//! `obj = Acc − L_HW` with `λ₁ = λ₂ = 0.005`.
+//!
+//! The search itself ([`EvolutionarySearch`]) is generic over the fitness
+//! function, so tests can use cheap surrogates while the benchmark harness
+//! plugs in real training runs ([`AccuracyHardwareObjective`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use univsa_data::TaskSpec;
+//! use univsa_search::{EvolutionarySearch, Genome, SearchOptions, SearchSpace};
+//!
+//! let spec = TaskSpec { name: "t".into(), width: 8, length: 8, classes: 2, levels: 256 };
+//! let space = SearchSpace::for_task(&spec);
+//! let options = SearchOptions { population: 12, generations: 6, elites: 2, ..Default::default() };
+//! // surrogate fitness: prefer small O
+//! let best = EvolutionarySearch::new(space, options)
+//!     .run(|g: &Genome| 1.0 / (g.out_channels as f64), 42);
+//! assert!(best.fitness > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evolve;
+mod genome;
+mod objective;
+
+pub use evolve::{EvolutionarySearch, SearchOptions, SearchResult};
+pub use genome::{Genome, SearchSpace};
+pub use objective::AccuracyHardwareObjective;

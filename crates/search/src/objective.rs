@@ -1,0 +1,148 @@
+//! The paper's search objective: `obj = Acc − L_HW`.
+
+use univsa::{HardwareLoss, TrainOptions, UniVsaTrainer};
+use univsa_data::Dataset;
+
+use crate::Genome;
+
+/// The real train-and-evaluate objective of the paper's Table I search:
+/// train a candidate configuration on the training split, measure accuracy
+/// on the validation split, and subtract the Eq. 7 hardware penalty with
+/// `λ₁ = λ₂ = 0.005`.
+///
+/// Evaluations are expensive (each is a full training run), so the harness
+/// pairs this with [`crate::EvolutionarySearch`]'s built-in fitness cache
+/// and a reduced epoch budget.
+#[derive(Debug, Clone)]
+pub struct AccuracyHardwareObjective {
+    train: Dataset,
+    validation: Dataset,
+    options: TrainOptions,
+    loss: HardwareLoss,
+    seed: u64,
+}
+
+impl AccuracyHardwareObjective {
+    /// Creates the objective over a train/validation pair.
+    pub fn new(train: Dataset, validation: Dataset, options: TrainOptions, seed: u64) -> Self {
+        Self {
+            train,
+            validation,
+            options,
+            loss: HardwareLoss::paper(),
+            seed,
+        }
+    }
+
+    /// Replaces the hardware-loss weights (defaults to the paper's
+    /// `λ₁ = λ₂ = 0.005`).
+    pub fn with_hardware_loss(mut self, loss: HardwareLoss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Evaluates one genome: `accuracy − L_HW`, or `−∞` for genomes that
+    /// do not form a valid configuration for this task.
+    pub fn evaluate(&self, genome: &Genome) -> f64 {
+        let spec = self.train.spec();
+        let Ok(config) = genome.to_config(spec) else {
+            return f64::NEG_INFINITY;
+        };
+        let penalty = self.loss.evaluate(&config);
+        let trainer = UniVsaTrainer::new(config, self.options.clone());
+        match trainer.fit(&self.train, self.seed) {
+            Ok(outcome) => match outcome.model.evaluate(&self.validation) {
+                Ok(acc) => acc - penalty,
+                Err(_) => f64::NEG_INFINITY,
+            },
+            Err(_) => f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use univsa_data::{GeneratorParams, SyntheticGenerator, TaskSpec};
+
+    fn tiny() -> (Dataset, Dataset) {
+        let spec = TaskSpec {
+            name: "tiny".into(),
+            width: 4,
+            length: 6,
+            classes: 2,
+            levels: 256,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = SyntheticGenerator::new(GeneratorParams::new(spec), &mut rng);
+        (
+            g.dataset(&[20, 20], &mut rng),
+            g.dataset(&[10, 10], &mut rng),
+        )
+    }
+
+    fn fast_options() -> TrainOptions {
+        TrainOptions {
+            epochs: 3,
+            ..TrainOptions::default()
+        }
+    }
+
+    #[test]
+    fn invalid_genome_gets_neg_infinity() {
+        let (train, val) = tiny();
+        let obj = AccuracyHardwareObjective::new(train, val, fast_options(), 0);
+        let bad = Genome {
+            d_h: 4,
+            d_l: 8, // D_L > D_H
+            d_k: 3,
+            out_channels: 8,
+            voters: 1,
+        };
+        assert_eq!(obj.evaluate(&bad), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn valid_genome_scores_finite() {
+        let (train, val) = tiny();
+        let obj = AccuracyHardwareObjective::new(train, val, fast_options(), 0);
+        let g = Genome {
+            d_h: 4,
+            d_l: 2,
+            d_k: 3,
+            out_channels: 8,
+            voters: 1,
+        };
+        let f = obj.evaluate(&g);
+        assert!(f.is_finite());
+        assert!(f <= 1.0, "fitness {f} exceeds max possible accuracy");
+    }
+
+    #[test]
+    fn bigger_configs_pay_larger_penalty() {
+        let (train, val) = tiny();
+        let obj = AccuracyHardwareObjective::new(train, val, fast_options(), 0);
+        let small = Genome {
+            d_h: 4,
+            d_l: 2,
+            d_k: 3,
+            out_channels: 8,
+            voters: 1,
+        };
+        let big = Genome {
+            d_h: 16,
+            d_l: 8,
+            d_k: 3,
+            out_channels: 128,
+            voters: 5,
+        };
+        let spec = obj.train.spec();
+        let loss = HardwareLoss::paper();
+        assert!(
+            loss.evaluate(&big.to_config(spec).unwrap())
+                > loss.evaluate(&small.to_config(spec).unwrap())
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! 2-D convolution (forward and gradients) for the binary feature
+//! extraction layer.
+//!
+//! The UniVSA BiConv layer convolves a value-vector feature map of shape
+//! `(C_in, H, W)` with a kernel bank of shape `(C_out, C_in, K, K)` using
+//! stride 1 and `same` zero padding, so the output is `(C_out, H, W)` and
+//! the VSA dimension `D = H·W` is preserved (consistent with the paper's
+//! memory model Eq. 5, which charges `W×L×O` for the feature vectors).
+//!
+//! Zero padding is sound in the bipolar domain: a padded `0` contributes
+//! nothing to the pre-activation sum, which is exactly how the hardware's
+//! boundary handling behaves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ShapeError, Tensor};
+
+/// Geometry of a stride-1 `same`-padded 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channel count (`D_H` in the paper).
+    pub in_channels: usize,
+    /// Output channel count (`O` in the paper).
+    pub out_channels: usize,
+    /// Square kernel side (`D_K` in the paper). Must be odd for `same`
+    /// padding.
+    pub kernel: usize,
+    /// Input/output height (`W` in the paper's `(W, L)` window grid).
+    pub height: usize,
+    /// Input/output width (`L` in the paper's `(W, L)` window grid).
+    pub width: usize,
+}
+
+impl Conv2dSpec {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any extent is zero or the kernel is even
+    /// (even kernels cannot be `same`-padded symmetrically).
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        if self.in_channels == 0
+            || self.out_channels == 0
+            || self.kernel == 0
+            || self.height == 0
+            || self.width == 0
+        {
+            return Err(ShapeError::new("conv2d extents must all be nonzero"));
+        }
+        if self.kernel % 2 == 0 {
+            return Err(ShapeError::new(format!(
+                "same-padded conv2d needs an odd kernel, got {}",
+                self.kernel
+            )));
+        }
+        Ok(())
+    }
+
+    /// Expected input shape `(in_channels, height, width)`.
+    pub fn input_dims(&self) -> [usize; 3] {
+        [self.in_channels, self.height, self.width]
+    }
+
+    /// Output shape `(out_channels, height, width)`.
+    pub fn output_dims(&self) -> [usize; 3] {
+        [self.out_channels, self.height, self.width]
+    }
+
+    /// Kernel shape `(out_channels, in_channels, kernel, kernel)`.
+    pub fn kernel_dims(&self) -> [usize; 4] {
+        [self.out_channels, self.in_channels, self.kernel, self.kernel]
+    }
+
+    fn pad(&self) -> isize {
+        (self.kernel / 2) as isize
+    }
+}
+
+/// Forward 2-D convolution: `input (C_in,H,W) ⊛ kernel (C_out,C_in,K,K) →
+/// (C_out,H,W)` with stride 1 and `same` zero padding.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spec is invalid or the operand shapes do
+/// not match it.
+///
+/// # Examples
+///
+/// ```
+/// use univsa_tensor::{conv2d, Conv2dSpec, Tensor};
+/// let spec = Conv2dSpec { in_channels: 1, out_channels: 1, kernel: 3, height: 4, width: 4 };
+/// let input = Tensor::full(&[1, 4, 4], 1.0);
+/// let kernel = Tensor::full(&[1, 1, 3, 3], 1.0);
+/// let out = conv2d(&input, &kernel, &spec)?;
+/// // interior pixel sees all 9 taps
+/// assert_eq!(out.at(&[0, 1, 1]), 9.0);
+/// // corner pixel sees only 4
+/// assert_eq!(out.at(&[0, 0, 0]), 4.0);
+/// # Ok::<(), univsa_tensor::ShapeError>(())
+/// ```
+pub fn conv2d(input: &Tensor, kernel: &Tensor, spec: &Conv2dSpec) -> Result<Tensor, ShapeError> {
+    spec.validate()?;
+    check_dims(input, &spec.input_dims(), "conv2d input")?;
+    check_dims4(kernel, &spec.kernel_dims(), "conv2d kernel")?;
+    let (ci, h, w, k) = (spec.in_channels, spec.height, spec.width, spec.kernel);
+    let pad = spec.pad();
+    let x = input.as_slice();
+    let kbuf = kernel.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * h * w];
+    // row-sliced accumulation: for every kernel tap, add a shifted slice of
+    // the input row into the output row (vectorizes, no per-element bounds
+    // arithmetic)
+    for co in 0..spec.out_channels {
+        let kbase = co * ci * k * k;
+        for c in 0..ci {
+            let xbase = c * h * w;
+            let kcbase = kbase + c * k * k;
+            for oy in 0..h {
+                let orow_start = co * h * w + oy * w;
+                for ky in 0..k {
+                    let iy = oy as isize + ky as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let xrow = &x[xbase + iy as usize * w..xbase + (iy as usize + 1) * w];
+                    let krow = &kbuf[kcbase + ky * k..kcbase + ky * k + k];
+                    let orow = &mut out[orow_start..orow_start + w];
+                    for (kx, &kv) in krow.iter().enumerate() {
+                        if kv == 0.0 {
+                            continue;
+                        }
+                        let shift = kx as isize - pad;
+                        let lo = (-shift).max(0) as usize;
+                        let hi = (w as isize).min(w as isize - shift) as usize;
+                        if lo >= hi {
+                            continue;
+                        }
+                        let src = &xrow[(lo as isize + shift) as usize
+                            ..(hi as isize + shift) as usize];
+                        for (o, &xv) in orow[lo..hi].iter_mut().zip(src) {
+                            *o += kv * xv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &spec.output_dims())
+}
+
+/// Gradient of the convolution output w.r.t. the input: a full correlation
+/// of `grad_out (C_out,H,W)` with the flipped kernel, producing
+/// `(C_in,H,W)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spec is invalid or shapes mismatch.
+pub fn conv2d_input_grad(
+    grad_out: &Tensor,
+    kernel: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, ShapeError> {
+    spec.validate()?;
+    check_dims(grad_out, &spec.output_dims(), "conv2d_input_grad grad_out")?;
+    check_dims4(kernel, &spec.kernel_dims(), "conv2d_input_grad kernel")?;
+    let (ci, h, w, k) = (spec.in_channels, spec.height, spec.width, spec.kernel);
+    let pad = spec.pad();
+    let g = grad_out.as_slice();
+    let kbuf = kernel.as_slice();
+    let mut out = vec![0.0f32; ci * h * w];
+    // d input[c, iy, ix] = Σ_co Σ_ky Σ_kx g[co, iy+pad-ky, ix+pad-kx] * K[co, c, ky, kx]
+    // — a correlation with the flipped kernel; accumulated row-sliced like
+    // the forward pass
+    for co in 0..spec.out_channels {
+        for c in 0..ci {
+            let kcbase = (co * ci + c) * k * k;
+            for iy in 0..h {
+                let orow_start = c * h * w + iy * w;
+                for ky in 0..k {
+                    let oy = iy as isize + pad - ky as isize;
+                    if oy < 0 || oy >= h as isize {
+                        continue;
+                    }
+                    let grow = &g[co * h * w + oy as usize * w
+                        ..co * h * w + (oy as usize + 1) * w];
+                    let krow = &kbuf[kcbase + ky * k..kcbase + ky * k + k];
+                    let orow = &mut out[orow_start..orow_start + w];
+                    for (kx, &kv) in krow.iter().enumerate() {
+                        if kv == 0.0 {
+                            continue;
+                        }
+                        // ox = ix + pad - kx ⇒ source shifted by (pad - kx)
+                        let shift = pad - kx as isize;
+                        let lo = (-shift).max(0) as usize;
+                        let hi = (w as isize).min(w as isize - shift) as usize;
+                        if lo >= hi {
+                            continue;
+                        }
+                        let src = &grow[(lo as isize + shift) as usize
+                            ..(hi as isize + shift) as usize];
+                        for (o, &gv) in orow[lo..hi].iter_mut().zip(src) {
+                            *o += kv * gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &spec.input_dims())
+}
+
+/// Gradient of the convolution output w.r.t. the kernel, producing
+/// `(C_out,C_in,K,K)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spec is invalid or shapes mismatch.
+pub fn conv2d_kernel_grad(
+    input: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, ShapeError> {
+    spec.validate()?;
+    check_dims(input, &spec.input_dims(), "conv2d_kernel_grad input")?;
+    check_dims(grad_out, &spec.output_dims(), "conv2d_kernel_grad grad_out")?;
+    let (ci, h, w, k) = (spec.in_channels, spec.height, spec.width, spec.kernel);
+    let pad = spec.pad();
+    let x = input.as_slice();
+    let g = grad_out.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * ci * k * k];
+    for co in 0..spec.out_channels {
+        for c in 0..ci {
+            let kcbase = (co * ci + c) * k * k;
+            for ky in 0..k {
+                for kx in 0..k {
+                    // dot products of shifted row slices
+                    let shift = kx as isize - pad;
+                    let lo = (-shift).max(0) as usize;
+                    let hi = (w as isize).min(w as isize - shift) as usize;
+                    let mut acc = 0.0f32;
+                    if lo < hi {
+                        for oy in 0..h {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let grow = &g[co * h * w + oy * w..co * h * w + oy * w + w];
+                            let xrow = &x[c * h * w + iy as usize * w
+                                ..c * h * w + (iy as usize + 1) * w];
+                            let src = &xrow[(lo as isize + shift) as usize
+                                ..(hi as isize + shift) as usize];
+                            acc += grow[lo..hi]
+                                .iter()
+                                .zip(src)
+                                .map(|(&gv, &xv)| gv * xv)
+                                .sum::<f32>();
+                        }
+                    }
+                    out[kcbase + ky * k + kx] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &spec.kernel_dims())
+}
+
+fn check_dims(t: &Tensor, dims: &[usize; 3], what: &str) -> Result<(), ShapeError> {
+    if t.shape().dims() != dims {
+        return Err(ShapeError::new(format!(
+            "{what} must have shape {:?}, got {}",
+            dims,
+            t.shape()
+        )));
+    }
+    Ok(())
+}
+
+fn check_dims4(t: &Tensor, dims: &[usize; 4], what: &str) -> Result<(), ShapeError> {
+    if t.shape().dims() != dims {
+        return Err(ShapeError::new(format!(
+            "{what} must have shape {:?}, got {}",
+            dims,
+            t.shape()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn spec(ci: usize, co: usize, k: usize, h: usize, w: usize) -> Conv2dSpec {
+        Conv2dSpec {
+            in_channels: ci,
+            out_channels: co,
+            kernel: k,
+            height: h,
+            width: w,
+        }
+    }
+
+    fn random_tensor(dims: &[usize], rng: &mut StdRng) -> Tensor {
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(), dims).unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let s = spec(1, 1, 3, 5, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = random_tensor(&[1, 5, 5], &mut rng);
+        let mut k = Tensor::zeros(&[1, 1, 3, 3]);
+        *k.at_mut(&[0, 0, 1, 1]) = 1.0;
+        let y = conv2d(&x, &k, &s).unwrap();
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn rejects_even_kernel() {
+        let s = spec(1, 1, 2, 4, 4);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_extent() {
+        assert!(spec(0, 1, 3, 4, 4).validate().is_err());
+        assert!(spec(1, 1, 3, 0, 4).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let s = spec(2, 3, 3, 4, 4);
+        let x = Tensor::zeros(&[1, 4, 4]);
+        let k = Tensor::zeros(&[3, 2, 3, 3]);
+        assert!(conv2d(&x, &k, &s).is_err());
+        let x = Tensor::zeros(&[2, 4, 4]);
+        let k = Tensor::zeros(&[3, 2, 3, 5]);
+        assert!(conv2d(&x, &k, &s).is_err());
+    }
+
+    #[test]
+    fn sums_channels() {
+        let s = spec(2, 1, 1, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 2, 2])
+            .unwrap();
+        let k = Tensor::from_vec(vec![1.0, 1.0], &[1, 2, 1, 1]).unwrap();
+        let y = conv2d(&x, &k, &s).unwrap();
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    /// Finite-difference check of both gradient paths.
+    #[test]
+    fn gradients_match_finite_difference() {
+        let s = spec(2, 3, 3, 4, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = random_tensor(&[2, 4, 3], &mut rng);
+        let k = random_tensor(&[3, 2, 3, 3], &mut rng);
+        let g = random_tensor(&[3, 4, 3], &mut rng);
+
+        // analytic
+        let gx = conv2d_input_grad(&g, &k, &s).unwrap();
+        let gk = conv2d_kernel_grad(&x, &g, &s).unwrap();
+
+        let loss = |x: &Tensor, k: &Tensor| -> f32 {
+            conv2d(x, k, &s)
+                .unwrap()
+                .mul(&g)
+                .unwrap()
+                .sum()
+        };
+        let eps = 1e-2f32;
+        // input grad: spot check several coordinates
+        for idx in [0usize, 5, 11, 23] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&xp, &k) - loss(&xm, &k)) / (2.0 * eps);
+            assert!(
+                (fd - gx.as_slice()[idx]).abs() < 1e-2,
+                "input grad at {idx}: fd={fd} analytic={}",
+                gx.as_slice()[idx]
+            );
+        }
+        // kernel grad
+        for idx in [0usize, 8, 17, 53] {
+            let mut kp = k.clone();
+            kp.as_mut_slice()[idx] += eps;
+            let mut km = k.clone();
+            km.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&x, &kp) - loss(&x, &km)) / (2.0 * eps);
+            assert!(
+                (fd - gk.as_slice()[idx]).abs() < 1e-2,
+                "kernel grad at {idx}: fd={fd} analytic={}",
+                gk.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn output_dims_match_spec() {
+        let s = spec(3, 5, 3, 7, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = random_tensor(&[3, 7, 9], &mut rng);
+        let k = random_tensor(&[5, 3, 3, 3], &mut rng);
+        let y = conv2d(&x, &k, &s).unwrap();
+        assert_eq!(y.shape().dims(), &[5, 7, 9]);
+    }
+}

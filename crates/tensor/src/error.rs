@@ -1,0 +1,30 @@
+//! Error type for tensor shape violations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A tensor operation received operands whose shapes are incompatible.
+///
+/// Carries a human-readable description of the expectation and the shapes
+/// actually seen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}

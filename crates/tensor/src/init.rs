@@ -1,0 +1,95 @@
+//! Seeded parameter initializers.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Kaiming-uniform initialization: samples from
+/// `U(-√(6/fan_in), +√(6/fan_in))`.
+///
+/// This is the standard initializer for layers followed by sign/ReLU-like
+/// nonlinearities and is what the LDC training recipe uses for the latent
+/// real-valued weights behind each binary layer.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use univsa_tensor::kaiming_uniform;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let w = kaiming_uniform(&[4, 16], 16, &mut rng);
+/// assert_eq!(w.len(), 64);
+/// let bound = (6.0f32 / 16.0).sqrt();
+/// assert!(w.as_slice().iter().all(|x| x.abs() <= bound));
+/// ```
+pub fn kaiming_uniform<R: Rng + ?Sized>(dims: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+    uniform(dims, -bound, bound, rng)
+}
+
+/// Uniform initialization over `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform<R: Rng + ?Sized>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    assert!(lo < hi, "uniform range must be nonempty: [{lo}, {hi})");
+    let n: usize = dims.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims).expect("dims product equals data length")
+}
+
+/// Random `±1` initialization (latent weights that start already binarized).
+pub fn signs<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data = (0..n)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect();
+    Tensor::from_vec(data, dims).expect("dims product equals data length")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = kaiming_uniform(&[100], 25, &mut rng);
+        let bound = (6.0f32 / 25.0).sqrt();
+        assert!(t.as_slice().iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = uniform(&[1000], -0.5, 0.25, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.25).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn uniform_rejects_empty_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        uniform(&[2], 1.0, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn signs_are_bipolar() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = signs(&[512], &mut rng);
+        assert!(t.as_slice().iter().all(|&x| x == 1.0 || x == -1.0));
+        // both signs should appear in 512 draws
+        assert!(t.as_slice().iter().any(|&x| x == 1.0));
+        assert!(t.as_slice().iter().any(|&x| x == -1.0));
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let a = uniform(&[16], -1.0, 1.0, &mut StdRng::seed_from_u64(9));
+        let b = uniform(&[16], -1.0, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

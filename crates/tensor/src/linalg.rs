@@ -1,0 +1,313 @@
+//! Matrix operations on rank-2 tensors.
+
+use crate::{ShapeError, Tensor};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `(m × k) · (k × n) → (m × n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either operand is not rank 2 or the inner
+    /// dimensions disagree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2])?;
+    /// let c = a.matmul(&b)?;
+    /// assert_eq!(c.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+    /// # Ok::<(), univsa_tensor::ShapeError>(())
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        let (m, k) = rank2(self, "matmul lhs")?;
+        let (k2, n) = rank2(other, "matmul rhs")?;
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul inner dimensions disagree: {} vs {}",
+                k, k2
+            )));
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order: cache-friendly row-major accumulation.
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self.transpose() · other` without materializing the transpose:
+    /// `(k × m)ᵀ · (k × n) → (m × n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or dimension mismatch.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        let (k, m) = rank2(self, "matmul_tn lhs")?;
+        let (k2, n) = rank2(other, "matmul_tn rhs")?;
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_tn outer dimensions disagree: {} vs {}",
+                k, k2
+            )));
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self · other.transpose()` without materializing the transpose:
+    /// `(m × k) · (n × k)ᵀ → (m × n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or dimension mismatch.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        let (m, k) = rank2(self, "matmul_nt lhs")?;
+        let (n, k2) = rank2(other, "matmul_nt rhs")?;
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_nt inner dimensions disagree: {} vs {}",
+                k, k2
+            )));
+        }
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transposed copy of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tensor is not rank 2.
+    pub fn transpose(&self) -> Result<Tensor, ShapeError> {
+        let (m, n) = rank2(self, "transpose")?;
+        let a = self.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Solves the linear system `A·x = b` for square `A` via Gaussian
+    /// elimination with partial pivoting. `b` may have multiple columns.
+    ///
+    /// Used by the LDA baseline (shrinkage covariance solve).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `A` is not square, the row counts disagree,
+    /// or `A` is numerically singular.
+    pub fn solve(&self, b: &Tensor) -> Result<Tensor, ShapeError> {
+        let (n, n2) = rank2(self, "solve lhs")?;
+        if n != n2 {
+            return Err(ShapeError::new(format!("solve needs square A, got {n}x{n2}")));
+        }
+        let (bn, bc) = rank2(b, "solve rhs")?;
+        if bn != n {
+            return Err(ShapeError::new(format!(
+                "solve rhs rows {bn} disagree with A size {n}"
+            )));
+        }
+        let mut a = self.as_slice().to_vec();
+        let mut x = b.as_slice().to_vec();
+        for col in 0..n {
+            // partial pivot
+            let mut piv = col;
+            let mut best = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(ShapeError::new("matrix is singular to working precision"));
+            }
+            if piv != col {
+                for j in 0..n {
+                    a.swap(col * n + j, piv * n + j);
+                }
+                for j in 0..bc {
+                    x.swap(col * bc + j, piv * bc + j);
+                }
+            }
+            let d = a[col * n + col];
+            for r in (col + 1)..n {
+                let f = a[r * n + col] / d;
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= f * a[col * n + j];
+                }
+                for j in 0..bc {
+                    x[r * bc + j] -= f * x[col * bc + j];
+                }
+            }
+        }
+        // back substitution
+        for col in (0..n).rev() {
+            let d = a[col * n + col];
+            for j in 0..bc {
+                let mut s = x[col * bc + j];
+                for p in (col + 1)..n {
+                    s -= a[col * n + p] * x[p * bc + j];
+                }
+                x[col * bc + j] = s / d;
+            }
+        }
+        Tensor::from_vec(x, &[n, bc])
+    }
+}
+
+fn rank2(t: &Tensor, what: &str) -> Result<(usize, usize), ShapeError> {
+    let dims = t.shape().dims();
+    if dims.len() != 2 {
+        return Err(ShapeError::new(format!(
+            "{what} must be rank 2, got rank {}",
+            dims.len()
+        )));
+    }
+    Ok((dims[0], dims[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap(), a);
+        assert_eq!(Tensor::eye(2).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        assert!(Tensor::zeros(&[6]).matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], &[3, 2]);
+        let via_tn = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(via_tn, explicit);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[1.0, 0.0, 2.0, 1.0, 0.0, 3.0], &[2, 3]);
+        let via_nt = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(via_nt, explicit);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = a.transpose().unwrap().transpose().unwrap();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn solve_identity() {
+        let b = t(&[3.0, 4.0], &[2, 1]);
+        let x = Tensor::eye(2).solve(&b).unwrap();
+        assert_eq!(x.as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1; 3]
+        let a = t(&[2.0, 1.0, 1.0, 3.0], &[2, 2]);
+        let b = t(&[5.0, 10.0], &[2, 1]);
+        let x = a.solve(&b).unwrap();
+        assert!((x.as_slice()[0] - 1.0).abs() < 1e-5);
+        assert!((x.as_slice()[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // leading zero pivot forces a row swap
+        let a = t(&[0.0, 1.0, 1.0, 0.0], &[2, 2]);
+        let b = t(&[2.0, 3.0], &[2, 1]);
+        let x = a.solve(&b).unwrap();
+        assert!((x.as_slice()[0] - 3.0).abs() < 1e-6);
+        assert!((x.as_slice()[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = t(&[1.0, 2.0, 2.0, 4.0], &[2, 2]);
+        let b = t(&[1.0, 2.0], &[2, 1]);
+        assert!(a.solve(&b).is_err());
+    }
+
+    #[test]
+    fn solve_multi_rhs() {
+        let a = t(&[2.0, 0.0, 0.0, 4.0], &[2, 2]);
+        let b = t(&[2.0, 4.0, 8.0, 12.0], &[2, 2]);
+        let x = a.solve(&b).unwrap();
+        assert_eq!(x.as_slice(), &[1.0, 2.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The dimensions of a tensor, row-major (last axis fastest-varying).
+///
+/// # Examples
+///
+/// ```
+/// use univsa_tensor::Shape;
+/// let s = Shape::new(&[3, 4, 5]);
+/// assert_eq!(s.len(), 60);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.dims(), &[3, 4, 5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimensions as a slice.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape describes zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of axis `i`, or `None` when `i >= rank`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> Option<usize> {
+        self.dims.get(i).copied()
+    }
+
+    /// Row-major strides for this shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use univsa_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len() != rank` or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut off = 0;
+        for ((&i, &d), s) in index.iter().zip(&self.dims).zip(self.strides()) {
+            assert!(i < d, "index {i} out of bounds for axis of size {d}");
+            off += i * s;
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.rank(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_axis_means_empty() {
+        assert!(Shape::new(&[2, 0, 3]).is_empty());
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[4]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[2, 5]).strides(), vec![5, 1]);
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offsets_enumerate_row_major() {
+        let s = Shape::new(&[2, 3]);
+        let mut seen = vec![];
+        for i in 0..2 {
+            for j in 0..3 {
+                seen.push(s.offset(&[i, j]));
+            }
+        }
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_bounds_checked() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "(2, 3)");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the tensor substrate.
+
+use proptest::prelude::*;
+use univsa_tensor::{conv2d, conv2d_input_grad, conv2d_kernel_grad, Conv2dSpec, Tensor};
+
+fn arb_tensor(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    proptest::collection::vec(-2.0f32..2.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, &dims).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_identity_left_right(
+        t in (1usize..6, 1usize..6).prop_flat_map(|(m, n)| arb_tensor(vec![m, n]))
+    ) {
+        let (m, n) = (t.shape().dims()[0], t.shape().dims()[1]);
+        let left = Tensor::eye(m).matmul(&t).unwrap();
+        let right = t.matmul(&Tensor::eye(n)).unwrap();
+        prop_assert_eq!(&left, &t);
+        prop_assert_eq!(&right, &t);
+    }
+
+    #[test]
+    fn transpose_is_involution(
+        t in (1usize..7, 1usize..7).prop_flat_map(|(m, n)| arb_tensor(vec![m, n]))
+    ) {
+        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn matmul_tn_nt_consistent(
+        (a, b) in (1usize..5, 1usize..5, 1usize..5).prop_flat_map(|(k, m, n)| {
+            (arb_tensor(vec![k, m]), arb_tensor(vec![k, n]))
+        })
+    ) {
+        let tn = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn add_commutes_and_sub_cancels(
+        (a, b) in (1usize..20).prop_flat_map(|n| (arb_tensor(vec![n]), arb_tensor(vec![n])))
+    ) {
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+        let zero = a.add(&b).unwrap().sub(&b).unwrap();
+        for (x, y) in zero.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn solve_recovers_solution(
+        n in 2usize..5,
+        seed in 0u64..1000
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // diagonally dominant A is always solvable
+        let mut a = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = rng.gen_range(-1.0..1.0);
+            }
+            a[i * n + i] += n as f32 + 1.0;
+        }
+        let a = Tensor::from_vec(a, &[n, n]).unwrap();
+        let x_true = Tensor::from_vec((0..n).map(|i| i as f32 - 1.0).collect(), &[n, 1]).unwrap();
+        let b = a.matmul(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xs, xt) in x.as_slice().iter().zip(x_true.as_slice()) {
+            prop_assert!((xs - xt).abs() < 1e-3, "{xs} vs {xt}");
+        }
+    }
+
+    #[test]
+    fn conv_linearity(
+        seed in 0u64..500
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spec = Conv2dSpec { in_channels: 2, out_channels: 2, kernel: 3, height: 4, width: 4 };
+        let x1 = univsa_tensor::uniform(&[2, 4, 4], -1.0, 1.0, &mut rng);
+        let x2 = univsa_tensor::uniform(&[2, 4, 4], -1.0, 1.0, &mut rng);
+        let k = univsa_tensor::uniform(&[2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let sum_then_conv = conv2d(&x1.add(&x2).unwrap(), &k, &spec).unwrap();
+        let conv_then_sum = conv2d(&x1, &k, &spec).unwrap().add(&conv2d(&x2, &k, &spec).unwrap()).unwrap();
+        for (a, b) in sum_then_conv.as_slice().iter().zip(conv_then_sum.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv_grads_have_matching_shapes(seed in 0u64..200) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spec = Conv2dSpec { in_channels: 3, out_channels: 2, kernel: 3, height: 5, width: 4 };
+        let x = univsa_tensor::uniform(&[3, 5, 4], -1.0, 1.0, &mut rng);
+        let k = univsa_tensor::uniform(&[2, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let g = univsa_tensor::uniform(&[2, 5, 4], -1.0, 1.0, &mut rng);
+        let gi = conv2d_input_grad(&g, &k, &spec).unwrap();
+        let gk = conv2d_kernel_grad(&x, &g, &spec).unwrap();
+        prop_assert_eq!(gi.shape().dims(), &[3usize, 5, 4]);
+        prop_assert_eq!(gk.shape().dims(), &[2usize, 3, 3, 3]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # univsa-repro
+//!
+//! Workspace root of the UniVSA reproduction (*Holistic Design towards
+//! Resource-Stringent Binary Vector Symbolic Architecture*, DAC 2025).
+//!
+//! This crate only re-exports the member crates so the workspace-level
+//! `examples/` and `tests/` can reach everything through one dependency;
+//! the substance lives in:
+//!
+//! * [`univsa`] — the UniVSA model, training, and packed inference.
+//! * [`univsa_bits`] — packed binary vector substrate.
+//! * [`univsa_tensor`] / [`univsa_nn`] — the training substrates.
+//! * [`univsa_data`] — synthetic benchmark tasks.
+//! * [`univsa_baselines`] — LDA, KNN, SVM, LeHDC, LDC.
+//! * [`univsa_hw`] — the cycle-level accelerator simulator.
+//! * [`univsa_search`] — evolutionary configuration search.
+
+#![forbid(unsafe_code)]
+
+pub use univsa;
+pub use univsa_baselines;
+pub use univsa_bits;
+pub use univsa_data;
+pub use univsa_hw;
+pub use univsa_nn;
+pub use univsa_search;
+pub use univsa_tensor;

@@ -1,0 +1,236 @@
+//! End-to-end integration: data generation → mask learning → training →
+//! packed inference → serialization → hardware estimation, all through the
+//! public APIs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use univsa::{
+    load_model, save_model, Enhancements, Mask, TrainOptions, UniVsaConfig, UniVsaTrainer,
+};
+use univsa_data::{GeneratorParams, SyntheticGenerator, TaskSpec};
+use univsa_hw::{HwConfig, HwReport, Stage};
+
+fn tiny_task(seed: u64) -> (univsa_data::Dataset, univsa_data::Dataset) {
+    let spec = TaskSpec {
+        name: "e2e".into(),
+        width: 4,
+        length: 8,
+        classes: 2,
+        levels: 256,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    // keep the smoke-test task easy: strong, dense linear signal
+    let mut params = GeneratorParams::new(spec);
+    params.linear_bias = 0.9;
+    params.informative_fraction = 0.5;
+    params.noise = 0.25;
+    params.texture = 0.4;
+    let generator = SyntheticGenerator::new(params, &mut rng);
+    (
+        generator.dataset(&[40, 40], &mut rng),
+        generator.dataset(&[20, 20], &mut rng),
+    )
+}
+
+fn tiny_config() -> UniVsaConfig {
+    let spec = TaskSpec {
+        name: "e2e".into(),
+        width: 4,
+        length: 8,
+        classes: 2,
+        levels: 256,
+    };
+    UniVsaConfig::for_task(&spec)
+        .d_h(4)
+        .d_l(2)
+        .d_k(3)
+        .out_channels(8)
+        .voters(2)
+        .build()
+        .expect("config valid")
+}
+
+fn tiny_options() -> TrainOptions {
+    TrainOptions {
+        epochs: 8,
+        ..TrainOptions::default()
+    }
+}
+
+#[test]
+fn full_pipeline_learns_and_deploys() {
+    let (train, test) = tiny_task(0);
+    let trainer = UniVsaTrainer::new(tiny_config(), tiny_options());
+    let outcome = trainer.fit(&train, 1).expect("training succeeds");
+
+    // learns above chance
+    let acc = outcome.model.evaluate(&test).expect("evaluation succeeds");
+    assert!(acc > 0.6, "accuracy {acc}");
+
+    // serialization roundtrip preserves behaviour
+    let bytes = save_model(&outcome.model).expect("save succeeds");
+    let restored = load_model(&bytes).expect("load succeeds");
+    for sample in test.samples().iter().take(20) {
+        assert_eq!(
+            outcome.model.infer(&sample.values).unwrap(),
+            restored.infer(&sample.values).unwrap()
+        );
+    }
+
+    // hardware estimation runs on the same config
+    let report = HwReport::for_config(&HwConfig::new(outcome.model.config()));
+    assert!(report.latency_ms > 0.0);
+    assert!(report.power_w > 0.0);
+    assert_eq!(report.dsps, 0);
+    let conv = report
+        .stages
+        .iter()
+        .find(|s| s.stage == Stage::BiConv)
+        .expect("BiConv stage present");
+    assert!(conv.time_fraction > 0.3);
+}
+
+#[test]
+fn training_accuracy_reported_matches_packed_model_on_train_split() {
+    // the float training path and the packed inference path implement the
+    // same arithmetic; after the final epoch they should agree closely on
+    // the training split
+    let (train, _) = tiny_task(1);
+    let trainer = UniVsaTrainer::new(tiny_config(), tiny_options());
+    let outcome = trainer.fit(&train, 2).expect("training succeeds");
+    let packed_train_acc = outcome.model.evaluate(&train).expect("evaluation succeeds");
+    let float_final_acc = *outcome
+        .history
+        .epoch_accuracy
+        .last()
+        .expect("history nonempty");
+    assert!(
+        (packed_train_acc - float_final_acc).abs() < 0.15,
+        "packed {packed_train_acc} vs float {float_final_acc}"
+    );
+}
+
+#[test]
+fn learned_mask_downranks_planted_noise_rows() {
+    // hand-built dataset: the first 6 of 8 window rows carry the label in
+    // every cell, the last 2 rows are uniform noise — the mask must push
+    // its low-importance slots into those noise rows
+    use rand::Rng;
+    let spec = TaskSpec {
+        name: "mask".into(),
+        width: 8,
+        length: 8,
+        classes: 2,
+        levels: 256,
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut samples = Vec::new();
+    for i in 0..160 {
+        let label = i % 2;
+        let mut values = vec![0u8; 64];
+        for (pos, v) in values.iter_mut().enumerate() {
+            *v = if pos < 48 {
+                // signal rows: label-dependent band plus jitter
+                let base = if label == 0 { 80 } else { 170 };
+                (base + rng.gen_range(0..30)) as u8
+            } else {
+                rng.gen() // pure noise rows
+            };
+        }
+        samples.push(univsa_data::Sample { values, label });
+    }
+    let train = univsa_data::Dataset::new(spec, samples).expect("valid dataset");
+    let mask = Mask::learn(&train, 0.75).expect("mask learns");
+    // exactly 16 low-importance slots; they must all be in the noise rows
+    let mut noise_low = 0usize;
+    let mut total_low = 0usize;
+    for (i, &high) in mask.as_bits().iter().enumerate() {
+        if !high {
+            total_low += 1;
+            if i >= 48 {
+                noise_low += 1;
+            }
+        }
+    }
+    assert_eq!(total_low, 16);
+    assert!(
+        noise_low >= 14,
+        "only {noise_low}/{total_low} low-importance slots fall in planted noise rows"
+    );
+}
+
+#[test]
+fn confusion_matrix_agrees_with_accuracy() {
+    let (train, test) = tiny_task(7);
+    let trainer = UniVsaTrainer::new(tiny_config(), tiny_options());
+    let outcome = trainer.fit(&train, 9).expect("training succeeds");
+    let acc = outcome.model.evaluate(&test).expect("evaluation succeeds");
+    let cm = outcome
+        .model
+        .evaluate_confusion(&test)
+        .expect("confusion evaluation succeeds");
+    assert!((cm.accuracy() - acc).abs() < 1e-12);
+    assert_eq!(cm.total() as usize, test.len());
+}
+
+#[test]
+fn bit_flips_degrade_gracefully() {
+    let (train, test) = tiny_task(8);
+    let trainer = UniVsaTrainer::new(tiny_config(), tiny_options());
+    let outcome = trainer.fit(&train, 10).expect("training succeeds");
+    let clean = outcome.model.evaluate(&test).expect("evaluation succeeds");
+    let mut rng = StdRng::seed_from_u64(77);
+    // a light sprinkle of upsets must not collapse the model
+    let lightly = outcome
+        .model
+        .with_bit_flips(0.005, &mut rng)
+        .evaluate(&test)
+        .expect("evaluation succeeds");
+    assert!(
+        lightly > clean - 0.25,
+        "0.5% flips dropped accuracy {clean} → {lightly}"
+    );
+    // at 50% the weights are random: accuracy collapses toward chance
+    let destroyed = outcome
+        .model
+        .with_bit_flips(0.5, &mut rng)
+        .evaluate(&test)
+        .expect("evaluation succeeds");
+    assert!(destroyed < clean, "50% flips should hurt: {clean} → {destroyed}");
+}
+
+#[test]
+fn enhancement_flags_shape_exported_model() {
+    let (train, _) = tiny_task(4);
+    for (enh, kernel_empty, voters) in [
+        (Enhancements::all(), false, 2),
+        (Enhancements::none(), true, 1),
+        (
+            Enhancements {
+                biconv: false,
+                ..Enhancements::all()
+            },
+            true,
+            2,
+        ),
+    ] {
+        let spec = train.spec().clone();
+        let cfg = UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(2)
+            .d_k(3)
+            .out_channels(8)
+            .voters(2)
+            .enhancements(enh)
+            .build()
+            .expect("config valid");
+        let outcome = UniVsaTrainer::new(cfg, TrainOptions {
+            epochs: 2,
+            ..TrainOptions::default()
+        })
+        .fit(&train, 5)
+        .expect("training succeeds");
+        assert_eq!(outcome.model.kernel_words().is_empty(), kernel_empty);
+        assert_eq!(outcome.model.class_sets().len(), voters);
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration tests of the hardware simulator against the model crate:
+//! every paper configuration must produce a coherent schedule, and the
+//! cost models must reproduce the shape of Tables III/IV.
+
+use univsa::{MemoryReport, UniVsaConfig};
+use univsa_data::TaskSpec;
+use univsa_hw::{CostModel, HwConfig, HwReport, Pipeline, Stage};
+
+const PAPER: [(&str, usize, usize, usize, (usize, usize, usize, usize, usize)); 6] = [
+    ("EEGMMI", 16, 64, 2, (8, 2, 3, 95, 1)),
+    ("BCI-III-V", 16, 6, 3, (8, 1, 3, 151, 3)),
+    ("CHB-B", 23, 64, 2, (8, 2, 3, 16, 3)),
+    ("CHB-IB", 23, 64, 2, (4, 1, 5, 16, 1)),
+    ("ISOLET", 16, 40, 26, (4, 4, 3, 22, 3)),
+    ("HAR", 16, 36, 6, (8, 4, 3, 18, 3)),
+];
+
+fn config(row: &(&str, usize, usize, usize, (usize, usize, usize, usize, usize))) -> UniVsaConfig {
+    let (name, w, l, c, (d_h, d_l, d_k, o, theta)) = row;
+    let spec = TaskSpec {
+        name: name.to_string(),
+        width: *w,
+        length: *l,
+        classes: *c,
+        levels: 256,
+    };
+    UniVsaConfig::for_task(&spec)
+        .d_h(*d_h)
+        .d_l(*d_l)
+        .d_k(*d_k)
+        .out_channels(*o)
+        .voters(*theta)
+        .build()
+        .expect("paper config valid")
+}
+
+#[test]
+fn all_paper_configs_schedule_coherently() {
+    for row in &PAPER {
+        let pipeline = Pipeline::new(HwConfig::new(&config(row)));
+        let trace = pipeline.schedule(4);
+        // every sample passes all four stages in order
+        for sample in 0..4 {
+            let entries = trace.sample_entries(sample);
+            assert_eq!(entries.len(), 4, "{}", row.0);
+            for pair in entries.windows(2) {
+                assert!(pair[1].start >= pair[0].end);
+            }
+        }
+        // BiConv bounds the stream on every paper config
+        assert_eq!(
+            pipeline.initiation_interval_cycles(),
+            Stage::BiConv.latency_cycles(pipeline.hw()),
+            "{}",
+            row.0
+        );
+    }
+}
+
+#[test]
+fn table4_latency_shape() {
+    // paper: (task, latency ms) — our model must land within 35%
+    let paper_latency = [
+        ("EEGMMI", 0.070),
+        ("BCI-III-V", 0.007),
+        ("CHB-B", 0.100),
+        ("CHB-IB", 0.206),
+        ("ISOLET", 0.044),
+        ("HAR", 0.039),
+    ];
+    for (row, (name, ms)) in PAPER.iter().zip(paper_latency) {
+        let report = HwReport::for_config(&HwConfig::new(&config(row)));
+        assert_eq!(row.0, name);
+        let ratio = report.latency_ms / ms;
+        assert!(
+            (0.65..=1.35).contains(&ratio),
+            "{name}: model {:.3} ms vs paper {ms} ms",
+            report.latency_ms
+        );
+    }
+}
+
+#[test]
+fn table4_ordering_preserved() {
+    // throughput ordering: BCI-III-V fastest, CHB-IB slowest
+    let reports: Vec<(String, HwReport)> = PAPER
+        .iter()
+        .map(|row| (row.0.to_string(), HwReport::for_config(&HwConfig::new(&config(row)))))
+        .collect();
+    let find = |n: &str| {
+        &reports
+            .iter()
+            .find(|(name, _)| name == n)
+            .expect("report exists")
+            .1
+    };
+    assert!(find("BCI-III-V").throughput_kps > find("ISOLET").throughput_kps);
+    assert!(find("ISOLET").throughput_kps > find("CHB-IB").throughput_kps);
+    assert!(find("EEGMMI").luts_k > find("HAR").luts_k);
+    // all under the BCI power ceiling the paper emphasizes (1.5 W)
+    for (name, r) in &reports {
+        assert!(r.power_w < 1.5, "{name} power {}", r.power_w);
+        assert_eq!(r.dsps, 0, "{name} uses DSPs");
+    }
+}
+
+#[test]
+fn memory_model_agrees_between_crates() {
+    for row in &PAPER {
+        let cfg = config(row);
+        let hw = HwConfig::new(&cfg);
+        let report = HwReport::for_config(&hw);
+        let eq5 = MemoryReport::for_config(&cfg).total_kib();
+        assert!((report.memory_kib - eq5).abs() < 1e-9, "{}", row.0);
+        // per-stage memory decomposition sums to Eq. 5 as well
+        let stage_sum: usize = report.stages.iter().map(|s| s.memory_bits).sum();
+        assert_eq!(stage_sum, MemoryReport::for_config(&cfg).total_bits());
+    }
+}
+
+#[test]
+fn faster_clock_cuts_latency_not_area() {
+    let cfg = config(&PAPER[4]);
+    let m = CostModel::calibrated();
+    let slow = HwConfig::with_clock(&cfg, 125.0);
+    let fast = HwConfig::with_clock(&cfg, 250.0);
+    assert_eq!(m.luts_k(&slow), m.luts_k(&fast));
+    let r_slow = HwReport::for_config(&slow);
+    let r_fast = HwReport::for_config(&fast);
+    assert!(r_fast.latency_ms < r_slow.latency_ms);
+    assert!(r_fast.throughput_kps > r_slow.throughput_kps);
+}
