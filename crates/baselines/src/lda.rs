@@ -59,11 +59,7 @@ impl Lda {
         let mut cov = vec![0.0f64; n * n];
         for (s, x) in train.samples().iter().zip(&rows) {
             let mean = &means[s.label];
-            let centred: Vec<f64> = x
-                .iter()
-                .zip(mean)
-                .map(|(&v, &m)| v as f64 - m)
-                .collect();
+            let centred: Vec<f64> = x.iter().zip(mean).map(|(&v, &m)| v as f64 - m).collect();
             for i in 0..n {
                 let ci = centred[i];
                 if ci == 0.0 {

@@ -48,9 +48,9 @@ impl Default for LdcOptions {
 /// is pure XNOR/popcount.
 #[derive(Debug, Clone)]
 pub struct Ldc {
-    value_table: BitMatrix,   // M × D
+    value_table: BitMatrix,     // M × D
     feature_vectors: BitMatrix, // N × D
-    class_vectors: BitMatrix, // C × D
+    class_vectors: BitMatrix,   // C × D
 }
 
 impl Ldc {
@@ -96,19 +96,15 @@ impl Ldc {
                 for s in &s_vecs {
                     flat.extend_from_slice(s.as_slice());
                 }
-                let s_batch =
-                    Tensor::from_vec(flat, &[batch.len(), d]).expect("buffer sized");
-                let labels: Vec<usize> =
-                    batch.iter().map(|&i| train.samples()[i].label).collect();
+                let s_batch = Tensor::from_vec(flat, &[batch.len(), d]).expect("buffer sized");
+                let labels: Vec<usize> = batch.iter().map(|&i| train.samples()[i].label).collect();
                 let logits = head.forward(&s_batch).expect("shapes fixed").scale(scale);
                 let (_, grad) = softmax_cross_entropy(&logits, &labels).expect("shapes fixed");
 
                 vb.zero_grad();
                 enc.zero_grad();
                 head.zero_grad();
-                let grad_s = head
-                    .backward(&grad.scale(scale))
-                    .expect("shapes fixed");
+                let grad_s = head.backward(&grad.scale(scale)).expect("shapes fixed");
                 let grad_rows: Vec<Tensor> = grad_s
                     .as_slice()
                     .chunks(d)

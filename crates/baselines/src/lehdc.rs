@@ -85,8 +85,8 @@ impl LeHdc {
                 for &i in &batch {
                     flat.extend(encoded[i].to_f32());
                 }
-                let x = Tensor::from_vec(flat, &[batch.len(), d])
-                    .expect("batch buffer sized to shape");
+                let x =
+                    Tensor::from_vec(flat, &[batch.len(), d]).expect("batch buffer sized to shape");
                 let batch_labels: Vec<usize> = batch.iter().map(|&i| labels[i]).collect();
                 let logits = head.forward(&x).expect("shapes fixed").scale(scale);
                 let (_, grad) =

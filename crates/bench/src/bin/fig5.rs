@@ -16,7 +16,10 @@ fn main() {
     let pipeline = Pipeline::new(hw.clone());
 
     println!("UniVSA streaming schedule — ISOLET config (D_H=4, D_K=3, O=22, Θ=3)");
-    println!("α = max(D_K, log2 D_H) = {} cycles per conv iteration", hw.alpha());
+    println!(
+        "α = max(D_K, log2 D_H) = {} cycles per conv iteration",
+        hw.alpha()
+    );
     println!();
     for (stage, cycles) in pipeline.stage_latencies() {
         println!("  {stage:>10}: {cycles:>6} cycles per sample");

@@ -29,7 +29,11 @@ fn main() {
         print_row(&cells, &widths);
     }
     println!();
-    println!("Expected shape (paper): BiConv dominates execution time on every task, far above the");
-    println!("other stages, while its kernel memory K is tiny; F (Encoding) and C (Similarity) hold");
+    println!(
+        "Expected shape (paper): BiConv dominates execution time on every task, far above the"
+    );
+    println!(
+        "other stages, while its kernel memory K is tiny; F (Encoding) and C (Similarity) hold"
+    );
     println!("most of the memory when the input grid or class count is large.");
 }

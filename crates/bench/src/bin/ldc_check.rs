@@ -7,7 +7,10 @@ fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "HAR".into());
     let task = univsa_data::tasks::by_name(&name, 2025).unwrap();
     let lda = evaluate(&Lda::fit(&task.train, 0.3), &task.test);
-    let svm = evaluate(&Svm::fit(&task.train, &SvmOptions::default(), 2025), &task.test);
+    let svm = evaluate(
+        &Svm::fit(&task.train, &SvmOptions::default(), 2025),
+        &task.test,
+    );
     let ldc = Ldc::fit(&task.train, &LdcOptions::default(), 2025);
     let ldc_train = evaluate(&ldc, &task.train);
     let ldc_test = evaluate(&ldc, &task.test);

@@ -33,10 +33,15 @@ fn main() {
 
     let widths = [9usize, 30, 30, 10];
     print_row(
-        &["Task", "searched (D_H,D_L,D_K,O,Θ)", "paper (D_H,D_L,D_K,O,Θ)", "obj"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>(),
+        &[
+            "Task",
+            "searched (D_H,D_L,D_K,O,Θ)",
+            "paper (D_H,D_L,D_K,O,Θ)",
+            "obj",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
         &widths,
     );
 
@@ -49,8 +54,8 @@ fn main() {
         let objective =
             AccuracyHardwareObjective::new(fit_split, val_split, train_options.clone(), 7);
         let space = SearchSpace::for_task(&task.spec);
-        let result = EvolutionarySearch::new(space, search_options)
-            .run(|g| objective.evaluate(g), 42);
+        let result =
+            EvolutionarySearch::new(space, search_options).run(|g| objective.evaluate(g), 42);
         let paper = PAPER_CONFIGS
             .iter()
             .find(|(n, _)| *n == task.spec.name)

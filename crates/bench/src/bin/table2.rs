@@ -4,9 +4,7 @@
 //! Run: `cargo run -p univsa-bench --release --bin table2`
 //! (`UNIVSA_QUICK=1` for a fast smoke run).
 
-use univsa_baselines::{
-    evaluate, Classifier, Knn, Lda, LdcOptions, LeHdcOptions, Svm, SvmOptions,
-};
+use univsa_baselines::{evaluate, Classifier, Knn, Lda, LdcOptions, LeHdcOptions, Svm, SvmOptions};
 use univsa_bench::{all_tasks, fmt_kib, print_row, train_univsa};
 
 fn main() {
@@ -25,17 +23,13 @@ fn main() {
     };
     let svm_opts = SvmOptions::default();
 
-    let header = [
-        "Task", "LDA", "KNN", "SVM", "LeHDC", "LDC", "UniVSA",
-    ];
+    let header = ["Task", "LDA", "KNN", "SVM", "LeHDC", "LDC", "UniVSA"];
     let widths = [9usize, 16, 16, 16, 16, 16, 16];
     print_row(
         &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
         &widths,
     );
-    println!(
-        "(each cell: accuracy, model KB in parentheses; KNN has no compact model)"
-    );
+    println!("(each cell: accuracy, model KB in parentheses; KNN has no compact model)");
 
     let mut sums = [0.0f64; 6];
     for task in &tasks {
@@ -73,9 +67,10 @@ fn main() {
             fmt_kib(Some(model.memory_report().total_bits()))
         ));
 
-        for (s, a) in sums.iter_mut().zip([
-            lda_acc, knn_acc, svm_acc, lehdc_acc, ldc_acc, uni_acc,
-        ]) {
+        for (s, a) in sums
+            .iter_mut()
+            .zip([lda_acc, knn_acc, svm_acc, lehdc_acc, ldc_acc, uni_acc])
+        {
             *s += a;
         }
         print_row(&cells, &widths);

@@ -93,8 +93,16 @@ fn main() {
     let widths = [11usize, 11, 17, 7, 11, 12, 9, 8, 6, 5];
     print_row(
         &[
-            "Model", "FPGA", "Input/Classes", "MHz", "Mem KB", "Latency ms", "Power W",
-            "LUTs k", "BRAM", "DSP",
+            "Model",
+            "FPGA",
+            "Input/Classes",
+            "MHz",
+            "Mem KB",
+            "Latency ms",
+            "Power W",
+            "LUTs k",
+            "BRAM",
+            "DSP",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -183,6 +191,10 @@ fn main() {
     );
     println!("(paper UniVSA row: Zynq-ZU3EG, (16,40)/26, 250 MHz, 8.36 KB, 0.044 ms, 0.11 W, 7.92k LUTs, 1 BRAM, 0 DSP)");
     println!();
-    println!("Expected shape: UniVSA orders of magnitude below SVM/KNN/BNN/QNN/LookHD in power and");
-    println!("latency with 0 DSPs; only LDC is smaller, but UniVSA buys accuracy and memory (Table II).");
+    println!(
+        "Expected shape: UniVSA orders of magnitude below SVM/KNN/BNN/QNN/LookHD in power and"
+    );
+    println!(
+        "latency with 0 DSPs; only LDC is smaller, but UniVSA buys accuracy and memory (Table II)."
+    );
 }

@@ -23,8 +23,11 @@
 use univsa::{TrainOptions, UniVsaConfig, UniVsaError, UniVsaModel, UniVsaTrainer};
 use univsa_data::{tasks, Task};
 
+/// A `(D_H, D_L, D_K, O, Θ)` model tuple.
+pub type ConfigTuple = (usize, usize, usize, usize, usize);
+
 /// The paper's Table I: per-task `(D_H, D_L, D_K, O, Θ)` configurations.
-pub const PAPER_CONFIGS: [(&str, (usize, usize, usize, usize, usize)); 6] = [
+pub const PAPER_CONFIGS: [(&str, ConfigTuple); 6] = [
     ("EEGMMI", (8, 2, 3, 95, 1)),
     ("BCI-III-V", (8, 1, 3, 151, 3)),
     ("CHB-B", (8, 2, 3, 16, 3)),
@@ -35,7 +38,7 @@ pub const PAPER_CONFIGS: [(&str, (usize, usize, usize, usize, usize)); 6] = [
 
 /// Whether a quick (reduced-budget) run was requested via `UNIVSA_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("UNIVSA_QUICK").map_or(false, |v| v == "1")
+    std::env::var("UNIVSA_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// Builds all six benchmark tasks with one seed.

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::DimMismatchError;
 use crate::BitVec;
 
@@ -26,7 +24,7 @@ use crate::BitVec;
 /// let nearest = m.nearest(m.row(2)).unwrap();
 /// assert_eq!(nearest, 2);
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct BitMatrix {
     dim: usize,
     rows: Vec<BitVec>,

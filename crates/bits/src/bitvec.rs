@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{DimMismatchError, ParseBitVecError};
 use crate::word::{locate, tail_mask, words_for};
 
@@ -24,7 +22,7 @@ use crate::word::{locate, tail_mask, words_for};
 /// assert_eq!(v.count_ones(), 2);
 /// assert_eq!(v.to_bipolar(), vec![1, -1, 1]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitVec {
     dim: usize,
     words: Vec<u64>,

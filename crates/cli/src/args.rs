@@ -42,6 +42,17 @@ pub enum Command {
         /// Directory for the Verilog + hex files.
         out_dir: String,
     },
+    /// `univsa robustness --model m.uvsa --csv data.csv [--rates R,…] [--seed S]`
+    Robustness {
+        /// Saved model path.
+        model: String,
+        /// CSV dataset to evaluate fault tolerance on.
+        csv: String,
+        /// Per-bit flip rates to sweep.
+        rates: Vec<f64>,
+        /// RNG seed for the fault draws.
+        seed: u64,
+    },
     /// `univsa tasks`
     Tasks,
     /// `univsa help` (or `--help`)
@@ -72,6 +83,7 @@ USAGE:
   univsa infer --model MODEL --csv DATA.csv
   univsa info  --model MODEL
   univsa rtl   --model MODEL --out-dir DIR
+  univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
   univsa tasks
   univsa help
 
@@ -118,6 +130,25 @@ impl Command {
                     out_dir: required(&flags, "out-dir")?,
                 })
             }
+            "robustness" => {
+                let flags = parse_flags(rest)?;
+                let rates = match flags_get(&flags, "rates") {
+                    Some(r) => parse_rates(&r)?,
+                    None => vec![0.001, 0.01, 0.05],
+                };
+                let seed = match flags_get(&flags, "seed") {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --seed {s:?}")))?,
+                    None => 42,
+                };
+                Ok(Command::Robustness {
+                    model: required(&flags, "model")?,
+                    csv: required(&flags, "csv")?,
+                    rates,
+                    seed,
+                })
+            }
             other => Err(ParseArgsError(format!(
                 "unknown subcommand {other:?}; run `univsa help`"
             ))),
@@ -139,9 +170,7 @@ fn parse_train(rest: &[String]) -> Result<Command, ParseArgsError> {
         None => None,
     };
     if csv.is_some() && geometry.is_none() {
-        return Err(ParseArgsError(
-            "--csv requires --geometry W,L,C".into(),
-        ));
+        return Err(ParseArgsError("--csv requires --geometry W,L,C".into()));
     }
     let config = parse_tuple5(&required(&flags, "config")?)?;
     let epochs = match flags_get(&flags, "epochs") {
@@ -214,9 +243,7 @@ fn expect_no_extra(rest: &[String]) -> Result<(), ParseArgsError> {
 fn parse_triple(s: &str) -> Result<(usize, usize, usize), ParseArgsError> {
     let parts: Vec<&str> = s.split(',').collect();
     if parts.len() != 3 {
-        return Err(ParseArgsError(format!(
-            "expected W,L,C — got {s:?}"
-        )));
+        return Err(ParseArgsError(format!("expected W,L,C — got {s:?}")));
     }
     let mut nums = [0usize; 3];
     for (slot, part) in nums.iter_mut().zip(&parts) {
@@ -226,6 +253,24 @@ fn parse_triple(s: &str) -> Result<(usize, usize, usize), ParseArgsError> {
             .map_err(|_| ParseArgsError(format!("bad number {part:?} in {s:?}")))?;
     }
     Ok((nums[0], nums[1], nums[2]))
+}
+
+fn parse_rates(s: &str) -> Result<Vec<f64>, ParseArgsError> {
+    let rates: Result<Vec<f64>, _> = s
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<f64>()
+                .map_err(|_| ParseArgsError(format!("bad rate {part:?} in {s:?}")))
+        })
+        .collect();
+    let rates = rates?;
+    if rates.is_empty() || rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+        return Err(ParseArgsError(format!(
+            "--rates needs comma-separated probabilities in [0, 1] — got {s:?}"
+        )));
+    }
+    Ok(rates)
 }
 
 fn parse_tuple5(s: &str) -> Result<(usize, usize, usize, usize, usize), ParseArgsError> {
@@ -281,10 +326,8 @@ mod tests {
 
     #[test]
     fn train_with_csv_needs_geometry() {
-        let err = Command::parse(&argv(
-            "train --csv d.csv --config 4,4,3,22,3 --out m.uvsa",
-        ))
-        .unwrap_err();
+        let err = Command::parse(&argv("train --csv d.csv --config 4,4,3,22,3 --out m.uvsa"))
+            .unwrap_err();
         assert!(err.0.contains("--geometry"));
         let ok = Command::parse(&argv(
             "train --csv d.csv --geometry 4,8,2 --config 4,2,3,8,1 --out m.uvsa",
@@ -307,8 +350,7 @@ mod tests {
 
     #[test]
     fn defaults_applied() {
-        let cmd = Command::parse(&argv("train --task HAR --config 8,4,3,18,3 --out m"))
-            .unwrap();
+        let cmd = Command::parse(&argv("train --task HAR --config 8,4,3,18,3 --out m")).unwrap();
         match cmd {
             Command::Train { epochs, seed, .. } => {
                 assert_eq!(epochs, 20);
@@ -338,6 +380,41 @@ mod tests {
                 out_dir: "rtl".into()
             }
         );
+    }
+
+    #[test]
+    fn robustness_parses_with_defaults() {
+        let cmd = Command::parse(&argv("robustness --model m --csv d.csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Robustness {
+                model: "m".into(),
+                csv: "d.csv".into(),
+                rates: vec![0.001, 0.01, 0.05],
+                seed: 42,
+            }
+        );
+        let cmd = Command::parse(&argv(
+            "robustness --model m --csv d.csv --rates 0.1,0.25 --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Robustness { rates, seed, .. } => {
+                assert_eq!(rates, vec![0.1, 0.25]);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn robustness_rejects_bad_rates() {
+        let err =
+            Command::parse(&argv("robustness --model m --csv d.csv --rates 1.5")).unwrap_err();
+        assert!(err.0.contains("[0, 1]"));
+        let err = Command::parse(&argv("robustness --model m --csv d.csv --rates x")).unwrap_err();
+        assert!(err.0.contains("bad rate"));
+        assert!(Command::parse(&argv("robustness --csv d.csv")).is_err());
     }
 
     #[test]

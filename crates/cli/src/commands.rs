@@ -3,9 +3,12 @@
 use std::error::Error;
 use std::path::Path;
 
-use univsa::{load_model, save_model, TrainOptions, UniVsaConfig, UniVsaTrainer};
+use univsa::{
+    load_model, save_model, FaultModel, FaultSpec, FaultTarget, TrainOptions, UniVsaConfig,
+    UniVsaModel, UniVsaTrainer,
+};
 use univsa_data::{csv, Dataset, TaskSpec};
-use univsa_hw::{export_weights, HwConfig, HwReport, RtlGenerator};
+use univsa_hw::{export_weights, CostModel, HwConfig, HwReport, Protection, RtlGenerator};
 
 use crate::args::USAGE;
 use crate::Command;
@@ -125,7 +128,11 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
                 "  geometry : grid ({}, {}), {} classes, {} levels",
                 cfg.width, cfg.length, cfg.classes, cfg.levels
             )?;
-            writeln!(out, "  config   : (D_H, D_L, D_K, O, Θ) = {:?}", cfg.tuple())?;
+            writeln!(
+                out,
+                "  config   : (D_H, D_L, D_K, O, Θ) = {:?}",
+                cfg.tuple()
+            )?;
             writeln!(
                 out,
                 "  enhancements: dvp={} biconv={} soft_voting={}",
@@ -160,7 +167,86 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             writeln!(out, "wrote {count} files to {out_dir}/")?;
             Ok(())
         }
+        Command::Robustness {
+            model,
+            csv: path,
+            rates,
+            seed,
+        } => {
+            let model = load_model(&std::fs::read(&model)?)?;
+            let cfg = model.config();
+            let spec = TaskSpec {
+                name: "csv".into(),
+                width: cfg.width,
+                length: cfg.length,
+                classes: cfg.classes,
+                levels: cfg.levels,
+            };
+            let data = csv::from_csv(&std::fs::read_to_string(&path)?, spec)?;
+            run_robustness(&model, &data, &rates, seed, out)
+        }
     }
+}
+
+/// Sweeps bit-flip fault rates over a loaded model and reports the
+/// accuracy of the unprotected, detect-and-reload, and TMR strategies,
+/// plus the hardware price of each protection scheme.
+fn run_robustness(
+    model: &UniVsaModel,
+    data: &Dataset,
+    rates: &[f64],
+    seed: u64,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    let clean_acc = model.evaluate(data)?;
+    let integrity = model.integrity();
+    writeln!(
+        out,
+        "clean accuracy: {clean_acc:.4} ({} samples)",
+        data.len()
+    )?;
+    writeln!(out)?;
+    writeln!(
+        out,
+        "{:>8}  {:>12}  {:>10}  {:>10}",
+        "rate", "unprotected", "detected", "tmr"
+    )?;
+    for &rate in rates {
+        let spec = |s| FaultSpec {
+            model: FaultModel::BitFlip { rate },
+            target: FaultTarget::All,
+            seed: s,
+        };
+        let corrupted = spec(seed).inject(model)?.model;
+        let unprotected = corrupted.evaluate(data)?;
+        let detected = !corrupted.verify_integrity(&integrity).is_clean();
+        let copies: Vec<UniVsaModel> = (1..=3)
+            .map(|c| Ok(spec(seed + 100 * c).inject(model)?.model))
+            .collect::<Result<_, univsa::UniVsaError>>()?;
+        let tmr = UniVsaModel::repair_from_copies(&copies)?.evaluate(data)?;
+        writeln!(
+            out,
+            "{rate:>8.4}  {unprotected:>12.4}  {:>10}  {tmr:>10.4}",
+            if detected { "yes" } else { "no" }
+        )?;
+    }
+    writeln!(out)?;
+    writeln!(out, "protection cost (Zynq-ZU3EG @ 250 MHz):")?;
+    let cost = CostModel::calibrated();
+    for protection in Protection::ALL {
+        let hw = HwConfig::new(model.config()).with_protection(protection);
+        writeln!(
+            out,
+            "  {:>13}: {:.2}k LUTs | {:.2}k FFs | {} BRAM | {:.3} W | {:.2} KiB stored",
+            protection.name(),
+            cost.luts_k(&hw),
+            cost.ffs_k(&hw),
+            cost.brams(&hw),
+            cost.power_w(&hw),
+            hw.stored_memory_kib()
+        )?;
+    }
+    Ok(())
 }
 
 /// Loads the training (and optional held-out) split from a built-in task or
@@ -272,6 +358,25 @@ mod tests {
         assert!(text.contains("wrote"), "{text}");
         assert!(rtl_dir.join("univsa_top.v").exists());
         assert!(rtl_dir.join("vb_h.hex").exists());
+
+        // robustness sweep on the same data
+        let text = run_to_string(Command::Robustness {
+            model: model_path.to_string_lossy().into_owned(),
+            csv: csv_path.to_string_lossy().into_owned(),
+            rates: vec![0.0, 0.05],
+            seed: 3,
+        })
+        .unwrap();
+        assert!(text.contains("clean accuracy"), "{text}");
+        assert!(text.contains("unprotected"), "{text}");
+        assert!(text.contains("tmr"), "{text}");
+        assert!(text.contains("parity-detect"), "{text}");
+        // rate 0 must leave the model untouched and undetected
+        let zero_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("0.0000"))
+            .expect("rate-0 row");
+        assert!(zero_line.contains("no"), "{zero_line}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,6 +1,5 @@
 //! UniVSA model configuration.
 
-use serde::{Deserialize, Serialize};
 use univsa_data::TaskSpec;
 use univsa_tensor::Conv2dSpec;
 
@@ -8,7 +7,7 @@ use crate::UniVsaError;
 
 /// Which of the three UniVSA enhancements are active — the axes of the
 /// paper's Fig. 4 ablation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Enhancements {
     /// Discriminated value projection (narrow `VB_L` for low-importance
     /// features).
@@ -63,7 +62,7 @@ impl Default for Enhancements {
 /// assert_eq!(cfg.vsa_dim(), 32);
 /// # Ok::<(), univsa::UniVsaError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UniVsaConfig {
     /// High-importance value-vector dimension `D_H` (channel depth of the
     /// conv input). At most 64 so a channel column fits one packed word.
@@ -237,12 +236,15 @@ impl ConfigBuilder {
             return err("all of D_H, D_L, D_K, O, Θ must be nonzero".into());
         }
         if c.d_h > 64 {
-            return err(format!("D_H = {} exceeds the packed-word limit of 64", c.d_h));
+            return err(format!(
+                "D_H = {} exceeds the packed-word limit of 64",
+                c.d_h
+            ));
         }
         if c.d_l > c.d_h {
             return err(format!("D_L = {} must not exceed D_H = {}", c.d_l, c.d_h));
         }
-        if c.d_k % 2 == 0 {
+        if c.d_k.is_multiple_of(2) {
             return err(format!("kernel D_K = {} must be odd", c.d_k));
         }
         if c.d_k > c.width || c.d_k > c.length {
@@ -294,7 +296,11 @@ mod tests {
 
     #[test]
     fn rejects_d_l_above_d_h() {
-        assert!(UniVsaConfig::for_task(&spec()).d_h(2).d_l(4).build().is_err());
+        assert!(UniVsaConfig::for_task(&spec())
+            .d_h(2)
+            .d_l(4)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -309,13 +315,20 @@ mod tests {
 
     #[test]
     fn rejects_d_h_over_64() {
-        assert!(UniVsaConfig::for_task(&spec()).d_h(65).d_l(1).build().is_err());
+        assert!(UniVsaConfig::for_task(&spec())
+            .d_h(65)
+            .d_l(1)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn rejects_zero_components() {
         assert!(UniVsaConfig::for_task(&spec()).voters(0).build().is_err());
-        assert!(UniVsaConfig::for_task(&spec()).out_channels(0).build().is_err());
+        assert!(UniVsaConfig::for_task(&spec())
+            .out_channels(0)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -357,7 +370,11 @@ mod tests {
 
     #[test]
     fn conv_spec_matches_geometry() {
-        let c = UniVsaConfig::for_task(&spec()).d_h(8).out_channels(16).build().unwrap();
+        let c = UniVsaConfig::for_task(&spec())
+            .d_h(8)
+            .out_channels(16)
+            .build()
+            .unwrap();
         let s = c.conv_spec();
         assert_eq!(s.in_channels, 8);
         assert_eq!(s.out_channels, 16);

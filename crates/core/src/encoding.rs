@@ -2,7 +2,6 @@
 //! feature vectors.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use univsa_nn::ste::{sign, ste_grad};
 use univsa_nn::Param;
 use univsa_tensor::{uniform, Tensor};
@@ -20,7 +19,7 @@ use crate::UniVsaError;
 /// Latent weights `F` are floats binarized with `sign` in the forward pass
 /// (straight-through estimator backward); the binarized matrix is exported
 /// as the feature-vector set **F**.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EncodingLayer {
     f_latent: Param, // (channels, dim)
     channels: usize,
@@ -187,15 +186,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut layer = EncodingLayer::new(3, 4, &mut rng);
         // force F latent to known signs
-        layer
-            .f_latent
-            .value_mut()
-            .as_mut_slice()
-            .copy_from_slice(&[
-                1.0, -1.0, 1.0, -1.0, //
-                1.0, 1.0, -1.0, -1.0, //
-                -1.0, 1.0, 1.0, 1.0,
-            ]);
+        layer.f_latent.value_mut().as_mut_slice().copy_from_slice(&[
+            1.0, -1.0, 1.0, -1.0, //
+            1.0, 1.0, -1.0, -1.0, //
+            -1.0, 1.0, 1.0, 1.0,
+        ]);
         let a = Tensor::from_vec(
             vec![
                 1.0, 1.0, 1.0, 1.0, //
@@ -260,7 +255,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut layer = EncodingLayer::new(3, 5, &mut rng);
         let a = univsa_tensor::signs(&[3, 5], &mut rng);
-        let out = layer.forward(&[a.clone()]).unwrap();
+        let out = layer.forward(std::slice::from_ref(&a)).unwrap();
         assert_eq!(layer.infer(&a).unwrap(), out[0]);
     }
 }

@@ -19,6 +19,9 @@ pub enum UniVsaError {
     Input(String),
     /// Model (de)serialization failed.
     Serialize(String),
+    /// Weight memory failed an integrity check (checksum mismatch or an
+    /// unrepairable redundant-copy configuration).
+    Integrity(String),
 }
 
 impl fmt::Display for UniVsaError {
@@ -29,6 +32,7 @@ impl fmt::Display for UniVsaError {
             Self::Dim(e) => write!(f, "{e}"),
             Self::Input(msg) => write!(f, "invalid input: {msg}"),
             Self::Serialize(msg) => write!(f, "serialization failed: {msg}"),
+            Self::Integrity(msg) => write!(f, "integrity check failed: {msg}"),
         }
     }
 }
@@ -67,6 +71,12 @@ mod tests {
         assert!(e.to_string().contains("shape error"));
         let e: UniVsaError = DimMismatchError { left: 1, right: 2 }.into();
         assert!(e.to_string().contains("dimension mismatch"));
+        let e = UniVsaError::Integrity("crc".into());
+        assert!(e.to_string().contains("integrity check failed"));
+        let e = UniVsaError::Serialize("s".into());
+        assert!(e.to_string().contains("serialization failed"));
+        let e = UniVsaError::Input("i".into());
+        assert!(e.to_string().contains("invalid input"));
     }
 
     #[test]
@@ -74,6 +84,8 @@ mod tests {
         let e: UniVsaError = ShapeError::new("x").into();
         assert!(std::error::Error::source(&e).is_some());
         let e = UniVsaError::Config("c".into());
+        assert!(std::error::Error::source(&e).is_none());
+        let e = UniVsaError::Integrity("x".into());
         assert!(std::error::Error::source(&e).is_none());
     }
 

@@ -1,0 +1,808 @@
+//! Fault injection: weight-memory and sensor fault models.
+//!
+//! Binary VSA's claim to hardware friendliness rests partly on holographic
+//! robustness: every bit of **V**, **F**, **K**, **C** carries the same
+//! tiny share of the decision, so single-event upsets (radiation, weak
+//! retention in low-voltage SRAM) degrade accuracy gracefully instead of
+//! catastrophically — unlike a float MSB flip. This module makes that claim
+//! testable, and goes beyond iid bit flips:
+//!
+//! - [`FaultModel::BitFlip`] — each stored bit flips independently (SEUs).
+//! - [`FaultModel::StuckAt0`] / [`FaultModel::StuckAt1`] — manufacturing
+//!   or wear-out defects that pin cells to one value.
+//! - [`FaultModel::WordBurst`] — whole 64-bit words corrupted at once, the
+//!   signature of a row/column driver fault or an uncorrected burst in a
+//!   word-organized BRAM.
+//! - [`FaultTarget`] — faults can hit all weight memory or a single
+//!   component (value tables, kernels, feature vectors, class vectors),
+//!   exposing which stores the decision leans on.
+//! - [`SensorFaultSpec`] — input-side faults: dead channels, saturated
+//!   channels, and discretization-level noise on the sensor front-end.
+//!
+//! Everything is seeded and reproducible. This is an *extension*
+//! experiment beyond the paper's evaluation (see `ext_robustness` in the
+//! bench crate).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use univsa_bits::{BitMatrix, BitVec};
+use univsa_data::{Dataset, Sample};
+
+use crate::{UniVsaError, UniVsaModel};
+
+/// How individual memory cells fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// Each stored bit flips independently with this probability.
+    BitFlip {
+        /// Per-bit flip probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Each stored bit is pinned to 0 with this probability.
+    StuckAt0 {
+        /// Per-bit defect probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Each stored bit is pinned to 1 with this probability.
+    StuckAt1 {
+        /// Per-bit defect probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// This many randomly chosen 64-bit storage words are overwritten with
+    /// random garbage (each valid bit of a hit word re-randomized).
+    WordBurst {
+        /// Number of distinct words to corrupt.
+        bursts: usize,
+    },
+}
+
+impl FaultModel {
+    fn rate(&self) -> Option<f64> {
+        match *self {
+            Self::BitFlip { rate } | Self::StuckAt0 { rate } | Self::StuckAt1 { rate } => {
+                Some(rate)
+            }
+            Self::WordBurst { .. } => None,
+        }
+    }
+}
+
+/// Which weight component a fault campaign targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Every weight store.
+    All,
+    /// The value tables `VB_H` and `VB_L` only.
+    ValueTables,
+    /// The packed convolution kernels **K** only.
+    Kernel,
+    /// The feature vectors **F** only.
+    FeatureVectors,
+    /// The class-vector sets **C** only.
+    ClassVectors,
+}
+
+impl FaultTarget {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::All => "all",
+            Self::ValueTables => "value-tables",
+            Self::Kernel => "kernel",
+            Self::FeatureVectors => "feature-vectors",
+            Self::ClassVectors => "class-vectors",
+        }
+    }
+}
+
+/// A complete, reproducible weight-fault campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// The cell-level fault model.
+    pub model: FaultModel,
+    /// The targeted weight component(s).
+    pub target: FaultTarget,
+    /// RNG seed; equal specs produce equal corruptions.
+    pub seed: u64,
+}
+
+/// Result of injecting a [`FaultSpec`]: the faulty model plus how many
+/// stored bits actually changed.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// The corrupted model copy.
+    pub model: UniVsaModel,
+    /// Number of weight bits whose value changed.
+    pub disturbed_bits: u64,
+}
+
+impl FaultSpec {
+    /// Checks the spec's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Config`] when a rate lies outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), UniVsaError> {
+        if let Some(rate) = self.model.rate() {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(UniVsaError::Config(format!(
+                    "fault rate {rate} must be in [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Injects this fault campaign into a copy of `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Config`] when the spec is invalid (see
+    /// [`FaultSpec::validate`]).
+    pub fn inject(&self, model: &UniVsaModel) -> Result<FaultOutcome, UniVsaError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut copy = model.clone();
+        let disturbed_bits = match self.model {
+            FaultModel::BitFlip { rate } => {
+                apply_cell_fault(&mut copy, self.target, CellFault::Flip, rate, &mut rng)
+            }
+            FaultModel::StuckAt0 { rate } => apply_cell_fault(
+                &mut copy,
+                self.target,
+                CellFault::Stick(false),
+                rate,
+                &mut rng,
+            ),
+            FaultModel::StuckAt1 { rate } => apply_cell_fault(
+                &mut copy,
+                self.target,
+                CellFault::Stick(true),
+                rate,
+                &mut rng,
+            ),
+            FaultModel::WordBurst { bursts } => {
+                apply_bursts(&mut copy, self.target, bursts, &mut rng)
+            }
+        };
+        Ok(FaultOutcome {
+            model: copy,
+            disturbed_bits,
+        })
+    }
+}
+
+#[derive(Clone, Copy)]
+enum CellFault {
+    Flip,
+    Stick(bool),
+}
+
+impl CellFault {
+    /// New value of a faulted cell currently holding `old`.
+    fn hit(&self, old: bool) -> bool {
+        match *self {
+            Self::Flip => !old,
+            Self::Stick(v) => v,
+        }
+    }
+}
+
+fn apply_cell_fault<R: Rng + ?Sized>(
+    model: &mut UniVsaModel,
+    target: FaultTarget,
+    fault: CellFault,
+    rate: f64,
+    rng: &mut R,
+) -> u64 {
+    if rate == 0.0 {
+        return 0;
+    }
+    let d_h = model.config().d_h;
+    let (v_h, v_l, kernel, f, c) = model.weights_mut();
+    let mut disturbed = 0u64;
+    let hit = |t| target == FaultTarget::All || target == t;
+    if hit(FaultTarget::ValueTables) {
+        disturbed += fault_matrix(v_h, fault, rate, rng);
+        disturbed += fault_matrix(v_l, fault, rate, rng);
+    }
+    if hit(FaultTarget::Kernel) {
+        for word in kernel.iter_mut() {
+            for bit in 0..d_h {
+                if rng.gen_bool(rate) {
+                    let old = (*word >> bit) & 1 == 1;
+                    let new = fault.hit(old);
+                    if new != old {
+                        *word ^= 1 << bit;
+                        disturbed += 1;
+                    }
+                }
+            }
+        }
+    }
+    if hit(FaultTarget::FeatureVectors) {
+        disturbed += fault_matrix(f, fault, rate, rng);
+    }
+    if hit(FaultTarget::ClassVectors) {
+        for set in c.iter_mut() {
+            disturbed += fault_matrix(set, fault, rate, rng);
+        }
+    }
+    disturbed
+}
+
+fn fault_matrix<R: Rng + ?Sized>(
+    m: &mut BitMatrix,
+    fault: CellFault,
+    rate: f64,
+    rng: &mut R,
+) -> u64 {
+    let mut disturbed = 0u64;
+    for row_idx in 0..m.rows() {
+        disturbed += fault_vec(m.row_mut(row_idx), fault, rate, rng);
+    }
+    disturbed
+}
+
+fn fault_vec<R: Rng + ?Sized>(v: &mut BitVec, fault: CellFault, rate: f64, rng: &mut R) -> u64 {
+    let mut disturbed = 0u64;
+    for i in 0..v.dim() {
+        if rng.gen_bool(rate) {
+            let old = v.get(i) == Some(true);
+            let new = fault.hit(old);
+            if new != old {
+                v.set(i, new);
+                disturbed += 1;
+            }
+        }
+    }
+    disturbed
+}
+
+/// One corruptible 64-bit word slot in the targeted stores.
+#[derive(Clone, Copy)]
+enum WordSlot {
+    VH(usize, usize),
+    VL(usize, usize),
+    Kernel(usize),
+    F(usize, usize),
+    C(usize, usize, usize),
+}
+
+fn apply_bursts<R: Rng + ?Sized>(
+    model: &mut UniVsaModel,
+    target: FaultTarget,
+    bursts: usize,
+    rng: &mut R,
+) -> u64 {
+    let hit = |t| target == FaultTarget::All || target == t;
+    let mut slots: Vec<WordSlot> = Vec::new();
+    {
+        let words_of = |m: &BitMatrix| m.dim().div_ceil(64);
+        if hit(FaultTarget::ValueTables) {
+            for r in 0..model.v_h().rows() {
+                for w in 0..words_of(model.v_h()) {
+                    slots.push(WordSlot::VH(r, w));
+                }
+            }
+            for r in 0..model.v_l().rows() {
+                for w in 0..words_of(model.v_l()) {
+                    slots.push(WordSlot::VL(r, w));
+                }
+            }
+        }
+        if hit(FaultTarget::Kernel) {
+            for i in 0..model.kernel_words().len() {
+                slots.push(WordSlot::Kernel(i));
+            }
+        }
+        if hit(FaultTarget::FeatureVectors) {
+            for r in 0..model.f().rows() {
+                for w in 0..words_of(model.f()) {
+                    slots.push(WordSlot::F(r, w));
+                }
+            }
+        }
+        if hit(FaultTarget::ClassVectors) {
+            for (s, set) in model.class_sets().iter().enumerate() {
+                for r in 0..set.rows() {
+                    for w in 0..words_of(set) {
+                        slots.push(WordSlot::C(s, r, w));
+                    }
+                }
+            }
+        }
+    }
+    if slots.is_empty() || bursts == 0 {
+        return 0;
+    }
+    // sample distinct slots (all of them when bursts >= slot count)
+    let picks = bursts.min(slots.len());
+    for i in 0..picks {
+        let j = rng.gen_range(i..slots.len());
+        slots.swap(i, j);
+    }
+    let d_h = model.config().d_h;
+    let chosen: Vec<WordSlot> = slots[..picks].to_vec();
+    let (v_h, v_l, kernel, f, c) = model.weights_mut();
+    let mut disturbed = 0u64;
+    for slot in chosen {
+        disturbed += match slot {
+            WordSlot::VH(r, w) => burst_vec_word(v_h.row_mut(r), w, rng),
+            WordSlot::VL(r, w) => burst_vec_word(v_l.row_mut(r), w, rng),
+            WordSlot::Kernel(i) => {
+                let mask = low_mask(d_h);
+                let garbage = rng.gen::<u64>() & mask;
+                let changed = (kernel[i] ^ garbage) & mask;
+                kernel[i] = (kernel[i] & !mask) | garbage;
+                u64::from(changed.count_ones())
+            }
+            WordSlot::F(r, w) => burst_vec_word(f.row_mut(r), w, rng),
+            WordSlot::C(s, r, w) => burst_vec_word(c[s].row_mut(r), w, rng),
+        };
+    }
+    disturbed
+}
+
+fn low_mask(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Overwrites word `w` of `v` with random garbage (valid bits only).
+fn burst_vec_word<R: Rng + ?Sized>(v: &mut BitVec, w: usize, rng: &mut R) -> u64 {
+    let lo = w * 64;
+    let hi = ((w + 1) * 64).min(v.dim());
+    let mut disturbed = 0u64;
+    for i in lo..hi {
+        let old = v.get(i) == Some(true);
+        let new = rng.gen::<bool>();
+        if new != old {
+            v.set(i, new);
+            disturbed += 1;
+        }
+    }
+    disturbed
+}
+
+/// How a sensor channel (one discretized input feature) fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// Affected channels always read level 0 (disconnected electrode).
+    DeadChannel,
+    /// Affected channels always read the top level (railed amplifier).
+    Saturated,
+    /// Each reading of an affected channel is jittered by up to
+    /// `magnitude` discretization levels in either direction.
+    NoisyLevels {
+        /// Maximum absolute level shift per reading (≥ 1).
+        magnitude: u8,
+    },
+}
+
+impl SensorFault {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::DeadChannel => "dead-channel",
+            Self::Saturated => "saturated",
+            Self::NoisyLevels { .. } => "noisy-levels",
+        }
+    }
+}
+
+/// A reproducible input-side fault campaign: `rate` of the channels are
+/// affected (the *same* channels for every sample — a broken sensor stays
+/// broken), chosen by `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorFaultSpec {
+    /// The channel-level fault model.
+    pub fault: SensorFault,
+    /// Fraction of channels affected, in `[0, 1]`.
+    pub rate: f64,
+    /// RNG seed for channel selection and noise.
+    pub seed: u64,
+}
+
+impl SensorFaultSpec {
+    /// Applies the campaign to a copy of `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Config`] when `rate` is outside `[0, 1]` or
+    /// a noise magnitude is 0, and [`UniVsaError::Input`] when the
+    /// corrupted samples fail dataset validation (cannot happen: levels
+    /// are clamped to the spec's range).
+    pub fn corrupt_dataset(&self, dataset: &Dataset) -> Result<Dataset, UniVsaError> {
+        if !(0.0..=1.0).contains(&self.rate) {
+            return Err(UniVsaError::Config(format!(
+                "sensor fault rate {} must be in [0, 1]",
+                self.rate
+            )));
+        }
+        if let SensorFault::NoisyLevels { magnitude } = self.fault {
+            if magnitude == 0 {
+                return Err(UniVsaError::Config(
+                    "noise magnitude must be at least 1 level".into(),
+                ));
+            }
+        }
+        let spec = dataset.spec().clone();
+        let features = spec.features();
+        let top = (spec.levels - 1) as u8;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let affected: Vec<bool> = (0..features).map(|_| rng.gen_bool(self.rate)).collect();
+        let samples: Vec<Sample> = dataset
+            .samples()
+            .iter()
+            .map(|s| {
+                let mut values = s.values.clone();
+                for (i, v) in values.iter_mut().enumerate() {
+                    if !affected[i] {
+                        continue;
+                    }
+                    match self.fault {
+                        SensorFault::DeadChannel => *v = 0,
+                        SensorFault::Saturated => *v = top,
+                        SensorFault::NoisyLevels { magnitude } => {
+                            let shift = rng.gen_range(-(magnitude as i32)..=magnitude as i32);
+                            *v = (*v as i32 + shift).clamp(0, top as i32) as u8;
+                        }
+                    }
+                }
+                Sample {
+                    values,
+                    label: s.label,
+                }
+            })
+            .collect();
+        Dataset::new(spec, samples).map_err(|e| UniVsaError::Input(e.to_string()))
+    }
+}
+
+impl UniVsaModel {
+    /// Returns a copy of the model with every stored weight bit flipped
+    /// independently with probability `rate` (the DVP mask and the
+    /// configuration are metadata, not weight memory, and are left
+    /// intact). Shorthand for a [`FaultSpec`] with
+    /// [`FaultModel::BitFlip`] and [`FaultTarget::All`], driven by an
+    /// external RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Config`] if `rate` is not in `[0, 1]`.
+    pub fn with_bit_flips<R: Rng + ?Sized>(
+        &self,
+        rate: f64,
+        rng: &mut R,
+    ) -> Result<Self, UniVsaError> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(UniVsaError::Config(format!(
+                "flip rate {rate} must be in [0, 1]"
+            )));
+        }
+        let mut copy = self.clone();
+        if rate == 0.0 {
+            return Ok(copy);
+        }
+        copy.corrupt_in_place(rate, rng);
+        Ok(copy)
+    }
+
+    pub(crate) fn corrupt_in_place<R: Rng + ?Sized>(&mut self, rate: f64, rng: &mut R) {
+        apply_cell_fault(self, FaultTarget::All, CellFault::Flip, rate, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Enhancements, Mask, UniVsaConfig};
+    use univsa_data::TaskSpec;
+
+    fn model(seed: u64) -> UniVsaModel {
+        let spec = TaskSpec {
+            name: "t".into(),
+            width: 4,
+            length: 6,
+            classes: 2,
+            levels: 8,
+        };
+        let cfg = UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(2)
+            .d_k(3)
+            .out_channels(6)
+            .voters(2)
+            .enhancements(Enhancements::all())
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        UniVsaModel::from_parts(
+            cfg.clone(),
+            Mask::all_high(cfg.features()),
+            BitMatrix::random(cfg.levels, cfg.d_h, &mut rng),
+            BitMatrix::random(cfg.levels, cfg.d_l, &mut rng),
+            (0..cfg.out_channels * 9)
+                .map(|_| rand::Rng::gen::<u64>(&mut rng) & 0xF)
+                .collect(),
+            BitMatrix::random(cfg.out_channels, cfg.vsa_dim(), &mut rng),
+            vec![
+                BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng),
+                BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let m = model(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.with_bit_flips(0.0, &mut rng).unwrap(), m);
+    }
+
+    #[test]
+    fn full_rate_flips_everything() {
+        let m = model(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let flipped = m.with_bit_flips(1.0, &mut rng).unwrap();
+        // every V bit inverted
+        for r in 0..m.v_h().rows() {
+            assert_eq!(flipped.v_h().row(r), &m.v_h().row(r).not());
+        }
+        for (a, b) in m.kernel_words().iter().zip(flipped.kernel_words()) {
+            assert_eq!(a ^ b, 0xF, "kernel channel bits must all flip");
+        }
+    }
+
+    #[test]
+    fn small_rate_changes_few_bits() {
+        let m = model(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let flipped = m.with_bit_flips(0.01, &mut rng).unwrap();
+        let mut changed = 0u32;
+        for r in 0..m.f().rows() {
+            changed += m.f().row(r).hamming(flipped.f().row(r)).unwrap();
+        }
+        let total = m.f().storage_bits() as f64;
+        assert!(
+            (changed as f64) < total * 0.05,
+            "{changed} of {total} flipped"
+        );
+        assert!(flipped != m || changed == 0);
+    }
+
+    #[test]
+    fn rejects_bad_rate() {
+        let m = model(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = m.with_bit_flips(1.5, &mut rng).unwrap_err();
+        assert!(matches!(err, UniVsaError::Config(_)));
+        assert!(err.to_string().contains("flip rate"));
+        assert!(m.with_bit_flips(-0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn corrupted_model_still_infers() {
+        let m = model(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let flipped = m.with_bit_flips(0.2, &mut rng).unwrap();
+        let values: Vec<u8> = (0..24).map(|i| (i % 8) as u8).collect();
+        let label = flipped.infer(&values).unwrap();
+        assert!(label < 2);
+    }
+
+    #[test]
+    fn fault_spec_is_deterministic() {
+        let m = model(5);
+        let spec = FaultSpec {
+            model: FaultModel::BitFlip { rate: 0.1 },
+            target: FaultTarget::All,
+            seed: 42,
+        };
+        let a = spec.inject(&m).unwrap();
+        let b = spec.inject(&m).unwrap();
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.disturbed_bits, b.disturbed_bits);
+        assert!(a.disturbed_bits > 0);
+    }
+
+    #[test]
+    fn stuck_at_0_clears_only() {
+        let m = model(6);
+        let spec = FaultSpec {
+            model: FaultModel::StuckAt0 { rate: 1.0 },
+            target: FaultTarget::All,
+            seed: 0,
+        };
+        let out = spec.inject(&m).unwrap();
+        for r in 0..out.model.v_h().rows() {
+            assert_eq!(out.model.v_h().row(r).count_ones(), 0);
+        }
+        assert!(out.model.kernel_words().iter().all(|&w| w & 0xF == 0));
+        // disturbed = exactly the bits that were 1
+        let ones: u64 = (0..m.f().rows())
+            .map(|r| m.f().row(r).count_ones() as u64)
+            .sum();
+        let f_cleared: u64 = (0..out.model.f().rows())
+            .map(|r| out.model.f().row(r).count_ones() as u64)
+            .sum();
+        assert_eq!(f_cleared, 0);
+        assert!(out.disturbed_bits >= ones);
+    }
+
+    #[test]
+    fn stuck_at_1_sets_only() {
+        let m = model(7);
+        let spec = FaultSpec {
+            model: FaultModel::StuckAt1 { rate: 1.0 },
+            target: FaultTarget::FeatureVectors,
+            seed: 0,
+        };
+        let out = spec.inject(&m).unwrap();
+        for r in 0..out.model.f().rows() {
+            assert_eq!(
+                out.model.f().row(r).count_ones() as usize,
+                out.model.f().dim()
+            );
+        }
+        // untargeted stores untouched
+        assert_eq!(out.model.v_h(), m.v_h());
+        assert_eq!(out.model.kernel_words(), m.kernel_words());
+    }
+
+    #[test]
+    fn word_burst_hits_bounded_words() {
+        let m = model(8);
+        let spec = FaultSpec {
+            model: FaultModel::WordBurst { bursts: 2 },
+            target: FaultTarget::ClassVectors,
+            seed: 11,
+        };
+        let out = spec.inject(&m).unwrap();
+        // at most 2 words * 64 bits disturbed, only in C
+        assert!(out.disturbed_bits <= 128);
+        assert_eq!(out.model.v_h(), m.v_h());
+        assert_eq!(out.model.f(), m.f());
+        let mut changed_rows = 0;
+        for (s, set) in m.class_sets().iter().enumerate() {
+            for r in 0..set.rows() {
+                if out.model.class_sets()[s].row(r) != set.row(r) {
+                    changed_rows += 1;
+                }
+            }
+        }
+        assert!(changed_rows <= 2, "each burst corrupts one word of one row");
+    }
+
+    #[test]
+    fn targeting_respects_component_boundaries() {
+        let m = model(9);
+        for (target, probe) in [
+            (FaultTarget::ValueTables, 0usize),
+            (FaultTarget::Kernel, 1),
+            (FaultTarget::FeatureVectors, 2),
+            (FaultTarget::ClassVectors, 3),
+        ] {
+            let spec = FaultSpec {
+                model: FaultModel::BitFlip { rate: 0.5 },
+                target,
+                seed: 100 + probe as u64,
+            };
+            let out = spec.inject(&m).unwrap();
+            assert!(out.disturbed_bits > 0, "{} hit nothing", target.name());
+            assert_eq!(
+                out.model.v_h() != m.v_h() || out.model.v_l() != m.v_l(),
+                probe == 0
+            );
+            assert_eq!(out.model.kernel_words() != m.kernel_words(), probe == 1);
+            assert_eq!(out.model.f() != m.f(), probe == 2);
+            assert_eq!(out.model.class_sets() != m.class_sets(), probe == 3);
+        }
+    }
+
+    #[test]
+    fn fault_spec_rejects_bad_rate() {
+        let m = model(10);
+        let spec = FaultSpec {
+            model: FaultModel::StuckAt0 { rate: 2.0 },
+            target: FaultTarget::All,
+            seed: 0,
+        };
+        assert!(matches!(spec.inject(&m), Err(UniVsaError::Config(_))));
+    }
+
+    fn sensor_dataset() -> Dataset {
+        let spec = TaskSpec {
+            name: "s".into(),
+            width: 2,
+            length: 5,
+            classes: 2,
+            levels: 8,
+        };
+        let samples = (0..6)
+            .map(|i| Sample {
+                values: (0..10).map(|j| ((i + j) % 8) as u8).collect(),
+                label: i % 2,
+            })
+            .collect();
+        Dataset::new(spec, samples).unwrap()
+    }
+
+    #[test]
+    fn dead_channels_are_consistent_across_samples() {
+        let ds = sensor_dataset();
+        let spec = SensorFaultSpec {
+            fault: SensorFault::DeadChannel,
+            rate: 0.5,
+            seed: 3,
+        };
+        let bad = spec.corrupt_dataset(&ds).unwrap();
+        // a channel is either 0 in every sample or untouched in every sample
+        for ch in 0..10 {
+            let dead = bad.samples().iter().all(|s| s.values[ch] == 0);
+            let untouched = bad
+                .samples()
+                .iter()
+                .zip(ds.samples())
+                .all(|(b, a)| b.values[ch] == a.values[ch]);
+            assert!(dead || untouched, "channel {ch} is inconsistently faulted");
+        }
+    }
+
+    #[test]
+    fn saturated_channels_read_top_level() {
+        let ds = sensor_dataset();
+        let spec = SensorFaultSpec {
+            fault: SensorFault::Saturated,
+            rate: 1.0,
+            seed: 0,
+        };
+        let bad = spec.corrupt_dataset(&ds).unwrap();
+        assert!(bad
+            .samples()
+            .iter()
+            .all(|s| s.values.iter().all(|&v| v == 7)));
+    }
+
+    #[test]
+    fn noisy_levels_stay_in_range() {
+        let ds = sensor_dataset();
+        let spec = SensorFaultSpec {
+            fault: SensorFault::NoisyLevels { magnitude: 3 },
+            rate: 1.0,
+            seed: 5,
+        };
+        let bad = spec.corrupt_dataset(&ds).unwrap();
+        for (b, a) in bad.samples().iter().zip(ds.samples()) {
+            for (x, y) in b.values.iter().zip(&a.values) {
+                assert!(*x < 8);
+                assert!((*x as i32 - *y as i32).abs() <= 3);
+            }
+            assert_eq!(b.label, a.label);
+        }
+    }
+
+    #[test]
+    fn sensor_spec_rejects_bad_parameters() {
+        let ds = sensor_dataset();
+        assert!(SensorFaultSpec {
+            fault: SensorFault::DeadChannel,
+            rate: 1.5,
+            seed: 0,
+        }
+        .corrupt_dataset(&ds)
+        .is_err());
+        assert!(SensorFaultSpec {
+            fault: SensorFault::NoisyLevels { magnitude: 0 },
+            rate: 0.5,
+            seed: 0,
+        }
+        .corrupt_dataset(&ds)
+        .is_err());
+    }
+}

@@ -107,7 +107,9 @@ impl UniVsaModel {
     /// with the model or the dataset is empty.
     pub fn evaluate(&self, dataset: &Dataset) -> Result<f64, UniVsaError> {
         if dataset.is_empty() {
-            return Err(UniVsaError::Input("cannot evaluate on an empty dataset".into()));
+            return Err(UniVsaError::Input(
+                "cannot evaluate on an empty dataset".into(),
+            ));
         }
         let spec = dataset.spec();
         let cfg = self.config();
@@ -138,7 +140,9 @@ impl UniVsaModel {
         dataset: &Dataset,
     ) -> Result<univsa_nn::ConfusionMatrix, UniVsaError> {
         if dataset.is_empty() {
-            return Err(UniVsaError::Input("cannot evaluate on an empty dataset".into()));
+            return Err(UniVsaError::Input(
+                "cannot evaluate on an empty dataset".into(),
+            ));
         }
         let mut cm = univsa_nn::ConfusionMatrix::new(self.config().classes);
         for sample in dataset.samples() {
@@ -175,8 +179,7 @@ impl UniVsaModel {
                                 let ix = x as isize + kx as isize - pad;
                                 if let Some(word) = vm.word_at(iy, ix) {
                                     let kw = self.kernel_word(o, ky, kx);
-                                    let agree =
-                                        (!(word ^ kw) & chan_mask).count_ones() as i64;
+                                    let agree = (!(word ^ kw) & chan_mask).count_ones() as i64;
                                     acc += 2 * agree - d_h;
                                 }
                             }
@@ -301,7 +304,9 @@ mod tests {
         // argmax consistency
         assert_eq!(
             t.label,
-            (0..3).max_by_key(|&j| (t.totals[j], std::cmp::Reverse(j))).unwrap()
+            (0..3)
+                .max_by_key(|&j| (t.totals[j], std::cmp::Reverse(j)))
+                .unwrap()
         );
         assert_eq!(model.encode(&values).unwrap(), t.encoded);
     }
@@ -316,7 +321,7 @@ mod tests {
         let values: Vec<u8> = (0..20).map(|i| (i % 8) as u8).collect();
         let t = model.trace(&values).unwrap();
         assert_eq!(t.conv_out.rows(), 4); // D_H channels
-        // channel rows reproduce the value map bits
+                                          // channel rows reproduce the value map bits
         for c in 0..4 {
             for pos in 0..20 {
                 assert_eq!(

@@ -53,12 +53,14 @@
 #![warn(missing_docs)]
 
 mod config;
-mod corrupt;
 mod dvp;
 mod encoding;
 mod error;
 mod export;
+mod fault;
 mod infer;
+mod integrity;
+mod json;
 mod mask;
 mod memory;
 mod model;
@@ -69,10 +71,12 @@ pub use config::{ConfigBuilder, Enhancements, UniVsaConfig};
 pub use dvp::ValueMap;
 pub use encoding::EncodingLayer;
 pub use error::UniVsaError;
-pub use export::{load_model, save_model};
+pub use export::{load_model, save_model, save_model_v1};
+pub use fault::{FaultModel, FaultOutcome, FaultSpec, FaultTarget, SensorFault, SensorFaultSpec};
 pub use infer::InferenceTrace;
+pub use integrity::{crc32, CheckedInference, IntegrityReport, ModelIntegrity};
 pub use mask::Mask;
-pub use memory::{HardwareLoss, MemoryReport, resource_estimate};
+pub use memory::{resource_estimate, HardwareLoss, MemoryReport};
 pub use model::UniVsaModel;
 pub use train::{TrainHistory, TrainOptions, TrainOutcome, UniVsaTrainer};
 pub use valuebox::ValueBox;

@@ -1,6 +1,5 @@
 //! Feature-importance mask for discriminated value projection.
 
-use serde::{Deserialize, Serialize};
 use univsa_data::Dataset;
 
 use crate::UniVsaError;
@@ -25,7 +24,7 @@ use crate::UniVsaError;
 /// assert_eq!(m.high_count(), 4);
 /// assert!(m.is_high(3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Mask {
     bits: Vec<bool>,
 }
@@ -137,8 +136,10 @@ fn mutual_information(dataset: &Dataset) -> Vec<f64> {
         let mut mi = 0.0f64;
         let mut occupied_bins = 0usize;
         for bin in 0..BINS {
-            let p_bin: f64 =
-                joint[bin * classes..(bin + 1) * classes].iter().sum::<usize>() as f64 / total;
+            let p_bin: f64 = joint[bin * classes..(bin + 1) * classes]
+                .iter()
+                .sum::<usize>() as f64
+                / total;
             if p_bin == 0.0 {
                 continue;
             }

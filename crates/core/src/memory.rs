@@ -1,8 +1,6 @@
 //! The paper's hardware-overhead models: memory (Eq. 5), resource (Eq. 6),
 //! and the combined hardware loss (Eq. 7).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Enhancements, UniVsaConfig};
 
 /// Per-component memory footprint of a UniVSA model, in bits.
@@ -26,7 +24,7 @@ use crate::{Enhancements, UniVsaConfig};
 /// assert!((report.total_kib() - 8.36).abs() < 0.5);
 /// # Ok::<(), univsa::UniVsaError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryReport {
     /// Value-box tables **V**: `M·D_H (+ M·D_L with DVP)` bits.
     pub value_bits: usize,
@@ -93,7 +91,7 @@ pub fn resource_estimate(config: &UniVsaConfig) -> f64 {
 /// with the basis `(M₀, R₀)` evaluated at the paper's reference
 /// configuration `(D_H, D_L, D_K, O, Θ, M) = (4, 2, 3, 64, 1, 256)` on the
 /// same task geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HardwareLoss {
     /// Memory weight `λ₁` (paper: 0.005).
     pub lambda_memory: f64,
@@ -146,6 +144,7 @@ mod tests {
     use super::*;
     use univsa_data::TaskSpec;
 
+    #[allow(clippy::too_many_arguments)]
     fn config(
         d_h: usize,
         d_l: usize,
@@ -180,11 +179,8 @@ mod tests {
         assert_eq!(r.value_bits, 256 * (8 + 2));
         assert_eq!(r.kernel_bits, 95 * 8 * 9);
         assert_eq!(r.feature_bits, 16 * 64 * 95);
-        assert_eq!(r.class_bits, 16 * 64 * 1 * 2);
-        assert_eq!(
-            r.total_bits(),
-            256 * 10 + 95 * 72 + 1024 * 95 + 1024 * 2
-        );
+        assert_eq!(r.class_bits, 16 * 64 * 2);
+        assert_eq!(r.total_bits(), 256 * 10 + 95 * 72 + 1024 * 95 + 1024 * 2);
     }
 
     /// The paper's Table II memory column for UniVSA should be reproduced
@@ -205,8 +201,10 @@ mod tests {
             isolet.total_kib()
         );
         let har = MemoryReport::for_config(&config(8, 4, 3, 18, 3, 16, 36, 6));
+        #[allow(clippy::approx_constant)] // Table II reports 3.14 KiB
+        let har_paper_kib = 3.14;
         assert!(
-            (har.total_kib() - 3.14).abs() < 0.6,
+            (har.total_kib() - har_paper_kib).abs() < 0.6,
             "HAR {:.2}",
             har.total_kib()
         );

@@ -1,6 +1,5 @@
 //! The frozen, packed UniVSA model.
 
-use serde::{Deserialize, Serialize};
 use univsa_bits::BitMatrix;
 
 use crate::{Mask, MemoryReport, UniVsaConfig, UniVsaError};
@@ -13,7 +12,7 @@ use crate::{Mask, MemoryReport, UniVsaConfig, UniVsaError};
 ///
 /// Construct via [`crate::UniVsaTrainer::fit`] (training) or
 /// [`UniVsaModel::from_parts`] (e.g. when loading hand-built weights).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UniVsaModel {
     config: UniVsaConfig,
     mask: Mask,
@@ -213,7 +212,8 @@ impl UniVsaModel {
         } else {
             0
         };
-        self.v_h.storage_bits() + v_l_bits
+        self.v_h.storage_bits()
+            + v_l_bits
             + self.kernel.len() * self.config.d_h
             + self.f.storage_bits()
             + self.c.iter().map(BitMatrix::storage_bits).sum::<usize>()
@@ -249,7 +249,14 @@ mod tests {
     fn parts(
         cfg: &UniVsaConfig,
         seed: u64,
-    ) -> (Mask, BitMatrix, BitMatrix, Vec<u64>, BitMatrix, Vec<BitMatrix>) {
+    ) -> (
+        Mask,
+        BitMatrix,
+        BitMatrix,
+        Vec<u64>,
+        BitMatrix,
+        Vec<BitMatrix>,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mask = Mask::all_high(cfg.features());
         let v_h = BitMatrix::random(cfg.levels, cfg.d_h, &mut rng);
@@ -329,10 +336,16 @@ mod tests {
         let c: Vec<BitMatrix> = (0..cfg.effective_voters())
             .map(|_| BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng))
             .collect();
-        assert!(
-            UniVsaModel::from_parts(cfg.clone(), mask.clone(), v_h.clone(), v_l.clone(), vec![1], f.clone(), c.clone())
-                .is_err()
-        );
+        assert!(UniVsaModel::from_parts(
+            cfg.clone(),
+            mask.clone(),
+            v_h.clone(),
+            v_l.clone(),
+            vec![1],
+            f.clone(),
+            c.clone()
+        )
+        .is_err());
         assert!(UniVsaModel::from_parts(cfg, mask, v_h, v_l, vec![], f, c).is_ok());
     }
 

@@ -2,7 +2,6 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use univsa_bits::{BitMatrix, BitVec};
 use univsa_data::Dataset;
 use univsa_nn::{softmax_cross_entropy, Adam, BatchIter, BinaryConv2d, BinaryLinear, Optimizer};
@@ -11,7 +10,7 @@ use univsa_tensor::Tensor;
 use crate::{EncodingLayer, Mask, UniVsaConfig, UniVsaError, UniVsaModel, ValueBox};
 
 /// Hyperparameters of the training loop.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainOptions {
     /// Number of passes over the training split.
     pub epochs: usize,
@@ -44,7 +43,7 @@ impl Default for TrainOptions {
 }
 
 /// Per-epoch training curve.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainHistory {
     /// Mean cross-entropy per epoch.
     pub epoch_loss: Vec<f32>,
@@ -108,9 +107,7 @@ impl UniVsaTrainer {
         let d = cfg.vsa_dim();
         let channels = cfg.encoding_channels();
         let voters = cfg.effective_voters();
-        let scale = opt
-            .logit_scale
-            .unwrap_or_else(|| 4.0 / (d as f32).sqrt());
+        let scale = opt.logit_scale.unwrap_or_else(|| 4.0 / (d as f32).sqrt());
 
         // DVP mask (all-high when the enhancement is off).
         let mask = if cfg.enhancements.dvp {
@@ -148,8 +145,7 @@ impl UniVsaTrainer {
             let mut batches = 0usize;
             let mut correct = 0usize;
             for batch in BatchIter::new(n, opt.batch_size, &mut rng) {
-                let labels: Vec<usize> =
-                    batch.iter().map(|&i| train.samples()[i].label).collect();
+                let labels: Vec<usize> = batch.iter().map(|&i| train.samples()[i].label).collect();
 
                 // 1. Value tables over the level grid.
                 let th = vb_h.forward_table()?;
@@ -203,11 +199,7 @@ impl UniVsaTrainer {
                 let (loss, grad_logits) = softmax_cross_entropy(&avg_logits, &labels)?;
                 epoch_loss += f64::from(loss);
                 batches += 1;
-                for (row, &label) in avg_logits
-                    .as_slice()
-                    .chunks(cfg.classes)
-                    .zip(labels.iter())
-                {
+                for (row, &label) in avg_logits.as_slice().chunks(cfg.classes).zip(labels.iter()) {
                     let pred = row
                         .iter()
                         .enumerate()
@@ -266,14 +258,14 @@ impl UniVsaTrainer {
                     for pos in 0..d {
                         let level = sample.values[pos] as usize;
                         if mask.is_high(pos) {
-                            let dst = &mut grad_th.as_mut_slice()
-                                [level * cfg.d_h..(level + 1) * cfg.d_h];
+                            let dst =
+                                &mut grad_th.as_mut_slice()[level * cfg.d_h..(level + 1) * cfg.d_h];
                             for (c, slot) in dst.iter_mut().enumerate() {
                                 *slot += gx[c * d + pos];
                             }
                         } else {
-                            let dst = &mut grad_tl.as_mut_slice()
-                                [level * cfg.d_l..(level + 1) * cfg.d_l];
+                            let dst =
+                                &mut grad_tl.as_mut_slice()[level * cfg.d_l..(level + 1) * cfg.d_l];
                             for (c, slot) in dst.iter_mut().enumerate() {
                                 *slot += gx[c * d + pos];
                             }
@@ -364,7 +356,9 @@ impl UniVsaTrainer {
 
     fn check_dataset(&self, train: &Dataset) -> Result<(), UniVsaError> {
         if train.is_empty() {
-            return Err(UniVsaError::Input("cannot train on an empty dataset".into()));
+            return Err(UniVsaError::Input(
+                "cannot train on an empty dataset".into(),
+            ));
         }
         let spec = train.spec();
         let cfg = &self.config;

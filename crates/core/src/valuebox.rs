@@ -2,7 +2,6 @@
 //! bipolar value vector.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use univsa_bits::{BitMatrix, BitVec};
 use univsa_nn::ste::{sign, ste_grad};
 use univsa_nn::{Linear, Optimizer, Tanh};
@@ -18,7 +17,7 @@ use crate::UniVsaError;
 /// whole `(M, dim)` pre-activation table in one shot, and after training
 /// [`ValueBox::export_table`] freezes the binarized table **V** used by
 /// packed inference.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ValueBox {
     l1: Linear,
     act: Tanh,

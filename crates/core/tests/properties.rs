@@ -6,8 +6,10 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use univsa::{
+    Enhancements, FaultModel, FaultSpec, FaultTarget, Mask, MemoryReport, UniVsaConfig, UniVsaModel,
+};
 use univsa_bits::BitMatrix;
-use univsa::{Enhancements, Mask, MemoryReport, UniVsaConfig, UniVsaModel};
 use univsa_data::TaskSpec;
 
 #[derive(Debug, Clone)]
@@ -19,49 +21,47 @@ struct Case {
 
 fn arb_case() -> impl Strategy<Value = Case> {
     (
-        2usize..6,   // width
-        3usize..7,   // length
-        2usize..5,   // classes
-        1usize..9,   // d_h
-        1usize..5,   // voters
-        2usize..9,   // out_channels
-        0u64..1000,  // seed
+        2usize..6,     // width
+        3usize..7,     // length
+        2usize..5,     // classes
+        1usize..9,     // d_h
+        1usize..5,     // voters
+        2usize..9,     // out_channels
+        0u64..1000,    // seed
         any::<bool>(), // dvp
         any::<bool>(), // biconv
         any::<bool>(), // soft voting
     )
-        .prop_flat_map(
-            |(w, l, c, d_h, voters, o, seed, dvp, biconv, sv)| {
-                let levels = 8usize;
-                let spec = TaskSpec {
-                    name: "prop".into(),
-                    width: w,
-                    length: l,
-                    classes: c,
-                    levels,
-                };
-                let d_k = if w.min(l) >= 3 { 3 } else { 1 };
-                let config = UniVsaConfig::for_task(&spec)
-                    .d_h(d_h)
-                    .d_l(1.max(d_h / 2))
-                    .d_k(d_k)
-                    .out_channels(o)
-                    .voters(voters)
-                    .enhancements(Enhancements {
-                        dvp,
-                        biconv,
-                        soft_voting: sv,
-                    })
-                    .build()
-                    .expect("generated config is valid");
-                let n = w * l;
-                proptest::collection::vec(0u8..levels as u8, n).prop_map(move |values| Case {
-                    config: config.clone(),
-                    seed,
-                    values,
+        .prop_flat_map(|(w, l, c, d_h, voters, o, seed, dvp, biconv, sv)| {
+            let levels = 8usize;
+            let spec = TaskSpec {
+                name: "prop".into(),
+                width: w,
+                length: l,
+                classes: c,
+                levels,
+            };
+            let d_k = if w.min(l) >= 3 { 3 } else { 1 };
+            let config = UniVsaConfig::for_task(&spec)
+                .d_h(d_h)
+                .d_l(1.max(d_h / 2))
+                .d_k(d_k)
+                .out_channels(o)
+                .voters(voters)
+                .enhancements(Enhancements {
+                    dvp,
+                    biconv,
+                    soft_voting: sv,
                 })
-            },
-        )
+                .build()
+                .expect("generated config is valid");
+            let n = w * l;
+            proptest::collection::vec(0u8..levels as u8, n).prop_map(move |values| Case {
+                config: config.clone(),
+                seed,
+                values,
+            })
+        })
 }
 
 fn random_model(case: &Case) -> UniVsaModel {
@@ -135,9 +135,9 @@ fn naive_infer(model: &UniVsaModel, values: &[u8]) -> usize {
                             }
                             let pos = iy as usize * l + ix as usize;
                             let kw = model.kernel_word(o, ky, kx);
-                            for c in 0..d_h {
+                            for (c, xrow) in x.iter().enumerate().take(d_h) {
                                 let kv = if (kw >> c) & 1 == 1 { 1 } else { -1 };
-                                acc += x[c][pos] * kv;
+                                acc += xrow[pos] * kv;
                             }
                         }
                     }
@@ -169,9 +169,13 @@ fn naive_infer(model: &UniVsaModel, values: &[u8]) -> usize {
     for set in model.class_sets() {
         for (j, total) in totals.iter_mut().enumerate() {
             let mut dot = 0i64;
-            for pos in 0..d {
-                let cv = if set.row(j).get(pos) == Some(true) { 1 } else { -1 };
-                dot += cv * s[pos];
+            for (pos, &sv) in s.iter().enumerate().take(d) {
+                let cv = if set.row(j).get(pos) == Some(true) {
+                    1
+                } else {
+                    -1
+                };
+                dot += cv * sv;
             }
             *total += dot;
         }
@@ -240,5 +244,60 @@ proptest! {
         for &t in &trace.totals {
             prop_assert!(t.abs() <= bound);
         }
+    }
+
+    #[test]
+    fn rate_zero_faults_are_identity(case in arb_case()) {
+        let model = random_model(&case);
+        for fm in [
+            FaultModel::BitFlip { rate: 0.0 },
+            FaultModel::StuckAt0 { rate: 0.0 },
+            FaultModel::StuckAt1 { rate: 0.0 },
+            FaultModel::WordBurst { bursts: 0 },
+        ] {
+            let spec = FaultSpec { model: fm, target: FaultTarget::All, seed: case.seed };
+            let outcome = spec.inject(&model).unwrap();
+            prop_assert_eq!(outcome.disturbed_bits, 0);
+            prop_assert_eq!(&outcome.model, &model);
+            prop_assert!(outcome.model.verify_integrity(&model.integrity()).is_clean());
+        }
+    }
+
+    #[test]
+    fn v1_and_v2_containers_roundtrip_identically(case in arb_case()) {
+        let model = random_model(&case);
+        let v1 = univsa::save_model_v1(&model).unwrap();
+        let v2 = univsa::save_model(&model).unwrap();
+        prop_assert_ne!(&v1, &v2);
+        let from_v1 = univsa::load_model(&v1).unwrap();
+        let from_v2 = univsa::load_model(&v2).unwrap();
+        prop_assert_eq!(&from_v1, &model);
+        prop_assert_eq!(&from_v1, &from_v2);
+    }
+
+    #[test]
+    fn tmr_repair_is_exact_with_one_corrupted_copy(
+        case in arb_case(),
+        corrupted_slot in 0usize..3,
+        bursts in 1usize..5,
+    ) {
+        let model = random_model(&case);
+        let spec = FaultSpec {
+            model: FaultModel::WordBurst { bursts },
+            target: FaultTarget::All,
+            seed: case.seed ^ 0xDEAD,
+        };
+        let copies: Vec<UniVsaModel> = (0..3)
+            .map(|slot| {
+                if slot == corrupted_slot {
+                    spec.inject(&model).unwrap().model
+                } else {
+                    model.clone()
+                }
+            })
+            .collect();
+        let repaired = UniVsaModel::repair_from_copies(&copies).unwrap();
+        prop_assert_eq!(&repaired, &model);
+        prop_assert!(repaired.verify_integrity(&model.integrity()).is_clean());
     }
 }

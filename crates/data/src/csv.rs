@@ -59,9 +59,9 @@ pub fn from_csv(text: &str, spec: TaskSpec) -> Result<Dataset, String> {
         let label: usize = parse_field(fields.next(), lineno, "label")?;
         let values: Vec<u8> = fields
             .map(|f| {
-                f.trim()
-                    .parse::<u8>()
-                    .map_err(|e: ParseIntError| format!("line {}: bad value {f:?}: {e}", lineno + 1))
+                f.trim().parse::<u8>().map_err(|e: ParseIntError| {
+                    format!("line {}: bad value {f:?}: {e}", lineno + 1)
+                })
             })
             .collect::<Result<_, _>>()?;
         if values.len() != n {
@@ -144,9 +144,15 @@ mod tests {
 
     #[test]
     fn rejects_bad_numbers() {
-        assert!(from_csv("x,1,2,3", spec()).unwrap_err().contains("bad label"));
-        assert!(from_csv("0,1,abc,3", spec()).unwrap_err().contains("bad value"));
-        assert!(from_csv("0,1,300,3", spec()).unwrap_err().contains("bad value"));
+        assert!(from_csv("x,1,2,3", spec())
+            .unwrap_err()
+            .contains("bad label"));
+        assert!(from_csv("0,1,abc,3", spec())
+            .unwrap_err()
+            .contains("bad value"));
+        assert!(from_csv("0,1,300,3", spec())
+            .unwrap_err()
+            .contains("bad value"));
     }
 
     #[test]

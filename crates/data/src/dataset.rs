@@ -1,10 +1,8 @@
 //! Dataset containers.
 
-use serde::{Deserialize, Serialize};
-
 /// One classification sample: a `(W, L)` grid of discretized feature
 /// values (row-major, `W` rows of `L` values) and its class label.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sample {
     /// Discretized feature values in `0..levels`, length `W·L`.
     pub values: Vec<u8>,
@@ -14,7 +12,7 @@ pub struct Sample {
 
 /// Static description of a classification task — the quantities the paper's
 /// Table I lists per benchmark.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     /// Task name (e.g. `"EEGMMI"`).
     pub name: String,
@@ -51,7 +49,7 @@ impl TaskSpec {
 /// assert_eq!(ds.len(), 1);
 /// assert_eq!(ds.spec().features(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dataset {
     spec: TaskSpec,
     samples: Vec<Sample>,
@@ -142,7 +140,7 @@ impl Dataset {
 }
 
 /// A task bundled with its train/test split.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Task {
     /// The task description (shared by both splits).
     pub spec: TaskSpec,

@@ -14,13 +14,12 @@
 //! * additive Gaussian noise and per-sample amplitude jitter.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::quantize::quantize;
 use crate::{Dataset, Sample, TaskSpec};
 
 /// Tunable knobs of the synthetic generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratorParams {
     /// Task geometry and class count.
     pub spec: TaskSpec,
@@ -107,7 +106,7 @@ impl GeneratorParams {
 }
 
 /// Frozen per-class signal structure drawn once from the master seed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassProfile {
     /// `modes × components` tuples of (frequency, amplitude, phase,
     /// per-row phase velocity).
@@ -179,9 +178,7 @@ impl SyntheticGenerator {
                                 (
                                     freq + rng.gen_range(-0.5..0.5) * cs * freq,
                                     amp,
-                                    phase + rng.gen_range(-1.0..1.0)
-                                        * cs
-                                        * std::f32::consts::PI,
+                                    phase + rng.gen_range(-1.0..1.0) * cs * std::f32::consts::PI,
                                     vel + rng.gen_range(-0.3..0.3) * cs,
                                 )
                             })
@@ -322,10 +319,8 @@ impl SyntheticGenerator {
                         continue;
                     }
                     let neighbour = base[idx + 1];
-                    signal[idx] += p.interaction
-                        * pattern
-                        * neighbour.signum()
-                        * neighbour.abs().min(1.0);
+                    signal[idx] +=
+                        p.interaction * pattern * neighbour.signum() * neighbour.abs().min(1.0);
                 }
             }
         }

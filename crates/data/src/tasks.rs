@@ -214,9 +214,6 @@ mod tests {
         // not literally disjoint sets (both are fresh draws), but they must
         // differ — a degenerate generator would emit identical data
         let t = bci3v(2);
-        assert_ne!(
-            t.train.samples()[0].values,
-            t.test.samples()[0].values
-        );
+        assert_ne!(t.train.samples()[0].values, t.test.samples()[0].values);
     }
 }

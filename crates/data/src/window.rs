@@ -7,13 +7,11 @@
 //! `(W, L)` grids (one grid per classification sample), and
 //! [`WindowSpec::grid`] + [`crate::quantize`] produce model-ready samples.
 
-use serde::{Deserialize, Serialize};
-
 use crate::quantize::quantize;
 
 /// Sliding-window geometry: `W` windows of length `L` with a fixed hop
 /// (stride) between window starts; `hop < L` means overlap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowSpec {
     /// Number of windows per grid (the model's `W`).
     pub windows: usize,

@@ -1,11 +1,60 @@
 //! Hardware instance configuration.
 
-use serde::{Deserialize, Serialize};
 use univsa::UniVsaConfig;
+
+/// Fault-tolerance scheme applied to the accelerator's weight memories.
+///
+/// The paper's baseline design stores **V**/**K**/**F**/**C** unprotected;
+/// the schemes here are the two standard hardening options for SRAM-based
+/// FPGAs, priced by [`crate::CostModel`] and simulated by
+/// [`crate::SeuCampaign`]:
+///
+/// * [`Protection::ParityDetect`] — one even-parity bit per 64-bit memory
+///   word plus a checker on every read port. Detects any odd number of
+///   upsets in a word (in particular every single-bit upset) but cannot
+///   correct; an even number of upsets in the same word escapes.
+/// * [`Protection::Tmr`] — triple modular redundancy: three full copies of
+///   the weight memories with bitwise majority voters on the read path.
+///   Corrects every upset unless the same bit position is hit in two of
+///   the three copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Protection {
+    /// Unprotected memories (the paper's baseline design).
+    #[default]
+    None,
+    /// Per-word even parity with read-port checkers (detect-only).
+    ParityDetect,
+    /// Triple modular redundancy with majority voters (detect + correct).
+    Tmr,
+}
+
+impl Protection {
+    /// All schemes, in increasing-cost order (for sweeps).
+    pub const ALL: [Protection; 3] = [Protection::None, Protection::ParityDetect, Protection::Tmr];
+
+    /// Human-readable scheme name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protection::None => "unprotected",
+            Protection::ParityDetect => "parity-detect",
+            Protection::Tmr => "tmr",
+        }
+    }
+
+    /// Stored-bit blowup relative to the unprotected memory footprint
+    /// (`65/64` for parity, `3` for TMR).
+    pub fn storage_factor(self) -> f64 {
+        match self {
+            Protection::None => 1.0,
+            Protection::ParityDetect => 65.0 / 64.0,
+            Protection::Tmr => 3.0,
+        }
+    }
+}
 
 /// The accelerator instance: the model geometry it is synthesized for plus
 /// the clock it runs at.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HwConfig {
     /// High-importance value dimension `D_H` (conv input channels).
     pub d_h: usize,
@@ -30,6 +79,8 @@ pub struct HwConfig {
     /// Clock frequency in MHz (the paper's UniVSA runs at 250 MHz on the
     /// ZU3EG).
     pub clock_mhz: f64,
+    /// Fault-tolerance scheme applied to the weight memories.
+    pub protection: Protection,
 }
 
 impl HwConfig {
@@ -58,7 +109,21 @@ impl HwConfig {
             biconv: config.enhancements.biconv,
             memory_kib: univsa::MemoryReport::for_config(config).total_kib(),
             clock_mhz,
+            protection: Protection::None,
         }
+    }
+
+    /// Returns the instance with a fault-tolerance scheme applied.
+    #[must_use]
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// Stored weight-memory footprint in KiB after protection overhead
+    /// (parity bits or redundant copies).
+    pub fn stored_memory_kib(&self) -> f64 {
+        self.memory_kib * self.protection.storage_factor()
     }
 
     /// Grid positions `D = W·L`.
@@ -145,5 +210,35 @@ mod tests {
     #[should_panic(expected = "clock")]
     fn rejects_zero_clock() {
         HwConfig::with_clock(&model_config(), 0.0);
+    }
+
+    #[test]
+    fn protection_defaults_to_none() {
+        let hw = HwConfig::new(&model_config());
+        assert_eq!(hw.protection, Protection::None);
+        assert_eq!(hw.stored_memory_kib(), hw.memory_kib);
+    }
+
+    #[test]
+    fn with_protection_scales_stored_memory() {
+        let base = HwConfig::new(&model_config());
+        let parity = base.clone().with_protection(Protection::ParityDetect);
+        let tmr = base.clone().with_protection(Protection::Tmr);
+        assert!((parity.stored_memory_kib() - base.memory_kib * 65.0 / 64.0).abs() < 1e-12);
+        assert!((tmr.stored_memory_kib() - base.memory_kib * 3.0).abs() < 1e-12);
+        // protection never changes the logical model footprint
+        assert_eq!(parity.memory_kib, base.memory_kib);
+        assert_eq!(tmr.memory_kib, base.memory_kib);
+    }
+
+    #[test]
+    fn protection_names_and_order() {
+        assert_eq!(Protection::default(), Protection::None);
+        assert_eq!(Protection::None.name(), "unprotected");
+        assert_eq!(Protection::ParityDetect.name(), "parity-detect");
+        assert_eq!(Protection::Tmr.name(), "tmr");
+        // ALL is sorted by storage cost
+        let factors: Vec<f64> = Protection::ALL.iter().map(|p| p.storage_factor()).collect();
+        assert!(factors.windows(2).all(|w| w[0] < w[1]));
     }
 }

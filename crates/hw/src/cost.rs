@@ -18,12 +18,15 @@
 //! * **DSPs**: zero — the datapath is XNOR/popcount/adder only, exactly as
 //!   the paper reports for UniVSA.
 
-use serde::{Deserialize, Serialize};
-
+use crate::config::Protection;
 use crate::HwConfig;
 
 /// Area/power estimator, calibrated against Table IV (see module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Fault-tolerance schemes ([`Protection`]) are priced on top of the
+/// baseline fit; with [`Protection::None`] every estimate reproduces the
+/// calibrated baseline exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Base LUT count (controller + FIFOs + DVP + AXI glue), in k-LUTs.
     pub lut_base_k: f64,
@@ -35,6 +38,19 @@ pub struct CostModel {
     pub power_per_klut_w: f64,
     /// KiB of model memory per 36 Kb BRAM block.
     pub bram_kib: f64,
+    /// Flip-flops per LUT in the baseline datapath (registers tracking the
+    /// pipeline stages), in k-FFs per k-LUT.
+    pub ff_per_lut: f64,
+    /// k-LUTs for the per-read-port parity checkers
+    /// ([`Protection::ParityDetect`]): a 65-input XOR reduce per weight
+    /// memory read port.
+    pub parity_luts_k: f64,
+    /// k-LUTs for the bitwise majority voters on the read path
+    /// ([`Protection::Tmr`]): one 3-input majority gate per datapath bit.
+    pub tmr_voter_luts_k: f64,
+    /// Extra watts per protection-added BRAM block at 250 MHz (clocked
+    /// block RAM draws power whether or not the copy is being read).
+    pub power_per_bram_w: f64,
 }
 
 impl CostModel {
@@ -46,6 +62,10 @@ impl CostModel {
             power_static_w: 0.0518,
             power_per_klut_w: 0.012_151,
             bram_kib: 4.5,
+            ff_per_lut: 0.6,
+            parity_luts_k: 0.35,
+            tmr_voter_luts_k: 1.1,
+            power_per_bram_w: 0.004,
         }
     }
 
@@ -57,23 +77,55 @@ impl CostModel {
     /// `D_H`-wide XNOR/popcount lane, which is why the paper's own LDC
     /// implementation needs under 1k LUTs.
     pub fn luts_k(&self, hw: &HwConfig) -> f64 {
-        if hw.biconv {
+        let datapath = if hw.biconv {
             let owl = (hw.out_channels * hw.width * hw.length) as f64;
             self.lut_base_k + self.lut_per_owl * owl
         } else {
             0.5 + 0.01 * hw.d_h as f64
+        };
+        datapath + self.protection_luts_k(hw.protection)
+    }
+
+    /// LUT overhead of a fault-tolerance scheme, in k-LUTs (zero for
+    /// [`Protection::None`]).
+    pub fn protection_luts_k(&self, protection: Protection) -> f64 {
+        match protection {
+            Protection::None => 0.0,
+            Protection::ParityDetect => self.parity_luts_k,
+            Protection::Tmr => self.tmr_voter_luts_k,
         }
     }
 
-    /// Estimated power in watts, scaled linearly with clock relative to
-    /// the 250 MHz calibration point.
-    pub fn power_w(&self, hw: &HwConfig) -> f64 {
-        let clock_ratio = hw.clock_mhz / 250.0;
-        self.power_static_w + self.power_per_klut_w * self.luts_k(hw) * clock_ratio
+    /// Estimated flip-flop usage in thousands: pipeline registers
+    /// proportional to the LUT fabric, plus the protection scheme's state
+    /// (a sticky error flag per parity checker; the voter output registers
+    /// for TMR, one per datapath bit — approximated by the same constants
+    /// that size the checker/voter LUTs).
+    pub fn ffs_k(&self, hw: &HwConfig) -> f64 {
+        self.ff_per_lut * self.luts_k(hw) + self.protection_luts_k(hw.protection)
     }
 
-    /// Estimated 36 Kb BRAM blocks.
+    /// Estimated power in watts, scaled linearly with clock relative to
+    /// the 250 MHz calibration point. Protection adds the dynamic power of
+    /// its extra LUTs (already inside [`CostModel::luts_k`]) and of the
+    /// BRAMs holding the parity bits / redundant copies.
+    pub fn power_w(&self, hw: &HwConfig) -> f64 {
+        let clock_ratio = hw.clock_mhz / 250.0;
+        let extra_brams = self.brams(hw).saturating_sub(self.baseline_brams(hw)) as f64;
+        self.power_static_w
+            + (self.power_per_klut_w * self.luts_k(hw) + self.power_per_bram_w * extra_brams)
+                * clock_ratio
+    }
+
+    /// Estimated 36 Kb BRAM blocks for the stored (protection-inflated)
+    /// memory footprint.
     pub fn brams(&self, hw: &HwConfig) -> u32 {
+        ((hw.stored_memory_kib() / self.bram_kib).round() as u32).max(1)
+    }
+
+    /// BRAM blocks the unprotected design would need (the Table IV
+    /// baseline).
+    fn baseline_brams(&self, hw: &HwConfig) -> u32 {
         ((hw.memory_kib / self.bram_kib).round() as u32).max(1)
     }
 
@@ -95,6 +147,7 @@ mod tests {
     use univsa::UniVsaConfig;
     use univsa_data::TaskSpec;
 
+    #[allow(clippy::too_many_arguments)]
     fn hw(
         name: &str,
         w: usize,
@@ -169,7 +222,7 @@ mod tests {
     }
 
     #[test]
-    fn ldc_style_design_is_sub_kluT() {
+    fn ldc_style_design_is_sub_klut() {
         // the paper's LDC row: 784 features, 10 classes, D = 64, no conv —
         // 0.75k LUTs
         let spec = TaskSpec {
@@ -196,6 +249,51 @@ mod tests {
     fn no_dsps() {
         let m = CostModel::calibrated();
         assert_eq!(m.dsps(&hw("ISOLET", 16, 40, 26, 4, 4, 3, 22, 3)), 0);
+    }
+
+    #[test]
+    fn protection_none_matches_baseline_exactly() {
+        // the Table IV calibration must be untouched by the protection
+        // pricing when no scheme is selected
+        let m = CostModel::calibrated();
+        let base = hw("ISOLET", 16, 40, 26, 4, 4, 3, 22, 3);
+        let none = base.clone().with_protection(Protection::None);
+        assert_eq!(m.luts_k(&base), m.luts_k(&none));
+        assert_eq!(m.power_w(&base), m.power_w(&none));
+        assert_eq!(m.brams(&base), m.brams(&none));
+        assert_eq!(m.protection_luts_k(Protection::None), 0.0);
+    }
+
+    #[test]
+    fn protection_costs_are_ordered() {
+        let m = CostModel::calibrated();
+        let base = hw("EEGMMI", 16, 64, 2, 8, 2, 3, 95, 1);
+        let parity = base.clone().with_protection(Protection::ParityDetect);
+        let tmr = base.clone().with_protection(Protection::Tmr);
+        assert!(m.luts_k(&base) < m.luts_k(&parity));
+        assert!(m.luts_k(&parity) < m.luts_k(&tmr));
+        assert!(m.power_w(&base) < m.power_w(&parity));
+        assert!(m.power_w(&parity) < m.power_w(&tmr));
+        assert!(m.brams(&base) <= m.brams(&parity));
+        assert!(m.brams(&parity) < m.brams(&tmr));
+        assert!(m.ffs_k(&base) < m.ffs_k(&parity));
+        assert!(m.ffs_k(&parity) < m.ffs_k(&tmr));
+    }
+
+    #[test]
+    fn tmr_triples_brams_for_large_memories() {
+        let m = CostModel::calibrated();
+        let base = hw("EEGMMI", 16, 64, 2, 8, 2, 3, 95, 1); // 3 BRAM baseline
+        let tmr = base.with_protection(Protection::Tmr);
+        assert_eq!(m.brams(&tmr), 9);
+    }
+
+    #[test]
+    fn ffs_track_luts() {
+        let m = CostModel::calibrated();
+        let base = hw("ISOLET", 16, 40, 26, 4, 4, 3, 22, 3);
+        let expect = m.ff_per_lut * m.luts_k(&base);
+        assert!((m.ffs_k(&base) - expect).abs() < 1e-12);
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //! BRAMs, DSPs and power; [`HwReport::for_config`] bundles everything into
 //! the Table III/IV row format.
 //!
+//! For fault-tolerance studies, [`Protection`] selects a hardening scheme
+//! for the weight memories (per-word parity or triple modular redundancy),
+//! [`CostModel`] prices its LUT/FF/BRAM/power overhead, and [`SeuCampaign`]
+//! injects single-event upsets over the streaming schedule to measure how
+//! many escape each scheme.
+//!
 //! # Examples
 //!
 //! ```
@@ -47,11 +53,13 @@ mod cost;
 mod pipeline;
 mod report;
 mod rtl;
+mod seu;
 mod stage;
 
-pub use config::HwConfig;
+pub use config::{HwConfig, Protection};
 pub use cost::CostModel;
 pub use pipeline::{Pipeline, ScheduleEntry, ScheduleTrace};
 pub use report::{HwReport, StageBreakdown};
 pub use rtl::{export_weights, RtlBundle, RtlFile, RtlGenerator};
+pub use seu::{SeuCampaign, SeuOutcome};
 pub use stage::Stage;

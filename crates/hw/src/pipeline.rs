@@ -1,11 +1,9 @@
 //! Streaming pipeline schedule (the paper's Fig. 5).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{HwConfig, Stage};
 
 /// One scheduled execution of a stage on one sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduleEntry {
     /// Which module executes.
     pub stage: Stage,
@@ -18,7 +16,7 @@ pub struct ScheduleEntry {
 }
 
 /// The full schedule of a streamed batch: entries sorted by start cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleTrace {
     /// Scheduled stage executions.
     pub entries: Vec<ScheduleEntry>,
@@ -29,10 +27,7 @@ pub struct ScheduleTrace {
 impl ScheduleTrace {
     /// Entries of one sample in dataflow order.
     pub fn sample_entries(&self, sample: usize) -> Vec<&ScheduleEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.sample == sample)
-            .collect()
+        self.entries.iter().filter(|e| e.sample == sample).collect()
     }
 
     /// Renders an ASCII timeline (one row per stage), matching the bottom-
@@ -62,7 +57,7 @@ impl ScheduleTrace {
 /// streamed samples with double buffering (a stage starts a sample as soon
 /// as both the stage itself and the sample's previous stage are done —
 /// exactly what the paper's double-buffered BiConv permits).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pipeline {
     hw: HwConfig,
 }
@@ -90,8 +85,7 @@ impl Pipeline {
     /// Single-sample latency in cycles: the sum of the stage latencies
     /// plus controller overhead.
     pub fn sample_latency_cycles(&self) -> u64 {
-        self.stage_latencies().iter().map(|&(_, c)| c).sum::<u64>()
-            + Stage::CONTROLLER_CYCLES
+        self.stage_latencies().iter().map(|&(_, c)| c).sum::<u64>() + Stage::CONTROLLER_CYCLES
     }
 
     /// Steady-state initiation interval under streaming, in cycles: the
@@ -301,7 +295,10 @@ mod tests {
         for pair in sorted.windows(2) {
             assert!(pair[1].start >= pair[0].end);
         }
-        assert_eq!(trace.makespan, 4 * (p.sample_latency_cycles() - Stage::CONTROLLER_CYCLES));
+        assert_eq!(
+            trace.makespan,
+            4 * (p.sample_latency_cycles() - Stage::CONTROLLER_CYCLES)
+        );
     }
 
     #[test]

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{CostModel, HwConfig, Pipeline, Stage};
 
 /// Calibration factor applied to raw datapath cycle counts to account for
@@ -15,7 +13,7 @@ pub const INTERFACE_OVERHEAD: f64 = 1.5;
 
 /// Per-stage share of the accelerator's execution time and area — the
 /// quantities plotted in the paper's Fig. 6.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageBreakdown {
     /// Stage name.
     pub stage: Stage,
@@ -30,7 +28,7 @@ pub struct StageBreakdown {
 
 /// The hardware performance of one UniVSA instance — one row of the
 /// paper's Table IV (and the UniVSA row of Table III).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HwReport {
     /// Benchmark/config label.
     pub name: String,
@@ -67,8 +65,7 @@ impl HwReport {
         let pipeline = Pipeline::new(hw.clone());
         let cycles_per_second = hw.clock_mhz * 1e6;
         let latency_cycles = pipeline.sample_latency_cycles() as f64 * INTERFACE_OVERHEAD;
-        let interval_cycles =
-            pipeline.initiation_interval_cycles() as f64 * INTERFACE_OVERHEAD;
+        let interval_cycles = pipeline.initiation_interval_cycles() as f64 * INTERFACE_OVERHEAD;
         let total_cycles: u64 = pipeline
             .stage_latencies()
             .iter()
@@ -206,12 +203,12 @@ mod tests {
     #[test]
     fn biconv_dominates_time_fraction() {
         let r = HwReport::for_config(&isolet_hw());
-        let conv = r
-            .stages
-            .iter()
-            .find(|s| s.stage == Stage::BiConv)
-            .unwrap();
-        assert!(conv.time_fraction > 0.5, "BiConv share {}", conv.time_fraction);
+        let conv = r.stages.iter().find(|s| s.stage == Stage::BiConv).unwrap();
+        assert!(
+            conv.time_fraction > 0.5,
+            "BiConv share {}",
+            conv.time_fraction
+        );
     }
 
     #[test]

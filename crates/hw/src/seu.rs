@@ -1,0 +1,296 @@
+//! Single-event-upset (SEU) injection into the cycle-level pipeline.
+//!
+//! SRAM-based FPGAs accumulate radiation-induced bit flips in their block
+//! RAMs; for an always-on implanted BCI the exposure window is the entire
+//! streaming schedule. [`SeuCampaign`] replays a batch through
+//! [`Pipeline::schedule`], draws upsets over the `stored bits × makespan`
+//! exposure, and classifies each upset's fate under the instance's
+//! [`Protection`] scheme:
+//!
+//! * [`Protection::None`] — every upset lands in a live weight word and is
+//!   **silent** data corruption.
+//! * [`Protection::ParityDetect`] — a word with an odd number of upsets
+//!   (in particular a single one) raises the checker and is **detected**;
+//!   an even number of upsets in the same word cancels the parity and
+//!   escapes **silently**.
+//! * [`Protection::Tmr`] — the majority voter **corrects** any bit
+//!   position hit in only one of the three copies; a position with flips
+//!   outstanding in two or more copies is voted the wrong way and the
+//!   upsets there are **silent**.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::Protection;
+use crate::Pipeline;
+
+/// Upper bound on injected upsets per campaign; beyond this the memory is
+/// saturated and finer accounting is meaningless.
+const MAX_UPSETS: u64 = 1 << 20;
+
+/// A seeded SEU injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeuCampaign {
+    /// Upset probability per stored bit per clock cycle.
+    pub rate_per_bit_cycle: f64,
+    /// RNG seed; equal seeds on equal instances reproduce the campaign
+    /// exactly.
+    pub seed: u64,
+}
+
+/// The classified fate of every upset drawn during one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeuOutcome {
+    /// Protection scheme the campaign ran under.
+    pub protection: Protection,
+    /// Exposure window in cycles (the schedule makespan).
+    pub cycles: u64,
+    /// Stored bits at risk (weights plus parity bits / redundant copies).
+    pub stored_bits: u64,
+    /// Total upsets injected.
+    pub upsets: u64,
+    /// Upsets flagged by a checker but not correctable (parity).
+    pub detected: u64,
+    /// Upsets masked by the majority voter (TMR).
+    pub corrected: u64,
+    /// Upsets that corrupt an inference result with no indication.
+    pub silent: u64,
+}
+
+impl SeuOutcome {
+    /// Fraction of upsets that went silent (`0` when none were injected).
+    pub fn silent_fraction(&self) -> f64 {
+        if self.upsets == 0 {
+            0.0
+        } else {
+            self.silent as f64 / self.upsets as f64
+        }
+    }
+
+    /// Whether the scheme neutralized (detected or corrected) every upset.
+    pub fn is_clean(&self) -> bool {
+        self.silent == 0
+    }
+}
+
+impl SeuCampaign {
+    /// Creates a campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_bit_cycle` is not a finite probability in
+    /// `[0, 1]`.
+    pub fn new(rate_per_bit_cycle: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_bit_cycle.is_finite() && (0.0..=1.0).contains(&rate_per_bit_cycle),
+            "SEU rate {rate_per_bit_cycle} must be a probability in [0, 1]"
+        );
+        Self {
+            rate_per_bit_cycle,
+            seed,
+        }
+    }
+
+    /// Runs the campaign over a streamed batch of `samples` inputs and
+    /// classifies every upset's fate under the pipeline's protection
+    /// scheme.
+    pub fn run(&self, pipeline: &Pipeline, samples: usize) -> SeuOutcome {
+        let hw = pipeline.hw();
+        let cycles = pipeline.schedule(samples).makespan;
+        let memory_bits = (hw.memory_kib * 8192.0).round() as u64;
+        let words = memory_bits.div_ceil(64).max(1);
+        let stored_bits = match hw.protection {
+            Protection::None => words * 64,
+            Protection::ParityDetect => words * 65,
+            Protection::Tmr => 3 * words * 64,
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let expected = self.rate_per_bit_cycle * stored_bits as f64 * cycles as f64;
+        let upsets = draw_count(expected, &mut rng).min(MAX_UPSETS);
+
+        let (detected, corrected, silent) = match hw.protection {
+            Protection::None => (0, 0, upsets),
+            Protection::ParityDetect => {
+                // flips per 65-bit protected word (data + parity bit)
+                let mut hits: HashMap<u64, u64> = HashMap::new();
+                for _ in 0..upsets {
+                    *hits.entry(rng.gen_range(0..words)).or_insert(0) += 1;
+                }
+                let mut detected = 0;
+                let mut silent = 0;
+                for count in hits.values() {
+                    if count % 2 == 1 {
+                        detected += count;
+                    } else {
+                        silent += count;
+                    }
+                }
+                (detected, 0, silent)
+            }
+            Protection::Tmr => {
+                // flips per (word, bit) position, per redundant copy
+                let mut hits: HashMap<(u64, u8), [u64; 3]> = HashMap::new();
+                for _ in 0..upsets {
+                    let word = rng.gen_range(0..words);
+                    let bit = rng.gen_range(0..64u32) as u8;
+                    let copy = rng.gen_range(0..3usize);
+                    hits.entry((word, bit)).or_insert([0; 3])[copy] += 1;
+                }
+                let mut corrected = 0;
+                let mut silent = 0;
+                for copies in hits.values() {
+                    let total: u64 = copies.iter().sum();
+                    let flipped = copies.iter().filter(|&&c| c % 2 == 1).count();
+                    if flipped >= 2 {
+                        silent += total;
+                    } else {
+                        corrected += total;
+                    }
+                }
+                (0, corrected, silent)
+            }
+        };
+
+        SeuOutcome {
+            protection: hw.protection,
+            cycles,
+            stored_bits,
+            upsets,
+            detected,
+            corrected,
+            silent,
+        }
+    }
+}
+
+/// Draws an upset count with the expected value `expected`: the integer
+/// part deterministically plus one Bernoulli trial for the fraction.
+fn draw_count(expected: f64, rng: &mut StdRng) -> u64 {
+    let whole = expected.floor();
+    let frac = expected - whole;
+    let mut count = whole as u64;
+    if frac > 0.0 && rng.gen_bool(frac) {
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HwConfig;
+    use univsa::UniVsaConfig;
+    use univsa_data::TaskSpec;
+
+    fn pipeline(protection: Protection) -> Pipeline {
+        let spec = TaskSpec {
+            name: "ISOLET".into(),
+            width: 16,
+            length: 40,
+            classes: 26,
+            levels: 256,
+        };
+        let cfg = UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(4)
+            .d_k(3)
+            .out_channels(22)
+            .voters(3)
+            .build()
+            .unwrap();
+        Pipeline::new(HwConfig::new(&cfg).with_protection(protection))
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        for p in Protection::ALL {
+            let out = SeuCampaign::new(0.0, 7).run(&pipeline(p), 8);
+            assert_eq!(out.upsets, 0);
+            assert!(out.is_clean());
+            assert_eq!(out.silent_fraction(), 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_campaign() {
+        let p = pipeline(Protection::Tmr);
+        let a = SeuCampaign::new(1e-9, 42).run(&p, 16);
+        let b = SeuCampaign::new(1e-9, 42).run(&p, 16);
+        assert_eq!(a, b);
+        let c = SeuCampaign::new(1e-9, 43).run(&p, 16);
+        assert_eq!(a.stored_bits, c.stored_bits);
+    }
+
+    #[test]
+    fn fates_conserve_upsets() {
+        for p in Protection::ALL {
+            let out = SeuCampaign::new(1e-9, 3).run(&pipeline(p), 32);
+            assert!(out.upsets > 0, "{:?} drew no upsets", p);
+            assert_eq!(out.detected + out.corrected + out.silent, out.upsets);
+        }
+    }
+
+    #[test]
+    fn unprotected_upsets_are_all_silent() {
+        let out = SeuCampaign::new(1e-9, 5).run(&pipeline(Protection::None), 32);
+        assert!(out.upsets > 0);
+        assert_eq!(out.silent, out.upsets);
+        assert_eq!(out.detected, 0);
+        assert_eq!(out.corrected, 0);
+    }
+
+    #[test]
+    fn parity_detects_sparse_upsets() {
+        // low rate → word collisions are rare, so nearly every upset is a
+        // lone flip in its word and gets detected
+        let out = SeuCampaign::new(1e-10, 11).run(&pipeline(Protection::ParityDetect), 32);
+        assert!(out.upsets > 0);
+        assert!(out.detected > 0);
+        assert_eq!(out.corrected, 0);
+        assert!(
+            out.silent_fraction() < 0.2,
+            "parity escape fraction {}",
+            out.silent_fraction()
+        );
+    }
+
+    #[test]
+    fn tmr_corrects_sparse_upsets() {
+        let out = SeuCampaign::new(1e-10, 13).run(&pipeline(Protection::Tmr), 32);
+        assert!(out.upsets > 0);
+        assert!(out.corrected > 0);
+        assert_eq!(out.detected, 0);
+        assert!(
+            out.silent_fraction() < 0.2,
+            "TMR escape fraction {}",
+            out.silent_fraction()
+        );
+    }
+
+    #[test]
+    fn stored_bits_reflect_protection() {
+        let none = SeuCampaign::new(0.0, 1).run(&pipeline(Protection::None), 1);
+        let parity = SeuCampaign::new(0.0, 1).run(&pipeline(Protection::ParityDetect), 1);
+        let tmr = SeuCampaign::new(0.0, 1).run(&pipeline(Protection::Tmr), 1);
+        assert_eq!(tmr.stored_bits, 3 * none.stored_bits);
+        assert_eq!(parity.stored_bits, none.stored_bits / 64 * 65);
+        assert!(none.cycles > 0);
+    }
+
+    #[test]
+    fn higher_rate_draws_more_upsets() {
+        let p = pipeline(Protection::None);
+        let low = SeuCampaign::new(1e-10, 9).run(&p, 32);
+        let high = SeuCampaign::new(1e-8, 9).run(&p, 32);
+        assert!(high.upsets > low.upsets);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn rejects_bad_rate() {
+        SeuCampaign::new(1.5, 0);
+    }
+}

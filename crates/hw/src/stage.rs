@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::ceil_log2;
 use crate::HwConfig;
 
 /// One of the four compute modules of the UniVSA accelerator (plus the
 /// central controller, modelled as fixed per-sample orchestration
 /// overhead).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Discriminated value projection (sequential, FIFO-fed).
     Dvp,

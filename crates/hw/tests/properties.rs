@@ -9,12 +9,12 @@ use univsa_hw::{HwConfig, Pipeline, Stage};
 
 fn arb_hw() -> impl Strategy<Value = HwConfig> {
     (
-        3usize..24,  // width
-        3usize..32,  // length
-        2usize..12,  // classes
-        1usize..17,  // d_h
-        1usize..4,   // voters
-        1usize..33,  // out channels
+        3usize..24,    // width
+        3usize..32,    // length
+        2usize..12,    // classes
+        1usize..17,    // d_h
+        1usize..4,     // voters
+        1usize..33,    // out channels
         any::<bool>(), // biconv
     )
         .prop_map(|(w, l, c, d_h, voters, o, biconv)| {

@@ -1,6 +1,5 @@
 //! Activation layers.
 
-use serde::{Deserialize, Serialize};
 use univsa_tensor::{ShapeError, Tensor};
 
 /// Elementwise `tanh` activation with cached output for the backward pass.
@@ -16,7 +15,7 @@ use univsa_tensor::{ShapeError, Tensor};
 /// let y = t.forward(&Tensor::zeros(&[2, 2]));
 /// assert_eq!(y.as_slice(), &[0.0; 4]);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Tanh {
     cached_output: Option<Tensor>,
 }

@@ -95,10 +95,8 @@ mod tests {
 
     #[test]
     fn seeded_determinism() {
-        let a: Vec<Vec<usize>> =
-            BatchIter::new(16, 4, &mut StdRng::seed_from_u64(9)).collect();
-        let b: Vec<Vec<usize>> =
-            BatchIter::new(16, 4, &mut StdRng::seed_from_u64(9)).collect();
+        let a: Vec<Vec<usize>> = BatchIter::new(16, 4, &mut StdRng::seed_from_u64(9)).collect();
+        let b: Vec<Vec<usize>> = BatchIter::new(16, 4, &mut StdRng::seed_from_u64(9)).collect();
         assert_eq!(a, b);
     }
 }

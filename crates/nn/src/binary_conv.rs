@@ -2,7 +2,6 @@
 //! activations.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use univsa_tensor::{
     conv2d, conv2d_input_grad, conv2d_kernel_grad, uniform, Conv2dSpec, ShapeError, Tensor,
 };
@@ -20,7 +19,7 @@ use crate::Param;
 ///
 /// This layer establishes the *interaction between features* that plain
 /// binary VSA encoding lacks — the paper's central algorithmic enhancement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BinaryConv2d {
     kernel: Param,
     spec: Conv2dSpec,
@@ -187,7 +186,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut layer = BinaryConv2d::new(spec(), &mut rng).unwrap();
         let x = univsa_tensor::signs(&[2, 4, 5], &mut rng);
-        let out = layer.forward(&[x.clone()]).unwrap();
+        let out = layer.forward(std::slice::from_ref(&x)).unwrap();
         assert_eq!(layer.infer(&x).unwrap(), out[0]);
     }
 

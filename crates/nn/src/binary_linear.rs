@@ -1,7 +1,6 @@
 //! Dense layer with binarized weights.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use univsa_tensor::{uniform, ShapeError, Tensor};
 
 use crate::ste::{sign, ste_grad};
@@ -20,7 +19,7 @@ use crate::Param;
 /// optimizer step (see [`Param::clip`]) to keep the STE window populated.
 ///
 /// Input shape `(B, in)`, output shape `(B, out)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BinaryLinear {
     weight: Param, // latent (out, in)
     in_features: usize,
@@ -127,7 +126,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut l = BinaryLinear::new(3, 1, &mut rng);
         // force latent weights to known small values
-        l.weight.value_mut().as_mut_slice().copy_from_slice(&[0.1, -0.9, 0.0]);
+        l.weight
+            .value_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[0.1, -0.9, 0.0]);
         // sign → [1, -1, 1]
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
         let y = l.forward(&x).unwrap();
@@ -183,7 +185,10 @@ mod tests {
     fn ste_blocks_gradient_outside_window() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut l = BinaryLinear::new(2, 1, &mut rng);
-        l.weight.value_mut().as_mut_slice().copy_from_slice(&[5.0, 0.5]);
+        l.weight
+            .value_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[5.0, 0.5]);
         let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
         let _ = l.forward(&x).unwrap();
         l.zero_grad();

@@ -1,7 +1,6 @@
 //! Real-valued dense layer.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use univsa_tensor::{kaiming_uniform, ShapeError, Tensor};
 
 use crate::Param;
@@ -27,7 +26,7 @@ use crate::Param;
 /// assert_eq!(y.shape().dims(), &[2, 5]);
 /// # Ok::<(), univsa_tensor::ShapeError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Param, // (out, in)
     bias: Param,   // (1, out)

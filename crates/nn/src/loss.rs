@@ -64,10 +64,7 @@ pub fn softmax_cross_entropy(
         }
         grow[label] -= 1.0 / b as f32;
     }
-    Ok((
-        (total / b as f64) as f32,
-        Tensor::from_vec(grad, &[b, c])?,
-    ))
+    Ok(((total / b as f64) as f32, Tensor::from_vec(grad, &[b, c])?))
 }
 
 #[cfg(test)]

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Fraction of predictions equal to their labels.
 ///
 /// Returns 0 for empty inputs.
@@ -48,7 +46,7 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
 /// assert_eq!(cm.count(0, 1), 1);
 /// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     classes: usize,
     counts: Vec<u64>,
@@ -76,7 +74,10 @@ impl ConfusionMatrix {
     /// Panics if either index is out of range.
     pub fn record(&mut self, label: usize, prediction: usize) {
         assert!(label < self.classes, "label {label} out of range");
-        assert!(prediction < self.classes, "prediction {prediction} out of range");
+        assert!(
+            prediction < self.classes,
+            "prediction {prediction} out of range"
+        );
         self.counts[label * self.classes + prediction] += 1;
     }
 

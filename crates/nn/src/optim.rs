@@ -1,7 +1,5 @@
 //! Optimizers over [`Param`]s.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Param;
 
 /// A first-order optimizer: consumes a parameter's accumulated gradient and
@@ -24,7 +22,7 @@ pub trait Optimizer {
 /// Stochastic gradient descent with classical momentum.
 ///
 /// The momentum buffer lives in the parameter's first-moment slot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sgd {
     lr: f32,
     momentum: f32,
@@ -71,7 +69,7 @@ impl Optimizer for Sgd {
 ///
 /// Moments live inside the [`Param`], so one `Adam` instance can serve many
 /// parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Adam {
     lr: f32,
     beta1: f32,

@@ -1,6 +1,5 @@
 //! Trainable parameters.
 
-use serde::{Deserialize, Serialize};
 use univsa_tensor::Tensor;
 
 /// A trainable tensor together with its gradient accumulator and the
@@ -17,7 +16,7 @@ use univsa_tensor::Tensor;
 /// let p = Param::new(Tensor::zeros(&[2, 2]));
 /// assert_eq!(p.value().len(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     value: Tensor,
     grad: Tensor,

@@ -2,12 +2,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::{Genome, SearchSpace};
 
 /// Evolution hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchOptions {
     /// Population size.
     pub population: usize,
@@ -35,7 +34,7 @@ impl Default for SearchOptions {
 }
 
 /// Outcome of a search run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult {
     /// The best genome found.
     pub genome: Genome,
@@ -84,8 +83,7 @@ impl EvolutionarySearch {
     {
         let mut rng = StdRng::seed_from_u64(seed);
         let opts = &self.options;
-        let mut cache: std::collections::HashMap<Genome, f64> =
-            std::collections::HashMap::new();
+        let mut cache: std::collections::HashMap<Genome, f64> = std::collections::HashMap::new();
         let mut evaluations = 0usize;
         let mut evaluate = |g: &Genome, cache: &mut std::collections::HashMap<Genome, f64>| {
             if let Some(&f) = cache.get(g) {
@@ -112,8 +110,7 @@ impl EvolutionarySearch {
             curve.push(scored[0].1);
 
             // elitist preservation + tournament offspring
-            let mut next: Vec<Genome> =
-                scored.iter().take(opts.elites).map(|&(g, _)| g).collect();
+            let mut next: Vec<Genome> = scored.iter().take(opts.elites).map(|&(g, _)| g).collect();
             while next.len() < opts.population {
                 let a = self.tournament_pick(&scored, &mut rng);
                 let b = self.tournament_pick(&scored, &mut rng);
@@ -131,8 +128,7 @@ impl EvolutionarySearch {
             .map(|g| (*g, evaluate(g, &mut cache)))
             .collect();
         final_scored.extend(scored);
-        final_scored
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        final_scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let (genome, best) = final_scored[0];
         curve.push(best);
         SearchResult {
@@ -183,8 +179,7 @@ mod tests {
     fn finds_known_optimum() {
         // fitness peaks at O = 100, D_H = 8
         let f = |g: &Genome| {
-            -((g.out_channels as f64 - 100.0).powi(2)) / 1000.0
-                - (g.d_h as f64 - 8.0).abs()
+            -((g.out_channels as f64 - 100.0).powi(2)) / 1000.0 - (g.d_h as f64 - 8.0).abs()
         };
         let result = EvolutionarySearch::new(space(), options()).run(f, 0);
         assert_eq!(result.genome.d_h, 8);

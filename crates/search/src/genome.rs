@@ -1,13 +1,12 @@
 //! The searched configuration tuple and its search space.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use univsa::{UniVsaConfig, UniVsaError};
 use univsa_data::TaskSpec;
 
 /// One candidate configuration: the paper's searched tuple
 /// `(D_H, D_L, D_K, O, Θ)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Genome {
     /// High value dimension.
     pub d_h: usize,
@@ -42,7 +41,7 @@ impl Genome {
 
 /// Bounds of the evolutionary search, matched to the ranges seen in the
 /// paper's Table I.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchSpace {
     /// Candidate `D_H` values.
     pub d_h: Vec<usize>,
@@ -77,8 +76,7 @@ impl SearchSpace {
     /// Draws a uniformly random valid genome.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Genome {
         let d_h = self.d_h[rng.gen_range(0..self.d_h.len())];
-        let d_l_options: Vec<usize> =
-            self.d_l.iter().copied().filter(|&v| v <= d_h).collect();
+        let d_l_options: Vec<usize> = self.d_l.iter().copied().filter(|&v| v <= d_h).collect();
         let d_l = d_l_options[rng.gen_range(0..d_l_options.len())];
         Genome {
             d_h,

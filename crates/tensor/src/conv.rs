@@ -11,12 +11,10 @@
 //! nothing to the pre-activation sum, which is exactly how the hardware's
 //! boundary handling behaves.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ShapeError, Tensor};
 
 /// Geometry of a stride-1 `same`-padded 2-D convolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Conv2dSpec {
     /// Input channel count (`D_H` in the paper).
     pub in_channels: usize,
@@ -47,7 +45,7 @@ impl Conv2dSpec {
         {
             return Err(ShapeError::new("conv2d extents must all be nonzero"));
         }
-        if self.kernel % 2 == 0 {
+        if self.kernel.is_multiple_of(2) {
             return Err(ShapeError::new(format!(
                 "same-padded conv2d needs an odd kernel, got {}",
                 self.kernel
@@ -68,7 +66,12 @@ impl Conv2dSpec {
 
     /// Kernel shape `(out_channels, in_channels, kernel, kernel)`.
     pub fn kernel_dims(&self) -> [usize; 4] {
-        [self.out_channels, self.in_channels, self.kernel, self.kernel]
+        [
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+        ]
     }
 
     fn pad(&self) -> isize {
@@ -135,8 +138,8 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor, spec: &Conv2dSpec) -> Result<Tens
                         if lo >= hi {
                             continue;
                         }
-                        let src = &xrow[(lo as isize + shift) as usize
-                            ..(hi as isize + shift) as usize];
+                        let src =
+                            &xrow[(lo as isize + shift) as usize..(hi as isize + shift) as usize];
                         for (o, &xv) in orow[lo..hi].iter_mut().zip(src) {
                             *o += kv * xv;
                         }
@@ -181,8 +184,7 @@ pub fn conv2d_input_grad(
                     if oy < 0 || oy >= h as isize {
                         continue;
                     }
-                    let grow = &g[co * h * w + oy as usize * w
-                        ..co * h * w + (oy as usize + 1) * w];
+                    let grow = &g[co * h * w + oy as usize * w..co * h * w + (oy as usize + 1) * w];
                     let krow = &kbuf[kcbase + ky * k..kcbase + ky * k + k];
                     let orow = &mut out[orow_start..orow_start + w];
                     for (kx, &kv) in krow.iter().enumerate() {
@@ -196,8 +198,8 @@ pub fn conv2d_input_grad(
                         if lo >= hi {
                             continue;
                         }
-                        let src = &grow[(lo as isize + shift) as usize
-                            ..(hi as isize + shift) as usize];
+                        let src =
+                            &grow[(lo as isize + shift) as usize..(hi as isize + shift) as usize];
                         for (o, &gv) in orow[lo..hi].iter_mut().zip(src) {
                             *o += kv * gv;
                         }
@@ -245,10 +247,10 @@ pub fn conv2d_kernel_grad(
                                 continue;
                             }
                             let grow = &g[co * h * w + oy * w..co * h * w + oy * w + w];
-                            let xrow = &x[c * h * w + iy as usize * w
-                                ..c * h * w + (iy as usize + 1) * w];
-                            let src = &xrow[(lo as isize + shift) as usize
-                                ..(hi as isize + shift) as usize];
+                            let xrow =
+                                &x[c * h * w + iy as usize * w..c * h * w + (iy as usize + 1) * w];
+                            let src = &xrow
+                                [(lo as isize + shift) as usize..(hi as isize + shift) as usize];
                             acc += grow[lo..hi]
                                 .iter()
                                 .zip(src)
@@ -344,8 +346,8 @@ mod tests {
     #[test]
     fn sums_channels() {
         let s = spec(2, 1, 1, 2, 2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 2, 2])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 2, 2]).unwrap();
         let k = Tensor::from_vec(vec![1.0, 1.0], &[1, 2, 1, 1]).unwrap();
         let y = conv2d(&x, &k, &s).unwrap();
         assert_eq!(y.as_slice(), &[11.0, 22.0, 33.0, 44.0]);
@@ -364,13 +366,8 @@ mod tests {
         let gx = conv2d_input_grad(&g, &k, &s).unwrap();
         let gk = conv2d_kernel_grad(&x, &g, &s).unwrap();
 
-        let loss = |x: &Tensor, k: &Tensor| -> f32 {
-            conv2d(x, k, &s)
-                .unwrap()
-                .mul(&g)
-                .unwrap()
-                .sum()
-        };
+        let loss =
+            |x: &Tensor, k: &Tensor| -> f32 { conv2d(x, k, &s).unwrap().mul(&g).unwrap().sum() };
         let eps = 1e-2f32;
         // input grad: spot check several coordinates
         for idx in [0usize, 5, 11, 23] {

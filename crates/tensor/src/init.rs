@@ -82,7 +82,7 @@ mod tests {
         let t = signs(&[512], &mut rng);
         assert!(t.as_slice().iter().all(|&x| x == 1.0 || x == -1.0));
         // both signs should appear in 512 draws
-        assert!(t.as_slice().iter().any(|&x| x == 1.0));
+        assert!(t.as_slice().contains(&1.0));
         assert!(t.as_slice().iter().any(|&x| x == -1.0));
     }
 

@@ -140,7 +140,9 @@ impl Tensor {
     pub fn solve(&self, b: &Tensor) -> Result<Tensor, ShapeError> {
         let (n, n2) = rank2(self, "solve lhs")?;
         if n != n2 {
-            return Err(ShapeError::new(format!("solve needs square A, got {n}x{n2}")));
+            return Err(ShapeError::new(format!(
+                "solve needs square A, got {n}x{n2}"
+            )));
         }
         let (bn, bc) = rank2(b, "solve rhs")?;
         if bn != n {

@@ -38,11 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "searching {} candidates × {} generations on {} ...",
         options.population, options.generations, task.spec.name
     );
-    let result = EvolutionarySearch::new(space, options).run(|g| {
-        let f = objective.evaluate(g);
-        eprintln!("  candidate {g:?} → {f:.4}");
-        f
-    }, 42);
+    let result = EvolutionarySearch::new(space, options).run(
+        |g| {
+            let f = objective.evaluate(g);
+            eprintln!("  candidate {g:?} → {f:.4}");
+            f
+        },
+        42,
+    );
 
     println!("\nbest genome: {:?}", result.genome);
     println!("fitness (Acc − L_HW): {:.4}", result.fitness);

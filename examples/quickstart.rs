@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .out_channels(32)
         .voters(3)
         .build()?;
-    println!("config {:?}, VSA dimension D = {}", config.tuple(), config.vsa_dim());
+    println!(
+        "config {:?}, VSA dimension D = {}",
+        config.tuple(),
+        config.vsa_dim()
+    );
 
     // 3. Train with the LDC strategy (float partial BNN + STE), then the
     //    packed model is exported automatically.

@@ -184,6 +184,7 @@ fn bit_flips_degrade_gracefully() {
     let lightly = outcome
         .model
         .with_bit_flips(0.005, &mut rng)
+        .expect("valid flip rate")
         .evaluate(&test)
         .expect("evaluation succeeds");
     assert!(
@@ -194,9 +195,13 @@ fn bit_flips_degrade_gracefully() {
     let destroyed = outcome
         .model
         .with_bit_flips(0.5, &mut rng)
+        .expect("valid flip rate")
         .evaluate(&test)
         .expect("evaluation succeeds");
-    assert!(destroyed < clean, "50% flips should hurt: {clean} → {destroyed}");
+    assert!(
+        destroyed < clean,
+        "50% flips should hurt: {clean} → {destroyed}"
+    );
 }
 
 #[test]
@@ -224,10 +229,13 @@ fn enhancement_flags_shape_exported_model() {
             .enhancements(enh)
             .build()
             .expect("config valid");
-        let outcome = UniVsaTrainer::new(cfg, TrainOptions {
-            epochs: 2,
-            ..TrainOptions::default()
-        })
+        let outcome = UniVsaTrainer::new(
+            cfg,
+            TrainOptions {
+                epochs: 2,
+                ..TrainOptions::default()
+            },
+        )
         .fit(&train, 5)
         .expect("training succeeds");
         assert_eq!(outcome.model.kernel_words().is_empty(), kernel_empty);

@@ -6,7 +6,15 @@ use univsa::{MemoryReport, UniVsaConfig};
 use univsa_data::TaskSpec;
 use univsa_hw::{CostModel, HwConfig, HwReport, Pipeline, Stage};
 
-const PAPER: [(&str, usize, usize, usize, (usize, usize, usize, usize, usize)); 6] = [
+type PaperRow = (
+    &'static str,
+    usize,
+    usize,
+    usize,
+    (usize, usize, usize, usize, usize),
+);
+
+const PAPER: [PaperRow; 6] = [
     ("EEGMMI", 16, 64, 2, (8, 2, 3, 95, 1)),
     ("BCI-III-V", 16, 6, 3, (8, 1, 3, 151, 3)),
     ("CHB-B", 23, 64, 2, (8, 2, 3, 16, 3)),
@@ -15,7 +23,7 @@ const PAPER: [(&str, usize, usize, usize, (usize, usize, usize, usize, usize)); 
     ("HAR", 16, 36, 6, (8, 4, 3, 18, 3)),
 ];
 
-fn config(row: &(&str, usize, usize, usize, (usize, usize, usize, usize, usize))) -> UniVsaConfig {
+fn config(row: &PaperRow) -> UniVsaConfig {
     let (name, w, l, c, (d_h, d_l, d_k, o, theta)) = row;
     let spec = TaskSpec {
         name: name.to_string(),
@@ -85,7 +93,12 @@ fn table4_ordering_preserved() {
     // throughput ordering: BCI-III-V fastest, CHB-IB slowest
     let reports: Vec<(String, HwReport)> = PAPER
         .iter()
-        .map(|row| (row.0.to_string(), HwReport::for_config(&HwConfig::new(&config(row)))))
+        .map(|row| {
+            (
+                row.0.to_string(),
+                HwReport::for_config(&HwConfig::new(&config(row))),
+            )
+        })
         .collect();
     let find = |n: &str| {
         &reports

@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use. Like real
+//! criterion, the generated `main` only benchmarks when invoked with
+//! `--bench` (so `cargo test` merely verifies the benches compile and run
+//! no measurements). Measurement is deliberately simple: each benchmark
+//! runs a warm-up pass, then iterates until the configured measurement
+//! time elapses and reports mean wall-clock time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark (scales the measurement
+    /// budget in this stand-in).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            report: None,
+        };
+        f(&mut bencher);
+        report(name, bencher.report);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A parameterized benchmark label.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` label.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only label (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement_time,
+            report: None,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.text), bencher.report);
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            budget: self.criterion.measurement_time,
+            report: None,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.text), bencher.report);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // warm-up / correctness pass (also the only pass under `cargo test`)
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 1u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.report = Some((iters, start.elapsed()));
+    }
+}
+
+fn report(name: &str, measured: Option<(u64, Duration)>) {
+    match measured {
+        Some((iters, total)) => {
+            let per_iter = total.as_secs_f64() / iters as f64;
+            println!(
+                "{name:<50} {:>12.3} µs/iter ({iters} iters)",
+                per_iter * 1e6
+            );
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`: benchmarks only under `--bench`
+/// (mirroring real criterion, so `cargo test` stays fast).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--bench") {
+                $($group();)+
+            } else {
+                println!("benchmarks compiled; run with `cargo bench` to measure");
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran >= 2, "warm-up plus at least one measured iteration");
+    }
+
+    #[test]
+    fn group_runs_inputs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        let mut total = 0u64;
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| {
+                    total += n;
+                })
+            });
+        }
+        group.finish();
+        assert!(total > 0);
+    }
+}
