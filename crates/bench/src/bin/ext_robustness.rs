@@ -28,7 +28,7 @@
 use std::fmt::Write as _;
 
 use univsa::{FaultModel, FaultSpec, FaultTarget, UniVsaConfig, UniVsaModel};
-use univsa_bench::{print_row, quick_mode, train_univsa_with};
+use univsa_bench::{finish_telemetry, print_row, progress, quick_mode, train_univsa_with};
 use univsa_data::{tasks, Dataset};
 use univsa_hw::{CostModel, HwConfig, Pipeline, Protection, SeuCampaign};
 
@@ -52,7 +52,7 @@ fn main() {
         .voters(3)
         .build()
         .expect("config valid");
-    eprintln!("[ext_robustness] training baseline model ...");
+    progress("ext_robustness", "training baseline model ...");
     let (model, clean_acc) =
         train_univsa_with(&task, config.clone(), 7).expect("training succeeds");
     println!("clean accuracy: {clean_acc:.4}");
@@ -62,6 +62,7 @@ fn main() {
     let sweep = accuracy_sweep(&model, &task.test, clean_acc);
     let seu = seu_table(&config);
     write_json(clean_acc, &cost, &sweep, &seu);
+    finish_telemetry();
 }
 
 /// Hardware price of each protection scheme for this model's accelerator.
@@ -321,8 +322,14 @@ fn write_json(
 
     let path = std::path::Path::new("target").join("ext_robustness.json");
     match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, &json)) {
-        Ok(()) => println!("JSON report: {}", path.display()),
-        Err(e) => eprintln!("[ext_robustness] could not write {}: {e}", path.display()),
+        Ok(()) => progress(
+            "ext_robustness",
+            &format!("JSON report: {}", path.display()),
+        ),
+        Err(e) => progress(
+            "ext_robustness",
+            &format!("could not write {}: {e}", path.display()),
+        ),
     }
 }
 

@@ -10,7 +10,7 @@
 //! Run: `cargo run -p univsa-bench --release --bin fig1`
 
 use univsa_baselines::{evaluate, Classifier, Knn, Lda, LdcOptions, SvmOptions};
-use univsa_bench::{print_row, quick_mode, train_univsa};
+use univsa_bench::{finish_telemetry, print_row, progress, quick_mode, train_univsa};
 use univsa_data::tasks;
 
 struct Axis {
@@ -33,7 +33,10 @@ fn main() {
     let task = tasks::bci3v(seed);
     let quick = quick_mode();
 
-    eprintln!("[fig1] measuring accuracy on {} ...", task.spec.name);
+    progress(
+        "fig1",
+        &format!("measuring accuracy on {} ...", task.spec.name),
+    );
     let lda = Lda::fit(&task.train, 0.3);
     let lda_acc = evaluate(&lda, &task.test);
     let svm = univsa_baselines::Svm::fit(&task.train, &SvmOptions::default(), seed);
@@ -127,4 +130,5 @@ fn main() {
     println!("Expected shape (paper Fig. 1): UniVSA spans the largest area — near-best accuracy");
     println!("with orders-of-magnitude smaller memory/latency/power than classic ML and VSA-H,");
     println!("and only slightly more resource than LDC.");
+    finish_telemetry();
 }

@@ -11,7 +11,7 @@
 //! (`UNIVSA_QUICK=1` shrinks the sweep).
 
 use univsa::{Enhancements, MemoryReport, TrainOptions, UniVsaConfig, UniVsaTrainer};
-use univsa_bench::{print_row, quick_mode};
+use univsa_bench::{finish_telemetry, print_row, progress, quick_mode};
 use univsa_data::tasks;
 
 fn variant(name: &str) -> Enhancements {
@@ -92,7 +92,7 @@ fn main() {
                 ],
                 &widths,
             );
-            eprintln!("[fig4] {name} D_H={d_h} done");
+            progress("fig4", &format!("{name} D_H={d_h} done"));
         }
     }
     println!();
@@ -104,4 +104,5 @@ fn main() {
         "dimensions (underfitting relief); the full UniVSA is best; all enhancements add only"
     );
     println!("a few percent of memory.");
+    finish_telemetry();
 }

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run -p univsa-bench --release --bin fig5`
 
-use univsa_bench::{all_tasks, paper_config};
+use univsa_bench::{all_tasks, finish_telemetry, paper_config};
 use univsa_hw::{HwConfig, Pipeline};
 
 fn main() {
@@ -36,4 +36,5 @@ fn main() {
     println!();
     println!("Expected shape: DVP/Encoding/Similarity of sample k+1 hide under BiConv of sample k");
     println!("(double buffering), so the stream advances at the BiConv latency.");
+    finish_telemetry();
 }

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run -p univsa-bench --release --bin fig6`
 
-use univsa_bench::{all_tasks, paper_config, print_row};
+use univsa_bench::{all_tasks, finish_telemetry, paper_config, print_row};
 use univsa_hw::{HwConfig, HwReport};
 
 fn main() {
@@ -36,4 +36,5 @@ fn main() {
         "other stages, while its kernel memory K is tiny; F (Encoding) and C (Similarity) hold"
     );
     println!("most of the memory when the input grid or class count is large.");
+    finish_telemetry();
 }

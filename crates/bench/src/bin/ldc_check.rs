@@ -1,7 +1,7 @@
 //! Developer utility: VSA-model accuracy probe on a single task (used
 //! while calibrating the synthetic generators).
 use univsa_baselines::{evaluate, Lda, Ldc, LdcOptions, Svm, SvmOptions};
-use univsa_bench::train_univsa;
+use univsa_bench::{finish_telemetry, train_univsa};
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "HAR".into());
@@ -16,4 +16,5 @@ fn main() {
     let ldc_test = evaluate(&ldc, &task.test);
     let (_, uni) = train_univsa(&task, 2025).unwrap();
     println!("{name}: LDA {lda:.3} SVM {svm:.3} LDC train/test {ldc_train:.3}/{ldc_test:.3} UniVSA {uni:.3}");
+    finish_telemetry();
 }

@@ -1,0 +1,154 @@
+//! Records the performance baseline for all paper configurations into a
+//! machine-readable report (`BENCH_univsa.json` at the repo root).
+//!
+//! For every Table I task this measures:
+//!
+//! * training wall time with the harness epoch budget,
+//! * held-out accuracy,
+//! * exact per-sample inference latency percentiles (mean/p50/p90/p99),
+//! * simulated hardware cycles (single-sample latency, initiation
+//!   interval, streamed-schedule makespan).
+//!
+//! Usage: `cargo run -p univsa-bench --release --bin perf_baseline
+//! [--out PATH] [--seed S] [--quiet]`. Honours `UNIVSA_QUICK=1` for a
+//! reduced-budget smoke run (the `quick` flag in the report records which
+//! mode produced it).
+
+use std::time::Instant;
+
+use univsa::json::Json;
+use univsa::{UniVsaError, UniVsaTrainer};
+use univsa_bench::{
+    all_tasks, finish_telemetry, harness_train_options_for, paper_config, progress, quick_mode,
+};
+use univsa_hw::{HwConfig, Pipeline};
+
+/// Streamed samples for the hardware schedule replay.
+const HW_STREAM_SAMPLES: usize = 64;
+
+fn num_u(v: u64) -> Json {
+    Json::Num(v as f64, Some(v))
+}
+
+fn num_f(v: f64) -> Json {
+    // keep the report readable: microsecond/second values to 3 decimals
+    Json::Num((v * 1e3).round() / 1e3, None)
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    sorted_ns[((sorted_ns.len() - 1) as f64 * q).round() as usize]
+}
+
+fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<Json, UniVsaError> {
+    let _span = univsa_telemetry::span("bench", "perf_task").field("task", task.spec.name.clone());
+    let options = harness_train_options_for(task.spec.features());
+    let epochs = options.epochs;
+    let trainer = UniVsaTrainer::new(paper_config(task), options);
+    let t = Instant::now();
+    let outcome = trainer.fit(&task.train, seed)?;
+    let train_seconds = t.elapsed().as_secs_f64();
+    let accuracy = outcome.model.evaluate(&task.test)?;
+
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(task.test.len());
+    for sample in task.test.samples() {
+        let t = Instant::now();
+        let _ = outcome.model.infer(&sample.values)?;
+        latencies_ns.push(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    latencies_ns.sort_unstable();
+    let mean_ns = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64;
+
+    let pipeline = Pipeline::new(HwConfig::new(outcome.model.config()));
+    let trace = pipeline.schedule(HW_STREAM_SAMPLES);
+
+    Ok(Json::Obj(vec![
+        ("task".into(), Json::Str(task.spec.name.clone())),
+        ("train_seconds".into(), num_f(train_seconds)),
+        ("epochs".into(), num_u(epochs as u64)),
+        ("train_samples".into(), num_u(task.train.len() as u64)),
+        ("test_samples".into(), num_u(task.test.len() as u64)),
+        ("test_accuracy".into(), Json::Num(accuracy, None)),
+        (
+            "latency_us".into(),
+            Json::Obj(vec![
+                ("mean".into(), num_f(mean_ns / 1e3)),
+                (
+                    "p50".into(),
+                    num_f(percentile(&latencies_ns, 0.50) as f64 / 1e3),
+                ),
+                (
+                    "p90".into(),
+                    num_f(percentile(&latencies_ns, 0.90) as f64 / 1e3),
+                ),
+                (
+                    "p99".into(),
+                    num_f(percentile(&latencies_ns, 0.99) as f64 / 1e3),
+                ),
+            ]),
+        ),
+        (
+            "hw_cycles".into(),
+            Json::Obj(vec![
+                (
+                    "sample_latency".into(),
+                    num_u(pipeline.sample_latency_cycles()),
+                ),
+                (
+                    "initiation_interval".into(),
+                    num_u(pipeline.initiation_interval_cycles()),
+                ),
+                ("streamed_samples".into(), num_u(HW_STREAM_SAMPLES as u64)),
+                ("makespan".into(), num_u(trace.makespan)),
+            ]),
+        ),
+    ]))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_univsa.json".to_string();
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("bad --seed");
+            }
+            "--quiet" | "-q" => {} // consumed by univsa_bench::quiet_mode
+            other => panic!("unknown argument {other:?} (expected --out/--seed/--quiet)"),
+        }
+    }
+
+    let total = Instant::now();
+    let mut rows = Vec::new();
+    for task in all_tasks(seed) {
+        progress("perf_baseline", &format!("measuring {}", task.spec.name));
+        let row = measure_task(&task, seed).expect("paper configurations train");
+        rows.push(row);
+    }
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("univsa-perf-baseline/v1".into())),
+        ("quick".into(), Json::Bool(quick_mode())),
+        ("seed".into(), num_u(seed)),
+        ("total_seconds".into(), num_f(total.elapsed().as_secs_f64())),
+        ("tasks".into(), Json::Arr(rows)),
+    ]);
+    let mut text = String::new();
+    univsa::json::write(&report, &mut text);
+    text.push('\n');
+    std::fs::write(&out_path, &text).expect("write report");
+    progress(
+        "perf_baseline",
+        &format!(
+            "wrote {out_path} ({} tasks, {:.1} s total)",
+            report.get("tasks").unwrap().as_arr().unwrap().len(),
+            total.elapsed().as_secs_f64()
+        ),
+    );
+    finish_telemetry();
+}

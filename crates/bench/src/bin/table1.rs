@@ -11,7 +11,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use univsa::TrainOptions;
-use univsa_bench::{all_tasks, print_row, quick_mode, PAPER_CONFIGS};
+use univsa_bench::{all_tasks, finish_telemetry, print_row, progress, quick_mode, PAPER_CONFIGS};
 use univsa_data::stratified_split;
 use univsa_search::{AccuracyHardwareObjective, EvolutionarySearch, SearchOptions, SearchSpace};
 
@@ -46,7 +46,7 @@ fn main() {
     );
 
     for task in all_tasks(2025) {
-        eprintln!("[table1] searching {} ...", task.spec.name);
+        progress("table1", &format!("searching {} ...", task.spec.name));
         // carve a validation split out of a training subsample
         let mut rng = StdRng::seed_from_u64(99);
         let (subsample, _) = stratified_split(&task.train, 0.45, &mut rng);
@@ -82,4 +82,5 @@ fn main() {
     println!("Expected shape: searched tuples land in the paper's ranges (D_H ≤ 8, small kernels,");
     println!("task-dependent O, Θ ∈ {{1, 3}}); exact values differ because the data are synthetic");
     println!("and the search budget here is a fraction of the paper's.");
+    finish_telemetry();
 }

@@ -5,7 +5,7 @@
 //! (`UNIVSA_QUICK=1` for a fast smoke run).
 
 use univsa_baselines::{evaluate, Classifier, Knn, Lda, LdcOptions, LeHdcOptions, Svm, SvmOptions};
-use univsa_bench::{all_tasks, fmt_kib, print_row, train_univsa};
+use univsa_bench::{all_tasks, finish_telemetry, fmt_kib, print_row, progress, train_univsa};
 
 fn main() {
     let seed = 2025;
@@ -33,7 +33,7 @@ fn main() {
 
     let mut sums = [0.0f64; 6];
     for task in &tasks {
-        eprintln!("[table2] running {} ...", task.spec.name);
+        progress("table2", &format!("running {} ...", task.spec.name));
         let mut cells = vec![task.spec.name.clone()];
 
         let lda = Lda::fit(&task.train, 0.3);
@@ -87,4 +87,5 @@ fn main() {
     println!("Paper (Table II) averages: LDA 0.8475 | KNN 0.8685 | SVM 0.9124 | LeHDC 0.8816 | LDC 0.9225 | UniVSA 0.9445");
     println!("Expected shape: UniVSA > LDC on every task; UniVSA best-or-close on average at KB-scale memory;");
     println!("SVM strong but MB-scale and task-dependent; LeHDC MB-scale.");
+    finish_telemetry();
 }

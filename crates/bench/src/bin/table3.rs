@@ -8,7 +8,7 @@
 //! Run: `cargo run -p univsa-bench --release --bin table3`
 
 use univsa::{Enhancements, UniVsaConfig};
-use univsa_bench::{all_tasks, paper_config, print_row};
+use univsa_bench::{all_tasks, finish_telemetry, paper_config, print_row};
 use univsa_hw::{HwConfig, HwReport};
 
 struct LiteratureRow {
@@ -197,4 +197,5 @@ fn main() {
     println!(
         "latency with 0 DSPs; only LDC is smaller, but UniVSA buys accuracy and memory (Table II)."
     );
+    finish_telemetry();
 }

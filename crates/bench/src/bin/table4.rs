@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run -p univsa-bench --release --bin table4`
 
-use univsa_bench::{all_tasks, paper_config, print_row};
+use univsa_bench::{all_tasks, finish_telemetry, paper_config, print_row};
 use univsa_hw::{HwConfig, HwReport};
 
 /// Paper Table IV rows: (latency ms, power W, LUTs k, BRAM, DSP,
@@ -56,4 +56,5 @@ fn main() {
     println!();
     println!("Expected shape: all tasks < 0.5 W and < 0.25 ms; throughput > 5 k/s everywhere;");
     println!("EEGMMI the largest design (O = 95 on a 1024-cell grid), BCI-III-V the fastest (96-cell grid).");
+    finish_telemetry();
 }

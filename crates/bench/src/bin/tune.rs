@@ -6,7 +6,7 @@
 //! Run: `cargo run -p univsa-bench --release --bin tune`
 
 use univsa_baselines::{evaluate, Knn, Lda, Ldc, LdcOptions, Svm, SvmOptions};
-use univsa_bench::{all_tasks, print_row};
+use univsa_bench::{all_tasks, finish_telemetry, print_row, progress};
 
 fn main() {
     let seed = 2025;
@@ -19,6 +19,7 @@ fn main() {
         &widths,
     );
     for task in all_tasks(seed) {
+        progress("tune", &format!("profiling {} ...", task.spec.name));
         let lda = evaluate(&Lda::fit(&task.train, 0.3), &task.test);
         let knn = evaluate(&Knn::fit(&task.train, 5), &task.test);
         let svm = evaluate(
@@ -48,4 +49,5 @@ fn main() {
             &widths,
         );
     }
+    finish_telemetry();
 }

@@ -20,25 +20,43 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
+
 use univsa::{TrainOptions, UniVsaConfig, UniVsaError, UniVsaModel, UniVsaTrainer};
 use univsa_data::{tasks, Task};
 
-/// A `(D_H, D_L, D_K, O, Θ)` model tuple.
-pub type ConfigTuple = (usize, usize, usize, usize, usize);
-
-/// The paper's Table I: per-task `(D_H, D_L, D_K, O, Θ)` configurations.
-pub const PAPER_CONFIGS: [(&str, ConfigTuple); 6] = [
-    ("EEGMMI", (8, 2, 3, 95, 1)),
-    ("BCI-III-V", (8, 1, 3, 151, 3)),
-    ("CHB-B", (8, 2, 3, 16, 3)),
-    ("CHB-IB", (4, 1, 5, 16, 1)),
-    ("ISOLET", (4, 4, 3, 22, 3)),
-    ("HAR", (8, 4, 3, 18, 3)),
-];
+pub use univsa_data::tasks::{paper_config_tuple, ConfigTuple, PAPER_CONFIGS};
 
 /// Whether a quick (reduced-budget) run was requested via `UNIVSA_QUICK=1`.
 pub fn quick_mode() -> bool {
     std::env::var("UNIVSA_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Whether progress chatter is suppressed: `--quiet` on the command line or
+/// `UNIVSA_QUIET=1` in the environment. Evaluated once per process.
+pub fn quiet_mode() -> bool {
+    static QUIET: OnceLock<bool> = OnceLock::new();
+    *QUIET.get_or_init(|| {
+        std::env::args().any(|a| a == "--quiet" || a == "-q")
+            || std::env::var("UNIVSA_QUIET").is_ok_and(|v| v == "1")
+    })
+}
+
+/// Reports bench progress: always recorded as a telemetry event (when
+/// telemetry is on), echoed to stderr unless [`quiet_mode`].
+pub fn progress(bin: &'static str, message: &str) {
+    univsa_telemetry::event(bin, message, &[]);
+    if !quiet_mode() {
+        eprintln!("[{bin}] {message}");
+    }
+}
+
+/// Flushes the telemetry registry at the end of a bench binary, warning on
+/// stderr instead of failing the run if the sink cannot be written.
+pub fn finish_telemetry() {
+    if let Err(e) = univsa_telemetry::flush() {
+        eprintln!("warning: telemetry flush failed: {e}");
+    }
 }
 
 /// Builds all six benchmark tasks with one seed.
@@ -54,16 +72,14 @@ pub fn all_tasks(seed: u64) -> Vec<Task> {
 /// Panics if the name is not one of the six Table I tasks or the tuple is
 /// invalid for the geometry (cannot happen for the paper's values).
 pub fn paper_config(task: &Task) -> UniVsaConfig {
-    let (_, (d_h, d_l, d_k, o, theta)) = PAPER_CONFIGS
-        .iter()
-        .find(|(name, _)| *name == task.spec.name)
+    let (d_h, d_l, d_k, o, theta) = paper_config_tuple(&task.spec.name)
         .unwrap_or_else(|| panic!("no paper config for task {}", task.spec.name));
     UniVsaConfig::for_task(&task.spec)
-        .d_h(*d_h)
-        .d_l(*d_l)
-        .d_k(*d_k)
-        .out_channels(*o)
-        .voters(*theta)
+        .d_h(d_h)
+        .d_l(d_l)
+        .d_k(d_k)
+        .out_channels(o)
+        .voters(theta)
         .build()
         .expect("paper configurations are valid")
 }

@@ -53,6 +53,17 @@ pub enum Command {
         /// RNG seed for the fault draws.
         seed: u64,
     },
+    /// `univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]`
+    Profile {
+        /// Built-in task name.
+        task: String,
+        /// RNG seed.
+        seed: u64,
+        /// Training epochs (`None` = harness default for the task size).
+        epochs: Option<usize>,
+        /// Samples streamed through the simulated hardware pipeline.
+        samples: usize,
+    },
     /// `univsa tasks`
     Tasks,
     /// `univsa help` (or `--help`)
@@ -84,8 +95,14 @@ USAGE:
   univsa info  --model MODEL
   univsa rtl   --model MODEL --out-dir DIR
   univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
+  univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
   univsa tasks
   univsa help
+
+`profile` trains the task's paper configuration, reports per-epoch
+progress, measures per-sample inference latency percentiles, and replays
+the simulated hardware pipeline. Set UNIVSA_TELEMETRY=summary or
+UNIVSA_TELEMETRY=jsonl:<path> to capture the underlying spans.
 
 Built-in tasks: EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR (synthetic,
 with the paper's Table I geometry). CSV format: one sample per line,
@@ -147,6 +164,37 @@ impl Command {
                     csv: required(&flags, "csv")?,
                     rates,
                     seed,
+                })
+            }
+            "profile" => {
+                let flags = parse_flags(rest)?;
+                let seed = match flags_get(&flags, "seed") {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --seed {s:?}")))?,
+                    None => 42,
+                };
+                let epochs = match flags_get(&flags, "epochs") {
+                    Some(e) => Some(
+                        e.parse()
+                            .map_err(|_| ParseArgsError(format!("bad --epochs {e:?}")))?,
+                    ),
+                    None => None,
+                };
+                let samples = match flags_get(&flags, "samples") {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --samples {s:?}")))?,
+                    None => 64,
+                };
+                if samples == 0 {
+                    return Err(ParseArgsError("--samples must be at least 1".into()));
+                }
+                Ok(Command::Profile {
+                    task: required(&flags, "task")?,
+                    seed,
+                    epochs,
+                    samples,
                 })
             }
             other => Err(ParseArgsError(format!(
@@ -415,6 +463,41 @@ mod tests {
         let err = Command::parse(&argv("robustness --model m --csv d.csv --rates x")).unwrap_err();
         assert!(err.0.contains("bad rate"));
         assert!(Command::parse(&argv("robustness --csv d.csv")).is_err());
+    }
+
+    #[test]
+    fn profile_parses_with_defaults() {
+        let cmd = Command::parse(&argv("profile --task eegmmi")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                task: "eegmmi".into(),
+                seed: 42,
+                epochs: None,
+                samples: 64,
+            }
+        );
+        let cmd = Command::parse(&argv(
+            "profile --task ISOLET --seed 7 --epochs 5 --samples 16",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                task: "ISOLET".into(),
+                seed: 7,
+                epochs: Some(5),
+                samples: 16,
+            }
+        );
+    }
+
+    #[test]
+    fn profile_rejects_bad_values() {
+        assert!(Command::parse(&argv("profile")).is_err());
+        assert!(Command::parse(&argv("profile --task T --samples 0")).is_err());
+        assert!(Command::parse(&argv("profile --task T --epochs x")).is_err());
+        assert!(Command::parse(&argv("profile --task T --seed x")).is_err());
     }
 
     #[test]

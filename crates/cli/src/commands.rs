@@ -2,13 +2,16 @@
 
 use std::error::Error;
 use std::path::Path;
+use std::time::Instant;
 
 use univsa::{
-    load_model, save_model, FaultModel, FaultSpec, FaultTarget, TrainOptions, UniVsaConfig,
-    UniVsaModel, UniVsaTrainer,
+    load_model, save_model, EpochStats, FaultModel, FaultSpec, FaultTarget, TrainOptions,
+    UniVsaConfig, UniVsaModel, UniVsaTrainer,
 };
 use univsa_data::{csv, Dataset, TaskSpec};
-use univsa_hw::{export_weights, CostModel, HwConfig, HwReport, Protection, RtlGenerator};
+use univsa_hw::{
+    export_weights, CostModel, HwConfig, HwReport, Pipeline, Protection, RtlGenerator,
+};
 
 use crate::args::USAGE;
 use crate::Command;
@@ -185,7 +188,133 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             let data = csv::from_csv(&std::fs::read_to_string(&path)?, spec)?;
             run_robustness(&model, &data, &rates, seed, out)
         }
+        Command::Profile {
+            task,
+            seed,
+            epochs,
+            samples,
+        } => run_profile(&task, seed, epochs, samples, out),
     }
+}
+
+/// Trains a built-in task with its paper configuration and reports timing
+/// for all three layers: per-epoch training progress, per-sample inference
+/// latency percentiles, and the simulated hardware pipeline schedule.
+fn run_profile(
+    task: &str,
+    seed: u64,
+    epochs: Option<usize>,
+    samples: usize,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    let task = univsa_data::tasks::by_name(task, seed)
+        .ok_or_else(|| format!("unknown task {task:?}; run `univsa tasks`"))?;
+    let (d_h, d_l, d_k, o, theta) = univsa_data::tasks::paper_config_tuple(&task.spec.name)
+        .ok_or_else(|| format!("no paper configuration for task {:?}", task.spec.name))?;
+    let cfg = UniVsaConfig::for_task(&task.spec)
+        .d_h(d_h)
+        .d_l(d_l)
+        .d_k(d_k)
+        .out_channels(o)
+        .voters(theta)
+        .build()?;
+    let epochs = epochs.unwrap_or(if task.spec.features() <= 128 { 60 } else { 20 });
+    writeln!(
+        out,
+        "profiling {} — config {:?}, {} epochs, seed {seed}",
+        task.spec.name,
+        cfg.tuple(),
+        epochs
+    )?;
+
+    // training layer
+    let mut epoch_lines: Vec<String> = Vec::new();
+    let mut observer = |stats: &EpochStats| {
+        epoch_lines.push(format!(
+            "  epoch {:>3}/{}: loss {:.4}, train accuracy {:.4}, {:.1} ms",
+            stats.epoch + 1,
+            stats.epochs,
+            stats.loss,
+            stats.accuracy,
+            stats.duration.as_secs_f64() * 1e3
+        ));
+    };
+    let trainer = UniVsaTrainer::new(
+        cfg,
+        TrainOptions {
+            epochs,
+            ..TrainOptions::default()
+        },
+    );
+    let fit_start = Instant::now();
+    let outcome = trainer.fit_observed(&task.train, seed, &mut observer)?;
+    let fit_time = fit_start.elapsed();
+    for line in &epoch_lines {
+        writeln!(out, "{line}")?;
+    }
+    writeln!(
+        out,
+        "train: {} samples, {} epochs in {:.2} s ({:.1} ms/epoch)",
+        task.train.len(),
+        epochs,
+        fit_time.as_secs_f64(),
+        fit_time.as_secs_f64() * 1e3 / epochs.max(1) as f64
+    )?;
+    let accuracy = outcome.model.evaluate(&task.test)?;
+    writeln!(out, "test accuracy: {accuracy:.4}")?;
+
+    // inference layer: exact per-sample latencies over the test split
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(task.test.len());
+    for sample in task.test.samples() {
+        let t = Instant::now();
+        let _ = outcome.model.infer(&sample.values)?;
+        latencies_ns.push(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    latencies_ns.sort_unstable();
+    let pct = |q: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * q).round() as usize];
+    let mean = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64;
+    writeln!(
+        out,
+        "inference: {} samples — mean {:.1} µs, p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs",
+        latencies_ns.len(),
+        mean / 1e3,
+        pct(0.50) as f64 / 1e3,
+        pct(0.90) as f64 / 1e3,
+        pct(0.99) as f64 / 1e3
+    )?;
+
+    // hardware layer: streamed pipeline schedule with stage occupancy
+    let pipeline = Pipeline::new(HwConfig::new(outcome.model.config()));
+    let trace = pipeline.schedule(samples);
+    writeln!(
+        out,
+        "hardware: {} cycles/sample, initiation interval {} cycles, \
+         {} streamed samples in {} cycles",
+        pipeline.sample_latency_cycles(),
+        pipeline.initiation_interval_cycles(),
+        samples,
+        trace.makespan
+    )?;
+    for u in trace.stage_utilization() {
+        writeln!(
+            out,
+            "  {:>10}: {:>8} busy cycles ({:>5.1}% occupancy)",
+            u.stage.to_string(),
+            u.busy_cycles,
+            100.0 * u.utilization
+        )?;
+    }
+    if univsa_telemetry::enabled() {
+        writeln!(out, "telemetry: captured (flushed at exit)")?;
+    } else {
+        writeln!(
+            out,
+            "telemetry: off — set {}=summary or {}=jsonl:<path> to capture spans",
+            univsa_telemetry::ENV_VAR,
+            univsa_telemetry::ENV_VAR
+        )?;
+    }
+    Ok(())
 }
 
 /// Sweeps bit-flip fault rates over a loaded model and reports the
@@ -379,6 +508,33 @@ mod tests {
         assert!(zero_line.contains("no"), "{zero_line}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_reports_all_three_layers() {
+        let text = run_to_string(Command::Profile {
+            task: "bci3v".into(),
+            seed: 3,
+            epochs: Some(2),
+            samples: 4,
+        })
+        .unwrap();
+        assert!(text.contains("epoch   1/2"), "{text}");
+        assert!(text.contains("test accuracy"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("occupancy"), "{text}");
+    }
+
+    #[test]
+    fn profile_unknown_task_is_an_error() {
+        let err = run_to_string(Command::Profile {
+            task: "MNIST".into(),
+            seed: 1,
+            epochs: Some(1),
+            samples: 1,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown task"));
     }
 
     #[test]

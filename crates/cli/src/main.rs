@@ -16,7 +16,11 @@ fn main() -> ExitCode {
         }
     };
     let mut stdout = std::io::stdout().lock();
-    match run(command, &mut stdout) {
+    let outcome = run(command, &mut stdout);
+    if let Err(e) = univsa_telemetry::flush() {
+        eprintln!("warning: telemetry flush failed: {e}");
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,10 +1,22 @@
 //! Packed bitwise inference — the exact computation the paper's hardware
 //! performs.
 
+use std::time::Instant;
+
 use univsa_bits::{BitMatrix, BitVec, Bundler};
 use univsa_data::Dataset;
 
 use crate::{UniVsaError, UniVsaModel, ValueMap};
+
+/// Rolling stage timer for the inference pipeline: `None` (telemetry off)
+/// costs nothing; `Some` emits an `infer.<name>` span per stage and
+/// restarts the clock.
+fn stage_mark(timer: &mut Option<Instant>, name: &'static str) {
+    if let Some(t) = timer {
+        univsa_telemetry::record_span("infer", name, t.elapsed(), &[]);
+        *t = Instant::now();
+    }
+}
 
 /// All intermediates of one inference, for inspection, testing, and the
 /// hardware simulator (which replays the same pipeline cycle by cycle).
@@ -47,6 +59,7 @@ impl UniVsaModel {
     ///
     /// Returns [`UniVsaError::Input`] on geometry mismatch.
     pub fn trace(&self, values: &[u8]) -> Result<InferenceTrace, UniVsaError> {
+        let mut timer = univsa_telemetry::enabled().then(Instant::now);
         let cfg = self.config();
         let value_map = ValueMap::build(
             values,
@@ -56,12 +69,15 @@ impl UniVsaModel {
             cfg.width,
             cfg.length,
         )?;
+        stage_mark(&mut timer, "dvp");
         let conv_out = if cfg.enhancements.biconv {
             self.packed_conv(&value_map)
         } else {
             self.channels_as_rows(&value_map)
         };
+        stage_mark(&mut timer, "biconv");
         let encoded = self.encode_from_channels(&conv_out)?;
+        stage_mark(&mut timer, "encode");
         let similarities: Vec<Vec<i64>> = self
             .class_sets()
             .iter()
@@ -79,6 +95,10 @@ impl UniVsaModel {
             .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
             .map(|(i, _)| i)
             .unwrap_or(0);
+        stage_mark(&mut timer, "similarity");
+        if timer.is_some() {
+            univsa_telemetry::counter("infer.samples", 1);
+        }
         Ok(InferenceTrace {
             value_map,
             conv_out,

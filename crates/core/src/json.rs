@@ -1,19 +1,20 @@
-//! Minimal JSON reader/writer for the legacy v1 model container.
+//! Minimal JSON reader/writer (no external dependencies).
 //!
-//! The v1 format serialized [`crate::UniVsaModel`] through `serde_json`
-//! derive; this hand-rolled module replicates that exact document layout so
-//! v1 files keep loading after the workspace dropped its external
-//! dependencies. It is deliberately tiny: just enough of JSON for the model
-//! document (objects, arrays, strings, booleans, numbers), with unsigned
-//! 64-bit integers preserved exactly — packed weight words must not pass
-//! through an `f64`.
+//! Originally built for the legacy v1 model container (which serialized
+//! [`crate::UniVsaModel`] through `serde_json` derive — this module
+//! replicates that exact document layout so v1 files keep loading after
+//! the workspace dropped its external dependencies). It is public because
+//! downstream tooling also uses it to parse the telemetry JSONL stream and
+//! the perf-baseline report. Deliberately tiny: objects, arrays, strings,
+//! booleans, numbers — with unsigned 64-bit integers preserved exactly,
+//! because packed weight words must not pass through an `f64`.
 
 use std::fmt::Write as _;
 
 /// A parsed JSON value. Numbers keep an exact `u64` alongside the `f64`
 /// when the literal was a non-negative integer in range.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -30,7 +31,7 @@ pub(crate) enum Json {
 
 impl Json {
     /// Looks up a key of an object.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -38,7 +39,7 @@ impl Json {
     }
 
     /// The elements, when this is an array.
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -46,7 +47,7 @@ impl Json {
     }
 
     /// The boolean value, when this is a boolean.
-    pub(crate) fn as_bool(&self) -> Option<bool> {
+    pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
@@ -54,7 +55,7 @@ impl Json {
     }
 
     /// The exact unsigned value, when this was an unsigned-integer literal.
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(_, exact) => *exact,
             _ => None,
@@ -62,12 +63,12 @@ impl Json {
     }
 
     /// The exact value as `usize`.
-    pub(crate) fn as_usize(&self) -> Option<usize> {
+    pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().and_then(|v| usize::try_from(v).ok())
     }
 
     /// The numeric value, when this is any number.
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v, _) => Some(*v),
             _ => None,
@@ -76,7 +77,7 @@ impl Json {
 }
 
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
-pub(crate) fn parse(input: &[u8]) -> Result<Json, String> {
+pub fn parse(input: &[u8]) -> Result<Json, String> {
     let mut p = Parser { input, pos: 0 };
     p.skip_ws();
     let value = p.value()?;
@@ -268,7 +269,7 @@ impl Parser<'_> {
 
 /// Serializes a value back to compact JSON (the layout `serde_json` used:
 /// no whitespace, object fields in insertion order).
-pub(crate) fn write(value: &Json, out: &mut String) {
+pub fn write(value: &Json, out: &mut String) {
     match value {
         Json::Null => out.push_str("null"),
         Json::Bool(true) => out.push_str("true"),

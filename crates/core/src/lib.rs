@@ -60,10 +60,11 @@ mod export;
 mod fault;
 mod infer;
 mod integrity;
-mod json;
+pub mod json;
 mod mask;
 mod memory;
 mod model;
+mod observe;
 mod train;
 mod valuebox;
 
@@ -78,5 +79,6 @@ pub use integrity::{crc32, CheckedInference, IntegrityReport, ModelIntegrity};
 pub use mask::Mask;
 pub use memory::{resource_estimate, HardwareLoss, MemoryReport};
 pub use model::UniVsaModel;
+pub use observe::{EpochObserver, EpochStats};
 pub use train::{TrainHistory, TrainOptions, TrainOutcome, UniVsaTrainer};
 pub use valuebox::ValueBox;

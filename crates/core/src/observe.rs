@@ -1,0 +1,84 @@
+//! Observing the training loop.
+//!
+//! [`UniVsaTrainer::fit_observed`](crate::UniVsaTrainer::fit_observed)
+//! reports per-epoch statistics to an [`EpochObserver`] while it trains —
+//! the hook the CLI uses for live progress lines and the bench harness
+//! uses for wall-time accounting. Telemetry spans (`train.epoch`,
+//! `train.fit`) are emitted independently of the observer through the
+//! global [`univsa_telemetry`] registry, so `UNIVSA_TELEMETRY=jsonl:…`
+//! captures the training trajectory even with the no-op observer.
+
+use std::time::Duration;
+
+/// Statistics of one completed training epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Zero-based index of the completed epoch.
+    pub epoch: usize,
+    /// Total planned epochs of this fit.
+    pub epochs: usize,
+    /// Mean cross-entropy over the epoch's batches.
+    pub loss: f32,
+    /// Training accuracy from the training-time logits.
+    pub accuracy: f64,
+    /// Wall-clock duration of the epoch.
+    pub duration: Duration,
+}
+
+/// Receives training-loop progress from
+/// [`UniVsaTrainer::fit_observed`](crate::UniVsaTrainer::fit_observed).
+pub trait EpochObserver {
+    /// Called after every completed epoch.
+    fn on_epoch(&mut self, stats: &EpochStats);
+
+    /// Called once after the last epoch, with the total fit wall time.
+    fn on_fit_done(&mut self, epochs: usize, total: Duration) {
+        let _ = (epochs, total);
+    }
+}
+
+/// The no-op observer: `trainer.fit_observed(data, seed, &mut ())`.
+impl EpochObserver for () {
+    fn on_epoch(&mut self, _stats: &EpochStats) {}
+}
+
+/// Any `FnMut(&EpochStats)` closure is an observer.
+impl<F: FnMut(&EpochStats)> EpochObserver for F {
+    fn on_epoch(&mut self, stats: &EpochStats) {
+        self(stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_observer_is_noop() {
+        let mut obs = ();
+        obs.on_epoch(&EpochStats {
+            epoch: 0,
+            epochs: 1,
+            loss: 0.5,
+            accuracy: 0.9,
+            duration: Duration::from_millis(2),
+        });
+        obs.on_fit_done(1, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn closures_observe() {
+        let mut seen = Vec::new();
+        {
+            let mut obs = |s: &EpochStats| seen.push(s.epoch);
+            obs.on_epoch(&EpochStats {
+                epoch: 4,
+                epochs: 5,
+                loss: 0.1,
+                accuracy: 1.0,
+                duration: Duration::ZERO,
+            });
+        }
+        assert_eq!(seen, [4]);
+    }
+}

@@ -1,5 +1,7 @@
 //! LDC-style training of the UniVSA partial BNN.
 
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use univsa_bits::{BitMatrix, BitVec};
@@ -7,6 +9,7 @@ use univsa_data::Dataset;
 use univsa_nn::{softmax_cross_entropy, Adam, BatchIter, BinaryConv2d, BinaryLinear, Optimizer};
 use univsa_tensor::Tensor;
 
+use crate::observe::{EpochObserver, EpochStats};
 use crate::{EncodingLayer, Mask, UniVsaConfig, UniVsaError, UniVsaModel, ValueBox};
 
 /// Hyperparameters of the training loop.
@@ -99,6 +102,24 @@ impl UniVsaTrainer {
     /// geometry disagrees with the configuration, and propagates any
     /// internal shape error (which would indicate a bug in the wiring).
     pub fn fit(&self, train: &Dataset, seed: u64) -> Result<TrainOutcome, UniVsaError> {
+        self.fit_observed(train, seed, &mut ())
+    }
+
+    /// [`fit`](Self::fit) with an [`EpochObserver`] receiving per-epoch
+    /// loss/accuracy/duration and the total fit wall time. Telemetry
+    /// spans (`train.epoch`, `train.fit`) are emitted alongside whenever
+    /// the global registry is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`fit`](Self::fit).
+    pub fn fit_observed(
+        &self,
+        train: &Dataset,
+        seed: u64,
+        observer: &mut dyn EpochObserver,
+    ) -> Result<TrainOutcome, UniVsaError> {
+        let fit_start = Instant::now();
         let cfg = &self.config;
         let opt = &self.options;
         self.check_dataset(train)?;
@@ -140,7 +161,9 @@ impl UniVsaTrainer {
             epoch_accuracy: Vec::with_capacity(opt.epochs),
         };
 
-        for _epoch in 0..opt.epochs {
+        for epoch in 0..opt.epochs {
+            let epoch_start = Instant::now();
+            let epoch_span = univsa_telemetry::span("train", "epoch");
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             let mut correct = 0usize;
@@ -293,10 +316,23 @@ impl UniVsaTrainer {
                     head.weight_mut().clip(opt.weight_clip);
                 }
             }
-            history
-                .epoch_loss
-                .push((epoch_loss / batches.max(1) as f64) as f32);
-            history.epoch_accuracy.push(correct as f64 / n as f64);
+            let loss = (epoch_loss / batches.max(1) as f64) as f32;
+            let accuracy = correct as f64 / n as f64;
+            history.epoch_loss.push(loss);
+            history.epoch_accuracy.push(accuracy);
+            drop(
+                epoch_span
+                    .field("epoch", epoch)
+                    .field("loss", loss)
+                    .field("accuracy", accuracy),
+            );
+            observer.on_epoch(&EpochStats {
+                epoch,
+                epochs: opt.epochs,
+                loss,
+                accuracy,
+                duration: epoch_start.elapsed(),
+            });
         }
 
         // Export the packed deployment model.
@@ -317,6 +353,18 @@ impl UniVsaTrainer {
             .map(|h| pack_rows(&h.binary_weight(), cfg.classes, d))
             .collect::<Result<Vec<_>, _>>()?;
         let model = UniVsaModel::from_parts(cfg.clone(), mask, v_h, v_l, kernel, f, c)?;
+        let total = fit_start.elapsed();
+        univsa_telemetry::record_span(
+            "train",
+            "fit",
+            total,
+            &[
+                ("epochs", opt.epochs.into()),
+                ("samples", n.into()),
+                ("seed", seed.into()),
+            ],
+        );
+        observer.on_fit_done(opt.epochs, total);
         Ok(TrainOutcome { model, history })
     }
 
@@ -539,6 +587,50 @@ mod tests {
         let empty = Dataset::new(spec, vec![]).unwrap();
         let trainer = UniVsaTrainer::new(tiny_config(Enhancements::all()), tiny_options());
         assert!(trainer.fit(&empty, 0).is_err());
+    }
+
+    #[test]
+    fn observer_sees_every_epoch() {
+        struct Recorder {
+            epochs: Vec<usize>,
+            losses: Vec<f32>,
+            total: Option<std::time::Duration>,
+        }
+        impl crate::EpochObserver for Recorder {
+            fn on_epoch(&mut self, stats: &crate::EpochStats) {
+                assert_eq!(stats.epochs, 8);
+                self.epochs.push(stats.epoch);
+                self.losses.push(stats.loss);
+            }
+            fn on_fit_done(&mut self, epochs: usize, total: std::time::Duration) {
+                assert_eq!(epochs, 8);
+                self.total = Some(total);
+            }
+        }
+        let (train, _) = tiny_task(6);
+        let trainer = UniVsaTrainer::new(tiny_config(Enhancements::all()), tiny_options());
+        let mut rec = Recorder {
+            epochs: Vec::new(),
+            losses: Vec::new(),
+            total: None,
+        };
+        let outcome = trainer.fit_observed(&train, 3, &mut rec).unwrap();
+        assert_eq!(rec.epochs, (0..8).collect::<Vec<_>>());
+        assert_eq!(rec.losses, outcome.history.epoch_loss);
+        assert!(rec.total.is_some());
+    }
+
+    #[test]
+    fn closure_observer_matches_history() {
+        let (train, _) = tiny_task(7);
+        let trainer = UniVsaTrainer::new(tiny_config(Enhancements::all()), tiny_options());
+        let mut accs = Vec::new();
+        let outcome = trainer
+            .fit_observed(&train, 3, &mut |s: &crate::EpochStats| {
+                accs.push(s.accuracy)
+            })
+            .unwrap();
+        assert_eq!(accs, outcome.history.epoch_accuracy);
     }
 
     /// The exported packed model must reproduce the float network's

@@ -147,6 +147,35 @@ pub fn all(seed: u64) -> Vec<Task> {
     ]
 }
 
+/// A `(D_H, D_L, D_K, O, Θ)` model tuple.
+pub type ConfigTuple = (usize, usize, usize, usize, usize);
+
+/// The paper's Table I: per-task `(D_H, D_L, D_K, O, Θ)` configurations,
+/// in the same order as [`all`].
+pub const PAPER_CONFIGS: [(&str, ConfigTuple); 6] = [
+    ("EEGMMI", (8, 2, 3, 95, 1)),
+    ("BCI-III-V", (8, 1, 3, 151, 3)),
+    ("CHB-B", (8, 2, 3, 16, 3)),
+    ("CHB-IB", (4, 1, 5, 16, 1)),
+    ("ISOLET", (4, 4, 3, 22, 3)),
+    ("HAR", (8, 4, 3, 18, 3)),
+];
+
+/// Looks up a task's Table I configuration tuple by name
+/// (case-insensitive, accepting the same aliases as [`by_name`]).
+pub fn paper_config_tuple(name: &str) -> Option<ConfigTuple> {
+    let upper = name.to_ascii_uppercase();
+    let canon = if upper == "BCI3V" {
+        "BCI-III-V"
+    } else {
+        &upper
+    };
+    PAPER_CONFIGS
+        .iter()
+        .find(|(n, _)| *n == canon)
+        .map(|(_, tuple)| *tuple)
+}
+
 /// Looks a task up by its Table I name (case-insensitive).
 pub fn by_name(name: &str, seed: u64) -> Option<Task> {
     match name.to_ascii_uppercase().as_str() {
@@ -199,6 +228,16 @@ mod tests {
     #[test]
     fn by_name_unknown_is_none() {
         assert!(by_name("MNIST", 0).is_none());
+    }
+
+    #[test]
+    fn paper_config_tuple_covers_every_task() {
+        for task in all(0) {
+            assert!(paper_config_tuple(&task.spec.name).is_some());
+        }
+        assert_eq!(paper_config_tuple("eegmmi"), Some((8, 2, 3, 95, 1)));
+        assert_eq!(paper_config_tuple("bci3v"), paper_config_tuple("BCI-III-V"));
+        assert!(paper_config_tuple("MNIST").is_none());
     }
 
     #[test]

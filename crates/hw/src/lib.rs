@@ -58,7 +58,7 @@ mod stage;
 
 pub use config::{HwConfig, Protection};
 pub use cost::CostModel;
-pub use pipeline::{Pipeline, ScheduleEntry, ScheduleTrace};
+pub use pipeline::{Pipeline, ScheduleEntry, ScheduleTrace, StageUtilization};
 pub use report::{HwReport, StageBreakdown};
 pub use rtl::{export_weights, RtlBundle, RtlFile, RtlGenerator};
 pub use seu::{SeuCampaign, SeuOutcome};

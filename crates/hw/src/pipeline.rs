@@ -24,20 +24,64 @@ pub struct ScheduleTrace {
     pub makespan: u64,
 }
 
+/// Occupancy of one pipeline module over a schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageUtilization {
+    /// The module.
+    pub stage: Stage,
+    /// Cycles the module spent executing samples.
+    pub busy_cycles: u64,
+    /// `busy_cycles / makespan` (0 for an empty schedule; a module that
+    /// is never idle scores 1).
+    pub utilization: f64,
+}
+
 impl ScheduleTrace {
     /// Entries of one sample in dataflow order.
     pub fn sample_entries(&self, sample: usize) -> Vec<&ScheduleEntry> {
         self.entries.iter().filter(|e| e.sample == sample).collect()
     }
 
-    /// Renders an ASCII timeline (one row per stage), matching the bottom-
-    /// right schedule diagram of the paper's Fig. 5.
+    /// Busy cycles a stage spent executing over this schedule.
+    pub fn stage_busy_cycles(&self, stage: Stage) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.stage == stage)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Per-stage occupancy (busy cycles / makespan) in dataflow order —
+    /// the utilization counters surfaced by [`Pipeline::schedule`]. A
+    /// module that is not instantiated (BiConv off) reports 0 busy cycles.
+    pub fn stage_utilization(&self) -> Vec<StageUtilization> {
+        Stage::ALL
+            .iter()
+            .map(|&stage| {
+                let busy_cycles = self.stage_busy_cycles(stage);
+                let utilization = if self.makespan == 0 {
+                    0.0
+                } else {
+                    busy_cycles as f64 / self.makespan as f64
+                };
+                StageUtilization {
+                    stage,
+                    busy_cycles,
+                    utilization,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders an ASCII timeline (one row per stage, annotated with that
+    /// stage's occupancy), matching the bottom-right schedule diagram of
+    /// the paper's Fig. 5.
     pub fn ascii_timeline(&self, columns: usize) -> String {
         let mut out = String::new();
         let scale = (self.makespan.max(1) as f64) / columns as f64;
-        for stage in Stage::ALL {
+        for u in self.stage_utilization() {
             let mut row = vec![b'.'; columns];
-            for e in self.entries.iter().filter(|e| e.stage == stage) {
+            for e in self.entries.iter().filter(|e| e.stage == u.stage) {
                 let from = (e.start as f64 / scale) as usize;
                 let to = (((e.end as f64) / scale) as usize).min(columns);
                 let glyph = b'0' + (e.sample % 10) as u8;
@@ -45,7 +89,11 @@ impl ScheduleTrace {
                     *slot = glyph;
                 }
             }
-            out.push_str(&format!("{stage:>10} |"));
+            out.push_str(&format!(
+                "{:>10} {:>5.1}% |",
+                u.stage.to_string(),
+                100.0 * u.utilization
+            ));
             out.push_str(std::str::from_utf8(&row).expect("ascii"));
             out.push('\n');
         }
@@ -162,7 +210,26 @@ impl Pipeline {
             makespan = makespan.max(ready);
         }
         entries.sort_by_key(|e| (e.start, e.sample));
-        ScheduleTrace { entries, makespan }
+        let trace = ScheduleTrace { entries, makespan };
+        if univsa_telemetry::enabled() {
+            for u in trace.stage_utilization() {
+                let name = u.stage.to_string().to_lowercase();
+                univsa_telemetry::counter(&format!("hw.{name}.busy_cycles"), u.busy_cycles);
+            }
+            univsa_telemetry::event(
+                "hw",
+                "schedule",
+                &[
+                    ("samples", samples.into()),
+                    ("makespan_cycles", trace.makespan.into()),
+                    (
+                        "initiation_interval_cycles",
+                        self.initiation_interval_cycles().into(),
+                    ),
+                ],
+            );
+        }
+        trace
     }
 }
 
@@ -323,6 +390,47 @@ mod tests {
         let p = pipeline();
         let art = p.schedule(3).ascii_timeline(64);
         assert!(art.contains("BiConv"));
+        assert!(art.contains('%'));
         assert!(art.lines().count() >= 4);
+    }
+
+    #[test]
+    fn stage_utilization_matches_entries() {
+        let p = pipeline();
+        let trace = p.schedule(8);
+        let util = trace.stage_utilization();
+        assert_eq!(util.len(), Stage::ALL.len());
+        for u in &util {
+            let expect: u64 = trace
+                .entries
+                .iter()
+                .filter(|e| e.stage == u.stage)
+                .map(|e| e.end - e.start)
+                .sum();
+            assert_eq!(u.busy_cycles, expect);
+            let ratio = expect as f64 / trace.makespan as f64;
+            assert!((u.utilization - ratio).abs() < 1e-12);
+            assert!(u.utilization <= 1.0, "{} over 100%", u.stage);
+        }
+        // the bottleneck stage approaches full occupancy on a long stream
+        let long = p.schedule(64);
+        let biconv = long
+            .stage_utilization()
+            .into_iter()
+            .find(|u| u.stage == Stage::BiConv)
+            .unwrap();
+        assert!(biconv.utilization > 0.9, "BiConv {}", biconv.utilization);
+    }
+
+    #[test]
+    fn stage_utilization_empty_schedule_is_zero() {
+        let trace = ScheduleTrace {
+            entries: Vec::new(),
+            makespan: 0,
+        };
+        for u in trace.stage_utilization() {
+            assert_eq!(u.busy_cycles, 0);
+            assert_eq!(u.utilization, 0.0);
+        }
     }
 }

@@ -192,4 +192,38 @@ mod tests {
         let cm = ConfusionMatrix::new(2);
         assert!(cm.to_string().contains("confusion"));
     }
+
+    #[test]
+    fn zero_class_matrix_is_empty_but_usable() {
+        let cm = ConfusionMatrix::new(0);
+        assert_eq!(cm.classes(), 0);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.balanced_accuracy(), 0.0);
+        assert!(cm.to_string().contains("0 classes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_class_matrix_rejects_records() {
+        ConfusionMatrix::new(0).record(0, 0);
+    }
+
+    #[test]
+    fn single_class_matrix() {
+        let mut cm = ConfusionMatrix::new(1);
+        assert_eq!(cm.recall(0), None);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        assert_eq!(cm.total(), 2);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.recall(0), Some(1.0));
+        assert_eq!(cm.balanced_accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prediction 1 out of range")]
+    fn single_class_matrix_rejects_other_predictions() {
+        ConfusionMatrix::new(1).record(0, 1);
+    }
 }

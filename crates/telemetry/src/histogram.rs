@@ -1,0 +1,217 @@
+//! Fixed-bucket latency histogram.
+
+/// Upper bucket bounds in nanoseconds (inclusive), covering 1 µs … 60 s in
+/// a 1-2-5 progression; values above the last bound land in the overflow
+/// bucket. The bounds are compile-time constants so every histogram in a
+/// process shares one layout and merging is index-wise addition.
+pub const BUCKET_BOUNDS_NS: [u64; 24] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    30_000_000_000,
+    60_000_000_000,
+];
+
+/// A fixed-bucket histogram of durations (nanoseconds). Buckets follow
+/// [`BUCKET_BOUNDS_NS`] plus one overflow bucket; exact `count`/`sum`/
+/// `min`/`max` ride alongside so means stay precise even though
+/// percentiles are bucket-resolution estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKET_BOUNDS_NS.len() + 1],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKET_BOUNDS_NS.len() + 1],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Index of the bucket a value falls into (last index = overflow).
+    pub fn bucket_index(value_ns: u64) -> usize {
+        BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| value_ns <= bound)
+            .unwrap_or(BUCKET_BOUNDS_NS.len())
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, value_ns: u64) {
+        self.counts[Self::bucket_index(value_ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(value_ns);
+        self.min_ns = self.min_ns.min(value_ns);
+        self.max_ns = self.max_ns.max(value_ns);
+    }
+
+    /// Total recorded observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bucket observation counts (overflow last).
+    #[inline]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Exact sum of all observations, in nanoseconds.
+    #[inline]
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Exact mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ns)
+    }
+
+    /// Bucket-resolution percentile estimate: the upper bound of the
+    /// bucket containing the `q`-quantile observation (clamped to the
+    /// exact max for the overflow bucket). `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile_ns(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        // rank of the q-quantile observation, 1-based
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let bound = BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(self.max_ns);
+                return Some(bound.min(self.max_ns));
+            }
+        }
+        Some(self.max_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        // exactly on a bound -> that bucket; one past -> the next
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1_000), 0);
+        assert_eq!(Histogram::bucket_index(1_001), 1);
+        assert_eq!(Histogram::bucket_index(2_000), 1);
+        assert_eq!(Histogram::bucket_index(5_000), 2);
+        assert_eq!(Histogram::bucket_index(1_000_000), 9);
+        assert_eq!(Histogram::bucket_index(60_000_000_000), 23);
+        // past the last bound -> overflow bucket
+        assert_eq!(Histogram::bucket_index(60_000_000_001), 24);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 24);
+    }
+
+    #[test]
+    fn bounds_strictly_increase() {
+        for pair in BUCKET_BOUNDS_NS.windows(2) {
+            assert!(pair[0] < pair[1], "bounds must increase: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn record_updates_exact_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.percentile_ns(0.5), None);
+        h.record(1_500);
+        h.record(900);
+        h.record(7_000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_ns(), 9_400);
+        assert_eq!(h.min_ns(), Some(900));
+        assert_eq!(h.max_ns(), Some(7_000));
+        assert!((h.mean_ns() - 9_400.0 / 3.0).abs() < 1e-9);
+        // buckets: 900 -> 0, 1_500 -> 1, 7_000 -> 3
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.bucket_counts()[1], 1);
+        assert_eq!(h.bucket_counts()[3], 1);
+    }
+
+    #[test]
+    fn percentile_is_bucket_resolution() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1_500); // bucket (1µs, 2µs]
+        }
+        h.record(400_000); // bucket (200µs, 500µs]
+        assert_eq!(h.percentile_ns(0.5), Some(2_000));
+        // the p100 observation sits in the 500µs bucket, clamped to max
+        assert_eq!(h.percentile_ns(1.0), Some(400_000));
+    }
+
+    #[test]
+    fn overflow_percentile_clamps_to_max() {
+        let mut h = Histogram::new();
+        h.record(90_000_000_000);
+        assert_eq!(h.bucket_counts()[BUCKET_BOUNDS_NS.len()], 1);
+        assert_eq!(h.percentile_ns(0.5), Some(90_000_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_rejects_bad_quantile() {
+        Histogram::new().percentile_ns(1.5);
+    }
+}

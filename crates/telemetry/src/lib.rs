@@ -1,0 +1,183 @@
+//! # univsa-telemetry
+//!
+//! Dependency-free observability for the UniVSA stack: wall-clock spans,
+//! monotonic counters, and fixed-bucket latency histograms behind one
+//! global, environment-gated registry.
+//!
+//! ## Gating
+//!
+//! The global registry is configured once, from `UNIVSA_TELEMETRY`:
+//!
+//! | value | behaviour |
+//! |---|---|
+//! | unset / `off` | everything is a no-op (one atomic load per call) |
+//! | `summary` | aggregates kept in memory; [`flush`] prints a table to stderr |
+//! | `jsonl:<path>` | every span/event appended to `<path>` as JSON lines |
+//!
+//! Instrumented hot paths (per-sample inference, per-epoch training, the
+//! cycle-level hardware schedule) therefore cost nothing in production:
+//! when the mode is `off` no clock is read and no lock is taken.
+//!
+//! ## Usage
+//!
+//! ```
+//! // a timed span: records a `layer.name` histogram entry on drop
+//! {
+//!     let _span = univsa_telemetry::span("train", "epoch").field("epoch", 3u64);
+//!     // ... work ...
+//! }
+//! univsa_telemetry::counter("train.samples", 128);
+//! univsa_telemetry::event("bench", "starting sweep", &[]);
+//! univsa_telemetry::flush().unwrap();
+//! ```
+//!
+//! Library code uses the free functions above (they hit the global
+//! registry); tests construct private [`Registry`] instances directly so
+//! they stay independent of the process environment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+
+pub use histogram::{Histogram, BUCKET_BOUNDS_NS};
+pub use registry::{Mode, Registry, Span, Value};
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// The environment variable gating the global registry.
+pub const ENV_VAR: &str = "UNIVSA_TELEMETRY";
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// Builds a registry from an `UNIVSA_TELEMETRY`-style value.
+///
+/// # Errors
+///
+/// Returns a user-facing message for an unrecognized mode or an
+/// uncreatable JSONL path.
+pub fn registry_from_spec(spec: &str) -> Result<Registry, String> {
+    let spec = spec.trim();
+    if spec.is_empty() || spec.eq_ignore_ascii_case("off") {
+        return Ok(Registry::disabled());
+    }
+    if spec.eq_ignore_ascii_case("summary") {
+        return Ok(Registry::summary());
+    }
+    if let Some(path) = spec.strip_prefix("jsonl:") {
+        if path.is_empty() {
+            return Err("jsonl mode needs a path: UNIVSA_TELEMETRY=jsonl:<path>".into());
+        }
+        return Registry::jsonl_file(path)
+            .map_err(|e| format!("cannot open telemetry sink {path:?}: {e}"));
+    }
+    Err(format!(
+        "unrecognized {ENV_VAR} value {spec:?} (expected off | summary | jsonl:<path>)"
+    ))
+}
+
+/// The process-wide registry, initialized from [`ENV_VAR`] on first use.
+/// A malformed value disables telemetry with one warning on stderr rather
+/// than failing the host program.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(|| match std::env::var(ENV_VAR) {
+        Err(_) => Registry::disabled(),
+        Ok(spec) => registry_from_spec(&spec).unwrap_or_else(|msg| {
+            eprintln!("warning: telemetry disabled: {msg}");
+            Registry::disabled()
+        }),
+    })
+}
+
+/// Whether the global registry records anything (one atomic load).
+#[inline]
+pub fn enabled() -> bool {
+    global().is_enabled()
+}
+
+/// Opens a timed span on the global registry (inert when telemetry is
+/// off). The span records a `layer.name` latency histogram entry — and in
+/// JSONL mode one line — when dropped.
+#[must_use = "a span measures until it is dropped"]
+pub fn span(layer: &'static str, name: &'static str) -> Span<'static> {
+    global().span(layer, name)
+}
+
+/// Adds `delta` to a named counter on the global registry.
+pub fn counter(name: &str, delta: u64) {
+    global().counter(name, delta);
+}
+
+/// Records a duration into a named histogram on the global registry.
+pub fn record_duration(name: &str, duration: Duration) {
+    global().record_duration(name, duration);
+}
+
+/// Records an already-measured span on the global registry.
+pub fn record_span(
+    layer: &'static str,
+    name: &'static str,
+    duration: Duration,
+    fields: &[(&'static str, Value)],
+) {
+    global().record_span(layer, name, duration, fields);
+}
+
+/// Emits a point-in-time event on the global registry.
+pub fn event(layer: &'static str, message: &str, fields: &[(&'static str, Value)]) {
+    global().event(layer, message, fields);
+}
+
+/// Flushes the global registry (writes JSONL aggregates / prints the
+/// summary table).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the JSONL sink.
+pub fn flush() -> std::io::Result<()> {
+    global().flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(registry_from_spec("off").unwrap().mode(), Mode::Off);
+        assert_eq!(registry_from_spec("").unwrap().mode(), Mode::Off);
+        assert_eq!(registry_from_spec("OFF").unwrap().mode(), Mode::Off);
+        assert_eq!(registry_from_spec("summary").unwrap().mode(), Mode::Summary);
+        assert!(registry_from_spec("jsonl:").is_err());
+        assert!(registry_from_spec("csv:/tmp/x").is_err());
+    }
+
+    #[test]
+    fn jsonl_spec_opens_file() {
+        let path = std::env::temp_dir().join(format!("univsa_tel_{}.jsonl", std::process::id()));
+        let spec = format!("jsonl:{}", path.display());
+        let reg = registry_from_spec(&spec).unwrap();
+        assert_eq!(reg.mode(), Mode::Jsonl);
+        {
+            let _s = reg.span("t", "s");
+        }
+        reg.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"type\":\"span\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn global_defaults_off_without_env() {
+        // The test harness does not set UNIVSA_TELEMETRY, so the global
+        // registry must be inert and free to call.
+        if std::env::var(ENV_VAR).is_err() {
+            assert!(!enabled());
+            let _s = span("t", "noop");
+            counter("c", 1);
+            flush().unwrap();
+        }
+    }
+}

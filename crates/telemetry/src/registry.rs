@@ -1,0 +1,636 @@
+//! The telemetry registry: spans, counters, events, and export.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+
+/// What the registry does with recorded data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Nothing is recorded; every call is a no-op.
+    Off,
+    /// Aggregates (counters + histograms) are kept in memory and rendered
+    /// as a human-readable table by [`Registry::flush`].
+    Summary,
+    /// Every span and event is appended to a JSONL sink as it completes;
+    /// aggregates are additionally dumped at flush.
+    Jsonl,
+}
+
+impl Mode {
+    const OFF: u8 = 0;
+    const SUMMARY: u8 = 1;
+    const JSONL: u8 = 2;
+
+    fn from_u8(v: u8) -> Mode {
+        match v {
+            Self::SUMMARY => Mode::Summary,
+            Self::JSONL => Mode::Jsonl,
+            _ => Mode::Off,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Mode::Off => Self::OFF,
+            Mode::Summary => Self::SUMMARY,
+            Mode::Jsonl => Self::JSONL,
+        }
+    }
+}
+
+/// A field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Text.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(f64::from(v))
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => write_json_str(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn write_fields(out: &mut String, fields: &[(&'static str, Value)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_json_str(out, k);
+        out.push(':');
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Where JSONL lines go.
+enum Sink {
+    None,
+    File(std::io::BufWriter<std::fs::File>),
+    /// In-memory sink, for tests and round-trip validation.
+    Buffer(Vec<u8>),
+}
+
+struct State {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    sink: Sink,
+}
+
+/// A telemetry registry: the sink for spans, counters, and events of one
+/// process (usually accessed through [`crate::global`]).
+///
+/// When the mode is [`Mode::Off`] every entry point returns after a single
+/// atomic load — no clocks are read and no locks are taken.
+pub struct Registry {
+    mode: AtomicU8,
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("mode", &self.mode())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    fn with_sink(mode: Mode, sink: Sink) -> Self {
+        Self {
+            mode: AtomicU8::new(mode.as_u8()),
+            epoch: Instant::now(),
+            state: Mutex::new(State {
+                counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                sink,
+            }),
+        }
+    }
+
+    /// A registry that records nothing.
+    pub fn disabled() -> Self {
+        Self::with_sink(Mode::Off, Sink::None)
+    }
+
+    /// A summary-mode registry (aggregates only).
+    pub fn summary() -> Self {
+        Self::with_sink(Mode::Summary, Sink::None)
+    }
+
+    /// A JSONL registry writing to an in-memory buffer (drain it with
+    /// [`Registry::take_buffer`]).
+    pub fn jsonl_buffer() -> Self {
+        Self::with_sink(Mode::Jsonl, Sink::Buffer(Vec::new()))
+    }
+
+    /// A JSONL registry appending to the file at `path` (created or
+    /// truncated).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn jsonl_file(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::with_sink(
+            Mode::Jsonl,
+            Sink::File(std::io::BufWriter::new(file)),
+        ))
+    }
+
+    /// The active mode.
+    #[inline]
+    pub fn mode(&self) -> Mode {
+        Mode::from_u8(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Whether any recording is active. One relaxed atomic load — cheap
+    /// enough for per-sample hot paths.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.mode.load(Ordering::Relaxed) != Mode::OFF
+    }
+
+    /// Microseconds since the registry was created (span timestamps).
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Opens a timed span. The span records a `layer.name` latency
+    /// histogram entry on drop and, in JSONL mode, one line per span.
+    /// No-op (no clock read) when the registry is off.
+    #[must_use = "a span measures until it is dropped"]
+    pub fn span(&self, layer: &'static str, name: &'static str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span { inner: None };
+        }
+        Span {
+            inner: Some(SpanInner {
+                registry: self,
+                layer,
+                name,
+                start_us: self.now_us(),
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records an already-measured span (the span ended now and lasted
+    /// `duration`). Hot paths that time stages with one rolling
+    /// [`Instant`] use this instead of nesting RAII guards.
+    pub fn record_span(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        duration: Duration,
+        fields: &[(&'static str, Value)],
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let dur_us = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
+        let start_us = self.now_us().saturating_sub(dur_us);
+        self.finish_span(layer, name, start_us, duration, fields);
+    }
+
+    /// Adds `delta` to a named monotonic counter.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        *state.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Records a duration into the named latency histogram without a span.
+    pub fn record_duration(&self, name: &str, duration: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(ns);
+    }
+
+    /// Emits a point-in-time event (a progress message with fields).
+    pub fn event(&self, layer: &'static str, message: &str, fields: &[(&'static str, Value)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts = self.now_us();
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        *state.counters.entry(format!("{layer}.events")).or_insert(0) += 1;
+        if self.mode() == Mode::Jsonl {
+            let mut line = String::with_capacity(96);
+            let _ = write!(line, "{{\"type\":\"event\",\"ts_us\":{ts},\"layer\":");
+            write_json_str(&mut line, layer);
+            line.push_str(",\"message\":");
+            write_json_str(&mut line, message);
+            line.push_str(",\"fields\":");
+            write_fields(&mut line, fields);
+            line.push('}');
+            Self::write_line(&mut state.sink, &line);
+        }
+    }
+
+    fn finish_span(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        start_us: u64,
+        elapsed: Duration,
+        fields: &[(&'static str, Value)],
+    ) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        state
+            .histograms
+            .entry(format!("{layer}.{name}"))
+            .or_default()
+            .record(ns);
+        if self.mode() == Mode::Jsonl {
+            let mut line = String::with_capacity(128);
+            let _ = write!(
+                line,
+                "{{\"type\":\"span\",\"start_us\":{start_us},\"layer\":"
+            );
+            write_json_str(&mut line, layer);
+            line.push_str(",\"name\":");
+            write_json_str(&mut line, name);
+            let _ = write!(line, ",\"dur_ns\":{ns},\"fields\":");
+            write_fields(&mut line, fields);
+            line.push('}');
+            Self::write_line(&mut state.sink, &line);
+        }
+    }
+
+    fn write_line(sink: &mut Sink, line: &str) {
+        match sink {
+            Sink::None => {}
+            Sink::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+            Sink::Buffer(buf) => {
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+            }
+        }
+    }
+
+    /// Renders the aggregated counters and histograms as a human-readable
+    /// table (empty string when nothing was recorded).
+    pub fn summary_text(&self) -> String {
+        let state = self.state.lock().expect("telemetry state poisoned");
+        if state.counters.is_empty() && state.histograms.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        if !state.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>11} {:>11} {:>11} {:>11}",
+                "span/duration", "count", "mean", "p50", "p99", "max"
+            );
+            for (name, h) in &state.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>8} {:>11} {:>11} {:>11} {:>11}",
+                    name,
+                    h.count(),
+                    fmt_ns(h.mean_ns() as u64),
+                    fmt_ns(h.percentile_ns(0.5).unwrap_or(0)),
+                    fmt_ns(h.percentile_ns(0.99).unwrap_or(0)),
+                    fmt_ns(h.max_ns().unwrap_or(0)),
+                );
+            }
+        }
+        if !state.counters.is_empty() {
+            let _ = writeln!(out, "{:<28} {:>8}", "counter", "value");
+            for (name, v) in &state.counters {
+                let _ = writeln!(out, "{:<28} {:>8}", name, v);
+            }
+        }
+        out
+    }
+
+    /// Flushes the JSONL sink (appending one `counter` line per counter
+    /// and one `histogram` line per histogram) and, in summary mode,
+    /// prints the summary table to stderr.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file sink cannot be flushed.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match self.mode() {
+            Mode::Off => Ok(()),
+            Mode::Summary => {
+                let text = self.summary_text();
+                if !text.is_empty() {
+                    eprint!("--- telemetry summary ---\n{text}");
+                }
+                Ok(())
+            }
+            Mode::Jsonl => {
+                let mut state = self.state.lock().expect("telemetry state poisoned");
+                let counter_lines: Vec<String> = state
+                    .counters
+                    .iter()
+                    .map(|(name, v)| {
+                        let mut line = String::new();
+                        line.push_str("{\"type\":\"counter\",\"name\":");
+                        write_json_str(&mut line, name);
+                        let _ = write!(line, ",\"value\":{v}}}");
+                        line
+                    })
+                    .collect();
+                let histogram_lines: Vec<String> = state
+                    .histograms
+                    .iter()
+                    .map(|(name, h)| {
+                        let mut line = String::new();
+                        line.push_str("{\"type\":\"histogram\",\"name\":");
+                        write_json_str(&mut line, name);
+                        let _ = write!(
+                            line,
+                            ",\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                            h.count(),
+                            h.sum_ns(),
+                            h.mean_ns() as u64,
+                            h.percentile_ns(0.5).unwrap_or(0),
+                            h.percentile_ns(0.99).unwrap_or(0),
+                            h.max_ns().unwrap_or(0),
+                        );
+                        line
+                    })
+                    .collect();
+                for line in counter_lines.iter().chain(&histogram_lines) {
+                    Self::write_line(&mut state.sink, line);
+                }
+                match &mut state.sink {
+                    Sink::File(w) => w.flush(),
+                    _ => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Drains and returns the in-memory JSONL buffer (empty for other
+    /// sinks). Useful in tests.
+    pub fn take_buffer(&self) -> Vec<u8> {
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        match &mut state.sink {
+            Sink::Buffer(buf) => std::mem::take(buf),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Value of a counter (0 when never written).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let state = self.state.lock().expect("telemetry state poisoned");
+        state.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of a named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let state = self.state.lock().expect("telemetry state poisoned");
+        state.histograms.get(name).cloned()
+    }
+
+    /// Names of all recorded histograms.
+    pub fn histogram_names(&self) -> Vec<String> {
+        let state = self.state.lock().expect("telemetry state poisoned");
+        state.histograms.keys().cloned().collect()
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+struct SpanInner<'a> {
+    registry: &'a Registry,
+    layer: &'static str,
+    name: &'static str,
+    start_us: u64,
+    start: Instant,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// An open timed span; records itself when dropped. Obtained from
+/// [`Registry::span`] (or [`crate::span`]). When telemetry is off the span
+/// is inert and costs nothing.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span<'a> {
+    inner: Option<SpanInner<'a>>,
+}
+
+impl Span<'_> {
+    /// Attaches a field to the span's JSONL record (no-op when inert).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Whether this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.registry.finish_span(
+                inner.layer,
+                inner.name,
+                inner.start_us,
+                inner.start.elapsed(),
+                &inner.fields,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_mode_is_a_no_op() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        {
+            let span = reg.span("t", "x").field("k", 1u64);
+            assert!(!span.is_recording());
+        }
+        reg.counter("c", 5);
+        reg.record_duration("d", Duration::from_millis(1));
+        reg.event("t", "hello", &[]);
+        assert_eq!(reg.counter_value("c"), 0);
+        assert!(reg.histogram_names().is_empty());
+        assert!(reg.summary_text().is_empty());
+        assert!(reg.take_buffer().is_empty());
+        reg.flush().unwrap();
+    }
+
+    #[test]
+    fn summary_aggregates_spans_and_counters() {
+        let reg = Registry::summary();
+        {
+            let _s = reg.span("train", "epoch").field("epoch", 0u64);
+        }
+        reg.counter("train.samples", 32);
+        reg.counter("train.samples", 8);
+        let h = reg.histogram("train.epoch").expect("span recorded");
+        assert_eq!(h.count(), 1);
+        assert_eq!(reg.counter_value("train.samples"), 40);
+        let text = reg.summary_text();
+        assert!(text.contains("train.epoch"), "{text}");
+        assert!(text.contains("train.samples"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_emitted_per_span_and_event() {
+        let reg = Registry::jsonl_buffer();
+        {
+            let _s = reg
+                .span("infer", "encoding")
+                .field("sample", 3u64)
+                .field("note", "x\"y");
+        }
+        reg.event("bench", "starting", &[("task", Value::Str("HAR".into()))]);
+        reg.flush().unwrap();
+        let buf = String::from_utf8(reg.take_buffer()).unwrap();
+        let lines: Vec<&str> = buf.lines().collect();
+        assert!(lines.iter().any(|l| l.contains("\"type\":\"span\"")
+            && l.contains("\"layer\":\"infer\"")
+            && l.contains("\"name\":\"encoding\"")
+            && l.contains("\"sample\":3")
+            && l.contains("x\\\"y")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"event\"") && l.contains("\"task\":\"HAR\"")));
+        // flush dumps aggregates
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"histogram\"") && l.contains("infer.encoding")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"counter\"") && l.contains("bench.events")));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,172 @@
+//! Cross-layer observability integration tests: the telemetry JSONL
+//! stream round-trips through the workspace's own JSON parser, and one
+//! instrumented train → infer → hardware-schedule run covers all three
+//! layers.
+//!
+//! The end-to-end test configures the *global* registry through
+//! `UNIVSA_TELEMETRY` before its first use. Cargo runs each integration
+//! test binary in its own process, so this cannot race other test files;
+//! tests inside this file share the one global and are written to
+//! tolerate each other's spans.
+
+use univsa::json::{self, Json};
+use univsa::{TrainOptions, UniVsaTrainer};
+use univsa_hw::{HwConfig, Pipeline};
+use univsa_telemetry::{Mode, Registry};
+
+/// Every line a JSONL registry emits must parse with `univsa::json` and
+/// carry the documented envelope fields.
+#[test]
+fn jsonl_stream_round_trips_through_workspace_parser() {
+    let reg = Registry::jsonl_buffer();
+    {
+        let _s = reg
+            .span("layer", "step")
+            .field("epoch", 3u64)
+            .field("loss", 0.25f64)
+            .field("note", "q\"uote");
+    }
+    reg.counter("layer.samples", 7);
+    reg.event("layer", "done", &[("ok", true.into())]);
+    reg.flush().unwrap();
+    let text = String::from_utf8(reg.take_buffer()).unwrap();
+
+    let mut types = Vec::new();
+    for line in text.lines() {
+        let doc = json::parse(line.as_bytes())
+            .unwrap_or_else(|e| panic!("unparseable JSONL line {line:?}: {e}"));
+        let ty = match doc.get("type") {
+            Some(Json::Str(t)) => t.clone(),
+            other => panic!("line without type: {other:?}"),
+        };
+        match ty.as_str() {
+            "span" => {
+                assert_eq!(doc.get("layer"), Some(&Json::Str("layer".into())));
+                assert_eq!(doc.get("name"), Some(&Json::Str("step".into())));
+                assert!(doc.get("dur_ns").unwrap().as_u64().is_some());
+                let fields = doc.get("fields").unwrap();
+                assert_eq!(fields.get("epoch").unwrap().as_u64(), Some(3));
+                assert_eq!(fields.get("loss").unwrap().as_f64(), Some(0.25));
+                assert_eq!(fields.get("note"), Some(&Json::Str("q\"uote".into())));
+            }
+            "counter" => {
+                if doc.get("name") == Some(&Json::Str("layer.samples".into())) {
+                    assert_eq!(doc.get("value").unwrap().as_u64(), Some(7));
+                }
+            }
+            "event" => {
+                assert_eq!(doc.get("message"), Some(&Json::Str("done".into())));
+                assert_eq!(
+                    doc.get("fields").unwrap().get("ok").unwrap().as_bool(),
+                    Some(true)
+                );
+            }
+            "histogram" => {
+                assert!(doc.get("count").unwrap().as_u64().is_some());
+            }
+            other => panic!("unknown line type {other:?}"),
+        }
+        types.push(ty);
+    }
+    for expect in ["span", "counter", "event", "histogram"] {
+        assert!(types.iter().any(|t| t == expect), "no {expect} line");
+    }
+}
+
+/// An off-mode registry must record nothing anywhere.
+#[test]
+fn off_mode_records_nothing() {
+    let reg = Registry::disabled();
+    assert!(!reg.is_enabled());
+    {
+        let s = reg.span("x", "y").field("k", 1u64);
+        assert!(!s.is_recording());
+    }
+    reg.counter("c", 5);
+    reg.event("x", "msg", &[]);
+    reg.flush().unwrap();
+    assert_eq!(reg.counter_value("c"), 0);
+    assert!(reg.histogram_names().is_empty());
+    assert!(reg.take_buffer().is_empty());
+}
+
+/// End to end: with `UNIVSA_TELEMETRY=jsonl:<path>`, one train → infer →
+/// schedule run must produce spans from all three instrumented layers.
+#[test]
+fn instrumented_run_covers_train_infer_and_hw_layers() {
+    let path = std::env::temp_dir().join(format!("univsa_obs_{}.jsonl", std::process::id()));
+    std::env::set_var(
+        univsa_telemetry::ENV_VAR,
+        format!("jsonl:{}", path.display()),
+    );
+    assert_eq!(
+        univsa_telemetry::global().mode(),
+        Mode::Jsonl,
+        "global registry must pick the env value up (no earlier use in this process)"
+    );
+
+    let task = univsa_data::tasks::bci3v(11);
+    let cfg = univsa::UniVsaConfig::for_task(&task.spec)
+        .d_h(4)
+        .d_l(1)
+        .d_k(3)
+        .out_channels(8)
+        .voters(1)
+        .build()
+        .unwrap();
+    let trainer = UniVsaTrainer::new(
+        cfg,
+        TrainOptions {
+            epochs: 2,
+            ..TrainOptions::default()
+        },
+    );
+    let outcome = trainer.fit(&task.train, 11).unwrap();
+    let sample = &task.test.samples()[0];
+    outcome.model.infer(&sample.values).unwrap();
+    Pipeline::new(HwConfig::new(outcome.model.config())).schedule(4);
+    univsa_telemetry::flush().unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut train_epochs = 0;
+    let mut infer_stages = std::collections::BTreeSet::new();
+    let mut hw_events = 0;
+    for line in text.lines() {
+        let doc = json::parse(line.as_bytes()).unwrap();
+        let ty = doc.get("type").and_then(|t| match t {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        });
+        let layer = doc.get("layer").and_then(|l| match l {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        });
+        match (ty, layer) {
+            (Some("span"), Some("train"))
+                if doc.get("name") == Some(&Json::Str("epoch".into())) =>
+            {
+                train_epochs += 1;
+            }
+            (Some("span"), Some("infer")) => {
+                if let Some(Json::Str(name)) = doc.get("name") {
+                    infer_stages.insert(name.clone());
+                }
+            }
+            (Some("event"), Some("hw")) => hw_events += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(train_epochs, 2, "one span per training epoch:\n{text}");
+    for stage in ["dvp", "biconv", "encode", "similarity"] {
+        assert!(infer_stages.contains(stage), "missing infer stage {stage}");
+    }
+    assert_eq!(hw_events, 1, "one hw schedule event");
+    // per-stage occupancy counters surfaced by Pipeline::schedule
+    assert!(
+        text.contains("hw.biconv.busy_cycles"),
+        "missing hw busy-cycle counters:\n{text}"
+    );
+
+    std::env::remove_var(univsa_telemetry::ENV_VAR);
+    std::fs::remove_file(&path).ok();
+}
