@@ -9,10 +9,21 @@
 //! * simulated hardware cycles (single-sample latency, initiation
 //!   interval, streamed-schedule makespan).
 //!
+//! Schema `univsa-perf-baseline/v2` additionally records the effective
+//! worker-pool thread count, per-task and total speedup against the
+//! previously committed report at the output path (v1 reports parse fine
+//! — the extra fields are simply absent there), and per-stage pool
+//! utilization (regions/chunks/busy/wall/occupancy from
+//! [`univsa_par::stats`], also bridged into `univsa-telemetry` counters).
+//!
+//! The per-sample latency loop stays strictly serial: it times individual
+//! `infer` calls, and sharing cores with other samples would corrupt the
+//! percentiles. Accuracy evaluation and training fan out to the pool.
+//!
 //! Usage: `cargo run -p univsa-bench --release --bin perf_baseline
 //! [--out PATH] [--seed S] [--quiet]`. Honours `UNIVSA_QUICK=1` for a
 //! reduced-budget smoke run (the `quick` flag in the report records which
-//! mode produced it).
+//! mode produced it) and `UNIVSA_THREADS=N` for the pool width.
 
 use std::time::Instant;
 
@@ -39,7 +50,69 @@ fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
     sorted_ns[((sorted_ns.len() - 1) as f64 * q).round() as usize]
 }
 
-fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<Json, UniVsaError> {
+/// Per-task `train_seconds` from a previously written report, if one is
+/// readable at `path`. Accepts both the v1 and v2 schema (the fields read
+/// here are common to both), so regenerating over an old baseline still
+/// yields speedup figures.
+fn previous_train_seconds(path: &str) -> Vec<(String, f64)> {
+    let Ok(bytes) = std::fs::read(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = univsa::json::parse(&bytes) else {
+        return Vec::new();
+    };
+    let schema = match doc.get("schema") {
+        Some(Json::Str(s)) if s.starts_with("univsa-perf-baseline/") => s.clone(),
+        _ => return Vec::new(),
+    };
+    progress(
+        "perf_baseline",
+        &format!("previous report at {path} ({schema}) — recording speedups"),
+    );
+    let mut out = Vec::new();
+    for row in doc.get("tasks").and_then(Json::as_arr).unwrap_or(&[]) {
+        let (Some(Json::Str(name)), Some(secs)) = (
+            row.get("task"),
+            row.get("train_seconds").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        if secs > 0.0 {
+            out.push((name.clone(), secs));
+        }
+    }
+    out
+}
+
+/// Serializes the worker-pool stage statistics and mirrors them into
+/// telemetry counters (`par.<stage>.busy_ns` etc.), so JSONL traces carry
+/// the same utilization picture as the report.
+fn pool_stats_json() -> Json {
+    let mut stages = Vec::new();
+    for (stage, s) in univsa_par::stats() {
+        univsa_telemetry::counter(&format!("par.{stage}.regions"), s.regions);
+        univsa_telemetry::counter(&format!("par.{stage}.chunks"), s.chunks);
+        univsa_telemetry::counter(&format!("par.{stage}.busy_ns"), s.busy_ns);
+        univsa_telemetry::counter(&format!("par.{stage}.wall_ns"), s.wall_ns);
+        stages.push((
+            stage.to_string(),
+            Json::Obj(vec![
+                ("regions".into(), num_u(s.regions)),
+                ("chunks".into(), num_u(s.chunks)),
+                ("busy_ns".into(), num_u(s.busy_ns)),
+                ("wall_ns".into(), num_u(s.wall_ns)),
+                ("max_workers".into(), num_u(s.max_workers)),
+                (
+                    "occupancy".into(),
+                    Json::Num((s.occupancy() * 1e4).round() / 1e4, None),
+                ),
+            ]),
+        ));
+    }
+    Json::Obj(stages)
+}
+
+fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniVsaError> {
     let _span = univsa_telemetry::span("bench", "perf_task").field("task", task.spec.name.clone());
     let options = harness_train_options_for(task.spec.features());
     let epochs = options.epochs;
@@ -61,7 +134,7 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<Json, UniVsaError
     let pipeline = Pipeline::new(HwConfig::new(outcome.model.config()));
     let trace = pipeline.schedule(HW_STREAM_SAMPLES);
 
-    Ok(Json::Obj(vec![
+    let row = Json::Obj(vec![
         ("task".into(), Json::Str(task.spec.name.clone())),
         ("train_seconds".into(), num_f(train_seconds)),
         ("epochs".into(), num_u(epochs as u64)),
@@ -101,7 +174,8 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<Json, UniVsaError
                 ("makespan".into(), num_u(trace.makespan)),
             ]),
         ),
-    ]))
+    ]);
+    Ok((row, train_seconds))
 }
 
 fn main() {
@@ -124,20 +198,54 @@ fn main() {
         }
     }
 
+    let previous = previous_train_seconds(&out_path);
+    let (threads, source) = univsa_par::threads_and_source();
+    progress(
+        "perf_baseline",
+        &format!("worker pool: {threads} thread(s) ({})", source.describe()),
+    );
+    univsa_par::reset_stats();
+
     let total = Instant::now();
     let mut rows = Vec::new();
+    let mut prev_total = 0.0f64;
+    let mut new_total = 0.0f64;
     for task in all_tasks(seed) {
         progress("perf_baseline", &format!("measuring {}", task.spec.name));
-        let row = measure_task(&task, seed).expect("paper configurations train");
-        rows.push(row);
+        let (row, train_seconds) = measure_task(&task, seed).expect("paper configurations train");
+        let mut fields = match row {
+            Json::Obj(fields) => fields,
+            _ => unreachable!("measure_task returns an object"),
+        };
+        if let Some(&(_, prev_secs)) = previous.iter().find(|(name, _)| *name == task.spec.name) {
+            prev_total += prev_secs;
+            new_total += train_seconds;
+            if train_seconds > 0.0 {
+                fields.push((
+                    "train_speedup".into(),
+                    Json::Num(((prev_secs / train_seconds) * 1e3).round() / 1e3, None),
+                ));
+            }
+        }
+        rows.push(Json::Obj(fields));
     }
-    let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("univsa-perf-baseline/v1".into())),
+    let mut fields = vec![
+        ("schema".into(), Json::Str("univsa-perf-baseline/v2".into())),
         ("quick".into(), Json::Bool(quick_mode())),
         ("seed".into(), num_u(seed)),
+        ("threads".into(), num_u(threads as u64)),
+        ("threads_source".into(), Json::Str(source.describe().into())),
         ("total_seconds".into(), num_f(total.elapsed().as_secs_f64())),
-        ("tasks".into(), Json::Arr(rows)),
-    ]);
+    ];
+    if prev_total > 0.0 && new_total > 0.0 {
+        fields.push((
+            "train_speedup".into(),
+            Json::Num(((prev_total / new_total) * 1e3).round() / 1e3, None),
+        ));
+    }
+    fields.push(("pool".into(), pool_stats_json()));
+    fields.push(("tasks".into(), Json::Arr(rows)));
+    let report = Json::Obj(fields);
     let mut text = String::new();
     univsa::json::write(&report, &mut text);
     text.push('\n');
@@ -145,7 +253,7 @@ fn main() {
     progress(
         "perf_baseline",
         &format!(
-            "wrote {out_path} ({} tasks, {:.1} s total)",
+            "wrote {out_path} ({} tasks, {:.1} s total, {threads} thread(s))",
             report.get("tasks").unwrap().as_arr().unwrap().len(),
             total.elapsed().as_secs_f64()
         ),

@@ -53,7 +53,8 @@ pub enum Command {
         /// RNG seed for the fault draws.
         seed: u64,
     },
-    /// `univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]`
+    /// `univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
+    /// [--threads T]`
     Profile {
         /// Built-in task name.
         task: String,
@@ -63,6 +64,9 @@ pub enum Command {
         epochs: Option<usize>,
         /// Samples streamed through the simulated hardware pipeline.
         samples: usize,
+        /// Worker-pool width override (`None` = `UNIVSA_THREADS` or
+        /// available parallelism).
+        threads: Option<usize>,
     },
     /// `univsa tasks`
     Tasks,
@@ -96,12 +100,16 @@ USAGE:
   univsa rtl   --model MODEL --out-dir DIR
   univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
   univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
+                 [--threads T]
   univsa tasks
   univsa help
 
 `profile` trains the task's paper configuration, reports per-epoch
-progress, measures per-sample inference latency percentiles, and replays
-the simulated hardware pipeline. Set UNIVSA_TELEMETRY=summary or
+progress, measures per-sample inference latency percentiles, replays the
+simulated hardware pipeline, and reports the effective worker-pool
+thread count plus per-stage pool occupancy. `--threads T` (or the
+UNIVSA_THREADS environment variable) sets the pool width; results are
+bit-identical at every width. Set UNIVSA_TELEMETRY=summary or
 UNIVSA_TELEMETRY=jsonl:<path> to capture the underlying spans.
 
 Built-in tasks: EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR (synthetic,
@@ -190,11 +198,24 @@ impl Command {
                 if samples == 0 {
                     return Err(ParseArgsError("--samples must be at least 1".into()));
                 }
+                let threads = match flags_get(&flags, "threads") {
+                    Some(t) => {
+                        let t: usize = t
+                            .parse()
+                            .map_err(|_| ParseArgsError(format!("bad --threads {t:?}")))?;
+                        if t == 0 {
+                            return Err(ParseArgsError("--threads must be at least 1".into()));
+                        }
+                        Some(t)
+                    }
+                    None => None,
+                };
                 Ok(Command::Profile {
                     task: required(&flags, "task")?,
                     seed,
                     epochs,
                     samples,
+                    threads,
                 })
             }
             other => Err(ParseArgsError(format!(
@@ -475,10 +496,11 @@ mod tests {
                 seed: 42,
                 epochs: None,
                 samples: 64,
+                threads: None,
             }
         );
         let cmd = Command::parse(&argv(
-            "profile --task ISOLET --seed 7 --epochs 5 --samples 16",
+            "profile --task ISOLET --seed 7 --epochs 5 --samples 16 --threads 4",
         ))
         .unwrap();
         assert_eq!(
@@ -488,6 +510,7 @@ mod tests {
                 seed: 7,
                 epochs: Some(5),
                 samples: 16,
+                threads: Some(4),
             }
         );
     }
@@ -498,6 +521,8 @@ mod tests {
         assert!(Command::parse(&argv("profile --task T --samples 0")).is_err());
         assert!(Command::parse(&argv("profile --task T --epochs x")).is_err());
         assert!(Command::parse(&argv("profile --task T --seed x")).is_err());
+        assert!(Command::parse(&argv("profile --task T --threads 0")).is_err());
+        assert!(Command::parse(&argv("profile --task T --threads x")).is_err());
     }
 
     #[test]

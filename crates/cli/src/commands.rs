@@ -193,20 +193,27 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             seed,
             epochs,
             samples,
-        } => run_profile(&task, seed, epochs, samples, out),
+            threads,
+        } => run_profile(&task, seed, epochs, samples, threads, out),
     }
 }
 
 /// Trains a built-in task with its paper configuration and reports timing
 /// for all three layers: per-epoch training progress, per-sample inference
-/// latency percentiles, and the simulated hardware pipeline schedule.
+/// latency percentiles, and the simulated hardware pipeline schedule —
+/// plus the worker-pool width and per-stage pool occupancy.
 fn run_profile(
     task: &str,
     seed: u64,
     epochs: Option<usize>,
     samples: usize,
+    threads: Option<usize>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
+    if let Some(t) = threads {
+        univsa_par::set_threads(t);
+    }
+    univsa_par::reset_stats();
     let task = univsa_data::tasks::by_name(task, seed)
         .ok_or_else(|| format!("unknown task {task:?}; run `univsa tasks`"))?;
     let (d_h, d_l, d_k, o, theta) = univsa_data::tasks::paper_config_tuple(&task.spec.name)
@@ -219,12 +226,18 @@ fn run_profile(
         .voters(theta)
         .build()?;
     let epochs = epochs.unwrap_or(if task.spec.features() <= 128 { 60 } else { 20 });
+    let (pool_threads, source) = univsa_par::threads_and_source();
     writeln!(
         out,
         "profiling {} — config {:?}, {} epochs, seed {seed}",
         task.spec.name,
         cfg.tuple(),
         epochs
+    )?;
+    writeln!(
+        out,
+        "worker pool: {pool_threads} thread(s) ({})",
+        source.describe()
     )?;
 
     // training layer
@@ -303,6 +316,27 @@ fn run_profile(
             u.busy_cycles,
             100.0 * u.utilization
         )?;
+    }
+    // worker-pool layer: per-stage occupancy across the whole profile run
+    let stats = univsa_par::stats();
+    if stats.is_empty() {
+        writeln!(
+            out,
+            "worker pool: no parallel regions recorded (all stages ran serial)"
+        )?;
+    } else {
+        writeln!(out, "worker pool stages:")?;
+        for (stage, s) in &stats {
+            writeln!(
+                out,
+                "  {:>16}: {:>5} regions, {:>6} chunks, {:>8.1} ms busy ({:>5.1}% occupancy)",
+                stage,
+                s.regions,
+                s.chunks,
+                s.busy_ns as f64 / 1e6,
+                100.0 * s.occupancy()
+            )?;
+        }
     }
     if univsa_telemetry::enabled() {
         writeln!(out, "telemetry: captured (flushed at exit)")?;
@@ -517,12 +551,14 @@ mod tests {
             seed: 3,
             epochs: Some(2),
             samples: 4,
+            threads: None,
         })
         .unwrap();
         assert!(text.contains("epoch   1/2"), "{text}");
         assert!(text.contains("test accuracy"), "{text}");
         assert!(text.contains("p99"), "{text}");
         assert!(text.contains("occupancy"), "{text}");
+        assert!(text.contains("worker pool"), "{text}");
     }
 
     #[test]
@@ -532,6 +568,7 @@ mod tests {
             seed: 1,
             epochs: Some(1),
             samples: 1,
+            threads: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown task"));

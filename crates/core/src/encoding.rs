@@ -79,11 +79,19 @@ impl EncodingLayer {
     /// Returns [`UniVsaError::Shape`] if any input has the wrong shape.
     pub fn forward(&mut self, batch: &[Tensor]) -> Result<Vec<Tensor>, UniVsaError> {
         let fb = self.binary_f();
+        // per-sample encodings are independent: fan out to the worker
+        // pool; results return in sample order
+        let results = univsa_par::map_indexed("train.encode_fwd", batch.len(), |i| {
+            self.pre_activation(&batch[i], &fb).map(|pre| {
+                let out = sign(&pre);
+                (pre, out)
+            })
+        });
         let mut pres = Vec::with_capacity(batch.len());
         let mut outs = Vec::with_capacity(batch.len());
-        for a in batch {
-            let pre = self.pre_activation(a, &fb)?;
-            outs.push(sign(&pre));
+        for r in results {
+            let (pre, out) = r?;
+            outs.push(out);
             pres.push(pre);
         }
         self.cached_input = Some(batch.to_vec());
@@ -146,23 +154,36 @@ impl EncodingLayer {
         }
         let fan = self.channels as f32;
         let fb = self.binary_f();
-        let mut df_binary = Tensor::zeros(&[self.channels, self.dim]);
-        let mut grad_inputs = Vec::with_capacity(grad_out.len());
-        for ((g, pre), a) in grad_out.iter().zip(pres).zip(inputs) {
-            let g_pre = ste_grad(g, &pre.scale(1.0 / fan));
-            let mut ga = vec![0.0f32; self.channels * self.dim];
-            for o in 0..self.channels {
-                let arow = &a.as_slice()[o * self.dim..(o + 1) * self.dim];
-                let frow = &fb.as_slice()[o * self.dim..(o + 1) * self.dim];
-                let dfrow = &mut df_binary.as_mut_slice()[o * self.dim..(o + 1) * self.dim];
-                let garow = &mut ga[o * self.dim..(o + 1) * self.dim];
-                for d in 0..self.dim {
+        let (channels, dim) = (self.channels, self.dim);
+        // per-sample contributions run on workers; the shared F gradient
+        // is folded afterwards in strict sample order (each per-sample
+        // addend is the exact product the serial loop adds), so results
+        // are bit-identical at every thread count
+        let results = univsa_par::map_indexed("train.encode_bwd", grad_out.len(), |s| {
+            let g_pre = ste_grad(&grad_out[s], &pres[s].scale(1.0 / fan));
+            let mut df = vec![0.0f32; channels * dim];
+            let mut ga = vec![0.0f32; channels * dim];
+            for o in 0..channels {
+                let arow = &inputs[s].as_slice()[o * dim..(o + 1) * dim];
+                let frow = &fb.as_slice()[o * dim..(o + 1) * dim];
+                let dfrow = &mut df[o * dim..(o + 1) * dim];
+                let garow = &mut ga[o * dim..(o + 1) * dim];
+                for d in 0..dim {
                     let gp = g_pre.as_slice()[d];
-                    dfrow[d] += gp * arow[d];
+                    dfrow[d] = gp * arow[d];
                     garow[d] = gp * frow[d];
                 }
             }
-            grad_inputs.push(Tensor::from_vec(ga, &[self.channels, self.dim])?);
+            Tensor::from_vec(ga, &[channels, dim]).map(|ga| (df, ga))
+        });
+        let mut df_binary = Tensor::zeros(&[channels, dim]);
+        let mut grad_inputs = Vec::with_capacity(grad_out.len());
+        for r in results {
+            let (df, ga) = r?;
+            for (acc, v) in df_binary.as_mut_slice().iter_mut().zip(&df) {
+                *acc += *v;
+            }
+            grad_inputs.push(ga);
         }
         let df = ste_grad(&df_binary, self.f_latent.value());
         self.f_latent.grad_mut().axpy(1.0, &df)?;

@@ -139,9 +139,16 @@ impl UniVsaModel {
                 spec.width, spec.length, spec.classes, cfg.width, cfg.length, cfg.classes
             )));
         }
+        // fan the independent per-sample inferences out to the worker
+        // pool; predictions come back in sample order, so the fold (and
+        // any error propagation) is deterministic at every thread count
+        let samples = dataset.samples();
+        let preds = univsa_par::map_indexed("infer.evaluate", samples.len(), |i| {
+            self.infer(&samples[i].values)
+        });
         let mut correct = 0usize;
-        for sample in dataset.samples() {
-            if self.infer(&sample.values)? == sample.label {
+        for (pred, sample) in preds.into_iter().zip(samples) {
+            if pred? == sample.label {
                 correct += 1;
             }
         }
@@ -164,9 +171,13 @@ impl UniVsaModel {
                 "cannot evaluate on an empty dataset".into(),
             ));
         }
+        let samples = dataset.samples();
+        let preds = univsa_par::map_indexed("infer.evaluate", samples.len(), |i| {
+            self.infer(&samples[i].values)
+        });
         let mut cm = univsa_nn::ConfusionMatrix::new(self.config().classes);
-        for sample in dataset.samples() {
-            cm.record(sample.label, self.infer(&sample.values)?);
+        for (pred, sample) in preds.into_iter().zip(samples) {
+            cm.record(sample.label, pred?);
         }
         Ok(cm)
     }

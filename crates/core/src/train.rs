@@ -177,10 +177,14 @@ impl UniVsaTrainer {
                     None => None,
                 };
 
-                // 2. Per-sample value maps (D_H, W, L).
-                let xs: Vec<Tensor> = batch
-                    .iter()
-                    .map(|&i| self.build_value_map(train, i, &mask, &th, tl.as_ref()))
+                // 2. Per-sample value maps (D_H, W, L), built on the
+                //    worker pool (independent per sample, collected in
+                //    sample order).
+                let xs: Vec<Tensor> =
+                    univsa_par::map_indexed("train.value_maps", batch.len(), |bi| {
+                        self.build_value_map(train, batch[bi], &mask, &th, tl.as_ref())
+                    })
+                    .into_iter()
                     .collect::<Result<_, _>>()?;
 
                 // 3. BiConv (or passthrough) to channel maps (channels, D).
@@ -558,6 +562,26 @@ mod tests {
         let a = trainer.fit(&train, 11).unwrap();
         let b = trainer.fit(&train, 11).unwrap();
         assert_eq!(a.model, b.model);
+    }
+
+    /// The data-parallel fan-outs (value maps, BiConv, encoding,
+    /// evaluation) must reduce in strict sample order: training and
+    /// evaluation are bit-identical at every worker-pool width.
+    #[test]
+    fn fit_independent_of_thread_count() {
+        let (train, test) = tiny_task(5);
+        let trainer = UniVsaTrainer::new(tiny_config(Enhancements::all()), tiny_options());
+        let serial = univsa_par::with_threads(1, || trainer.fit(&train, 13)).unwrap();
+        let parallel = univsa_par::with_threads(4, || trainer.fit(&train, 13)).unwrap();
+        assert_eq!(serial.model, parallel.model);
+        assert_eq!(serial.history.epoch_loss, parallel.history.epoch_loss);
+        assert_eq!(
+            serial.history.epoch_accuracy,
+            parallel.history.epoch_accuracy
+        );
+        let acc_serial = univsa_par::with_threads(1, || serial.model.evaluate(&test)).unwrap();
+        let acc_parallel = univsa_par::with_threads(4, || parallel.model.evaluate(&test)).unwrap();
+        assert_eq!(acc_serial, acc_parallel);
     }
 
     #[test]

@@ -97,8 +97,33 @@ impl SeuCampaign {
     /// classifies every upset's fate under the pipeline's protection
     /// scheme.
     pub fn run(&self, pipeline: &Pipeline, samples: usize) -> SeuOutcome {
-        let hw = pipeline.hw();
         let cycles = pipeline.schedule(samples).makespan;
+        self.outcome_for(pipeline, cycles, self.seed)
+    }
+
+    /// Runs `trials` independent repetitions of the campaign (trial `i`
+    /// uses seed `seed + i`) over the same streamed batch, fanned out to
+    /// the [`univsa_par`] worker pool.
+    ///
+    /// The exposure schedule is computed once and shared; each trial is
+    /// fully determined by its own seed, so the returned outcomes are
+    /// identical at every thread count and `run_trials(p, s, 1)[0]`
+    /// equals `run(p, s)`.
+    pub fn run_trials(
+        &self,
+        pipeline: &Pipeline,
+        samples: usize,
+        trials: usize,
+    ) -> Vec<SeuOutcome> {
+        let cycles = pipeline.schedule(samples).makespan;
+        univsa_par::map_indexed("hw.seu_trials", trials, |i| {
+            self.outcome_for(pipeline, cycles, self.seed.wrapping_add(i as u64))
+        })
+    }
+
+    /// One seeded campaign over an already-computed exposure window.
+    fn outcome_for(&self, pipeline: &Pipeline, cycles: u64, seed: u64) -> SeuOutcome {
+        let hw = pipeline.hw();
         let memory_bits = (hw.memory_kib * 8192.0).round() as u64;
         let words = memory_bits.div_ceil(64).max(1);
         let stored_bits = match hw.protection {
@@ -107,7 +132,7 @@ impl SeuCampaign {
             Protection::Tmr => 3 * words * 64,
         };
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         let expected = self.rate_per_bit_cycle * stored_bits as f64 * cycles as f64;
         let upsets = draw_count(expected, &mut rng).min(MAX_UPSETS);
 
@@ -222,6 +247,28 @@ mod tests {
         assert_eq!(a, b);
         let c = SeuCampaign::new(1e-9, 43).run(&p, 16);
         assert_eq!(a.stored_bits, c.stored_bits);
+    }
+
+    #[test]
+    fn run_trials_matches_run_and_varies_by_seed() {
+        let p = pipeline(Protection::ParityDetect);
+        let campaign = SeuCampaign::new(1e-9, 42);
+        let trials = campaign.run_trials(&p, 16, 4);
+        assert_eq!(trials.len(), 4);
+        assert_eq!(trials[0], campaign.run(&p, 16));
+        // trial i reproduces a campaign seeded seed + i
+        for (i, t) in trials.iter().enumerate() {
+            assert_eq!(*t, SeuCampaign::new(1e-9, 42 + i as u64).run(&p, 16));
+        }
+    }
+
+    #[test]
+    fn run_trials_independent_of_thread_count() {
+        let p = pipeline(Protection::Tmr);
+        let campaign = SeuCampaign::new(1e-9, 7);
+        let serial = univsa_par::with_threads(1, || campaign.run_trials(&p, 16, 6));
+        let parallel = univsa_par::with_threads(4, || campaign.run_trials(&p, 16, 6));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

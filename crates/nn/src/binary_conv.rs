@@ -79,11 +79,20 @@ impl BinaryConv2d {
     /// Returns [`ShapeError`] if any sample has the wrong shape.
     pub fn forward(&mut self, batch: &[Tensor]) -> Result<Vec<Tensor>, ShapeError> {
         let kb = self.binary_kernel();
+        let spec = self.spec;
+        // per-sample convolutions are independent: fan out to the worker
+        // pool; results return in sample order
+        let results = univsa_par::map_indexed("train.conv_fwd", batch.len(), |i| {
+            conv2d(&batch[i], &kb, &spec).map(|pre| {
+                let out = sign(&pre);
+                (pre, out)
+            })
+        });
         let mut preacts = Vec::with_capacity(batch.len());
         let mut outs = Vec::with_capacity(batch.len());
-        for x in batch {
-            let pre = conv2d(x, &kb, &self.spec)?;
-            outs.push(sign(&pre));
+        for r in results {
+            let (pre, out) = r?;
+            outs.push(out);
             preacts.push(pre);
         }
         self.cached_input = Some(batch.to_vec());
@@ -133,14 +142,24 @@ impl BinaryConv2d {
         }
         let fan_in = (self.spec.in_channels * self.spec.kernel * self.spec.kernel) as f32;
         let kb = self.binary_kernel();
-        let mut grad_inputs = Vec::with_capacity(grad_out.len());
-        let mut dkb_total = Tensor::zeros(&self.spec.kernel_dims());
-        for ((g, pre), x) in grad_out.iter().zip(preacts).zip(inputs) {
+        let spec = self.spec;
+        // per-sample kernel/input gradients run on workers; the shared
+        // kernel gradient is reduced afterwards in strict sample order, so
+        // the f32 sums match the serial fold bit-for-bit
+        let results = univsa_par::map_indexed("train.conv_bwd", grad_out.len(), |i| {
             // STE through the output sign, window scaled by fan-in.
-            let scaled = pre.scale(1.0 / fan_in);
-            let g_pre = ste_grad(g, &scaled);
-            dkb_total.axpy(1.0, &conv2d_kernel_grad(x, &g_pre, &self.spec)?)?;
-            grad_inputs.push(conv2d_input_grad(&g_pre, &kb, &self.spec)?);
+            let scaled = preacts[i].scale(1.0 / fan_in);
+            let g_pre = ste_grad(&grad_out[i], &scaled);
+            let dk = conv2d_kernel_grad(&inputs[i], &g_pre, &spec)?;
+            let gi = conv2d_input_grad(&g_pre, &kb, &spec)?;
+            Ok::<_, ShapeError>((dk, gi))
+        });
+        let mut grad_inputs = Vec::with_capacity(grad_out.len());
+        let mut dkb_total = Tensor::zeros(&spec.kernel_dims());
+        for r in results {
+            let (dk, gi) = r?;
+            dkb_total.axpy(1.0, &dk)?;
+            grad_inputs.push(gi);
         }
         // STE through the kernel sign.
         let dk = ste_grad(&dkb_total, self.kernel.value());

@@ -1,0 +1,510 @@
+//! # univsa-par
+//!
+//! Dependency-free scoped worker pool for the UniVSA stack.
+//!
+//! Every hot loop in the workspace — per-sample gradient computation,
+//! batched inference, population fitness evaluation, SEU trial fan-out,
+//! and the row-blocked tensor kernels — funnels through the three
+//! primitives in this crate:
+//!
+//! * [`map_indexed`] — compute `f(i)` for `i in 0..len` on workers and
+//!   return the results **in index order**.
+//! * [`for_each_chunk`] — hand out disjoint mutable chunks of a slice to
+//!   workers (dynamic load balancing, deterministic chunk boundaries).
+//! * [`map_reduce`] — [`map_indexed`] followed by a **strictly
+//!   index-ordered** fold on the calling thread.
+//!
+//! ## Determinism contract
+//!
+//! The primitives never reassociate reductions: each output slot is
+//! computed entirely by one worker, and folds run on the caller in index
+//! order. As long as `f(i)` itself is deterministic, results are
+//! **bit-identical for every thread count** — `UNIVSA_THREADS=1` and
+//! `UNIVSA_THREADS=16` produce the same floats. The workspace
+//! determinism tests (`tests/determinism.rs`) pin this contract.
+//!
+//! ## Sizing
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. a thread-local [`with_threads`] override (used by tests),
+//! 2. a process-global [`set_threads`] override (used by `--threads`),
+//! 3. the `UNIVSA_THREADS` environment variable,
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Nested parallel regions do not oversubscribe: a region entered from
+//! inside a worker runs serially, so an outer per-sample fan-out
+//! automatically serializes the tensor kernels it calls.
+//!
+//! ## Utilization accounting
+//!
+//! Every region records per-stage counters (regions entered, chunks
+//! executed, summed worker-busy time, region wall time) retrievable via
+//! [`stats`] — the `univsa profile` subcommand and the `perf_baseline`
+//! bench report them so pool regressions are visible from the terminal.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The environment variable sizing the pool (`UNIVSA_THREADS=<n>`).
+pub const ENV_VAR: &str = "UNIVSA_THREADS";
+
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LOCAL_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Where the effective thread count came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSource {
+    /// A [`with_threads`] override on this thread.
+    LocalOverride,
+    /// A process-global [`set_threads`] override.
+    GlobalOverride,
+    /// The `UNIVSA_THREADS` environment variable.
+    Env,
+    /// [`std::thread::available_parallelism`] (or 1 if unknown).
+    Auto,
+}
+
+impl ThreadSource {
+    /// Human-readable origin, e.g. for CLI output.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ThreadSource::LocalOverride => "with_threads override",
+            ThreadSource::GlobalOverride => "--threads override",
+            ThreadSource::Env => "UNIVSA_THREADS",
+            ThreadSource::Auto => "available parallelism",
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var(ENV_VAR) {
+        Err(_) => None,
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("warning: ignoring invalid {ENV_VAR}={v:?} (want a positive integer)");
+                None
+            }
+        },
+    })
+}
+
+/// The effective worker count for a parallel region entered on this
+/// thread. Always at least 1; returns 1 inside a worker (nested regions
+/// run serially).
+pub fn threads() -> usize {
+    threads_and_source().0
+}
+
+/// [`threads`] plus where the number came from.
+pub fn threads_and_source() -> (usize, ThreadSource) {
+    if IN_WORKER.with(Cell::get) {
+        return (1, ThreadSource::Auto);
+    }
+    let local = LOCAL_OVERRIDE.with(Cell::get);
+    if local > 0 {
+        return (local, ThreadSource::LocalOverride);
+    }
+    let global = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if global > 0 {
+        return (global, ThreadSource::GlobalOverride);
+    }
+    match env_threads() {
+        Some(n) => (n, ThreadSource::Env),
+        None => (default_threads(), ThreadSource::Auto),
+    }
+}
+
+/// Sets a process-global thread-count override (`0` clears it back to the
+/// environment/auto default). Used by `univsa profile --threads`.
+pub fn set_threads(n: usize) {
+    GLOBAL_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with the effective thread count pinned to `n` on this thread
+/// (restored afterwards, panic-safe). This is how the determinism tests
+/// compare `UNIVSA_THREADS=1` against `UNIVSA_THREADS=4` inside one
+/// process.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = LOCAL_OVERRIDE.with(|c| c.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+struct WorkerGuard(bool);
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        Self(IN_WORKER.with(|c| c.replace(true)))
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        IN_WORKER.with(|c| c.set(prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage utilization accounting
+// ---------------------------------------------------------------------------
+
+/// Aggregated pool counters for one stage label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStats {
+    /// Parallel regions entered (including serial fast-path runs).
+    pub regions: u64,
+    /// Work chunks executed across all regions.
+    pub chunks: u64,
+    /// Summed worker busy time in nanoseconds.
+    pub busy_ns: u64,
+    /// Summed region wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Largest worker count used by any region of this stage.
+    pub max_workers: u64,
+}
+
+impl StageStats {
+    /// Fraction of the pool's capacity this stage kept busy:
+    /// `busy / (wall × max_workers)`, in `[0, 1]` up to timer noise.
+    pub fn occupancy(&self) -> f64 {
+        let denom = self.wall_ns.max(1) as f64 * self.max_workers.max(1) as f64;
+        self.busy_ns as f64 / denom
+    }
+
+    fn merge(&mut self, workers: u64, chunks: u64, busy_ns: u64, wall_ns: u64) {
+        self.regions += 1;
+        self.chunks += chunks;
+        self.busy_ns += busy_ns;
+        self.wall_ns += wall_ns;
+        self.max_workers = self.max_workers.max(workers);
+    }
+}
+
+fn stats_map() -> &'static Mutex<BTreeMap<&'static str, StageStats>> {
+    static STATS: OnceLock<Mutex<BTreeMap<&'static str, StageStats>>> = OnceLock::new();
+    STATS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn record(stage: &'static str, workers: u64, chunks: u64, busy_ns: u64, wall_ns: u64) {
+    let mut map = stats_map().lock().expect("par stats lock");
+    map.entry(stage)
+        .or_default()
+        .merge(workers, chunks, busy_ns, wall_ns);
+}
+
+/// Snapshot of the per-stage pool counters, sorted by stage label.
+pub fn stats() -> Vec<(&'static str, StageStats)> {
+    stats_map()
+        .lock()
+        .expect("par stats lock")
+        .iter()
+        .map(|(k, v)| (*k, *v))
+        .collect()
+}
+
+/// Clears the per-stage pool counters (e.g. before a profiled run).
+pub fn reset_stats() {
+    stats_map().lock().expect("par stats lock").clear();
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// A lock-popped queue of `(offset, chunk)` work items.
+type ChunkQueue<'a, T> = Mutex<Vec<(usize, &'a mut [T])>>;
+
+/// ~4 chunks per worker: coarse enough to amortize the queue lock, fine
+/// enough to balance unequal task costs.
+fn auto_chunk(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers * 4).max(1)
+}
+
+/// Computes `f(i)` for every `i in 0..len` and returns the results in
+/// index order.
+///
+/// Work is handed to up to [`threads`] scoped workers in contiguous
+/// chunks pulled from a shared queue (dynamic load balancing); each
+/// result lands in its own slot, so the output order — and therefore any
+/// subsequent in-order reduction — is independent of scheduling.
+pub fn map_indexed<T, F>(stage: &'static str, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = threads().min(len);
+    let start = Instant::now();
+    if workers <= 1 {
+        let out: Vec<T> = (0..len).map(f).collect();
+        let wall = start.elapsed().as_nanos() as u64;
+        record(stage, 1, 1, wall, wall);
+        return out;
+    }
+
+    let chunk = auto_chunk(len, workers);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    let busy_total = AtomicU64::new(0);
+    let queue: ChunkQueue<Option<T>> = Mutex::new(
+        slots
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, c)| (ci * chunk, c))
+            .rev() // pop() then hands chunks out in ascending order
+            .collect(),
+    );
+    let nchunks = queue.lock().expect("par queue lock").len() as u64;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _guard = WorkerGuard::enter();
+                let t0 = Instant::now();
+                loop {
+                    let item = queue.lock().expect("par queue lock").pop();
+                    let Some((offset, chunk)) = item else { break };
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(f(offset + j));
+                    }
+                }
+                busy_total.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+        }
+    });
+    record(
+        stage,
+        workers as u64,
+        nchunks,
+        busy_total.load(Ordering::Relaxed),
+        start.elapsed().as_nanos() as u64,
+    );
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is computed exactly once"))
+        .collect()
+}
+
+/// Splits `items` into disjoint chunks of at most `chunk` elements and
+/// runs `f(offset, chunk_slice)` for each on the worker pool.
+///
+/// Chunk boundaries depend only on `chunk` and `items.len()`, never on
+/// the worker count, so callers that partition e.g. matrix rows get the
+/// same per-element computation for every thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn for_each_chunk<T, F>(stage: &'static str, items: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if items.is_empty() {
+        return;
+    }
+    let nchunks = items.len().div_ceil(chunk);
+    let workers = threads().min(nchunks);
+    let start = Instant::now();
+    if workers <= 1 {
+        for (ci, c) in items.chunks_mut(chunk).enumerate() {
+            f(ci * chunk, c);
+        }
+        let wall = start.elapsed().as_nanos() as u64;
+        record(stage, 1, nchunks as u64, wall, wall);
+        return;
+    }
+
+    let busy_total = AtomicU64::new(0);
+    let queue: ChunkQueue<T> = Mutex::new(
+        items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, c)| (ci * chunk, c))
+            .rev()
+            .collect(),
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _guard = WorkerGuard::enter();
+                let t0 = Instant::now();
+                loop {
+                    let item = queue.lock().expect("par queue lock").pop();
+                    let Some((offset, chunk)) = item else { break };
+                    f(offset, chunk);
+                }
+                busy_total.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+        }
+    });
+    record(
+        stage,
+        workers as u64,
+        nchunks as u64,
+        busy_total.load(Ordering::Relaxed),
+        start.elapsed().as_nanos() as u64,
+    );
+}
+
+/// Maps `0..len` on the worker pool, then folds the results on the
+/// calling thread in **strictly ascending index order** — the
+/// deterministic-reduction primitive behind data-parallel gradients.
+pub fn map_reduce<T, A, M, F>(stage: &'static str, len: usize, map: M, init: A, fold: F) -> A
+where
+    T: Send,
+    M: Fn(usize) -> T + Sync,
+    F: FnMut(A, T) -> A,
+{
+    map_indexed(stage, len, map).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        let out = with_threads(4, || map_indexed("test.order", 100, |i| i * 3));
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_empty() {
+        let out: Vec<usize> = map_indexed("test.empty", 0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as f32).sin() * (i as f32 + 1.0).sqrt();
+        let serial = with_threads(1, || map_indexed("test.agree", 257, f));
+        let parallel = with_threads(4, || map_indexed("test.agree", 257, f));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_reduce_folds_in_index_order() {
+        // string concatenation is order-sensitive: any reordering fails
+        let folded = with_threads(4, || {
+            map_reduce(
+                "test.fold",
+                26,
+                |i| char::from(b'a' + i as u8),
+                String::new(),
+                |mut acc, c| {
+                    acc.push(c);
+                    acc
+                },
+            )
+        });
+        assert_eq!(folded, "abcdefghijklmnopqrstuvwxyz");
+    }
+
+    #[test]
+    fn for_each_chunk_covers_every_element() {
+        let mut data = vec![0usize; 103];
+        with_threads(4, || {
+            for_each_chunk("test.chunks", &mut data, 7, |offset, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = offset + j + 1;
+                }
+            });
+        });
+        assert_eq!(data, (1..=103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn for_each_chunk_rejects_zero_chunk() {
+        for_each_chunk("test.zero", &mut [0u8; 4], 0, |_, _| {});
+    }
+
+    #[test]
+    fn nested_regions_run_serially() {
+        let inner_threads = with_threads(4, || map_indexed("test.outer", 4, |_| threads()));
+        // every inner probe ran inside a worker → nested regions see 1
+        assert_eq!(inner_threads, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn with_threads_restores_previous_value() {
+        let before = threads();
+        with_threads(7, || assert_eq!(threads(), 7));
+        assert_eq!(threads(), before);
+        // nested overrides unwind in LIFO order
+        with_threads(2, || {
+            with_threads(5, || assert_eq!(threads(), 5));
+            assert_eq!(threads(), 2);
+        });
+    }
+
+    #[test]
+    fn stats_accumulate_per_stage() {
+        with_threads(3, || {
+            let _ = map_indexed("test.stats_stage", 64, |i| i);
+            let _ = map_indexed("test.stats_stage", 64, |i| i);
+        });
+        let snapshot = stats();
+        let (_, s) = snapshot
+            .iter()
+            .find(|(name, _)| *name == "test.stats_stage")
+            .expect("stage recorded");
+        assert_eq!(s.regions, 2);
+        assert!(s.chunks >= 2);
+        assert!(s.max_workers >= 1);
+        assert!(s.occupancy() > 0.0);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(2, || {
+                map_indexed("test.panic", 8, |i| {
+                    if i == 5 {
+                        panic!("boom");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn source_reporting() {
+        let (n, _) = threads_and_source();
+        assert!(n >= 1);
+        with_threads(3, || {
+            assert_eq!(threads_and_source(), (3, ThreadSource::LocalOverride));
+        });
+    }
+}

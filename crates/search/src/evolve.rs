@@ -77,22 +77,43 @@ impl EvolutionarySearch {
     }
 
     /// Runs the search with a fitness function (higher is better).
-    pub fn run<F>(&self, mut fitness: F, seed: u64) -> SearchResult
+    ///
+    /// Each generation's uncached genomes are evaluated concurrently on
+    /// the [`univsa_par`] worker pool (the fitness cache is consulted
+    /// before dispatch and filled after the barrier, in population
+    /// order), so `F` must be `Fn + Sync`; expensive train-and-evaluate
+    /// objectives scale with `UNIVSA_THREADS`. The search trajectory is
+    /// identical to serial execution at every thread count: fitness
+    /// values are pure per genome and the driving RNG never crosses
+    /// threads.
+    pub fn run<F>(&self, fitness: F, seed: u64) -> SearchResult
     where
-        F: FnMut(&Genome) -> f64,
+        F: Fn(&Genome) -> f64 + Sync,
     {
         let mut rng = StdRng::seed_from_u64(seed);
         let opts = &self.options;
         let mut cache: std::collections::HashMap<Genome, f64> = std::collections::HashMap::new();
         let mut evaluations = 0usize;
-        let mut evaluate = |g: &Genome, cache: &mut std::collections::HashMap<Genome, f64>| {
-            if let Some(&f) = cache.get(g) {
-                return f;
+        // Scores a whole generation: unique cache misses (in first-seen
+        // order) fan out to the worker pool, land in the cache in that
+        // same order, and the population is then scored from the cache.
+        let score_all = |genomes: &[Genome],
+                         cache: &mut std::collections::HashMap<Genome, f64>,
+                         evaluations: &mut usize|
+         -> Vec<(Genome, f64)> {
+            let mut pending: Vec<Genome> = Vec::new();
+            for g in genomes {
+                if !cache.contains_key(g) && !pending.contains(g) {
+                    pending.push(*g);
+                }
             }
-            let f = fitness(g);
-            evaluations += 1;
-            cache.insert(*g, f);
-            f
+            let results =
+                univsa_par::map_indexed("search.fitness", pending.len(), |i| fitness(&pending[i]));
+            for (g, f) in pending.iter().zip(results) {
+                cache.insert(*g, f);
+                *evaluations += 1;
+            }
+            genomes.iter().map(|g| (*g, cache[g])).collect()
         };
 
         let mut population: Vec<Genome> = (0..opts.population)
@@ -102,10 +123,7 @@ impl EvolutionarySearch {
         let mut scored: Vec<(Genome, f64)> = Vec::new();
 
         for _gen in 0..opts.generations {
-            scored = population
-                .iter()
-                .map(|g| (*g, evaluate(g, &mut cache)))
-                .collect();
+            scored = score_all(&population, &mut cache, &mut evaluations);
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             curve.push(scored[0].1);
 
@@ -123,10 +141,8 @@ impl EvolutionarySearch {
             population = next;
         }
         // final scoring pass for the last generation's offspring
-        let mut final_scored: Vec<(Genome, f64)> = population
-            .iter()
-            .map(|g| (*g, evaluate(g, &mut cache)))
-            .collect();
+        let mut final_scored: Vec<(Genome, f64)> =
+            score_all(&population, &mut cache, &mut evaluations);
         final_scored.extend(scored);
         final_scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let (genome, best) = final_scored[0];
@@ -206,6 +222,17 @@ mod tests {
         let b = EvolutionarySearch::new(space(), options()).run(f, 9);
         assert_eq!(a.genome, b.genome);
         assert_eq!(a.curve, b.curve);
+    }
+
+    #[test]
+    fn result_is_independent_of_thread_count() {
+        let f = |g: &Genome| {
+            -((g.out_channels as f64 - 64.0).powi(2)) / 500.0 + (g.voters as f64).sqrt()
+        };
+        let search = EvolutionarySearch::new(space(), options());
+        let serial = univsa_par::with_threads(1, || search.run(f, 21));
+        let parallel = univsa_par::with_threads(4, || search.run(f, 21));
+        assert_eq!(serial, parallel);
     }
 
     #[test]

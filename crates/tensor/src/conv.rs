@@ -11,7 +11,7 @@
 //! nothing to the pre-activation sum, which is exactly how the hardware's
 //! boundary handling behaves.
 
-use crate::{ShapeError, Tensor};
+use crate::{gemm, ShapeError, Tensor};
 
 /// Geometry of a stride-1 `same`-padded 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,6 +106,42 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor, spec: &Conv2dSpec) -> Result<Tens
     check_dims(input, &spec.input_dims(), "conv2d input")?;
     check_dims4(kernel, &spec.kernel_dims(), "conv2d kernel")?;
     let (ci, h, w, k) = (spec.in_channels, spec.height, spec.width, spec.kernel);
+    let hw = h * w;
+    // im2col: the kernel bank (C_out, C_in, K, K) is already a row-major
+    // (C_out × C_in·K·K) matrix; lowering the input to a (C_in·K·K × H·W)
+    // column matrix turns the convolution into one blocked GEMM. Column
+    // row order (c, ky, kx) matches the naive tap order, and out-of-bounds
+    // taps become ±0 products, so the result is bit-identical to
+    // [`conv2d_naive`].
+    let cols = shifted_cols(input.as_slice(), ci, h, w, k, spec.pad(), false);
+    let mut out = vec![0.0f32; spec.out_channels * hw];
+    gemm::gemm(
+        kernel.as_slice(),
+        &cols,
+        spec.out_channels,
+        ci * k * k,
+        hw,
+        &mut out,
+    );
+    Tensor::from_vec(out, &spec.output_dims())
+}
+
+/// Reference implementation of [`conv2d`] (original row-sliced tap loops),
+/// retained as the test oracle for the im2col path.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spec is invalid or the operand shapes do
+/// not match it.
+pub fn conv2d_naive(
+    input: &Tensor,
+    kernel: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, ShapeError> {
+    spec.validate()?;
+    check_dims(input, &spec.input_dims(), "conv2d input")?;
+    check_dims4(kernel, &spec.kernel_dims(), "conv2d kernel")?;
+    let (ci, h, w, k) = (spec.in_channels, spec.height, spec.width, spec.kernel);
     let pad = spec.pad();
     let x = input.as_slice();
     let kbuf = kernel.as_slice();
@@ -159,6 +195,50 @@ pub fn conv2d(input: &Tensor, kernel: &Tensor, spec: &Conv2dSpec) -> Result<Tens
 ///
 /// Returns [`ShapeError`] if the spec is invalid or shapes mismatch.
 pub fn conv2d_input_grad(
+    grad_out: &Tensor,
+    kernel: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, ShapeError> {
+    spec.validate()?;
+    check_dims(grad_out, &spec.output_dims(), "conv2d_input_grad grad_out")?;
+    check_dims4(kernel, &spec.kernel_dims(), "conv2d_input_grad kernel")?;
+    let (ci, h, w, k) = (spec.in_channels, spec.height, spec.width, spec.kernel);
+    let hw = h * w;
+    let cokk = spec.out_channels * k * k;
+    // The input gradient is a correlation with the flipped kernel:
+    // d input[c] = Σ_{co,ky,kx} g[co, ·+pad-ky, ·+pad-kx] · K[co, c, ky, kx].
+    // Permute the kernel to (C_in × C_out·K·K) and lower grad_out with
+    // flipped offsets; per-element tap order (co, ky, kx) then matches
+    // [`conv2d_input_grad_naive`] exactly.
+    let kbuf = kernel.as_slice();
+    let mut w2 = vec![0.0f32; ci * cokk];
+    for co in 0..spec.out_channels {
+        for c in 0..ci {
+            let src = &kbuf[(co * ci + c) * k * k..][..k * k];
+            w2[c * cokk + co * k * k..][..k * k].copy_from_slice(src);
+        }
+    }
+    let gcols = shifted_cols(
+        grad_out.as_slice(),
+        spec.out_channels,
+        h,
+        w,
+        k,
+        spec.pad(),
+        true,
+    );
+    let mut out = vec![0.0f32; ci * hw];
+    gemm::gemm(&w2, &gcols, ci, cokk, hw, &mut out);
+    Tensor::from_vec(out, &spec.input_dims())
+}
+
+/// Reference implementation of [`conv2d_input_grad`] (original row-sliced
+/// tap loops), retained as the test oracle.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spec is invalid or shapes mismatch.
+pub fn conv2d_input_grad_naive(
     grad_out: &Tensor,
     kernel: &Tensor,
     spec: &Conv2dSpec,
@@ -226,6 +306,67 @@ pub fn conv2d_kernel_grad(
     check_dims(input, &spec.input_dims(), "conv2d_kernel_grad input")?;
     check_dims(grad_out, &spec.output_dims(), "conv2d_kernel_grad grad_out")?;
     let (ci, h, w, k) = (spec.in_channels, spec.height, spec.width, spec.kernel);
+    let hw = h * w;
+    let pad = spec.pad();
+    let x = input.as_slice();
+    let g = grad_out.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * ci * k * k];
+    // Loop-reordered version of [`conv2d_kernel_grad_naive`]: the naive
+    // code streams all H rows of g and x once per kernel tap (long reuse
+    // distance); with `oy` outermost every g/x row loaded in an iteration
+    // is reused across all taps while L1-hot. The naive oracle folds a
+    // per-row dot into each tap's accumulator in ascending `oy` order —
+    // `oy` outermost reproduces exactly that two-level sum, so this
+    // cannot be flattened into a GEMM (a flat dot would reassociate) but
+    // is bit-identical as written.
+    for oy in 0..h {
+        for ky in 0..k {
+            let iy = oy as isize + ky as isize - pad;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            for c in 0..ci {
+                let xrow = &x[c * hw + iy as usize * w..][..w];
+                for co in 0..spec.out_channels {
+                    let grow = &g[co * hw + oy * w..][..w];
+                    let obase = (co * ci + c) * k * k + ky * k;
+                    for kx in 0..k {
+                        let shift = kx as isize - pad;
+                        let lo = (-shift).max(0) as usize;
+                        let hi = (w as isize).min(w as isize - shift) as usize;
+                        if lo >= hi {
+                            continue;
+                        }
+                        let src =
+                            &xrow[(lo as isize + shift) as usize..(hi as isize + shift) as usize];
+                        out[obase + kx] += grow[lo..hi]
+                            .iter()
+                            .zip(src)
+                            .map(|(&gv, &xv)| gv * xv)
+                            .sum::<f32>();
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &spec.kernel_dims())
+}
+
+/// Reference implementation of [`conv2d_kernel_grad`] (original tap-outer
+/// loops), retained as the test oracle.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spec is invalid or shapes mismatch.
+pub fn conv2d_kernel_grad_naive(
+    input: &Tensor,
+    grad_out: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, ShapeError> {
+    spec.validate()?;
+    check_dims(input, &spec.input_dims(), "conv2d_kernel_grad input")?;
+    check_dims(grad_out, &spec.output_dims(), "conv2d_kernel_grad grad_out")?;
+    let (ci, h, w, k) = (spec.in_channels, spec.height, spec.width, spec.kernel);
     let pad = spec.pad();
     let x = input.as_slice();
     let g = grad_out.as_slice();
@@ -264,6 +405,58 @@ pub fn conv2d_kernel_grad(
         }
     }
     Tensor::from_vec(out, &spec.kernel_dims())
+}
+
+/// Lowers a `(chans, h, w)` map to a `(chans·k·k × h·w)` column matrix:
+/// row `(c, ky, kx)` holds `x[c, oy + dy, ox + dx]` with
+/// `(dy, dx) = (ky - pad, kx - pad)`, or the flipped offsets
+/// `(pad - ky, pad - kx)` when `flip` is set (used by the input-gradient
+/// correlation). Out-of-bounds taps stay zero.
+fn shifted_cols(
+    x: &[f32],
+    chans: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    pad: isize,
+    flip: bool,
+) -> Vec<f32> {
+    let hw = h * w;
+    let mut cols = vec![0.0f32; chans * k * k * hw];
+    for c in 0..chans {
+        for ky in 0..k {
+            let dy = if flip {
+                pad - ky as isize
+            } else {
+                ky as isize - pad
+            };
+            for kx in 0..k {
+                let dx = if flip {
+                    pad - kx as isize
+                } else {
+                    kx as isize - pad
+                };
+                let lo = (-dx).max(0) as usize;
+                let hi = ((w as isize).min(w as isize - dx)).max(0) as usize;
+                if lo >= hi {
+                    continue;
+                }
+                let row = ((c * k + ky) * k + kx) * hw;
+                for oy in 0..h {
+                    let iy = oy as isize + dy;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src = &x[c * hw + iy as usize * w..][..w];
+                    let dst = &mut cols[row + oy * w..][..w];
+                    dst[lo..hi].copy_from_slice(
+                        &src[(lo as isize + dx) as usize..(hi as isize + dx) as usize],
+                    );
+                }
+            }
+        }
+    }
+    cols
 }
 
 fn check_dims(t: &Tensor, dims: &[usize; 3], what: &str) -> Result<(), ShapeError> {
@@ -395,6 +588,79 @@ mod tests {
                 gk.as_slice()[idx]
             );
         }
+    }
+
+    /// The im2col / loop-reordered kernels must be bit-identical to the
+    /// naive oracles across kernel sizes and non-square maps.
+    #[test]
+    fn optimized_conv_matches_naive_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &(ci, co, k, h, w) in &[
+            (1usize, 1usize, 1usize, 3usize, 3usize),
+            (2, 3, 3, 4, 3),
+            (3, 2, 3, 7, 11),
+            (2, 4, 5, 6, 9),
+            (4, 1, 5, 5, 4),
+            (1, 2, 7, 9, 8),
+        ] {
+            let s = spec(ci, co, k, h, w);
+            let x = random_tensor(&[ci, h, w], &mut rng);
+            let kn = random_tensor(&[co, ci, k, k], &mut rng);
+            let g = random_tensor(&[co, h, w], &mut rng);
+            assert_eq!(
+                conv2d(&x, &kn, &s).unwrap(),
+                conv2d_naive(&x, &kn, &s).unwrap(),
+                "conv2d {ci}x{co} k{k} {h}x{w}"
+            );
+            assert_eq!(
+                conv2d_input_grad(&g, &kn, &s).unwrap(),
+                conv2d_input_grad_naive(&g, &kn, &s).unwrap(),
+                "input grad {ci}x{co} k{k} {h}x{w}"
+            );
+            assert_eq!(
+                conv2d_kernel_grad(&x, &g, &s).unwrap(),
+                conv2d_kernel_grad_naive(&x, &g, &s).unwrap(),
+                "kernel grad {ci}x{co} k{k} {h}x{w}"
+            );
+        }
+    }
+
+    /// Exact zeros in kernel and input exercise the naive zero-skip paths
+    /// against the im2col ±0-product additions.
+    #[test]
+    fn optimized_conv_matches_naive_with_zeros() {
+        let s = spec(2, 2, 3, 5, 6);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut x = random_tensor(&[2, 5, 6], &mut rng);
+        let mut kn = random_tensor(&[2, 2, 3, 3], &mut rng);
+        let mut g = random_tensor(&[2, 5, 6], &mut rng);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        for (i, v) in kn.as_mut_slice().iter_mut().enumerate() {
+            if i % 4 == 0 {
+                *v = 0.0;
+            }
+        }
+        for (i, v) in g.as_mut_slice().iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *v = 0.0;
+            }
+        }
+        assert_eq!(
+            conv2d(&x, &kn, &s).unwrap(),
+            conv2d_naive(&x, &kn, &s).unwrap()
+        );
+        assert_eq!(
+            conv2d_input_grad(&g, &kn, &s).unwrap(),
+            conv2d_input_grad_naive(&g, &kn, &s).unwrap()
+        );
+        assert_eq!(
+            conv2d_kernel_grad(&x, &g, &s).unwrap(),
+            conv2d_kernel_grad_naive(&x, &g, &s).unwrap()
+        );
     }
 
     #[test]

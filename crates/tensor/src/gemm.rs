@@ -1,0 +1,129 @@
+//! Cache-blocked GEMM kernels shared by [`crate::Tensor`]'s matmul family
+//! and the im2col convolution path.
+//!
+//! # Bit-exactness contract
+//!
+//! Every kernel here preserves the **per-element accumulation order** of
+//! the naive reference implementations (`matmul_naive` and friends): each
+//! output element is owned by exactly one accumulator that is updated for
+//! `p = 0, 1, …, k-1` in ascending order, regardless of blocking factors,
+//! chunk boundaries, or worker count. Blocking only changes *which* rows
+//! and panels are resident in cache, never the association of the f32
+//! sums, so the optimized kernels are bit-identical to the naive ones for
+//! finite inputs (the only divergence is that skipped `±0.0` products may
+//! be added, which cannot change a finite accumulator under
+//! round-to-nearest). The regression tests in `linalg.rs` and `conv.rs`
+//! assert exact equality against the retained naive oracles.
+
+/// Columns per packed B panel: one `KC × NC` panel is ≤ 256 KiB and stays
+/// L2-resident while a row block streams through it.
+const NC: usize = 256;
+/// Depth of a packed B panel (p-block length). Splitting the `p` loop
+/// does not reassociate: each output element keeps a single accumulator.
+const KC: usize = 256;
+/// Rows of A updated per packed-panel pass (register block): each B row
+/// load is reused across `MR` output rows.
+const MR: usize = 4;
+/// Rows per block in the NT kernel: each B row is streamed once per `MI`
+/// A rows instead of once per row.
+const MI: usize = 8;
+/// Below this many multiply-adds a parallel region costs more than it
+/// saves; scheduling thresholds never affect results.
+const PAR_MIN_MACS: usize = 1 << 16;
+
+/// `out[m × n] += a[m × k] · b[k × n]`, blocked and row-parallel.
+///
+/// `out` must be zero-initialized (or hold a valid partial sum — the
+/// kernel accumulates). Per element the `p` loop is ascending and
+/// `a[i, p] == 0.0` products are skipped, matching `matmul_naive`.
+pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let workers = univsa_par::threads();
+    if workers <= 1 || m * k * n < PAR_MIN_MACS || m == 1 {
+        gemm_rows(a, b, 0, k, n, out);
+        return;
+    }
+    let rows_per_chunk = m.div_ceil(workers * 4).max(1);
+    univsa_par::for_each_chunk("tensor.gemm", out, rows_per_chunk * n, |offset, chunk| {
+        gemm_rows(a, b, offset / n, k, n, chunk);
+    });
+}
+
+/// Blocked kernel for output rows `i0 .. i0 + chunk.len() / n`.
+fn gemm_rows(a: &[f32], b: &[f32], i0: usize, k: usize, n: usize, chunk: &mut [f32]) {
+    let rows = chunk.len() / n;
+    let mut bpack = vec![0.0f32; KC.min(k.max(1)) * NC.min(n)];
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for p in 0..kc {
+                bpack[p * nc..(p + 1) * nc].copy_from_slice(&b[(pc + p) * n + jc..][..nc]);
+            }
+            for ib in (0..rows).step_by(MR) {
+                let mr = MR.min(rows - ib);
+                for p in 0..kc {
+                    let brow = &bpack[p * nc..(p + 1) * nc];
+                    for r in 0..mr {
+                        let aip = a[(i0 + ib + r) * k + pc + p];
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut chunk[(ib + r) * n + jc..][..nc];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += aip * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out[m × n] = a[m × k] · b[n × k]ᵀ`, row-blocked and row-parallel.
+///
+/// Each output element is one flat ascending dot product — the exact
+/// expression `matmul_nt_naive` evaluates — but B rows are streamed once
+/// per `MI`-row block of A instead of once per row, fixing the
+/// cache-hostile traffic of the naive `i/j` order.
+pub(crate) fn gemm_nt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let workers = univsa_par::threads();
+    if workers <= 1 || m * k * n < PAR_MIN_MACS || m == 1 {
+        gemm_nt_rows(a, b, 0, k, n, out);
+        return;
+    }
+    let rows_per_chunk = m.div_ceil(workers * 4).max(1);
+    univsa_par::for_each_chunk(
+        "tensor.gemm_nt",
+        out,
+        rows_per_chunk * n,
+        |offset, chunk| {
+            gemm_nt_rows(a, b, offset / n, k, n, chunk);
+        },
+    );
+}
+
+fn gemm_nt_rows(a: &[f32], b: &[f32], i0: usize, k: usize, n: usize, chunk: &mut [f32]) {
+    let rows = chunk.len() / n;
+    for ib in (0..rows).step_by(MI) {
+        let mi = MI.min(rows - ib);
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            for r in 0..mi {
+                let arow = &a[(i0 + ib + r) * k..(i0 + ib + r + 1) * k];
+                chunk[(ib + r) * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            }
+        }
+    }
+}

@@ -27,12 +27,16 @@
 
 mod conv;
 mod error;
+mod gemm;
 mod init;
 mod linalg;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_input_grad, conv2d_kernel_grad, Conv2dSpec};
+pub use conv::{
+    conv2d, conv2d_input_grad, conv2d_input_grad_naive, conv2d_kernel_grad,
+    conv2d_kernel_grad_naive, conv2d_naive, Conv2dSpec,
+};
 pub use error::ShapeError;
 pub use init::{kaiming_uniform, signs, uniform};
 pub use shape::Shape;

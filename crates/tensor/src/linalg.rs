@@ -1,9 +1,18 @@
 //! Matrix operations on rank-2 tensors.
+//!
+//! The public `matmul` family routes through the cache-blocked,
+//! row-parallel kernels in [`crate::gemm`]; the `*_naive` variants keep
+//! the original scalar loops as the bit-exact test oracle (see the
+//! bit-exactness contract in `gemm.rs`).
 
-use crate::{ShapeError, Tensor};
+use crate::{gemm, ShapeError, Tensor};
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `(m × k) · (k × n) → (m × n)`.
+    ///
+    /// Cache-blocked (packed B panels, register-blocked rows) and
+    /// parallelized over output row blocks; bit-identical to
+    /// [`Tensor::matmul_naive`] at any thread count.
     ///
     /// # Errors
     ///
@@ -21,14 +30,21 @@ impl Tensor {
     /// # Ok::<(), univsa_tensor::ShapeError>(())
     /// ```
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
-        let (m, k) = rank2(self, "matmul lhs")?;
-        let (k2, n) = rank2(other, "matmul rhs")?;
-        if k != k2 {
-            return Err(ShapeError::new(format!(
-                "matmul inner dimensions disagree: {} vs {}",
-                k, k2
-            )));
-        }
+        let (m, k, n) = matmul_dims(self, other)?;
+        let mut out = vec![0.0f32; m * n];
+        gemm::gemm(self.as_slice(), other.as_slice(), m, k, n, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Reference implementation of [`Tensor::matmul`]: the original naive
+    /// ikj scalar loop, retained as the test oracle for the blocked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either operand is not rank 2 or the inner
+    /// dimensions disagree.
+    pub fn matmul_naive(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        let (m, k, n) = matmul_dims(self, other)?;
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -49,13 +65,45 @@ impl Tensor {
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// `self.transpose() · other` without materializing the transpose:
-    /// `(k × m)ᵀ · (k × n) → (m × n)`.
+    /// `self.transpose() · other`: `(k × m)ᵀ · (k × n) → (m × n)`.
+    ///
+    /// Packs the transpose once (an `O(k·m)` copy, negligible next to the
+    /// `O(m·k·n)` product) and runs the blocked GEMM on it. The per-element
+    /// accumulation order and zero-skip condition are identical to
+    /// [`Tensor::matmul_tn_naive`], so the results match bit-for-bit.
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] on rank or dimension mismatch.
     pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        let (k, m) = rank2(self, "matmul_tn lhs")?;
+        let (k2, n) = rank2(other, "matmul_tn rhs")?;
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_tn outer dimensions disagree: {} vs {}",
+                k, k2
+            )));
+        }
+        let a = self.as_slice();
+        // pack Aᵀ row-major so workers read contiguous rows
+        let mut at = vec![0.0f32; m * k];
+        for p in 0..k {
+            for (i, &av) in a[p * m..(p + 1) * m].iter().enumerate() {
+                at[i * k + p] = av;
+            }
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm::gemm(&at, other.as_slice(), m, k, n, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Reference implementation of [`Tensor::matmul_tn`] (original p-outer
+    /// scalar loop), retained as the test oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or dimension mismatch.
+    pub fn matmul_tn_naive(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
         let (k, m) = rank2(self, "matmul_tn lhs")?;
         let (k2, n) = rank2(other, "matmul_tn rhs")?;
         if k != k2 {
@@ -83,21 +131,32 @@ impl Tensor {
         Tensor::from_vec(out, &[m, n])
     }
 
-    /// `self · other.transpose()` without materializing the transpose:
-    /// `(m × k) · (n × k)ᵀ → (m × n)`.
+    /// `self · other.transpose()`: `(m × k) · (n × k)ᵀ → (m × n)`.
+    ///
+    /// Row-blocked: each B row is streamed once per block of A rows
+    /// instead of once per row (the naive `i/j` order re-read all of B for
+    /// every output row). Each element is still one flat ascending dot
+    /// product, so results are bit-identical to
+    /// [`Tensor::matmul_nt_naive`].
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] on rank or dimension mismatch.
     pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
-        let (m, k) = rank2(self, "matmul_nt lhs")?;
-        let (n, k2) = rank2(other, "matmul_nt rhs")?;
-        if k != k2 {
-            return Err(ShapeError::new(format!(
-                "matmul_nt inner dimensions disagree: {} vs {}",
-                k, k2
-            )));
-        }
+        let (m, k, n) = matmul_nt_dims(self, other)?;
+        let mut out = vec![0.0f32; m * n];
+        gemm::gemm_nt(self.as_slice(), other.as_slice(), m, k, n, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Reference implementation of [`Tensor::matmul_nt`] (original
+    /// per-element dot loop), retained as the test oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on rank or dimension mismatch.
+    pub fn matmul_nt_naive(&self, other: &Tensor) -> Result<Tensor, ShapeError> {
+        let (m, k, n) = matmul_nt_dims(self, other)?;
         let a = self.as_slice();
         let b = other.as_slice();
         let mut out = vec![0.0f32; m * n];
@@ -203,6 +262,30 @@ impl Tensor {
     }
 }
 
+fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), ShapeError> {
+    let (m, k) = rank2(a, "matmul lhs")?;
+    let (k2, n) = rank2(b, "matmul rhs")?;
+    if k != k2 {
+        return Err(ShapeError::new(format!(
+            "matmul inner dimensions disagree: {} vs {}",
+            k, k2
+        )));
+    }
+    Ok((m, k, n))
+}
+
+fn matmul_nt_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), ShapeError> {
+    let (m, k) = rank2(a, "matmul_nt lhs")?;
+    let (n, k2) = rank2(b, "matmul_nt rhs")?;
+    if k != k2 {
+        return Err(ShapeError::new(format!(
+            "matmul_nt inner dimensions disagree: {} vs {}",
+            k, k2
+        )));
+    }
+    Ok((m, k, n))
+}
+
 fn rank2(t: &Tensor, what: &str) -> Result<(usize, usize), ShapeError> {
     let dims = t.shape().dims();
     if dims.len() != 2 {
@@ -262,6 +345,101 @@ mod tests {
         let via_nt = a.matmul_nt(&b).unwrap();
         let explicit = a.matmul(&b.transpose().unwrap()).unwrap();
         assert_eq!(via_nt, explicit);
+    }
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Tensor {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| {
+                // sprinkle exact zeros so the naive zero-skip paths execute
+                if i % 17 == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0..2.0)
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, &[rows, cols]).unwrap()
+    }
+
+    /// Non-square shapes chosen to straddle the blocking factors (MR=4,
+    /// MI=8, NC/KC=256) and both sides of the parallel-dispatch threshold.
+    const ODD_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 2),
+        (7, 13, 9),
+        (17, 31, 13),
+        (33, 70, 41),
+        (5, 300, 270),
+        (64, 128, 96),
+    ];
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive() {
+        for &(m, k, n) in ODD_SHAPES {
+            let a = random_matrix(m, k, 11 + m as u64);
+            let b = random_matrix(k, n, 23 + n as u64);
+            let fast = a.matmul(&b).unwrap();
+            let naive = a.matmul_naive(&b).unwrap();
+            assert_eq!(fast, naive, "matmul {m}x{k}·{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_tn_is_bit_identical_to_naive() {
+        for &(m, k, n) in ODD_SHAPES {
+            let a = random_matrix(k, m, 31 + m as u64);
+            let b = random_matrix(k, n, 43 + n as u64);
+            let fast = a.matmul_tn(&b).unwrap();
+            let naive = a.matmul_tn_naive(&b).unwrap();
+            assert_eq!(fast, naive, "matmul_tn {k}x{m}ᵀ·{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_nt_is_bit_identical_to_naive() {
+        for &(m, k, n) in ODD_SHAPES {
+            let a = random_matrix(m, k, 53 + m as u64);
+            let b = random_matrix(n, k, 61 + n as u64);
+            let fast = a.matmul_nt(&b).unwrap();
+            let naive = a.matmul_nt_naive(&b).unwrap();
+            assert_eq!(fast, naive, "matmul_nt {m}x{k}·{n}x{k}ᵀ");
+        }
+    }
+
+    #[test]
+    fn matmul_results_independent_of_thread_count() {
+        let a = random_matrix(33, 70, 5);
+        let b = random_matrix(70, 41, 6);
+        let bt = random_matrix(41, 70, 7);
+        let serial =
+            univsa_par::with_threads(1, || (a.matmul(&b).unwrap(), a.matmul_nt(&bt).unwrap()));
+        let parallel =
+            univsa_par::with_threads(4, || (a.matmul(&b).unwrap(), a.matmul_nt(&bt).unwrap()));
+        assert_eq!(serial, parallel);
+    }
+
+    /// All three variants against an explicit-transpose reference on
+    /// non-square shapes (the ISSUE 3 satellite regression test).
+    #[test]
+    fn matmul_variants_match_explicit_transpose_on_nonsquare() {
+        for &(m, k, n) in &[(7usize, 13usize, 9usize), (17, 31, 13), (5, 300, 270)] {
+            let a = random_matrix(m, k, 71);
+            let b = random_matrix(k, n, 73);
+            let at = random_matrix(k, m, 79);
+            let bt = random_matrix(n, k, 83);
+            assert_eq!(
+                at.matmul_tn(&b).unwrap(),
+                at.transpose().unwrap().matmul_naive(&b).unwrap()
+            );
+            assert_eq!(
+                a.matmul_nt(&bt).unwrap(),
+                a.matmul_naive(&bt.transpose().unwrap()).unwrap()
+            );
+            assert_eq!(a.matmul(&b).unwrap(), a.matmul_naive(&b).unwrap());
+        }
     }
 
     #[test]
