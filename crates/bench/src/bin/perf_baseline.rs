@@ -9,21 +9,28 @@
 //! * simulated hardware cycles (single-sample latency, initiation
 //!   interval, streamed-schedule makespan).
 //!
-//! Schema `univsa-perf-baseline/v2` additionally records the effective
+//! Schema `univsa-perf-baseline/v3` additionally records the effective
 //! worker-pool thread count, per-task and total speedup against the
-//! previously committed report at the output path (v1 reports parse fine
-//! — the extra fields are simply absent there), and per-stage pool
+//! previously committed report at the output path (v1/v2 reports parse
+//! fine — the extra fields are simply absent there), per-stage pool
 //! utilization (regions/chunks/busy/wall/occupancy from
-//! [`univsa_par::stats`], also bridged into `univsa-telemetry` counters).
+//! [`univsa_par::stats`], also bridged into `univsa-telemetry` counters),
+//! the git commit the report was produced from (when a git checkout is
+//! available), and — with `--trace PATH` — the path of a Chrome
+//! trace-event JSON capture of the whole sweep (causal spans from all
+//! three layers plus per-worker pool lanes), viewable in Perfetto or
+//! `chrome://tracing`. The `univsa bench-diff` sentinel consumes these
+//! reports and accepts every schema version published so far.
 //!
 //! The per-sample latency loop stays strictly serial: it times individual
 //! `infer` calls, and sharing cores with other samples would corrupt the
 //! percentiles. Accuracy evaluation and training fan out to the pool.
 //!
 //! Usage: `cargo run -p univsa-bench --release --bin perf_baseline
-//! [--out PATH] [--seed S] [--quiet]`. Honours `UNIVSA_QUICK=1` for a
-//! reduced-budget smoke run (the `quick` flag in the report records which
-//! mode produced it) and `UNIVSA_THREADS=N` for the pool width.
+//! [--out PATH] [--seed S] [--trace PATH] [--quiet]`. Honours
+//! `UNIVSA_QUICK=1` for a reduced-budget smoke run (the `quick` flag in
+//! the report records which mode produced it) and `UNIVSA_THREADS=N` for
+//! the pool width.
 
 use std::time::Instant;
 
@@ -51,9 +58,9 @@ fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
 }
 
 /// Per-task `train_seconds` from a previously written report, if one is
-/// readable at `path`. Accepts both the v1 and v2 schema (the fields read
-/// here are common to both), so regenerating over an old baseline still
-/// yields speedup figures.
+/// readable at `path`. Accepts every published schema version (the fields
+/// read here are common to all), so regenerating over an old baseline
+/// still yields speedup figures.
 fn previous_train_seconds(path: &str) -> Vec<(String, f64)> {
     let Ok(bytes) = std::fs::read(path) else {
         return Vec::new();
@@ -178,14 +185,32 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniV
     Ok((row, train_seconds))
 }
 
+/// The short hash of the checked-out git commit, when the report is
+/// produced inside a git work tree with git on PATH (best effort — the
+/// field is simply absent otherwise, and `bench-diff` treats it as
+/// optional).
+fn git_commit() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let hash = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (!hash.is_empty()).then_some(hash)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_univsa.json".to_string();
+    let mut trace_path: Option<String> = None;
     let mut seed = 42u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--trace" => trace_path = Some(it.next().expect("--trace needs a path").clone()),
             "--seed" => {
                 seed = it
                     .next()
@@ -194,8 +219,11 @@ fn main() {
                     .expect("bad --seed");
             }
             "--quiet" | "-q" => {} // consumed by univsa_bench::quiet_mode
-            other => panic!("unknown argument {other:?} (expected --out/--seed/--quiet)"),
+            other => panic!("unknown argument {other:?} (expected --out/--seed/--trace/--quiet)"),
         }
+    }
+    if trace_path.is_some() {
+        univsa_telemetry::enable_tracing(univsa_telemetry::DEFAULT_TRACE_CAPACITY);
     }
 
     let previous = previous_train_seconds(&out_path);
@@ -230,13 +258,19 @@ fn main() {
         rows.push(Json::Obj(fields));
     }
     let mut fields = vec![
-        ("schema".into(), Json::Str("univsa-perf-baseline/v2".into())),
+        ("schema".into(), Json::Str("univsa-perf-baseline/v3".into())),
         ("quick".into(), Json::Bool(quick_mode())),
         ("seed".into(), num_u(seed)),
         ("threads".into(), num_u(threads as u64)),
         ("threads_source".into(), Json::Str(source.describe().into())),
         ("total_seconds".into(), num_f(total.elapsed().as_secs_f64())),
     ];
+    if let Some(hash) = git_commit() {
+        fields.push(("git_commit".into(), Json::Str(hash)));
+    }
+    if let Some(path) = &trace_path {
+        fields.push(("trace".into(), Json::Str(path.clone())));
+    }
     if prev_total > 0.0 && new_total > 0.0 {
         fields.push((
             "train_speedup".into(),
@@ -258,5 +292,23 @@ fn main() {
             total.elapsed().as_secs_f64()
         ),
     );
+    if let Some(path) = &trace_path {
+        let recorder = univsa_telemetry::take_recorder();
+        std::fs::write(path, univsa_telemetry::chrome_trace_json(&recorder)).expect("write trace");
+        progress(
+            "perf_baseline",
+            &format!(
+                "wrote trace {path} ({} spans on {} lane(s), {} hw events{})",
+                recorder.events.len(),
+                recorder.lanes.len(),
+                recorder.virtual_events.len(),
+                if recorder.dropped > 0 {
+                    format!(", {} dropped", recorder.dropped)
+                } else {
+                    String::new()
+                }
+            ),
+        );
+    }
     finish_telemetry();
 }

@@ -1,0 +1,514 @@
+//! The perf-regression sentinel: compares two `perf_baseline` reports
+//! (`BENCH_univsa.json`) metric by metric against configurable thresholds.
+//!
+//! [`parse_report`] accepts every report schema published so far
+//! (`univsa-perf-baseline/v1` through `v3`) — fields added by later
+//! versions are simply optional. [`diff`] pairs tasks by name and checks:
+//!
+//! | metric | gate | meaning |
+//! |---|---|---|
+//! | `train_seconds` | `train_pct` | % wall-time increase |
+//! | `latency_us.p50` / `.p99` | `latency_pct` | % latency increase |
+//! | `hw_cycles.*` | `cycles_pct` | % cycle increase (deterministic — default 0) |
+//! | `test_accuracy` | `accuracy_drop` | absolute accuracy decrease |
+//!
+//! A task present in the old report but missing from the new one is
+//! always a regression; a brand-new task is informational. Each gate can
+//! be disabled (`None`) — CI uses this to compare a quick-mode run
+//! against the committed full-mode baseline, where wall-clock and
+//! accuracy figures are not commensurable but the hardware cycle counts
+//! (derived from the configuration alone) must match exactly.
+
+use std::fmt::Write as _;
+
+use univsa::json::{self, Json};
+
+/// Per-metric regression gates. `None` disables a gate entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    /// Maximum tolerated `train_seconds` increase, in percent.
+    pub train_pct: Option<f64>,
+    /// Maximum tolerated p50/p99 latency increase, in percent.
+    pub latency_pct: Option<f64>,
+    /// Maximum tolerated hardware-cycle increase, in percent (cycles are
+    /// deterministic, so the default tolerates none).
+    pub cycles_pct: Option<f64>,
+    /// Maximum tolerated absolute `test_accuracy` drop.
+    pub accuracy_drop: Option<f64>,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            train_pct: Some(25.0),
+            latency_pct: Some(25.0),
+            cycles_pct: Some(0.0),
+            accuracy_drop: Some(0.02),
+        }
+    }
+}
+
+/// The metrics extracted for one task row of a report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskMetrics {
+    /// Task name (`HAR`, `ISOLET`, …).
+    pub name: String,
+    /// Training wall time in seconds.
+    pub train_seconds: Option<f64>,
+    /// Held-out accuracy in `[0, 1]`.
+    pub accuracy: Option<f64>,
+    /// Median per-sample inference latency, microseconds.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile per-sample inference latency, microseconds.
+    pub p99_us: Option<f64>,
+    /// Single-sample hardware latency, cycles.
+    pub sample_latency_cycles: Option<f64>,
+    /// Pipeline initiation interval, cycles.
+    pub initiation_interval_cycles: Option<f64>,
+    /// Streamed-schedule makespan, cycles.
+    pub makespan_cycles: Option<f64>,
+}
+
+/// A parsed `perf_baseline` report (any schema version).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// The full schema string, e.g. `univsa-perf-baseline/v3`.
+    pub schema: String,
+    /// Whether the report came from a `UNIVSA_QUICK=1` run.
+    pub quick: Option<bool>,
+    /// Worker-pool width used (v2+).
+    pub threads: Option<u64>,
+    /// Git commit the report was produced from (v3+).
+    pub git_commit: Option<String>,
+    /// Per-task metric rows.
+    pub tasks: Vec<TaskMetrics>,
+}
+
+fn get_f64(row: &Json, key: &str) -> Option<f64> {
+    row.get(key).and_then(Json::as_f64)
+}
+
+/// Parses a `perf_baseline` report of any published schema version.
+///
+/// # Errors
+///
+/// Returns a user-facing message when the bytes are not JSON or the
+/// document is not a `univsa-perf-baseline/*` report.
+pub fn parse_report(bytes: &[u8]) -> Result<Report, String> {
+    let doc = json::parse(bytes).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = match doc.get("schema") {
+        Some(Json::Str(s)) if s.starts_with("univsa-perf-baseline/") => s.clone(),
+        Some(Json::Str(s)) => return Err(format!("unrecognized report schema {s:?}")),
+        _ => return Err("missing \"schema\" field (not a perf_baseline report)".into()),
+    };
+    let mut report = Report {
+        schema,
+        quick: doc.get("quick").and_then(Json::as_bool),
+        threads: doc.get("threads").and_then(Json::as_u64),
+        git_commit: match doc.get("git_commit") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        },
+        tasks: Vec::new(),
+    };
+    for row in doc.get("tasks").and_then(Json::as_arr).unwrap_or(&[]) {
+        let Some(Json::Str(name)) = row.get("task") else {
+            continue;
+        };
+        let latency = row.get("latency_us");
+        let cycles = row.get("hw_cycles");
+        report.tasks.push(TaskMetrics {
+            name: name.clone(),
+            train_seconds: get_f64(row, "train_seconds"),
+            accuracy: get_f64(row, "test_accuracy"),
+            p50_us: latency.and_then(|l| get_f64(l, "p50")),
+            p99_us: latency.and_then(|l| get_f64(l, "p99")),
+            sample_latency_cycles: cycles.and_then(|c| get_f64(c, "sample_latency")),
+            initiation_interval_cycles: cycles.and_then(|c| get_f64(c, "initiation_interval")),
+            makespan_cycles: cycles.and_then(|c| get_f64(c, "makespan")),
+        });
+    }
+    Ok(report)
+}
+
+/// Reads and parses a report file.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unreadable files or malformed
+/// reports (prefixed with the path).
+pub fn load_report(path: &str) -> Result<Report, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_report(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// How a metric delta is judged against its threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Percentage increase over the old value.
+    PctIncrease,
+    /// Absolute decrease from the old value (accuracy).
+    AbsDecrease,
+}
+
+/// One compared metric of one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Task name.
+    pub task: String,
+    /// Metric label (`train_seconds`, `latency_p50_us`, …).
+    pub metric: &'static str,
+    /// Value in the old report.
+    pub old: f64,
+    /// Value in the new report.
+    pub new: f64,
+    /// Percent change for [`Gate::PctIncrease`] metrics, absolute change
+    /// (`new - old`) for [`Gate::AbsDecrease`] metrics.
+    pub delta: f64,
+    /// How the delta is gated.
+    pub gate: Gate,
+    /// The configured threshold, if this gate is enabled.
+    pub threshold: Option<f64>,
+    /// Whether the delta breaches the threshold.
+    pub regressed: bool,
+}
+
+/// The result of diffing two reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffOutcome {
+    /// Every compared metric, in report order.
+    pub rows: Vec<MetricDelta>,
+    /// Tasks present in the old report but missing from the new one
+    /// (always a regression).
+    pub missing_tasks: Vec<String>,
+    /// Tasks only present in the new report (informational).
+    pub added_tasks: Vec<String>,
+    /// Human-readable notes (mode mismatch etc.).
+    pub notes: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Whether any gate fired (including missing tasks).
+    pub fn regressed(&self) -> bool {
+        !self.missing_tasks.is_empty() || self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Renders the delta table (plus notes and the verdict line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
+        let _ = writeln!(
+            out,
+            "{:<10} {:<26} {:>12} {:>12} {:>10} {:>10}  status",
+            "task", "metric", "old", "new", "delta", "limit"
+        );
+        for r in &self.rows {
+            let (delta, limit) = match r.gate {
+                Gate::PctIncrease => (
+                    format!("{:+.2}%", r.delta),
+                    r.threshold
+                        .map(|t| format!("+{t:.2}%"))
+                        .unwrap_or_else(|| "off".into()),
+                ),
+                Gate::AbsDecrease => (
+                    format!("{:+.4}", r.delta),
+                    r.threshold
+                        .map(|t| format!("-{t:.4}"))
+                        .unwrap_or_else(|| "off".into()),
+                ),
+            };
+            let _ = writeln!(
+                out,
+                "{:<10} {:<26} {:>12.3} {:>12.3} {:>10} {:>10}  {}",
+                r.task,
+                r.metric,
+                r.old,
+                r.new,
+                delta,
+                limit,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        for task in &self.missing_tasks {
+            let _ = writeln!(out, "{task:<10} (task missing from new report)  REGRESSED");
+        }
+        for task in &self.added_tasks {
+            let _ = writeln!(out, "{task:<10} (new task, no baseline)");
+        }
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.regressed() {
+                "REGRESSION"
+            } else {
+                "no regression"
+            }
+        );
+        out
+    }
+}
+
+fn push_pct(
+    rows: &mut Vec<MetricDelta>,
+    task: &str,
+    metric: &'static str,
+    old: Option<f64>,
+    new: Option<f64>,
+    threshold: Option<f64>,
+) {
+    let (Some(old), Some(new)) = (old, new) else {
+        return;
+    };
+    if old <= 0.0 {
+        return;
+    }
+    let delta = (new - old) / old * 100.0;
+    rows.push(MetricDelta {
+        task: task.to_string(),
+        metric,
+        old,
+        new,
+        delta,
+        gate: Gate::PctIncrease,
+        threshold,
+        // a strict `>` so a 0% threshold passes bit-identical values
+        regressed: threshold.is_some_and(|t| delta > t),
+    });
+}
+
+fn push_abs_drop(
+    rows: &mut Vec<MetricDelta>,
+    task: &str,
+    metric: &'static str,
+    old: Option<f64>,
+    new: Option<f64>,
+    threshold: Option<f64>,
+) {
+    let (Some(old), Some(new)) = (old, new) else {
+        return;
+    };
+    let delta = new - old;
+    rows.push(MetricDelta {
+        task: task.to_string(),
+        metric,
+        old,
+        new,
+        delta,
+        gate: Gate::AbsDecrease,
+        threshold,
+        regressed: threshold.is_some_and(|t| -delta > t),
+    });
+}
+
+/// Compares `new` against `old` under the given thresholds.
+pub fn diff(old: &Report, new: &Report, thresholds: &Thresholds) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    if let (Some(a), Some(b)) = (old.quick, new.quick) {
+        if a != b {
+            out.notes.push(format!(
+                "mode mismatch (old quick={a}, new quick={b}): wall-clock and accuracy \
+                 comparisons are not commensurable; consider gating cycles only"
+            ));
+        }
+    }
+    for old_task in &old.tasks {
+        let Some(new_task) = new.tasks.iter().find(|t| t.name == old_task.name) else {
+            out.missing_tasks.push(old_task.name.clone());
+            continue;
+        };
+        let rows = &mut out.rows;
+        let t = old_task.name.as_str();
+        push_pct(
+            rows,
+            t,
+            "train_seconds",
+            old_task.train_seconds,
+            new_task.train_seconds,
+            thresholds.train_pct,
+        );
+        push_pct(
+            rows,
+            t,
+            "latency_p50_us",
+            old_task.p50_us,
+            new_task.p50_us,
+            thresholds.latency_pct,
+        );
+        push_pct(
+            rows,
+            t,
+            "latency_p99_us",
+            old_task.p99_us,
+            new_task.p99_us,
+            thresholds.latency_pct,
+        );
+        push_pct(
+            rows,
+            t,
+            "hw_sample_latency_cycles",
+            old_task.sample_latency_cycles,
+            new_task.sample_latency_cycles,
+            thresholds.cycles_pct,
+        );
+        push_pct(
+            rows,
+            t,
+            "hw_initiation_interval",
+            old_task.initiation_interval_cycles,
+            new_task.initiation_interval_cycles,
+            thresholds.cycles_pct,
+        );
+        push_pct(
+            rows,
+            t,
+            "hw_makespan_cycles",
+            old_task.makespan_cycles,
+            new_task.makespan_cycles,
+            thresholds.cycles_pct,
+        );
+        push_abs_drop(
+            rows,
+            t,
+            "test_accuracy",
+            old_task.accuracy,
+            new_task.accuracy,
+            thresholds.accuracy_drop,
+        );
+    }
+    for new_task in &new.tasks {
+        if !old.tasks.iter().any(|t| t.name == new_task.name) {
+            out.added_tasks.push(new_task.name.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(train: f64, p99: f64, makespan: f64, acc: f64) -> Report {
+        let text = format!(
+            r#"{{"schema":"univsa-perf-baseline/v2","quick":false,"threads":4,
+                "tasks":[{{"task":"HAR","train_seconds":{train},"test_accuracy":{acc},
+                "latency_us":{{"mean":10.0,"p50":9.0,"p90":11.0,"p99":{p99}}},
+                "hw_cycles":{{"sample_latency":100,"initiation_interval":40,
+                "streamed_samples":64,"makespan":{makespan}}}}}]}}"#
+        );
+        parse_report(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass_even_with_zero_cycle_tolerance() {
+        let r = report(10.0, 12.0, 2620.0, 0.95);
+        let outcome = diff(&r, &r, &Thresholds::default());
+        assert!(!outcome.regressed(), "{}", outcome.render());
+        assert!(!outcome.rows.is_empty());
+    }
+
+    #[test]
+    fn train_time_regression_fires() {
+        let old = report(10.0, 12.0, 2620.0, 0.95);
+        let new = report(14.0, 12.0, 2620.0, 0.95);
+        let outcome = diff(&old, &new, &Thresholds::default());
+        assert!(outcome.regressed());
+        let row = outcome
+            .rows
+            .iter()
+            .find(|r| r.metric == "train_seconds")
+            .unwrap();
+        assert!(row.regressed);
+        assert!((row.delta - 40.0).abs() < 1e-9);
+        assert!(outcome.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn cycle_regression_fires_at_zero_tolerance() {
+        let old = report(10.0, 12.0, 2620.0, 0.95);
+        let new = report(10.0, 12.0, 2621.0, 0.95);
+        let outcome = diff(&old, &new, &Thresholds::default());
+        assert!(outcome.regressed());
+        assert!(outcome
+            .rows
+            .iter()
+            .any(|r| r.metric == "hw_makespan_cycles" && r.regressed));
+    }
+
+    #[test]
+    fn accuracy_drop_fires_only_past_threshold() {
+        let old = report(10.0, 12.0, 2620.0, 0.95);
+        let ok = report(10.0, 12.0, 2620.0, 0.94);
+        let bad = report(10.0, 12.0, 2620.0, 0.90);
+        assert!(!diff(&old, &ok, &Thresholds::default()).regressed());
+        let outcome = diff(&old, &bad, &Thresholds::default());
+        assert!(outcome
+            .rows
+            .iter()
+            .any(|r| r.metric == "test_accuracy" && r.regressed));
+        // accuracy *improvement* never fires
+        assert!(!diff(&bad, &old, &Thresholds::default()).regressed());
+    }
+
+    #[test]
+    fn disabled_gates_never_fire() {
+        let old = report(10.0, 12.0, 2620.0, 0.95);
+        let new = report(99.0, 99.0, 9999.0, 0.10);
+        let off = Thresholds {
+            train_pct: None,
+            latency_pct: None,
+            cycles_pct: None,
+            accuracy_drop: None,
+        };
+        assert!(!diff(&old, &new, &off).regressed());
+    }
+
+    #[test]
+    fn missing_task_is_a_regression() {
+        let old = report(10.0, 12.0, 2620.0, 0.95);
+        let mut new = old.clone();
+        new.tasks.clear();
+        let outcome = diff(&old, &new, &Thresholds::default());
+        assert!(outcome.regressed());
+        assert_eq!(outcome.missing_tasks, vec!["HAR".to_string()]);
+    }
+
+    #[test]
+    fn v1_reports_without_new_fields_parse() {
+        let text = br#"{"schema":"univsa-perf-baseline/v1",
+            "tasks":[{"task":"HAR","train_seconds":5.0,"test_accuracy":0.9}]}"#;
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.schema, "univsa-perf-baseline/v1");
+        assert_eq!(r.threads, None);
+        assert_eq!(r.git_commit, None);
+        assert_eq!(r.tasks.len(), 1);
+        assert_eq!(r.tasks[0].p99_us, None);
+    }
+
+    #[test]
+    fn v3_fields_are_read() {
+        let text = br#"{"schema":"univsa-perf-baseline/v3","quick":true,"threads":2,
+            "git_commit":"abc123","trace":"out.json","tasks":[]}"#;
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.git_commit.as_deref(), Some("abc123"));
+        assert_eq!(r.quick, Some(true));
+    }
+
+    #[test]
+    fn non_reports_are_rejected() {
+        assert!(parse_report(b"not json").is_err());
+        assert!(parse_report(b"{}").is_err());
+        assert!(parse_report(br#"{"schema":"other/v1"}"#).is_err());
+    }
+
+    #[test]
+    fn mode_mismatch_is_noted() {
+        let mut old = report(10.0, 12.0, 2620.0, 0.95);
+        old.quick = Some(false);
+        let mut new = old.clone();
+        new.quick = Some(true);
+        let outcome = diff(&old, &new, &Thresholds::default());
+        assert!(outcome.notes.iter().any(|n| n.contains("mode mismatch")));
+    }
+}

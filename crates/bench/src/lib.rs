@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
+
 use std::sync::OnceLock;
 
 use univsa::{TrainOptions, UniVsaConfig, UniVsaError, UniVsaModel, UniVsaTrainer};

@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use univsa_bench::diff::Thresholds;
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -67,6 +69,17 @@ pub enum Command {
         /// Worker-pool width override (`None` = `UNIVSA_THREADS` or
         /// available parallelism).
         threads: Option<usize>,
+        /// Chrome trace-event JSON output path (`--trace out.json`).
+        trace: Option<String>,
+    },
+    /// `univsa bench-diff <old> <new> [--max-train-regress P|none] …`
+    BenchDiff {
+        /// Baseline report path.
+        old: String,
+        /// Candidate report path.
+        new: String,
+        /// Per-metric regression gates.
+        thresholds: Thresholds,
     },
     /// `univsa tasks`
     Tasks,
@@ -100,7 +113,10 @@ USAGE:
   univsa rtl   --model MODEL --out-dir DIR
   univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
   univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
-                 [--threads T]
+                 [--threads T] [--trace OUT.json]
+  univsa bench-diff OLD.json NEW.json [--max-train-regress PCT|none]
+                 [--max-latency-regress PCT|none] [--max-cycles-regress PCT|none]
+                 [--max-accuracy-drop ABS|none]
   univsa tasks
   univsa help
 
@@ -111,6 +127,17 @@ thread count plus per-stage pool occupancy. `--threads T` (or the
 UNIVSA_THREADS environment variable) sets the pool width; results are
 bit-identical at every width. Set UNIVSA_TELEMETRY=summary or
 UNIVSA_TELEMETRY=jsonl:<path> to capture the underlying spans.
+`--trace OUT.json` additionally records a causal trace of the whole run
+(training epochs, per-sample inference stages, per-worker pool lanes,
+and the cycle-level hardware schedule on a virtual-time track) and
+writes it as Chrome trace-event JSON, viewable at https://ui.perfetto.dev
+or chrome://tracing.
+
+`bench-diff` compares two perf_baseline reports (BENCH_univsa.json)
+metric by metric and exits nonzero when any gate fires: train wall time
+and p50/p99 latency (percent increase, default 25), hardware cycles
+(percent increase, default 0 — cycle counts are deterministic), and
+accuracy (absolute drop, default 0.02). Pass `none` to disable a gate.
 
 Built-in tasks: EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR (synthetic,
 with the paper's Table I geometry). CSV format: one sample per line,
@@ -216,12 +243,85 @@ impl Command {
                     epochs,
                     samples,
                     threads,
+                    trace: flags_get(&flags, "trace"),
                 })
             }
+            "bench-diff" => parse_bench_diff(rest),
             other => Err(ParseArgsError(format!(
                 "unknown subcommand {other:?}; run `univsa help`"
             ))),
         }
+    }
+}
+
+/// The threshold flags `bench-diff` accepts (everything else is a typo).
+const BENCH_DIFF_FLAGS: [&str; 4] = [
+    "max-train-regress",
+    "max-latency-regress",
+    "max-cycles-regress",
+    "max-accuracy-drop",
+];
+
+fn parse_bench_diff(rest: &[String]) -> Result<Command, ParseArgsError> {
+    // two positional report paths, then threshold flags in any position
+    let mut positionals = Vec::new();
+    let mut flag_args = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with("--") {
+            flag_args.push(arg.clone());
+            match it.next() {
+                Some(v) => flag_args.push(v.clone()),
+                None => return Err(ParseArgsError(format!("{arg} needs a value"))),
+            }
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    if positionals.len() != 2 {
+        return Err(ParseArgsError(
+            "bench-diff needs exactly two report paths: univsa bench-diff <old> <new>".into(),
+        ));
+    }
+    let flags = parse_flags(&flag_args)?;
+    for (name, _) in &flags {
+        if !BENCH_DIFF_FLAGS.contains(&name.as_str()) {
+            return Err(ParseArgsError(format!(
+                "unknown bench-diff flag --{name} (expected one of --{})",
+                BENCH_DIFF_FLAGS.join(" --")
+            )));
+        }
+    }
+    let defaults = Thresholds::default();
+    let thresholds = Thresholds {
+        train_pct: parse_threshold(&flags, "max-train-regress", defaults.train_pct)?,
+        latency_pct: parse_threshold(&flags, "max-latency-regress", defaults.latency_pct)?,
+        cycles_pct: parse_threshold(&flags, "max-cycles-regress", defaults.cycles_pct)?,
+        accuracy_drop: parse_threshold(&flags, "max-accuracy-drop", defaults.accuracy_drop)?,
+    };
+    let mut paths = positionals.into_iter();
+    Ok(Command::BenchDiff {
+        old: paths.next().expect("two positionals checked"),
+        new: paths.next().expect("two positionals checked"),
+        thresholds,
+    })
+}
+
+/// Parses a gate value: a non-negative number, or `none`/`off` to disable.
+fn parse_threshold(
+    flags: &Flags,
+    name: &str,
+    default: Option<f64>,
+) -> Result<Option<f64>, ParseArgsError> {
+    match flags_get(flags, name) {
+        None => Ok(default),
+        Some(v) if v.eq_ignore_ascii_case("none") || v.eq_ignore_ascii_case("off") => Ok(None),
+        Some(v) => match v.parse::<f64>() {
+            Ok(x) if x >= 0.0 && x.is_finite() => Ok(Some(x)),
+            _ => Err(ParseArgsError(format!(
+                "bad --{name} {v:?} (want a non-negative number or `none`)"
+            ))),
+        },
     }
 }
 
@@ -497,10 +597,11 @@ mod tests {
                 epochs: None,
                 samples: 64,
                 threads: None,
+                trace: None,
             }
         );
         let cmd = Command::parse(&argv(
-            "profile --task ISOLET --seed 7 --epochs 5 --samples 16 --threads 4",
+            "profile --task ISOLET --seed 7 --epochs 5 --samples 16 --threads 4 --trace out.json",
         ))
         .unwrap();
         assert_eq!(
@@ -511,8 +612,50 @@ mod tests {
                 epochs: Some(5),
                 samples: 16,
                 threads: Some(4),
+                trace: Some("out.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn bench_diff_parses_positionals_and_thresholds() {
+        let cmd = Command::parse(&argv("bench-diff old.json new.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchDiff {
+                old: "old.json".into(),
+                new: "new.json".into(),
+                thresholds: Thresholds::default(),
+            }
+        );
+        let cmd = Command::parse(&argv(
+            "bench-diff old.json new.json --max-train-regress none \
+             --max-latency-regress 50 --max-cycles-regress 0 --max-accuracy-drop 0.01",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchDiff {
+                old: "old.json".into(),
+                new: "new.json".into(),
+                thresholds: Thresholds {
+                    train_pct: None,
+                    latency_pct: Some(50.0),
+                    cycles_pct: Some(0.0),
+                    accuracy_drop: Some(0.01),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn bench_diff_rejects_bad_input() {
+        assert!(Command::parse(&argv("bench-diff old.json")).is_err());
+        assert!(Command::parse(&argv("bench-diff a b c")).is_err());
+        assert!(Command::parse(&argv("bench-diff a b --max-train-regress")).is_err());
+        assert!(Command::parse(&argv("bench-diff a b --max-train-regress -5")).is_err());
+        assert!(Command::parse(&argv("bench-diff a b --max-train-regress x")).is_err());
+        assert!(Command::parse(&argv("bench-diff a b --bogus 1")).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use univsa::{
     load_model, save_model, EpochStats, FaultModel, FaultSpec, FaultTarget, TrainOptions,
     UniVsaConfig, UniVsaModel, UniVsaTrainer,
 };
+use univsa_bench::diff;
 use univsa_data::{csv, Dataset, TaskSpec};
 use univsa_hw::{
     export_weights, CostModel, HwConfig, HwReport, Pipeline, Protection, RtlGenerator,
@@ -194,8 +195,41 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             epochs,
             samples,
             threads,
-        } => run_profile(&task, seed, epochs, samples, threads, out),
+            trace,
+        } => run_profile(&task, seed, epochs, samples, threads, trace.as_deref(), out),
+        Command::BenchDiff {
+            old,
+            new,
+            thresholds,
+        } => run_bench_diff(&old, &new, &thresholds, out),
     }
+}
+
+/// Compares two perf_baseline reports and errors (→ nonzero process exit)
+/// when any regression gate fires.
+fn run_bench_diff(
+    old_path: &str,
+    new_path: &str,
+    thresholds: &diff::Thresholds,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    let old = diff::load_report(old_path)?;
+    let new = diff::load_report(new_path)?;
+    writeln!(
+        out,
+        "comparing {old_path} ({}) → {new_path} ({})",
+        old.schema, new.schema
+    )?;
+    let outcome = diff::diff(&old, &new, thresholds);
+    write!(out, "{}", outcome.render())?;
+    if outcome.regressed() {
+        return Err(format!(
+            "performance regression detected ({} gate(s) fired)",
+            outcome.rows.iter().filter(|r| r.regressed).count() + outcome.missing_tasks.len()
+        )
+        .into());
+    }
+    Ok(())
 }
 
 /// Trains a built-in task with its paper configuration and reports timing
@@ -208,10 +242,14 @@ fn run_profile(
     epochs: Option<usize>,
     samples: usize,
     threads: Option<usize>,
+    trace_path: Option<&str>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
     if let Some(t) = threads {
         univsa_par::set_threads(t);
+    }
+    if trace_path.is_some() {
+        univsa_telemetry::enable_tracing(univsa_telemetry::DEFAULT_TRACE_CAPACITY);
     }
     univsa_par::reset_stats();
     let task = univsa_data::tasks::by_name(task, seed)
@@ -337,6 +375,24 @@ fn run_profile(
                 100.0 * s.occupancy()
             )?;
         }
+    }
+    if let Some(path) = trace_path {
+        let recorder = univsa_telemetry::take_recorder();
+        std::fs::write(path, univsa_telemetry::chrome_trace_json(&recorder))
+            .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
+        writeln!(
+            out,
+            "trace: wrote {path} ({} spans on {} lane(s), {} hw events{}) — \
+             open in https://ui.perfetto.dev or chrome://tracing",
+            recorder.events.len(),
+            recorder.lanes.len(),
+            recorder.virtual_events.len(),
+            if recorder.dropped > 0 {
+                format!(", {} dropped", recorder.dropped)
+            } else {
+                String::new()
+            }
+        )?;
     }
     if univsa_telemetry::enabled() {
         writeln!(out, "telemetry: captured (flushed at exit)")?;
@@ -552,6 +608,7 @@ mod tests {
             epochs: Some(2),
             samples: 4,
             threads: None,
+            trace: None,
         })
         .unwrap();
         assert!(text.contains("epoch   1/2"), "{text}");
@@ -562,6 +619,74 @@ mod tests {
     }
 
     #[test]
+    fn profile_trace_writes_chrome_json_with_all_three_layers() {
+        let path =
+            std::env::temp_dir().join(format!("univsa_cli_trace_{}.json", std::process::id()));
+        let text = run_to_string(Command::Profile {
+            task: "bci3v".into(),
+            seed: 5,
+            epochs: Some(2),
+            samples: 4,
+            threads: Some(2),
+            trace: Some(path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(text.contains("trace: wrote"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let doc = univsa::json::parse(json.as_bytes()).expect("trace is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(univsa::json::Json::as_arr)
+            .expect("traceEvents array");
+        let cat = |e: &univsa::json::Json| match e.get("cat") {
+            Some(univsa::json::Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        // all three layers share the one timeline
+        assert!(events.iter().any(|e| cat(e) == "train"), "{json}");
+        assert!(events.iter().any(|e| cat(e) == "infer"), "{json}");
+        assert!(events.iter().any(|e| cat(e) == "hw"), "{json}");
+        // causal parenting made it into the export
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("args").and_then(|a| a.get("parent")).is_some()),
+            "{json}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_diff_passes_identical_and_fails_regressed_reports() {
+        let dir = std::env::temp_dir().join(format!("univsa_bdiff_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = r#"{"schema":"univsa-perf-baseline/v3","quick":false,"threads":1,
+            "tasks":[{"task":"HAR","train_seconds":10.0,"test_accuracy":0.95,
+            "latency_us":{"mean":10.0,"p50":9.0,"p90":11.0,"p99":12.0},
+            "hw_cycles":{"sample_latency":100,"initiation_interval":40,
+            "streamed_samples":64,"makespan":2620}}]}"#;
+        let regressed = base.replace("\"makespan\":2620", "\"makespan\":2621");
+        let old_path = dir.join("old.json");
+        let same_path = dir.join("same.json");
+        let bad_path = dir.join("bad.json");
+        std::fs::write(&old_path, base).unwrap();
+        std::fs::write(&same_path, base).unwrap();
+        std::fs::write(&bad_path, regressed).unwrap();
+
+        let diff_cmd = |new: &std::path::Path| Command::BenchDiff {
+            old: old_path.to_string_lossy().into_owned(),
+            new: new.to_string_lossy().into_owned(),
+            thresholds: diff::Thresholds::default(),
+        };
+        let text = run_to_string(diff_cmd(&same_path)).unwrap();
+        assert!(text.contains("no regression"), "{text}");
+
+        let err = run_to_string(diff_cmd(&bad_path)).unwrap_err();
+        assert!(err.to_string().contains("regression detected"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn profile_unknown_task_is_an_error() {
         let err = run_to_string(Command::Profile {
             task: "MNIST".into(),
@@ -569,6 +694,7 @@ mod tests {
             epochs: Some(1),
             samples: 1,
             threads: None,
+            trace: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown task"));

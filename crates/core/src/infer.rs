@@ -59,6 +59,9 @@ impl UniVsaModel {
     ///
     /// Returns [`UniVsaError::Input`] on geometry mismatch.
     pub fn trace(&self, values: &[u8]) -> Result<InferenceTrace, UniVsaError> {
+        // parent span for the whole sample: the four stage spans recorded
+        // by `stage_mark` causally attach to it while tracing
+        let _sample_span = univsa_telemetry::span("infer", "sample");
         let mut timer = univsa_telemetry::enabled().then(Instant::now);
         let cfg = self.config();
         let value_map = ValueMap::build(

@@ -123,6 +123,12 @@ impl UniVsaTrainer {
         let cfg = &self.config;
         let opt = &self.options;
         self.check_dataset(train)?;
+        // RAII span held for the whole fit so per-epoch spans (and the
+        // pool regions they dispatch) causally nest under it in a trace
+        let fit_span = univsa_telemetry::span("train", "fit")
+            .field("epochs", opt.epochs)
+            .field("samples", train.len())
+            .field("seed", seed);
 
         let mut rng = StdRng::seed_from_u64(seed);
         let d = cfg.vsa_dim();
@@ -358,16 +364,7 @@ impl UniVsaTrainer {
             .collect::<Result<Vec<_>, _>>()?;
         let model = UniVsaModel::from_parts(cfg.clone(), mask, v_h, v_l, kernel, f, c)?;
         let total = fit_start.elapsed();
-        univsa_telemetry::record_span(
-            "train",
-            "fit",
-            total,
-            &[
-                ("epochs", opt.epochs.into()),
-                ("samples", n.into()),
-                ("seed", seed.into()),
-            ],
-        );
+        drop(fit_span);
         observer.on_fit_done(opt.epochs, total);
         Ok(TrainOutcome { model, history })
     }

@@ -211,6 +211,20 @@ impl Pipeline {
         }
         entries.sort_by_key(|e| (e.start, e.sample));
         let trace = ScheduleTrace { entries, makespan };
+        if univsa_telemetry::trace_enabled() {
+            // replay the cycle-level stage occupancy onto the virtual-time
+            // process of the Chrome trace: one track per hardware stage,
+            // the tick clock being cycles rather than nanoseconds
+            for e in &trace.entries {
+                univsa_telemetry::virtual_span(
+                    &e.stage.to_string(),
+                    &format!("sample {}", e.sample),
+                    e.start,
+                    e.end - e.start,
+                    &[("sample", e.sample.into())],
+                );
+            }
+        }
         if univsa_telemetry::enabled() {
             for u in trace.stage_utilization() {
                 let name = u.stage.to_string().to_lowercase();

@@ -36,6 +36,16 @@
 //! inside a worker runs serially, so an outer per-sample fan-out
 //! automatically serializes the tensor kernels it calls.
 //!
+//! ## Trace bridging
+//!
+//! When the `univsa-telemetry` causal flight recorder is on, every region
+//! records a `par.<stage>` trace span, every executed chunk records a
+//! nested `par.chunk` span on its worker's lane (`worker-0`, `worker-1`,
+//! …), and the dispatching thread's causal context is re-entered on each
+//! worker — so fan-out work nests under the span that dispatched it in
+//! the exported Chrome trace. All of this is behind one atomic load and
+//! costs nothing when tracing is off.
+//!
 //! ## Utilization accounting
 //!
 //! Every region records per-stage counters (regions entered, chunks
@@ -262,9 +272,26 @@ where
         return Vec::new();
     }
     let workers = threads().min(len);
+    // trace bridging: the region span is opened before the causal context
+    // is captured, so worker chunks (and any span the task body opens)
+    // nest under the region that dispatched them
+    let tracing = univsa_telemetry::trace_enabled();
+    let _region = tracing.then(|| {
+        univsa_telemetry::trace_region("par", stage)
+            .field("len", len)
+            .field("workers", workers)
+    });
+    let ctx = univsa_telemetry::current_context();
     let start = Instant::now();
     if workers <= 1 {
+        let _chunk_span = tracing.then(|| {
+            univsa_telemetry::trace_region("par", "chunk")
+                .field("stage", stage)
+                .field("offset", 0u64)
+                .field("len", len)
+        });
         let out: Vec<T> = (0..len).map(f).collect();
+        drop(_chunk_span);
         let wall = start.elapsed().as_nanos() as u64;
         record(stage, 1, 1, wall, wall);
         return out;
@@ -284,13 +311,24 @@ where
     );
     let nchunks = queue.lock().expect("par queue lock").len() as u64;
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        let queue = &queue;
+        let busy_total = &busy_total;
+        let f = &f;
+        for w in 0..workers {
+            scope.spawn(move || {
                 let _guard = WorkerGuard::enter();
+                let _lane = tracing.then(|| univsa_telemetry::enter_lane(format!("worker-{w}")));
+                let _ctx = tracing.then(|| univsa_telemetry::enter_context(ctx));
                 let t0 = Instant::now();
                 loop {
                     let item = queue.lock().expect("par queue lock").pop();
                     let Some((offset, chunk)) = item else { break };
+                    let _chunk_span = tracing.then(|| {
+                        univsa_telemetry::trace_region("par", "chunk")
+                            .field("stage", stage)
+                            .field("offset", offset)
+                            .field("len", chunk.len())
+                    });
                     for (j, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(f(offset + j));
                     }
@@ -333,9 +371,22 @@ where
     }
     let nchunks = items.len().div_ceil(chunk);
     let workers = threads().min(nchunks);
+    let tracing = univsa_telemetry::trace_enabled();
+    let _region = tracing.then(|| {
+        univsa_telemetry::trace_region("par", stage)
+            .field("len", items.len())
+            .field("workers", workers)
+    });
+    let ctx = univsa_telemetry::current_context();
     let start = Instant::now();
     if workers <= 1 {
         for (ci, c) in items.chunks_mut(chunk).enumerate() {
+            let _chunk_span = tracing.then(|| {
+                univsa_telemetry::trace_region("par", "chunk")
+                    .field("stage", stage)
+                    .field("offset", ci * chunk)
+                    .field("len", c.len())
+            });
             f(ci * chunk, c);
         }
         let wall = start.elapsed().as_nanos() as u64;
@@ -353,13 +404,24 @@ where
             .collect(),
     );
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        let queue = &queue;
+        let busy_total = &busy_total;
+        let f = &f;
+        for w in 0..workers {
+            scope.spawn(move || {
                 let _guard = WorkerGuard::enter();
+                let _lane = tracing.then(|| univsa_telemetry::enter_lane(format!("worker-{w}")));
+                let _ctx = tracing.then(|| univsa_telemetry::enter_context(ctx));
                 let t0 = Instant::now();
                 loop {
                     let item = queue.lock().expect("par queue lock").pop();
                     let Some((offset, chunk)) = item else { break };
+                    let _chunk_span = tracing.then(|| {
+                        univsa_telemetry::trace_region("par", "chunk")
+                            .field("stage", stage)
+                            .field("offset", offset)
+                            .field("len", chunk.len())
+                    });
                     f(offset, chunk);
                 }
                 busy_total.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -497,6 +559,48 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn trace_bridging_nests_chunks_under_region() {
+        // global tracing: enable once; other tests in this crate do not
+        // inspect the recorder, so leftover events are harmless
+        univsa_telemetry::enable_tracing(1 << 16);
+        let outer = univsa_telemetry::span("test", "dispatch");
+        let outer_id = outer.trace_id().expect("tracing on");
+        let _ = with_threads(4, || map_indexed("test.trace_bridge", 64, |i| i * 2));
+        drop(outer);
+        let rec = univsa_telemetry::take_recorder();
+        let region = rec
+            .events
+            .iter()
+            .find(|e| e.layer == "par" && e.name == "test.trace_bridge")
+            .expect("region span recorded");
+        assert_eq!(region.parent, Some(outer_id));
+        let chunks: Vec<_> = rec
+            .events
+            .iter()
+            .filter(|e| {
+                e.name == "chunk"
+                    && e.fields.iter().any(|(k, v)| {
+                        *k == "stage"
+                            && *v == univsa_telemetry::Value::Str("test.trace_bridge".into())
+                    })
+            })
+            .collect();
+        assert!(!chunks.is_empty());
+        for c in &chunks {
+            assert_eq!(c.parent, Some(region.id), "chunk nests under region");
+            let lane = &rec.lanes[c.lane as usize];
+            assert!(
+                lane == "main" || lane.starts_with("worker-"),
+                "unexpected lane {lane}"
+            );
+        }
+        // with 4 workers over 64 items at least one chunk ran off-main
+        assert!(chunks
+            .iter()
+            .any(|c| rec.lanes[c.lane as usize].starts_with("worker-")));
     }
 
     #[test]

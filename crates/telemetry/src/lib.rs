@@ -13,6 +13,7 @@
 //! | unset / `off` | everything is a no-op (one atomic load per call) |
 //! | `summary` | aggregates kept in memory; [`flush`] prints a table to stderr |
 //! | `jsonl:<path>` | every span/event appended to `<path>` as JSON lines |
+//! | `trace:<path>` | causal flight recorder on; [`flush`] writes a Chrome trace to `<path>` |
 //!
 //! Instrumented hot paths (per-sample inference, per-epoch training, the
 //! cycle-level hardware schedule) therefore cost nothing in production:
@@ -40,9 +41,14 @@
 
 mod histogram;
 mod registry;
+mod trace;
 
 pub use histogram::{Histogram, BUCKET_BOUNDS_NS};
-pub use registry::{Mode, Registry, Span, Value};
+pub use registry::{Mode, Registry, Span, TraceRegion, Value};
+pub use trace::{
+    chrome_trace_json, current_context, current_lane, enter_context, enter_lane, ContextGuard,
+    LaneGuard, Recorder, TraceContext, TraceEvent, VirtualEvent, DEFAULT_TRACE_CAPACITY,
+};
 
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -73,8 +79,15 @@ pub fn registry_from_spec(spec: &str) -> Result<Registry, String> {
         return Registry::jsonl_file(path)
             .map_err(|e| format!("cannot open telemetry sink {path:?}: {e}"));
     }
+    if let Some(path) = spec.strip_prefix("trace:") {
+        if path.is_empty() {
+            return Err("trace mode needs a path: UNIVSA_TELEMETRY=trace:<path>".into());
+        }
+        return Registry::trace_file(path)
+            .map_err(|e| format!("cannot open trace sink {path:?}: {e}"));
+    }
     Err(format!(
-        "unrecognized {ENV_VAR} value {spec:?} (expected off | summary | jsonl:<path>)"
+        "unrecognized {ENV_VAR} value {spec:?} (expected off | summary | jsonl:<path> | trace:<path>)"
     ))
 }
 
@@ -130,6 +143,53 @@ pub fn event(layer: &'static str, message: &str, fields: &[(&'static str, Value)
     global().event(layer, message, fields);
 }
 
+/// Whether the global causal flight recorder is collecting (one atomic
+/// load).
+#[inline]
+pub fn trace_enabled() -> bool {
+    global().is_tracing()
+}
+
+/// Switches the global causal flight recorder on, bounded to `capacity`
+/// retained events (see [`Registry::enable_tracing`]).
+pub fn enable_tracing(capacity: usize) {
+    global().enable_tracing(capacity);
+}
+
+/// Stops the global flight recorder and returns everything it held.
+pub fn take_recorder() -> Recorder {
+    global().take_recorder()
+}
+
+/// Opens a trace-only region on the global registry: flight recorder
+/// only, no histogram/JSONL traffic. Inert and free when tracing is off.
+#[must_use = "a region measures until it is dropped"]
+pub fn trace_region(layer: &'static str, name: &'static str) -> TraceRegion<'static> {
+    global().trace_region(layer, name)
+}
+
+/// Records a virtual-time event (tick clock, e.g. hardware cycles) on the
+/// global registry. No-op when tracing is off.
+pub fn virtual_span(
+    track: &str,
+    name: &str,
+    start: u64,
+    dur: u64,
+    fields: &[(&'static str, Value)],
+) {
+    global().virtual_span(track, name, start, dur, fields);
+}
+
+/// Writes the global flight recorder's contents to `path` as Chrome
+/// trace-event JSON (recording continues).
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the file.
+pub fn export_chrome_trace(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, global().chrome_trace_json())
+}
+
 /// Flushes the global registry (writes JSONL aggregates / prints the
 /// summary table).
 ///
@@ -151,7 +211,33 @@ mod tests {
         assert_eq!(registry_from_spec("OFF").unwrap().mode(), Mode::Off);
         assert_eq!(registry_from_spec("summary").unwrap().mode(), Mode::Summary);
         assert!(registry_from_spec("jsonl:").is_err());
+        assert!(registry_from_spec("trace:").is_err());
         assert!(registry_from_spec("csv:/tmp/x").is_err());
+    }
+
+    #[test]
+    fn unwritable_jsonl_path_is_an_error_not_a_panic() {
+        let err = registry_from_spec("jsonl:/nonexistent-dir/telemetry.jsonl").unwrap_err();
+        assert!(err.contains("cannot open telemetry sink"), "{err}");
+        let err = registry_from_spec("trace:/nonexistent-dir/trace.json").unwrap_err();
+        assert!(err.contains("cannot open trace sink"), "{err}");
+    }
+
+    #[test]
+    fn trace_spec_enables_recorder_and_flush_writes_chrome_json() {
+        let path = std::env::temp_dir().join(format!("univsa_trace_{}.json", std::process::id()));
+        let spec = format!("trace:{}", path.display());
+        let reg = registry_from_spec(&spec).unwrap();
+        assert!(reg.is_tracing());
+        assert!(reg.is_enabled());
+        {
+            let _s = reg.span("train", "epoch");
+        }
+        reg.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"traceEvents\""), "{text}");
+        assert!(text.contains("\"name\":\"epoch\""), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,13 +1,15 @@
-//! The telemetry registry: spans, counters, events, and export.
+//! The telemetry registry: spans, counters, events, causal tracing, and
+//! export.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::histogram::Histogram;
+use crate::trace::{self, Recorder, TraceEvent, VirtualEvent, DEFAULT_TRACE_CAPACITY};
 
 /// What the registry does with recorded data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,7 +107,12 @@ impl From<String> for Value {
     }
 }
 
-fn write_json_str(out: &mut String, s: &str) {
+/// Writes `s` as a JSON string literal. The output is pure ASCII: control
+/// characters (including DEL) and all non-ASCII code points are escaped
+/// as `\uXXXX` (UTF-16 units, so astral-plane characters become surrogate
+/// pairs), which keeps the JSONL stream robust against consumers that
+/// mishandle raw multi-byte sequences.
+pub(crate) fn write_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -114,16 +121,23 @@ fn write_json_str(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || (c as u32) == 0x7f => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
-            c => out.push(c),
+            c if c.is_ascii() => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{:04x}", unit);
+                }
+            }
         }
     }
     out.push('"');
 }
 
-fn write_value(out: &mut String, v: &Value) {
+/// Writes a [`Value`] as a JSON value (non-finite floats become `null`).
+pub(crate) fn write_json_value(out: &mut String, v: &Value) {
     match v {
         Value::U64(n) => {
             let _ = write!(out, "{n}");
@@ -135,7 +149,7 @@ fn write_value(out: &mut String, v: &Value) {
             let _ = write!(out, "{x}");
         }
         Value::F64(_) => out.push_str("null"),
-        Value::Str(s) => write_json_str(out, s),
+        Value::Str(s) => write_json_string(out, s),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
     }
 }
@@ -146,9 +160,9 @@ fn write_fields(out: &mut String, fields: &[(&'static str, Value)]) {
         if i > 0 {
             out.push(',');
         }
-        write_json_str(out, k);
+        write_json_string(out, k);
         out.push(':');
-        write_value(out, v);
+        write_json_value(out, v);
     }
     out.push('}');
 }
@@ -165,15 +179,26 @@ struct State {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     sink: Sink,
+    /// First I/O error hit while writing JSONL lines; surfaced at flush
+    /// instead of panicking mid-measurement.
+    sink_error: Option<std::io::Error>,
+    /// The causal flight recorder, present while tracing is enabled.
+    recorder: Option<Recorder>,
+    /// Where [`Registry::flush`] writes the Chrome trace, when configured
+    /// via `UNIVSA_TELEMETRY=trace:<path>`.
+    trace_path: Option<String>,
 }
 
-/// A telemetry registry: the sink for spans, counters, and events of one
-/// process (usually accessed through [`crate::global`]).
+/// A telemetry registry: the sink for spans, counters, events, and causal
+/// traces of one process (usually accessed through [`crate::global`]).
 ///
-/// When the mode is [`Mode::Off`] every entry point returns after a single
-/// atomic load — no clocks are read and no locks are taken.
+/// When the mode is [`Mode::Off`] and tracing is not enabled, every entry
+/// point returns after a single atomic load — no clocks are read and no
+/// locks are taken.
 pub struct Registry {
     mode: AtomicU8,
+    tracing: AtomicBool,
+    next_span_id: AtomicU64,
     epoch: Instant,
     state: Mutex<State>,
 }
@@ -182,7 +207,22 @@ impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Registry")
             .field("mode", &self.mode())
+            .field("tracing", &self.is_tracing())
             .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Registry {
+    /// Best-effort flush of a buffered file sink so JSONL lines are not
+    /// lost when a registry is dropped without an explicit
+    /// [`flush`](Registry::flush) (the global registry never drops; this
+    /// protects locally constructed registries).
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.state.lock() {
+            if let Sink::File(w) = &mut state.sink {
+                let _ = w.flush();
+            }
+        }
     }
 }
 
@@ -190,11 +230,16 @@ impl Registry {
     fn with_sink(mode: Mode, sink: Sink) -> Self {
         Self {
             mode: AtomicU8::new(mode.as_u8()),
+            tracing: AtomicBool::new(false),
+            next_span_id: AtomicU64::new(1),
             epoch: Instant::now(),
             state: Mutex::new(State {
                 counters: BTreeMap::new(),
                 histograms: BTreeMap::new(),
                 sink,
+                sink_error: None,
+                recorder: None,
+                trace_path: None,
             }),
         }
     }
@@ -229,6 +274,26 @@ impl Registry {
         ))
     }
 
+    /// A registry with causal tracing enabled whose [`Registry::flush`]
+    /// writes the Chrome trace-event JSON to `path`
+    /// (`UNIVSA_TELEMETRY=trace:<path>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if `path` cannot be created (probed eagerly
+    /// so a typo fails at startup, not after the measured run).
+    pub fn trace_file(path: &str) -> std::io::Result<Self> {
+        // probe writability now; the real write happens at flush
+        std::fs::File::create(path)?;
+        let reg = Self::with_sink(Mode::Off, Sink::None);
+        reg.enable_tracing(DEFAULT_TRACE_CAPACITY);
+        reg.state
+            .lock()
+            .expect("telemetry state poisoned")
+            .trace_path = Some(path.to_string());
+        Ok(reg)
+    }
+
     /// The active mode.
     #[inline]
     pub fn mode(&self) -> Mode {
@@ -239,7 +304,44 @@ impl Registry {
     /// enough for per-sample hot paths.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.mode.load(Ordering::Relaxed) != Mode::OFF
+        self.mode.load(Ordering::Relaxed) != Mode::OFF || self.is_tracing()
+    }
+
+    /// Whether the causal flight recorder is collecting (one atomic load).
+    #[inline]
+    pub fn is_tracing(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Switches the causal flight recorder on, bounded to `capacity`
+    /// retained events (further events are counted and dropped). Spans
+    /// recorded from now on carry ids, causal parents, and lane labels.
+    pub fn enable_tracing(&self, capacity: usize) {
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        if state.recorder.is_none() {
+            state.recorder = Some(Recorder::with_capacity(capacity));
+        }
+        self.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops the flight recorder and returns everything it held.
+    pub fn take_recorder(&self) -> Recorder {
+        self.tracing.store(false, Ordering::Relaxed);
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        state.recorder.take().unwrap_or_default()
+    }
+
+    /// A snapshot of the flight recorder (empty when tracing was never
+    /// enabled); recording continues.
+    pub fn recorder_snapshot(&self) -> Recorder {
+        let state = self.state.lock().expect("telemetry state poisoned");
+        state.recorder.clone().unwrap_or_default()
+    }
+
+    /// Renders the current flight-recorder contents as Chrome trace-event
+    /// JSON (see [`trace::chrome_trace_json`]).
+    pub fn chrome_trace_json(&self) -> String {
+        trace::chrome_trace_json(&self.recorder_snapshot())
     }
 
     /// Microseconds since the registry was created (span timestamps).
@@ -247,29 +349,50 @@ impl Registry {
         u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
+    /// Nanoseconds since the registry was created (trace timestamps).
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Assigns a fresh span id and captures the causal parent (the
+    /// innermost open span on this thread), pushing the new id onto the
+    /// thread's span stack.
+    fn open_trace_span(&self) -> (u64, Option<u64>) {
+        let id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let parent = trace::current_parent();
+        trace::push_span(id);
+        (id, parent)
+    }
+
     /// Opens a timed span. The span records a `layer.name` latency
-    /// histogram entry on drop and, in JSONL mode, one line per span.
-    /// No-op (no clock read) when the registry is off.
+    /// histogram entry on drop and, in JSONL mode, one line per span;
+    /// while tracing it additionally lands in the flight recorder with a
+    /// stable id, causal parent, and lane. No-op (no clock read) when the
+    /// registry is off.
     #[must_use = "a span measures until it is dropped"]
     pub fn span(&self, layer: &'static str, name: &'static str) -> Span<'_> {
         if !self.is_enabled() {
             return Span { inner: None };
         }
+        let ids = self.is_tracing().then(|| self.open_trace_span());
         Span {
             inner: Some(SpanInner {
                 registry: self,
                 layer,
                 name,
                 start_us: self.now_us(),
+                start_ns: self.now_ns(),
                 start: Instant::now(),
                 fields: Vec::new(),
+                ids,
             }),
         }
     }
 
     /// Records an already-measured span (the span ended now and lasted
     /// `duration`). Hot paths that time stages with one rolling
-    /// [`Instant`] use this instead of nesting RAII guards.
+    /// [`Instant`] use this instead of nesting RAII guards. While tracing
+    /// the span gets an id and attaches to the innermost open span.
     pub fn record_span(
         &self,
         layer: &'static str,
@@ -282,7 +405,64 @@ impl Registry {
         }
         let dur_us = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
         let start_us = self.now_us().saturating_sub(dur_us);
-        self.finish_span(layer, name, start_us, duration, fields);
+        let ids = self.is_tracing().then(|| {
+            let id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+            (id, trace::current_parent())
+        });
+        let dur_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        let start_ns = self.now_ns().saturating_sub(dur_ns);
+        self.finish_span(layer, name, start_us, start_ns, duration, fields, ids);
+    }
+
+    /// Opens a trace-only region: it lands in the flight recorder with an
+    /// id/parent/lane like any span but skips the histogram and JSONL
+    /// sinks — the shape `univsa-par` uses for per-chunk worker activity,
+    /// which would otherwise flood the aggregate views. Inert (and free)
+    /// when tracing is off.
+    #[must_use = "a region measures until it is dropped"]
+    pub fn trace_region(&self, layer: &'static str, name: &'static str) -> TraceRegion<'_> {
+        if !self.is_tracing() {
+            return TraceRegion { inner: None };
+        }
+        let (id, parent) = self.open_trace_span();
+        TraceRegion {
+            inner: Some(TraceRegionInner {
+                registry: self,
+                layer,
+                name,
+                id,
+                parent,
+                start_ns: self.now_ns(),
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records one virtual-time event (a clock of ticks — e.g. hardware
+    /// cycles — rather than nanoseconds) into the flight recorder, under
+    /// the given track label. No-op when tracing is off.
+    pub fn virtual_span(
+        &self,
+        track: &str,
+        name: &str,
+        start: u64,
+        dur: u64,
+        fields: &[(&'static str, Value)],
+    ) {
+        if !self.is_tracing() {
+            return;
+        }
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        if let Some(rec) = state.recorder.as_mut() {
+            rec.record_virtual(VirtualEvent {
+                track: track.to_string(),
+                name: name.to_string(),
+                start,
+                dur,
+                fields: fields.to_vec(),
+            });
+        }
     }
 
     /// Adds `delta` to a named monotonic counter.
@@ -319,52 +499,110 @@ impl Registry {
         if self.mode() == Mode::Jsonl {
             let mut line = String::with_capacity(96);
             let _ = write!(line, "{{\"type\":\"event\",\"ts_us\":{ts},\"layer\":");
-            write_json_str(&mut line, layer);
+            write_json_string(&mut line, layer);
             line.push_str(",\"message\":");
-            write_json_str(&mut line, message);
+            write_json_string(&mut line, message);
             line.push_str(",\"fields\":");
             write_fields(&mut line, fields);
             line.push('}');
-            Self::write_line(&mut state.sink, &line);
+            Self::write_line(&mut state, &line);
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_span(
         &self,
         layer: &'static str,
         name: &'static str,
         start_us: u64,
+        start_ns: u64,
         elapsed: Duration,
         fields: &[(&'static str, Value)],
+        ids: Option<(u64, Option<u64>)>,
     ) {
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let lane = ids.is_some().then(trace::current_lane);
         let mut state = self.state.lock().expect("telemetry state poisoned");
         state
             .histograms
             .entry(format!("{layer}.{name}"))
             .or_default()
             .record(ns);
+        if let (Some((id, parent)), Some(lane)) = (ids, lane.as_deref()) {
+            if let Some(rec) = state.recorder.as_mut() {
+                let lane = rec.lane_id(lane);
+                rec.record(TraceEvent {
+                    id,
+                    parent,
+                    lane,
+                    layer,
+                    name,
+                    start_ns,
+                    dur_ns: ns,
+                    fields: fields.to_vec(),
+                });
+            }
+        }
         if self.mode() == Mode::Jsonl {
             let mut line = String::with_capacity(128);
             let _ = write!(
                 line,
                 "{{\"type\":\"span\",\"start_us\":{start_us},\"layer\":"
             );
-            write_json_str(&mut line, layer);
+            write_json_string(&mut line, layer);
             line.push_str(",\"name\":");
-            write_json_str(&mut line, name);
+            write_json_string(&mut line, name);
+            if let Some((id, parent)) = ids {
+                let _ = write!(line, ",\"id\":{id}");
+                if let Some(parent) = parent {
+                    let _ = write!(line, ",\"parent\":{parent}");
+                }
+            }
             let _ = write!(line, ",\"dur_ns\":{ns},\"fields\":");
             write_fields(&mut line, fields);
             line.push('}');
-            Self::write_line(&mut state.sink, &line);
+            Self::write_line(&mut state, &line);
         }
     }
 
-    fn write_line(sink: &mut Sink, line: &str) {
-        match sink {
+    /// Records a finished trace-only region into the flight recorder.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_trace_region(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        id: u64,
+        parent: Option<u64>,
+        start_ns: u64,
+        elapsed: Duration,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        let lane = trace::current_lane();
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        if let Some(rec) = state.recorder.as_mut() {
+            let lane = rec.lane_id(&lane);
+            rec.record(TraceEvent {
+                id,
+                parent,
+                lane,
+                layer,
+                name,
+                start_ns,
+                dur_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                fields,
+            });
+        }
+    }
+
+    fn write_line(state: &mut State, line: &str) {
+        match &mut state.sink {
             Sink::None => {}
             Sink::File(w) => {
-                let _ = writeln!(w, "{line}");
+                if let Err(e) = writeln!(w, "{line}") {
+                    if state.sink_error.is_none() {
+                        state.sink_error = Some(e);
+                    }
+                }
             }
             Sink::Buffer(buf) => {
                 buf.extend_from_slice(line.as_bytes());
@@ -410,21 +648,23 @@ impl Registry {
     }
 
     /// Flushes the JSONL sink (appending one `counter` line per counter
-    /// and one `histogram` line per histogram) and, in summary mode,
-    /// prints the summary table to stderr.
+    /// and one `histogram` line per histogram), prints the summary table
+    /// to stderr in summary mode, and writes the Chrome trace file when
+    /// one was configured (`UNIVSA_TELEMETRY=trace:<path>`).
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the file sink cannot be flushed.
+    /// Returns the first I/O error hit while writing or flushing a sink
+    /// (deferred line-write errors surface here rather than panicking at
+    /// the recording site).
     pub fn flush(&self) -> std::io::Result<()> {
         match self.mode() {
-            Mode::Off => Ok(()),
+            Mode::Off => {}
             Mode::Summary => {
                 let text = self.summary_text();
                 if !text.is_empty() {
                     eprint!("--- telemetry summary ---\n{text}");
                 }
-                Ok(())
             }
             Mode::Jsonl => {
                 let mut state = self.state.lock().expect("telemetry state poisoned");
@@ -434,7 +674,7 @@ impl Registry {
                     .map(|(name, v)| {
                         let mut line = String::new();
                         line.push_str("{\"type\":\"counter\",\"name\":");
-                        write_json_str(&mut line, name);
+                        write_json_string(&mut line, name);
                         let _ = write!(line, ",\"value\":{v}}}");
                         line
                     })
@@ -445,7 +685,7 @@ impl Registry {
                     .map(|(name, h)| {
                         let mut line = String::new();
                         line.push_str("{\"type\":\"histogram\",\"name\":");
-                        write_json_str(&mut line, name);
+                        write_json_string(&mut line, name);
                         let _ = write!(
                             line,
                             ",\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
@@ -460,14 +700,24 @@ impl Registry {
                     })
                     .collect();
                 for line in counter_lines.iter().chain(&histogram_lines) {
-                    Self::write_line(&mut state.sink, line);
+                    Self::write_line(&mut state, line);
                 }
-                match &mut state.sink {
-                    Sink::File(w) => w.flush(),
-                    _ => Ok(()),
+                if let Some(e) = state.sink_error.take() {
+                    return Err(e);
+                }
+                if let Sink::File(w) = &mut state.sink {
+                    w.flush()?;
                 }
             }
         }
+        let trace_path = {
+            let state = self.state.lock().expect("telemetry state poisoned");
+            state.trace_path.clone()
+        };
+        if let Some(path) = trace_path {
+            std::fs::write(&path, self.chrome_trace_json())?;
+        }
+        Ok(())
     }
 
     /// Drains and returns the in-memory JSONL buffer (empty for other
@@ -517,8 +767,12 @@ struct SpanInner<'a> {
     layer: &'static str,
     name: &'static str,
     start_us: u64,
+    start_ns: u64,
     start: Instant,
     fields: Vec<(&'static str, Value)>,
+    /// `(id, parent)` while tracing; the id sits on the thread's span
+    /// stack until the span drops.
+    ids: Option<(u64, Option<u64>)>,
 }
 
 /// An open timed span; records itself when dropped. Obtained from
@@ -542,17 +796,83 @@ impl Span<'_> {
     pub fn is_recording(&self) -> bool {
         self.inner.is_some()
     }
+
+    /// The span's trace id, while tracing.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.inner.as_ref().and_then(|i| i.ids).map(|(id, _)| id)
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
+            if let Some((id, _)) = inner.ids {
+                trace::pop_span(id);
+            }
             inner.registry.finish_span(
                 inner.layer,
                 inner.name,
                 inner.start_us,
+                inner.start_ns,
                 inner.start.elapsed(),
                 &inner.fields,
+                inner.ids,
+            );
+        }
+    }
+}
+
+struct TraceRegionInner<'a> {
+    registry: &'a Registry,
+    layer: &'static str,
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start_ns: u64,
+    start: Instant,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// An open trace-only region (flight recorder only — no histogram, no
+/// JSONL line). Obtained from [`Registry::trace_region`]; inert and free
+/// when tracing is off.
+#[must_use = "a region measures until it is dropped"]
+pub struct TraceRegion<'a> {
+    inner: Option<TraceRegionInner<'a>>,
+}
+
+impl TraceRegion<'_> {
+    /// Attaches a field to the recorded event (no-op when inert).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Whether this region is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The region's trace id, while recording.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+}
+
+impl Drop for TraceRegion<'_> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            trace::pop_span(inner.id);
+            inner.registry.finish_trace_region(
+                inner.layer,
+                inner.name,
+                inner.id,
+                inner.parent,
+                inner.start_ns,
+                inner.start.elapsed(),
+                inner.fields,
             );
         }
     }
@@ -570,13 +890,19 @@ mod tests {
             let span = reg.span("t", "x").field("k", 1u64);
             assert!(!span.is_recording());
         }
+        {
+            let region = reg.trace_region("t", "r");
+            assert!(!region.is_recording());
+        }
         reg.counter("c", 5);
         reg.record_duration("d", Duration::from_millis(1));
         reg.event("t", "hello", &[]);
+        reg.virtual_span("track", "x", 0, 1, &[]);
         assert_eq!(reg.counter_value("c"), 0);
         assert!(reg.histogram_names().is_empty());
         assert!(reg.summary_text().is_empty());
         assert!(reg.take_buffer().is_empty());
+        assert!(reg.recorder_snapshot().events.is_empty());
         reg.flush().unwrap();
     }
 
@@ -624,6 +950,80 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| l.contains("\"type\":\"counter\"") && l.contains("bench.events")));
+    }
+
+    #[test]
+    fn json_strings_escape_control_and_non_ascii() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\u{1}b\u{7f}µ😀\"\\\n");
+        assert_eq!(out, "\"a\\u0001b\\u007f\\u00b5\\ud83d\\ude00\\\"\\\\\\n\"");
+        // the escaped stream is pure ASCII
+        assert!(out.is_ascii());
+    }
+
+    #[test]
+    fn tracing_assigns_ids_parents_and_lanes() {
+        let reg = Registry::disabled();
+        reg.enable_tracing(1024);
+        assert!(reg.is_enabled(), "tracing alone must enable recording");
+        {
+            let outer = reg.span("train", "epoch").field("epoch", 0u64);
+            let outer_id = outer.trace_id().expect("tracing assigns ids");
+            {
+                let inner = reg.trace_region("par", "train.value_maps");
+                assert_eq!(
+                    reg.recorder_snapshot().events.len(),
+                    0,
+                    "events land at drop"
+                );
+                let inner_id = inner.trace_id().unwrap();
+                assert_ne!(inner_id, outer_id);
+            }
+            reg.record_span("infer", "dvp", Duration::from_micros(5), &[]);
+        }
+        let rec = reg.take_recorder();
+        assert!(!reg.is_tracing());
+        assert_eq!(rec.events.len(), 3);
+        let outer = rec.events.iter().find(|e| e.name == "epoch").unwrap();
+        let region = rec
+            .events
+            .iter()
+            .find(|e| e.name == "train.value_maps")
+            .unwrap();
+        let stage = rec.events.iter().find(|e| e.name == "dvp").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(region.parent, Some(outer.id));
+        assert_eq!(stage.parent, Some(outer.id));
+        assert_eq!(rec.lanes[outer.lane as usize], "main");
+        // trace-only regions must not pollute the aggregate views
+        assert!(reg.histogram("par.train.value_maps").is_none());
+        assert!(reg.histogram("train.epoch").is_some());
+    }
+
+    #[test]
+    fn virtual_spans_record_ticks() {
+        let reg = Registry::disabled();
+        reg.enable_tracing(16);
+        reg.virtual_span("BiConv", "sample 0", 640, 5760, &[("sample", 0u64.into())]);
+        let rec = reg.take_recorder();
+        assert_eq!(rec.virtual_events.len(), 1);
+        assert_eq!(rec.virtual_events[0].track, "BiConv");
+        assert_eq!(rec.virtual_events[0].start, 640);
+        assert_eq!(rec.virtual_events[0].dur, 5760);
+    }
+
+    #[test]
+    fn trace_spans_also_reach_jsonl_with_ids() {
+        let reg = Registry::jsonl_buffer();
+        reg.enable_tracing(16);
+        {
+            let _outer = reg.span("a", "outer");
+            let _inner = reg.span("a", "inner");
+        }
+        let buf = String::from_utf8(reg.take_buffer()).unwrap();
+        let inner_line = buf.lines().find(|l| l.contains("\"inner\"")).unwrap();
+        assert!(inner_line.contains("\"id\":"), "{inner_line}");
+        assert!(inner_line.contains("\"parent\":"), "{inner_line}");
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! Causal flight recorder and Chrome trace-event export.
+//!
+//! The flat span/counter registry answers "how long did stage X take on
+//! average"; this module answers "*which* epoch dispatched the fan-out
+//! that ran *this* chunk on *that* worker". Every recorded span carries a
+//! stable id, the id of the span that was open when it started (its
+//! causal parent — bridged across `univsa-par` worker threads by
+//! [`TraceContext`]), and a lane label identifying the thread of
+//! execution (`main`, `worker-0`, …).
+//!
+//! Events accumulate in a **bounded** in-memory buffer (the flight
+//! recorder): once [`Recorder::capacity`] events are held, further events
+//! are counted but dropped, so a runaway loop cannot exhaust memory. The
+//! whole machinery is off by default and costs one atomic load per call
+//! site; it is switched on per-registry with
+//! [`crate::Registry::enable_tracing`] (the `univsa profile --trace`
+//! path) or globally via `UNIVSA_TELEMETRY=trace:<path>`.
+//!
+//! [`chrome_trace_json`] renders the recorder as Chrome trace-event JSON
+//! (the `traceEvents` array format) loadable in Perfetto or
+//! `chrome://tracing`: wall-clock lanes become threads of process 1 and
+//! virtual-time events (the cycle-level hardware schedule) become tracks
+//! of process 2, so all three layers of the stack share one timeline.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+
+use crate::registry::Value;
+
+/// Default flight-recorder capacity (events kept before dropping).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
+
+thread_local! {
+    /// Stack of open span ids on this thread (top = innermost).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Lane label for spans recorded from this thread (`None` = "main").
+    static LANE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The causal position of the calling thread: the innermost open span, if
+/// any. Capture it on a dispatching thread and re-enter it on a worker
+/// with [`enter_context`] so the worker's spans attach to the dispatching
+/// region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    parent: Option<u64>,
+}
+
+impl TraceContext {
+    /// The span id new child spans would attach to.
+    #[inline]
+    pub fn parent(&self) -> Option<u64> {
+        self.parent
+    }
+}
+
+/// The innermost open span on this thread, as a transferable context.
+pub fn current_context() -> TraceContext {
+    TraceContext {
+        parent: SPAN_STACK.with(|s| s.borrow().last().copied()),
+    }
+}
+
+/// Pushes `id` onto this thread's span stack.
+pub(crate) fn push_span(id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+/// Removes the topmost occurrence of `id` from this thread's span stack
+/// (tolerates out-of-LIFO-order drops without corrupting other parents).
+pub(crate) fn pop_span(id: u64) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&x| x == id) {
+            stack.remove(pos);
+        }
+    });
+}
+
+/// The current parent for a span opened right now on this thread.
+pub(crate) fn current_parent() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Re-enters a captured [`TraceContext`] on this thread until the guard
+/// drops — the bridge `univsa-par` workers use so their spans nest under
+/// the region that dispatched them.
+pub fn enter_context(ctx: TraceContext) -> ContextGuard {
+    if let Some(id) = ctx.parent {
+        push_span(id);
+    }
+    ContextGuard { id: ctx.parent }
+}
+
+/// Restores the thread's span stack when dropped. See [`enter_context`].
+#[must_use = "the context is re-entered until the guard drops"]
+pub struct ContextGuard {
+    id: Option<u64>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            pop_span(id);
+        }
+    }
+}
+
+/// Labels this thread's trace lane until the guard drops (worker threads
+/// use `worker-<index>`; unlabelled threads record as `main`).
+pub fn enter_lane(label: String) -> LaneGuard {
+    let prev = LANE.with(|l| l.borrow_mut().replace(label));
+    LaneGuard { prev }
+}
+
+/// Restores the thread's previous lane label when dropped.
+#[must_use = "the lane label applies until the guard drops"]
+pub struct LaneGuard {
+    prev: Option<String>,
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        LANE.with(|l| *l.borrow_mut() = self.prev.take());
+    }
+}
+
+/// The calling thread's lane label (`"main"` unless inside a
+/// [`enter_lane`] guard).
+pub fn current_lane() -> String {
+    LANE.with(|l| l.borrow().clone().unwrap_or_else(|| "main".to_string()))
+}
+
+/// One completed wall-clock span in the flight recorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Stable id of this span (unique within one registry).
+    pub id: u64,
+    /// Id of the span that was open when this one started, if any.
+    pub parent: Option<u64>,
+    /// Lane index into [`Recorder::lanes`].
+    pub lane: u32,
+    /// Layer label (`train`, `infer`, `par`, …).
+    pub layer: &'static str,
+    /// Span name within the layer.
+    pub name: &'static str,
+    /// Nanoseconds since the registry epoch at span start.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Attached fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// One virtual-time event (e.g. a hardware-pipeline stage execution whose
+/// clock is cycles, not nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualEvent {
+    /// Track label within the virtual process (e.g. the stage name).
+    pub track: String,
+    /// Event name (e.g. `sample 3`).
+    pub name: String,
+    /// Start tick (cycles).
+    pub start: u64,
+    /// Duration in ticks (cycles).
+    pub dur: u64,
+    /// Attached fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// The bounded in-memory flight recorder: wall-clock events, virtual-time
+/// events, and the lane table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recorder {
+    /// Maximum number of wall-clock plus virtual events retained.
+    pub capacity: usize,
+    /// Completed wall-clock spans, in completion order.
+    pub events: Vec<TraceEvent>,
+    /// Virtual-time events, in emission order.
+    pub virtual_events: Vec<VirtualEvent>,
+    /// Lane labels; [`TraceEvent::lane`] indexes this table.
+    pub lanes: Vec<String>,
+    /// Events discarded after the recorder filled up.
+    pub dropped: u64,
+}
+
+impl Recorder {
+    /// An empty recorder retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ..Self::default()
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.events.len() + self.virtual_events.len()
+    }
+
+    /// Interns a lane label, returning its index.
+    pub(crate) fn lane_id(&mut self, label: &str) -> u32 {
+        if let Some(i) = self.lanes.iter().position(|l| l == label) {
+            return i as u32;
+        }
+        self.lanes.push(label.to_string());
+        (self.lanes.len() - 1) as u32
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(event);
+    }
+
+    pub(crate) fn record_virtual(&mut self, event: VirtualEvent) {
+        if self.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.virtual_events.push(event);
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    crate::registry::write_json_string(out, s);
+}
+
+fn write_args(out: &mut String, id: u64, parent: Option<u64>, fields: &[(&'static str, Value)]) {
+    let _ = write!(out, "{{\"id\":{id}");
+    if let Some(p) = parent {
+        let _ = write!(out, ",\"parent\":{p}");
+    }
+    for (k, v) in fields {
+        out.push(',');
+        write_json_str(out, k);
+        out.push(':');
+        crate::registry::write_json_value(out, v);
+    }
+    out.push('}');
+}
+
+/// Renders a recorder snapshot as Chrome trace-event JSON (the object
+/// form: `{"displayTimeUnit":…,"traceEvents":[…]}`), loadable in Perfetto
+/// and `chrome://tracing`.
+///
+/// Wall-clock spans become `X` (complete) events of process 1 with one
+/// `tid` per lane; virtual-time events become `X` events of process 2
+/// with one `tid` per track, their tick clock rendered as microseconds.
+/// Span ids and causal parents ride in `args.id` / `args.parent`.
+pub fn chrome_trace_json(recorder: &Recorder) -> String {
+    let mut out = String::with_capacity(256 + recorder.events.len() * 128);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push_line = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+    };
+
+    // process + lane metadata
+    push_line(&mut out, &mut first);
+    out.push_str("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"univsa (wall clock)\"}}");
+    for (i, lane) in recorder.lanes.iter().enumerate() {
+        push_line(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"name\":\"thread_name\",\"args\":{{\"name\":"
+        );
+        write_json_str(&mut out, lane);
+        out.push_str("}}");
+        // keep main first and workers in index order in the Perfetto UI
+        push_line(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{i}}}}}"
+        );
+    }
+
+    // wall-clock spans: ts/dur are microseconds (fractional, ns precision)
+    for e in &recorder.events {
+        push_line(&mut out, &mut first);
+        out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{}", e.lane);
+        out.push_str(",\"cat\":");
+        write_json_str(&mut out, e.layer);
+        out.push_str(",\"name\":");
+        write_json_str(&mut out, e.name);
+        let _ = write!(
+            out,
+            ",\"ts\":{:.3},\"dur\":{:.3},\"args\":",
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3
+        );
+        write_args(&mut out, e.id, e.parent, &e.fields);
+        out.push('}');
+    }
+
+    // virtual-time process (cycle clock rendered as µs ticks)
+    if !recorder.virtual_events.is_empty() {
+        push_line(&mut out, &mut first);
+        out.push_str("{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"hw pipeline (virtual cycles)\"}}");
+        let mut tracks: Vec<&str> = Vec::new();
+        for e in &recorder.virtual_events {
+            if !tracks.contains(&e.track.as_str()) {
+                tracks.push(&e.track);
+            }
+        }
+        for (i, track) in tracks.iter().enumerate() {
+            push_line(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":2,\"tid\":{i},\"name\":\"thread_name\",\"args\":{{\"name\":"
+            );
+            write_json_str(&mut out, track);
+            out.push_str("}}");
+        }
+        for e in &recorder.virtual_events {
+            let tid = tracks
+                .iter()
+                .position(|t| *t == e.track)
+                .expect("track interned above");
+            push_line(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":2,\"tid\":{tid},\"cat\":\"hw\",\"name\":"
+            );
+            write_json_str(&mut out, &e.name);
+            let _ = write!(
+                out,
+                ",\"ts\":{},\"dur\":{},\"args\":{{",
+                e.start,
+                e.dur.max(1)
+            );
+            for (i, (k, v)) in e.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json_str(&mut out, k);
+                out.push(':');
+                crate::registry::write_json_value(&mut out, v);
+            }
+            out.push_str("}}");
+        }
+    }
+
+    if recorder.dropped > 0 {
+        push_line(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":1,\"name\":\"trace_buffer_overflow\",\"args\":{{\"dropped_events\":{}}}}}",
+            recorder.dropped
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_capture_and_reenter() {
+        assert_eq!(current_context().parent(), None);
+        push_span(7);
+        let ctx = current_context();
+        assert_eq!(ctx.parent(), Some(7));
+        pop_span(7);
+        assert_eq!(current_context().parent(), None);
+        {
+            let _g = enter_context(ctx);
+            assert_eq!(current_context().parent(), Some(7));
+        }
+        assert_eq!(current_context().parent(), None);
+    }
+
+    #[test]
+    fn pop_tolerates_out_of_order_drops() {
+        push_span(1);
+        push_span(2);
+        pop_span(1); // dropped out of LIFO order
+        assert_eq!(current_parent(), Some(2));
+        pop_span(2);
+        assert_eq!(current_parent(), None);
+    }
+
+    #[test]
+    fn lane_labels_nest_and_restore() {
+        assert_eq!(current_lane(), "main");
+        {
+            let _a = enter_lane("worker-0".into());
+            assert_eq!(current_lane(), "worker-0");
+            {
+                let _b = enter_lane("worker-1".into());
+                assert_eq!(current_lane(), "worker-1");
+            }
+            assert_eq!(current_lane(), "worker-0");
+        }
+        assert_eq!(current_lane(), "main");
+    }
+
+    #[test]
+    fn recorder_bounds_hold() {
+        let mut rec = Recorder::with_capacity(2);
+        for i in 0..4 {
+            rec.record(TraceEvent {
+                id: i,
+                parent: None,
+                lane: 0,
+                layer: "t",
+                name: "x",
+                start_ns: i * 10,
+                dur_ns: 5,
+                fields: vec![],
+            });
+        }
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.dropped, 2);
+    }
+
+    #[test]
+    fn chrome_json_has_lanes_spans_and_virtual_tracks() {
+        let mut rec = Recorder::with_capacity(64);
+        let main = rec.lane_id("main");
+        let w0 = rec.lane_id("worker-0");
+        assert_eq!(rec.lane_id("main"), main);
+        rec.record(TraceEvent {
+            id: 1,
+            parent: None,
+            lane: main,
+            layer: "train",
+            name: "epoch",
+            start_ns: 1_000,
+            dur_ns: 9_000,
+            fields: vec![("epoch", Value::U64(0))],
+        });
+        rec.record(TraceEvent {
+            id: 2,
+            parent: Some(1),
+            lane: w0,
+            layer: "par",
+            name: "train.value_maps",
+            start_ns: 2_000,
+            dur_ns: 3_000,
+            fields: vec![],
+        });
+        rec.record_virtual(VirtualEvent {
+            track: "BiConv".into(),
+            name: "sample 0".into(),
+            start: 640,
+            dur: 5760,
+            fields: vec![("sample", Value::U64(0))],
+        });
+        let json = chrome_trace_json(&rec);
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"name\":\"worker-0\""), "{json}");
+        assert!(json.contains("\"name\":\"epoch\""), "{json}");
+        assert!(json.contains("\"parent\":1"), "{json}");
+        assert!(json.contains("hw pipeline (virtual cycles)"), "{json}");
+        assert!(json.contains("\"name\":\"BiConv\""), "{json}");
+        assert!(json.contains("\"ts\":640"), "{json}");
+        // no overflow note when nothing was dropped
+        assert!(!json.contains("trace_buffer_overflow"), "{json}");
+    }
+
+    #[test]
+    fn chrome_json_notes_dropped_events() {
+        let mut rec = Recorder::with_capacity(1);
+        let main = rec.lane_id("main");
+        rec.record(TraceEvent {
+            id: 1,
+            parent: None,
+            lane: main,
+            layer: "t",
+            name: "kept",
+            start_ns: 0,
+            dur_ns: 1,
+            fields: vec![],
+        });
+        rec.record_virtual(VirtualEvent {
+            track: "X".into(),
+            name: "dropped".into(),
+            start: 0,
+            dur: 1,
+            fields: vec![],
+        });
+        let json = chrome_trace_json(&rec);
+        assert!(json.contains("\"dropped_events\":1"), "{json}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Causal-trace integration tests: the flight recorder captures
+//! parent/child nesting across all three layers and across `univsa-par`
+//! worker threads, deterministically at every pool width.
+//!
+//! The `univsa-par` trace bridge talks to the *global* telemetry
+//! registry, so these tests share one recorder; a file-local mutex
+//! serializes them. Cargo gives every integration-test binary its own
+//! process, so other test files are unaffected.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+use univsa::json::{self, Json};
+use univsa::{TrainOptions, UniVsaTrainer};
+use univsa_hw::{HwConfig, Pipeline};
+use univsa_telemetry::{Recorder, Value};
+
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn small_trainer(seed: u64) -> (UniVsaTrainer, univsa_data::Task) {
+    let task = univsa_data::tasks::bci3v(seed);
+    let cfg = univsa::UniVsaConfig::for_task(&task.spec)
+        .d_h(4)
+        .d_l(1)
+        .d_k(3)
+        .out_channels(8)
+        .voters(1)
+        .build()
+        .unwrap();
+    let trainer = UniVsaTrainer::new(
+        cfg,
+        TrainOptions {
+            epochs: 2,
+            ..TrainOptions::default()
+        },
+    );
+    (trainer, task)
+}
+
+/// Runs one fit under a `with_threads` override with the flight recorder
+/// on, returning everything it captured.
+fn record_fit(threads: usize) -> Recorder {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    univsa_telemetry::enable_tracing(1 << 18);
+    let (trainer, task) = small_trainer(7);
+    univsa_par::with_threads(threads, || trainer.fit(&task.train, 7)).unwrap();
+    univsa_telemetry::take_recorder()
+}
+
+fn span_names(rec: &Recorder) -> BTreeMap<u64, String> {
+    rec.events
+        .iter()
+        .map(|e| (e.id, format!("{}.{}", e.layer, e.name)))
+        .collect()
+}
+
+/// The set of `(child, parent)` name pairs in the trace — the causal
+/// *structure*, independent of how work was split across workers.
+fn edge_set(rec: &Recorder) -> BTreeSet<(String, String)> {
+    let names = span_names(rec);
+    rec.events
+        .iter()
+        .map(|e| {
+            let parent = e
+                .parent
+                .map(|p| names.get(&p).cloned().unwrap_or_else(|| "missing".into()))
+                .unwrap_or_else(|| "root".into());
+            (format!("{}.{}", e.layer, e.name), parent)
+        })
+        .collect()
+}
+
+#[test]
+fn fit_parenting_is_deterministic_across_thread_counts() {
+    let rec1 = record_fit(1);
+    let rec4 = record_fit(4);
+
+    for (threads, rec) in [(1usize, &rec1), (4usize, &rec4)] {
+        let names = span_names(rec);
+        let fit: Vec<_> = rec
+            .events
+            .iter()
+            .filter(|e| e.layer == "train" && e.name == "fit")
+            .collect();
+        assert_eq!(fit.len(), 1, "{threads} thread(s): one fit span");
+        let fit_id = fit[0].id;
+        assert_eq!(fit[0].parent, None);
+
+        let epochs: Vec<_> = rec
+            .events
+            .iter()
+            .filter(|e| e.layer == "train" && e.name == "epoch")
+            .collect();
+        assert_eq!(epochs.len(), 2, "{threads} thread(s): one span per epoch");
+        for e in &epochs {
+            assert_eq!(e.parent, Some(fit_id), "epochs nest under fit");
+        }
+
+        // pool fan-out: every chunk span nests under the region whose
+        // stage it executed, on a main or worker lane
+        let chunks: Vec<_> = rec
+            .events
+            .iter()
+            .filter(|e| e.layer == "par" && e.name == "chunk")
+            .collect();
+        assert!(
+            !chunks.is_empty(),
+            "{threads} thread(s): fit dispatches pool work"
+        );
+        for c in &chunks {
+            let parent = c.parent.expect("chunks always have a dispatching region");
+            let stage = c
+                .fields
+                .iter()
+                .find_map(|(k, v)| match (k, v) {
+                    (&"stage", Value::Str(s)) => Some(s.clone()),
+                    _ => None,
+                })
+                .expect("chunk records its stage");
+            assert_eq!(
+                names.get(&parent),
+                Some(&format!("par.{stage}")),
+                "{threads} thread(s): chunk attaches to its dispatching region"
+            );
+            let lane = &rec.lanes[c.lane as usize];
+            assert!(
+                lane == "main" || lane.starts_with("worker-"),
+                "unexpected lane {lane}"
+            );
+        }
+        // the per-sample value-map fan-out is the known hot region and
+        // must be causally reachable from an epoch span
+        let region = rec
+            .events
+            .iter()
+            .find(|e| e.layer == "par" && e.name == "train.value_maps")
+            .expect("value-map region traced");
+        assert_eq!(
+            region
+                .parent
+                .and_then(|p| names.get(&p).cloned())
+                .as_deref(),
+            Some("train.epoch"),
+            "{threads} thread(s): pool regions nest under the epoch that dispatched them"
+        );
+    }
+
+    // the causal structure is identical at every pool width
+    assert_eq!(
+        edge_set(&rec1),
+        edge_set(&rec4),
+        "parenting must not depend on UNIVSA_THREADS"
+    );
+    // ... but lanes reflect the actual execution: serial stays on main,
+    // width 4 shows worker lanes
+    assert!(rec1.lanes.iter().all(|l| l == "main"), "{:?}", rec1.lanes);
+    assert!(
+        rec4.lanes.iter().any(|l| l.starts_with("worker-")),
+        "{:?}",
+        rec4.lanes
+    );
+}
+
+#[test]
+fn infer_stages_nest_under_sample_and_hw_schedule_replays_cycles() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (trainer, task) = small_trainer(3);
+    // train with the recorder off: this test targets inference + hardware
+    let model = trainer.fit(&task.train, 3).unwrap().model;
+    univsa_telemetry::enable_tracing(1 << 16);
+    model.infer(&task.test.samples()[0].values).unwrap();
+    let pipeline = Pipeline::new(HwConfig::new(model.config()));
+    pipeline.schedule(4);
+    let rec = univsa_telemetry::take_recorder();
+
+    let sample = rec
+        .events
+        .iter()
+        .find(|e| e.layer == "infer" && e.name == "sample")
+        .expect("per-sample parent span");
+    for stage in ["dvp", "biconv", "encode", "similarity"] {
+        let span = rec
+            .events
+            .iter()
+            .find(|e| e.layer == "infer" && e.name == stage)
+            .unwrap_or_else(|| panic!("missing infer stage {stage}"));
+        assert_eq!(span.parent, Some(sample.id), "{stage} nests under sample");
+    }
+
+    // the cycle-level hardware schedule lands on the virtual-time process
+    assert!(!rec.virtual_events.is_empty());
+    for track in ["DVP", "BiConv", "Encoding", "Similarity"] {
+        assert!(
+            rec.virtual_events.iter().any(|e| e.track == track),
+            "missing hw track {track}"
+        );
+    }
+    // 4 streamed samples appear on the DVP track
+    assert_eq!(
+        rec.virtual_events
+            .iter()
+            .filter(|e| e.track == "DVP")
+            .count(),
+        4
+    );
+
+    // the exported Chrome trace parses with the workspace's own JSON
+    // parser and keeps wall-clock and virtual-time on separate processes
+    let chrome = univsa_telemetry::chrome_trace_json(&rec);
+    let doc = json::parse(chrome.as_bytes()).expect("valid Chrome trace JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let pid_of = |e: &Json| e.get("pid").and_then(Json::as_u64);
+    assert!(events.iter().any(|e| pid_of(e) == Some(1)));
+    assert!(events.iter().any(|e| pid_of(e) == Some(2)));
+    assert!(events.iter().any(|e| {
+        e.get("name") == Some(&Json::Str("thread_name".into())) && pid_of(e) == Some(1)
+    }));
+}
