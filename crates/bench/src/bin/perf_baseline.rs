@@ -9,7 +9,16 @@
 //! * simulated hardware cycles (single-sample latency, initiation
 //!   interval, streamed-schedule makespan).
 //!
-//! Schema `univsa-perf-baseline/v3` additionally records the effective
+//! Schema `univsa-perf-baseline/v4` additionally records the process
+//! peak RSS (`peak_rss_bytes`, from `/proc/self/status` on Linux, `null`
+//! elsewhere) and, per task, the counting-allocator figures — peak heap
+//! bytes and allocation count over the task's measurement window
+//! (`mem.{peak_alloc_bytes,alloc_count}`) — plus the trained model's
+//! footprint reconciliation (`footprint.{modeled_bits,actual_bits,
+//! ratio}` and per-component resident bits) from
+//! [`univsa::FootprintAudit`]. Cycle and accuracy figures are computed
+//! exactly as in v3, so regenerating a v3 baseline as v4 leaves them
+//! bit-identical. Schema v3 records the effective
 //! worker-pool thread count, per-task and total speedup against the
 //! previously committed report at the output path (v1/v2 reports parse
 //! fine — the extra fields are simply absent there), per-stage pool
@@ -35,7 +44,7 @@
 use std::time::Instant;
 
 use univsa::json::Json;
-use univsa::{UniVsaError, UniVsaTrainer};
+use univsa::{FootprintAudit, UniVsaError, UniVsaTrainer};
 use univsa_bench::{
     all_tasks, finish_telemetry, harness_train_options_for, paper_config, progress, quick_mode,
 };
@@ -119,8 +128,33 @@ fn pool_stats_json() -> Json {
     Json::Obj(stages)
 }
 
+/// Process peak RSS in bytes, read from `VmHWM` in `/proc/self/status`.
+/// Linux-only: other platforms (and unreadable procfs) yield `Json::Null`
+/// so the field is always present in the report.
+fn peak_rss_bytes() -> Json {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return Json::Null;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            if let Some(kb) = rest
+                .split_whitespace()
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                return num_u(kb * 1024);
+            }
+        }
+    }
+    Json::Null
+}
+
 fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniVsaError> {
     let _span = univsa_telemetry::span("bench", "perf_task").field("task", task.spec.name.clone());
+    // counting-allocator window for this task: collapse the peak to the
+    // current live set, then measure everything the task does
+    univsa_telemetry::reset_peak();
+    let mem_before = univsa_telemetry::mem_stats();
     let options = harness_train_options_for(task.spec.features());
     let epochs = options.epochs;
     let trainer = UniVsaTrainer::new(paper_config(task), options);
@@ -140,6 +174,15 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniV
 
     let pipeline = Pipeline::new(HwConfig::new(outcome.model.config()));
     let trace = pipeline.schedule(HW_STREAM_SAMPLES);
+
+    let mem_after = univsa_telemetry::mem_stats();
+    let audit = FootprintAudit::of_model(&outcome.model);
+    audit.emit_gauges();
+    let components: Vec<(String, Json)> = audit
+        .components
+        .iter()
+        .map(|c| (format!("{}_bits", c.name), num_u(c.actual_bits as u64)))
+        .collect();
 
     let row = Json::Obj(vec![
         ("task".into(), Json::Str(task.spec.name.clone())),
@@ -180,6 +223,38 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniV
                 ("streamed_samples".into(), num_u(HW_STREAM_SAMPLES as u64)),
                 ("makespan".into(), num_u(trace.makespan)),
             ]),
+        ),
+        (
+            "mem".into(),
+            Json::Obj(vec![
+                ("peak_alloc_bytes".into(), num_u(mem_after.peak_bytes)),
+                (
+                    "alloc_count".into(),
+                    num_u(mem_after.alloc_count - mem_before.alloc_count),
+                ),
+            ]),
+        ),
+        (
+            "footprint".into(),
+            Json::Obj(
+                [
+                    (
+                        "modeled_bits".to_string(),
+                        num_u(audit.modeled_total_bits() as u64),
+                    ),
+                    (
+                        "actual_bits".to_string(),
+                        num_u(audit.actual_total_bits() as u64),
+                    ),
+                    (
+                        "ratio".to_string(),
+                        Json::Num((audit.ratio() * 1e4).round() / 1e4, None),
+                    ),
+                ]
+                .into_iter()
+                .chain(components)
+                .collect(),
+            ),
         ),
     ]);
     Ok((row, train_seconds))
@@ -225,6 +300,9 @@ fn main() {
     if trace_path.is_some() {
         univsa_telemetry::enable_tracing(univsa_telemetry::DEFAULT_TRACE_CAPACITY);
     }
+    // per-task mem.* figures need the counting allocator regardless of
+    // whether tracing or telemetry sinks are on
+    univsa_telemetry::enable_mem_tracking();
 
     let previous = previous_train_seconds(&out_path);
     let (threads, source) = univsa_par::threads_and_source();
@@ -258,12 +336,13 @@ fn main() {
         rows.push(Json::Obj(fields));
     }
     let mut fields = vec![
-        ("schema".into(), Json::Str("univsa-perf-baseline/v3".into())),
+        ("schema".into(), Json::Str("univsa-perf-baseline/v4".into())),
         ("quick".into(), Json::Bool(quick_mode())),
         ("seed".into(), num_u(seed)),
         ("threads".into(), num_u(threads as u64)),
         ("threads_source".into(), Json::Str(source.describe().into())),
         ("total_seconds".into(), num_f(total.elapsed().as_secs_f64())),
+        ("peak_rss_bytes".into(), peak_rss_bytes()),
     ];
     if let Some(hash) = git_commit() {
         fields.push(("git_commit".into(), Json::Str(hash)));

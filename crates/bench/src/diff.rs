@@ -2,7 +2,7 @@
 //! (`BENCH_univsa.json`) metric by metric against configurable thresholds.
 //!
 //! [`parse_report`] accepts every report schema published so far
-//! (`univsa-perf-baseline/v1` through `v3`) — fields added by later
+//! (`univsa-perf-baseline/v1` through `v4`) — fields added by later
 //! versions are simply optional. [`diff`] pairs tasks by name and checks:
 //!
 //! | metric | gate | meaning |
@@ -11,6 +11,9 @@
 //! | `latency_us.p50` / `.p99` | `latency_pct` | % latency increase |
 //! | `hw_cycles.*` | `cycles_pct` | % cycle increase (deterministic — default 0) |
 //! | `test_accuracy` | `accuracy_drop` | absolute accuracy decrease |
+//! | `mem.peak_alloc_bytes` | `peak_alloc_pct` | % peak-allocation increase (v4) |
+//! | `mem.alloc_count` | `alloc_count_pct` | % allocation-count increase (v4) |
+//! | `footprint.actual_bits` | `footprint_bits` | absolute resident-bit drift (v4) |
 //!
 //! A task present in the old report but missing from the new one is
 //! always a regression; a brand-new task is informational. Each gate can
@@ -18,6 +21,10 @@
 //! against the committed full-mode baseline, where wall-clock and
 //! accuracy figures are not commensurable but the hardware cycle counts
 //! (derived from the configuration alone) must match exactly.
+//!
+//! The v4 memory metrics are compared only when **both** reports carry
+//! them: a v4-vs-v3 diff renders those rows as `n/a` (informational, no
+//! gate) instead of firing a spurious regression.
 
 use std::fmt::Write as _;
 
@@ -35,6 +42,15 @@ pub struct Thresholds {
     pub cycles_pct: Option<f64>,
     /// Maximum tolerated absolute `test_accuracy` drop.
     pub accuracy_drop: Option<f64>,
+    /// Maximum tolerated `mem.peak_alloc_bytes` increase, in percent (v4).
+    pub peak_alloc_pct: Option<f64>,
+    /// Maximum tolerated `mem.alloc_count` increase, in percent (v4).
+    pub alloc_count_pct: Option<f64>,
+    /// Maximum tolerated absolute drift (either direction) of the
+    /// model's resident `footprint.actual_bits` (v4). The footprint is
+    /// derived from the configuration alone, so the default tolerates
+    /// none.
+    pub footprint_bits: Option<f64>,
 }
 
 impl Default for Thresholds {
@@ -44,6 +60,9 @@ impl Default for Thresholds {
             latency_pct: Some(25.0),
             cycles_pct: Some(0.0),
             accuracy_drop: Some(0.02),
+            peak_alloc_pct: Some(10.0),
+            alloc_count_pct: Some(10.0),
+            footprint_bits: Some(0.0),
         }
     }
 }
@@ -67,6 +86,12 @@ pub struct TaskMetrics {
     pub initiation_interval_cycles: Option<f64>,
     /// Streamed-schedule makespan, cycles.
     pub makespan_cycles: Option<f64>,
+    /// Peak heap allocation while measuring the task, bytes (v4).
+    pub peak_alloc_bytes: Option<f64>,
+    /// Heap allocations performed while measuring the task (v4).
+    pub alloc_count: Option<f64>,
+    /// Word-padded resident bits of the trained model (v4).
+    pub footprint_bits: Option<f64>,
 }
 
 /// A parsed `perf_baseline` report (any schema version).
@@ -117,6 +142,8 @@ pub fn parse_report(bytes: &[u8]) -> Result<Report, String> {
         };
         let latency = row.get("latency_us");
         let cycles = row.get("hw_cycles");
+        let mem = row.get("mem");
+        let footprint = row.get("footprint");
         report.tasks.push(TaskMetrics {
             name: name.clone(),
             train_seconds: get_f64(row, "train_seconds"),
@@ -126,6 +153,9 @@ pub fn parse_report(bytes: &[u8]) -> Result<Report, String> {
             sample_latency_cycles: cycles.and_then(|c| get_f64(c, "sample_latency")),
             initiation_interval_cycles: cycles.and_then(|c| get_f64(c, "initiation_interval")),
             makespan_cycles: cycles.and_then(|c| get_f64(c, "makespan")),
+            peak_alloc_bytes: mem.and_then(|m| get_f64(m, "peak_alloc_bytes")),
+            alloc_count: mem.and_then(|m| get_f64(m, "alloc_count")),
+            footprint_bits: footprint.and_then(|f| get_f64(f, "actual_bits")),
         });
     }
     Ok(report)
@@ -149,6 +179,8 @@ pub enum Gate {
     PctIncrease,
     /// Absolute decrease from the old value (accuracy).
     AbsDecrease,
+    /// Absolute drift in either direction (footprint bits).
+    AbsDrift,
 }
 
 /// One compared metric of one task.
@@ -171,6 +203,10 @@ pub struct MetricDelta {
     pub threshold: Option<f64>,
     /// Whether the delta breaches the threshold.
     pub regressed: bool,
+    /// The metric exists in only one of the two reports (schema skew,
+    /// e.g. v4 vs. v3): rendered `n/a`, never gated. The absent side is
+    /// carried as NaN.
+    pub skipped: bool,
 }
 
 /// The result of diffing two reports.
@@ -204,31 +240,54 @@ impl DiffOutcome {
             "{:<10} {:<26} {:>12} {:>12} {:>10} {:>10}  status",
             "task", "metric", "old", "new", "delta", "limit"
         );
+        let val = |v: f64| {
+            if v.is_nan() {
+                "n/a".to_string()
+            } else {
+                format!("{v:.3}")
+            }
+        };
         for r in &self.rows {
-            let (delta, limit) = match r.gate {
-                Gate::PctIncrease => (
-                    format!("{:+.2}%", r.delta),
-                    r.threshold
-                        .map(|t| format!("+{t:.2}%"))
-                        .unwrap_or_else(|| "off".into()),
-                ),
-                Gate::AbsDecrease => (
-                    format!("{:+.4}", r.delta),
-                    r.threshold
-                        .map(|t| format!("-{t:.4}"))
-                        .unwrap_or_else(|| "off".into()),
-                ),
+            let (delta, limit) = if r.skipped {
+                ("n/a".to_string(), "n/a".to_string())
+            } else {
+                match r.gate {
+                    Gate::PctIncrease => (
+                        format!("{:+.2}%", r.delta),
+                        r.threshold
+                            .map(|t| format!("+{t:.2}%"))
+                            .unwrap_or_else(|| "off".into()),
+                    ),
+                    Gate::AbsDecrease => (
+                        format!("{:+.4}", r.delta),
+                        r.threshold
+                            .map(|t| format!("-{t:.4}"))
+                            .unwrap_or_else(|| "off".into()),
+                    ),
+                    Gate::AbsDrift => (
+                        format!("{:+.0}", r.delta),
+                        r.threshold
+                            .map(|t| format!("±{t:.0}"))
+                            .unwrap_or_else(|| "off".into()),
+                    ),
+                }
             };
             let _ = writeln!(
                 out,
-                "{:<10} {:<26} {:>12.3} {:>12.3} {:>10} {:>10}  {}",
+                "{:<10} {:<26} {:>12} {:>12} {:>10} {:>10}  {}",
                 r.task,
                 r.metric,
-                r.old,
-                r.new,
+                val(r.old),
+                val(r.new),
                 delta,
                 limit,
-                if r.regressed { "REGRESSED" } else { "ok" }
+                if r.regressed {
+                    "REGRESSED"
+                } else if r.skipped {
+                    "n/a"
+                } else {
+                    "ok"
+                }
             );
         }
         for task in &self.missing_tasks {
@@ -275,6 +334,67 @@ fn push_pct(
         threshold,
         // a strict `>` so a 0% threshold passes bit-identical values
         regressed: threshold.is_some_and(|t| delta > t),
+        skipped: false,
+    });
+}
+
+/// Pushes a memory metric: gated only when both reports carry it; when
+/// exactly one side does, an informational `n/a` row is emitted instead
+/// of a spurious regression (v4 report diffed against a v3 baseline, or
+/// the reverse).
+fn push_mem(
+    rows: &mut Vec<MetricDelta>,
+    task: &str,
+    metric: &'static str,
+    gate: Gate,
+    old: Option<f64>,
+    new: Option<f64>,
+    threshold: Option<f64>,
+) {
+    let (delta, regressed) = match (old, new) {
+        (None, None) => return,
+        (Some(old), Some(new)) => {
+            let delta = match gate {
+                Gate::PctIncrease => {
+                    if old <= 0.0 {
+                        return;
+                    }
+                    (new - old) / old * 100.0
+                }
+                Gate::AbsDecrease | Gate::AbsDrift => new - old,
+            };
+            let fired = match gate {
+                Gate::PctIncrease => threshold.is_some_and(|t| delta > t),
+                Gate::AbsDecrease => threshold.is_some_and(|t| -delta > t),
+                Gate::AbsDrift => threshold.is_some_and(|t| delta.abs() > t),
+            };
+            (delta, fired)
+        }
+        _ => {
+            rows.push(MetricDelta {
+                task: task.to_string(),
+                metric,
+                old: old.unwrap_or(f64::NAN),
+                new: new.unwrap_or(f64::NAN),
+                delta: 0.0,
+                gate,
+                threshold,
+                regressed: false,
+                skipped: true,
+            });
+            return;
+        }
+    };
+    rows.push(MetricDelta {
+        task: task.to_string(),
+        metric,
+        old: old.expect("both sides present"),
+        new: new.expect("both sides present"),
+        delta,
+        gate,
+        threshold,
+        regressed,
+        skipped: false,
     });
 }
 
@@ -299,6 +419,7 @@ fn push_abs_drop(
         gate: Gate::AbsDecrease,
         threshold,
         regressed: threshold.is_some_and(|t| -delta > t),
+        skipped: false,
     });
 }
 
@@ -375,6 +496,33 @@ pub fn diff(old: &Report, new: &Report, thresholds: &Thresholds) -> DiffOutcome 
             old_task.accuracy,
             new_task.accuracy,
             thresholds.accuracy_drop,
+        );
+        push_mem(
+            rows,
+            t,
+            "mem_peak_alloc_bytes",
+            Gate::PctIncrease,
+            old_task.peak_alloc_bytes,
+            new_task.peak_alloc_bytes,
+            thresholds.peak_alloc_pct,
+        );
+        push_mem(
+            rows,
+            t,
+            "mem_alloc_count",
+            Gate::PctIncrease,
+            old_task.alloc_count,
+            new_task.alloc_count,
+            thresholds.alloc_count_pct,
+        );
+        push_mem(
+            rows,
+            t,
+            "footprint_actual_bits",
+            Gate::AbsDrift,
+            old_task.footprint_bits,
+            new_task.footprint_bits,
+            thresholds.footprint_bits,
         );
     }
     for new_task in &new.tasks {
@@ -460,6 +608,9 @@ mod tests {
             latency_pct: None,
             cycles_pct: None,
             accuracy_drop: None,
+            peak_alloc_pct: None,
+            alloc_count_pct: None,
+            footprint_bits: None,
         };
         assert!(!diff(&old, &new, &off).regressed());
     }
@@ -493,6 +644,89 @@ mod tests {
         let r = parse_report(text).unwrap();
         assert_eq!(r.git_commit.as_deref(), Some("abc123"));
         assert_eq!(r.quick, Some(true));
+    }
+
+    fn v4_report(peak: f64, count: f64, bits: f64) -> Report {
+        let text = format!(
+            r#"{{"schema":"univsa-perf-baseline/v4","quick":false,"threads":4,
+                "peak_rss_bytes":123456,
+                "tasks":[{{"task":"HAR","train_seconds":10.0,"test_accuracy":0.95,
+                "latency_us":{{"mean":10.0,"p50":9.0,"p90":11.0,"p99":12.0}},
+                "hw_cycles":{{"sample_latency":100,"initiation_interval":40,
+                "streamed_samples":64,"makespan":2620}},
+                "mem":{{"peak_alloc_bytes":{peak},"alloc_count":{count}}},
+                "footprint":{{"modeled_bits":{bits},"actual_bits":{bits},"ratio":1.0}}}}]}}"#
+        );
+        parse_report(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn v4_memory_fields_are_read() {
+        let r = v4_report(1e6, 5000.0, 66840.0);
+        assert_eq!(r.schema, "univsa-perf-baseline/v4");
+        assert_eq!(r.tasks[0].peak_alloc_bytes, Some(1e6));
+        assert_eq!(r.tasks[0].alloc_count, Some(5000.0));
+        assert_eq!(r.tasks[0].footprint_bits, Some(66840.0));
+    }
+
+    #[test]
+    fn peak_alloc_regression_fires_past_ten_percent() {
+        let old = v4_report(1_000_000.0, 5000.0, 66840.0);
+        let ok = v4_report(1_050_000.0, 5000.0, 66840.0);
+        let bad = v4_report(1_200_000.0, 5000.0, 66840.0);
+        assert!(!diff(&old, &ok, &Thresholds::default()).regressed());
+        let outcome = diff(&old, &bad, &Thresholds::default());
+        assert!(outcome
+            .rows
+            .iter()
+            .any(|r| r.metric == "mem_peak_alloc_bytes" && r.regressed));
+    }
+
+    #[test]
+    fn alloc_count_regression_fires() {
+        let old = v4_report(1e6, 5000.0, 66840.0);
+        let bad = v4_report(1e6, 6000.0, 66840.0);
+        let outcome = diff(&old, &bad, &Thresholds::default());
+        assert!(outcome
+            .rows
+            .iter()
+            .any(|r| r.metric == "mem_alloc_count" && r.regressed));
+    }
+
+    #[test]
+    fn footprint_drift_fires_in_both_directions() {
+        let old = v4_report(1e6, 5000.0, 66840.0);
+        let grew = v4_report(1e6, 5000.0, 66904.0);
+        let shrank = v4_report(1e6, 5000.0, 66776.0);
+        assert!(diff(&old, &grew, &Thresholds::default())
+            .rows
+            .iter()
+            .any(|r| r.metric == "footprint_actual_bits" && r.regressed));
+        assert!(diff(&old, &shrank, &Thresholds::default())
+            .rows
+            .iter()
+            .any(|r| r.metric == "footprint_actual_bits" && r.regressed));
+        // bit-identical footprints pass the zero-tolerance gate
+        assert!(!diff(&old, &old, &Thresholds::default()).regressed());
+    }
+
+    #[test]
+    fn v4_vs_v3_memory_gates_never_fire_either_direction() {
+        // old report predates the memory fields entirely
+        let v3 = report(10.0, 12.0, 2620.0, 0.95);
+        let v4 = v4_report(1e6, 5000.0, 66840.0);
+        for (old, new) in [(&v3, &v4), (&v4, &v3)] {
+            let outcome = diff(old, new, &Thresholds::default());
+            assert!(!outcome.regressed(), "{}", outcome.render());
+            let mem_rows: Vec<_> = outcome
+                .rows
+                .iter()
+                .filter(|r| r.metric.starts_with("mem_") || r.metric.starts_with("footprint"))
+                .collect();
+            assert_eq!(mem_rows.len(), 3, "{}", outcome.render());
+            assert!(mem_rows.iter().all(|r| r.skipped && !r.regressed));
+            assert!(outcome.render().contains("n/a"));
+        }
     }
 
     #[test]

@@ -71,6 +71,16 @@ pub enum Command {
         threads: Option<usize>,
         /// Chrome trace-event JSON output path (`--trace out.json`).
         trace: Option<String>,
+        /// Memory observability (`--mem`): per-stage allocation table and
+        /// footprint audit.
+        mem: bool,
+    },
+    /// `univsa memsnap <TASK> [--seed S]`
+    Memsnap {
+        /// Built-in task name.
+        task: String,
+        /// RNG seed for the model weights.
+        seed: u64,
     },
     /// `univsa bench-diff <old> <new> [--max-train-regress P|none] …`
     BenchDiff {
@@ -113,10 +123,12 @@ USAGE:
   univsa rtl   --model MODEL --out-dir DIR
   univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
   univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
-                 [--threads T] [--trace OUT.json]
+                 [--threads T] [--trace OUT.json] [--mem]
+  univsa memsnap <TASK> [--seed S]
   univsa bench-diff OLD.json NEW.json [--max-train-regress PCT|none]
                  [--max-latency-regress PCT|none] [--max-cycles-regress PCT|none]
-                 [--max-accuracy-drop ABS|none]
+                 [--max-accuracy-drop ABS|none] [--max-peak-alloc-regress PCT|none]
+                 [--max-alloc-count-regress PCT|none] [--max-footprint-drift BITS|none]
   univsa tasks
   univsa help
 
@@ -133,11 +145,26 @@ and the cycle-level hardware schedule on a virtual-time track) and
 writes it as Chrome trace-event JSON, viewable at https://ui.perfetto.dev
 or chrome://tracing.
 
+`profile --mem` turns on the counting allocator and appends a per-stage
+allocation table (net bytes, allocation count, peak heap per span name),
+the trained model's footprint audit (modeled Eq. 5 bits vs. actual
+word-padded resident bits per weight store), and the BRAM count the
+calibrated cost model assigns the deployment.
+
+`memsnap` builds the task's paper configuration from seeded random
+weights (no training) and prints the Eq. 5 memory breakdown next to the
+footprint audit and BRAM reconciliation — the Table II memory column,
+component by component.
+
 `bench-diff` compares two perf_baseline reports (BENCH_univsa.json)
 metric by metric and exits nonzero when any gate fires: train wall time
 and p50/p99 latency (percent increase, default 25), hardware cycles
 (percent increase, default 0 — cycle counts are deterministic), and
-accuracy (absolute drop, default 0.02). Pass `none` to disable a gate.
+accuracy (absolute drop, default 0.02). v4 reports additionally gate
+peak heap allocation and allocation count (percent increase, default 10)
+and the model's resident footprint bits (absolute drift, default 0);
+when only one report carries memory figures those rows render `n/a` and
+never fire. Pass `none` to disable a gate.
 
 Built-in tasks: EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR (synthetic,
 with the paper's Table I geometry). CSV format: one sample per line,
@@ -201,8 +228,54 @@ impl Command {
                     seed,
                 })
             }
-            "profile" => {
+            "memsnap" => {
+                // one positional task name, then flags
+                let Some((task, rest)) = rest.split_first() else {
+                    return Err(ParseArgsError(
+                        "memsnap needs a task name: univsa memsnap <TASK> [--seed S]".into(),
+                    ));
+                };
+                if task.starts_with("--") {
+                    return Err(ParseArgsError(
+                        "memsnap needs a task name before flags: univsa memsnap <TASK>".into(),
+                    ));
+                }
                 let flags = parse_flags(rest)?;
+                for (name, _) in &flags {
+                    if name != "seed" {
+                        return Err(ParseArgsError(format!(
+                            "unknown memsnap flag --{name} (expected --seed)"
+                        )));
+                    }
+                }
+                let seed = match flags_get(&flags, "seed") {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| ParseArgsError(format!("bad --seed {s:?}")))?,
+                    None => 42,
+                };
+                Ok(Command::Memsnap {
+                    task: task.clone(),
+                    seed,
+                })
+            }
+            "profile" => {
+                // `--mem` is a boolean switch; everything else is
+                // flag+value pairs
+                let mut mem = false;
+                let rest: Vec<String> = rest
+                    .iter()
+                    .filter(|a| {
+                        if a.as_str() == "--mem" {
+                            mem = true;
+                            false
+                        } else {
+                            true
+                        }
+                    })
+                    .cloned()
+                    .collect();
+                let flags = parse_flags(&rest)?;
                 let seed = match flags_get(&flags, "seed") {
                     Some(s) => s
                         .parse()
@@ -244,6 +317,7 @@ impl Command {
                     samples,
                     threads,
                     trace: flags_get(&flags, "trace"),
+                    mem,
                 })
             }
             "bench-diff" => parse_bench_diff(rest),
@@ -255,11 +329,14 @@ impl Command {
 }
 
 /// The threshold flags `bench-diff` accepts (everything else is a typo).
-const BENCH_DIFF_FLAGS: [&str; 4] = [
+const BENCH_DIFF_FLAGS: [&str; 7] = [
     "max-train-regress",
     "max-latency-regress",
     "max-cycles-regress",
     "max-accuracy-drop",
+    "max-peak-alloc-regress",
+    "max-alloc-count-regress",
+    "max-footprint-drift",
 ];
 
 fn parse_bench_diff(rest: &[String]) -> Result<Command, ParseArgsError> {
@@ -298,6 +375,13 @@ fn parse_bench_diff(rest: &[String]) -> Result<Command, ParseArgsError> {
         latency_pct: parse_threshold(&flags, "max-latency-regress", defaults.latency_pct)?,
         cycles_pct: parse_threshold(&flags, "max-cycles-regress", defaults.cycles_pct)?,
         accuracy_drop: parse_threshold(&flags, "max-accuracy-drop", defaults.accuracy_drop)?,
+        peak_alloc_pct: parse_threshold(&flags, "max-peak-alloc-regress", defaults.peak_alloc_pct)?,
+        alloc_count_pct: parse_threshold(
+            &flags,
+            "max-alloc-count-regress",
+            defaults.alloc_count_pct,
+        )?,
+        footprint_bits: parse_threshold(&flags, "max-footprint-drift", defaults.footprint_bits)?,
     };
     let mut paths = positionals.into_iter();
     Ok(Command::BenchDiff {
@@ -598,6 +682,7 @@ mod tests {
                 samples: 64,
                 threads: None,
                 trace: None,
+                mem: false,
             }
         );
         let cmd = Command::parse(&argv(
@@ -613,8 +698,48 @@ mod tests {
                 samples: 16,
                 threads: Some(4),
                 trace: Some("out.json".into()),
+                mem: false,
             }
         );
+    }
+
+    #[test]
+    fn profile_mem_switch_parses_in_any_position() {
+        for line in [
+            "profile --task HAR --mem",
+            "profile --mem --task HAR",
+            "profile --task HAR --mem --seed 42",
+        ] {
+            match Command::parse(&argv(line)).unwrap() {
+                Command::Profile { mem, task, .. } => {
+                    assert!(mem, "{line}");
+                    assert_eq!(task, "HAR");
+                }
+                other => panic!("wrong parse for {line}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn memsnap_parses_task_and_seed() {
+        assert_eq!(
+            Command::parse(&argv("memsnap ISOLET")).unwrap(),
+            Command::Memsnap {
+                task: "ISOLET".into(),
+                seed: 42,
+            }
+        );
+        assert_eq!(
+            Command::parse(&argv("memsnap HAR --seed 7")).unwrap(),
+            Command::Memsnap {
+                task: "HAR".into(),
+                seed: 7,
+            }
+        );
+        assert!(Command::parse(&argv("memsnap")).is_err());
+        assert!(Command::parse(&argv("memsnap --seed 7")).is_err());
+        assert!(Command::parse(&argv("memsnap HAR --bogus 1")).is_err());
+        assert!(Command::parse(&argv("memsnap HAR --seed x")).is_err());
     }
 
     #[test]
@@ -630,7 +755,9 @@ mod tests {
         );
         let cmd = Command::parse(&argv(
             "bench-diff old.json new.json --max-train-regress none \
-             --max-latency-regress 50 --max-cycles-regress 0 --max-accuracy-drop 0.01",
+             --max-latency-regress 50 --max-cycles-regress 0 --max-accuracy-drop 0.01 \
+             --max-peak-alloc-regress 20 --max-alloc-count-regress none \
+             --max-footprint-drift 64",
         ))
         .unwrap();
         assert_eq!(
@@ -643,6 +770,9 @@ mod tests {
                     latency_pct: Some(50.0),
                     cycles_pct: Some(0.0),
                     accuracy_drop: Some(0.01),
+                    peak_alloc_pct: Some(20.0),
+                    alloc_count_pct: None,
+                    footprint_bits: Some(64.0),
                 },
             }
         );

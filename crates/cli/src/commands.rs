@@ -5,8 +5,8 @@ use std::path::Path;
 use std::time::Instant;
 
 use univsa::{
-    load_model, save_model, EpochStats, FaultModel, FaultSpec, FaultTarget, TrainOptions,
-    UniVsaConfig, UniVsaModel, UniVsaTrainer,
+    load_model, save_model, EpochStats, FaultModel, FaultSpec, FaultTarget, FootprintAudit, Mask,
+    TrainOptions, UniVsaConfig, UniVsaModel, UniVsaTrainer,
 };
 use univsa_bench::diff;
 use univsa_data::{csv, Dataset, TaskSpec};
@@ -196,7 +196,18 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             samples,
             threads,
             trace,
-        } => run_profile(&task, seed, epochs, samples, threads, trace.as_deref(), out),
+            mem,
+        } => run_profile(
+            &task,
+            seed,
+            epochs,
+            samples,
+            threads,
+            trace.as_deref(),
+            mem,
+            out,
+        ),
+        Command::Memsnap { task, seed } => run_memsnap(&task, seed, out),
         Command::BenchDiff {
             old,
             new,
@@ -236,6 +247,7 @@ fn run_bench_diff(
 /// for all three layers: per-epoch training progress, per-sample inference
 /// latency percentiles, and the simulated hardware pipeline schedule —
 /// plus the worker-pool width and per-stage pool occupancy.
+#[allow(clippy::too_many_arguments)]
 fn run_profile(
     task: &str,
     seed: u64,
@@ -243,12 +255,17 @@ fn run_profile(
     samples: usize,
     threads: Option<usize>,
     trace_path: Option<&str>,
+    mem: bool,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
     if let Some(t) = threads {
         univsa_par::set_threads(t);
     }
-    if trace_path.is_some() {
+    if trace_path.is_some() || mem {
+        // --mem rides on the flight recorder too: enabling tracing turns
+        // the registry (and the counting allocator) on, so spans carry
+        // and aggregate their allocation deltas even when the
+        // UNIVSA_TELEMETRY sink is off
         univsa_telemetry::enable_tracing(univsa_telemetry::DEFAULT_TRACE_CAPACITY);
     }
     univsa_par::reset_stats();
@@ -376,6 +393,50 @@ fn run_profile(
             )?;
         }
     }
+    if mem {
+        // memory layer: per-span allocation attribution from the
+        // counting allocator, aggregated over the whole run
+        let stats = univsa_telemetry::mem_stats();
+        writeln!(
+            out,
+            "memory: peak heap {:.2} MiB, {} allocations ({} freed), {:.2} MiB live",
+            stats.peak_bytes as f64 / (1024.0 * 1024.0),
+            stats.alloc_count,
+            stats.dealloc_count,
+            stats.live_bytes as f64 / (1024.0 * 1024.0)
+        )?;
+        let aggregates = univsa_telemetry::mem_aggregates();
+        if aggregates.is_empty() {
+            writeln!(out, "  (no per-span attribution recorded)")?;
+        } else {
+            writeln!(
+                out,
+                "  {:<22} {:>7} {:>14} {:>10} {:>14}",
+                "span", "count", "net bytes", "allocs", "max peak"
+            )?;
+            for (name, agg) in &aggregates {
+                writeln!(
+                    out,
+                    "  {:<22} {:>7} {:>14} {:>10} {:>14}",
+                    name, agg.spans, agg.net_bytes, agg.alloc_count, agg.max_peak_bytes
+                )?;
+            }
+        }
+        let audit = FootprintAudit::of_model(&outcome.model);
+        audit.emit_gauges();
+        writeln!(out, "footprint audit (Eq. 5 vs. resident bits):")?;
+        for line in audit.render().lines() {
+            writeln!(out, "  {line}")?;
+        }
+        let cost = CostModel::calibrated();
+        let hw = HwConfig::new(outcome.model.config());
+        writeln!(
+            out,
+            "  BRAM: {} block(s) for {:.2} KiB stored (calibrated cost model)",
+            cost.brams(&hw),
+            hw.stored_memory_kib()
+        )?;
+    }
     if let Some(path) = trace_path {
         let recorder = univsa_telemetry::take_recorder();
         std::fs::write(path, univsa_telemetry::chrome_trace_json(&recorder))
@@ -404,6 +465,71 @@ fn run_profile(
             univsa_telemetry::ENV_VAR
         )?;
     }
+    Ok(())
+}
+
+/// Builds a task's paper configuration from seeded random weights (no
+/// training — the footprint is weight-value independent) and prints the
+/// Eq. 5 memory breakdown, the footprint audit against the actual packed
+/// structures, and the BRAM count the calibrated cost model assigns.
+fn run_memsnap(task: &str, seed: u64, out: &mut dyn std::io::Write) -> Result<(), Box<dyn Error>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use univsa_bits::BitMatrix;
+
+    let spec = univsa_data::tasks::by_name(task, seed)
+        .ok_or_else(|| format!("unknown task {task:?}; run `univsa tasks`"))?
+        .spec;
+    let (d_h, d_l, d_k, o, theta) = univsa_data::tasks::paper_config_tuple(&spec.name)
+        .ok_or_else(|| format!("no paper configuration for task {:?}", spec.name))?;
+    let cfg = UniVsaConfig::for_task(&spec)
+        .d_h(d_h)
+        .d_l(d_l)
+        .d_k(d_k)
+        .out_channels(o)
+        .voters(theta)
+        .build()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = Mask::all_high(cfg.features());
+    let v_h = BitMatrix::random(cfg.levels, cfg.d_h, &mut rng);
+    let v_l = BitMatrix::random(cfg.levels, cfg.effective_d_l(), &mut rng);
+    let kernel = if cfg.enhancements.biconv {
+        (0..cfg.out_channels * cfg.d_k * cfg.d_k)
+            .map(|i| i as u64)
+            .collect()
+    } else {
+        vec![]
+    };
+    let f = BitMatrix::random(cfg.encoding_channels(), cfg.vsa_dim(), &mut rng);
+    let c = (0..cfg.effective_voters())
+        .map(|_| BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng))
+        .collect();
+    let model = UniVsaModel::from_parts(cfg, mask, v_h, v_l, kernel, f, c)?;
+
+    writeln!(
+        out,
+        "memory snapshot: {} — config {:?} (untrained seeded weights)",
+        spec.name,
+        model.config().tuple()
+    )?;
+    writeln!(out, "Eq. 5 breakdown (paper Table II memory column):")?;
+    for line in model.memory_report().breakdown().lines() {
+        writeln!(out, "  {line}")?;
+    }
+    let audit = FootprintAudit::of_model(&model);
+    audit.emit_gauges();
+    writeln!(out, "footprint audit (Eq. 5 vs. resident bits):")?;
+    for line in audit.render().lines() {
+        writeln!(out, "  {line}")?;
+    }
+    let cost = CostModel::calibrated();
+    let hw = HwConfig::new(model.config());
+    writeln!(
+        out,
+        "BRAM: {} block(s) for {:.2} KiB stored (calibrated cost model)",
+        cost.brams(&hw),
+        hw.stored_memory_kib()
+    )?;
     Ok(())
 }
 
@@ -609,6 +735,7 @@ mod tests {
             samples: 4,
             threads: None,
             trace: None,
+            mem: false,
         })
         .unwrap();
         assert!(text.contains("epoch   1/2"), "{text}");
@@ -629,6 +756,7 @@ mod tests {
             samples: 4,
             threads: Some(2),
             trace: Some(path.to_string_lossy().into_owned()),
+            mem: false,
         })
         .unwrap();
         assert!(text.contains("trace: wrote"), "{text}");
@@ -695,6 +823,59 @@ mod tests {
             samples: 1,
             threads: None,
             trace: None,
+            mem: false,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown task"));
+    }
+
+    #[test]
+    fn profile_mem_reports_allocation_and_footprint() {
+        let text = run_to_string(Command::Profile {
+            task: "bci3v".into(),
+            seed: 11,
+            epochs: Some(2),
+            samples: 4,
+            threads: None,
+            trace: None,
+            mem: true,
+        })
+        .unwrap();
+        assert!(text.contains("memory: peak heap"), "{text}");
+        // per-span attribution table carries the training/inference spans
+        assert!(text.contains("net bytes"), "{text}");
+        assert!(text.contains("train.epoch"), "{text}");
+        assert!(text.contains("infer.similarity"), "{text}");
+        // footprint audit lists every Eq. 5 component with its ratio
+        assert!(text.contains("footprint audit"), "{text}");
+        for component in ["value", "kernel", "feature", "class", "total"] {
+            assert!(text.contains(component), "missing {component}: {text}");
+        }
+        assert!(text.contains("BRAM"), "{text}");
+    }
+
+    #[test]
+    fn memsnap_reconciles_eq5_against_resident_bits() {
+        let text = run_to_string(Command::Memsnap {
+            task: "ISOLET".into(),
+            seed: 42,
+        })
+        .unwrap();
+        // the paper's Table II figure for ISOLET, bit-exact
+        assert!(text.contains("66840"), "{text}");
+        assert!(text.contains("Eq. 5 breakdown"), "{text}");
+        assert!(text.contains("footprint audit"), "{text}");
+        assert!(text.contains("BRAM"), "{text}");
+        // D = 640 is word-aligned: feature/class rows store exactly their
+        // logical bits (ratio 1.000 appears in the audit table)
+        assert!(text.contains("1.000"), "{text}");
+    }
+
+    #[test]
+    fn memsnap_unknown_task_is_an_error() {
+        let err = run_to_string(Command::Memsnap {
+            task: "MNIST".into(),
+            seed: 1,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown task"));

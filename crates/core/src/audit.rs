@@ -1,0 +1,262 @@
+//! Footprint audit: walks a trained model's *actual* in-memory packed
+//! structures and reconciles them against the paper's Eq. 5 memory model
+//! ([`MemoryReport`]).
+//!
+//! Eq. 5 charges logical bits (`rows · dim`); the deployed [`BitMatrix`]
+//! rows are padded to whole `u64` words, so the actual resident bits are
+//! `rows · ceil(dim/64) · 64`. The audit makes that padding visible per
+//! component: the `actual / modeled` ratio is exactly `1.0` whenever the
+//! component dimension is a multiple of 64 (e.g. the `D`-dimensional
+//! feature and class vectors of every paper configuration with
+//! `D % 64 == 0`), and at most `64 / dim` otherwise (the narrow `D_H`-bit
+//! value tables and one-word-per-tap kernels are the extreme cases).
+
+use univsa_bits::BitMatrix;
+
+use crate::{MemoryReport, UniVsaModel};
+
+/// One audited weight store: the paper-model bit charge next to the bits
+/// the packed representation actually occupies in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentAudit {
+    /// Component name (`value`, `kernel`, `feature`, `class`).
+    pub name: &'static str,
+    /// Bits charged by Eq. 5 for this component.
+    pub modeled_bits: usize,
+    /// Bits the packed in-memory representation occupies (word-padded).
+    pub actual_bits: usize,
+}
+
+impl ComponentAudit {
+    /// `actual / modeled` — the word-padding overhead factor. `1.0` means
+    /// the deployment stores exactly the modeled bits; `0.0` when the
+    /// component is absent (modeled 0 bits).
+    pub fn ratio(&self) -> f64 {
+        if self.modeled_bits == 0 {
+            return if self.actual_bits == 0 { 1.0 } else { 0.0 };
+        }
+        self.actual_bits as f64 / self.modeled_bits as f64
+    }
+}
+
+/// Word-padded resident bits of a packed bit-matrix: each row stores
+/// `ceil(dim/64)` whole `u64` words.
+fn resident_bits(m: &BitMatrix) -> usize {
+    m.rows() * m.dim().div_ceil(64) * 64
+}
+
+/// Reconciliation of a trained model's resident weight storage against
+/// the Eq. 5 memory model, component by component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootprintAudit {
+    /// The Eq. 5 report the audit is reconciled against.
+    pub report: MemoryReport,
+    /// Per-component modeled vs. actual bits, in Eq. 5 order
+    /// (value, kernel, feature, class).
+    pub components: Vec<ComponentAudit>,
+}
+
+impl FootprintAudit {
+    /// Audits a model by walking its packed weight stores.
+    ///
+    /// Mirrors [`UniVsaModel::storage_bits`]: without DVP the `VB_L`
+    /// table is a never-consulted placeholder and is not counted; the
+    /// kernel stores one `u64` word per tap regardless of `D_H`.
+    pub fn of_model(model: &UniVsaModel) -> Self {
+        let report = model.memory_report();
+        let cfg = model.config();
+        let value_actual = resident_bits(model.v_h())
+            + if cfg.enhancements.dvp {
+                resident_bits(model.v_l())
+            } else {
+                0
+            };
+        let kernel_actual = model.kernel_words().len() * 64;
+        let feature_actual = resident_bits(model.f());
+        let class_actual: usize = model.class_sets().iter().map(resident_bits).sum();
+        let components = vec![
+            ComponentAudit {
+                name: "value",
+                modeled_bits: report.value_bits,
+                actual_bits: value_actual,
+            },
+            ComponentAudit {
+                name: "kernel",
+                modeled_bits: report.kernel_bits,
+                actual_bits: kernel_actual,
+            },
+            ComponentAudit {
+                name: "feature",
+                modeled_bits: report.feature_bits,
+                actual_bits: feature_actual,
+            },
+            ComponentAudit {
+                name: "class",
+                modeled_bits: report.class_bits,
+                actual_bits: class_actual,
+            },
+        ];
+        Self { report, components }
+    }
+
+    /// Total modeled bits (equals [`MemoryReport::total_bits`]).
+    pub fn modeled_total_bits(&self) -> usize {
+        self.components.iter().map(|c| c.modeled_bits).sum()
+    }
+
+    /// Total word-padded resident bits across all weight stores.
+    pub fn actual_total_bits(&self) -> usize {
+        self.components.iter().map(|c| c.actual_bits).sum()
+    }
+
+    /// Overall `actual / modeled` ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.modeled_total_bits() == 0 {
+            return 1.0;
+        }
+        self.actual_total_bits() as f64 / self.modeled_total_bits() as f64
+    }
+
+    /// Publishes `model.footprint.<component>_bits` gauges (actual
+    /// resident bits) plus the modeled total on the telemetry registry.
+    pub fn emit_gauges(&self) {
+        for c in &self.components {
+            let gauge = match c.name {
+                "value" => "model.footprint.value_bits",
+                "kernel" => "model.footprint.kernel_bits",
+                "feature" => "model.footprint.feature_bits",
+                _ => "model.footprint.class_bits",
+            };
+            univsa_telemetry::counter(gauge, c.actual_bits as u64);
+        }
+        univsa_telemetry::counter(
+            "model.footprint.modeled_bits",
+            self.modeled_total_bits() as u64,
+        );
+    }
+
+    /// Aligned reconciliation table (component | Eq. 5 bits | actual bits
+    /// | ratio), ending with a total row.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>8}\n",
+            "component", "eq5 bits", "actual bits", "ratio"
+        ));
+        for c in &self.components {
+            out.push_str(&format!(
+                "{:<10} {:>12} {:>12} {:>8.3}\n",
+                c.name,
+                c.modeled_bits,
+                c.actual_bits,
+                c.ratio()
+            ));
+        }
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>8.3}\n",
+            "total",
+            self.modeled_total_bits(),
+            self.actual_total_bits(),
+            self.ratio()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mask, UniVsaConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use univsa_data::TaskSpec;
+
+    fn model_for(cfg: UniVsaConfig, seed: u64) -> UniVsaModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mask = Mask::all_high(cfg.features());
+        let v_h = BitMatrix::random(cfg.levels, cfg.d_h, &mut rng);
+        let v_l = BitMatrix::random(cfg.levels, cfg.effective_d_l(), &mut rng);
+        let kernel = if cfg.enhancements.biconv {
+            (0..cfg.out_channels * cfg.d_k * cfg.d_k)
+                .map(|i| i as u64)
+                .collect()
+        } else {
+            vec![]
+        };
+        let f = BitMatrix::random(cfg.encoding_channels(), cfg.vsa_dim(), &mut rng);
+        let c = (0..cfg.effective_voters())
+            .map(|_| BitMatrix::random(cfg.classes, cfg.vsa_dim(), &mut rng))
+            .collect();
+        UniVsaModel::from_parts(cfg, mask, v_h, v_l, kernel, f, c).unwrap()
+    }
+
+    fn isolet_config() -> UniVsaConfig {
+        let spec = TaskSpec {
+            name: "isolet".into(),
+            width: 16,
+            length: 40,
+            classes: 26,
+            levels: 256,
+        };
+        UniVsaConfig::for_task(&spec)
+            .d_h(4)
+            .d_l(4)
+            .d_k(3)
+            .out_channels(22)
+            .voters(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn modeled_total_matches_eq5_and_storage_bits() {
+        let model = model_for(isolet_config(), 7);
+        let audit = FootprintAudit::of_model(&model);
+        assert_eq!(audit.modeled_total_bits(), audit.report.total_bits());
+        assert_eq!(audit.modeled_total_bits(), model.storage_bits());
+    }
+
+    #[test]
+    fn isolet_padding_ratios_follow_word_math() {
+        // ISOLET: D = 40 · 16 = 640 = 10 · 64, so feature/class rows pad
+        // to exactly their logical width (ratio 1.0). The D_H = 4 value
+        // rows and the one-word-per-tap kernel pad 64/4 = 16×.
+        let model = model_for(isolet_config(), 8);
+        let audit = FootprintAudit::of_model(&model);
+        let by_name = |n: &str| {
+            *audit
+                .components
+                .iter()
+                .find(|c| c.name == n)
+                .expect("component present")
+        };
+        assert_eq!(by_name("feature").ratio(), 1.0);
+        assert_eq!(by_name("class").ratio(), 1.0);
+        assert_eq!(by_name("value").ratio(), 16.0);
+        assert_eq!(by_name("kernel").ratio(), 16.0);
+        // generic bound: padding can never exceed a full word per row
+        for c in &audit.components {
+            assert!(c.ratio() <= 64.0, "{}: {}", c.name, c.ratio());
+        }
+        assert!(audit.ratio() > 1.0 && audit.ratio() <= 16.0);
+    }
+
+    #[test]
+    fn render_lists_all_components() {
+        let model = model_for(isolet_config(), 9);
+        let table = FootprintAudit::of_model(&model).render();
+        for name in ["component", "value", "kernel", "feature", "class", "total"] {
+            assert!(table.contains(name), "missing {name}:\n{table}");
+        }
+    }
+
+    #[test]
+    fn ratio_handles_absent_components() {
+        let c = ComponentAudit {
+            name: "kernel",
+            modeled_bits: 0,
+            actual_bits: 0,
+        };
+        assert_eq!(c.ratio(), 1.0);
+    }
+}

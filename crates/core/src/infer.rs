@@ -5,15 +5,23 @@ use std::time::Instant;
 
 use univsa_bits::{BitMatrix, BitVec, Bundler};
 use univsa_data::Dataset;
+use univsa_telemetry::AllocMark;
 
 use crate::{UniVsaError, UniVsaModel, ValueMap};
 
 /// Rolling stage timer for the inference pipeline: `None` (telemetry off)
 /// costs nothing; `Some` emits an `infer.<name>` span per stage and
-/// restarts the clock.
-fn stage_mark(timer: &mut Option<Instant>, name: &'static str) {
+/// restarts the clock. When the counting allocator is on, an
+/// [`AllocMark`] is lapped alongside so each stage span carries its
+/// allocation delta.
+fn stage_mark(timer: &mut Option<Instant>, mem: &mut Option<AllocMark>, name: &'static str) {
     if let Some(t) = timer {
-        univsa_telemetry::record_span("infer", name, t.elapsed(), &[]);
+        match mem.as_mut() {
+            Some(mark) => {
+                univsa_telemetry::record_span_mem("infer", name, t.elapsed(), &[], mark.lap());
+            }
+            None => univsa_telemetry::record_span("infer", name, t.elapsed(), &[]),
+        }
         *t = Instant::now();
     }
 }
@@ -63,6 +71,8 @@ impl UniVsaModel {
         // by `stage_mark` causally attach to it while tracing
         let _sample_span = univsa_telemetry::span("infer", "sample");
         let mut timer = univsa_telemetry::enabled().then(Instant::now);
+        let mut mem =
+            (timer.is_some() && univsa_telemetry::mem_tracking_enabled()).then(AllocMark::now);
         let cfg = self.config();
         let value_map = ValueMap::build(
             values,
@@ -72,15 +82,15 @@ impl UniVsaModel {
             cfg.width,
             cfg.length,
         )?;
-        stage_mark(&mut timer, "dvp");
+        stage_mark(&mut timer, &mut mem, "dvp");
         let conv_out = if cfg.enhancements.biconv {
             self.packed_conv(&value_map)
         } else {
             self.channels_as_rows(&value_map)
         };
-        stage_mark(&mut timer, "biconv");
+        stage_mark(&mut timer, &mut mem, "biconv");
         let encoded = self.encode_from_channels(&conv_out)?;
-        stage_mark(&mut timer, "encode");
+        stage_mark(&mut timer, &mut mem, "encode");
         let similarities: Vec<Vec<i64>> = self
             .class_sets()
             .iter()
@@ -98,7 +108,7 @@ impl UniVsaModel {
             .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        stage_mark(&mut timer, "similarity");
+        stage_mark(&mut timer, &mut mem, "similarity");
         if timer.is_some() {
             univsa_telemetry::counter("infer.samples", 1);
         }

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod config;
 mod dvp;
 mod encoding;
@@ -68,6 +69,7 @@ mod observe;
 mod train;
 mod valuebox;
 
+pub use audit::{ComponentAudit, FootprintAudit};
 pub use config::{ConfigBuilder, Enhancements, UniVsaConfig};
 pub use dvp::ValueMap;
 pub use encoding::EncodingLayer;

@@ -46,6 +46,13 @@
 //! the exported Chrome trace. All of this is behind one atomic load and
 //! costs nothing when tracing is off.
 //!
+//! When the telemetry counting allocator is on, each worker additionally
+//! measures its own thread-local allocation delta over the region and the
+//! summed totals are absorbed back onto the dispatching thread after the
+//! join — so an enclosing `train.epoch` span's `alloc_delta_bytes`
+//! includes the allocations of the fan-out it dispatched, at every pool
+//! width.
+//!
 //! ## Utilization accounting
 //!
 //! Every region records per-stage counters (regions entered, chunks
@@ -58,9 +65,40 @@
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+/// Shared accumulators a fan-out's workers sum their thread-local
+/// allocation deltas into; the dispatching thread absorbs the totals
+/// after the scope joins.
+#[derive(Default)]
+struct AllocBridge {
+    net_bytes: AtomicI64,
+    alloc_count: AtomicU64,
+}
+
+impl AllocBridge {
+    /// Measures `f`'s allocations on the calling worker and adds them to
+    /// the shared totals.
+    fn measure<R>(&self, f: impl FnOnce() -> R) -> R {
+        let mark = univsa_telemetry::AllocMark::now();
+        let out = f();
+        let d = mark.delta();
+        self.net_bytes.fetch_add(d.net_bytes, Ordering::Relaxed);
+        self.alloc_count.fetch_add(d.alloc_count, Ordering::Relaxed);
+        out
+    }
+
+    /// Credits the summed worker deltas to the calling (dispatching)
+    /// thread's attribution counters.
+    fn absorb(&self) {
+        univsa_telemetry::absorb_worker_alloc(
+            self.net_bytes.load(Ordering::Relaxed),
+            self.alloc_count.load(Ordering::Relaxed),
+        );
+    }
+}
 
 /// The environment variable sizing the pool (`UNIVSA_THREADS=<n>`).
 pub const ENV_VAR: &str = "UNIVSA_THREADS";
@@ -310,9 +348,12 @@ where
             .collect(),
     );
     let nchunks = queue.lock().expect("par queue lock").len() as u64;
+    let counting = univsa_telemetry::mem_tracking_enabled();
+    let bridge = AllocBridge::default();
     std::thread::scope(|scope| {
         let queue = &queue;
         let busy_total = &busy_total;
+        let bridge = &bridge;
         let f = &f;
         for w in 0..workers {
             scope.spawn(move || {
@@ -320,7 +361,7 @@ where
                 let _lane = tracing.then(|| univsa_telemetry::enter_lane(format!("worker-{w}")));
                 let _ctx = tracing.then(|| univsa_telemetry::enter_context(ctx));
                 let t0 = Instant::now();
-                loop {
+                let work = || loop {
                     let item = queue.lock().expect("par queue lock").pop();
                     let Some((offset, chunk)) = item else { break };
                     let _chunk_span = tracing.then(|| {
@@ -332,11 +373,19 @@ where
                     for (j, slot) in chunk.iter_mut().enumerate() {
                         *slot = Some(f(offset + j));
                     }
+                };
+                if counting {
+                    bridge.measure(work);
+                } else {
+                    work();
                 }
                 busy_total.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
         }
     });
+    if counting {
+        bridge.absorb();
+    }
     record(
         stage,
         workers as u64,
@@ -403,9 +452,12 @@ where
             .rev()
             .collect(),
     );
+    let counting = univsa_telemetry::mem_tracking_enabled();
+    let bridge = AllocBridge::default();
     std::thread::scope(|scope| {
         let queue = &queue;
         let busy_total = &busy_total;
+        let bridge = &bridge;
         let f = &f;
         for w in 0..workers {
             scope.spawn(move || {
@@ -413,7 +465,7 @@ where
                 let _lane = tracing.then(|| univsa_telemetry::enter_lane(format!("worker-{w}")));
                 let _ctx = tracing.then(|| univsa_telemetry::enter_context(ctx));
                 let t0 = Instant::now();
-                loop {
+                let work = || loop {
                     let item = queue.lock().expect("par queue lock").pop();
                     let Some((offset, chunk)) = item else { break };
                     let _chunk_span = tracing.then(|| {
@@ -423,11 +475,19 @@ where
                             .field("len", chunk.len())
                     });
                     f(offset, chunk);
+                };
+                if counting {
+                    bridge.measure(work);
+                } else {
+                    work();
                 }
                 busy_total.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             });
         }
     });
+    if counting {
+        bridge.absorb();
+    }
     record(
         stage,
         workers as u64,

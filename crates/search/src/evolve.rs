@@ -122,7 +122,10 @@ impl EvolutionarySearch {
         let mut curve = Vec::with_capacity(opts.generations);
         let mut scored: Vec<(Genome, f64)> = Vec::new();
 
-        for _gen in 0..opts.generations {
+        for gen in 0..opts.generations {
+            // telemetry span per generation: carries wall time and, with
+            // the counting allocator on, the generation's allocation delta
+            let _gen_span = univsa_telemetry::span("search", "generation").field("generation", gen);
             scored = score_all(&population, &mut cache, &mut evaluations);
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             curve.push(scored[0].1);

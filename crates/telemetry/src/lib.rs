@@ -36,18 +36,26 @@
 //! registry); tests construct private [`Registry`] instances directly so
 //! they stay independent of the process environment.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one module that must talk to the global
+// allocator API can opt back in; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod histogram;
+mod mem;
 mod registry;
 mod trace;
 
 pub use histogram::{Histogram, BUCKET_BOUNDS_NS};
-pub use registry::{Mode, Registry, Span, TraceRegion, Value};
+pub use mem::{
+    absorb_worker_alloc, enable_mem_tracking, mem_stats, mem_tracking_enabled, reset_peak,
+    suspend_attribution, AllocDelta, AllocMark, AttributionPause, CountingAllocator, MemStats,
+};
+pub use registry::{MemAgg, Mode, Registry, Span, TraceRegion, Value};
 pub use trace::{
     chrome_trace_json, current_context, current_lane, enter_context, enter_lane, ContextGuard,
-    LaneGuard, Recorder, TraceContext, TraceEvent, VirtualEvent, DEFAULT_TRACE_CAPACITY,
+    CounterSample, LaneGuard, Recorder, TraceContext, TraceEvent, VirtualEvent,
+    DEFAULT_TRACE_CAPACITY,
 };
 
 use std::sync::OnceLock;
@@ -95,12 +103,19 @@ pub fn registry_from_spec(spec: &str) -> Result<Registry, String> {
 /// A malformed value disables telemetry with one warning on stderr rather
 /// than failing the host program.
 pub fn global() -> &'static Registry {
-    GLOBAL.get_or_init(|| match std::env::var(ENV_VAR) {
-        Err(_) => Registry::disabled(),
-        Ok(spec) => registry_from_spec(&spec).unwrap_or_else(|msg| {
-            eprintln!("warning: telemetry disabled: {msg}");
-            Registry::disabled()
-        }),
+    GLOBAL.get_or_init(|| {
+        let reg = match std::env::var(ENV_VAR) {
+            Err(_) => Registry::disabled(),
+            Ok(spec) => registry_from_spec(&spec).unwrap_or_else(|msg| {
+                eprintln!("warning: telemetry disabled: {msg}");
+                Registry::disabled()
+            }),
+        };
+        // with telemetry on, spans also carry allocation deltas
+        if reg.is_enabled() {
+            mem::enable_mem_tracking();
+        }
+        reg
     })
 }
 
@@ -136,6 +151,25 @@ pub fn record_span(
     fields: &[(&'static str, Value)],
 ) {
     global().record_span(layer, name, duration, fields);
+}
+
+/// Records an already-measured span carrying allocation deltas (the
+/// rolling-timer shape of the staged inference path: the caller laps one
+/// [`AllocMark`] alongside its [`std::time::Instant`]).
+pub fn record_span_mem(
+    layer: &'static str,
+    name: &'static str,
+    duration: Duration,
+    fields: &[(&'static str, Value)],
+    mem: AllocDelta,
+) {
+    global().record_span_mem(layer, name, duration, fields, mem);
+}
+
+/// Per-span-name allocation aggregates from the global registry (the
+/// `univsa profile --mem` table), keyed `layer.name`.
+pub fn mem_aggregates() -> Vec<(String, MemAgg)> {
+    global().mem_aggregates()
 }
 
 /// Emits a point-in-time event on the global registry.

@@ -1,0 +1,356 @@
+//! Counting global allocator: live/peak heap bytes and allocation counts,
+//! globally and attributed per-thread so spans can carry allocation
+//! deltas.
+//!
+//! The workspace installs [`CountingAllocator`] as the
+//! `#[global_allocator]` (it wraps [`std::alloc::System`]). Counting is
+//! **off by default**: until [`enable_mem_tracking`] flips one process
+//! -wide flag, every allocation pays exactly one relaxed atomic load on
+//! top of the system allocator — the same discipline as the rest of the
+//! telemetry stack. The flag is set when the global registry comes up
+//! enabled (`UNIVSA_TELEMETRY` != off), when the flight recorder is
+//! switched on, or explicitly (the `univsa profile --mem` path).
+//!
+//! Two ledgers are kept:
+//!
+//! - **global**: live bytes, peak bytes, alloc/dealloc counts — process
+//!   truth, reported by [`mem_stats`] and sampled into Chrome trace
+//!   counter tracks.
+//! - **per-thread**: net bytes + allocation count in thread-local cells,
+//!   snapshot by [`AllocMark`] so a span measures exactly the
+//!   allocations of the work it encloses. The registry *suspends* this
+//!   attribution around its own internals (recorder pushes, histogram
+//!   inserts), so measurement never measures itself — which is what
+//!   keeps per-span deltas deterministic across `UNIVSA_THREADS`
+//!   settings.
+//!
+//! `univsa-par` bridges worker attribution back to the dispatching
+//! thread with [`absorb_worker_alloc`], so an enclosing `train.epoch`
+//! span sees the allocations of the fan-out it dispatched.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// Process-wide switch; one relaxed load per allocation while off.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Live heap bytes (signed: deallocations of memory allocated before
+/// tracking started may drive the raw counter negative; reporting clamps).
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+/// High-water mark of [`LIVE_BYTES`] since tracking (or the last
+/// [`reset_peak`]).
+static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static DEALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Net bytes allocated by this thread while attribution was active.
+    static TL_NET: Cell<i64> = const { Cell::new(0) };
+    /// Allocations made by this thread while attribution was active.
+    static TL_COUNT: Cell<u64> = const { Cell::new(0) };
+    /// While true, this thread's allocations update the global ledger
+    /// only — the telemetry internals run under this so they do not
+    /// pollute span attribution.
+    static TL_SUSPENDED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The counting allocator installed as the workspace `#[global_allocator]`.
+///
+/// Delegates every operation to [`System`]; when tracking is enabled it
+/// additionally maintains the global and per-thread ledgers with relaxed
+/// atomics and const-initialized thread-local cells (no allocation happens
+/// on the counting path itself, so the wrapper cannot recurse).
+pub struct CountingAllocator;
+
+#[global_allocator]
+static GLOBAL_ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[inline]
+fn note_alloc(size: usize) {
+    let size = size as i64;
+    let live = LIVE_BYTES.fetch_add(size, Ordering::Relaxed) + size;
+    let mut peak = PEAK_BYTES.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK_BYTES.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(cur) => peak = cur,
+        }
+    }
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    // `try_with` so allocations during TLS teardown stay safe.
+    let _ = TL_SUSPENDED.try_with(|s| {
+        if !s.get() {
+            let _ = TL_NET.try_with(|c| c.set(c.get() + size));
+            let _ = TL_COUNT.try_with(|c| c.set(c.get() + 1));
+        }
+    });
+}
+
+#[inline]
+fn note_dealloc(size: usize) {
+    LIVE_BYTES.fetch_sub(size as i64, Ordering::Relaxed);
+    DEALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    let _ = TL_SUSPENDED.try_with(|s| {
+        if !s.get() {
+            let _ = TL_NET.try_with(|c| c.set(c.get() - size as i64));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() && ENABLED.load(Ordering::Relaxed) {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() && ENABLED.load(Ordering::Relaxed) {
+            note_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        if ENABLED.load(Ordering::Relaxed) {
+            note_dealloc(layout.size());
+        }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() && ENABLED.load(Ordering::Relaxed) {
+            note_dealloc(layout.size());
+            note_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// Switches allocation counting on for the rest of the process. Safe to
+/// call repeatedly; there is deliberately no way to switch it back off
+/// (deallocations of tracked memory must keep being tracked).
+pub fn enable_mem_tracking() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether the counting allocator is recording (one relaxed load).
+#[inline]
+pub fn mem_tracking_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the global allocation ledger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Heap bytes currently live (allocated minus freed since tracking
+    /// started; clamped at zero).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since tracking started or the last
+    /// [`reset_peak`].
+    pub peak_bytes: u64,
+    /// Total allocations observed.
+    pub alloc_count: u64,
+    /// Total deallocations observed.
+    pub dealloc_count: u64,
+}
+
+/// Reads the global allocation ledger (all zeros while tracking is off
+/// and nothing was ever recorded).
+pub fn mem_stats() -> MemStats {
+    MemStats {
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed).max(0) as u64,
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed).max(0) as u64,
+        alloc_count: ALLOC_COUNT.load(Ordering::Relaxed),
+        dealloc_count: DEALLOC_COUNT.load(Ordering::Relaxed),
+    }
+}
+
+/// Collapses the peak high-water mark to the current live figure, so the
+/// next measurement window (e.g. one bench task) reports its own peak.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed).max(0), Ordering::Relaxed);
+}
+
+/// The allocation deltas measured over one span window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Net bytes allocated minus freed on the measuring thread (plus any
+    /// worker attribution absorbed) over the window.
+    pub net_bytes: i64,
+    /// Allocations made over the window.
+    pub alloc_count: u64,
+    /// Global peak live bytes at the *end* of the window — a process
+    /// figure, not a per-span one, so it is monotone within a run.
+    pub peak_bytes: u64,
+}
+
+/// A snapshot of this thread's attribution counters; the difference
+/// between two marks is what the enclosed code allocated.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocMark {
+    net: i64,
+    count: u64,
+}
+
+impl AllocMark {
+    /// Marks the calling thread's current attribution counters.
+    pub fn now() -> Self {
+        Self {
+            net: TL_NET.with(Cell::get),
+            count: TL_COUNT.with(Cell::get),
+        }
+    }
+
+    /// The deltas accumulated since this mark (mark unchanged).
+    pub fn delta(&self) -> AllocDelta {
+        AllocDelta {
+            net_bytes: TL_NET.with(Cell::get) - self.net,
+            alloc_count: TL_COUNT.with(Cell::get) - self.count,
+            peak_bytes: PEAK_BYTES.load(Ordering::Relaxed).max(0) as u64,
+        }
+    }
+
+    /// The deltas since this mark, then re-marks at now — the rolling
+    /// shape the staged inference path uses.
+    pub fn lap(&mut self) -> AllocDelta {
+        let d = self.delta();
+        self.net += d.net_bytes;
+        self.count += d.alloc_count;
+        d
+    }
+}
+
+/// Adds a worker thread's measured attribution onto the calling thread's
+/// counters. `univsa-par` calls this after a fan-out joins, so spans open
+/// on the dispatching thread include the allocations their workers made.
+pub fn absorb_worker_alloc(net_bytes: i64, alloc_count: u64) {
+    TL_NET.with(|c| c.set(c.get() + net_bytes));
+    TL_COUNT.with(|c| c.set(c.get() + alloc_count));
+}
+
+/// Suspends per-thread attribution until the guard drops (the global
+/// ledger keeps counting). The registry wraps its own bookkeeping in this
+/// so recorder/histogram allocations never land in span deltas.
+pub fn suspend_attribution() -> AttributionPause {
+    let prev = TL_SUSPENDED.with(|s| s.replace(true));
+    AttributionPause { prev }
+}
+
+/// Restores the previous attribution state when dropped. See
+/// [`suspend_attribution`].
+#[must_use = "attribution is suspended until the guard drops"]
+pub struct AttributionPause {
+    prev: bool,
+}
+
+impl Drop for AttributionPause {
+    fn drop(&mut self) {
+        TL_SUSPENDED.with(|s| s.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The switch is process-global and deliberately one-way, so every
+    // test that needs it on shares this helper; tests that need it OFF
+    // live in integration binaries with their own process.
+    fn ensure_on() {
+        enable_mem_tracking();
+        assert!(mem_tracking_enabled());
+    }
+
+    #[test]
+    fn global_ledger_counts_allocations() {
+        ensure_on();
+        let before = mem_stats();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        let mid = mem_stats();
+        assert!(mid.alloc_count > before.alloc_count);
+        assert!(mid.live_bytes >= before.live_bytes.saturating_sub(1 << 20) + 4096);
+        drop(v);
+        let after = mem_stats();
+        assert!(after.dealloc_count > mid.dealloc_count);
+        assert!(after.peak_bytes >= 4096);
+    }
+
+    #[test]
+    fn marks_measure_thread_local_deltas() {
+        ensure_on();
+        let mark = AllocMark::now();
+        let v: Vec<u8> = Vec::with_capacity(1000);
+        let d = mark.delta();
+        assert!(d.net_bytes >= 1000, "net {} >= 1000", d.net_bytes);
+        assert!(d.alloc_count >= 1);
+        drop(v);
+        let d2 = mark.delta();
+        assert!(d2.net_bytes < d.net_bytes);
+    }
+
+    #[test]
+    fn lap_rolls_the_mark_forward() {
+        ensure_on();
+        let mut mark = AllocMark::now();
+        let a: Vec<u8> = Vec::with_capacity(512);
+        let first = mark.lap();
+        assert!(first.net_bytes >= 512);
+        let second = mark.lap();
+        assert!(second.net_bytes < 512, "second lap only sees new work");
+        drop(a);
+    }
+
+    #[test]
+    fn suspension_hides_work_from_attribution_but_not_globals() {
+        ensure_on();
+        let mark = AllocMark::now();
+        let g_before = mem_stats();
+        let hidden: Vec<u8>;
+        {
+            let _pause = suspend_attribution();
+            hidden = Vec::with_capacity(2048);
+        }
+        let d = mark.delta();
+        assert!(
+            d.net_bytes < 2048,
+            "suspended allocation attributed: {}",
+            d.net_bytes
+        );
+        assert!(mem_stats().alloc_count > g_before.alloc_count);
+        drop(hidden);
+        // the unbalanced suspended free is also invisible to attribution
+        let _pause = suspend_attribution();
+    }
+
+    #[test]
+    fn absorb_adds_to_this_thread() {
+        ensure_on();
+        let mark = AllocMark::now();
+        absorb_worker_alloc(12_345, 7);
+        let d = mark.delta();
+        assert!(d.net_bytes >= 12_345);
+        assert!(d.alloc_count >= 7);
+        absorb_worker_alloc(-12_345, 0);
+    }
+
+    #[test]
+    fn reset_peak_collapses_to_live() {
+        ensure_on();
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        drop(v);
+        reset_peak();
+        let s = mem_stats();
+        assert!(
+            s.peak_bytes <= s.live_bytes + (1 << 16),
+            "peak {} collapsed near live {}",
+            s.peak_bytes,
+            s.live_bytes
+        );
+    }
+}

@@ -9,7 +9,10 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::histogram::Histogram;
-use crate::trace::{self, Recorder, TraceEvent, VirtualEvent, DEFAULT_TRACE_CAPACITY};
+use crate::mem::{self, AllocDelta, AllocMark};
+use crate::trace::{
+    self, CounterSample, Recorder, TraceEvent, VirtualEvent, DEFAULT_TRACE_CAPACITY,
+};
 
 /// What the registry does with recorded data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,9 +178,25 @@ enum Sink {
     Buffer(Vec<u8>),
 }
 
+/// Aggregated allocation behaviour of one span name (`layer.name`),
+/// accumulated whenever memory tracking is on — the rows of the
+/// `univsa profile --mem` table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemAgg {
+    /// Spans observed under this name.
+    pub spans: u64,
+    /// Summed net bytes (allocated − freed) across those spans.
+    pub net_bytes: i64,
+    /// Summed allocation counts.
+    pub alloc_count: u64,
+    /// Largest global peak observed at any of those spans' close.
+    pub max_peak_bytes: u64,
+}
+
 struct State {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    mem_aggregates: BTreeMap<String, MemAgg>,
     sink: Sink,
     /// First I/O error hit while writing JSONL lines; surfaced at flush
     /// instead of panicking mid-measurement.
@@ -236,6 +255,7 @@ impl Registry {
             state: Mutex::new(State {
                 counters: BTreeMap::new(),
                 histograms: BTreeMap::new(),
+                mem_aggregates: BTreeMap::new(),
                 sink,
                 sink_error: None,
                 recorder: None,
@@ -317,11 +337,14 @@ impl Registry {
     /// retained events (further events are counted and dropped). Spans
     /// recorded from now on carry ids, causal parents, and lane labels.
     pub fn enable_tracing(&self, capacity: usize) {
+        let _pause = mem::suspend_attribution();
         let mut state = self.state.lock().expect("telemetry state poisoned");
         if state.recorder.is_none() {
             state.recorder = Some(Recorder::with_capacity(capacity));
         }
         self.tracing.store(true, Ordering::Relaxed);
+        // traces carry allocation deltas and heap counter tracks
+        mem::enable_mem_tracking();
     }
 
     /// Stops the flight recorder and returns everything it held.
@@ -374,7 +397,11 @@ impl Registry {
         if !self.is_enabled() {
             return Span { inner: None };
         }
-        let ids = self.is_tracing().then(|| self.open_trace_span());
+        let ids = {
+            // the span-stack push must not land in the parent's window
+            let _pause = mem::suspend_attribution();
+            self.is_tracing().then(|| self.open_trace_span())
+        };
         Span {
             inner: Some(SpanInner {
                 registry: self,
@@ -385,6 +412,7 @@ impl Registry {
                 start: Instant::now(),
                 fields: Vec::new(),
                 ids,
+                mem: mem::mem_tracking_enabled().then(AllocMark::now),
             }),
         }
     }
@@ -400,6 +428,31 @@ impl Registry {
         duration: Duration,
         fields: &[(&'static str, Value)],
     ) {
+        self.record_span_inner(layer, name, duration, fields, None);
+    }
+
+    /// [`record_span`](Self::record_span) carrying allocation deltas the
+    /// caller measured itself (by lapping an [`AllocMark`] alongside its
+    /// rolling timer).
+    pub fn record_span_mem(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        duration: Duration,
+        fields: &[(&'static str, Value)],
+        mem: AllocDelta,
+    ) {
+        self.record_span_inner(layer, name, duration, fields, Some(mem));
+    }
+
+    fn record_span_inner(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        duration: Duration,
+        fields: &[(&'static str, Value)],
+        mem: Option<AllocDelta>,
+    ) {
         if !self.is_enabled() {
             return;
         }
@@ -411,7 +464,7 @@ impl Registry {
         });
         let dur_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
         let start_ns = self.now_ns().saturating_sub(dur_ns);
-        self.finish_span(layer, name, start_us, start_ns, duration, fields, ids);
+        self.finish_span(layer, name, start_us, start_ns, duration, fields, ids, mem);
     }
 
     /// Opens a trace-only region: it lands in the flight recorder with an
@@ -453,6 +506,7 @@ impl Registry {
         if !self.is_tracing() {
             return;
         }
+        let _pause = mem::suspend_attribution();
         let mut state = self.state.lock().expect("telemetry state poisoned");
         if let Some(rec) = state.recorder.as_mut() {
             rec.record_virtual(VirtualEvent {
@@ -470,6 +524,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        let _pause = mem::suspend_attribution();
         let mut state = self.state.lock().expect("telemetry state poisoned");
         *state.counters.entry(name.to_string()).or_insert(0) += delta;
     }
@@ -479,6 +534,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        let _pause = mem::suspend_attribution();
         let ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
         let mut state = self.state.lock().expect("telemetry state poisoned");
         state
@@ -493,6 +549,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
+        let _pause = mem::suspend_attribution();
         let ts = self.now_us();
         let mut state = self.state.lock().expect("telemetry state poisoned");
         *state.counters.entry(format!("{layer}.events")).or_insert(0) += 1;
@@ -519,8 +576,21 @@ impl Registry {
         elapsed: Duration,
         fields: &[(&'static str, Value)],
         ids: Option<(u64, Option<u64>)>,
+        mem: Option<AllocDelta>,
     ) {
+        // the registry's own bookkeeping must not pollute span attribution
+        let _pause = mem::suspend_attribution();
         let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        // allocation deltas ride along as ordinary span fields
+        let with_mem: Option<Vec<(&'static str, Value)>> = mem.map(|d| {
+            let mut all = Vec::with_capacity(fields.len() + 3);
+            all.extend_from_slice(fields);
+            all.push(("alloc_delta_bytes", Value::I64(d.net_bytes)));
+            all.push(("peak_bytes", Value::U64(d.peak_bytes)));
+            all.push(("alloc_count", Value::U64(d.alloc_count)));
+            all
+        });
+        let fields: &[(&'static str, Value)] = with_mem.as_deref().unwrap_or(fields);
         let lane = ids.is_some().then(trace::current_lane);
         let mut state = self.state.lock().expect("telemetry state poisoned");
         state
@@ -528,6 +598,16 @@ impl Registry {
             .entry(format!("{layer}.{name}"))
             .or_default()
             .record(ns);
+        if let Some(d) = mem {
+            let agg = state
+                .mem_aggregates
+                .entry(format!("{layer}.{name}"))
+                .or_default();
+            agg.spans += 1;
+            agg.net_bytes += d.net_bytes;
+            agg.alloc_count += d.alloc_count;
+            agg.max_peak_bytes = agg.max_peak_bytes.max(d.peak_bytes);
+        }
         if let (Some((id, parent)), Some(lane)) = (ids, lane.as_deref()) {
             if let Some(rec) = state.recorder.as_mut() {
                 let lane = rec.lane_id(lane);
@@ -541,6 +621,15 @@ impl Registry {
                     dur_ns: ns,
                     fields: fields.to_vec(),
                 });
+                // heap counter track: one sample at each span close
+                if mem.is_some() {
+                    let stats = mem::mem_stats();
+                    rec.record_counter(CounterSample {
+                        ts_ns: start_ns.saturating_add(ns),
+                        live_bytes: stats.live_bytes,
+                        peak_bytes: stats.peak_bytes,
+                    });
+                }
             }
         }
         if self.mode() == Mode::Jsonl {
@@ -577,6 +666,7 @@ impl Registry {
         elapsed: Duration,
         fields: Vec<(&'static str, Value)>,
     ) {
+        let _pause = mem::suspend_attribution();
         let lane = trace::current_lane();
         let mut state = self.state.lock().expect("telemetry state poisoned");
         if let Some(rec) = state.recorder.as_mut() {
@@ -747,6 +837,17 @@ impl Registry {
         let state = self.state.lock().expect("telemetry state poisoned");
         state.histograms.keys().cloned().collect()
     }
+
+    /// Per-span-name allocation aggregates (`layer.name` keyed), sorted
+    /// by name. Empty unless memory tracking was on while spans closed.
+    pub fn mem_aggregates(&self) -> Vec<(String, MemAgg)> {
+        let state = self.state.lock().expect("telemetry state poisoned");
+        state
+            .mem_aggregates
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
 }
 
 /// Formats nanoseconds with an adaptive unit.
@@ -773,6 +874,9 @@ struct SpanInner<'a> {
     /// `(id, parent)` while tracing; the id sits on the thread's span
     /// stack until the span drops.
     ids: Option<(u64, Option<u64>)>,
+    /// Thread-local allocation mark captured at open while memory
+    /// tracking is on; its delta becomes the span's allocation fields.
+    mem: Option<AllocMark>,
 }
 
 /// An open timed span; records itself when dropped. Obtained from
@@ -806,6 +910,8 @@ impl Span<'_> {
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
+            // measure before any bookkeeping below can allocate
+            let mem = inner.mem.as_ref().map(AllocMark::delta);
             if let Some((id, _)) = inner.ids {
                 trace::pop_span(id);
             }
@@ -817,6 +923,7 @@ impl Drop for Span<'_> {
                 inner.start.elapsed(),
                 &inner.fields,
                 inner.ids,
+                mem,
             );
         }
     }

@@ -168,8 +168,21 @@ pub struct VirtualEvent {
     pub fields: Vec<(&'static str, Value)>,
 }
 
+/// One sampled value of the process heap counters (live/peak bytes from
+/// the counting allocator), taken at a span close while memory tracking
+/// is on. Rendered as a Chrome trace counter track (`ph:"C"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Nanoseconds since the registry epoch at the sample.
+    pub ts_ns: u64,
+    /// Live heap bytes at the sample.
+    pub live_bytes: u64,
+    /// Peak live heap bytes up to the sample.
+    pub peak_bytes: u64,
+}
+
 /// The bounded in-memory flight recorder: wall-clock events, virtual-time
-/// events, and the lane table.
+/// events, heap counter samples, and the lane table.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Recorder {
     /// Maximum number of wall-clock plus virtual events retained.
@@ -178,6 +191,8 @@ pub struct Recorder {
     pub events: Vec<TraceEvent>,
     /// Virtual-time events, in emission order.
     pub virtual_events: Vec<VirtualEvent>,
+    /// Heap counter samples, in emission order.
+    pub counter_samples: Vec<CounterSample>,
     /// Lane labels; [`TraceEvent::lane`] indexes this table.
     pub lanes: Vec<String>,
     /// Events discarded after the recorder filled up.
@@ -194,7 +209,7 @@ impl Recorder {
     }
 
     fn len(&self) -> usize {
-        self.events.len() + self.virtual_events.len()
+        self.events.len() + self.virtual_events.len() + self.counter_samples.len()
     }
 
     /// Interns a lane label, returning its index.
@@ -220,6 +235,14 @@ impl Recorder {
             return;
         }
         self.virtual_events.push(event);
+    }
+
+    pub(crate) fn record_counter(&mut self, sample: CounterSample) {
+        if self.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.counter_samples.push(sample);
     }
 }
 
@@ -297,6 +320,18 @@ pub fn chrome_trace_json(recorder: &Recorder) -> String {
         );
         write_args(&mut out, e.id, e.parent, &e.fields);
         out.push('}');
+    }
+
+    // heap counter track (ph:"C" renders as a filled series in Perfetto)
+    for s in &recorder.counter_samples {
+        push_line(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"name\":\"heap bytes\",\"ts\":{:.3},\"args\":{{\"live\":{},\"peak\":{}}}}}",
+            s.ts_ns as f64 / 1e3,
+            s.live_bytes,
+            s.peak_bytes
+        );
     }
 
     // virtual-time process (cycle clock rendered as µs ticks)

@@ -1,0 +1,215 @@
+//! Allocation-attribution integration tests: the counting allocator's
+//! per-span deltas are deterministic across worker-pool widths, and the
+//! recorded heap peak is monotone.
+//!
+//! Like `causal_trace.rs`, these tests share the *global* telemetry
+//! registry and flight recorder, so a file-local mutex serializes them;
+//! cargo gives this file its own process, leaving other test binaries
+//! (in particular the clean-environment zero-overhead guard) unaffected.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use univsa::{TrainOptions, UniVsaTrainer};
+use univsa_telemetry::{Recorder, Value};
+
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+const INFER_STAGES: [&str; 4] = ["dvp", "biconv", "encode", "similarity"];
+
+fn small_trainer(seed: u64) -> (UniVsaTrainer, univsa_data::Task) {
+    let task = univsa_data::tasks::bci3v(seed);
+    let cfg = univsa::UniVsaConfig::for_task(&task.spec)
+        .d_h(4)
+        .d_l(1)
+        .d_k(3)
+        .out_channels(8)
+        .voters(1)
+        .build()
+        .unwrap();
+    let trainer = UniVsaTrainer::new(
+        cfg,
+        TrainOptions {
+            epochs: 2,
+            ..TrainOptions::default()
+        },
+    );
+    (trainer, task)
+}
+
+/// Trains once (recorder off), then records a full `evaluate` — the
+/// per-sample inferences fan out to the worker pool — at the given pool
+/// width and returns the captured recorder.
+fn record_evaluate(threads: usize) -> Recorder {
+    let (trainer, task) = small_trainer(7);
+    let model = trainer.fit(&task.train, 7).unwrap().model;
+    univsa_telemetry::enable_tracing(1 << 18);
+    univsa_par::with_threads(threads, || model.evaluate(&task.test)).unwrap();
+    univsa_telemetry::take_recorder()
+}
+
+fn field_i64(fields: &[(&'static str, Value)], key: &str) -> Option<i64> {
+    fields.iter().find_map(|(k, v)| match (k, v) {
+        (k, Value::I64(x)) if *k == key => Some(*x),
+        _ => None,
+    })
+}
+
+fn field_u64(fields: &[(&'static str, Value)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| match (k, v) {
+        (k, Value::U64(x)) if *k == key => Some(*x),
+        _ => None,
+    })
+}
+
+/// Multiset of per-stage allocation deltas over every inference in the
+/// recorder: stage name → sorted list of `alloc_delta_bytes`. Worker
+/// threads change *where* a sample runs, never *what* it allocates, so
+/// this multiset must not depend on the pool width.
+fn stage_delta_multiset(rec: &Recorder) -> BTreeMap<String, Vec<i64>> {
+    let mut out: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+    for e in &rec.events {
+        if e.layer != "infer" || !INFER_STAGES.contains(&e.name) {
+            continue;
+        }
+        let delta = field_i64(&e.fields, "alloc_delta_bytes")
+            .unwrap_or_else(|| panic!("infer.{} span lacks alloc_delta_bytes", e.name));
+        out.entry(e.name.to_string()).or_default().push(delta);
+    }
+    for deltas in out.values_mut() {
+        deltas.sort_unstable();
+    }
+    out
+}
+
+#[test]
+fn infer_stage_alloc_deltas_are_identical_across_thread_counts() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let rec1 = record_evaluate(1);
+    let rec4 = record_evaluate(4);
+
+    let m1 = stage_delta_multiset(&rec1);
+    let m4 = stage_delta_multiset(&rec4);
+    for stage in INFER_STAGES {
+        assert!(
+            !m1.get(stage).map(Vec::is_empty).unwrap_or(true),
+            "serial run records {stage} deltas"
+        );
+    }
+    assert_eq!(
+        m1, m4,
+        "per-stage allocation deltas must not depend on UNIVSA_THREADS"
+    );
+
+    // every mem-carrying span also reports the counting and peak fields
+    for rec in [&rec1, &rec4] {
+        for e in rec.events.iter().filter(|e| e.layer == "infer") {
+            if field_i64(&e.fields, "alloc_delta_bytes").is_some() {
+                assert!(field_u64(&e.fields, "alloc_count").is_some(), "{}", e.name);
+                assert!(field_u64(&e.fields, "peak_bytes").is_some(), "{}", e.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn recorded_peak_bytes_is_monotone() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // width 1 first, then width 4 — the global peak never decreases, so
+    // recorded peaks are monotone within the serial run and across the
+    // two runs (4 workers can only raise the high-water mark further)
+    let rec1 = record_evaluate(1);
+    let rec4 = record_evaluate(4);
+
+    let peaks = |rec: &Recorder| -> Vec<u64> {
+        rec.events
+            .iter()
+            .filter(|e| e.layer == "infer")
+            .filter_map(|e| field_u64(&e.fields, "peak_bytes"))
+            .collect()
+    };
+    let p1 = peaks(&rec1);
+    assert!(!p1.is_empty());
+    // serial: spans close in chronological order on one thread, so the
+    // captured peak sequence is nondecreasing
+    for pair in p1.windows(2) {
+        assert!(pair[1] >= pair[0], "peak regressed in serial run: {pair:?}");
+    }
+    let p4 = peaks(&rec4);
+    assert!(!p4.is_empty());
+    let max1 = p1.iter().max().copied().unwrap();
+    let max4 = p4.iter().max().copied().unwrap();
+    assert!(
+        max4 >= max1,
+        "peak is monotone across runs ({max1} then {max4})"
+    );
+
+    // the flight recorder also carries heap counter samples for the
+    // Chrome "heap bytes" track, and those peaks are monotone too
+    assert!(!rec1.counter_samples.is_empty());
+    for pair in rec1.counter_samples.windows(2) {
+        assert!(pair[1].peak_bytes >= pair[0].peak_bytes);
+    }
+}
+
+#[test]
+fn chrome_trace_carries_heap_counter_track() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let rec = record_evaluate(2);
+    assert!(!rec.counter_samples.is_empty());
+    let chrome = univsa_telemetry::chrome_trace_json(&rec);
+    let doc = univsa::json::parse(chrome.as_bytes()).expect("valid Chrome trace JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(univsa::json::Json::as_arr)
+        .expect("traceEvents array");
+    let counters: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph") == Some(&univsa::json::Json::Str("C".into())))
+        .collect();
+    assert!(!counters.is_empty(), "no ph:C counter events in trace");
+    for c in &counters {
+        assert_eq!(
+            c.get("name"),
+            Some(&univsa::json::Json::Str("heap bytes".into()))
+        );
+        let args = c.get("args").expect("counter args");
+        assert!(args.get("live").is_some());
+        assert!(args.get("peak").is_some());
+    }
+}
+
+#[test]
+fn search_generation_spans_carry_alloc_fields() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    univsa_telemetry::enable_tracing(1 << 16);
+    let space = univsa_search::SearchSpace::for_task(&univsa_data::TaskSpec {
+        name: "t".into(),
+        width: 8,
+        length: 10,
+        classes: 2,
+        levels: 256,
+    });
+    let options = univsa_search::SearchOptions {
+        population: 8,
+        generations: 3,
+        elites: 2,
+        ..univsa_search::SearchOptions::default()
+    };
+    let _ = univsa_search::EvolutionarySearch::new(space, options).run(|g| g.d_h as f64, 1);
+    let rec = univsa_telemetry::take_recorder();
+    let generations: Vec<_> = rec
+        .events
+        .iter()
+        .filter(|e| e.layer == "search" && e.name == "generation")
+        .collect();
+    assert_eq!(generations.len(), 3, "one span per generation");
+    for g in &generations {
+        assert!(
+            field_i64(&g.fields, "alloc_delta_bytes").is_some(),
+            "generation span carries its allocation delta"
+        );
+        assert!(field_u64(&g.fields, "peak_bytes").is_some());
+        assert!(field_u64(&g.fields, "alloc_count").is_some());
+    }
+}

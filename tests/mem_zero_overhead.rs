@@ -1,0 +1,48 @@
+//! Zero-overhead guard: with telemetry off, the counting allocator must
+//! record nothing — the off path is a single relaxed atomic load per
+//! allocation, with no ledger updates at all.
+//!
+//! This file must stay its own integration-test binary (own process):
+//! mem tracking is a one-way, process-global switch, so any other test
+//! enabling telemetry or tracing in the same process would break the
+//! "records nothing" assertion.
+
+use univsa::{TrainOptions, UniVsaTrainer};
+use univsa_telemetry::MemStats;
+
+#[test]
+fn fit_with_telemetry_off_records_no_allocations() {
+    // defend against an inherited environment: the registry must
+    // initialize disabled, which leaves mem tracking off too
+    std::env::remove_var(univsa_telemetry::ENV_VAR);
+    assert!(!univsa_telemetry::enabled(), "telemetry must start off");
+    assert!(!univsa_telemetry::mem_tracking_enabled());
+
+    let task = univsa_data::tasks::bci3v(5);
+    let cfg = univsa::UniVsaConfig::for_task(&task.spec)
+        .d_h(4)
+        .d_l(1)
+        .d_k(3)
+        .out_channels(8)
+        .voters(1)
+        .build()
+        .unwrap();
+    let trainer = UniVsaTrainer::new(
+        cfg,
+        TrainOptions {
+            epochs: 2,
+            ..TrainOptions::default()
+        },
+    );
+    let model = trainer.fit(&task.train, 5).unwrap().model;
+    let accuracy = model.evaluate(&task.test).unwrap();
+    assert!(accuracy > 0.0, "training ran for real");
+
+    // a full fit + evaluate allocated plenty — and none of it was counted
+    assert_eq!(
+        univsa_telemetry::mem_stats(),
+        MemStats::default(),
+        "counting allocator must record nothing while disabled"
+    );
+    assert!(!univsa_telemetry::mem_tracking_enabled());
+}

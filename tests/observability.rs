@@ -90,6 +90,34 @@ fn off_mode_records_nothing() {
     assert!(reg.take_buffer().is_empty());
 }
 
+/// Smoke bound on the counting allocator itself: a burst of small
+/// allocations must complete in interactive time whether or not another
+/// test in this binary has flipped mem tracking on. This is not a
+/// benchmark — the bound is two orders of magnitude above the measured
+/// cost — it exists to catch an accidental syscall, lock, or panic in
+/// the hot `GlobalAlloc` path.
+#[test]
+fn counting_allocator_smoke_bound() {
+    let start = std::time::Instant::now();
+    let mut keep = Vec::with_capacity(1000);
+    for round in 0..200u32 {
+        for i in 0..1000u32 {
+            let v: Vec<u8> = Vec::with_capacity((i % 61 + 1) as usize);
+            if i % 199 == 0 {
+                keep.push(v); // a few survive the round, most drop hot
+            }
+        }
+        if round % 10 == 0 {
+            keep.clear();
+        }
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "200k tracked allocations took {elapsed:?} — allocator hot path regressed"
+    );
+}
+
 /// End to end: with `UNIVSA_TELEMETRY=jsonl:<path>`, one train → infer →
 /// schedule run must produce spans from all three instrumented layers.
 #[test]
