@@ -82,6 +82,70 @@ pub enum Command {
         /// RNG seed for the model weights.
         seed: u64,
     },
+    /// `univsa search --task <NAME> [--workers N] [--population P]
+    /// [--generations G] [--epochs E] [--seed S] [--chaos SPEC]`
+    Search {
+        /// Built-in task name.
+        task: String,
+        /// Worker-process count (`None` = `UNIVSA_WORKERS` or in-process).
+        workers: Option<usize>,
+        /// Population size.
+        population: usize,
+        /// Number of generations.
+        generations: usize,
+        /// Training epochs per fitness evaluation.
+        epochs: usize,
+        /// Seed for data generation, training, and evolution.
+        seed: u64,
+        /// Fault-injection spec forwarded to the fleet.
+        chaos: univsa::ChaosSpec,
+        /// Score genomes with the training-free surrogate objective
+        /// (`--surrogate`) instead of real training runs.
+        surrogate: bool,
+    },
+    /// `univsa seu --task <NAME> [--workers N] [--rate R] [--trials T]
+    /// [--samples N] [--seed S] [--chaos SPEC]`
+    Seu {
+        /// Built-in task name (paper configuration is used).
+        task: String,
+        /// Worker-process count (`None` = `UNIVSA_WORKERS` or in-process).
+        workers: Option<usize>,
+        /// Upset probability per stored bit per cycle.
+        rate: f64,
+        /// Campaign trials per protection scheme.
+        trials: usize,
+        /// Streamed samples per trial (the exposure window).
+        samples: usize,
+        /// Base campaign seed (trial `i` uses `seed + i`).
+        seed: u64,
+        /// Fault-injection spec forwarded to the fleet.
+        chaos: univsa::ChaosSpec,
+    },
+    /// `univsa chaos --task <NAME> [--workers N1,N2,…] [--crash R1,R2,…]
+    /// [--corrupt R] [--hang R] [--population P] [--generations G]
+    /// [--epochs E] [--seed S]` — fleet determinism self-check.
+    Chaos {
+        /// Built-in task name.
+        task: String,
+        /// Worker counts to sweep.
+        workers: Vec<usize>,
+        /// Chaos crash rates to sweep.
+        crash: Vec<f64>,
+        /// Reply-frame corruption rate applied to every chaotic cell.
+        corrupt: f64,
+        /// Task hang rate applied to every chaotic cell.
+        hang: f64,
+        /// Population size for the probe search.
+        population: usize,
+        /// Generations for the probe search.
+        generations: usize,
+        /// Training epochs per fitness evaluation.
+        epochs: usize,
+        /// Seed for data generation, training, evolution, and chaos.
+        seed: u64,
+        /// Score genomes with the training-free surrogate objective.
+        surrogate: bool,
+    },
     /// `univsa bench-diff <old> <new> [--max-train-regress P|none] …`
     BenchDiff {
         /// Baseline report path.
@@ -124,6 +188,13 @@ USAGE:
   univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
   univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
                  [--threads T] [--trace OUT.json] [--mem]
+  univsa search --task <NAME> [--workers N] [--population P] [--generations G]
+                 [--epochs E] [--seed S] [--chaos SPEC] [--surrogate]
+  univsa seu    --task <NAME> [--workers N] [--rate R] [--trials T]
+                 [--samples N] [--seed S] [--chaos SPEC]
+  univsa chaos  --task <NAME> [--workers N1,N2,…] [--crash R1,R2,…]
+                 [--corrupt R] [--hang R] [--population P] [--generations G]
+                 [--epochs E] [--seed S] [--surrogate]
   univsa memsnap <TASK> [--seed S]
   univsa bench-diff OLD.json NEW.json [--max-train-regress PCT|none]
                  [--max-latency-regress PCT|none] [--max-cycles-regress PCT|none]
@@ -150,6 +221,29 @@ allocation table (net bytes, allocation count, peak heap per span name),
 the trained model's footprint audit (modeled Eq. 5 bits vs. actual
 word-padded resident bits per weight store), and the BRAM count the
 calibrated cost model assigns the deployment.
+
+`search` runs the paper's evolutionary configuration search (objective
+Acc − L_HW) and `seu` runs seeded single-event-upset campaigns for every
+protection scheme. Both shard their work over a supervised fleet of
+worker processes when --workers N (or the UNIVSA_WORKERS environment
+variable) is set: the same binary is re-executed N times and spoken to
+over a CRC32-framed stdin/stdout protocol with per-task deadlines,
+liveness pings, and bounded retries with exponential backoff. Results
+are keyed by job index, so stdout is bit-identical for every worker
+count — including zero, which runs in-process. Worker crashes, hangs,
+corrupt reply frames, and slow starts can be injected deterministically
+with --chaos (or UNIVSA_CHAOS), e.g.
+`--chaos crash=0.2,corrupt=0.05,seed=7`; the fleet recovers by
+re-dispatching, and falls back to the in-process pool if spawning fails
+outright. Retry/timeout/crash counts go to stderr, never stdout.
+
+`chaos` is the fleet's own regression gate: it runs the identical probe
+search across a worker-count × crash-rate matrix and exits nonzero
+unless every cell reproduces the single-process baseline bit for bit.
+`--surrogate` (search and chaos) swaps real training runs for a
+training-free deterministic objective — same fleet, same framing, same
+retry machinery, none of the cost — which is what quick self-checks and
+the CI chaos matrix use.
 
 `memsnap` builds the task's paper configuration from seeded random
 weights (no training) and prints the Eq. 5 memory breakdown next to the
@@ -320,6 +414,9 @@ impl Command {
                     mem,
                 })
             }
+            "search" => parse_search(rest),
+            "seu" => parse_seu(rest),
+            "chaos" => parse_chaos(rest),
             "bench-diff" => parse_bench_diff(rest),
             other => Err(ParseArgsError(format!(
                 "unknown subcommand {other:?}; run `univsa help`"
@@ -383,11 +480,215 @@ fn parse_bench_diff(rest: &[String]) -> Result<Command, ParseArgsError> {
         )?,
         footprint_bits: parse_threshold(&flags, "max-footprint-drift", defaults.footprint_bits)?,
     };
-    let mut paths = positionals.into_iter();
+    let [old, new]: [String; 2] = positionals
+        .try_into()
+        .map_err(|_| ParseArgsError("bench-diff needs exactly two report paths".into()))?;
     Ok(Command::BenchDiff {
-        old: paths.next().expect("two positionals checked"),
-        new: paths.next().expect("two positionals checked"),
+        old,
+        new,
         thresholds,
+    })
+}
+
+/// Parses a `--flag` value with a typed per-flag error, falling back to
+/// `default` when the flag is absent.
+fn parse_value<T: std::str::FromStr>(
+    flags: &Flags,
+    name: &str,
+    default: T,
+) -> Result<T, ParseArgsError> {
+    match flags_get(flags, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseArgsError(format!("bad --{name} {v:?}"))),
+        None => Ok(default),
+    }
+}
+
+/// Parses a `--flag` that must be ≥ 1 when present.
+fn parse_at_least_one(flags: &Flags, name: &str, default: usize) -> Result<usize, ParseArgsError> {
+    let value: usize = parse_value(flags, name, default)?;
+    if value == 0 {
+        return Err(ParseArgsError(format!("--{name} must be at least 1")));
+    }
+    Ok(value)
+}
+
+/// Parses the optional fleet width (`--workers N`; 0 = in-process).
+fn parse_fleet_workers(flags: &Flags) -> Result<Option<usize>, ParseArgsError> {
+    match flags_get(flags, "workers") {
+        Some(w) => {
+            Ok(Some(w.parse().map_err(|_| {
+                ParseArgsError(format!("bad --workers {w:?}"))
+            })?))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Parses the optional `--chaos` fault-injection spec.
+fn parse_chaos_spec(flags: &Flags) -> Result<univsa::ChaosSpec, ParseArgsError> {
+    match flags_get(flags, "chaos") {
+        Some(spec) => univsa::ChaosSpec::parse(&spec)
+            .map_err(|e| ParseArgsError(format!("bad --chaos {spec:?}: {e}"))),
+        None => Ok(univsa::ChaosSpec::default()),
+    }
+}
+
+fn reject_unknown(flags: &Flags, known: &[&str], sub: &str) -> Result<(), ParseArgsError> {
+    for (name, _) in flags {
+        if !known.contains(&name.as_str()) {
+            return Err(ParseArgsError(format!(
+                "unknown {sub} flag --{name} (expected one of --{})",
+                known.join(" --")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Strips a boolean `--name` switch out of the argument list (the
+/// remaining arguments are `--flag value` pairs).
+fn take_switch(rest: &[String], name: &str) -> (Vec<String>, bool) {
+    let switch = format!("--{name}");
+    let mut present = false;
+    let rest = rest
+        .iter()
+        .filter(|a| {
+            if a.as_str() == switch {
+                present = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, present)
+}
+
+fn parse_search(rest: &[String]) -> Result<Command, ParseArgsError> {
+    let (rest, surrogate) = take_switch(rest, "surrogate");
+    let flags = parse_flags(&rest)?;
+    reject_unknown(
+        &flags,
+        &[
+            "task",
+            "workers",
+            "population",
+            "generations",
+            "epochs",
+            "seed",
+            "chaos",
+        ],
+        "search",
+    )?;
+    let population = parse_at_least_one(&flags, "population", 10)?;
+    if population < 2 {
+        return Err(ParseArgsError("--population must be at least 2".into()));
+    }
+    Ok(Command::Search {
+        task: required(&flags, "task")?,
+        workers: parse_fleet_workers(&flags)?,
+        population,
+        generations: parse_at_least_one(&flags, "generations", 4)?,
+        epochs: parse_at_least_one(&flags, "epochs", 3)?,
+        seed: parse_value(&flags, "seed", 42)?,
+        chaos: parse_chaos_spec(&flags)?,
+        surrogate,
+    })
+}
+
+fn parse_seu(rest: &[String]) -> Result<Command, ParseArgsError> {
+    let flags = parse_flags(rest)?;
+    reject_unknown(
+        &flags,
+        &[
+            "task", "workers", "rate", "trials", "samples", "seed", "chaos",
+        ],
+        "seu",
+    )?;
+    let rate: f64 = parse_value(&flags, "rate", 1e-7)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ParseArgsError(format!(
+            "--rate must be a probability in [0, 1] — got {rate}"
+        )));
+    }
+    Ok(Command::Seu {
+        task: required(&flags, "task")?,
+        workers: parse_fleet_workers(&flags)?,
+        rate,
+        trials: parse_at_least_one(&flags, "trials", 8)?,
+        samples: parse_at_least_one(&flags, "samples", 32)?,
+        seed: parse_value(&flags, "seed", 42)?,
+        chaos: parse_chaos_spec(&flags)?,
+    })
+}
+
+fn parse_chaos(rest: &[String]) -> Result<Command, ParseArgsError> {
+    let (rest, surrogate) = take_switch(rest, "surrogate");
+    let flags = parse_flags(&rest)?;
+    reject_unknown(
+        &flags,
+        &[
+            "task",
+            "workers",
+            "crash",
+            "corrupt",
+            "hang",
+            "population",
+            "generations",
+            "epochs",
+            "seed",
+        ],
+        "chaos",
+    )?;
+    let workers = match flags_get(&flags, "workers") {
+        Some(list) => {
+            let counts: Result<Vec<usize>, _> = list
+                .split(',')
+                .map(|part| {
+                    part.trim().parse::<usize>().map_err(|_| {
+                        ParseArgsError(format!("bad worker count {part:?} in {list:?}"))
+                    })
+                })
+                .collect();
+            let counts = counts?;
+            if counts.is_empty() {
+                return Err(ParseArgsError("--workers needs at least one count".into()));
+            }
+            counts
+        }
+        None => vec![0, 2, 4],
+    };
+    let crash = match flags_get(&flags, "crash") {
+        Some(list) => parse_rates(&list).map_err(|e| ParseArgsError(format!("--crash: {e}")))?,
+        None => vec![0.0, 0.2],
+    };
+    let corrupt: f64 = parse_value(&flags, "corrupt", 0.05)?;
+    let hang: f64 = parse_value(&flags, "hang", 0.0)?;
+    for (name, value) in [("corrupt", corrupt), ("hang", hang)] {
+        if !(0.0..=1.0).contains(&value) {
+            return Err(ParseArgsError(format!(
+                "--{name} must be a probability in [0, 1] — got {value}"
+            )));
+        }
+    }
+    let population = parse_at_least_one(&flags, "population", 6)?;
+    if population < 2 {
+        return Err(ParseArgsError("--population must be at least 2".into()));
+    }
+    Ok(Command::Chaos {
+        task: required(&flags, "task")?,
+        workers,
+        crash,
+        corrupt,
+        hang,
+        population,
+        generations: parse_at_least_one(&flags, "generations", 2)?,
+        epochs: parse_at_least_one(&flags, "epochs", 1)?,
+        seed: parse_value(&flags, "seed", 42)?,
+        surrogate,
     })
 }
 
@@ -796,6 +1097,142 @@ mod tests {
         assert!(Command::parse(&argv("profile --task T --seed x")).is_err());
         assert!(Command::parse(&argv("profile --task T --threads 0")).is_err());
         assert!(Command::parse(&argv("profile --task T --threads x")).is_err());
+    }
+
+    #[test]
+    fn search_parses_with_defaults() {
+        assert_eq!(
+            Command::parse(&argv("search --task bci3v")).unwrap(),
+            Command::Search {
+                task: "bci3v".into(),
+                workers: None,
+                population: 10,
+                generations: 4,
+                epochs: 3,
+                seed: 42,
+                chaos: univsa::ChaosSpec::default(),
+                surrogate: false,
+            }
+        );
+        let cmd = Command::parse(&argv(
+            "search --task HAR --workers 4 --population 8 --generations 2 \
+             --epochs 1 --seed 7 --chaos crash=0.2,seed=3 --surrogate",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Search {
+                workers,
+                population,
+                chaos,
+                surrogate,
+                ..
+            } => {
+                assert_eq!(workers, Some(4));
+                assert_eq!(population, 8);
+                assert_eq!(chaos.crash, 0.2);
+                assert_eq!(chaos.seed, 3);
+                assert!(surrogate);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_rejects_bad_values() {
+        assert!(Command::parse(&argv("search")).is_err());
+        assert!(Command::parse(&argv("search --task T --workers x")).is_err());
+        assert!(Command::parse(&argv("search --task T --population 1")).is_err());
+        assert!(Command::parse(&argv("search --task T --generations 0")).is_err());
+        assert!(Command::parse(&argv("search --task T --chaos crash=2.0")).is_err());
+        assert!(Command::parse(&argv("search --task T --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn seu_parses_with_defaults() {
+        assert_eq!(
+            Command::parse(&argv("seu --task bci3v")).unwrap(),
+            Command::Seu {
+                task: "bci3v".into(),
+                workers: None,
+                rate: 1e-7,
+                trials: 8,
+                samples: 32,
+                seed: 42,
+                chaos: univsa::ChaosSpec::default(),
+            }
+        );
+        match Command::parse(&argv(
+            "seu --task HAR --workers 2 --rate 1e-6 --trials 3 --samples 8 --seed 9",
+        ))
+        .unwrap()
+        {
+            Command::Seu {
+                workers,
+                rate,
+                trials,
+                ..
+            } => {
+                assert_eq!(workers, Some(2));
+                assert_eq!(rate, 1e-6);
+                assert_eq!(trials, 3);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seu_rejects_bad_values() {
+        assert!(Command::parse(&argv("seu")).is_err());
+        assert!(Command::parse(&argv("seu --task T --rate 2")).is_err());
+        assert!(Command::parse(&argv("seu --task T --trials 0")).is_err());
+        assert!(Command::parse(&argv("seu --task T --samples 0")).is_err());
+    }
+
+    #[test]
+    fn chaos_parses_matrix_with_defaults() {
+        assert_eq!(
+            Command::parse(&argv("chaos --task bci3v")).unwrap(),
+            Command::Chaos {
+                task: "bci3v".into(),
+                workers: vec![0, 2, 4],
+                crash: vec![0.0, 0.2],
+                corrupt: 0.05,
+                hang: 0.0,
+                population: 6,
+                generations: 2,
+                epochs: 1,
+                seed: 42,
+                surrogate: false,
+            }
+        );
+        match Command::parse(&argv(
+            "chaos --task HAR --workers 0,3 --crash 0,0.1,0.3 --corrupt 0 --hang 0.1",
+        ))
+        .unwrap()
+        {
+            Command::Chaos {
+                workers,
+                crash,
+                corrupt,
+                hang,
+                ..
+            } => {
+                assert_eq!(workers, vec![0, 3]);
+                assert_eq!(crash, vec![0.0, 0.1, 0.3]);
+                assert_eq!(corrupt, 0.0);
+                assert_eq!(hang, 0.1);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_bad_values() {
+        assert!(Command::parse(&argv("chaos")).is_err());
+        assert!(Command::parse(&argv("chaos --task T --workers x")).is_err());
+        assert!(Command::parse(&argv("chaos --task T --crash 1.5")).is_err());
+        assert!(Command::parse(&argv("chaos --task T --corrupt 2")).is_err());
+        assert!(Command::parse(&argv("chaos --task T --hang -1")).is_err());
     }
 
     #[test]

@@ -2,17 +2,22 @@
 
 use std::error::Error;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use univsa::{
-    load_model, save_model, EpochStats, FaultModel, FaultSpec, FaultTarget, FootprintAudit, Mask,
-    TrainOptions, UniVsaConfig, UniVsaModel, UniVsaTrainer,
+    load_model, save_model, ChaosSpec, EpochStats, FaultModel, FaultSpec, FaultTarget,
+    FootprintAudit, Mask, TrainOptions, UniVsaConfig, UniVsaError, UniVsaModel, UniVsaTrainer,
 };
 use univsa_bench::diff;
 use univsa_data::{csv, Dataset, TaskSpec};
-use univsa_hw::{
-    export_weights, CostModel, HwConfig, HwReport, Pipeline, Protection, RtlGenerator,
+use univsa_dist::{
+    decode_fitness, decode_seu_outcome, standard_registry, FitnessJob, FleetReport, Job,
+    SeuTrialJob, Supervisor, SupervisorOptions, FITNESS_KIND, PROBE_KIND, SEU_TRIAL_KIND,
 };
+use univsa_hw::{
+    export_weights, CostModel, HwConfig, HwReport, Pipeline, Protection, RtlGenerator, SeuOutcome,
+};
+use univsa_search::{EvolutionarySearch, Genome, SearchOptions, SearchResult, SearchSpace};
 
 use crate::args::USAGE;
 use crate::Command;
@@ -84,7 +89,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
                 writeln!(out, "held-out accuracy: {acc:.4}")?;
             }
             let bytes = save_model(&outcome.model)?;
-            std::fs::write(&out_path, &bytes)?;
+            write_bytes(Path::new(&out_path), &bytes)?;
             writeln!(
                 out,
                 "saved {} ({} bytes, {:.2} KiB model memory)",
@@ -95,7 +100,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             Ok(())
         }
         Command::Infer { model, csv: path } => {
-            let model = load_model(&std::fs::read(&model)?)?;
+            let model = load_model(&read_bytes(&model)?)?;
             let cfg = model.config();
             let spec = TaskSpec {
                 name: "csv".into(),
@@ -104,7 +109,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
                 classes: cfg.classes,
                 levels: cfg.levels,
             };
-            let data = csv::from_csv(&std::fs::read_to_string(&path)?, spec)?;
+            let data = csv::from_csv(&read_text(&path)?, spec)?;
             let mut correct = 0usize;
             for (i, sample) in data.samples().iter().enumerate() {
                 let label = model.infer(&sample.values)?;
@@ -124,7 +129,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             Ok(())
         }
         Command::Info { model } => {
-            let model = load_model(&std::fs::read(&model)?)?;
+            let model = load_model(&read_bytes(&model)?)?;
             let cfg = model.config();
             writeln!(out, "UniVSA model")?;
             writeln!(
@@ -158,14 +163,15 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             Ok(())
         }
         Command::Rtl { model, out_dir } => {
-            let model = load_model(&std::fs::read(&model)?)?;
+            let model = load_model(&read_bytes(&model)?)?;
             let dir = Path::new(&out_dir);
-            std::fs::create_dir_all(dir)?;
+            std::fs::create_dir_all(dir)
+                .map_err(|e| UniVsaError::Io(format!("cannot create {out_dir:?}: {e}")))?;
             let bundle = RtlGenerator::new(HwConfig::new(model.config())).emit();
             let weights = export_weights(&model);
             let mut count = 0;
             for f in bundle.files.iter().chain(&weights) {
-                std::fs::write(dir.join(&f.name), &f.contents)?;
+                write_bytes(&dir.join(&f.name), f.contents.as_bytes())?;
                 count += 1;
             }
             writeln!(out, "wrote {count} files to {out_dir}/")?;
@@ -177,7 +183,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             rates,
             seed,
         } => {
-            let model = load_model(&std::fs::read(&model)?)?;
+            let model = load_model(&read_bytes(&model)?)?;
             let cfg = model.config();
             let spec = TaskSpec {
                 name: "csv".into(),
@@ -186,7 +192,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
                 classes: cfg.classes,
                 levels: cfg.levels,
             };
-            let data = csv::from_csv(&std::fs::read_to_string(&path)?, spec)?;
+            let data = csv::from_csv(&read_text(&path)?, spec)?;
             run_robustness(&model, &data, &rates, seed, out)
         }
         Command::Profile {
@@ -208,6 +214,59 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             out,
         ),
         Command::Memsnap { task, seed } => run_memsnap(&task, seed, out),
+        Command::Search {
+            task,
+            workers,
+            population,
+            generations,
+            epochs,
+            seed,
+            chaos,
+            surrogate,
+        } => run_search(
+            &task,
+            workers,
+            population,
+            generations,
+            epochs,
+            seed,
+            chaos,
+            surrogate,
+            out,
+        ),
+        Command::Seu {
+            task,
+            workers,
+            rate,
+            trials,
+            samples,
+            seed,
+            chaos,
+        } => run_seu(&task, workers, rate, trials, samples, seed, chaos, out),
+        Command::Chaos {
+            task,
+            workers,
+            crash,
+            corrupt,
+            hang,
+            population,
+            generations,
+            epochs,
+            seed,
+            surrogate,
+        } => run_chaos(
+            &task,
+            &workers,
+            &crash,
+            corrupt,
+            hang,
+            population,
+            generations,
+            epochs,
+            seed,
+            surrogate,
+            out,
+        ),
         Command::BenchDiff {
             old,
             new,
@@ -240,6 +299,342 @@ fn run_bench_diff(
         )
         .into());
     }
+    Ok(())
+}
+
+/// Builds the fleet supervisor the `search`, `seu`, and `chaos`
+/// subcommands share: explicit `--workers` wins, then the
+/// `UNIVSA_WORKERS` environment variable, then in-process execution.
+fn fleet_supervisor(workers: Option<usize>, seed: u64, chaos: ChaosSpec) -> Supervisor {
+    let workers = workers.or_else(univsa_dist::workers_from_env).unwrap_or(0);
+    let defaults = SupervisorOptions::default();
+    // hangs only exist when injected deliberately; a short deadline keeps
+    // that recovery path fast without risking false kills in real runs
+    let task_deadline = if chaos.hang > 0.0 {
+        Duration::from_secs(30)
+    } else {
+        defaults.task_deadline
+    };
+    Supervisor::new(
+        SupervisorOptions {
+            workers,
+            seed,
+            chaos,
+            task_deadline,
+            ..defaults
+        },
+        standard_registry(),
+    )
+}
+
+fn accumulate(total: &mut FleetReport, part: FleetReport) {
+    total.workers = total.workers.max(part.workers);
+    total.spawned += part.spawned;
+    total.retries += part.retries;
+    total.timeouts += part.timeouts;
+    total.crashes += part.crashes;
+    total.corrupt_frames += part.corrupt_frames;
+    total.fallback_jobs += part.fallback_jobs;
+}
+
+/// Prints the fleet's robustness counters to **stderr** — stdout carries
+/// only the deterministic results, so it stays bit-identical across
+/// worker counts and chaos histories.
+fn report_fleet(report: &FleetReport) {
+    if report.workers == 0 {
+        return;
+    }
+    eprintln!(
+        "fleet: {} worker slot(s), {} spawned, {} retries, {} timeouts, \
+         {} crashes, {} corrupt frames, {} fallback jobs",
+        report.workers,
+        report.spawned,
+        report.retries,
+        report.timeouts,
+        report.crashes,
+        report.corrupt_frames,
+        report.fallback_jobs
+    );
+}
+
+/// Runs one evolutionary search with fitness evaluations sharded over
+/// the fleet, returning the (bit-deterministic) result and the fleet's
+/// accumulated robustness counters.
+fn search_with_fleet(
+    task: &univsa_data::Task,
+    population: usize,
+    generations: usize,
+    epochs: usize,
+    seed: u64,
+    kind: &'static str,
+    supervisor: &Supervisor,
+) -> Result<(SearchResult, FleetReport), UniVsaError> {
+    let space = SearchSpace::for_task(&task.spec);
+    let options = SearchOptions {
+        population,
+        generations,
+        elites: (population / 4).max(1),
+        ..SearchOptions::default()
+    };
+    let search = EvolutionarySearch::new(space, options);
+    let mut fleet_total = FleetReport::default();
+    let result = search.try_run_batched(seed, |pending| {
+        let jobs: Vec<Job> = pending
+            .iter()
+            .map(|genome| {
+                Job::new(
+                    kind,
+                    FitnessJob {
+                        task: task.spec.name.clone(),
+                        data_seed: seed,
+                        train_seed: seed,
+                        epochs,
+                        genome: *genome,
+                    }
+                    .encode(),
+                )
+            })
+            .collect();
+        let (results, report) = supervisor.run_jobs(&jobs)?;
+        accumulate(&mut fleet_total, report);
+        results.iter().map(|bytes| decode_fitness(bytes)).collect()
+    })?;
+    Ok((result, fleet_total))
+}
+
+fn lookup_task(name: &str, seed: u64) -> Result<univsa_data::Task, UniVsaError> {
+    univsa_data::tasks::by_name(name, seed)
+        .ok_or_else(|| UniVsaError::Config(format!("unknown task {name:?}; run `univsa tasks`")))
+}
+
+/// Runs the paper's evolutionary configuration search with fitness
+/// evaluations fanned out over the worker fleet. Everything written to
+/// `out` (stdout) is a pure function of the parsed arguments — worker
+/// count, crashes, and retries can never change it.
+#[allow(clippy::too_many_arguments)]
+fn run_search(
+    task_name: &str,
+    workers: Option<usize>,
+    population: usize,
+    generations: usize,
+    epochs: usize,
+    seed: u64,
+    chaos: ChaosSpec,
+    surrogate: bool,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    let task = lookup_task(task_name, seed)?;
+    let kind = if surrogate { PROBE_KIND } else { FITNESS_KIND };
+    let supervisor = fleet_supervisor(workers, seed, chaos);
+    let (result, report) = search_with_fleet(
+        &task,
+        population,
+        generations,
+        epochs,
+        seed,
+        kind,
+        &supervisor,
+    )?;
+    writeln!(
+        out,
+        "search {}: population {population}, {generations} generation(s), \
+         {epochs} epoch(s)/eval, seed {seed}{}",
+        task.spec.name,
+        if surrogate {
+            ", surrogate objective"
+        } else {
+            ""
+        }
+    )?;
+    writeln!(
+        out,
+        "best genome : (D_H, D_L, D_K, O, Θ) = {:?}",
+        (
+            result.genome.d_h,
+            result.genome.d_l,
+            result.genome.d_k,
+            result.genome.out_channels,
+            result.genome.voters
+        )
+    )?;
+    // `{:?}` prints the shortest decimal that round-trips, so the line is
+    // a bit-exact witness for the determinism gate
+    writeln!(out, "best fitness: {:?}", result.fitness)?;
+    writeln!(out, "curve       : {:?}", result.curve)?;
+    writeln!(out, "evaluations : {}", result.evaluations)?;
+    report_fleet(&report);
+    Ok(())
+}
+
+/// Runs seeded SEU campaigns for every protection scheme, one fleet job
+/// per trial (trial `i` of a sweep is `SeuCampaign::new(rate, seed + i)`,
+/// so sharding them is exact, not approximate).
+#[allow(clippy::too_many_arguments)]
+fn run_seu(
+    task_name: &str,
+    workers: Option<usize>,
+    rate: f64,
+    trials: usize,
+    samples: usize,
+    seed: u64,
+    chaos: ChaosSpec,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    let task = lookup_task(task_name, seed)?;
+    let (d_h, d_l, d_k, o, theta) = univsa_data::tasks::paper_config_tuple(&task.spec.name)
+        .ok_or_else(|| {
+            UniVsaError::Config(format!(
+                "no paper configuration for task {:?}",
+                task.spec.name
+            ))
+        })?;
+    let genome = Genome {
+        d_h,
+        d_l,
+        d_k,
+        out_channels: o,
+        voters: theta,
+    };
+    let jobs: Vec<Job> = Protection::ALL
+        .iter()
+        .flat_map(|&protection| (0..trials).map(move |trial| (protection, trial)))
+        .map(|(protection, trial)| {
+            Job::new(
+                SEU_TRIAL_KIND,
+                SeuTrialJob {
+                    spec: task.spec.clone(),
+                    genome,
+                    protection,
+                    rate,
+                    seed: seed + trial as u64,
+                    samples,
+                }
+                .encode(),
+            )
+        })
+        .collect();
+    let supervisor = fleet_supervisor(workers, seed, chaos);
+    let (results, report) = supervisor.run_jobs(&jobs)?;
+    let outcomes = results
+        .iter()
+        .map(|bytes| decode_seu_outcome(bytes))
+        .collect::<Result<Vec<SeuOutcome>, _>>()?;
+    writeln!(
+        out,
+        "SEU campaign {}: paper config {:?}, rate {rate:e}, \
+         {trials} trial(s) × {samples} sample(s), seed {seed}",
+        task.spec.name,
+        (d_h, d_l, d_k, o, theta)
+    )?;
+    writeln!(
+        out,
+        "{:>15}  {:>8}  {:>8}  {:>9}  {:>8}",
+        "protection", "upsets", "detected", "corrected", "silent"
+    )?;
+    for (i, &protection) in Protection::ALL.iter().enumerate() {
+        let per = &outcomes[i * trials..(i + 1) * trials];
+        let sum = |f: fn(&SeuOutcome) -> u64| per.iter().map(f).sum::<u64>();
+        writeln!(
+            out,
+            "{:>15}  {:>8}  {:>8}  {:>9}  {:>8}",
+            protection.name(),
+            sum(|o| o.upsets),
+            sum(|o| o.detected),
+            sum(|o| o.corrected),
+            sum(|o| o.silent)
+        )?;
+    }
+    report_fleet(&report);
+    Ok(())
+}
+
+/// The fleet's self-check and CI gate: sweeps a worker-count × crash-rate
+/// matrix over the identical probe search and errors (→ nonzero process
+/// exit) unless every cell's result is bit-identical to the
+/// single-process, chaos-free baseline.
+#[allow(clippy::too_many_arguments)]
+fn run_chaos(
+    task_name: &str,
+    workers: &[usize],
+    crash: &[f64],
+    corrupt: f64,
+    hang: f64,
+    population: usize,
+    generations: usize,
+    epochs: usize,
+    seed: u64,
+    surrogate: bool,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    let task = lookup_task(task_name, seed)?;
+    let kind = if surrogate { PROBE_KIND } else { FITNESS_KIND };
+    let probe = |workers: usize, chaos: ChaosSpec| {
+        let supervisor = fleet_supervisor(Some(workers), seed, chaos);
+        search_with_fleet(
+            &task,
+            population,
+            generations,
+            epochs,
+            seed,
+            kind,
+            &supervisor,
+        )
+    };
+    let (baseline, _) = probe(0, ChaosSpec::default())?;
+    writeln!(
+        out,
+        "chaos matrix {}: population {population}, {generations} generation(s), \
+         {epochs} epoch(s)/eval, seed {seed}",
+        task.spec.name
+    )?;
+    writeln!(
+        out,
+        "baseline (in-process): fitness {:?}, {} evaluations",
+        baseline.fitness, baseline.evaluations
+    )?;
+    let mut mismatches = 0usize;
+    for &w in workers {
+        for &c in crash {
+            let chaos = ChaosSpec {
+                crash: c,
+                corrupt,
+                hang,
+                seed,
+                ..ChaosSpec::default()
+            };
+            let (result, report) = probe(w, chaos)?;
+            let identical = result == baseline;
+            if !identical {
+                mismatches += 1;
+            }
+            writeln!(
+                out,
+                "workers={w} crash={c}: {} ({} retries, {} timeouts, {} crashes, \
+                 {} corrupt frames)",
+                if identical {
+                    "bit-identical"
+                } else {
+                    "MISMATCH"
+                },
+                report.retries,
+                report.timeouts,
+                report.crashes,
+                report.corrupt_frames
+            )?;
+        }
+    }
+    if mismatches > 0 {
+        return Err(format!(
+            "chaos matrix failed: {mismatches} cell(s) diverged from the \
+             single-process baseline"
+        )
+        .into());
+    }
+    writeln!(
+        out,
+        "all {} cell(s) bit-identical to the baseline",
+        workers.len() * crash.len()
+    )?;
     Ok(())
 }
 
@@ -606,8 +1001,12 @@ fn load_training_data(
             .ok_or_else(|| format!("unknown task {name:?}; run `univsa tasks`"))?;
         return Ok((task.train, Some(task.test)));
     }
-    let path = csv_path.expect("parser guarantees a source");
-    let (w, l, c) = geometry.expect("parser guarantees geometry with --csv");
+    // the parser enforces both of these, but a typed error beats a panic
+    // if a Command is ever constructed by hand
+    let path = csv_path
+        .ok_or_else(|| UniVsaError::Config("train needs a data source: --task or --csv".into()))?;
+    let (w, l, c) = geometry
+        .ok_or_else(|| UniVsaError::Config("--csv training needs --geometry W,L,C".into()))?;
     let spec = TaskSpec {
         name: path.to_string(),
         width: w,
@@ -615,8 +1014,24 @@ fn load_training_data(
         classes: c,
         levels: 256,
     };
-    let data = csv::from_csv(&std::fs::read_to_string(path)?, spec)?;
+    let data = csv::from_csv(&read_text(path)?, spec)?;
     Ok((data, None))
+}
+
+/// `std::fs::read` with the offending path in the error message, mapped
+/// to a typed [`UniVsaError::Io`].
+fn read_bytes(path: &str) -> Result<Vec<u8>, UniVsaError> {
+    std::fs::read(path).map_err(|e| UniVsaError::Io(format!("cannot read {path:?}: {e}")))
+}
+
+/// `std::fs::read_to_string` with the offending path in the error message.
+fn read_text(path: &str) -> Result<String, UniVsaError> {
+    std::fs::read_to_string(path).map_err(|e| UniVsaError::Io(format!("cannot read {path:?}: {e}")))
+}
+
+/// `std::fs::write` with the offending path in the error message.
+fn write_bytes(path: &Path, bytes: &[u8]) -> Result<(), UniVsaError> {
+    std::fs::write(path, bytes).map_err(|e| UniVsaError::Io(format!("cannot write {path:?}: {e}")))
 }
 
 #[cfg(test)]
@@ -879,6 +1294,84 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown task"));
+    }
+
+    #[test]
+    fn search_runs_in_process_and_is_deterministic() {
+        // the surrogate objective keeps this a fleet-machinery test, not
+        // a debug-profile training marathon
+        let cmd = || Command::Search {
+            task: "bci3v".into(),
+            workers: Some(0),
+            population: 6,
+            generations: 2,
+            epochs: 1,
+            seed: 9,
+            chaos: ChaosSpec::default(),
+            surrogate: true,
+        };
+        let text = run_to_string(cmd()).unwrap();
+        assert!(text.contains("best genome"), "{text}");
+        assert!(text.contains("best fitness"), "{text}");
+        assert!(text.contains("evaluations"), "{text}");
+        // stdout is a pure function of the arguments
+        assert_eq!(text, run_to_string(cmd()).unwrap());
+    }
+
+    #[test]
+    fn search_unknown_task_is_an_error() {
+        let err = run_to_string(Command::Search {
+            task: "MNIST".into(),
+            workers: Some(0),
+            population: 4,
+            generations: 1,
+            epochs: 1,
+            seed: 9,
+            chaos: ChaosSpec::default(),
+            surrogate: true,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown task"));
+    }
+
+    #[test]
+    fn seu_reports_every_protection_scheme() {
+        let text = run_to_string(Command::Seu {
+            task: "bci3v".into(),
+            workers: Some(0),
+            rate: 1e-6,
+            trials: 2,
+            samples: 4,
+            seed: 5,
+            chaos: ChaosSpec::default(),
+        })
+        .unwrap();
+        assert!(text.contains("SEU campaign"), "{text}");
+        for name in ["unprotected", "parity-detect", "tmr"] {
+            assert!(text.contains(name), "missing {name}: {text}");
+        }
+    }
+
+    #[test]
+    fn chaos_matrix_passes_in_process() {
+        // the in-process cells exercise the full compare loop without
+        // spawning; process cells are covered by the fleet integration
+        // tests where `current_exe` is the real CLI binary
+        let text = run_to_string(Command::Chaos {
+            task: "bci3v".into(),
+            workers: vec![0],
+            crash: vec![0.0, 0.5],
+            corrupt: 0.1,
+            hang: 0.0,
+            population: 4,
+            generations: 1,
+            epochs: 1,
+            seed: 3,
+            surrogate: true,
+        })
+        .unwrap();
+        assert!(text.contains("baseline (in-process)"), "{text}");
+        assert!(text.contains("all 2 cell(s) bit-identical"), "{text}");
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //!   breakdown, and estimated FPGA deployment cost.
 //! * `rtl`    — emit the parameterized Verilog bundle plus `$readmemh`
 //!   weight files for a saved model.
+//! * `search` — run the paper's evolutionary configuration search, fanned
+//!   out over a supervised worker-process fleet (`--workers N` or the
+//!   `UNIVSA_WORKERS` environment variable).
+//! * `seu`    — run seeded single-event-upset campaigns per protection
+//!   scheme, one fleet job per trial.
+//! * `chaos`  — the fleet's self-check: re-run the same search across a
+//!   worker-count × crash-rate matrix and fail unless every cell is
+//!   bit-identical to the single-process baseline.
 //! * `tasks`  — list the built-in synthetic benchmark tasks.
 //!
 //! The parsing layer is exposed for testing; `main.rs` is a thin shim.

@@ -6,6 +6,18 @@ use std::process::ExitCode;
 use univsa_cli::{run, Command};
 
 fn main() -> ExitCode {
+    // Fleet workers are this same binary re-executed with the worker
+    // environment variable set; they never parse arguments — stdout is
+    // reserved for IPC frames.
+    if univsa_dist::worker_env_requested() {
+        return match univsa_dist::worker_main(&univsa_dist::standard_registry()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("worker error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match Command::parse(&args) {
         Ok(c) => c,

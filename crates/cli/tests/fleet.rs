@@ -1,0 +1,282 @@
+//! End-to-end fleet tests against the real `univsa` binary.
+//!
+//! Two layers are exercised here and nowhere else:
+//!
+//! * the worker-mode hook in `main.rs` — these tests spawn the compiled
+//!   CLI binary (`CARGO_BIN_EXE_univsa`) either directly as a subcommand
+//!   (whose supervisor then re-executes *itself* as workers) or as an
+//!   explicit `worker_exe`, and
+//! * real crash/hang/corruption recovery across process boundaries,
+//!   driven by the seeded chaos harness.
+//!
+//! Everything asserts the robustness contract: worker failures cost
+//! retries, never results — stdout stays bit-identical.
+
+use std::collections::HashMap;
+use std::process::Command;
+use std::time::Duration;
+
+use univsa::ChaosSpec;
+use univsa_dist::{standard_registry, Job, Supervisor, SupervisorOptions, ECHO_KIND, FAIL_KIND};
+
+const EXE: &str = env!("CARGO_BIN_EXE_univsa");
+
+fn fleet_options(workers: usize) -> SupervisorOptions {
+    SupervisorOptions {
+        workers,
+        worker_exe: Some(EXE.into()),
+        // tight deadlines keep the failure-path tests fast; generous
+        // retry budget keeps them deterministic under load
+        task_deadline: Duration::from_secs(10),
+        spawn_deadline: Duration::from_secs(20),
+        max_attempts: 6,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        seed: 7,
+        ..SupervisorOptions::default()
+    }
+}
+
+fn echo_jobs(n: usize) -> Vec<Job> {
+    (0..n)
+        .map(|i| Job::new(ECHO_KIND, format!("payload-{i}").into_bytes()))
+        .collect()
+}
+
+fn expected_echoes(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| format!("payload-{i}").into_bytes())
+        .collect()
+}
+
+#[test]
+fn process_workers_echo_in_job_order() {
+    let supervisor = Supervisor::new(fleet_options(2), standard_registry());
+    let (results, report) = supervisor.run_jobs(&echo_jobs(8)).unwrap();
+    assert_eq!(results, expected_echoes(8));
+    assert_eq!(report.workers, 2);
+    assert!(report.spawned >= 2, "{report:?}");
+    assert_eq!(report.fallback_jobs, 0, "{report:?}");
+}
+
+/// Satellite regression test: a worker crashing on task 0 (every
+/// attempt on one slot) still lets the whole sweep finish — surviving
+/// workers and retries absorb the failure.
+#[test]
+fn crash_on_task_zero_is_absorbed_by_retries() {
+    let mut options = fleet_options(2);
+    options.chaos = ChaosSpec {
+        // kill_task crashes only (task 0, attempt 0); the retry rolls a
+        // fresh attempt and survives
+        kill_task: Some(0),
+        seed: 11,
+        ..ChaosSpec::default()
+    };
+    let supervisor = Supervisor::new(options, standard_registry());
+    let (results, report) = supervisor.run_jobs(&echo_jobs(6)).unwrap();
+    assert_eq!(results, expected_echoes(6));
+    assert!(report.crashes >= 1, "{report:?}");
+    assert!(report.retries >= 1, "{report:?}");
+    // the crashed slot was respawned
+    assert!(report.spawned >= 3, "{report:?}");
+}
+
+#[test]
+fn sustained_crash_and_corruption_chaos_yields_identical_results() {
+    let baseline = {
+        let supervisor = Supervisor::new(fleet_options(0), standard_registry());
+        supervisor.run_jobs(&echo_jobs(12)).unwrap().0
+    };
+    let mut options = fleet_options(3);
+    options.chaos = ChaosSpec {
+        crash: 0.3,
+        corrupt: 0.2,
+        slow_start: 0.5,
+        slow_start_ms: 20,
+        seed: 13,
+        ..ChaosSpec::default()
+    };
+    let supervisor = Supervisor::new(options, standard_registry());
+    let (results, report) = supervisor.run_jobs(&echo_jobs(12)).unwrap();
+    assert_eq!(results, baseline);
+    assert!(
+        report.crashes + report.corrupt_frames >= 1,
+        "chaos at these rates must fire at least once: {report:?}"
+    );
+}
+
+#[test]
+fn hang_chaos_is_reaped_by_the_deadline() {
+    let mut options = fleet_options(2);
+    options.task_deadline = Duration::from_millis(1500);
+    options.chaos = ChaosSpec {
+        hang: 0.35,
+        seed: 17,
+        ..ChaosSpec::default()
+    };
+    let supervisor = Supervisor::new(options, standard_registry());
+    let (results, report) = supervisor.run_jobs(&echo_jobs(6)).unwrap();
+    assert_eq!(results, expected_echoes(6));
+    assert!(report.timeouts >= 1, "{report:?}");
+}
+
+#[test]
+fn task_error_aborts_with_the_message_verbatim() {
+    let supervisor = Supervisor::new(fleet_options(2), standard_registry());
+    let jobs = vec![
+        Job::new(ECHO_KIND, b"ok".to_vec()),
+        Job::new(FAIL_KIND, b"exact failure text".to_vec()),
+    ];
+    let err = supervisor.run_jobs(&jobs).unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "worker failed: exact failure text",
+        "first worker error must propagate verbatim"
+    );
+}
+
+fn run_cli(args: &[&str], envs: &[(&str, &str)]) -> (String, String, bool) {
+    let mut cmd = Command::new(EXE);
+    cmd.args(args)
+        .env_remove("UNIVSA_WORKERS")
+        .env_remove("UNIVSA_CHAOS")
+        .env_remove("UNIVSA_TELEMETRY");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let output = cmd.output().expect("spawn univsa CLI");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+/// Satellite determinism matrix: `univsa search` stdout is bit-identical
+/// across worker counts {0, 2, 4} × crash rates {0, 0.2} (plus a 30%
+/// cell for the acceptance bar). The surrogate objective keeps the cost
+/// at fleet overhead only.
+#[test]
+fn search_stdout_is_bit_identical_across_workers_and_chaos() {
+    let base = [
+        "search",
+        "--task",
+        "bci3v",
+        "--population",
+        "6",
+        "--generations",
+        "2",
+        "--seed",
+        "21",
+        "--surrogate",
+    ];
+    let mut outputs: HashMap<String, Vec<String>> = HashMap::new();
+    for (workers, chaos) in [
+        ("0", None),
+        ("2", None),
+        ("4", None),
+        ("2", Some("crash=0.2,seed=5")),
+        ("4", Some("crash=0.2,corrupt=0.1,seed=5")),
+        ("2", Some("crash=0.3,seed=9")),
+    ] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--workers", workers]);
+        if let Some(spec) = chaos {
+            args.extend(["--chaos", spec]);
+        }
+        let (stdout, stderr, ok) = run_cli(&args, &[]);
+        assert!(ok, "workers={workers} chaos={chaos:?} failed: {stderr}");
+        outputs
+            .entry(stdout)
+            .or_default()
+            .push(format!("workers={workers} chaos={chaos:?}"));
+    }
+    assert_eq!(
+        outputs.len(),
+        1,
+        "stdout diverged between cells: {:?}",
+        outputs.values().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn workers_env_var_drives_the_fleet() {
+    let args = [
+        "search",
+        "--task",
+        "bci3v",
+        "--population",
+        "4",
+        "--generations",
+        "1",
+        "--surrogate",
+    ];
+    let (baseline, _, ok) = run_cli(&args, &[]);
+    assert!(ok);
+    let (stdout, stderr, ok) = run_cli(&args, &[("UNIVSA_WORKERS", "2")]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout, baseline);
+    // the fleet actually ran: its counters go to stderr only
+    assert!(stderr.contains("fleet:"), "{stderr}");
+    assert!(!baseline.contains("fleet:"));
+}
+
+#[test]
+fn seu_campaign_is_identical_in_and_out_of_process() {
+    let args = [
+        "seu",
+        "--task",
+        "bci3v",
+        "--trials",
+        "3",
+        "--samples",
+        "8",
+        "--seed",
+        "4",
+    ];
+    let with = |workers: &str| {
+        let mut a: Vec<&str> = args.to_vec();
+        a.extend(["--workers", workers]);
+        let (stdout, stderr, ok) = run_cli(&a, &[]);
+        assert!(ok, "workers={workers}: {stderr}");
+        stdout
+    };
+    let solo = with("0");
+    assert!(solo.contains("tmr"), "{solo}");
+    assert_eq!(with("2"), solo);
+}
+
+#[test]
+fn chaos_subcommand_gates_the_matrix() {
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "chaos",
+            "--task",
+            "bci3v",
+            "--workers",
+            "0,2",
+            "--crash",
+            "0,0.25",
+            "--population",
+            "4",
+            "--generations",
+            "1",
+            "--surrogate",
+        ],
+        &[],
+    );
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("all 4 cell(s) bit-identical"), "{stdout}");
+}
+
+#[test]
+fn cli_errors_exit_nonzero_with_one_line_message() {
+    // argument-parse failure
+    let (_, stderr, ok) = run_cli(&["search"], &[]);
+    assert!(!ok);
+    assert!(stderr.contains("missing required --task"), "{stderr}");
+    // typed I/O failure with the offending path in the message
+    let (_, stderr, ok) = run_cli(&["info", "--model", "/nonexistent/model.uvsa"], &[]);
+    assert!(!ok);
+    assert!(stderr.contains("/nonexistent/model.uvsa"), "{stderr}");
+}

@@ -22,6 +22,15 @@ pub enum UniVsaError {
     /// Weight memory failed an integrity check (checksum mismatch or an
     /// unrepairable redundant-copy configuration).
     Integrity(String),
+    /// A file or stream operation failed (message carries the path and the
+    /// underlying OS error so the CLI can print one actionable line).
+    Io(String),
+    /// An inter-process frame or protocol message was malformed: bad
+    /// length prefix, CRC mismatch, unknown tag, or truncated payload.
+    Ipc(String),
+    /// A supervised worker process definitively failed a job (after
+    /// retries); the message is the first worker error, verbatim.
+    Worker(String),
 }
 
 impl fmt::Display for UniVsaError {
@@ -33,6 +42,9 @@ impl fmt::Display for UniVsaError {
             Self::Input(msg) => write!(f, "invalid input: {msg}"),
             Self::Serialize(msg) => write!(f, "serialization failed: {msg}"),
             Self::Integrity(msg) => write!(f, "integrity check failed: {msg}"),
+            Self::Io(msg) => write!(f, "{msg}"),
+            Self::Ipc(msg) => write!(f, "ipc protocol error: {msg}"),
+            Self::Worker(msg) => write!(f, "worker failed: {msg}"),
         }
     }
 }
@@ -77,6 +89,12 @@ mod tests {
         assert!(e.to_string().contains("serialization failed"));
         let e = UniVsaError::Input("i".into());
         assert!(e.to_string().contains("invalid input"));
+        let e = UniVsaError::Io("cannot read model \"m.uvsa\": gone".into());
+        assert!(e.to_string().contains("m.uvsa"));
+        let e = UniVsaError::Ipc("crc mismatch".into());
+        assert!(e.to_string().contains("ipc protocol error"));
+        let e = UniVsaError::Worker("boom".into());
+        assert_eq!(e.to_string(), "worker failed: boom");
     }
 
     #[test]

@@ -497,6 +497,199 @@ impl UniVsaModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Process-level chaos: faults above the weight-memory layer
+// ---------------------------------------------------------------------------
+
+/// The environment variable carrying a serialized [`ChaosSpec`] into
+/// supervised worker processes (`UNIVSA_CHAOS=crash=0.2,seed=7`).
+pub const CHAOS_ENV_VAR: &str = "UNIVSA_CHAOS";
+
+/// A seeded process-level fault campaign for the supervised worker fleet:
+/// where [`FaultSpec`] corrupts weight *memory*, `ChaosSpec` corrupts the
+/// *execution* substrate — worker processes crash, hang, start slowly, or
+/// emit corrupted IPC frames.
+///
+/// Every decision is a pure function of `(seed, task id, attempt)` (or
+/// `(seed, worker slot, spawn generation)` for slow starts), so a chaos
+/// campaign is exactly reproducible and — crucially — a task that crashes
+/// on attempt 0 is *not* doomed to crash on attempt 1: retries draw fresh
+/// decisions, which is what lets a supervisor recover deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Probability that a worker crashes (exits) instead of answering a
+    /// task attempt.
+    pub crash: f64,
+    /// Probability that a worker hangs (never answers) on a task attempt.
+    pub hang: f64,
+    /// Probability that a worker corrupts the CRC of its result frame.
+    pub corrupt: f64,
+    /// Probability that a freshly spawned worker sleeps before serving.
+    pub slow_start: f64,
+    /// Duration of an injected slow start, in milliseconds.
+    pub slow_start_ms: u64,
+    /// Crash unconditionally on attempt 0 of this task id (regression
+    /// hook: "worker dies on task 0" must still let the sweep finish).
+    pub kill_task: Option<u64>,
+    /// Seed for every chaos decision.
+    pub seed: u64,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        Self {
+            crash: 0.0,
+            hang: 0.0,
+            corrupt: 0.0,
+            slow_start: 0.0,
+            slow_start_ms: 50,
+            kill_task: None,
+            seed: 0,
+        }
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer-style mixer — cheap, seeded,
+/// and with full avalanche, exactly what per-decision chaos draws need.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ChaosSpec {
+    /// Whether every fault channel is off (the spec injects nothing).
+    pub fn is_noop(&self) -> bool {
+        self.crash == 0.0
+            && self.hang == 0.0
+            && self.corrupt == 0.0
+            && self.slow_start == 0.0
+            && self.kill_task.is_none()
+    }
+
+    /// Checks that every probability lies in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Config`] naming the offending channel.
+    pub fn validate(&self) -> Result<(), UniVsaError> {
+        for (name, p) in [
+            ("crash", self.crash),
+            ("hang", self.hang),
+            ("corrupt", self.corrupt),
+            ("slow-start", self.slow_start),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(UniVsaError::Config(format!(
+                    "chaos {name} rate {p} must be a probability in [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the `key=value,…` form used by `--chaos` and the
+    /// [`CHAOS_ENV_VAR`] environment variable. Keys: `crash`, `hang`,
+    /// `corrupt`, `slow-start`, `slow-start-ms`, `kill-task`, `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UniVsaError::Config`] on unknown keys, malformed values,
+    /// or out-of-range probabilities.
+    pub fn parse(s: &str) -> Result<Self, UniVsaError> {
+        let mut spec = Self::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                UniVsaError::Config(format!("chaos clause {part:?} is not key=value"))
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let rate = || {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| UniVsaError::Config(format!("bad chaos rate {value:?} for {key}")))
+            };
+            let int = || {
+                value.parse::<u64>().map_err(|_| {
+                    UniVsaError::Config(format!("bad chaos integer {value:?} for {key}"))
+                })
+            };
+            match key {
+                "crash" => spec.crash = rate()?,
+                "hang" => spec.hang = rate()?,
+                "corrupt" => spec.corrupt = rate()?,
+                "slow-start" => spec.slow_start = rate()?,
+                "slow-start-ms" => spec.slow_start_ms = int()?,
+                "kill-task" => spec.kill_task = Some(int()?),
+                "seed" => spec.seed = int()?,
+                other => {
+                    return Err(UniVsaError::Config(format!(
+                        "unknown chaos key {other:?} (expected crash, hang, corrupt, \
+                         slow-start, slow-start-ms, kill-task, seed)"
+                    )))
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec so that [`ChaosSpec::parse`] round-trips it —
+    /// the wire format a supervisor puts in [`CHAOS_ENV_VAR`].
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "crash={},hang={},corrupt={},slow-start={},slow-start-ms={},seed={}",
+            self.crash, self.hang, self.corrupt, self.slow_start, self.slow_start_ms, self.seed
+        );
+        if let Some(id) = self.kill_task {
+            s.push_str(&format!(",kill-task={id}"));
+        }
+        s
+    }
+
+    /// One seeded Bernoulli draw for decision channel `channel` over the
+    /// coordinates `(a, b)`.
+    fn decide(&self, channel: u64, a: u64, b: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let mixed = splitmix64(
+            splitmix64(self.seed ^ channel.wrapping_mul(0xA076_1D64_78BD_642F))
+                ^ splitmix64(a.wrapping_mul(0xE703_7ED1_A0B4_28DB).wrapping_add(b)),
+        );
+        let unit = (mixed >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Should the worker crash instead of answering this task attempt?
+    pub fn crash_task(&self, task_id: u64, attempt: u64) -> bool {
+        if self.kill_task == Some(task_id) && attempt == 0 {
+            return true;
+        }
+        self.decide(1, task_id, attempt, self.crash)
+    }
+
+    /// Should the worker hang (never answer) on this task attempt?
+    pub fn hang_task(&self, task_id: u64, attempt: u64) -> bool {
+        self.decide(2, task_id, attempt, self.hang)
+    }
+
+    /// Should the worker corrupt the CRC of this attempt's result frame?
+    pub fn corrupt_result(&self, task_id: u64, attempt: u64) -> bool {
+        self.decide(3, task_id, attempt, self.corrupt)
+    }
+
+    /// How long a freshly spawned worker should sleep before serving
+    /// (`None` when this spawn dodges the slow-start draw).
+    pub fn slow_start_delay(&self, slot: u64, generation: u64) -> Option<std::time::Duration> {
+        self.decide(4, slot, generation, self.slow_start)
+            .then(|| std::time::Duration::from_millis(self.slow_start_ms))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,6 +978,83 @@ mod tests {
             }
             assert_eq!(b.label, a.label);
         }
+    }
+
+    #[test]
+    fn chaos_spec_round_trips_and_validates() {
+        let spec = ChaosSpec {
+            crash: 0.2,
+            hang: 0.1,
+            corrupt: 0.05,
+            slow_start: 0.5,
+            slow_start_ms: 75,
+            kill_task: Some(3),
+            seed: 9,
+        };
+        let parsed = ChaosSpec::parse(&spec.render()).unwrap();
+        assert_eq!(parsed, spec);
+        assert!(!spec.is_noop());
+        assert!(ChaosSpec::default().is_noop());
+        assert!(ChaosSpec::parse("").unwrap().is_noop());
+        assert!(matches!(
+            ChaosSpec::parse("crash=1.5"),
+            Err(UniVsaError::Config(_))
+        ));
+        assert!(ChaosSpec::parse("crash").is_err());
+        assert!(ChaosSpec::parse("bogus=1").is_err());
+        assert!(ChaosSpec::parse("crash=x").is_err());
+    }
+
+    #[test]
+    fn chaos_decisions_are_deterministic_and_rate_shaped() {
+        let spec = ChaosSpec {
+            crash: 0.3,
+            ..ChaosSpec::default()
+        };
+        let hits: Vec<bool> = (0..1000).map(|t| spec.crash_task(t, 0)).collect();
+        assert_eq!(
+            hits,
+            (0..1000).map(|t| spec.crash_task(t, 0)).collect::<Vec<_>>()
+        );
+        let rate = hits.iter().filter(|&&h| h).count() as f64 / 1000.0;
+        assert!((0.2..0.4).contains(&rate), "empirical crash rate {rate}");
+        // a retry draws a fresh decision: not every attempt-0 crasher
+        // crashes again on attempt 1
+        assert!((0..1000)
+            .filter(|&t| spec.crash_task(t, 0))
+            .any(|t| !spec.crash_task(t, 1)));
+        // zero-rate channels never fire, rate-1 channels always do
+        assert!(!spec.hang_task(5, 0));
+        let all = ChaosSpec {
+            hang: 1.0,
+            ..ChaosSpec::default()
+        };
+        assert!(all.hang_task(5, 0));
+    }
+
+    #[test]
+    fn chaos_kill_task_hits_attempt_zero_only() {
+        let spec = ChaosSpec {
+            kill_task: Some(0),
+            ..ChaosSpec::default()
+        };
+        assert!(spec.crash_task(0, 0));
+        assert!(!spec.crash_task(0, 1));
+        assert!(!spec.crash_task(1, 0));
+    }
+
+    #[test]
+    fn chaos_slow_start_uses_configured_delay() {
+        let spec = ChaosSpec {
+            slow_start: 1.0,
+            slow_start_ms: 123,
+            ..ChaosSpec::default()
+        };
+        assert_eq!(
+            spec.slow_start_delay(0, 0),
+            Some(std::time::Duration::from_millis(123))
+        );
+        assert_eq!(ChaosSpec::default().slow_start_delay(0, 0), None);
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub use dvp::ValueMap;
 pub use encoding::EncodingLayer;
 pub use error::UniVsaError;
 pub use export::{load_model, save_model, save_model_v1};
-pub use fault::{FaultModel, FaultOutcome, FaultSpec, FaultTarget, SensorFault, SensorFaultSpec};
+pub use fault::{
+    ChaosSpec, FaultModel, FaultOutcome, FaultSpec, FaultTarget, SensorFault, SensorFaultSpec,
+    CHAOS_ENV_VAR,
+};
 pub use infer::InferenceTrace;
 pub use integrity::{crc32, CheckedInference, IntegrityReport, ModelIntegrity};
 pub use mask::Mask;

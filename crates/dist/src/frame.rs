@@ -1,0 +1,235 @@
+//! Length-prefixed, CRC32-framed byte transport.
+//!
+//! Every message crossing a worker pipe travels inside one frame:
+//!
+//! ```text
+//! frame := len: u32 LE | crc: u32 LE | payload (len bytes)
+//! ```
+//!
+//! where `crc` is [`univsa::crc32`] over the payload — the same IEEE
+//! polynomial the model-integrity layer uses for weight memories. The
+//! codec never panics on wire input: oversized lengths, truncated
+//! payloads, and checksum mismatches all surface as
+//! [`UniVsaError::Ipc`], and a clean EOF at a frame boundary is
+//! distinguished from mid-frame truncation so the supervisor can tell a
+//! graceful worker exit from a crash.
+
+use std::io::{Read, Write};
+
+use univsa::UniVsaError;
+
+/// Hard ceiling on a frame payload (16 MiB). A corrupt length prefix
+/// must not trigger a multi-gigabyte allocation.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// Bytes of framing overhead per message (length + checksum prefixes).
+pub const HEADER_LEN: usize = 8;
+
+/// Outcome of [`read_frame`]: a payload, or a clean end-of-stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete, checksum-verified payload.
+    Payload(Vec<u8>),
+    /// The stream ended exactly on a frame boundary (peer closed its
+    /// pipe after the last complete frame).
+    Eof,
+}
+
+/// Writes one frame (header + payload) to `w` and flushes.
+///
+/// # Errors
+///
+/// [`UniVsaError::Ipc`] if the payload exceeds [`MAX_FRAME`];
+/// [`UniVsaError::Io`] if the underlying write fails (typically a
+/// closed pipe when the peer died).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), UniVsaError> {
+    if payload.len() > MAX_FRAME {
+        return Err(UniVsaError::Ipc(format!(
+            "outgoing frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&univsa::crc32(payload).to_le_bytes());
+    let io = |e: std::io::Error| UniVsaError::Io(format!("cannot write frame: {e}"));
+    w.write_all(&header).map_err(io)?;
+    w.write_all(payload).map_err(io)?;
+    w.flush().map_err(io)
+}
+
+/// Writes a frame whose checksum deliberately does not match the
+/// payload (one CRC byte flipped). Only the chaos harness calls this —
+/// it exercises the receiver's corruption path end-to-end.
+pub fn write_corrupt_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), UniVsaError> {
+    if payload.len() > MAX_FRAME {
+        return Err(UniVsaError::Ipc(format!(
+            "outgoing frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&univsa::crc32(payload).to_le_bytes());
+    header[4] ^= 0x01;
+    let io = |e: std::io::Error| UniVsaError::Io(format!("cannot write frame: {e}"));
+    w.write_all(&header).map_err(io)?;
+    w.write_all(payload).map_err(io)?;
+    w.flush().map_err(io)
+}
+
+/// Reads one frame from `r`, verifying length and checksum.
+///
+/// Returns [`Frame::Eof`] when the stream is already exhausted (clean
+/// shutdown).
+///
+/// # Errors
+///
+/// [`UniVsaError::Ipc`] on a truncated header or payload, an oversized
+/// length prefix, or a CRC mismatch; [`UniVsaError::Io`] if the read
+/// itself fails.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, UniVsaError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Ok(Frame::Eof),
+        ReadOutcome::Short(got) => {
+            return Err(UniVsaError::Ipc(format!(
+                "truncated frame header: got {got} of {HEADER_LEN} bytes"
+            )))
+        }
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice")) as usize;
+    let want_crc = u32::from_le_bytes(header[4..].try_into().expect("4-byte slice"));
+    if len > MAX_FRAME {
+        return Err(UniVsaError::Ipc(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_or_eof(r, &mut payload)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::Eof | ReadOutcome::Short(_) => {
+            return Err(UniVsaError::Ipc(format!(
+                "truncated frame payload: expected {len} bytes"
+            )))
+        }
+    }
+    let got_crc = univsa::crc32(&payload);
+    if got_crc != want_crc {
+        return Err(UniVsaError::Ipc(format!(
+            "frame checksum mismatch: header says {want_crc:#010x}, payload hashes to {got_crc:#010x}"
+        )));
+    }
+    Ok(Frame::Payload(payload))
+}
+
+enum ReadOutcome {
+    /// The buffer was filled completely.
+    Full,
+    /// Zero bytes were available (stream already at EOF).
+    Eof,
+    /// The stream ended partway through the buffer.
+    Short(usize),
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, UniVsaError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Short(filled)
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(UniVsaError::Io(format!("cannot read frame: {e}"))),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn round_trip(payload: &[u8]) -> Frame {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        read_frame(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        assert_eq!(round_trip(b""), Frame::Payload(Vec::new()));
+        assert_eq!(round_trip(b"hello"), Frame::Payload(b"hello".to_vec()));
+        let big = vec![0xAB; 100_000];
+        assert_eq!(round_trip(&big), Frame::Payload(big.clone()));
+    }
+
+    #[test]
+    fn multiple_frames_then_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Frame::Payload(b"one".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            Frame::Payload(b"two".to_vec())
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn corrupt_crc_is_a_typed_error() {
+        let mut buf = Vec::new();
+        write_corrupt_frame(&mut buf, b"payload").unwrap();
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, UniVsaError::Ipc(_)), "got {err:?}");
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_typed_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert!(matches!(err, UniVsaError::Ipc(_)), "cut {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "got {err}");
+    }
+
+    #[test]
+    fn oversized_outgoing_payload_is_rejected() {
+        let big = vec![0u8; MAX_FRAME + 1];
+        let err = write_frame(&mut Vec::new(), &big).unwrap_err();
+        assert!(matches!(err, UniVsaError::Ipc(_)));
+    }
+}

@@ -1,0 +1,560 @@
+//! Job payloads and the handler registry.
+//!
+//! Closures cannot cross a process boundary, so distributable work is
+//! expressed as `(kind, payload bytes) → result bytes` pairs: the
+//! supervisor ships opaque payloads, and both sides agree on the named
+//! handlers registered here. Handlers must be **pure functions of their
+//! payload** — that is the whole determinism argument: any schedule, any
+//! worker count, any crash/retry history produces the same result bytes
+//! for the same payload.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use univsa::{TrainOptions, UniVsaError};
+use univsa_hw::{HwConfig, Pipeline, Protection, SeuCampaign, SeuOutcome};
+use univsa_search::{AccuracyHardwareObjective, Genome};
+
+/// Job kind for one genome fitness evaluation (see [`FitnessJob`]).
+pub const FITNESS_KIND: &str = "search.fitness";
+/// Job kind for a training-free surrogate fitness evaluation: the same
+/// [`FitnessJob`] payload scored by [`probe_fitness`]. Exists so fleet
+/// determinism can be exercised cheaply (debug-mode tests, the CI chaos
+/// matrix) without paying for real training runs.
+pub const PROBE_KIND: &str = "search.probe";
+/// Job kind for one SEU campaign trial (see [`SeuTrialJob`]).
+pub const SEU_TRIAL_KIND: &str = "seu.trial";
+/// Diagnostic job: echoes its payload back.
+pub const ECHO_KIND: &str = "dist.echo";
+/// Diagnostic job: fails with its payload as the error message.
+pub const FAIL_KIND: &str = "dist.fail";
+
+type Handler = Box<dyn Fn(&[u8]) -> Result<Vec<u8>, String> + Send + Sync>;
+
+/// Named byte-level job handlers, shared by worker processes and the
+/// in-process fallback path.
+#[derive(Default)]
+pub struct JobRegistry {
+    handlers: HashMap<&'static str, Handler>,
+}
+
+impl JobRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a handler under `kind` (replacing any previous one).
+    ///
+    /// The handler must be a pure function of the payload; anything else
+    /// breaks the fleet's bit-identical-results contract.
+    pub fn register(
+        &mut self,
+        kind: &'static str,
+        handler: impl Fn(&[u8]) -> Result<Vec<u8>, String> + Send + Sync + 'static,
+    ) {
+        self.handlers.insert(kind, Box::new(handler));
+    }
+
+    /// Runs the handler registered under `kind`.
+    ///
+    /// # Errors
+    ///
+    /// The handler's own error, or a synthesized one for an unknown kind
+    /// (both travel back as a `TaskErr` and abort the batch).
+    pub fn run(&self, kind: &str, payload: &[u8]) -> Result<Vec<u8>, String> {
+        match self.handlers.get(kind) {
+            Some(handler) => handler(payload),
+            None => Err(format!("no job handler registered for kind \"{kind}\"")),
+        }
+    }
+}
+
+/// The registry every `univsa` process agrees on: real workloads
+/// ([`FITNESS_KIND`], [`SEU_TRIAL_KIND`]) plus the cheap diagnostic jobs
+/// the fleet tests exercise.
+pub fn standard_registry() -> JobRegistry {
+    let mut registry = JobRegistry::new();
+    registry.register(ECHO_KIND, |payload| Ok(payload.to_vec()));
+    registry.register(FAIL_KIND, |payload| {
+        Err(String::from_utf8_lossy(payload).into_owned())
+    });
+
+    // The objective is rebuilt from (task, seeds, epochs) and cached so a
+    // worker regenerates its datasets once, not once per genome.
+    let cache: Mutex<HashMap<(String, u64, u64, usize), AccuracyHardwareObjective>> =
+        Mutex::new(HashMap::new());
+    registry.register(FITNESS_KIND, move |payload| {
+        let job = FitnessJob::decode(payload).map_err(|e| e.to_string())?;
+        let key = (job.task.clone(), job.data_seed, job.train_seed, job.epochs);
+        let objective = {
+            let mut cache = cache.lock().expect("fitness cache lock");
+            if !cache.contains_key(&key) {
+                let task = univsa_data::tasks::by_name(&job.task, job.data_seed)
+                    .ok_or_else(|| format!("unknown task \"{}\"", job.task))?;
+                let options = TrainOptions {
+                    epochs: job.epochs,
+                    ..TrainOptions::default()
+                };
+                cache.insert(
+                    key.clone(),
+                    AccuracyHardwareObjective::new(task.train, task.test, options, job.train_seed),
+                );
+            }
+            cache[&key].clone()
+        };
+        Ok(objective.evaluate(&job.genome).to_le_bytes().to_vec())
+    });
+
+    registry.register(PROBE_KIND, |payload| {
+        let job = FitnessJob::decode(payload).map_err(|e| e.to_string())?;
+        Ok(probe_fitness(&job).to_le_bytes().to_vec())
+    });
+
+    registry.register(SEU_TRIAL_KIND, |payload| {
+        let job = SeuTrialJob::decode(payload).map_err(|e| e.to_string())?;
+        let config = job.genome.to_config(&job.spec).map_err(|e| e.to_string())?;
+        let pipeline = Pipeline::new(HwConfig::new(&config).with_protection(job.protection));
+        let outcome = SeuCampaign::new(job.rate, job.seed).run(&pipeline, job.samples);
+        Ok(encode_seu_outcome(&outcome))
+    });
+
+    registry
+}
+
+/// One genome evaluation of the paper's `Acc − L_HW` search objective.
+/// The worker regenerates the task's synthetic splits from
+/// `(task, data_seed)`, so the payload stays a few dozen bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitnessJob {
+    /// Task name resolvable by `univsa_data::tasks::by_name`.
+    pub task: String,
+    /// Seed the task's synthetic splits are generated from.
+    pub data_seed: u64,
+    /// Seed for the candidate's training run.
+    pub train_seed: u64,
+    /// Training epochs per evaluation.
+    pub epochs: usize,
+    /// The candidate configuration.
+    pub genome: Genome,
+}
+
+impl FitnessJob {
+    /// Serializes the job into a payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.task);
+        out.extend_from_slice(&self.data_seed.to_le_bytes());
+        out.extend_from_slice(&self.train_seed.to_le_bytes());
+        out.extend_from_slice(&(self.epochs as u32).to_le_bytes());
+        put_genome(&mut out, &self.genome);
+        out
+    }
+
+    /// Inverse of [`FitnessJob::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`UniVsaError::Ipc`] on truncated or malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, UniVsaError> {
+        let mut r = Cursor::new(bytes);
+        let job = Self {
+            task: r.string("task name")?,
+            data_seed: r.u64()?,
+            train_seed: r.u64()?,
+            epochs: r.u32()? as usize,
+            genome: r.genome()?,
+        };
+        r.finish()?;
+        Ok(job)
+    }
+}
+
+/// One trial of a seeded SEU campaign over a configuration's pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeuTrialJob {
+    /// Geometry the configuration is built for.
+    pub spec: univsa_data::TaskSpec,
+    /// The configuration under irradiation.
+    pub genome: Genome,
+    /// Memory protection scheme.
+    pub protection: Protection,
+    /// Upset probability per stored bit per cycle.
+    pub rate: f64,
+    /// This trial's campaign seed (the sweep uses `base + trial`).
+    pub seed: u64,
+    /// Streamed batch size defining the exposure window.
+    pub samples: usize,
+}
+
+impl SeuTrialJob {
+    /// Serializes the job into a payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.spec.name);
+        for dim in [
+            self.spec.width,
+            self.spec.length,
+            self.spec.classes,
+            self.spec.levels,
+        ] {
+            out.extend_from_slice(&(dim as u32).to_le_bytes());
+        }
+        put_genome(&mut out, &self.genome);
+        out.push(self.protection.tag());
+        out.extend_from_slice(&self.rate.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.samples as u32).to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`SeuTrialJob::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`UniVsaError::Ipc`] on truncated or malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, UniVsaError> {
+        let mut r = Cursor::new(bytes);
+        let name = r.string("task name")?;
+        let spec = univsa_data::TaskSpec {
+            name,
+            width: r.u32()? as usize,
+            length: r.u32()? as usize,
+            classes: r.u32()? as usize,
+            levels: r.u32()? as usize,
+        };
+        let genome = r.genome()?;
+        let tag = r.u8()?;
+        let protection = Protection::from_tag(tag)
+            .ok_or_else(|| UniVsaError::Ipc(format!("unknown protection tag {tag}")))?;
+        let job = Self {
+            spec,
+            genome,
+            protection,
+            rate: f64::from_le_bytes(r.array()?),
+            seed: r.u64()?,
+            samples: r.u32()? as usize,
+        };
+        r.finish()?;
+        Ok(job)
+    }
+}
+
+/// The [`PROBE_KIND`] surrogate objective: a pure hash of the job's
+/// fields mapped into `[0, 1)`. Worthless as a search signal, but it has
+/// exactly the property the fleet's determinism gate needs — the same
+/// payload always scores the same, on any process, at zero cost.
+pub fn probe_fitness(job: &FitnessJob) -> f64 {
+    let mut h = univsa::crc32(job.task.as_bytes()) as u64;
+    h ^= job.data_seed.rotate_left(17) ^ job.train_seed.rotate_left(31);
+    h ^= (job.epochs as u64).rotate_left(47);
+    for v in [
+        job.genome.d_h,
+        job.genome.d_l,
+        job.genome.d_k,
+        job.genome.out_channels,
+        job.genome.voters,
+    ] {
+        h = splitmix(h ^ v as u64);
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Decodes a [`FITNESS_KIND`] result payload (little-endian `f64` bits,
+/// so NaN payloads and `−∞` survive the round trip exactly).
+///
+/// # Errors
+///
+/// [`UniVsaError::Ipc`] unless the payload is exactly 8 bytes.
+pub fn decode_fitness(bytes: &[u8]) -> Result<f64, UniVsaError> {
+    let arr: [u8; 8] = bytes.try_into().map_err(|_| {
+        UniVsaError::Ipc(format!(
+            "fitness result has {} bytes, expected 8",
+            bytes.len()
+        ))
+    })?;
+    Ok(f64::from_le_bytes(arr))
+}
+
+/// Serializes a [`SeuOutcome`] as a [`SEU_TRIAL_KIND`] result payload.
+pub fn encode_seu_outcome(outcome: &SeuOutcome) -> Vec<u8> {
+    let mut out = vec![outcome.protection.tag()];
+    for v in [
+        outcome.cycles,
+        outcome.stored_bits,
+        outcome.upsets,
+        outcome.detected,
+        outcome.corrected,
+        outcome.silent,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_seu_outcome`].
+///
+/// # Errors
+///
+/// [`UniVsaError::Ipc`] on truncated payloads or unknown protection tags.
+pub fn decode_seu_outcome(bytes: &[u8]) -> Result<SeuOutcome, UniVsaError> {
+    let mut r = Cursor::new(bytes);
+    let tag = r.u8()?;
+    let protection = Protection::from_tag(tag)
+        .ok_or_else(|| UniVsaError::Ipc(format!("unknown protection tag {tag}")))?;
+    let outcome = SeuOutcome {
+        protection,
+        cycles: r.u64()?,
+        stored_bits: r.u64()?,
+        upsets: r.u64()?,
+        detected: r.u64()?,
+        corrected: r.u64()?,
+        silent: r.u64()?,
+    };
+    r.finish()?;
+    Ok(outcome)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_genome(out: &mut Vec<u8>, g: &Genome) {
+    for dim in [g.d_h, g.d_l, g.d_k, g.out_channels, g.voters] {
+        out.extend_from_slice(&(dim as u32).to_le_bytes());
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], UniVsaError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(UniVsaError::Ipc(format!(
+                "job payload truncated: needed {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], UniVsaError> {
+        Ok(self.take(N)?.try_into().expect("sized take"))
+    }
+
+    fn u8(&mut self) -> Result<u8, UniVsaError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, UniVsaError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, UniVsaError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, UniVsaError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| UniVsaError::Ipc(format!("{what} field is not valid UTF-8")))
+    }
+
+    fn genome(&mut self) -> Result<Genome, UniVsaError> {
+        Ok(Genome {
+            d_h: self.u32()? as usize,
+            d_l: self.u32()? as usize,
+            d_k: self.u32()? as usize,
+            out_channels: self.u32()? as usize,
+            voters: self.u32()? as usize,
+        })
+    }
+
+    fn finish(&self) -> Result<(), UniVsaError> {
+        if self.pos != self.bytes.len() {
+            return Err(UniVsaError::Ipc(format!(
+                "{} trailing bytes after job payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genome() -> Genome {
+        Genome {
+            d_h: 8,
+            d_l: 2,
+            d_k: 3,
+            out_channels: 16,
+            voters: 3,
+        }
+    }
+
+    #[test]
+    fn fitness_job_round_trips() {
+        let job = FitnessJob {
+            task: "BCI3V".into(),
+            data_seed: 7,
+            train_seed: 42,
+            epochs: 3,
+            genome: genome(),
+        };
+        assert_eq!(FitnessJob::decode(&job.encode()).unwrap(), job);
+    }
+
+    #[test]
+    fn seu_trial_job_round_trips() {
+        for protection in Protection::ALL {
+            let job = SeuTrialJob {
+                spec: univsa_data::TaskSpec {
+                    name: "BCI3V".into(),
+                    width: 16,
+                    length: 6,
+                    classes: 3,
+                    levels: 256,
+                },
+                genome: genome(),
+                protection,
+                rate: 1e-9,
+                seed: 11,
+                samples: 32,
+            };
+            assert_eq!(SeuTrialJob::decode(&job.encode()).unwrap(), job);
+        }
+    }
+
+    #[test]
+    fn truncated_job_payloads_are_typed_errors() {
+        let full = FitnessJob {
+            task: "BCI3V".into(),
+            data_seed: 1,
+            train_seed: 2,
+            epochs: 3,
+            genome: genome(),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(matches!(
+                FitnessJob::decode(&full[..cut]).unwrap_err(),
+                UniVsaError::Ipc(_)
+            ));
+        }
+        let mut extended = full;
+        extended.push(0);
+        assert!(FitnessJob::decode(&extended).is_err());
+    }
+
+    #[test]
+    fn fitness_result_preserves_every_f64_bit_pattern() {
+        for value in [0.0, -0.75, f64::NEG_INFINITY, f64::MAX, f64::NAN] {
+            let decoded = decode_fitness(&value.to_le_bytes()).unwrap();
+            assert_eq!(decoded.to_bits(), value.to_bits());
+        }
+        assert!(decode_fitness(&[0; 7]).is_err());
+    }
+
+    #[test]
+    fn seu_outcome_round_trips() {
+        let outcome = SeuOutcome {
+            protection: Protection::Tmr,
+            cycles: 123_456,
+            stored_bits: 98_304,
+            upsets: 17,
+            detected: 0,
+            corrected: 15,
+            silent: 2,
+        };
+        assert_eq!(
+            decode_seu_outcome(&encode_seu_outcome(&outcome)).unwrap(),
+            outcome
+        );
+        assert!(decode_seu_outcome(&[9]).is_err());
+    }
+
+    #[test]
+    fn registry_runs_diagnostic_jobs() {
+        let registry = standard_registry();
+        assert_eq!(registry.run(ECHO_KIND, b"abc").unwrap(), b"abc");
+        assert_eq!(
+            registry.run(FAIL_KIND, b"boom").unwrap_err(),
+            "boom".to_string()
+        );
+        let err = registry.run("no.such.kind", b"").unwrap_err();
+        assert!(err.contains("no job handler"));
+    }
+
+    #[test]
+    fn registry_evaluates_seu_trial() {
+        let registry = standard_registry();
+        let job = SeuTrialJob {
+            spec: univsa_data::TaskSpec {
+                name: "BCI3V".into(),
+                width: 16,
+                length: 6,
+                classes: 3,
+                levels: 256,
+            },
+            genome: genome(),
+            protection: Protection::ParityDetect,
+            rate: 1e-9,
+            seed: 11,
+            samples: 8,
+        };
+        let bytes = registry.run(SEU_TRIAL_KIND, &job.encode()).unwrap();
+        let outcome = decode_seu_outcome(&bytes).unwrap();
+        assert_eq!(outcome.protection, Protection::ParityDetect);
+        assert_eq!(
+            outcome.detected + outcome.corrected + outcome.silent,
+            outcome.upsets
+        );
+    }
+
+    #[test]
+    fn probe_fitness_is_deterministic_and_sensitive() {
+        let registry = standard_registry();
+        let job = FitnessJob {
+            task: "BCI3V".into(),
+            data_seed: 1,
+            train_seed: 2,
+            epochs: 3,
+            genome: genome(),
+        };
+        let a = registry.run(PROBE_KIND, &job.encode()).unwrap();
+        assert_eq!(a, registry.run(PROBE_KIND, &job.encode()).unwrap());
+        let score = decode_fitness(&a).unwrap();
+        assert!((0.0..1.0).contains(&score));
+        let mut other = job.clone();
+        other.genome.d_h = 16;
+        assert_ne!(registry.run(PROBE_KIND, &other.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn registry_rejects_malformed_payloads_without_panicking() {
+        let registry = standard_registry();
+        for kind in [FITNESS_KIND, SEU_TRIAL_KIND] {
+            assert!(registry.run(kind, b"junk").is_err());
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The supervisor ↔ worker message vocabulary.
+//!
+//! Each message is encoded into one [frame](crate::frame) payload: a
+//! single tag byte followed by fixed-width little-endian fields and
+//! length-prefixed byte strings. Decoding is total — every malformed
+//! input maps to [`UniVsaError::Ipc`], never a panic — because worker
+//! stdout is an untrusted channel once the chaos harness starts
+//! flipping bytes on it.
+
+use univsa::UniVsaError;
+
+/// One IPC message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Liveness probe (supervisor → worker).
+    Ping {
+        /// Echo token: the matching [`Message::Pong`] must return it.
+        nonce: u64,
+    },
+    /// Liveness reply (worker → supervisor).
+    Pong {
+        /// The nonce from the [`Message::Ping`] being answered.
+        nonce: u64,
+    },
+    /// A job dispatch (supervisor → worker).
+    Task {
+        /// Stable job index; results are keyed by it.
+        id: u64,
+        /// Zero-based delivery attempt (drives chaos decisions, so a
+        /// retry of a crashed task rolls fresh fault dice).
+        attempt: u32,
+        /// Registered handler name, e.g. `"search.fitness"`.
+        kind: String,
+        /// Handler-specific input bytes.
+        payload: Vec<u8>,
+    },
+    /// A successful job result (worker → supervisor).
+    TaskOk {
+        /// The id of the completed [`Message::Task`].
+        id: u64,
+        /// Handler-specific output bytes.
+        payload: Vec<u8>,
+    },
+    /// A definitive job failure (worker → supervisor). The worker stays
+    /// alive; the supervisor aborts the batch with this message.
+    TaskErr {
+        /// The id of the failed [`Message::Task`].
+        id: u64,
+        /// Human-readable cause, propagated verbatim to the caller.
+        message: String,
+    },
+    /// Orderly shutdown request (supervisor → worker); the worker exits
+    /// 0 after reading it.
+    Shutdown,
+}
+
+const TAG_PING: u8 = 1;
+const TAG_PONG: u8 = 2;
+const TAG_TASK: u8 = 3;
+const TAG_TASK_OK: u8 = 4;
+const TAG_TASK_ERR: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+
+impl Message {
+    /// Serializes the message into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Ping { nonce } => {
+                out.push(TAG_PING);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Message::Pong { nonce } => {
+                out.push(TAG_PONG);
+                out.extend_from_slice(&nonce.to_le_bytes());
+            }
+            Message::Task {
+                id,
+                attempt,
+                kind,
+                payload,
+            } => {
+                out.push(TAG_TASK);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
+                put_bytes(&mut out, kind.as_bytes());
+                put_bytes(&mut out, payload);
+            }
+            Message::TaskOk { id, payload } => {
+                out.push(TAG_TASK_OK);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_bytes(&mut out, payload);
+            }
+            Message::TaskErr { id, message } => {
+                out.push(TAG_TASK_ERR);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_bytes(&mut out, message.as_bytes());
+            }
+            Message::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Deserializes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`UniVsaError::Ipc`] on an empty payload, unknown tag, truncated
+    /// field, invalid UTF-8 in a string field, or trailing garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Message, UniVsaError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let tag = r.u8()?;
+        let message = match tag {
+            TAG_PING => Message::Ping { nonce: r.u64()? },
+            TAG_PONG => Message::Pong { nonce: r.u64()? },
+            TAG_TASK => {
+                let id = r.u64()?;
+                let attempt = r.u32()?;
+                let kind = r.string("task kind")?;
+                let payload = r.bytes_field()?;
+                Message::Task {
+                    id,
+                    attempt,
+                    kind,
+                    payload,
+                }
+            }
+            TAG_TASK_OK => Message::TaskOk {
+                id: r.u64()?,
+                payload: r.bytes_field()?,
+            },
+            TAG_TASK_ERR => {
+                let id = r.u64()?;
+                let message = r.string("error message")?;
+                Message::TaskErr { id, message }
+            }
+            TAG_SHUTDOWN => Message::Shutdown,
+            other => {
+                return Err(UniVsaError::Ipc(format!("unknown message tag {other}")));
+            }
+        };
+        if r.pos != r.bytes.len() {
+            return Err(UniVsaError::Ipc(format!(
+                "{} trailing bytes after message",
+                r.bytes.len() - r.pos
+            )));
+        }
+        Ok(message)
+    }
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], UniVsaError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(UniVsaError::Ipc(format!(
+                "message truncated: needed {n} bytes at offset {}, have {}",
+                self.pos,
+                self.bytes.len() - self.pos
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, UniVsaError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, UniVsaError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, UniVsaError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn bytes_field(&mut self) -> Result<Vec<u8>, UniVsaError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, UniVsaError> {
+        let raw = self.bytes_field()?;
+        String::from_utf8(raw)
+            .map_err(|_| UniVsaError::Ipc(format!("{what} field is not valid UTF-8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<Message> {
+        vec![
+            Message::Ping { nonce: 7 },
+            Message::Pong { nonce: u64::MAX },
+            Message::Task {
+                id: 3,
+                attempt: 2,
+                kind: "search.fitness".into(),
+                payload: vec![1, 2, 3, 0, 255],
+            },
+            Message::Task {
+                id: 0,
+                attempt: 0,
+                kind: String::new(),
+                payload: Vec::new(),
+            },
+            Message::TaskOk {
+                id: 9,
+                payload: vec![0; 64],
+            },
+            Message::TaskErr {
+                id: 4,
+                message: "invalid configuration: D_H too small".into(),
+            },
+            Message::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        for m in examples() {
+            assert_eq!(Message::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_unknown_tags_are_typed_errors() {
+        assert!(matches!(
+            Message::decode(&[]).unwrap_err(),
+            UniVsaError::Ipc(_)
+        ));
+        let err = Message::decode(&[0xEE]).unwrap_err();
+        assert!(err.to_string().contains("unknown message tag"));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for m in examples() {
+            let full = m.encode();
+            for cut in 0..full.len() {
+                match Message::decode(&full[..cut]) {
+                    Err(UniVsaError::Ipc(_)) => {}
+                    other => panic!("{m:?} cut to {cut} bytes gave {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Message::Shutdown.encode();
+        bytes.push(0);
+        let err = Message::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn bad_utf8_in_kind_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.push(3); // Task tag
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let err = Message::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("UTF-8"));
+    }
+}

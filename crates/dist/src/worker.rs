@@ -1,0 +1,265 @@
+//! The worker side of the fleet: a frame-pump over stdin/stdout.
+//!
+//! A worker is the same `univsa` binary re-executed with
+//! [`WORKER_ENV_VAR`] set; the CLI checks that before argument parsing
+//! and hands control to [`worker_main`]. The loop reads framed
+//! [`Message`]s from stdin, runs [`Message::Task`]s through the shared
+//! [`JobRegistry`](crate::JobRegistry), and writes the replies to
+//! stdout. Anything nondeterministic (logging, panics) goes to stderr —
+//! stdout carries only frames.
+//!
+//! Fault injection lives here too: when [`univsa::CHAOS_ENV_VAR`] is
+//! set, the worker consults the parsed [`ChaosSpec`] before and after
+//! each task and may crash, hang, corrupt its reply frame, or delay its
+//! startup handshake. The decisions are pure functions of
+//! `(seed, task, attempt)`, so a chaos run is exactly reproducible.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use univsa::{ChaosSpec, UniVsaError};
+
+use crate::frame::{read_frame, write_corrupt_frame, write_frame, Frame};
+use crate::proto::Message;
+use crate::JobRegistry;
+
+/// Set (to any value) in a spawned worker's environment; the CLI enters
+/// [`worker_main`] instead of parsing arguments when it sees this.
+pub const WORKER_ENV_VAR: &str = "UNIVSA_WORKER_JOBS";
+/// The worker's slot index in the fleet (feeds slow-start decisions).
+pub const SLOT_ENV_VAR: &str = "UNIVSA_WORKER_SLOT";
+/// The slot's respawn generation (0 for the first process in a slot).
+pub const GEN_ENV_VAR: &str = "UNIVSA_WORKER_GEN";
+
+/// Process exit code for a chaos-injected crash (distinct from the
+/// panic runtime's 101 so logs can tell them apart).
+pub const CHAOS_CRASH_EXIT: i32 = 86;
+
+/// Whether this process was spawned as a fleet worker.
+pub fn worker_env_requested() -> bool {
+    std::env::var_os(WORKER_ENV_VAR).is_some()
+}
+
+/// Runs the worker loop over this process's stdin/stdout until the
+/// supervisor sends [`Message::Shutdown`] or closes the pipe.
+///
+/// # Errors
+///
+/// [`UniVsaError::Ipc`] on a malformed inbound frame or an unexpected
+/// message, [`UniVsaError::Io`] when a pipe breaks mid-write, and
+/// [`UniVsaError::Config`] for an unparsable [`univsa::CHAOS_ENV_VAR`].
+/// Handler-level failures are **not** errors here — they travel back as
+/// [`Message::TaskErr`] and the loop keeps serving.
+pub fn worker_main(registry: &JobRegistry) -> Result<(), UniVsaError> {
+    let chaos = match std::env::var(univsa::CHAOS_ENV_VAR) {
+        Ok(spec) => ChaosSpec::parse(&spec)?,
+        Err(_) => ChaosSpec::default(),
+    };
+    let slot = env_u64(SLOT_ENV_VAR);
+    let generation = env_u64(GEN_ENV_VAR);
+    if let Some(delay) = chaos.slow_start_delay(slot, generation) {
+        std::thread::sleep(delay);
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve(&mut stdin.lock(), &mut stdout.lock(), registry, &chaos)
+}
+
+/// The transport-agnostic worker loop ([`worker_main`] binds it to the
+/// process's stdio; tests drive it over in-memory pipes).
+pub fn serve(
+    input: &mut impl Read,
+    output: &mut impl Write,
+    registry: &JobRegistry,
+    chaos: &ChaosSpec,
+) -> Result<(), UniVsaError> {
+    loop {
+        let payload = match read_frame(input)? {
+            Frame::Eof => return Ok(()),
+            Frame::Payload(payload) => payload,
+        };
+        match Message::decode(&payload)? {
+            Message::Ping { nonce } => {
+                write_frame(output, &Message::Pong { nonce }.encode())?;
+            }
+            Message::Shutdown => return Ok(()),
+            Message::Task {
+                id,
+                attempt,
+                kind,
+                payload,
+            } => {
+                if chaos.crash_task(id, u64::from(attempt)) {
+                    std::process::exit(CHAOS_CRASH_EXIT);
+                }
+                if chaos.hang_task(id, u64::from(attempt)) {
+                    // simulate a wedged worker: never reply, never exit —
+                    // the supervisor's deadline has to reap this process
+                    loop {
+                        std::thread::sleep(Duration::from_secs(3600));
+                    }
+                }
+                let reply = match registry.run(&kind, &payload) {
+                    Ok(result) => Message::TaskOk {
+                        id,
+                        payload: result,
+                    },
+                    Err(message) => Message::TaskErr { id, message },
+                };
+                if chaos.corrupt_result(id, u64::from(attempt)) {
+                    write_corrupt_frame(output, &reply.encode())?;
+                } else {
+                    write_frame(output, &reply.encode())?;
+                }
+            }
+            unexpected @ (Message::Pong { .. }
+            | Message::TaskOk { .. }
+            | Message::TaskErr { .. }) => {
+                return Err(UniVsaError::Ipc(format!(
+                    "worker received a worker-to-supervisor message: {unexpected:?}"
+                )));
+            }
+        }
+    }
+}
+
+fn env_u64(var: &str) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{standard_registry, ECHO_KIND, FAIL_KIND};
+    use std::io::Cursor;
+
+    fn frames(messages: &[Message]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for m in messages {
+            write_frame(&mut buf, &m.encode()).unwrap();
+        }
+        buf
+    }
+
+    fn replies(output: &[u8]) -> Vec<Message> {
+        let mut cursor = Cursor::new(output);
+        let mut out = Vec::new();
+        loop {
+            match read_frame(&mut cursor).unwrap() {
+                Frame::Eof => return out,
+                Frame::Payload(p) => out.push(Message::decode(&p).unwrap()),
+            }
+        }
+    }
+
+    #[test]
+    fn serves_ping_task_and_shutdown() {
+        let registry = standard_registry();
+        let input = frames(&[
+            Message::Ping { nonce: 5 },
+            Message::Task {
+                id: 0,
+                attempt: 0,
+                kind: ECHO_KIND.into(),
+                payload: b"payload".to_vec(),
+            },
+            Message::Task {
+                id: 1,
+                attempt: 0,
+                kind: FAIL_KIND.into(),
+                payload: b"cause".to_vec(),
+            },
+            Message::Shutdown,
+        ]);
+        let mut output = Vec::new();
+        serve(
+            &mut Cursor::new(input),
+            &mut output,
+            &registry,
+            &ChaosSpec::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            replies(&output),
+            vec![
+                Message::Pong { nonce: 5 },
+                Message::TaskOk {
+                    id: 0,
+                    payload: b"payload".to_vec()
+                },
+                Message::TaskErr {
+                    id: 1,
+                    message: "cause".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_eof_ends_the_loop() {
+        let registry = standard_registry();
+        let mut output = Vec::new();
+        serve(
+            &mut Cursor::new(Vec::new()),
+            &mut output,
+            &registry,
+            &ChaosSpec::default(),
+        )
+        .unwrap();
+        assert!(output.is_empty());
+    }
+
+    #[test]
+    fn corrupt_inbound_frame_is_a_typed_error() {
+        let registry = standard_registry();
+        let mut input = Vec::new();
+        write_corrupt_frame(&mut input, &Message::Shutdown.encode()).unwrap();
+        let err = serve(
+            &mut Cursor::new(input),
+            &mut Vec::new(),
+            &registry,
+            &ChaosSpec::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, UniVsaError::Ipc(_)));
+    }
+
+    #[test]
+    fn supervisor_bound_messages_are_rejected() {
+        let registry = standard_registry();
+        let input = frames(&[Message::Pong { nonce: 1 }]);
+        let err = serve(
+            &mut Cursor::new(input),
+            &mut Vec::new(),
+            &registry,
+            &ChaosSpec::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("worker-to-supervisor"));
+    }
+
+    #[test]
+    fn corrupt_result_chaos_writes_a_bad_frame() {
+        let registry = standard_registry();
+        let chaos = ChaosSpec {
+            corrupt: 1.0,
+            ..ChaosSpec::default()
+        };
+        let input = frames(&[
+            Message::Task {
+                id: 0,
+                attempt: 0,
+                kind: ECHO_KIND.into(),
+                payload: b"x".to_vec(),
+            },
+            Message::Shutdown,
+        ]);
+        let mut output = Vec::new();
+        serve(&mut Cursor::new(input), &mut output, &registry, &chaos).unwrap();
+        let err = read_frame(&mut Cursor::new(output)).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+}

@@ -41,6 +41,37 @@ impl Protection {
         }
     }
 
+    /// Parses a scheme from its CLI spelling (`none`/`unprotected`,
+    /// `parity`/`parity-detect`, `tmr`; case-insensitive).
+    pub fn from_name(name: &str) -> Option<Protection> {
+        match name.to_ascii_lowercase().as_str() {
+            "none" | "unprotected" => Some(Protection::None),
+            "parity" | "parity-detect" => Some(Protection::ParityDetect),
+            "tmr" => Some(Protection::Tmr),
+            _ => None,
+        }
+    }
+
+    /// Stable wire tag for IPC payloads (round-trips via
+    /// [`Protection::from_tag`]).
+    pub fn tag(self) -> u8 {
+        match self {
+            Protection::None => 0,
+            Protection::ParityDetect => 1,
+            Protection::Tmr => 2,
+        }
+    }
+
+    /// Inverse of [`Protection::tag`].
+    pub fn from_tag(tag: u8) -> Option<Protection> {
+        match tag {
+            0 => Some(Protection::None),
+            1 => Some(Protection::ParityDetect),
+            2 => Some(Protection::Tmr),
+            _ => None,
+        }
+    }
+
     /// Stored-bit blowup relative to the unprotected memory footprint
     /// (`65/64` for parity, `3` for TMR).
     pub fn storage_factor(self) -> f64 {
@@ -210,6 +241,21 @@ mod tests {
     #[should_panic(expected = "clock")]
     fn rejects_zero_clock() {
         HwConfig::with_clock(&model_config(), 0.0);
+    }
+
+    #[test]
+    fn protection_name_and_tag_round_trip() {
+        for p in Protection::ALL {
+            assert_eq!(Protection::from_tag(p.tag()), Some(p));
+            assert_eq!(Protection::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Protection::from_name("NONE"), Some(Protection::None));
+        assert_eq!(
+            Protection::from_name("parity"),
+            Some(Protection::ParityDetect)
+        );
+        assert_eq!(Protection::from_name("ecc"), None);
+        assert_eq!(Protection::from_tag(9), None);
     }
 
     #[test]

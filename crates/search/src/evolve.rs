@@ -90,30 +90,74 @@ impl EvolutionarySearch {
     where
         F: Fn(&Genome) -> f64 + Sync,
     {
+        let result: Result<SearchResult, std::convert::Infallible> =
+            self.try_run_batched(seed, |pending| {
+                Ok(univsa_par::map_indexed(
+                    "search.fitness",
+                    pending.len(),
+                    |i| fitness(&pending[i]),
+                ))
+            });
+        match result {
+            Ok(r) => r,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Runs the search with a *batch* fitness evaluator: each generation's
+    /// unique uncached genomes are handed over in one call (in first-seen
+    /// population order), and the evaluator returns one fitness per genome
+    /// in the same order.
+    ///
+    /// This is the hook process-sharded backends plug into (the
+    /// `univsa-dist` supervisor dispatches a whole generation to the
+    /// worker fleet); [`EvolutionarySearch::run`] wires the default
+    /// in-process `univsa-par` evaluator through the same path, so the
+    /// search trajectory is identical for every backend that returns
+    /// identical fitness values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluator error verbatim; the search stops at
+    /// that generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluator returns a result count different from the
+    /// batch it was handed.
+    pub fn try_run_batched<E>(
+        &self,
+        seed: u64,
+        mut eval_batch: impl FnMut(&[Genome]) -> Result<Vec<f64>, E>,
+    ) -> Result<SearchResult, E> {
         let mut rng = StdRng::seed_from_u64(seed);
         let opts = &self.options;
         let mut cache: std::collections::HashMap<Genome, f64> = std::collections::HashMap::new();
         let mut evaluations = 0usize;
         // Scores a whole generation: unique cache misses (in first-seen
-        // order) fan out to the worker pool, land in the cache in that
+        // order) go to the batch evaluator, land in the cache in that
         // same order, and the population is then scored from the cache.
-        let score_all = |genomes: &[Genome],
-                         cache: &mut std::collections::HashMap<Genome, f64>,
-                         evaluations: &mut usize|
-         -> Vec<(Genome, f64)> {
+        let mut score_all = |genomes: &[Genome],
+                             cache: &mut std::collections::HashMap<Genome, f64>,
+                             evaluations: &mut usize|
+         -> Result<Vec<(Genome, f64)>, E> {
             let mut pending: Vec<Genome> = Vec::new();
             for g in genomes {
                 if !cache.contains_key(g) && !pending.contains(g) {
                     pending.push(*g);
                 }
             }
-            let results =
-                univsa_par::map_indexed("search.fitness", pending.len(), |i| fitness(&pending[i]));
+            let results = eval_batch(&pending)?;
+            assert_eq!(
+                results.len(),
+                pending.len(),
+                "batch evaluator must score every genome exactly once"
+            );
             for (g, f) in pending.iter().zip(results) {
                 cache.insert(*g, f);
                 *evaluations += 1;
             }
-            genomes.iter().map(|g| (*g, cache[g])).collect()
+            Ok(genomes.iter().map(|g| (*g, cache[g])).collect())
         };
 
         let mut population: Vec<Genome> = (0..opts.population)
@@ -126,7 +170,7 @@ impl EvolutionarySearch {
             // telemetry span per generation: carries wall time and, with
             // the counting allocator on, the generation's allocation delta
             let _gen_span = univsa_telemetry::span("search", "generation").field("generation", gen);
-            scored = score_all(&population, &mut cache, &mut evaluations);
+            scored = score_all(&population, &mut cache, &mut evaluations)?;
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             curve.push(scored[0].1);
 
@@ -145,17 +189,17 @@ impl EvolutionarySearch {
         }
         // final scoring pass for the last generation's offspring
         let mut final_scored: Vec<(Genome, f64)> =
-            score_all(&population, &mut cache, &mut evaluations);
+            score_all(&population, &mut cache, &mut evaluations)?;
         final_scored.extend(scored);
         final_scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         let (genome, best) = final_scored[0];
         curve.push(best);
-        SearchResult {
+        Ok(SearchResult {
             genome,
             fitness: best,
             curve,
             evaluations,
-        }
+        })
     }
 
     fn tournament_pick(&self, scored: &[(Genome, f64)], rng: &mut StdRng) -> Genome {
@@ -244,6 +288,26 @@ mod tests {
         // all genomes identical fitness — evaluations must not exceed
         // population × (generations + 1)
         assert!(result.evaluations <= 16 * 11);
+    }
+
+    #[test]
+    fn batched_run_matches_plain_run() {
+        let f = |g: &Genome| g.d_h as f64 * 2.0 + g.voters as f64 - g.out_channels as f64 / 7.0;
+        let search = EvolutionarySearch::new(space(), options());
+        let plain = search.run(f, 5);
+        let batched = search
+            .try_run_batched::<String>(5, |pending| Ok(pending.iter().map(f).collect()))
+            .unwrap();
+        assert_eq!(plain, batched);
+    }
+
+    #[test]
+    fn batched_run_propagates_first_error() {
+        let search = EvolutionarySearch::new(space(), options());
+        let err = search
+            .try_run_batched(5, |_| Err("evaluator exploded".to_string()))
+            .err();
+        assert_eq!(err.as_deref(), Some("evaluator exploded"));
     }
 
     #[test]
