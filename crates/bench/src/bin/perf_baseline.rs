@@ -36,10 +36,15 @@
 //! percentiles. Accuracy evaluation and training fan out to the pool.
 //!
 //! Usage: `cargo run -p univsa-bench --release --bin perf_baseline
-//! [--out PATH] [--seed S] [--trace PATH] [--quiet]`. Honours
-//! `UNIVSA_QUICK=1` for a reduced-budget smoke run (the `quick` flag in
-//! the report records which mode produced it) and `UNIVSA_THREADS=N` for
-//! the pool width.
+//! [--out PATH] [--seed S] [--trace PATH] [--workers N] [--quiet]`.
+//! Honours `UNIVSA_QUICK=1` for a reduced-budget smoke run (the `quick`
+//! flag in the report records which mode produced it) and
+//! `UNIVSA_THREADS=N` for the pool width. With `--workers N` the run
+//! finishes with a probe-job sweep over the supervised worker fleet and
+//! records the forwarded per-worker telemetry rollups in an additive
+//! `fleet` block (slot count, spawns/retries/crashes, `fleet.*` job and
+//! allocation counters, dropped telemetry batches) — cycle and accuracy
+//! figures are untouched, so the schema stays v4.
 
 use std::time::Instant;
 
@@ -276,11 +281,91 @@ fn git_commit() -> Option<String> {
     (!hash.is_empty()).then_some(hash)
 }
 
+/// Runs the fleet probe sweep (`2 × workers` one-epoch fitness probes per
+/// Table I task's smallest configuration is overkill here — one probe per
+/// slot pair suffices to exercise forwarding) and serializes the fleet
+/// incident counters plus the `fleet.*` telemetry rollups.
+fn fleet_phase(workers: usize, seed: u64) -> Json {
+    use univsa_dist::{FitnessJob, Job, Supervisor, SupervisorOptions, PROBE_KIND};
+    // forwarding rides on the flight recorder; make sure it is on even
+    // when --trace was not given
+    univsa_telemetry::enable_tracing(univsa_telemetry::DEFAULT_TRACE_CAPACITY);
+    let task = all_tasks(seed).into_iter().next().expect("tasks exist");
+    let (d_h, d_l, d_k, out_channels, voters) =
+        univsa_data::tasks::paper_config_tuple(&task.spec.name).expect("paper config exists");
+    let genome = univsa_search::Genome {
+        d_h,
+        d_l,
+        d_k,
+        out_channels,
+        voters,
+    };
+    let jobs: Vec<Job> = (0..(workers * 2).max(4))
+        .map(|i| {
+            Job::new(
+                PROBE_KIND,
+                FitnessJob {
+                    task: task.spec.name.clone(),
+                    data_seed: seed + i as u64,
+                    train_seed: seed,
+                    epochs: 1,
+                    genome,
+                }
+                .encode(),
+            )
+        })
+        .collect();
+    let supervisor = Supervisor::new(
+        SupervisorOptions {
+            workers,
+            seed,
+            ..SupervisorOptions::default()
+        },
+        univsa_dist::standard_registry(),
+    );
+    let (_, report) = supervisor.run_jobs(&jobs).expect("fleet probe sweep runs");
+    let counter = univsa_telemetry::counter_value;
+    Json::Obj(vec![
+        ("workers".into(), num_u(report.workers as u64)),
+        ("probe_jobs".into(), num_u(jobs.len() as u64)),
+        ("spawned".into(), num_u(report.spawned)),
+        ("retries".into(), num_u(report.retries)),
+        ("timeouts".into(), num_u(report.timeouts)),
+        ("crashes".into(), num_u(report.crashes)),
+        ("corrupt_frames".into(), num_u(report.corrupt_frames)),
+        ("fallback_jobs".into(), num_u(report.fallback_jobs)),
+        ("telemetry_dropped".into(), num_u(report.telemetry_dropped)),
+        ("fleet_jobs".into(), num_u(counter("fleet.jobs"))),
+        ("fleet_busy_ns".into(), num_u(counter("fleet.busy_ns"))),
+        (
+            "fleet_alloc_count".into(),
+            num_u(counter("fleet.alloc_count")),
+        ),
+        (
+            "fleet_peak_alloc_bytes".into(),
+            num_u(counter("fleet.peak_alloc_bytes")),
+        ),
+    ])
+}
+
 fn main() {
+    // Fleet workers are this same binary re-executed with the worker
+    // environment variable set; they never parse arguments — stdout is
+    // reserved for IPC frames.
+    if univsa_dist::worker_env_requested() {
+        match univsa_dist::worker_main(&univsa_dist::standard_registry()) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("worker error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_univsa.json".to_string();
     let mut trace_path: Option<String> = None;
     let mut seed = 42u64;
+    let mut workers = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -293,8 +378,17 @@ fn main() {
                     .parse()
                     .expect("bad --seed");
             }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .expect("--workers needs a value")
+                    .parse()
+                    .expect("bad --workers");
+            }
             "--quiet" | "-q" => {} // consumed by univsa_bench::quiet_mode
-            other => panic!("unknown argument {other:?} (expected --out/--seed/--trace/--quiet)"),
+            other => panic!(
+                "unknown argument {other:?} (expected --out/--seed/--trace/--workers/--quiet)"
+            ),
         }
     }
     if trace_path.is_some() {
@@ -357,6 +451,13 @@ fn main() {
         ));
     }
     fields.push(("pool".into(), pool_stats_json()));
+    if workers > 0 {
+        progress(
+            "perf_baseline",
+            &format!("fleet probe sweep over {workers} worker slot(s)"),
+        );
+        fields.push(("fleet".into(), fleet_phase(workers, seed)));
+    }
     fields.push(("tasks".into(), Json::Arr(rows)));
     let report = Json::Obj(fields);
     let mut text = String::new();

@@ -74,6 +74,25 @@ pub enum Command {
         /// Memory observability (`--mem`): per-stage allocation table and
         /// footprint audit.
         mem: bool,
+        /// Also run a fleet phase: probe jobs sharded over this many
+        /// worker processes, their telemetry forwarded and merged into
+        /// the trace/summary (`--workers N`).
+        workers: Option<usize>,
+    },
+    /// `univsa fleet-report --task <NAME> [--workers N] [--jobs N]
+    /// [--seed S] [--chaos SPEC]` — run probe jobs through the fleet and
+    /// print the per-slot telemetry table.
+    FleetReport {
+        /// Built-in task name for the probe jobs.
+        task: String,
+        /// Worker-process count (`None` = `UNIVSA_WORKERS` or 2).
+        workers: Option<usize>,
+        /// Probe jobs to dispatch.
+        jobs: usize,
+        /// Seed for the probe genomes.
+        seed: u64,
+        /// Fault-injection spec forwarded to the fleet.
+        chaos: univsa::ChaosSpec,
     },
     /// `univsa memsnap <TASK> [--seed S]`
     Memsnap {
@@ -187,7 +206,9 @@ USAGE:
   univsa rtl   --model MODEL --out-dir DIR
   univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
   univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
-                 [--threads T] [--trace OUT.json] [--mem]
+                 [--threads T] [--trace OUT.json] [--mem] [--workers N]
+  univsa fleet-report --task <NAME> [--workers N] [--jobs N] [--seed S]
+                 [--chaos SPEC]
   univsa search --task <NAME> [--workers N] [--population P] [--generations G]
                  [--epochs E] [--seed S] [--chaos SPEC] [--surrogate]
   univsa seu    --task <NAME> [--workers N] [--rate R] [--trials T]
@@ -214,7 +235,17 @@ UNIVSA_TELEMETRY=jsonl:<path> to capture the underlying spans.
 (training epochs, per-sample inference stages, per-worker pool lanes,
 and the cycle-level hardware schedule on a virtual-time track) and
 writes it as Chrome trace-event JSON, viewable at https://ui.perfetto.dev
-or chrome://tracing.
+or chrome://tracing. `profile --workers N` appends a fleet phase: probe
+fitness jobs are sharded over N worker processes, each worker captures
+its own spans/counters/allocation stats and forwards them over the IPC
+pipe, and the merged trace shows one Chrome-trace process per worker
+slot with its spans re-parented under the supervisor's dispatching
+`dist.task` regions (worker clocks are aligned to the supervisor
+timeline via the ping/pong handshake).
+
+`fleet-report` runs probe jobs through the fleet with telemetry
+forwarding on and prints a per-slot summary table — jobs served, busy
+time, retries, allocations, peak heap — plus the fleet-wide rollups.
 
 `profile --mem` turns on the counting allocator and appends a per-stage
 allocation table (net bytes, allocation count, peak heap per span name),
@@ -412,8 +443,10 @@ impl Command {
                     threads,
                     trace: flags_get(&flags, "trace"),
                     mem,
+                    workers: parse_fleet_workers(&flags)?,
                 })
             }
+            "fleet-report" => parse_fleet_report(rest),
             "search" => parse_search(rest),
             "seu" => parse_seu(rest),
             "chaos" => parse_chaos(rest),
@@ -565,6 +598,22 @@ fn take_switch(rest: &[String], name: &str) -> (Vec<String>, bool) {
         .cloned()
         .collect();
     (rest, present)
+}
+
+fn parse_fleet_report(rest: &[String]) -> Result<Command, ParseArgsError> {
+    let flags = parse_flags(rest)?;
+    reject_unknown(
+        &flags,
+        &["task", "workers", "jobs", "seed", "chaos"],
+        "fleet-report",
+    )?;
+    Ok(Command::FleetReport {
+        task: required(&flags, "task")?,
+        workers: parse_fleet_workers(&flags)?,
+        jobs: parse_at_least_one(&flags, "jobs", 8)?,
+        seed: parse_value(&flags, "seed", 42)?,
+        chaos: parse_chaos_spec(&flags)?,
+    })
 }
 
 fn parse_search(rest: &[String]) -> Result<Command, ParseArgsError> {
@@ -984,10 +1033,12 @@ mod tests {
                 threads: None,
                 trace: None,
                 mem: false,
+                workers: None,
             }
         );
         let cmd = Command::parse(&argv(
-            "profile --task ISOLET --seed 7 --epochs 5 --samples 16 --threads 4 --trace out.json",
+            "profile --task ISOLET --seed 7 --epochs 5 --samples 16 --threads 4 \
+             --trace out.json --workers 4",
         ))
         .unwrap();
         assert_eq!(
@@ -1000,8 +1051,43 @@ mod tests {
                 threads: Some(4),
                 trace: Some("out.json".into()),
                 mem: false,
+                workers: Some(4),
             }
         );
+    }
+
+    #[test]
+    fn fleet_report_parses_with_defaults() {
+        assert_eq!(
+            Command::parse(&argv("fleet-report --task bci3v")).unwrap(),
+            Command::FleetReport {
+                task: "bci3v".into(),
+                workers: None,
+                jobs: 8,
+                seed: 42,
+                chaos: univsa::ChaosSpec::default(),
+            }
+        );
+        match Command::parse(&argv(
+            "fleet-report --task HAR --workers 3 --jobs 12 --seed 7 --chaos crash=0.2",
+        ))
+        .unwrap()
+        {
+            Command::FleetReport {
+                workers,
+                jobs,
+                chaos,
+                ..
+            } => {
+                assert_eq!(workers, Some(3));
+                assert_eq!(jobs, 12);
+                assert_eq!(chaos.crash, 0.2);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        assert!(Command::parse(&argv("fleet-report")).is_err());
+        assert!(Command::parse(&argv("fleet-report --task T --jobs 0")).is_err());
+        assert!(Command::parse(&argv("fleet-report --task T --bogus 1")).is_err());
     }
 
     #[test]

@@ -203,6 +203,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             threads,
             trace,
             mem,
+            workers,
         } => run_profile(
             &task,
             seed,
@@ -211,8 +212,16 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             threads,
             trace.as_deref(),
             mem,
+            workers,
             out,
         ),
+        Command::FleetReport {
+            task,
+            workers,
+            jobs,
+            seed,
+            chaos,
+        } => run_fleet_report(&task, workers, jobs, seed, chaos, out),
         Command::Memsnap { task, seed } => run_memsnap(&task, seed, out),
         Command::Search {
             task,
@@ -335,25 +344,35 @@ fn accumulate(total: &mut FleetReport, part: FleetReport) {
     total.crashes += part.crashes;
     total.corrupt_frames += part.corrupt_frames;
     total.fallback_jobs += part.fallback_jobs;
+    total.telemetry_dropped += part.telemetry_dropped;
 }
 
 /// Prints the fleet's robustness counters to **stderr** — stdout carries
 /// only the deterministic results, so it stays bit-identical across
-/// worker counts and chaos histories.
+/// worker counts and chaos histories. The same totals are mirrored into
+/// the telemetry registry, so `UNIVSA_TELEMETRY=summary` shows the
+/// `dist.*` rows in its counter table alongside the worker rollups.
 fn report_fleet(report: &FleetReport) {
     if report.workers == 0 {
         return;
     }
+    // the per-event dist.* counters (spawns, retries, crashes, …) are
+    // recorded at their increment sites in the supervisor; the fleet
+    // width is a level, not an event, so it lands here as a high-water
+    // mark
+    univsa_telemetry::counter_max("dist.workers", report.workers as u64);
     eprintln!(
         "fleet: {} worker slot(s), {} spawned, {} retries, {} timeouts, \
-         {} crashes, {} corrupt frames, {} fallback jobs",
+         {} crashes, {} corrupt frames, {} fallback jobs, \
+         {} telemetry batches dropped",
         report.workers,
         report.spawned,
         report.retries,
         report.timeouts,
         report.crashes,
         report.corrupt_frames,
-        report.fallback_jobs
+        report.fallback_jobs,
+        report.telemetry_dropped
     );
 }
 
@@ -651,6 +670,7 @@ fn run_profile(
     threads: Option<usize>,
     trace_path: Option<&str>,
     mem: bool,
+    workers: Option<usize>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
     if let Some(t) = threads {
@@ -832,17 +852,55 @@ fn run_profile(
             hw.stored_memory_kib()
         )?;
     }
+    // fleet layer: probe jobs sharded over worker processes; each worker
+    // forwards its spans/counters/allocation stats over the IPC pipe and
+    // they merge into this process's recorder before the trace is written
+    let fleet_workers = workers.unwrap_or(0);
+    if fleet_workers > 0 {
+        let genome = Genome {
+            d_h,
+            d_l,
+            d_k,
+            out_channels: o,
+            voters: theta,
+        };
+        let probe_jobs = (fleet_workers * 2).max(4);
+        let jobs: Vec<Job> = (0..probe_jobs)
+            .map(|i| {
+                Job::new(
+                    PROBE_KIND,
+                    FitnessJob {
+                        task: task.spec.name.clone(),
+                        data_seed: seed + i as u64,
+                        train_seed: seed,
+                        epochs: 1,
+                        genome,
+                    }
+                    .encode(),
+                )
+            })
+            .collect();
+        let supervisor = fleet_supervisor(Some(fleet_workers), seed, ChaosSpec::default());
+        let (_, report) = supervisor.run_jobs(&jobs)?;
+        writeln!(
+            out,
+            "fleet: {probe_jobs} probe job(s) over {fleet_workers} worker slot(s) \
+             (telemetry forwarded per slot)"
+        )?;
+        report_fleet(&report);
+    }
     if let Some(path) = trace_path {
         let recorder = univsa_telemetry::take_recorder();
         std::fs::write(path, univsa_telemetry::chrome_trace_json(&recorder))
             .map_err(|e| format!("cannot write trace {path:?}: {e}"))?;
         writeln!(
             out,
-            "trace: wrote {path} ({} spans on {} lane(s), {} hw events{}) — \
-             open in https://ui.perfetto.dev or chrome://tracing",
+            "trace: wrote {path} ({} spans on {} lane(s), {} hw events, \
+             {} worker span(s){}) — open in https://ui.perfetto.dev or chrome://tracing",
             recorder.events.len(),
             recorder.lanes.len(),
             recorder.virtual_events.len(),
+            recorder.worker_events.len(),
             if recorder.dropped > 0 {
                 format!(", {} dropped", recorder.dropped)
             } else {
@@ -860,6 +918,97 @@ fn run_profile(
             univsa_telemetry::ENV_VAR
         )?;
     }
+    Ok(())
+}
+
+/// Runs probe jobs through the fleet with telemetry forwarding on and
+/// prints the per-slot summary table (jobs served, busy time, retries,
+/// allocations, peak heap) plus the fleet-wide rollups. Unlike the data
+/// subcommands this output is observability, not results — timings and
+/// allocation figures vary run to run.
+fn run_fleet_report(
+    task_name: &str,
+    workers: Option<usize>,
+    jobs: usize,
+    seed: u64,
+    chaos: ChaosSpec,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    // worker-side forwarding rides on the flight recorder, so switch it
+    // on regardless of UNIVSA_TELEMETRY — the report must always have
+    // per-slot data
+    univsa_telemetry::enable_tracing(univsa_telemetry::DEFAULT_TRACE_CAPACITY);
+    let task = lookup_task(task_name, seed)?;
+    let (d_h, d_l, d_k, o, theta) = univsa_data::tasks::paper_config_tuple(&task.spec.name)
+        .ok_or_else(|| {
+            UniVsaError::Config(format!(
+                "no paper configuration for task {:?}",
+                task.spec.name
+            ))
+        })?;
+    let genome = Genome {
+        d_h,
+        d_l,
+        d_k,
+        out_channels: o,
+        voters: theta,
+    };
+    let workers = workers
+        .or_else(univsa_dist::workers_from_env)
+        .unwrap_or(2)
+        .max(1);
+    let job_list: Vec<Job> = (0..jobs)
+        .map(|i| {
+            Job::new(
+                PROBE_KIND,
+                FitnessJob {
+                    task: task.spec.name.clone(),
+                    data_seed: seed + i as u64,
+                    train_seed: seed,
+                    epochs: 1,
+                    genome,
+                }
+                .encode(),
+            )
+        })
+        .collect();
+    let supervisor = fleet_supervisor(Some(workers), seed, chaos);
+    let (_, report) = supervisor.run_jobs(&job_list)?;
+    writeln!(
+        out,
+        "fleet report {}: {jobs} probe job(s) over {workers} worker slot(s), seed {seed}",
+        task.spec.name
+    )?;
+    writeln!(
+        out,
+        "{:>5}  {:>6}  {:>10}  {:>8}  {:>10}  {:>14}",
+        "slot", "jobs", "busy ms", "retries", "allocs", "peak alloc B"
+    )?;
+    let slot_counter =
+        |slot: usize, name: &str| univsa_telemetry::counter_value(&format!("worker.{slot}.{name}"));
+    for slot in 0..workers {
+        writeln!(
+            out,
+            "{:>5}  {:>6}  {:>10.1}  {:>8}  {:>10}  {:>14}",
+            slot,
+            slot_counter(slot, "jobs"),
+            slot_counter(slot, "busy_ns") as f64 / 1e6,
+            slot_counter(slot, "retries"),
+            slot_counter(slot, "alloc_count"),
+            slot_counter(slot, "peak_alloc_bytes")
+        )?;
+    }
+    writeln!(
+        out,
+        "fleet rollup: {} job(s), {:.1} ms busy, {} alloc(s), peak {} B, \
+         {} telemetry batch(es) dropped",
+        univsa_telemetry::counter_value("fleet.jobs"),
+        univsa_telemetry::counter_value("fleet.busy_ns") as f64 / 1e6,
+        univsa_telemetry::counter_value("fleet.alloc_count"),
+        univsa_telemetry::counter_value("fleet.peak_alloc_bytes"),
+        report.telemetry_dropped
+    )?;
+    report_fleet(&report);
     Ok(())
 }
 
@@ -1151,6 +1300,7 @@ mod tests {
             threads: None,
             trace: None,
             mem: false,
+            workers: None,
         })
         .unwrap();
         assert!(text.contains("epoch   1/2"), "{text}");
@@ -1172,6 +1322,7 @@ mod tests {
             threads: Some(2),
             trace: Some(path.to_string_lossy().into_owned()),
             mem: false,
+            workers: None,
         })
         .unwrap();
         assert!(text.contains("trace: wrote"), "{text}");
@@ -1239,6 +1390,7 @@ mod tests {
             threads: None,
             trace: None,
             mem: false,
+            workers: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown task"));
@@ -1254,6 +1406,7 @@ mod tests {
             threads: None,
             trace: None,
             mem: true,
+            workers: None,
         })
         .unwrap();
         assert!(text.contains("memory: peak heap"), "{text}");

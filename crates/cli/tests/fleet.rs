@@ -269,6 +269,161 @@ fn chaos_subcommand_gates_the_matrix() {
     assert!(stdout.contains("all 4 cell(s) bit-identical"), "{stdout}");
 }
 
+/// Tentpole: the cross-process trace merges every worker's spans into
+/// one timeline — one Chrome-trace pid per worker slot (100 + slot),
+/// every worker span re-parented under a supervisor `dist.task` dispatch
+/// region — and the causal *shape* is deterministic: the edge multiset
+/// (parent `cat.name` → child `cat.name`) is identical at any worker
+/// count even though ids and timings differ run to run.
+#[test]
+fn fleet_trace_merges_worker_spans_under_dispatch_regions() {
+    let edges_for = |workers: &str| {
+        let path = std::env::temp_dir().join(format!(
+            "univsa_fleet_trace_{}_{workers}.json",
+            std::process::id()
+        ));
+        let (_, stderr, ok) = run_cli(
+            &[
+                "profile",
+                "--task",
+                "bci3v",
+                "--epochs",
+                "1",
+                "--samples",
+                "2",
+                "--seed",
+                "9",
+                "--workers",
+                workers,
+                "--trace",
+                &path.to_string_lossy(),
+            ],
+            &[],
+        );
+        assert!(ok, "workers={workers}: {stderr}");
+        let json = std::fs::read_to_string(&path).expect("trace written");
+        std::fs::remove_file(&path).ok();
+        let doc = univsa::json::parse(json.as_bytes()).expect("valid trace JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(univsa::json::Json::as_arr)
+            .expect("traceEvents array");
+        let str_of = |e: &univsa::json::Json, key: &str| match e.get(key) {
+            Some(univsa::json::Json::Str(s)) => s.clone(),
+            _ => String::new(),
+        };
+        let num_of = |e: &univsa::json::Json, key: &str| e.get(key).and_then(|v| v.as_f64());
+        // span id → "cat.name" over the complete (X) events of every pid
+        let mut names: HashMap<u64, String> = HashMap::new();
+        for e in events {
+            if str_of(e, "ph") == "X" {
+                if let Some(id) = e
+                    .get("args")
+                    .and_then(|a| a.get("id"))
+                    .and_then(|v| v.as_f64())
+                {
+                    names.insert(
+                        id as u64,
+                        format!("{}.{}", str_of(e, "cat"), str_of(e, "name")),
+                    );
+                }
+            }
+        }
+        let mut edges: Vec<(String, String)> = Vec::new();
+        for e in events {
+            let pid = num_of(e, "pid").unwrap_or(0.0) as u64;
+            if str_of(e, "ph") != "X" || pid < 100 {
+                continue;
+            }
+            let parent = e
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(|v| v.as_f64())
+                .expect("worker spans are re-parented under a dispatch region")
+                as u64;
+            edges.push((
+                names.get(&parent).expect("parent span exists").clone(),
+                format!("{}.{}", str_of(e, "cat"), str_of(e, "name")),
+            ));
+        }
+        edges.sort();
+        edges
+    };
+    let single = edges_for("1");
+    let double = edges_for("2");
+    assert!(!single.is_empty(), "fleet phase must forward worker spans");
+    assert!(
+        single
+            .iter()
+            .all(|(p, c)| p == "dist.task" && c == "worker.task"),
+        "{single:?}"
+    );
+    assert_eq!(
+        single, double,
+        "causal shape must not depend on fleet width"
+    );
+}
+
+/// Satellite: `UNIVSA_TELEMETRY=summary` surfaces the dist-layer and
+/// forwarded per-worker/fleet counters in the summary table on stderr.
+#[test]
+fn summary_mode_reports_fleet_and_worker_counters() {
+    let (_, stderr, ok) = run_cli(
+        &[
+            "search",
+            "--task",
+            "bci3v",
+            "--population",
+            "4",
+            "--generations",
+            "1",
+            "--surrogate",
+            "--workers",
+            "2",
+        ],
+        &[("UNIVSA_TELEMETRY", "summary")],
+    );
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("--- telemetry summary ---"), "{stderr}");
+    assert!(stderr.contains("dist.workers"), "{stderr}");
+    assert!(stderr.contains("fleet.jobs"), "{stderr}");
+    assert!(stderr.contains("worker.0.jobs"), "{stderr}");
+}
+
+/// Chaos safety: with every telemetry batch scrambled in flight, the
+/// corrupt frames are dropped and counted on stderr while stdout stays
+/// bit-identical to the fleet-less baseline.
+#[test]
+fn corrupt_telemetry_chaos_never_perturbs_results() {
+    let base = [
+        "search",
+        "--task",
+        "bci3v",
+        "--population",
+        "4",
+        "--generations",
+        "1",
+        "--seed",
+        "33",
+        "--surrogate",
+    ];
+    let (baseline, _, ok) = run_cli(&base, &[]);
+    assert!(ok);
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--workers", "2", "--chaos", "corrupt-telemetry=1.0,seed=5"]);
+    let (stdout, stderr, ok) = run_cli(&args, &[("UNIVSA_TELEMETRY", "summary")]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout, baseline, "telemetry loss must never change results");
+    let dropped: u64 = stderr
+        .lines()
+        .find_map(|line| {
+            let rest = line.strip_suffix(" telemetry batches dropped")?;
+            rest.rsplit(' ').next()?.parse().ok()
+        })
+        .expect("fleet line reports dropped batches");
+    assert!(dropped >= 1, "every batch was scrambled: {stderr}");
+}
+
 #[test]
 fn cli_errors_exit_nonzero_with_one_line_message() {
     // argument-parse failure

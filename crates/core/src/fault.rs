@@ -524,6 +524,11 @@ pub struct ChaosSpec {
     pub hang: f64,
     /// Probability that a worker corrupts the CRC of its result frame.
     pub corrupt: f64,
+    /// Probability that a worker scrambles the telemetry batch it
+    /// forwards with a task reply (the frame CRC stays valid; the batch
+    /// itself fails to decode — the supervisor must drop and count it
+    /// without touching the job's result).
+    pub corrupt_telemetry: f64,
     /// Probability that a freshly spawned worker sleeps before serving.
     pub slow_start: f64,
     /// Duration of an injected slow start, in milliseconds.
@@ -541,6 +546,7 @@ impl Default for ChaosSpec {
             crash: 0.0,
             hang: 0.0,
             corrupt: 0.0,
+            corrupt_telemetry: 0.0,
             slow_start: 0.0,
             slow_start_ms: 50,
             kill_task: None,
@@ -564,6 +570,7 @@ impl ChaosSpec {
         self.crash == 0.0
             && self.hang == 0.0
             && self.corrupt == 0.0
+            && self.corrupt_telemetry == 0.0
             && self.slow_start == 0.0
             && self.kill_task.is_none()
     }
@@ -578,6 +585,7 @@ impl ChaosSpec {
             ("crash", self.crash),
             ("hang", self.hang),
             ("corrupt", self.corrupt),
+            ("corrupt-telemetry", self.corrupt_telemetry),
             ("slow-start", self.slow_start),
         ] {
             if !p.is_finite() || !(0.0..=1.0).contains(&p) {
@@ -591,7 +599,8 @@ impl ChaosSpec {
 
     /// Parses the `key=value,…` form used by `--chaos` and the
     /// [`CHAOS_ENV_VAR`] environment variable. Keys: `crash`, `hang`,
-    /// `corrupt`, `slow-start`, `slow-start-ms`, `kill-task`, `seed`.
+    /// `corrupt`, `corrupt-telemetry`, `slow-start`, `slow-start-ms`,
+    /// `kill-task`, `seed`.
     ///
     /// # Errors
     ///
@@ -618,6 +627,7 @@ impl ChaosSpec {
                 "crash" => spec.crash = rate()?,
                 "hang" => spec.hang = rate()?,
                 "corrupt" => spec.corrupt = rate()?,
+                "corrupt-telemetry" => spec.corrupt_telemetry = rate()?,
                 "slow-start" => spec.slow_start = rate()?,
                 "slow-start-ms" => spec.slow_start_ms = int()?,
                 "kill-task" => spec.kill_task = Some(int()?),
@@ -625,7 +635,7 @@ impl ChaosSpec {
                 other => {
                     return Err(UniVsaError::Config(format!(
                         "unknown chaos key {other:?} (expected crash, hang, corrupt, \
-                         slow-start, slow-start-ms, kill-task, seed)"
+                         corrupt-telemetry, slow-start, slow-start-ms, kill-task, seed)"
                     )))
                 }
             }
@@ -638,8 +648,14 @@ impl ChaosSpec {
     /// the wire format a supervisor puts in [`CHAOS_ENV_VAR`].
     pub fn render(&self) -> String {
         let mut s = format!(
-            "crash={},hang={},corrupt={},slow-start={},slow-start-ms={},seed={}",
-            self.crash, self.hang, self.corrupt, self.slow_start, self.slow_start_ms, self.seed
+            "crash={},hang={},corrupt={},corrupt-telemetry={},slow-start={},slow-start-ms={},seed={}",
+            self.crash,
+            self.hang,
+            self.corrupt,
+            self.corrupt_telemetry,
+            self.slow_start,
+            self.slow_start_ms,
+            self.seed
         );
         if let Some(id) = self.kill_task {
             s.push_str(&format!(",kill-task={id}"));
@@ -680,6 +696,13 @@ impl ChaosSpec {
     /// Should the worker corrupt the CRC of this attempt's result frame?
     pub fn corrupt_result(&self, task_id: u64, attempt: u64) -> bool {
         self.decide(3, task_id, attempt, self.corrupt)
+    }
+
+    /// Should the worker scramble the telemetry batch flushed with this
+    /// task attempt? (The frame CRC stays valid; the batch itself fails
+    /// to decode, exercising the supervisor's drop-and-count path.)
+    pub fn corrupt_telemetry_batch(&self, task_id: u64, attempt: u64) -> bool {
+        self.decide(5, task_id, attempt, self.corrupt_telemetry)
     }
 
     /// How long a freshly spawned worker should sleep before serving
@@ -986,6 +1009,7 @@ mod tests {
             crash: 0.2,
             hang: 0.1,
             corrupt: 0.05,
+            corrupt_telemetry: 0.15,
             slow_start: 0.5,
             slow_start_ms: 75,
             kill_task: Some(3),

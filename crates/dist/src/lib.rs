@@ -50,5 +50,6 @@ pub use supervisor::{
     SupervisorOptions, WORKERS_ENV_VAR,
 };
 pub use worker::{
-    worker_env_requested, worker_main, CHAOS_CRASH_EXIT, GEN_ENV_VAR, SLOT_ENV_VAR, WORKER_ENV_VAR,
+    serve_worker, worker_env_requested, worker_main, CHAOS_CRASH_EXIT, GEN_ENV_VAR, SLOT_ENV_VAR,
+    TELEMETRY_ENV_VAR, WORKER_ENV_VAR,
 };

@@ -21,6 +21,11 @@ pub enum Message {
     Pong {
         /// The nonce from the [`Message::Ping`] being answered.
         nonce: u64,
+        /// Nanoseconds on the worker's telemetry clock when the pong was
+        /// written — the supervisor pairs it with its own send/receive
+        /// instants to estimate the clock offset that aligns forwarded
+        /// worker spans onto its timeline.
+        clock_ns: u64,
     },
     /// A job dispatch (supervisor → worker).
     Task {
@@ -52,6 +57,18 @@ pub enum Message {
     /// Orderly shutdown request (supervisor → worker); the worker exits
     /// 0 after reading it.
     Shutdown,
+    /// A worker-side telemetry batch (worker → supervisor), flushed
+    /// ahead of each task reply and before shutdown. The payload is a
+    /// [`univsa_telemetry::WorkerBatch`] encoding, kept opaque here so
+    /// the message codec stays independent of the batch codec — a batch
+    /// that fails *its* decode is dropped and counted by the supervisor,
+    /// never an IPC error.
+    Telemetry {
+        /// The sending worker's fleet slot.
+        slot: u32,
+        /// Encoded [`univsa_telemetry::WorkerBatch`] bytes.
+        batch: Vec<u8>,
+    },
 }
 
 const TAG_PING: u8 = 1;
@@ -60,6 +77,7 @@ const TAG_TASK: u8 = 3;
 const TAG_TASK_OK: u8 = 4;
 const TAG_TASK_ERR: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
+const TAG_TELEMETRY: u8 = 7;
 
 impl Message {
     /// Serializes the message into a frame payload.
@@ -70,9 +88,10 @@ impl Message {
                 out.push(TAG_PING);
                 out.extend_from_slice(&nonce.to_le_bytes());
             }
-            Message::Pong { nonce } => {
+            Message::Pong { nonce, clock_ns } => {
                 out.push(TAG_PONG);
                 out.extend_from_slice(&nonce.to_le_bytes());
+                out.extend_from_slice(&clock_ns.to_le_bytes());
             }
             Message::Task {
                 id,
@@ -97,6 +116,11 @@ impl Message {
                 put_bytes(&mut out, message.as_bytes());
             }
             Message::Shutdown => out.push(TAG_SHUTDOWN),
+            Message::Telemetry { slot, batch } => {
+                out.push(TAG_TELEMETRY);
+                out.extend_from_slice(&slot.to_le_bytes());
+                put_bytes(&mut out, batch);
+            }
         }
         out
     }
@@ -112,7 +136,10 @@ impl Message {
         let tag = r.u8()?;
         let message = match tag {
             TAG_PING => Message::Ping { nonce: r.u64()? },
-            TAG_PONG => Message::Pong { nonce: r.u64()? },
+            TAG_PONG => Message::Pong {
+                nonce: r.u64()?,
+                clock_ns: r.u64()?,
+            },
             TAG_TASK => {
                 let id = r.u64()?;
                 let attempt = r.u32()?;
@@ -135,6 +162,10 @@ impl Message {
                 Message::TaskErr { id, message }
             }
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_TELEMETRY => Message::Telemetry {
+                slot: r.u32()?,
+                batch: r.bytes_field()?,
+            },
             other => {
                 return Err(UniVsaError::Ipc(format!("unknown message tag {other}")));
             }
@@ -208,7 +239,10 @@ mod tests {
     fn examples() -> Vec<Message> {
         vec![
             Message::Ping { nonce: 7 },
-            Message::Pong { nonce: u64::MAX },
+            Message::Pong {
+                nonce: u64::MAX,
+                clock_ns: 1_234_567,
+            },
             Message::Task {
                 id: 3,
                 attempt: 2,
@@ -230,6 +264,14 @@ mod tests {
                 message: "invalid configuration: D_H too small".into(),
             },
             Message::Shutdown,
+            Message::Telemetry {
+                slot: 3,
+                batch: vec![1, 0, 255, 42],
+            },
+            Message::Telemetry {
+                slot: 0,
+                batch: Vec::new(),
+            },
         ]
     }
 

@@ -31,7 +31,7 @@ use univsa::{ChaosSpec, UniVsaError, CHAOS_ENV_VAR};
 
 use crate::frame::{read_frame, write_frame, Frame};
 use crate::proto::Message;
-use crate::worker::{GEN_ENV_VAR, SLOT_ENV_VAR, WORKER_ENV_VAR};
+use crate::worker::{GEN_ENV_VAR, SLOT_ENV_VAR, TELEMETRY_ENV_VAR, WORKER_ENV_VAR};
 use crate::JobRegistry;
 
 /// Environment variable the CLI reads for a default fleet size
@@ -127,6 +127,9 @@ pub struct FleetReport {
     pub corrupt_frames: u64,
     /// Jobs that degraded to the in-process pool.
     pub fallback_jobs: u64,
+    /// Forwarded telemetry batches that failed to decode and were
+    /// dropped (chaos-scrambled or truncated; never fails the job).
+    pub telemetry_dropped: u64,
 }
 
 /// Owns the fleet configuration and the job handlers; see
@@ -199,11 +202,17 @@ impl Supervisor {
                 }
             });
             report.workers = fleet;
-            report.spawned = state.counters.spawned.load(Ordering::SeqCst);
-            report.retries = state.counters.retries.load(Ordering::SeqCst);
-            report.timeouts = state.counters.timeouts.load(Ordering::SeqCst);
-            report.crashes = state.counters.crashes.load(Ordering::SeqCst);
-            report.corrupt_frames = state.counters.corrupt_frames.load(Ordering::SeqCst);
+            // Relaxed everywhere on the incident counters: they are
+            // monotonic statistics, never control flow, and the scope
+            // join above already orders these loads after every manager
+            // thread's stores (only `abort` gates behaviour and keeps
+            // SeqCst).
+            report.spawned = state.counters.spawned.load(Ordering::Relaxed);
+            report.retries = state.counters.retries.load(Ordering::Relaxed);
+            report.timeouts = state.counters.timeouts.load(Ordering::Relaxed);
+            report.crashes = state.counters.crashes.load(Ordering::Relaxed);
+            report.corrupt_frames = state.counters.corrupt_frames.load(Ordering::Relaxed);
+            report.telemetry_dropped = state.counters.telemetry_dropped.load(Ordering::Relaxed);
             if let Some(message) = state.first_error.into_inner().expect("error lock") {
                 return Err(UniVsaError::Worker(message));
             }
@@ -287,6 +296,7 @@ struct Counters {
     timeouts: AtomicU64,
     crashes: AtomicU64,
     corrupt_frames: AtomicU64,
+    telemetry_dropped: AtomicU64,
 }
 
 /// Shared state the manager threads operate on.
@@ -357,7 +367,8 @@ impl FleetState<'_> {
                     match self.spawn_worker(slot, generation) {
                         Ok(handle) => {
                             generation += 1;
-                            self.counters.spawned.fetch_add(1, Ordering::SeqCst);
+                            // Relaxed: monotonic statistic, see run_jobs
+                            self.counters.spawned.fetch_add(1, Ordering::Relaxed);
                             univsa_telemetry::counter("dist.spawns", 1);
                             worker = Some(handle);
                         }
@@ -371,12 +382,16 @@ impl FleetState<'_> {
                 }
                 let handle = worker.as_mut().expect("spawned above");
                 let job = &self.jobs[attempt.job];
-                let _task_region = tracing.then(|| {
+                let task_region = tracing.then(|| {
                     univsa_telemetry::trace_region("dist", "task")
                         .field("job", attempt.job as u64)
                         .field("attempt", u64::from(attempt.attempt))
                 });
-                let delivery = self.deliver(handle, attempt, job);
+                // forwarded worker spans re-parent under this open
+                // dispatch region in the merged timeline
+                let parent = task_region.as_ref().and_then(|r| r.trace_id());
+                let delivery = self.deliver(slot, handle, attempt, job, parent);
+                drop(task_region);
                 match delivery {
                     Delivery::Done(bytes) => {
                         self.results.lock().expect("results lock")[attempt.job] = Some(bytes);
@@ -397,8 +412,14 @@ impl FleetState<'_> {
                             ));
                             break 'steal;
                         }
-                        self.counters.retries.fetch_add(1, Ordering::SeqCst);
+                        // Relaxed: monotonic statistic, see run_jobs
+                        self.counters.retries.fetch_add(1, Ordering::Relaxed);
                         univsa_telemetry::counter("dist.retries", 1);
+                        // retries are a supervisor-side observation (the
+                        // worker that caused one may be dead), so the
+                        // per-slot lane is charged here rather than in
+                        // the worker's own forwarded batch
+                        univsa_telemetry::counter(&format!("worker.{slot}.retries"), 1);
                         attempt.attempt += 1;
                     }
                 }
@@ -408,13 +429,23 @@ impl FleetState<'_> {
             if self.aborted() {
                 kill_and_reap(handle);
             } else {
-                shutdown_worker(handle);
+                self.shutdown_worker(slot, handle);
             }
         }
     }
 
-    /// Ships one task to a live worker and waits for its fate.
-    fn deliver(&self, handle: &mut WorkerHandle, attempt: Attempt, job: &Job) -> Delivery {
+    /// Ships one task to a live worker and waits for its fate,
+    /// absorbing any [`Message::Telemetry`] batches the worker flushes
+    /// ahead of its reply (they re-parent under `parent`, the open
+    /// `dist.task` region).
+    fn deliver(
+        &self,
+        slot: usize,
+        handle: &mut WorkerHandle,
+        attempt: Attempt,
+        job: &Job,
+        parent: Option<u64>,
+    ) -> Delivery {
         let message = Message::Task {
             id: attempt.job as u64,
             attempt: attempt.attempt,
@@ -422,39 +453,112 @@ impl FleetState<'_> {
             payload: job.payload.clone(),
         };
         if write_frame(&mut handle.stdin, &message.encode()).is_err() {
-            self.counters.crashes.fetch_add(1, Ordering::SeqCst);
+            // Relaxed (here and below): monotonic statistics, see run_jobs
+            self.counters.crashes.fetch_add(1, Ordering::Relaxed);
             univsa_telemetry::counter("dist.crashes", 1);
             return Delivery::Retry("worker pipe closed before dispatch".into());
         }
-        match handle.replies.recv_timeout(self.options.task_deadline) {
-            Ok(Ok(Message::TaskOk { id, payload })) if id == attempt.job as u64 => {
-                Delivery::Done(payload)
+        let deadline = Instant::now() + self.options.task_deadline;
+        loop {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            return match handle.replies.recv_timeout(wait) {
+                Ok(Ok(Message::Telemetry { batch, .. })) => {
+                    // telemetry never consumes the task deadline budget
+                    // beyond the time it took to arrive
+                    self.absorb_telemetry(slot, &batch, handle.clock_offset_ns, parent);
+                    continue;
+                }
+                Ok(Ok(Message::TaskOk { id, payload })) if id == attempt.job as u64 => {
+                    Delivery::Done(payload)
+                }
+                Ok(Ok(Message::TaskErr { message, .. })) => Delivery::Fatal(message),
+                Ok(Ok(unexpected)) => {
+                    self.counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    univsa_telemetry::counter("dist.corrupt_frames", 1);
+                    Delivery::Retry(format!("protocol violation: unexpected {unexpected:?}"))
+                }
+                Ok(Err(frame_error)) => {
+                    self.counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    univsa_telemetry::counter("dist.corrupt_frames", 1);
+                    Delivery::Retry(frame_error.to_string())
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    univsa_telemetry::counter("dist.timeouts", 1);
+                    Delivery::Retry(format!(
+                        "no reply within the {:?} task deadline",
+                        self.options.task_deadline
+                    ))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.counters.crashes.fetch_add(1, Ordering::Relaxed);
+                    univsa_telemetry::counter("dist.crashes", 1);
+                    Delivery::Retry("worker exited before replying".into())
+                }
+            };
+        }
+    }
+
+    /// Decodes and merges one forwarded telemetry batch; a batch that
+    /// fails its codec is dropped and counted, never an error — the
+    /// job's fate is decided solely by its reply frame.
+    fn absorb_telemetry(
+        &self,
+        slot: usize,
+        batch_bytes: &[u8],
+        clock_offset_ns: i64,
+        parent: Option<u64>,
+    ) {
+        match univsa_telemetry::WorkerBatch::decode(batch_bytes) {
+            Ok(batch) => {
+                univsa_telemetry::absorb_worker_batch(slot as u32, &batch, clock_offset_ns, parent);
             }
-            Ok(Ok(Message::TaskErr { message, .. })) => Delivery::Fatal(message),
-            Ok(Ok(unexpected)) => {
-                self.counters.corrupt_frames.fetch_add(1, Ordering::SeqCst);
-                univsa_telemetry::counter("dist.corrupt_frames", 1);
-                Delivery::Retry(format!("protocol violation: unexpected {unexpected:?}"))
-            }
-            Ok(Err(frame_error)) => {
-                self.counters.corrupt_frames.fetch_add(1, Ordering::SeqCst);
-                univsa_telemetry::counter("dist.corrupt_frames", 1);
-                Delivery::Retry(frame_error.to_string())
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                self.counters.timeouts.fetch_add(1, Ordering::SeqCst);
-                univsa_telemetry::counter("dist.timeouts", 1);
-                Delivery::Retry(format!(
-                    "no reply within the {:?} task deadline",
-                    self.options.task_deadline
-                ))
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                self.counters.crashes.fetch_add(1, Ordering::SeqCst);
-                univsa_telemetry::counter("dist.crashes", 1);
-                Delivery::Retry("worker exited before replying".into())
+            Err(_) => {
+                // Relaxed: monotonic statistic, see run_jobs
+                self.counters
+                    .telemetry_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+                univsa_telemetry::counter("dist.telemetry_dropped", 1);
             }
         }
+    }
+
+    /// Asks a worker to exit, absorbing the final telemetry batch it
+    /// flushes on shutdown, then reaps it (escalating to a kill if it
+    /// lingers past a short grace period).
+    fn shutdown_worker(&self, slot: usize, handle: WorkerHandle) {
+        let WorkerHandle {
+            mut child,
+            mut stdin,
+            replies,
+            reader,
+            clock_offset_ns,
+        } = handle;
+        let _ = write_frame(&mut stdin, &Message::Shutdown.encode());
+        drop(stdin);
+        // drain until the worker closes its pipe (bounded by the reaper
+        // below): the shutdown-flush telemetry batch arrives here
+        while let Ok(Ok(message)) = replies.recv_timeout(Duration::from_secs(2)) {
+            if let Message::Telemetry { batch, .. } = message {
+                self.absorb_telemetry(slot, &batch, clock_offset_ns, None);
+            }
+        }
+        drop(replies);
+        let grace_until = Instant::now() + Duration::from_secs(2);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < grace_until => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+        let _ = reader.join();
     }
 
     /// Spawns a worker for `slot`, wires up its reader thread, and
@@ -472,6 +576,13 @@ impl FleetState<'_> {
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
+        if univsa_telemetry::enabled() {
+            // our telemetry is on: have the worker capture and forward
+            command.env(TELEMETRY_ENV_VAR, "1");
+        } else {
+            // zero-overhead-off: no capture, no telemetry frames at all
+            command.env_remove(TELEMETRY_ENV_VAR);
+        }
         if self.options.chaos.is_noop() {
             command.env_remove(CHAOS_ENV_VAR);
         } else {
@@ -508,13 +619,27 @@ impl FleetState<'_> {
             stdin,
             replies,
             reader,
+            clock_offset_ns: 0,
         };
         let nonce = mix(generation ^ (slot as u64).rotate_left(48));
+        // the ping doubles as a clock-alignment probe: assume the pong's
+        // worker timestamp was taken at the midpoint of our round trip,
+        // so offset = our midpoint − worker clock (add it to a worker
+        // timestamp to land on the supervisor timeline)
+        let t0 = univsa_telemetry::clock_ns();
         let handshake = write_frame(&mut handle.stdin, &Message::Ping { nonce }.encode()).is_ok()
-            && matches!(
-                handle.replies.recv_timeout(self.options.spawn_deadline),
-                Ok(Ok(Message::Pong { nonce: echoed })) if echoed == nonce
-            );
+            && match handle.replies.recv_timeout(self.options.spawn_deadline) {
+                Ok(Ok(Message::Pong {
+                    nonce: echoed,
+                    clock_ns,
+                })) if echoed == nonce => {
+                    let t1 = univsa_telemetry::clock_ns();
+                    let midpoint = t0 + (t1 - t0) / 2;
+                    handle.clock_offset_ns = midpoint as i64 - clock_ns as i64;
+                    true
+                }
+                _ => false,
+            };
         if !handshake {
             kill_and_reap(handle);
             return Err(UniVsaError::Io(format!(
@@ -532,6 +657,9 @@ struct WorkerHandle {
     stdin: ChildStdin,
     replies: Receiver<Result<Message, UniVsaError>>,
     reader: std::thread::JoinHandle<()>,
+    /// Supervisor-clock minus worker-clock estimate from the handshake;
+    /// added to forwarded span timestamps to merge the timelines.
+    clock_offset_ns: i64,
 }
 
 /// Hard-stops a worker and collects every resource: pipe, process
@@ -542,40 +670,12 @@ fn kill_and_reap(handle: WorkerHandle) {
         stdin,
         replies,
         reader,
+        ..
     } = handle;
     drop(stdin);
     drop(replies);
     let _ = child.kill();
     let _ = child.wait();
-    let _ = reader.join();
-}
-
-/// Asks a worker to exit, reaps it, and escalates to a kill if it
-/// lingers past a short grace period.
-fn shutdown_worker(handle: WorkerHandle) {
-    let WorkerHandle {
-        mut child,
-        mut stdin,
-        replies,
-        reader,
-    } = handle;
-    let _ = write_frame(&mut stdin, &Message::Shutdown.encode());
-    drop(stdin);
-    drop(replies);
-    let grace_until = Instant::now() + Duration::from_secs(2);
-    loop {
-        match child.try_wait() {
-            Ok(Some(_)) => break,
-            Ok(None) if Instant::now() < grace_until => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            _ => {
-                let _ = child.kill();
-                let _ = child.wait();
-                break;
-            }
-        }
-    }
     let _ = reader.join();
 }
 

@@ -13,6 +13,7 @@ use univsa_dist::{
     HEADER_LEN,
 };
 use univsa_search::Genome;
+use univsa_telemetry::{WorkerBatch, WorkerSpan};
 
 fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
     (0usize..600).prop_flat_map(|n| proptest::collection::vec(any::<u8>(), n))
@@ -114,6 +115,71 @@ proptest! {
     fn message_decode_never_panics_on_garbage(bytes in arb_payload()) {
         // decoding arbitrary bytes must return, not panic
         let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn telemetry_messages_round_trip(slot in any::<u32>(), batch in arb_payload()) {
+        let message = Message::Telemetry { slot, batch };
+        prop_assert_eq!(Message::decode(&message.encode()).unwrap(), message);
+    }
+
+    #[test]
+    fn telemetry_message_corruption_is_a_typed_error(
+        slot in any::<u32>(),
+        batch in (1usize..300).prop_flat_map(|n| proptest::collection::vec(any::<u8>(), n)),
+        cut in any::<u64>(),
+    ) {
+        let full = Message::Telemetry { slot, batch }.encode();
+        let cut = (cut % full.len() as u64) as usize;
+        match Message::decode(&full[..cut]) {
+            Err(UniVsaError::Ipc(_)) => {}
+            other => panic!("cut at {cut}/{} gave {other:?}", full.len()),
+        }
+    }
+
+    #[test]
+    fn worker_batch_round_trips(
+        dropped in any::<u64>(),
+        net_bytes in any::<i64>(),
+        alloc_count in any::<u64>(),
+        peak_bytes in any::<u64>(),
+        counters in proptest::collection::vec((any::<u8>(), any::<u64>()), 0usize..8),
+        spans in proptest::collection::vec(
+            (any::<u64>(), any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0usize..8,
+        ),
+    ) {
+        let batch = WorkerBatch {
+            clock_ns: 42,
+            dropped,
+            net_bytes,
+            alloc_count,
+            peak_bytes,
+            counters: counters
+                .into_iter()
+                .map(|(tag, value)| (format!("counter.{tag}"), value))
+                .collect(),
+            spans: spans
+                .into_iter()
+                .map(|(id, has_parent, parent, start_ns, dur_ns)| WorkerSpan {
+                    id,
+                    parent: has_parent.then_some(parent),
+                    lane: "main".into(),
+                    layer: "worker".into(),
+                    name: "task".into(),
+                    start_ns,
+                    dur_ns,
+                })
+                .collect(),
+        };
+        prop_assert_eq!(WorkerBatch::decode(&batch.encode()).unwrap(), batch);
+    }
+
+    #[test]
+    fn worker_batch_decode_never_panics_on_garbage(bytes in arb_payload()) {
+        // the supervisor feeds untrusted worker bytes straight into this
+        // decoder; every outcome must be a value, never a panic
+        let _ = WorkerBatch::decode(&bytes);
     }
 
     #[test]

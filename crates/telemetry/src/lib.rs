@@ -41,11 +41,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod forward;
 mod histogram;
 mod mem;
 mod registry;
 mod trace;
 
+pub use forward::{WorkerBatch, WorkerSpan};
 pub use histogram::{Histogram, BUCKET_BOUNDS_NS};
 pub use mem::{
     absorb_worker_alloc, enable_mem_tracking, mem_stats, mem_tracking_enabled, reset_peak,
@@ -54,7 +56,7 @@ pub use mem::{
 pub use registry::{MemAgg, Mode, Registry, Span, TraceRegion, Value};
 pub use trace::{
     chrome_trace_json, current_context, current_lane, enter_context, enter_lane, ContextGuard,
-    CounterSample, LaneGuard, Recorder, TraceContext, TraceEvent, VirtualEvent,
+    CounterSample, LaneGuard, Recorder, TraceContext, TraceEvent, VirtualEvent, WorkerTraceEvent,
     DEFAULT_TRACE_CAPACITY,
 };
 
@@ -136,6 +138,40 @@ pub fn span(layer: &'static str, name: &'static str) -> Span<'static> {
 /// Adds `delta` to a named counter on the global registry.
 pub fn counter(name: &str, delta: u64) {
     global().counter(name, delta);
+}
+
+/// Raises a named counter on the global registry to at least `value`
+/// (the high-water-mark shape; see [`Registry::counter_max`]).
+pub fn counter_max(name: &str, value: u64) {
+    global().counter_max(name, value);
+}
+
+/// Value of a counter on the global registry (0 when never written).
+pub fn counter_value(name: &str) -> u64 {
+    global().counter_value(name)
+}
+
+/// Nanoseconds since the global registry was created (the clock worker
+/// telemetry batches and fleet handshake offsets are expressed in).
+pub fn clock_ns() -> u64 {
+    global().clock_ns()
+}
+
+/// Drains the global registry's accumulated counters and spans into a
+/// forwardable [`WorkerBatch`] (see [`Registry::take_worker_batch`]).
+pub fn take_worker_batch() -> WorkerBatch {
+    global().take_worker_batch()
+}
+
+/// Merges a fleet worker's forwarded batch into the global registry
+/// (see [`Registry::absorb_worker_batch`]).
+pub fn absorb_worker_batch(
+    slot: u32,
+    batch: &WorkerBatch,
+    clock_offset_ns: i64,
+    parent: Option<u64>,
+) {
+    global().absorb_worker_batch(slot, batch, clock_offset_ns, parent);
 }
 
 /// Records a duration into a named histogram on the global registry.

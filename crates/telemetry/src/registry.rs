@@ -8,10 +8,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::forward::{WorkerBatch, WorkerSpan};
 use crate::histogram::Histogram;
 use crate::mem::{self, AllocDelta, AllocMark};
 use crate::trace::{
-    self, CounterSample, Recorder, TraceEvent, VirtualEvent, DEFAULT_TRACE_CAPACITY,
+    self, CounterSample, Recorder, TraceEvent, VirtualEvent, WorkerTraceEvent,
+    DEFAULT_TRACE_CAPACITY,
 };
 
 /// What the registry does with recorded data.
@@ -527,6 +529,145 @@ impl Registry {
         let _pause = mem::suspend_attribution();
         let mut state = self.state.lock().expect("telemetry state poisoned");
         *state.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Raises a named counter to at least `value` — the high-water-mark
+    /// shape (peak bytes, fleet size) where `+=` would be meaningless.
+    pub fn counter_max(&self, name: &str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let _pause = mem::suspend_attribution();
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        let entry = state.counters.entry(name.to_string()).or_insert(0);
+        *entry = (*entry).max(value);
+    }
+
+    /// Nanoseconds since this registry was created — the clock worker
+    /// batch timestamps and handshake offset estimates are expressed in.
+    pub fn clock_ns(&self) -> u64 {
+        self.now_ns()
+    }
+
+    /// Drains everything a fleet worker accumulated since the previous
+    /// drain into a forwardable [`WorkerBatch`]: counter deltas, the
+    /// completed spans in the flight recorder, and the recorder's drop
+    /// count. Recording continues — the next batch picks up where this
+    /// one ended. Allocation fields come back zeroed; the worker loop
+    /// fills them from its own allocator-ledger deltas.
+    pub fn take_worker_batch(&self) -> WorkerBatch {
+        let _pause = mem::suspend_attribution();
+        let clock_ns = self.now_ns();
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        let counters: Vec<(String, u64)> =
+            std::mem::take(&mut state.counters).into_iter().collect();
+        let mut spans = Vec::new();
+        let mut dropped = 0;
+        if let Some(rec) = state.recorder.as_mut() {
+            let events = std::mem::take(&mut rec.events);
+            spans.reserve(events.len());
+            for e in events {
+                spans.push(WorkerSpan {
+                    id: e.id,
+                    parent: e.parent,
+                    lane: rec
+                        .lanes
+                        .get(e.lane as usize)
+                        .cloned()
+                        .unwrap_or_else(|| "main".to_string()),
+                    layer: e.layer.to_string(),
+                    name: e.name.to_string(),
+                    start_ns: e.start_ns,
+                    dur_ns: e.dur_ns,
+                });
+            }
+            // batches carry wall-clock spans only; virtual/heap traffic
+            // would duplicate what the supervisor already measures
+            rec.virtual_events.clear();
+            rec.counter_samples.clear();
+            dropped = std::mem::take(&mut rec.dropped);
+        }
+        WorkerBatch {
+            clock_ns,
+            dropped,
+            net_bytes: 0,
+            alloc_count: 0,
+            peak_bytes: 0,
+            counters,
+            spans,
+        }
+    }
+
+    /// Merges a worker's forwarded batch into this (supervisor-side)
+    /// registry. Counters are re-keyed under `worker.<slot>.` and rolled
+    /// up under `fleet.`; allocation stats feed matching counters, with
+    /// peaks folded in by `max`. While the flight recorder is collecting,
+    /// spans are re-mapped into this registry's id space, shifted onto
+    /// its clock by `clock_offset_ns` (the handshake estimate), and —
+    /// when they had no in-worker parent — parented under `parent`, the
+    /// supervisor's dispatching task region. No-op when telemetry is off.
+    pub fn absorb_worker_batch(
+        &self,
+        slot: u32,
+        batch: &WorkerBatch,
+        clock_offset_ns: i64,
+        parent: Option<u64>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let _pause = mem::suspend_attribution();
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        for (name, delta) in &batch.counters {
+            *state
+                .counters
+                .entry(format!("worker.{slot}.{name}"))
+                .or_insert(0) += delta;
+            *state.counters.entry(format!("fleet.{name}")).or_insert(0) += delta;
+        }
+        if batch.alloc_count > 0 {
+            *state
+                .counters
+                .entry(format!("worker.{slot}.alloc_count"))
+                .or_insert(0) += batch.alloc_count;
+            *state
+                .counters
+                .entry("fleet.alloc_count".to_string())
+                .or_insert(0) += batch.alloc_count;
+        }
+        if batch.peak_bytes > 0 {
+            for key in [
+                format!("worker.{slot}.peak_alloc_bytes"),
+                "fleet.peak_alloc_bytes".to_string(),
+            ] {
+                let entry = state.counters.entry(key).or_insert(0);
+                *entry = (*entry).max(batch.peak_bytes);
+            }
+        }
+        if let Some(rec) = state.recorder.as_mut() {
+            let mut remap: BTreeMap<u64, u64> = BTreeMap::new();
+            for span in &batch.spans {
+                remap.insert(span.id, self.next_span_id.fetch_add(1, Ordering::Relaxed));
+            }
+            for span in &batch.spans {
+                let start_ns = if clock_offset_ns >= 0 {
+                    span.start_ns.saturating_add(clock_offset_ns as u64)
+                } else {
+                    span.start_ns.saturating_sub(clock_offset_ns.unsigned_abs())
+                };
+                rec.record_worker(WorkerTraceEvent {
+                    slot,
+                    id: remap[&span.id],
+                    parent: span.parent.and_then(|p| remap.get(&p).copied()).or(parent),
+                    lane: span.lane.clone(),
+                    layer: span.layer.clone(),
+                    name: span.name.clone(),
+                    start_ns,
+                    dur_ns: span.dur_ns,
+                });
+            }
+            rec.dropped += batch.dropped;
+        }
     }
 
     /// Records a duration into the named latency histogram without a span.
@@ -1131,6 +1272,122 @@ mod tests {
         let inner_line = buf.lines().find(|l| l.contains("\"inner\"")).unwrap();
         assert!(inner_line.contains("\"id\":"), "{inner_line}");
         assert!(inner_line.contains("\"parent\":"), "{inner_line}");
+    }
+
+    #[test]
+    fn counter_max_keeps_the_high_water_mark() {
+        let reg = Registry::summary();
+        reg.counter_max("peak", 100);
+        reg.counter_max("peak", 40);
+        assert_eq!(reg.counter_value("peak"), 100);
+        reg.counter_max("peak", 250);
+        assert_eq!(reg.counter_value("peak"), 250);
+        let off = Registry::disabled();
+        off.counter_max("peak", 9);
+        assert_eq!(off.counter_value("peak"), 0);
+    }
+
+    #[test]
+    fn worker_batch_drains_counters_and_spans_but_keeps_recording() {
+        let reg = Registry::disabled();
+        reg.enable_tracing(64);
+        {
+            let outer = reg.span("worker", "task");
+            assert!(outer.is_recording());
+            let _inner = reg.trace_region("infer", "encoding");
+        }
+        reg.counter("jobs", 1);
+        let batch = reg.take_worker_batch();
+        assert!(reg.is_tracing(), "draining must not stop the recorder");
+        assert_eq!(batch.counters, vec![("jobs".to_string(), 1)]);
+        assert_eq!(batch.spans.len(), 2);
+        let outer = batch.spans.iter().find(|s| s.name == "task").unwrap();
+        let inner = batch.spans.iter().find(|s| s.name == "encoding").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.lane, "main");
+        // the next drain starts empty
+        let next = reg.take_worker_batch();
+        assert!(next.counters.is_empty() && next.spans.is_empty());
+        assert!(next.clock_ns >= batch.clock_ns);
+    }
+
+    #[test]
+    fn absorbing_a_batch_remaps_ids_prefixes_counters_and_shifts_clocks() {
+        let reg = Registry::disabled();
+        reg.enable_tracing(64);
+        let batch = WorkerBatch {
+            clock_ns: 50,
+            dropped: 3,
+            net_bytes: 512,
+            alloc_count: 9,
+            peak_bytes: 4096,
+            counters: vec![("jobs".into(), 2)],
+            spans: vec![
+                WorkerSpan {
+                    id: 1,
+                    parent: None,
+                    lane: "main".into(),
+                    layer: "worker".into(),
+                    name: "task".into(),
+                    start_ns: 10,
+                    dur_ns: 30,
+                },
+                WorkerSpan {
+                    id: 2,
+                    parent: Some(1),
+                    lane: "main".into(),
+                    layer: "infer".into(),
+                    name: "encoding".into(),
+                    start_ns: 15,
+                    dur_ns: 5,
+                },
+            ],
+        };
+        reg.absorb_worker_batch(4, &batch, 1_000, Some(77));
+        assert_eq!(reg.counter_value("worker.4.jobs"), 2);
+        assert_eq!(reg.counter_value("fleet.jobs"), 2);
+        assert_eq!(reg.counter_value("worker.4.alloc_count"), 9);
+        assert_eq!(reg.counter_value("fleet.peak_alloc_bytes"), 4096);
+        // a second batch rolls counts up and maxes peaks
+        reg.absorb_worker_batch(4, &batch, 1_000, Some(77));
+        assert_eq!(reg.counter_value("fleet.jobs"), 4);
+        assert_eq!(reg.counter_value("worker.4.peak_alloc_bytes"), 4096);
+        let rec = reg.take_recorder();
+        assert_eq!(rec.worker_events.len(), 4);
+        assert_eq!(rec.dropped, 6);
+        let task = &rec.worker_events[0];
+        let inner = &rec.worker_events[1];
+        assert_eq!(task.slot, 4);
+        assert_eq!(
+            task.parent,
+            Some(77),
+            "rootless spans adopt the dispatch region"
+        );
+        assert_eq!(
+            inner.parent,
+            Some(task.id),
+            "in-worker edges survive the remap"
+        );
+        let ids: std::collections::BTreeSet<u64> = rec.worker_events.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 4, "remapped ids stay unique across batches");
+        assert_eq!(task.start_ns, 1_010, "clock offset applied");
+        // negative offsets clamp at the epoch instead of wrapping
+        reg.enable_tracing(64);
+        reg.absorb_worker_batch(0, &batch, -1_000_000, None);
+        let rec = reg.take_recorder();
+        assert_eq!(rec.worker_events[0].start_ns, 0);
+        assert_eq!(rec.worker_events[0].parent, None);
+    }
+
+    #[test]
+    fn absorbing_into_a_disabled_registry_is_a_no_op() {
+        let reg = Registry::disabled();
+        let batch = WorkerBatch {
+            counters: vec![("jobs".into(), 2)],
+            ..WorkerBatch::default()
+        };
+        reg.absorb_worker_batch(0, &batch, 0, None);
+        assert_eq!(reg.counter_value("fleet.jobs"), 0);
     }
 
     #[test]

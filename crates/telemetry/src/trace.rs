@@ -181,6 +181,32 @@ pub struct CounterSample {
     pub peak_bytes: u64,
 }
 
+/// One span that ran inside a fleet worker *process*, absorbed into the
+/// supervisor's recorder from a forwarded telemetry batch. Unlike
+/// [`TraceEvent`] the labels are owned strings (they crossed a process
+/// boundary) and `start_ns` has already been shifted onto the
+/// supervisor's timeline by the handshake clock-offset estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerTraceEvent {
+    /// Fleet slot index the worker occupied (drives the Chrome pid).
+    pub slot: u32,
+    /// Span id, re-mapped into the supervisor registry's id space.
+    pub id: u64,
+    /// Causal parent: another worker span (re-mapped) or the
+    /// supervisor's dispatching `dist.task` region.
+    pub parent: Option<u64>,
+    /// Lane label inside the worker process (usually `main`).
+    pub lane: String,
+    /// Layer label.
+    pub layer: String,
+    /// Span name within the layer.
+    pub name: String,
+    /// Nanoseconds on the *supervisor's* clock at span start.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
 /// The bounded in-memory flight recorder: wall-clock events, virtual-time
 /// events, heap counter samples, and the lane table.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -193,6 +219,8 @@ pub struct Recorder {
     pub virtual_events: Vec<VirtualEvent>,
     /// Heap counter samples, in emission order.
     pub counter_samples: Vec<CounterSample>,
+    /// Spans forwarded from fleet worker processes, in absorption order.
+    pub worker_events: Vec<WorkerTraceEvent>,
     /// Lane labels; [`TraceEvent::lane`] indexes this table.
     pub lanes: Vec<String>,
     /// Events discarded after the recorder filled up.
@@ -209,7 +237,10 @@ impl Recorder {
     }
 
     fn len(&self) -> usize {
-        self.events.len() + self.virtual_events.len() + self.counter_samples.len()
+        self.events.len()
+            + self.virtual_events.len()
+            + self.counter_samples.len()
+            + self.worker_events.len()
     }
 
     /// Interns a lane label, returning its index.
@@ -243,6 +274,14 @@ impl Recorder {
             return;
         }
         self.counter_samples.push(sample);
+    }
+
+    pub(crate) fn record_worker(&mut self, event: WorkerTraceEvent) {
+        if self.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.worker_events.push(event);
     }
 }
 
@@ -382,6 +421,62 @@ pub fn chrome_trace_json(recorder: &Recorder) -> String {
         }
     }
 
+    // fleet worker processes: one Chrome pid per worker slot
+    // (pid = 100 + slot keeps them clear of pid 1/2), with the worker's
+    // own lanes as threads. Timestamps were aligned to the supervisor
+    // clock at absorption, so these rows share pid 1's timeline.
+    if !recorder.worker_events.is_empty() {
+        let mut slots: Vec<u32> = recorder.worker_events.iter().map(|e| e.slot).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        let mut threads: Vec<(u32, &str)> = Vec::new();
+        for slot in &slots {
+            push_line(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\"args\":{{\"name\":\"univsa worker {slot}\"}}}}",
+                100 + slot
+            );
+        }
+        for e in &recorder.worker_events {
+            if !threads.contains(&(e.slot, e.lane.as_str())) {
+                threads.push((e.slot, &e.lane));
+                let tid = threads.len() - 1;
+                push_line(&mut out, &mut first);
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":",
+                    100 + e.slot
+                );
+                write_json_str(&mut out, &e.lane);
+                out.push_str("}}");
+            }
+        }
+        for e in &recorder.worker_events {
+            let tid = threads
+                .iter()
+                .position(|t| *t == (e.slot, e.lane.as_str()))
+                .expect("thread interned above");
+            push_line(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{tid},\"cat\":",
+                100 + e.slot
+            );
+            write_json_str(&mut out, &e.layer);
+            out.push_str(",\"name\":");
+            write_json_str(&mut out, &e.name);
+            let _ = write!(
+                out,
+                ",\"ts\":{:.3},\"dur\":{:.3},\"args\":",
+                e.start_ns as f64 / 1e3,
+                e.dur_ns as f64 / 1e3
+            );
+            write_args(&mut out, e.id, e.parent, &[]);
+            out.push('}');
+        }
+    }
+
     if recorder.dropped > 0 {
         push_line(&mut out, &mut first);
         let _ = write!(
@@ -501,6 +596,68 @@ mod tests {
         assert!(json.contains("\"ts\":640"), "{json}");
         // no overflow note when nothing was dropped
         assert!(!json.contains("trace_buffer_overflow"), "{json}");
+    }
+
+    #[test]
+    fn chrome_json_gives_each_worker_slot_a_pid() {
+        let mut rec = Recorder::with_capacity(64);
+        let main = rec.lane_id("main");
+        rec.record(TraceEvent {
+            id: 1,
+            parent: None,
+            lane: main,
+            layer: "dist",
+            name: "task",
+            start_ns: 1_000,
+            dur_ns: 9_000,
+            fields: vec![],
+        });
+        for slot in [0u32, 2] {
+            rec.record_worker(WorkerTraceEvent {
+                slot,
+                id: 10 + u64::from(slot),
+                parent: Some(1),
+                lane: "main".into(),
+                layer: "worker".into(),
+                name: "task".into(),
+                start_ns: 2_000,
+                dur_ns: 3_000,
+            });
+        }
+        let json = chrome_trace_json(&rec);
+        assert!(json.contains("\"name\":\"univsa worker 0\""), "{json}");
+        assert!(json.contains("\"name\":\"univsa worker 2\""), "{json}");
+        assert!(json.contains("\"pid\":100"), "{json}");
+        assert!(json.contains("\"pid\":102"), "{json}");
+        // worker spans carry their re-mapped causal parent
+        assert!(json.contains("\"parent\":1"), "{json}");
+    }
+
+    #[test]
+    fn worker_events_count_against_the_capacity_bound() {
+        let mut rec = Recorder::with_capacity(1);
+        rec.record_worker(WorkerTraceEvent {
+            slot: 0,
+            id: 1,
+            parent: None,
+            lane: "main".into(),
+            layer: "worker".into(),
+            name: "kept".into(),
+            start_ns: 0,
+            dur_ns: 1,
+        });
+        rec.record_worker(WorkerTraceEvent {
+            slot: 0,
+            id: 2,
+            parent: None,
+            lane: "main".into(),
+            layer: "worker".into(),
+            name: "dropped".into(),
+            start_ns: 0,
+            dur_ns: 1,
+        });
+        assert_eq!(rec.worker_events.len(), 1);
+        assert_eq!(rec.dropped, 1);
     }
 
     #[test]
