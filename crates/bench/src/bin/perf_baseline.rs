@@ -9,6 +9,19 @@
 //! * simulated hardware cycles (single-sample latency, initiation
 //!   interval, streamed-schedule makespan).
 //!
+//! Schema `univsa-perf-baseline/v5` measures both inference engines:
+//! `latency_us` stays the reference stage-by-stage path (so the column
+//! remains comparable across every report version), while
+//! `latency_packed_us` times the same test split through the
+//! ahead-of-time compiled [`univsa::PackedModel`] (SIMD XNOR+popcount
+//! slabs). The top-level `infer_engine` field names the engine
+//! `Model::evaluate` uses in this build ("packed") and `kernel_tier`
+//! records the SIMD dispatch tier that was active while measuring.
+//! The `univsa bench-diff` sentinel gates packed p99 against reference
+//! p99 *within* a v5 report. Accuracy and cycle figures are computed
+//! exactly as before, so regenerating an older baseline as v5 leaves
+//! them bit-identical.
+//!
 //! Schema `univsa-perf-baseline/v4` additionally records the process
 //! peak RSS (`peak_rss_bytes`, from `/proc/self/status` on Linux, `null`
 //! elsewhere) and, per task, the counting-allocator figures — peak heap
@@ -49,7 +62,7 @@
 use std::time::Instant;
 
 use univsa::json::Json;
-use univsa::{FootprintAudit, UniVsaError, UniVsaTrainer};
+use univsa::{FootprintAudit, PackedModel, UniVsaError, UniVsaTrainer};
 use univsa_bench::{
     all_tasks, finish_telemetry, harness_train_options_for, paper_config, progress, quick_mode,
 };
@@ -177,6 +190,18 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniV
     latencies_ns.sort_unstable();
     let mean_ns = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64;
 
+    // the same split through the compiled packed engine (compile cost is
+    // paid once, outside the timed loop — deployment amortizes it too)
+    let packed = PackedModel::compile(&outcome.model);
+    let mut packed_ns: Vec<u64> = Vec::with_capacity(task.test.len());
+    for sample in task.test.samples() {
+        let t = Instant::now();
+        let _ = packed.infer(&sample.values)?;
+        packed_ns.push(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    packed_ns.sort_unstable();
+    let packed_mean_ns = packed_ns.iter().sum::<u64>() as f64 / packed_ns.len() as f64;
+
     let pipeline = Pipeline::new(HwConfig::new(outcome.model.config()));
     let trace = pipeline.schedule(HW_STREAM_SAMPLES);
 
@@ -211,6 +236,24 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniV
                 (
                     "p99".into(),
                     num_f(percentile(&latencies_ns, 0.99) as f64 / 1e3),
+                ),
+            ]),
+        ),
+        (
+            "latency_packed_us".into(),
+            Json::Obj(vec![
+                ("mean".into(), num_f(packed_mean_ns / 1e3)),
+                (
+                    "p50".into(),
+                    num_f(percentile(&packed_ns, 0.50) as f64 / 1e3),
+                ),
+                (
+                    "p90".into(),
+                    num_f(percentile(&packed_ns, 0.90) as f64 / 1e3),
+                ),
+                (
+                    "p99".into(),
+                    num_f(percentile(&packed_ns, 0.99) as f64 / 1e3),
                 ),
             ]),
         ),
@@ -430,11 +473,16 @@ fn main() {
         rows.push(Json::Obj(fields));
     }
     let mut fields = vec![
-        ("schema".into(), Json::Str("univsa-perf-baseline/v4".into())),
+        ("schema".into(), Json::Str("univsa-perf-baseline/v5".into())),
         ("quick".into(), Json::Bool(quick_mode())),
         ("seed".into(), num_u(seed)),
         ("threads".into(), num_u(threads as u64)),
         ("threads_source".into(), Json::Str(source.describe().into())),
+        ("infer_engine".into(), Json::Str("packed".into())),
+        (
+            "kernel_tier".into(),
+            Json::Str(univsa_bits::kernels::active().name().into()),
+        ),
         ("total_seconds".into(), num_f(total.elapsed().as_secs_f64())),
         ("peak_rss_bytes".into(), peak_rss_bytes()),
     ];

@@ -2,7 +2,7 @@
 //! (`BENCH_univsa.json`) metric by metric against configurable thresholds.
 //!
 //! [`parse_report`] accepts every report schema published so far
-//! (`univsa-perf-baseline/v1` through `v4`) — fields added by later
+//! (`univsa-perf-baseline/v1` through `v5`) — fields added by later
 //! versions are simply optional. [`diff`] pairs tasks by name and checks:
 //!
 //! | metric | gate | meaning |
@@ -14,6 +14,7 @@
 //! | `mem.peak_alloc_bytes` | `peak_alloc_pct` | % peak-allocation increase (v4) |
 //! | `mem.alloc_count` | `alloc_count_pct` | % allocation-count increase (v4) |
 //! | `footprint.actual_bits` | `footprint_bits` | absolute resident-bit drift (v4) |
+//! | `latency_packed_us.p99` | `packed_over_ref_pct` | packed p99 vs. reference p99 (v5) |
 //!
 //! A task present in the old report but missing from the new one is
 //! always a regression; a brand-new task is informational. Each gate can
@@ -25,6 +26,12 @@
 //! The v4 memory metrics are compared only when **both** reports carry
 //! them: a v4-vs-v3 diff renders those rows as `n/a` (informational, no
 //! gate) instead of firing a spurious regression.
+//!
+//! The v5 packed-engine gate is different in kind: it compares the
+//! candidate report against *itself* (packed p99 must not exceed the
+//! reference p99 measured in the same run, within `packed_over_ref_pct`
+//! percent), so wall-clock noise between machines never factors in. A
+//! pre-v5 candidate renders the row `n/a`.
 
 use std::fmt::Write as _;
 
@@ -51,6 +58,11 @@ pub struct Thresholds {
     /// derived from the configuration alone, so the default tolerates
     /// none.
     pub footprint_bits: Option<f64>,
+    /// Maximum tolerated percent by which the packed engine's p99
+    /// latency may exceed the reference engine's p99 **within the new
+    /// report** (v5). The packed engine exists to be faster, so the
+    /// default tolerates none.
+    pub packed_over_ref_pct: Option<f64>,
 }
 
 impl Default for Thresholds {
@@ -63,6 +75,7 @@ impl Default for Thresholds {
             peak_alloc_pct: Some(10.0),
             alloc_count_pct: Some(10.0),
             footprint_bits: Some(0.0),
+            packed_over_ref_pct: Some(0.0),
         }
     }
 }
@@ -92,6 +105,10 @@ pub struct TaskMetrics {
     pub alloc_count: Option<f64>,
     /// Word-padded resident bits of the trained model (v4).
     pub footprint_bits: Option<f64>,
+    /// Median packed-engine per-sample latency, microseconds (v5).
+    pub packed_p50_us: Option<f64>,
+    /// 99th-percentile packed-engine per-sample latency, microseconds (v5).
+    pub packed_p99_us: Option<f64>,
 }
 
 /// A parsed `perf_baseline` report (any schema version).
@@ -105,6 +122,10 @@ pub struct Report {
     pub threads: Option<u64>,
     /// Git commit the report was produced from (v3+).
     pub git_commit: Option<String>,
+    /// Engine used for the headline `latency_us` figures (v5).
+    pub infer_engine: Option<String>,
+    /// SIMD kernel tier active while measuring (v5).
+    pub kernel_tier: Option<String>,
     /// Per-task metric rows.
     pub tasks: Vec<TaskMetrics>,
 }
@@ -134,6 +155,14 @@ pub fn parse_report(bytes: &[u8]) -> Result<Report, String> {
             Some(Json::Str(s)) => Some(s.clone()),
             _ => None,
         },
+        infer_engine: match doc.get("infer_engine") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        },
+        kernel_tier: match doc.get("kernel_tier") {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        },
         tasks: Vec::new(),
     };
     for row in doc.get("tasks").and_then(Json::as_arr).unwrap_or(&[]) {
@@ -141,6 +170,7 @@ pub fn parse_report(bytes: &[u8]) -> Result<Report, String> {
             continue;
         };
         let latency = row.get("latency_us");
+        let packed = row.get("latency_packed_us");
         let cycles = row.get("hw_cycles");
         let mem = row.get("mem");
         let footprint = row.get("footprint");
@@ -156,6 +186,8 @@ pub fn parse_report(bytes: &[u8]) -> Result<Report, String> {
             peak_alloc_bytes: mem.and_then(|m| get_f64(m, "peak_alloc_bytes")),
             alloc_count: mem.and_then(|m| get_f64(m, "alloc_count")),
             footprint_bits: footprint.and_then(|f| get_f64(f, "actual_bits")),
+            packed_p50_us: packed.and_then(|l| get_f64(l, "p50")),
+            packed_p99_us: packed.and_then(|l| get_f64(l, "p99")),
         });
     }
     Ok(report)
@@ -524,6 +556,19 @@ pub fn diff(old: &Report, new: &Report, thresholds: &Thresholds) -> DiffOutcome 
             new_task.footprint_bits,
             thresholds.footprint_bits,
         );
+        // Intra-report invariant of the *candidate*: the packed engine's
+        // p99 must not exceed the reference engine's p99 measured in the
+        // same run. The "old" column is the candidate's reference figure,
+        // not the baseline's, so cross-machine wall-clock noise cancels.
+        push_mem(
+            rows,
+            t,
+            "packed_vs_ref_p99_us",
+            Gate::PctIncrease,
+            new_task.p99_us,
+            new_task.packed_p99_us,
+            thresholds.packed_over_ref_pct,
+        );
     }
     for new_task in &new.tasks {
         if !old.tasks.iter().any(|t| t.name == new_task.name) {
@@ -611,6 +656,7 @@ mod tests {
             peak_alloc_pct: None,
             alloc_count_pct: None,
             footprint_bits: None,
+            packed_over_ref_pct: None,
         };
         assert!(!diff(&old, &new, &off).regressed());
     }
@@ -734,6 +780,71 @@ mod tests {
         assert!(parse_report(b"not json").is_err());
         assert!(parse_report(b"{}").is_err());
         assert!(parse_report(br#"{"schema":"other/v1"}"#).is_err());
+    }
+
+    fn v5_report(ref_p99: f64, packed_p99: f64) -> Report {
+        let text = format!(
+            r#"{{"schema":"univsa-perf-baseline/v5","quick":false,"threads":4,
+                "infer_engine":"packed","kernel_tier":"avx2",
+                "tasks":[{{"task":"HAR","train_seconds":10.0,"test_accuracy":0.95,
+                "latency_us":{{"mean":10.0,"p50":9.0,"p90":11.0,"p99":{ref_p99}}},
+                "latency_packed_us":{{"mean":2.0,"p50":1.8,"p90":2.4,"p99":{packed_p99}}},
+                "hw_cycles":{{"sample_latency":100,"initiation_interval":40,
+                "streamed_samples":64,"makespan":2620}},
+                "mem":{{"peak_alloc_bytes":1000000,"alloc_count":5000}},
+                "footprint":{{"modeled_bits":66840,"actual_bits":66840,"ratio":1.0}}}}]}}"#
+        );
+        parse_report(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn v5_packed_fields_are_read() {
+        let r = v5_report(12.0, 3.0);
+        assert_eq!(r.schema, "univsa-perf-baseline/v5");
+        assert_eq!(r.infer_engine.as_deref(), Some("packed"));
+        assert_eq!(r.kernel_tier.as_deref(), Some("avx2"));
+        assert_eq!(r.tasks[0].packed_p50_us, Some(1.8));
+        assert_eq!(r.tasks[0].packed_p99_us, Some(3.0));
+    }
+
+    #[test]
+    fn packed_slower_than_reference_fires() {
+        let old = v5_report(12.0, 3.0);
+        let ok = v5_report(12.0, 11.9);
+        let bad = v5_report(12.0, 12.5);
+        assert!(!diff(&old, &ok, &Thresholds::default()).regressed());
+        let outcome = diff(&old, &bad, &Thresholds::default());
+        assert!(outcome
+            .rows
+            .iter()
+            .any(|r| r.metric == "packed_vs_ref_p99_us" && r.regressed));
+    }
+
+    #[test]
+    fn packed_gate_compares_within_the_candidate_report() {
+        // the baseline's packed figure is irrelevant — only the
+        // candidate's own packed-vs-reference ratio is gated
+        let old = v5_report(12.0, 12.5);
+        let new = v5_report(12.0, 3.0);
+        assert!(!diff(&old, &new, &Thresholds::default()).regressed());
+        let row_old = diff(&old, &old, &Thresholds::default());
+        assert!(row_old
+            .rows
+            .iter()
+            .any(|r| r.metric == "packed_vs_ref_p99_us" && r.regressed));
+    }
+
+    #[test]
+    fn pre_v5_candidate_renders_packed_row_na() {
+        let v5 = v5_report(12.0, 3.0);
+        let v4 = v4_report(1e6, 5000.0, 66840.0);
+        let outcome = diff(&v5, &v4, &Thresholds::default());
+        let row = outcome
+            .rows
+            .iter()
+            .find(|r| r.metric == "packed_vs_ref_p99_us")
+            .unwrap();
+        assert!(row.skipped && !row.regressed, "{}", outcome.render());
     }
 
     #[test]

@@ -199,7 +199,10 @@ impl BitVec {
     /// assert_eq!(BitVec::ones(9).count_ones(), 9);
     /// ```
     pub fn count_ones(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        // chunked word iteration with a u64 accumulator, dispatched to the
+        // best SIMD tier; the cast back is exact because dim < 2³² always
+        // holds for vectors this crate can address in practice
+        crate::kernels::count_ones(&self.words) as u32
     }
 
     /// Elementwise XNOR — the bipolar *binding* (elementwise product).
@@ -273,12 +276,7 @@ impl BitVec {
     /// ```
     pub fn hamming(&self, other: &Self) -> Result<u32, DimMismatchError> {
         self.check_dim(other)?;
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum())
+        Ok(crate::kernels::xor_popcount(&self.words, &other.words) as u32)
     }
 
     /// Bipolar dot product: `Σ aᵢ·bᵢ` with `aᵢ, bᵢ ∈ {-1, +1}`.
@@ -301,8 +299,8 @@ impl BitVec {
     /// assert_eq!(a.dot(&b).unwrap(), 0); // 1 - 1 + 1 - 1
     /// ```
     pub fn dot(&self, other: &Self) -> Result<i64, DimMismatchError> {
-        let h = self.hamming(other)? as i64;
-        Ok(self.dim as i64 - 2 * h)
+        self.check_dim(other)?;
+        Ok(crate::kernels::dot_i64(&self.words, &other.words, self.dim))
     }
 
     /// Cyclic rotation by `k` positions — the VSA *permutation* operator

@@ -1,0 +1,517 @@
+//! Runtime-dispatched popcount / XOR-popcount kernels.
+//!
+//! Every similarity, Hamming-distance, and binary-convolution inner loop in
+//! the workspace reduces to one of two primitives over packed `u64` slabs:
+//!
+//! * [`count_ones`] — `Σ popcount(wᵢ)`
+//! * [`xor_popcount`] — `Σ popcount(aᵢ ^ bᵢ)` (the Hamming distance of two
+//!   canonical packed vectors)
+//!
+//! Both are provided at several *dispatch tiers* selected once at startup
+//! ([`active`]) from CPU feature detection, overridable with the
+//! `UNIVSA_KERNELS` environment variable:
+//!
+//! | tier       | arch      | technique                                     |
+//! |------------|-----------|-----------------------------------------------|
+//! | `portable` | any       | 4-word chunked `u64::count_ones`, u64 accum   |
+//! | `popcnt`   | x86_64    | same loop compiled with the POPCNT ISA enabled|
+//! | `avx2`     | x86_64    | 256-bit vpshufb nibble-LUT + `psadbw` reduce  |
+//! | `neon`     | aarch64   | 128-bit `cnt` + horizontal add                |
+//!
+//! `UNIVSA_KERNELS` accepts `portable`, `native` (best available — the
+//! default), or an explicit tier name; an explicit tier the CPU cannot run
+//! silently degrades to the best available one so a pinned CI matrix stays
+//! portable across runners. Tests can bypass the global selection entirely
+//! with [`count_ones_with`] / [`xor_popcount_with`].
+//!
+//! Every tier returns bit-identical results — the tiers differ only in how
+//! the popcounts are computed, never in what is counted — and the proptest
+//! suite in `tests/properties.rs` holds them to that.
+//!
+//! This module is the only place in the crate (and the workspace) where
+//! `unsafe` appears: each `target_feature` function is reachable only after
+//! the corresponding `is_x86_feature_detected!` probe (NEON is baseline on
+//! aarch64), and every intrinsic operates on whole `u64`/vector lanes loaded
+//! through unaligned loads from in-bounds slices.
+
+use std::sync::OnceLock;
+
+/// One SIMD dispatch tier for the popcount kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Architecture-independent chunked `u64::count_ones` loop.
+    Portable,
+    /// x86_64 scalar loop compiled with the POPCNT instruction enabled.
+    Popcnt,
+    /// x86_64 AVX2 vpshufb nibble-LUT popcount over 256-bit lanes.
+    Avx2,
+    /// aarch64 NEON `cnt` popcount over 128-bit lanes.
+    Neon,
+}
+
+impl KernelTier {
+    /// All tiers in preference order, best first.
+    pub const ALL: [KernelTier; 4] = [
+        KernelTier::Avx2,
+        KernelTier::Neon,
+        KernelTier::Popcnt,
+        KernelTier::Portable,
+    ];
+
+    /// Stable lower-case name (`portable`, `popcnt`, `avx2`, `neon`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Portable => "portable",
+            KernelTier::Popcnt => "popcnt",
+            KernelTier::Avx2 => "avx2",
+            KernelTier::Neon => "neon",
+        }
+    }
+
+    /// Parses a tier name as accepted by `UNIVSA_KERNELS` (explicit tiers
+    /// only — `native` is resolved by [`detect`]).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "portable" => Some(KernelTier::Portable),
+            "popcnt" => Some(KernelTier::Popcnt),
+            "avx2" => Some(KernelTier::Avx2),
+            "neon" => Some(KernelTier::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this tier can run on the current CPU.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelTier::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Popcnt => std::arch::is_x86_feature_detected!("popcnt"),
+            #[cfg(target_arch = "x86_64")]
+            KernelTier::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            KernelTier::Neon => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Best tier the current CPU supports, ignoring the environment override.
+#[must_use]
+pub fn native_tier() -> KernelTier {
+    *KernelTier::ALL
+        .iter()
+        .find(|t| t.is_available())
+        .unwrap_or(&KernelTier::Portable)
+}
+
+/// Resolves the dispatch tier from `UNIVSA_KERNELS` and CPU detection
+/// (uncached — [`active`] is the hot-path accessor).
+///
+/// `portable` forces the fallback, `native` (or an unset/unknown value)
+/// picks the best detected tier, and an explicit tier name is honored when
+/// available and degrades to [`native_tier`] otherwise.
+#[must_use]
+pub fn detect() -> KernelTier {
+    match std::env::var("UNIVSA_KERNELS") {
+        Ok(v) if v.eq_ignore_ascii_case("portable") => KernelTier::Portable,
+        Ok(v) => match KernelTier::parse(&v) {
+            Some(t) if t.is_available() => t,
+            _ => native_tier(),
+        },
+        Err(_) => native_tier(),
+    }
+}
+
+/// The process-wide dispatch tier, resolved once on first use.
+#[must_use]
+pub fn active() -> KernelTier {
+    static ACTIVE: OnceLock<KernelTier> = OnceLock::new();
+    *ACTIVE.get_or_init(detect)
+}
+
+/// `Σ popcount(wᵢ)` over a packed slab, dispatched through [`active`].
+#[must_use]
+pub fn count_ones(words: &[u64]) -> u64 {
+    count_ones_with(active(), words)
+}
+
+/// `Σ popcount(aᵢ ^ bᵢ)` over two equal-length packed slabs — the Hamming
+/// distance of two canonical vectors — dispatched through [`active`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+    xor_popcount_with(active(), a, b)
+}
+
+/// [`count_ones`] at an explicit tier (tests force tiers through this).
+/// An unavailable tier falls back to the portable loop.
+#[must_use]
+pub fn count_ones_with(tier: KernelTier, words: &[u64]) -> u64 {
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Popcnt if tier.is_available() => x86::count_ones_popcnt(words),
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 if tier.is_available() => x86::count_ones_avx2(words),
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => neon::count_ones(words),
+        _ => count_ones_portable(words),
+    }
+}
+
+/// [`xor_popcount`] at an explicit tier (tests force tiers through this).
+/// An unavailable tier falls back to the portable loop.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn xor_popcount_with(tier: KernelTier, a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "xor_popcount operands must match");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Popcnt if tier.is_available() => x86::xor_popcount_popcnt(a, b),
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 if tier.is_available() => x86::xor_popcount_avx2(a, b),
+        #[cfg(target_arch = "aarch64")]
+        KernelTier::Neon => neon::xor_popcount(a, b),
+        _ => xor_popcount_portable(a, b),
+    }
+}
+
+/// Bipolar dot product of two canonical packed `dim`-element vectors:
+/// `dim − 2·hamming`, shared by [`crate::BitVec::dot`], the class-vector
+/// similarity stage, and the packed inference engine.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn dot_i64(a: &[u64], b: &[u64], dim: usize) -> i64 {
+    dim as i64 - 2 * xor_popcount(a, b) as i64
+}
+
+/// Agreement count of two channel words under a mask:
+/// `popcount(xnor(a, b) & mask)` — the binary-convolution tap primitive.
+#[inline]
+#[must_use]
+pub fn xnor_popcount_word(a: u64, b: u64, mask: u64) -> u32 {
+    (!(a ^ b) & mask).count_ones()
+}
+
+/// Portable tier: 4-word chunks accumulated in `u64` so the partial sums
+/// pipeline independently and can never overflow (a `u32` accumulator
+/// saturates past 2³² set bits ≈ 512 MiB of slab).
+fn count_ones_portable(words: &[u64]) -> u64 {
+    let mut chunks = words.chunks_exact(4);
+    let mut acc = [0u64; 4];
+    for c in &mut chunks {
+        acc[0] += u64::from(c[0].count_ones());
+        acc[1] += u64::from(c[1].count_ones());
+        acc[2] += u64::from(c[2].count_ones());
+        acc[3] += u64::from(c[3].count_ones());
+    }
+    let tail: u64 = chunks
+        .remainder()
+        .iter()
+        .map(|w| u64::from(w.count_ones()))
+        .sum();
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+fn xor_popcount_portable(a: &[u64], b: &[u64]) -> u64 {
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    let mut acc = [0u64; 4];
+    for (x, y) in (&mut ac).zip(&mut bc) {
+        acc[0] += u64::from((x[0] ^ y[0]).count_ones());
+        acc[1] += u64::from((x[1] ^ y[1]).count_ones());
+        acc[2] += u64::from((x[2] ^ y[2]).count_ones());
+        acc[3] += u64::from((x[3] ^ y[3]).count_ones());
+    }
+    let tail: u64 = ac
+        .remainder()
+        .iter()
+        .zip(bc.remainder())
+        .map(|(x, y)| u64::from((x ^ y).count_ones()))
+        .sum();
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    //! x86_64 tiers. Safety: every function here carries a
+    //! `target_feature` attribute and is only reached through the dispatch
+    //! functions above after `is_x86_feature_detected!` confirms the
+    //! feature; all memory access is unaligned loads from in-bounds slice
+    //! chunks.
+
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256, _mm256_extract_epi64,
+        _mm256_loadu_si256, _mm256_sad_epu8, _mm256_set1_epi8, _mm256_setr_epi8,
+        _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_srli_epi32, _mm256_xor_si256,
+    };
+
+    /// Scalar loop with the POPCNT ISA enabled so `count_ones` compiles to
+    /// one `popcnt` instruction instead of the SWAR fallback sequence. The
+    /// safe entry points re-probe the feature so they are sound even if a
+    /// caller's availability guard is wrong.
+    pub fn count_ones_popcnt(words: &[u64]) -> u64 {
+        assert!(std::arch::is_x86_feature_detected!("popcnt"));
+        // SAFETY: POPCNT availability verified just above.
+        unsafe { count_ones_popcnt_impl(words) }
+    }
+
+    /// See [`count_ones_popcnt`].
+    pub fn xor_popcount_popcnt(a: &[u64], b: &[u64]) -> u64 {
+        assert!(std::arch::is_x86_feature_detected!("popcnt"));
+        // SAFETY: POPCNT availability verified just above.
+        unsafe { xor_popcount_popcnt_impl(a, b) }
+    }
+
+    /// Safe AVX2 entry point; probes the feature itself.
+    pub fn count_ones_avx2(words: &[u64]) -> u64 {
+        assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: AVX2 availability verified just above.
+        unsafe { count_ones_avx2_impl(words) }
+    }
+
+    /// Safe AVX2 entry point; probes the feature itself.
+    pub fn xor_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
+        assert!(std::arch::is_x86_feature_detected!("avx2"));
+        // SAFETY: AVX2 availability verified just above.
+        unsafe { xor_popcount_avx2_impl(a, b) }
+    }
+
+    #[target_feature(enable = "popcnt")]
+    unsafe fn count_ones_popcnt_impl(words: &[u64]) -> u64 {
+        super::count_ones_portable(words)
+    }
+
+    #[target_feature(enable = "popcnt")]
+    unsafe fn xor_popcount_popcnt_impl(a: &[u64], b: &[u64]) -> u64 {
+        super::xor_popcount_portable(a, b)
+    }
+
+    /// Per-byte popcount of a 256-bit lane via the vpshufb nibble lookup
+    /// (AVX2 has no VPOPCNTQ), then `psadbw` folds the 32 byte counts into
+    /// four u64 partials.
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcount256(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lookup = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+        let cnt = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lookup, lo),
+            _mm256_shuffle_epi8(lookup, hi),
+        );
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum(acc: __m256i) -> u64 {
+        (_mm256_extract_epi64(acc, 0) as u64)
+            .wrapping_add(_mm256_extract_epi64(acc, 1) as u64)
+            .wrapping_add(_mm256_extract_epi64(acc, 2) as u64)
+            .wrapping_add(_mm256_extract_epi64(acc, 3) as u64)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn count_ones_avx2_impl(words: &[u64]) -> u64 {
+        let mut chunks = words.chunks_exact(4);
+        let mut acc = _mm256_setzero_si256();
+        for c in &mut chunks {
+            let v = _mm256_loadu_si256(c.as_ptr().cast());
+            acc = _mm256_add_epi64(acc, popcount256(v));
+        }
+        hsum(acc)
+            + chunks
+                .remainder()
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum::<u64>()
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn xor_popcount_avx2_impl(a: &[u64], b: &[u64]) -> u64 {
+        let mut ac = a.chunks_exact(4);
+        let mut bc = b.chunks_exact(4);
+        let mut acc = _mm256_setzero_si256();
+        for (x, y) in (&mut ac).zip(&mut bc) {
+            let v = _mm256_xor_si256(
+                _mm256_loadu_si256(x.as_ptr().cast()),
+                _mm256_loadu_si256(y.as_ptr().cast()),
+            );
+            acc = _mm256_add_epi64(acc, popcount256(v));
+        }
+        hsum(acc)
+            + ac.remainder()
+                .iter()
+                .zip(bc.remainder())
+                .map(|(x, y)| u64::from((x ^ y).count_ones()))
+                .sum::<u64>()
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    //! aarch64 tier. NEON is part of the baseline aarch64 ABI, so no
+    //! runtime probe is needed; all loads are unaligned from in-bounds
+    //! slice chunks.
+
+    use std::arch::aarch64::{vaddlvq_u8, vcntq_u8, veorq_u8, vld1q_u8};
+
+    pub fn count_ones(words: &[u64]) -> u64 {
+        let mut chunks = words.chunks_exact(2);
+        let mut acc = 0u64;
+        for c in &mut chunks {
+            // SAFETY: a 2×u64 chunk is 16 in-bounds bytes.
+            acc += u64::from(unsafe { vaddlvq_u8(vcntq_u8(vld1q_u8(c.as_ptr().cast()))) });
+        }
+        acc + chunks
+            .remainder()
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum::<u64>()
+    }
+
+    pub fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+        let mut ac = a.chunks_exact(2);
+        let mut bc = b.chunks_exact(2);
+        let mut acc = 0u64;
+        for (x, y) in (&mut ac).zip(&mut bc) {
+            // SAFETY: each 2×u64 chunk is 16 in-bounds bytes.
+            acc += u64::from(unsafe {
+                vaddlvq_u8(vcntq_u8(veorq_u8(
+                    vld1q_u8(x.as_ptr().cast()),
+                    vld1q_u8(y.as_ptr().cast()),
+                )))
+            });
+        }
+        acc + ac
+            .remainder()
+            .iter()
+            .zip(bc.remainder())
+            .map(|(x, y)| u64::from((x ^ y).count_ones()))
+            .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_count(words: &[u64]) -> u64 {
+        words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    fn patterns() -> Vec<Vec<u64>> {
+        // deterministic splitmix so every word pattern class is hit:
+        // empty, sub-chunk tails, exact chunks, and long mixed slabs
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut out = vec![
+            vec![],
+            vec![u64::MAX],
+            vec![0, u64::MAX, 0x5555_5555_5555_5555],
+        ];
+        for len in [1usize, 3, 4, 5, 7, 8, 16, 33] {
+            out.push((0..len).map(|_| next()).collect());
+        }
+        out
+    }
+
+    #[test]
+    fn every_tier_matches_naive_count() {
+        for words in patterns() {
+            let expect = naive_count(&words);
+            for tier in KernelTier::ALL {
+                assert_eq!(
+                    count_ones_with(tier, &words),
+                    expect,
+                    "tier {tier} on {} words",
+                    words.len()
+                );
+            }
+            assert_eq!(count_ones(&words), expect);
+        }
+    }
+
+    #[test]
+    fn every_tier_matches_naive_xor_popcount() {
+        let pats = patterns();
+        for (i, a) in pats.iter().enumerate() {
+            let b: Vec<u64> = a.iter().map(|w| w.rotate_left(i as u32) ^ 0xF0F0).collect();
+            let expect: u64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| u64::from((x ^ y).count_ones()))
+                .sum();
+            for tier in KernelTier::ALL {
+                assert_eq!(xor_popcount_with(tier, a, &b), expect, "tier {tier}");
+            }
+            assert_eq!(xor_popcount(a, &b), expect);
+        }
+    }
+
+    #[test]
+    fn dot_matches_definition() {
+        // dim 130 = 2 full words + 2-bit tail
+        let a = vec![u64::MAX, 0, 0b11];
+        let b = vec![u64::MAX, u64::MAX, 0b01];
+        // agreements: 64 + 0 + 1 = 65; dot = 2*65 - 130 = 0
+        assert_eq!(dot_i64(&a, &b, 130), 0);
+        assert_eq!(dot_i64(&a, &a, 130), 130);
+    }
+
+    #[test]
+    fn xnor_popcount_word_masks() {
+        assert_eq!(xnor_popcount_word(0b1010, 0b1010, 0xF), 4);
+        assert_eq!(xnor_popcount_word(0b1010, 0b0101, 0xF), 0);
+        assert_eq!(xnor_popcount_word(u64::MAX, u64::MAX, u64::MAX), 64);
+        assert_eq!(xnor_popcount_word(0, u64::MAX, 0xFF), 0);
+        // bits outside the mask never count
+        assert_eq!(xnor_popcount_word(u64::MAX, u64::MAX, 0b1), 1);
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for tier in KernelTier::ALL {
+            assert_eq!(KernelTier::parse(tier.name()), Some(tier));
+        }
+        assert_eq!(KernelTier::parse("AVX2"), Some(KernelTier::Avx2));
+        assert_eq!(KernelTier::parse("bogus"), None);
+    }
+
+    #[test]
+    fn portable_always_available_and_active_is_available() {
+        assert!(KernelTier::Portable.is_available());
+        assert!(native_tier().is_available());
+        assert!(active().is_available());
+    }
+}

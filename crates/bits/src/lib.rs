@@ -44,16 +44,21 @@
 //! assert_eq!(s.dim(), 4);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD dispatch tiers in [`kernels`] are
+// the one sanctioned unsafe island (feature-gated `std::arch` intrinsics
+// behind runtime detection), scoped there with an explicit allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitmatrix;
 mod bitvec;
 mod bundler;
 mod error;
+pub mod kernels;
 pub mod word;
 
 pub use bitmatrix::BitMatrix;
 pub use bitvec::BitVec;
 pub use bundler::Bundler;
 pub use error::{DimMismatchError, ParseBitVecError};
+pub use kernels::KernelTier;

@@ -5,6 +5,38 @@ use std::fmt;
 
 use univsa_bench::diff::Thresholds;
 
+/// Inference engine selection for the `infer` and `profile` surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Ahead-of-time compiled packed engine (SIMD XNOR+popcount slabs).
+    #[default]
+    Packed,
+    /// The original per-stage reference path.
+    Reference,
+}
+
+impl Engine {
+    /// Parses the `--engine` flag value.
+    pub fn parse(value: &str) -> Result<Self, ParseArgsError> {
+        match value.to_ascii_lowercase().as_str() {
+            "packed" => Ok(Engine::Packed),
+            "reference" => Ok(Engine::Reference),
+            _ => Err(ParseArgsError(format!(
+                "bad --engine {value:?} (expected packed or reference)"
+            ))),
+        }
+    }
+
+    /// Stable lower-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Packed => "packed",
+            Engine::Reference => "reference",
+        }
+    }
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -25,12 +57,21 @@ pub enum Command {
         /// Output model path.
         out: String,
     },
-    /// `univsa infer --model m.uvsa --csv data.csv [--geometry W,L,C]`
+    /// `univsa infer --model m.uvsa --csv data.csv [--engine packed|reference]`
     Infer {
-        /// Saved model path.
+        /// Saved model path (`.uvsa` model or `.uvsap` packed artifact).
         model: String,
         /// CSV dataset to classify.
         csv: String,
+        /// Inference engine (`--engine`; packed artifacts always run packed).
+        engine: Engine,
+    },
+    /// `univsa compile --model m.uvsa --out m.uvsap`
+    Compile {
+        /// Saved model path.
+        model: String,
+        /// Output packed-artifact path.
+        out: String,
     },
     /// `univsa info --model m.uvsa`
     Info {
@@ -78,6 +119,8 @@ pub enum Command {
         /// worker processes, their telemetry forwarded and merged into
         /// the trace/summary (`--workers N`).
         workers: Option<usize>,
+        /// Inference engine for the latency loop (`--engine`).
+        engine: Engine,
     },
     /// `univsa fleet-report --task <NAME> [--workers N] [--jobs N]
     /// [--seed S] [--chaos SPEC]` — run probe jobs through the fleet and
@@ -201,12 +244,14 @@ USAGE:
                [--epochs N] [--seed S]
   univsa train --csv DATA.csv --geometry W,L,C --config DH,DL,DK,O,THETA
                --out MODEL [--epochs N] [--seed S]
-  univsa infer --model MODEL --csv DATA.csv
+  univsa infer --model MODEL --csv DATA.csv [--engine packed|reference]
+  univsa compile --model MODEL --out ARTIFACT
   univsa info  --model MODEL
   univsa rtl   --model MODEL --out-dir DIR
   univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
   univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
                  [--threads T] [--trace OUT.json] [--mem] [--workers N]
+                 [--engine packed|reference]
   univsa fleet-report --task <NAME> [--workers N] [--jobs N] [--seed S]
                  [--chaos SPEC]
   univsa search --task <NAME> [--workers N] [--population P] [--generations G]
@@ -221,8 +266,19 @@ USAGE:
                  [--max-latency-regress PCT|none] [--max-cycles-regress PCT|none]
                  [--max-accuracy-drop ABS|none] [--max-peak-alloc-regress PCT|none]
                  [--max-alloc-count-regress PCT|none] [--max-footprint-drift BITS|none]
+                 [--max-packed-over-reference PCT|none]
   univsa tasks
   univsa help
+
+`infer` defaults to the packed engine: the model is compiled ahead of
+time into level-indexed LUT rows, channel-masked kernel planes, and
+bit-sliced majority counters, and each sample is classified with
+straight-line XNOR+popcount kernels (AVX2/NEON when available —
+selectable with the UNIVSA_KERNELS environment variable: `portable`,
+`native`, or an explicit tier). `--engine reference` runs the original
+stage-by-stage path instead; both produce bit-identical predictions.
+`compile` saves the lowered model as a standalone checksummed artifact
+(magic UNIVSAPK) that `infer` accepts directly in place of a model.
 
 `profile` trains the task's paper configuration, reports per-epoch
 progress, measures per-sample inference latency percentiles, replays the
@@ -289,7 +345,10 @@ accuracy (absolute drop, default 0.02). v4 reports additionally gate
 peak heap allocation and allocation count (percent increase, default 10)
 and the model's resident footprint bits (absolute drift, default 0);
 when only one report carries memory figures those rows render `n/a` and
-never fire. Pass `none` to disable a gate.
+never fire. v5 reports also gate the packed engine against the reference
+engine *within the candidate report* (packed p99 must not exceed the
+reference p99 measured in the same run, default 0% headroom); pre-v5
+candidates render that row `n/a`. Pass `none` to disable a gate.
 
 Built-in tasks: EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR (synthetic,
 with the paper's Table I geometry). CSV format: one sample per line,
@@ -316,9 +375,19 @@ impl Command {
             "train" => parse_train(rest),
             "infer" => {
                 let flags = parse_flags(rest)?;
+                reject_unknown(&flags, &["model", "csv", "engine"], "infer")?;
                 Ok(Command::Infer {
                     model: required(&flags, "model")?,
                     csv: required(&flags, "csv")?,
+                    engine: parse_engine(&flags)?,
+                })
+            }
+            "compile" => {
+                let flags = parse_flags(rest)?;
+                reject_unknown(&flags, &["model", "out"], "compile")?;
+                Ok(Command::Compile {
+                    model: required(&flags, "model")?,
+                    out: required(&flags, "out")?,
                 })
             }
             "info" => {
@@ -444,6 +513,7 @@ impl Command {
                     trace: flags_get(&flags, "trace"),
                     mem,
                     workers: parse_fleet_workers(&flags)?,
+                    engine: parse_engine(&flags)?,
                 })
             }
             "fleet-report" => parse_fleet_report(rest),
@@ -459,7 +529,7 @@ impl Command {
 }
 
 /// The threshold flags `bench-diff` accepts (everything else is a typo).
-const BENCH_DIFF_FLAGS: [&str; 7] = [
+const BENCH_DIFF_FLAGS: [&str; 8] = [
     "max-train-regress",
     "max-latency-regress",
     "max-cycles-regress",
@@ -467,7 +537,16 @@ const BENCH_DIFF_FLAGS: [&str; 7] = [
     "max-peak-alloc-regress",
     "max-alloc-count-regress",
     "max-footprint-drift",
+    "max-packed-over-reference",
 ];
+
+/// Parses the optional `--engine` flag (defaults to the packed engine).
+fn parse_engine(flags: &Flags) -> Result<Engine, ParseArgsError> {
+    match flags_get(flags, "engine") {
+        Some(v) => Engine::parse(&v),
+        None => Ok(Engine::default()),
+    }
+}
 
 fn parse_bench_diff(rest: &[String]) -> Result<Command, ParseArgsError> {
     // two positional report paths, then threshold flags in any position
@@ -512,6 +591,11 @@ fn parse_bench_diff(rest: &[String]) -> Result<Command, ParseArgsError> {
             defaults.alloc_count_pct,
         )?,
         footprint_bits: parse_threshold(&flags, "max-footprint-drift", defaults.footprint_bits)?,
+        packed_over_ref_pct: parse_threshold(
+            &flags,
+            "max-packed-over-reference",
+            defaults.packed_over_ref_pct,
+        )?,
     };
     let [old, new]: [String; 2] = positionals
         .try_into()
@@ -969,7 +1053,8 @@ mod tests {
             Command::parse(&argv("infer --model m --csv d.csv")).unwrap(),
             Command::Infer {
                 model: "m".into(),
-                csv: "d.csv".into()
+                csv: "d.csv".into(),
+                engine: Engine::Packed,
             }
         );
         assert_eq!(
@@ -983,6 +1068,35 @@ mod tests {
                 out_dir: "rtl".into()
             }
         );
+    }
+
+    #[test]
+    fn infer_engine_flag_parses() {
+        match Command::parse(&argv("infer --model m --csv d.csv --engine reference")).unwrap() {
+            Command::Infer { engine, .. } => assert_eq!(engine, Engine::Reference),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Command::parse(&argv("infer --model m --csv d.csv --engine PACKED")).unwrap() {
+            Command::Infer { engine, .. } => assert_eq!(engine, Engine::Packed),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = Command::parse(&argv("infer --model m --csv d.csv --engine turbo")).unwrap_err();
+        assert!(err.0.contains("--engine"));
+        assert!(Command::parse(&argv("infer --model m --csv d.csv --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn compile_parses() {
+        assert_eq!(
+            Command::parse(&argv("compile --model m.uvsa --out m.uvsap")).unwrap(),
+            Command::Compile {
+                model: "m.uvsa".into(),
+                out: "m.uvsap".into(),
+            }
+        );
+        assert!(Command::parse(&argv("compile --model m.uvsa")).is_err());
+        assert!(Command::parse(&argv("compile --out m.uvsap")).is_err());
+        assert!(Command::parse(&argv("compile --model m --out o --bogus 1")).is_err());
     }
 
     #[test]
@@ -1034,11 +1148,12 @@ mod tests {
                 trace: None,
                 mem: false,
                 workers: None,
+                engine: Engine::Packed,
             }
         );
         let cmd = Command::parse(&argv(
             "profile --task ISOLET --seed 7 --epochs 5 --samples 16 --threads 4 \
-             --trace out.json --workers 4",
+             --trace out.json --workers 4 --engine reference",
         ))
         .unwrap();
         assert_eq!(
@@ -1052,6 +1167,7 @@ mod tests {
                 trace: Some("out.json".into()),
                 mem: false,
                 workers: Some(4),
+                engine: Engine::Reference,
             }
         );
     }
@@ -1144,7 +1260,7 @@ mod tests {
             "bench-diff old.json new.json --max-train-regress none \
              --max-latency-regress 50 --max-cycles-regress 0 --max-accuracy-drop 0.01 \
              --max-peak-alloc-regress 20 --max-alloc-count-regress none \
-             --max-footprint-drift 64",
+             --max-footprint-drift 64 --max-packed-over-reference 5",
         ))
         .unwrap();
         assert_eq!(
@@ -1160,6 +1276,7 @@ mod tests {
                     peak_alloc_pct: Some(20.0),
                     alloc_count_pct: None,
                     footprint_bits: Some(64.0),
+                    packed_over_ref_pct: Some(5.0),
                 },
             }
         );

@@ -5,8 +5,9 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use univsa::{
-    load_model, save_model, ChaosSpec, EpochStats, FaultModel, FaultSpec, FaultTarget,
-    FootprintAudit, Mask, TrainOptions, UniVsaConfig, UniVsaError, UniVsaModel, UniVsaTrainer,
+    is_packed_artifact, load_model, load_packed, save_model, save_packed, ChaosSpec, EpochStats,
+    FaultModel, FaultSpec, FaultTarget, FootprintAudit, Mask, PackedModel, TrainOptions,
+    UniVsaConfig, UniVsaError, UniVsaModel, UniVsaTrainer,
 };
 use univsa_bench::diff;
 use univsa_data::{csv, Dataset, TaskSpec};
@@ -19,7 +20,7 @@ use univsa_hw::{
 };
 use univsa_search::{EvolutionarySearch, Genome, SearchOptions, SearchResult, SearchSpace};
 
-use crate::args::USAGE;
+use crate::args::{Engine, USAGE};
 use crate::Command;
 
 /// Runs a parsed command, writing human-readable output to `out`.
@@ -99,20 +100,50 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             )?;
             Ok(())
         }
-        Command::Infer { model, csv: path } => {
-            let model = load_model(&read_bytes(&model)?)?;
-            let cfg = model.config();
+        Command::Infer {
+            model,
+            csv: path,
+            engine,
+        } => {
+            let bytes = read_bytes(&model)?;
+            // a packed artifact is already lowered — it always runs packed;
+            // a model file honors --engine (packed compiles ahead of time)
+            let (packed, reference) = if is_packed_artifact(&bytes) {
+                (Some(load_packed(&bytes)?), None)
+            } else {
+                let model = load_model(&bytes)?;
+                match engine {
+                    Engine::Packed => (Some(PackedModel::compile(&model)), None),
+                    Engine::Reference => (None, Some(model)),
+                }
+            };
+            let (width, length, classes, levels) = match (&packed, &reference) {
+                (Some(p), _) => (p.width(), p.length(), p.classes(), p.levels()),
+                (None, Some(m)) => {
+                    let cfg = m.config();
+                    (cfg.width, cfg.length, cfg.classes, cfg.levels)
+                }
+                (None, None) => unreachable!("one engine is always selected"),
+            };
+            match &packed {
+                Some(p) => writeln!(out, "engine: packed ({} kernels)", p.tier())?,
+                None => writeln!(out, "engine: reference")?,
+            }
             let spec = TaskSpec {
                 name: "csv".into(),
-                width: cfg.width,
-                length: cfg.length,
-                classes: cfg.classes,
-                levels: cfg.levels,
+                width,
+                length,
+                classes,
+                levels,
             };
             let data = csv::from_csv(&read_text(&path)?, spec)?;
             let mut correct = 0usize;
             for (i, sample) in data.samples().iter().enumerate() {
-                let label = model.infer(&sample.values)?;
+                let label = match (&packed, &reference) {
+                    (Some(p), _) => p.infer(&sample.values)?,
+                    (None, Some(m)) => m.infer(&sample.values)?,
+                    (None, None) => unreachable!("one engine is always selected"),
+                };
                 writeln!(out, "{i}: predicted {label} (true {})", sample.label)?;
                 if label == sample.label {
                     correct += 1;
@@ -126,6 +157,24 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
                     data.len()
                 )?;
             }
+            Ok(())
+        }
+        Command::Compile {
+            model,
+            out: out_path,
+        } => {
+            let model = load_model(&read_bytes(&model)?)?;
+            let packed = PackedModel::compile(&model);
+            let bytes = save_packed(&packed)?;
+            write_bytes(Path::new(&out_path), &bytes)?;
+            writeln!(
+                out,
+                "compiled packed artifact {} ({} bytes, {} slab bits, {} kernels)",
+                out_path,
+                bytes.len(),
+                packed.storage_bits(),
+                packed.tier()
+            )?;
             Ok(())
         }
         Command::Info { model } => {
@@ -204,6 +253,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             trace,
             mem,
             workers,
+            engine,
         } => run_profile(
             &task,
             seed,
@@ -213,6 +263,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             trace.as_deref(),
             mem,
             workers,
+            engine,
             out,
         ),
         Command::FleetReport {
@@ -671,6 +722,7 @@ fn run_profile(
     trace_path: Option<&str>,
     mem: bool,
     workers: Option<usize>,
+    engine: Engine,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
     if let Some(t) = threads {
@@ -746,11 +798,24 @@ fn run_profile(
     let accuracy = outcome.model.evaluate(&task.test)?;
     writeln!(out, "test accuracy: {accuracy:.4}")?;
 
-    // inference layer: exact per-sample latencies over the test split
+    // inference layer: exact per-sample latencies over the test split,
+    // through the selected engine (packed compiles once, up front, so the
+    // loop measures steady-state per-sample cost for both engines)
+    let packed = match engine {
+        Engine::Packed => Some(PackedModel::compile(&outcome.model)),
+        Engine::Reference => None,
+    };
+    let engine_label = match &packed {
+        Some(p) => format!("packed ({} kernels)", p.tier()),
+        None => "reference".to_string(),
+    };
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(task.test.len());
     for sample in task.test.samples() {
         let t = Instant::now();
-        let _ = outcome.model.infer(&sample.values)?;
+        let _ = match &packed {
+            Some(p) => p.infer(&sample.values)?,
+            None => outcome.model.infer(&sample.values)?,
+        };
         latencies_ns.push(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
     }
     latencies_ns.sort_unstable();
@@ -758,7 +823,8 @@ fn run_profile(
     let mean = latencies_ns.iter().sum::<u64>() as f64 / latencies_ns.len() as f64;
     writeln!(
         out,
-        "inference: {} samples — mean {:.1} µs, p50 {:.1} µs, p90 {:.1} µs, p99 {:.1} µs",
+        "inference ({engine_label}): {} samples — mean {:.1} µs, p50 {:.1} µs, \
+         p90 {:.1} µs, p99 {:.1} µs",
         latencies_ns.len(),
         mean / 1e3,
         pct(0.50) as f64 / 1e3,
@@ -1242,13 +1308,43 @@ mod tests {
         .unwrap();
         assert!(text.contains("saved"), "{text}");
 
-        // infer on the same file
-        let text = run_to_string(Command::Infer {
+        // infer on the same file — the two engines must agree sample by
+        // sample, and a compiled artifact must behave like its model
+        let infer_with = |model: &std::path::Path, engine: Engine| {
+            run_to_string(Command::Infer {
+                model: model.to_string_lossy().into_owned(),
+                csv: csv_path.to_string_lossy().into_owned(),
+                engine,
+            })
+            .unwrap()
+        };
+        let text = infer_with(&model_path, Engine::Packed);
+        assert!(text.contains("engine: packed"), "{text}");
+        assert!(text.contains("accuracy:"), "{text}");
+        let reference = infer_with(&model_path, Engine::Reference);
+        assert!(reference.contains("engine: reference"), "{reference}");
+        let strip_engine_line = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("engine:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip_engine_line(&text), strip_engine_line(&reference));
+
+        // compile to a packed artifact and infer straight from it
+        let artifact_path = dir.join("model.uvsap");
+        let compiled = run_to_string(Command::Compile {
             model: model_path.to_string_lossy().into_owned(),
-            csv: csv_path.to_string_lossy().into_owned(),
+            out: artifact_path.to_string_lossy().into_owned(),
         })
         .unwrap();
-        assert!(text.contains("accuracy:"), "{text}");
+        assert!(compiled.contains("compiled packed artifact"), "{compiled}");
+        let from_artifact = infer_with(&artifact_path, Engine::Reference);
+        assert!(from_artifact.contains("engine: packed"), "{from_artifact}");
+        assert_eq!(
+            strip_engine_line(&from_artifact),
+            strip_engine_line(&reference)
+        );
 
         // info
         let text = run_to_string(Command::Info {
@@ -1301,6 +1397,7 @@ mod tests {
             trace: None,
             mem: false,
             workers: None,
+            engine: Engine::Packed,
         })
         .unwrap();
         assert!(text.contains("epoch   1/2"), "{text}");
@@ -1323,6 +1420,7 @@ mod tests {
             trace: Some(path.to_string_lossy().into_owned()),
             mem: false,
             workers: None,
+            engine: Engine::Packed,
         })
         .unwrap();
         assert!(text.contains("trace: wrote"), "{text}");
@@ -1391,6 +1489,7 @@ mod tests {
             trace: None,
             mem: false,
             workers: None,
+            engine: Engine::Packed,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown task"));
@@ -1407,6 +1506,7 @@ mod tests {
             trace: None,
             mem: true,
             workers: None,
+            engine: Engine::Packed,
         })
         .unwrap();
         assert!(text.contains("memory: peak heap"), "{text}");

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod audit;
+mod compile;
 mod config;
 mod dvp;
 mod encoding;
@@ -70,6 +71,7 @@ mod train;
 mod valuebox;
 
 pub use audit::{ComponentAudit, FootprintAudit};
+pub use compile::{is_packed_artifact, load_packed, save_packed, PackedInference, PackedModel};
 pub use config::{ConfigBuilder, Enhancements, UniVsaConfig};
 pub use dvp::ValueMap;
 pub use encoding::EncodingLayer;
