@@ -121,6 +121,9 @@ pub enum Command {
         workers: Option<usize>,
         /// Inference engine for the latency loop (`--engine`).
         engine: Engine,
+        /// Serve live metrics over HTTP while the run is in flight
+        /// (`--listen HOST:PORT` or `:PORT`).
+        listen: Option<String>,
     },
     /// `univsa fleet-report --task <NAME> [--workers N] [--jobs N]
     /// [--seed S] [--chaos SPEC]` — run probe jobs through the fleet and
@@ -164,6 +167,9 @@ pub enum Command {
         /// Score genomes with the training-free surrogate objective
         /// (`--surrogate`) instead of real training runs.
         surrogate: bool,
+        /// Serve live metrics over HTTP while the run is in flight
+        /// (`--listen HOST:PORT` or `:PORT`).
+        listen: Option<String>,
     },
     /// `univsa seu --task <NAME> [--workers N] [--rate R] [--trials T]
     /// [--samples N] [--seed S] [--chaos SPEC]`
@@ -182,6 +188,9 @@ pub enum Command {
         seed: u64,
         /// Fault-injection spec forwarded to the fleet.
         chaos: univsa::ChaosSpec,
+        /// Serve live metrics over HTTP while the run is in flight
+        /// (`--listen HOST:PORT` or `:PORT`).
+        listen: Option<String>,
     },
     /// `univsa chaos --task <NAME> [--workers N1,N2,…] [--crash R1,R2,…]
     /// [--corrupt R] [--hang R] [--population P] [--generations G]
@@ -207,6 +216,9 @@ pub enum Command {
         seed: u64,
         /// Score genomes with the training-free surrogate objective.
         surrogate: bool,
+        /// Serve live metrics over HTTP while the run is in flight
+        /// (`--listen HOST:PORT` or `:PORT`).
+        listen: Option<String>,
     },
     /// `univsa bench-diff <old> <new> [--max-train-regress P|none] …`
     BenchDiff {
@@ -216,6 +228,18 @@ pub enum Command {
         new: String,
         /// Per-metric regression gates.
         thresholds: Thresholds,
+    },
+    /// `univsa top <ADDR> [--interval MS] [--refreshes N]` — live
+    /// terminal view of a running process's metrics endpoint.
+    Top {
+        /// Metrics endpoint address (`HOST:PORT`, or `:PORT` for
+        /// loopback) of a process started with `--listen` or
+        /// `UNIVSA_METRICS_ADDR`.
+        addr: String,
+        /// Poll interval in milliseconds.
+        interval_ms: u64,
+        /// Stop after this many refreshes (`None` = run until ^C).
+        refreshes: Option<u64>,
     },
     /// `univsa tasks`
     Tasks,
@@ -251,16 +275,18 @@ USAGE:
   univsa robustness --model MODEL --csv DATA.csv [--rates R1,R2,…] [--seed S]
   univsa profile --task <NAME> [--seed S] [--epochs N] [--samples N]
                  [--threads T] [--trace OUT.json] [--mem] [--workers N]
-                 [--engine packed|reference]
+                 [--engine packed|reference] [--listen ADDR]
   univsa fleet-report --task <NAME> [--workers N] [--jobs N] [--seed S]
                  [--chaos SPEC]
   univsa search --task <NAME> [--workers N] [--population P] [--generations G]
                  [--epochs E] [--seed S] [--chaos SPEC] [--surrogate]
+                 [--listen ADDR]
   univsa seu    --task <NAME> [--workers N] [--rate R] [--trials T]
-                 [--samples N] [--seed S] [--chaos SPEC]
+                 [--samples N] [--seed S] [--chaos SPEC] [--listen ADDR]
   univsa chaos  --task <NAME> [--workers N1,N2,…] [--crash R1,R2,…]
                  [--corrupt R] [--hang R] [--population P] [--generations G]
-                 [--epochs E] [--seed S] [--surrogate]
+                 [--epochs E] [--seed S] [--surrogate] [--listen ADDR]
+  univsa top    ADDR [--interval MS] [--refreshes N]
   univsa memsnap <TASK> [--seed S]
   univsa bench-diff OLD.json NEW.json [--max-train-regress PCT|none]
                  [--max-latency-regress PCT|none] [--max-cycles-regress PCT|none]
@@ -331,6 +357,19 @@ unless every cell reproduces the single-process baseline bit for bit.
 training-free deterministic objective — same fleet, same framing, same
 retry machinery, none of the cost — which is what quick self-checks and
 the CI chaos matrix use.
+
+Long-running subcommands (profile, search, seu, chaos) accept
+`--listen HOST:PORT` (or `:PORT` for loopback; port 0 picks an ephemeral
+port) to serve live metrics over HTTP while the run is in flight:
+`/metrics` is Prometheus text exposition, `/snapshot.json` is the full
+registry snapshot, `/healthz` is a readiness probe. The same endpoint
+starts on ANY subcommand when the UNIVSA_METRICS_ADDR environment
+variable is set; when neither is given, no thread is spawned and no
+socket is opened. `univsa top ADDR` is the matching client: it polls
+`/snapshot.json`, computes rates between polls, and renders a live
+refreshing table of per-stage throughput and latency percentiles, heap
+figures, and per-slot fleet counters. `--refreshes N` exits after N
+frames (for scripting); `--interval MS` sets the poll period.
 
 `memsnap` builds the task's paper configuration from seeded random
 weights (no training) and prints the Eq. 5 memory breakdown next to the
@@ -514,12 +553,14 @@ impl Command {
                     mem,
                     workers: parse_fleet_workers(&flags)?,
                     engine: parse_engine(&flags)?,
+                    listen: parse_listen(&flags)?,
                 })
             }
             "fleet-report" => parse_fleet_report(rest),
             "search" => parse_search(rest),
             "seu" => parse_seu(rest),
             "chaos" => parse_chaos(rest),
+            "top" => parse_top(rest),
             "bench-diff" => parse_bench_diff(rest),
             other => Err(ParseArgsError(format!(
                 "unknown subcommand {other:?}; run `univsa help`"
@@ -643,6 +684,18 @@ fn parse_fleet_workers(flags: &Flags) -> Result<Option<usize>, ParseArgsError> {
     }
 }
 
+/// Parses the optional `--listen` metrics-endpoint address. The value
+/// is validated when the exporter binds; here it only has to be
+/// non-empty.
+fn parse_listen(flags: &Flags) -> Result<Option<String>, ParseArgsError> {
+    match flags_get(flags, "listen") {
+        Some(addr) if addr.trim().is_empty() => {
+            Err(ParseArgsError("--listen needs HOST:PORT or :PORT".into()))
+        }
+        other => Ok(other),
+    }
+}
+
 /// Parses the optional `--chaos` fault-injection spec.
 fn parse_chaos_spec(flags: &Flags) -> Result<univsa::ChaosSpec, ParseArgsError> {
     match flags_get(flags, "chaos") {
@@ -713,6 +766,7 @@ fn parse_search(rest: &[String]) -> Result<Command, ParseArgsError> {
             "epochs",
             "seed",
             "chaos",
+            "listen",
         ],
         "search",
     )?;
@@ -729,6 +783,7 @@ fn parse_search(rest: &[String]) -> Result<Command, ParseArgsError> {
         seed: parse_value(&flags, "seed", 42)?,
         chaos: parse_chaos_spec(&flags)?,
         surrogate,
+        listen: parse_listen(&flags)?,
     })
 }
 
@@ -737,7 +792,7 @@ fn parse_seu(rest: &[String]) -> Result<Command, ParseArgsError> {
     reject_unknown(
         &flags,
         &[
-            "task", "workers", "rate", "trials", "samples", "seed", "chaos",
+            "task", "workers", "rate", "trials", "samples", "seed", "chaos", "listen",
         ],
         "seu",
     )?;
@@ -755,6 +810,45 @@ fn parse_seu(rest: &[String]) -> Result<Command, ParseArgsError> {
         samples: parse_at_least_one(&flags, "samples", 32)?,
         seed: parse_value(&flags, "seed", 42)?,
         chaos: parse_chaos_spec(&flags)?,
+        listen: parse_listen(&flags)?,
+    })
+}
+
+fn parse_top(rest: &[String]) -> Result<Command, ParseArgsError> {
+    // one positional endpoint address, then flags
+    let Some((addr, rest)) = rest.split_first() else {
+        return Err(ParseArgsError(
+            "top needs an endpoint address: univsa top HOST:PORT [--interval MS] [--refreshes N]"
+                .into(),
+        ));
+    };
+    if addr.starts_with("--") {
+        return Err(ParseArgsError(
+            "top needs the endpoint address before flags: univsa top HOST:PORT".into(),
+        ));
+    }
+    let flags = parse_flags(rest)?;
+    reject_unknown(&flags, &["interval", "refreshes"], "top")?;
+    let interval_ms = parse_value(&flags, "interval", 1000u64)?;
+    if interval_ms == 0 {
+        return Err(ParseArgsError("--interval must be at least 1 ms".into()));
+    }
+    let refreshes = match flags_get(&flags, "refreshes") {
+        Some(n) => {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad --refreshes {n:?}")))?;
+            if n == 0 {
+                return Err(ParseArgsError("--refreshes must be at least 1".into()));
+            }
+            Some(n)
+        }
+        None => None,
+    };
+    Ok(Command::Top {
+        addr: addr.clone(),
+        interval_ms,
+        refreshes,
     })
 }
 
@@ -773,6 +867,7 @@ fn parse_chaos(rest: &[String]) -> Result<Command, ParseArgsError> {
             "generations",
             "epochs",
             "seed",
+            "listen",
         ],
         "chaos",
     )?;
@@ -822,6 +917,7 @@ fn parse_chaos(rest: &[String]) -> Result<Command, ParseArgsError> {
         epochs: parse_at_least_one(&flags, "epochs", 1)?,
         seed: parse_value(&flags, "seed", 42)?,
         surrogate,
+        listen: parse_listen(&flags)?,
     })
 }
 
@@ -1149,6 +1245,7 @@ mod tests {
                 mem: false,
                 workers: None,
                 engine: Engine::Packed,
+                listen: None,
             }
         );
         let cmd = Command::parse(&argv(
@@ -1168,6 +1265,7 @@ mod tests {
                 mem: false,
                 workers: Some(4),
                 engine: Engine::Reference,
+                listen: None,
             }
         );
     }
@@ -1315,6 +1413,7 @@ mod tests {
                 seed: 42,
                 chaos: univsa::ChaosSpec::default(),
                 surrogate: false,
+                listen: None,
             }
         );
         let cmd = Command::parse(&argv(
@@ -1362,6 +1461,7 @@ mod tests {
                 samples: 32,
                 seed: 42,
                 chaos: univsa::ChaosSpec::default(),
+                listen: None,
             }
         );
         match Command::parse(&argv(
@@ -1406,6 +1506,7 @@ mod tests {
                 epochs: 1,
                 seed: 42,
                 surrogate: false,
+                listen: None,
             }
         );
         match Command::parse(&argv(
@@ -1436,6 +1537,55 @@ mod tests {
         assert!(Command::parse(&argv("chaos --task T --crash 1.5")).is_err());
         assert!(Command::parse(&argv("chaos --task T --corrupt 2")).is_err());
         assert!(Command::parse(&argv("chaos --task T --hang -1")).is_err());
+    }
+
+    #[test]
+    fn listen_flag_parses_on_long_running_subcommands() {
+        match Command::parse(&argv("search --task HAR --listen :9188")).unwrap() {
+            Command::Search { listen, .. } => assert_eq!(listen.as_deref(), Some(":9188")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Command::parse(&argv("seu --task HAR --listen 127.0.0.1:9188")).unwrap() {
+            Command::Seu { listen, .. } => assert_eq!(listen.as_deref(), Some("127.0.0.1:9188")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Command::parse(&argv("profile --task HAR --listen :0")).unwrap() {
+            Command::Profile { listen, .. } => assert_eq!(listen.as_deref(), Some(":0")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Command::parse(&argv("chaos --task HAR --listen :0")).unwrap() {
+            Command::Chaos { listen, .. } => assert_eq!(listen.as_deref(), Some(":0")),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // the value is required and must be non-empty; `infer` stays
+        // listen-free
+        assert!(Command::parse(&argv("search --task HAR --listen")).is_err());
+        assert!(Command::parse(&argv("infer --model m --csv d.csv --listen :1")).is_err());
+    }
+
+    #[test]
+    fn top_parses_addr_and_flags() {
+        assert_eq!(
+            Command::parse(&argv("top 127.0.0.1:9188")).unwrap(),
+            Command::Top {
+                addr: "127.0.0.1:9188".into(),
+                interval_ms: 1000,
+                refreshes: None,
+            }
+        );
+        assert_eq!(
+            Command::parse(&argv("top :9188 --interval 250 --refreshes 3")).unwrap(),
+            Command::Top {
+                addr: ":9188".into(),
+                interval_ms: 250,
+                refreshes: Some(3),
+            }
+        );
+        assert!(Command::parse(&argv("top")).is_err());
+        assert!(Command::parse(&argv("top --interval 100")).is_err());
+        assert!(Command::parse(&argv("top :9188 --interval 0")).is_err());
+        assert!(Command::parse(&argv("top :9188 --refreshes 0")).is_err());
+        assert!(Command::parse(&argv("top :9188 --bogus 1")).is_err());
     }
 
     #[test]

@@ -254,6 +254,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             mem,
             workers,
             engine,
+            listen,
         } => run_profile(
             &task,
             seed,
@@ -264,6 +265,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             mem,
             workers,
             engine,
+            listen.as_deref(),
             out,
         ),
         Command::FleetReport {
@@ -283,6 +285,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             seed,
             chaos,
             surrogate,
+            listen,
         } => run_search(
             &task,
             workers,
@@ -292,6 +295,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             seed,
             chaos,
             surrogate,
+            listen.as_deref(),
             out,
         ),
         Command::Seu {
@@ -302,7 +306,18 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             samples,
             seed,
             chaos,
-        } => run_seu(&task, workers, rate, trials, samples, seed, chaos, out),
+            listen,
+        } => run_seu(
+            &task,
+            workers,
+            rate,
+            trials,
+            samples,
+            seed,
+            chaos,
+            listen.as_deref(),
+            out,
+        ),
         Command::Chaos {
             task,
             workers,
@@ -314,6 +329,7 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             epochs,
             seed,
             surrogate,
+            listen,
         } => run_chaos(
             &task,
             &workers,
@@ -325,8 +341,14 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             epochs,
             seed,
             surrogate,
+            listen.as_deref(),
             out,
         ),
+        Command::Top {
+            addr,
+            interval_ms,
+            refreshes,
+        } => run_top(&addr, interval_ms, refreshes, out),
         Command::BenchDiff {
             old,
             new,
@@ -387,6 +409,25 @@ fn fleet_supervisor(workers: Option<usize>, seed: u64, chaos: ChaosSpec) -> Supe
     )
 }
 
+/// Starts the `--listen` metrics endpoint for a long-running subcommand.
+/// Must run **before** the fleet supervisor spawns workers: it switches
+/// the registry into aggregation mode, which is what turns on worker-side
+/// telemetry forwarding, so the `worker.<slot>.*` counters flow into the
+/// endpoint mid-run. Returns a guard that keeps the endpoint alive (and
+/// the port held) until the subcommand finishes.
+fn start_metrics(
+    listen: Option<&str>,
+) -> Result<Option<univsa_telemetry::MetricsServer>, UniVsaError> {
+    let Some(addr) = listen else { return Ok(None) };
+    let server = univsa_telemetry::start_exporter(addr)
+        .map_err(|e| UniVsaError::Io(format!("cannot serve metrics on {addr:?}: {e}")))?;
+    eprintln!(
+        "metrics: serving http://{}/metrics (also /snapshot.json, /healthz)",
+        server.local_addr()
+    );
+    Ok(Some(server))
+}
+
 fn accumulate(total: &mut FleetReport, part: FleetReport) {
     total.workers = total.workers.max(part.workers);
     total.spawned += part.spawned;
@@ -396,6 +437,17 @@ fn accumulate(total: &mut FleetReport, part: FleetReport) {
     total.corrupt_frames += part.corrupt_frames;
     total.fallback_jobs += part.fallback_jobs;
     total.telemetry_dropped += part.telemetry_dropped;
+    if total.slots.len() < part.slots.len() {
+        total
+            .slots
+            .resize(part.slots.len(), univsa_dist::SlotStats::default());
+    }
+    for (acc, slot) in total.slots.iter_mut().zip(&part.slots) {
+        acc.spawned += slot.spawned;
+        acc.jobs += slot.jobs;
+        acc.retries += slot.retries;
+        acc.telemetry_dropped += slot.telemetry_dropped;
+    }
 }
 
 /// Prints the fleet's robustness counters to **stderr** — stdout carries
@@ -491,8 +543,11 @@ fn run_search(
     seed: u64,
     chaos: ChaosSpec,
     surrogate: bool,
+    listen: Option<&str>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
+    // bind before the fleet spawns so worker telemetry forwarding is on
+    let _metrics = start_metrics(listen)?;
     let task = lookup_task(task_name, seed)?;
     let kind = if surrogate { PROBE_KIND } else { FITNESS_KIND };
     let supervisor = fleet_supervisor(workers, seed, chaos);
@@ -548,8 +603,11 @@ fn run_seu(
     samples: usize,
     seed: u64,
     chaos: ChaosSpec,
+    listen: Option<&str>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
+    // bind before the fleet spawns so worker telemetry forwarding is on
+    let _metrics = start_metrics(listen)?;
     let task = lookup_task(task_name, seed)?;
     let (d_h, d_l, d_k, o, theta) = univsa_data::tasks::paper_config_tuple(&task.spec.name)
         .ok_or_else(|| {
@@ -634,8 +692,11 @@ fn run_chaos(
     epochs: usize,
     seed: u64,
     surrogate: bool,
+    listen: Option<&str>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
+    // bind before the fleet spawns so worker telemetry forwarding is on
+    let _metrics = start_metrics(listen)?;
     let task = lookup_task(task_name, seed)?;
     let kind = if surrogate { PROBE_KIND } else { FITNESS_KIND };
     let probe = |workers: usize, chaos: ChaosSpec| {
@@ -723,8 +784,11 @@ fn run_profile(
     mem: bool,
     workers: Option<usize>,
     engine: Engine,
+    listen: Option<&str>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), Box<dyn Error>> {
+    // bind before anything runs so the endpoint sees the whole profile
+    let _metrics = start_metrics(listen)?;
     if let Some(t) = threads {
         univsa_par::set_threads(t);
     }
@@ -1045,36 +1109,260 @@ fn run_fleet_report(
         "fleet report {}: {jobs} probe job(s) over {workers} worker slot(s), seed {seed}",
         task.spec.name
     )?;
+    // jobs / retries / dropped batches come from the supervisor's own
+    // per-slot counters (report.slots), so the table is populated even
+    // when UNIVSA_TELEMETRY is off; busy time and allocation figures are
+    // worker-forwarded telemetry
     writeln!(
         out,
-        "{:>5}  {:>6}  {:>10}  {:>8}  {:>10}  {:>14}",
-        "slot", "jobs", "busy ms", "retries", "allocs", "peak alloc B"
+        "{:>5}  {:>6}  {:>8}  {:>8}  {:>10}  {:>10}  {:>14}",
+        "slot", "jobs", "retries", "tlm-drop", "busy ms", "allocs", "peak alloc B"
     )?;
     let slot_counter =
         |slot: usize, name: &str| univsa_telemetry::counter_value(&format!("worker.{slot}.{name}"));
     for slot in 0..workers {
+        let stats = report.slots.get(slot).copied().unwrap_or_default();
         writeln!(
             out,
-            "{:>5}  {:>6}  {:>10.1}  {:>8}  {:>10}  {:>14}",
+            "{:>5}  {:>6}  {:>8}  {:>8}  {:>10.1}  {:>10}  {:>14}",
             slot,
-            slot_counter(slot, "jobs"),
+            stats.jobs,
+            stats.retries,
+            stats.telemetry_dropped,
             slot_counter(slot, "busy_ns") as f64 / 1e6,
-            slot_counter(slot, "retries"),
             slot_counter(slot, "alloc_count"),
             slot_counter(slot, "peak_alloc_bytes")
         )?;
     }
     writeln!(
         out,
-        "fleet rollup: {} job(s), {:.1} ms busy, {} alloc(s), peak {} B, \
+        "fleet rollup: {} job(s), {} retries, {:.1} ms busy, {} alloc(s), peak {} B, \
          {} telemetry batch(es) dropped",
-        univsa_telemetry::counter_value("fleet.jobs"),
+        report.slots.iter().map(|s| s.jobs).sum::<u64>(),
+        report.retries,
         univsa_telemetry::counter_value("fleet.busy_ns") as f64 / 1e6,
         univsa_telemetry::counter_value("fleet.alloc_count"),
         univsa_telemetry::counter_value("fleet.peak_alloc_bytes"),
         report.telemetry_dropped
     )?;
     report_fleet(&report);
+    Ok(())
+}
+
+/// One polled `/snapshot.json` frame, reduced to what the `top` table
+/// renders.
+struct TopFrame {
+    uptime_ns: u64,
+    live_bytes: u64,
+    peak_bytes: u64,
+    alloc_count: u64,
+    counters: Vec<(String, u64)>,
+    spans: Vec<(String, SpanRow)>,
+}
+
+/// Latency statistics for one span name, as served by the endpoint.
+struct SpanRow {
+    count: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
+/// Blocking HTTP/1.1 GET against a metrics endpoint (`:PORT` shorthand
+/// means loopback, mirroring `--listen`). Returns the response body.
+fn metrics_http_get(addr: &str, path: &str) -> Result<String, UniVsaError> {
+    use std::io::{Read as _, Write as _};
+    let addr = addr.trim();
+    let full = if addr.starts_with(':') {
+        format!("127.0.0.1{addr}")
+    } else {
+        addr.to_string()
+    };
+    let err = |stage: &str, e: std::io::Error| {
+        UniVsaError::Io(format!("metrics endpoint {full}: {stage}: {e}"))
+    };
+    let mut stream = std::net::TcpStream::connect(&full).map_err(|e| err("cannot connect", e))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| err("cannot set timeout", e))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {full}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| err("cannot send request", e))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| err("cannot read response", e))?;
+    let (head, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        UniVsaError::Io(format!("metrics endpoint {full}: malformed HTTP response"))
+    })?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(UniVsaError::Io(format!(
+            "metrics endpoint {full}: {path} returned {status:?}"
+        )));
+    }
+    Ok(body.to_string())
+}
+
+/// Parses one `/snapshot.json` body into a [`TopFrame`].
+fn parse_top_frame(body: &str) -> Result<TopFrame, UniVsaError> {
+    use univsa::json::Json;
+    let doc = univsa::json::parse(body.as_bytes())
+        .map_err(|e| UniVsaError::Io(format!("bad snapshot JSON: {e}")))?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == univsa_telemetry::SNAPSHOT_SCHEMA => {}
+        other => {
+            return Err(UniVsaError::Io(format!(
+                "unexpected snapshot schema {other:?} (want {:?})",
+                univsa_telemetry::SNAPSHOT_SCHEMA
+            )))
+        }
+    }
+    let u64_at = |value: &Json, key: &str| value.get(key).and_then(Json::as_u64).unwrap_or(0);
+    let mem = doc.get("mem");
+    let mem_field = |key: &str| mem.map(|m| u64_at(m, key)).unwrap_or(0);
+    let mut counters = Vec::new();
+    if let Some(Json::Obj(fields)) = doc.get("counters") {
+        for (name, value) in fields {
+            counters.push((name.clone(), value.as_u64().unwrap_or(0)));
+        }
+    }
+    let mut spans = Vec::new();
+    if let Some(Json::Obj(fields)) = doc.get("histograms") {
+        for (name, value) in fields {
+            spans.push((
+                name.clone(),
+                SpanRow {
+                    count: u64_at(value, "count"),
+                    p50_ns: u64_at(value, "p50_ns"),
+                    p99_ns: u64_at(value, "p99_ns"),
+                    max_ns: u64_at(value, "max_ns"),
+                },
+            ));
+        }
+    }
+    Ok(TopFrame {
+        uptime_ns: doc.get("uptime_ns").and_then(Json::as_u64).unwrap_or(0),
+        live_bytes: mem_field("live_bytes"),
+        peak_bytes: mem_field("peak_bytes"),
+        alloc_count: mem_field("alloc_count"),
+        counters,
+        spans,
+    })
+}
+
+/// Renders one `top` frame: per-span throughput (events/s between polls)
+/// and latency percentiles, heap figures, and every counter with its
+/// rate — fleet `worker.<slot>.*` rows included.
+fn render_top_frame(
+    addr: &str,
+    frame: &TopFrame,
+    prev: Option<&TopFrame>,
+    frame_no: u64,
+    refreshes: Option<u64>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    // live mode repaints in place; bounded mode (--refreshes, used by
+    // scripts and CI) appends plain frames instead
+    if refreshes.is_none() {
+        write!(out, "\x1b[2J\x1b[H")?;
+    }
+    let dt_s = prev
+        .map(|p| frame.uptime_ns.saturating_sub(p.uptime_ns) as f64 / 1e9)
+        .filter(|dt| *dt > 0.0);
+    let rate = |now: u64, before: Option<u64>| match (dt_s, before) {
+        (Some(dt), Some(b)) => format!("{:.1}", now.saturating_sub(b) as f64 / dt),
+        _ => "-".to_string(),
+    };
+    let total_frames = match refreshes {
+        Some(n) => format!("/{n}"),
+        None => String::new(),
+    };
+    writeln!(
+        out,
+        "univsa top — {addr} — up {:.1} s — refresh {frame_no}{total_frames}",
+        frame.uptime_ns as f64 / 1e9
+    )?;
+    let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    writeln!(
+        out,
+        "heap: {:.2} MiB live, {:.2} MiB peak, {} allocs",
+        mib(frame.live_bytes),
+        mib(frame.peak_bytes),
+        frame.alloc_count
+    )?;
+    writeln!(out)?;
+    if frame.spans.is_empty() {
+        writeln!(out, "  (no spans recorded yet)")?;
+    } else {
+        writeln!(
+            out,
+            "  {:<26} {:>10} {:>9} {:>10} {:>10} {:>10}",
+            "span", "count", "rate/s", "p50 µs", "p99 µs", "max µs"
+        )?;
+        for (name, row) in &frame.spans {
+            let before = prev
+                .and_then(|p| p.spans.iter().find(|(n, _)| n == name))
+                .map(|(_, r)| r.count);
+            writeln!(
+                out,
+                "  {:<26} {:>10} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+                name,
+                row.count,
+                rate(row.count, before),
+                row.p50_ns as f64 / 1e3,
+                row.p99_ns as f64 / 1e3,
+                row.max_ns as f64 / 1e3
+            )?;
+        }
+    }
+    writeln!(out)?;
+    if frame.counters.is_empty() {
+        writeln!(out, "  (no counters recorded yet)")?;
+    } else {
+        writeln!(out, "  {:<26} {:>10} {:>9}", "counter", "total", "rate/s")?;
+        for (name, total) in &frame.counters {
+            let before = prev
+                .and_then(|p| p.counters.iter().find(|(n, _)| n == name))
+                .map(|(_, v)| *v);
+            writeln!(
+                out,
+                "  {:<26} {:>10} {:>9}",
+                name,
+                total,
+                rate(*total, before)
+            )?;
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// `univsa top ADDR`: polls a live process's `/snapshot.json` endpoint
+/// and renders a refreshing table of per-stage throughput and latency,
+/// heap figures, and fleet counters. `--refreshes N` exits after N
+/// frames; otherwise it runs until interrupted.
+fn run_top(
+    addr: &str,
+    interval_ms: u64,
+    refreshes: Option<u64>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    let mut prev: Option<TopFrame> = None;
+    let mut frame_no = 0u64;
+    loop {
+        frame_no += 1;
+        let body = metrics_http_get(addr, "/snapshot.json")?;
+        let frame = parse_top_frame(&body)?;
+        render_top_frame(addr, &frame, prev.as_ref(), frame_no, refreshes, out)?;
+        prev = Some(frame);
+        if refreshes.is_some_and(|n| frame_no >= n) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
     Ok(())
 }
 
@@ -1398,6 +1686,7 @@ mod tests {
             mem: false,
             workers: None,
             engine: Engine::Packed,
+            listen: None,
         })
         .unwrap();
         assert!(text.contains("epoch   1/2"), "{text}");
@@ -1421,6 +1710,7 @@ mod tests {
             mem: false,
             workers: None,
             engine: Engine::Packed,
+            listen: None,
         })
         .unwrap();
         assert!(text.contains("trace: wrote"), "{text}");
@@ -1490,6 +1780,7 @@ mod tests {
             mem: false,
             workers: None,
             engine: Engine::Packed,
+            listen: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown task"));
@@ -1507,6 +1798,7 @@ mod tests {
             mem: true,
             workers: None,
             engine: Engine::Packed,
+            listen: None,
         })
         .unwrap();
         assert!(text.contains("memory: peak heap"), "{text}");
@@ -1562,6 +1854,7 @@ mod tests {
             seed: 9,
             chaos: ChaosSpec::default(),
             surrogate: true,
+            listen: None,
         };
         let text = run_to_string(cmd()).unwrap();
         assert!(text.contains("best genome"), "{text}");
@@ -1582,6 +1875,7 @@ mod tests {
             seed: 9,
             chaos: ChaosSpec::default(),
             surrogate: true,
+            listen: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown task"));
@@ -1597,6 +1891,7 @@ mod tests {
             samples: 4,
             seed: 5,
             chaos: ChaosSpec::default(),
+            listen: None,
         })
         .unwrap();
         assert!(text.contains("SEU campaign"), "{text}");
@@ -1621,10 +1916,58 @@ mod tests {
             epochs: 1,
             seed: 3,
             surrogate: true,
+            listen: None,
         })
         .unwrap();
         assert!(text.contains("baseline (in-process)"), "{text}");
         assert!(text.contains("all 2 cell(s) bit-identical"), "{text}");
+    }
+
+    #[test]
+    fn top_renders_refreshing_frames_against_a_live_endpoint() {
+        // a real exporter on the global registry, ephemeral port
+        let server = univsa_telemetry::start_exporter("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        univsa_telemetry::counter("worker.0.jobs", 3);
+        univsa_telemetry::record_duration("top.test.span", Duration::from_micros(120));
+
+        let text = run_to_string(Command::Top {
+            addr: addr.clone(),
+            interval_ms: 10,
+            refreshes: Some(2),
+        })
+        .unwrap();
+        // two successive frames rendered
+        assert!(text.contains("refresh 1/2"), "{text}");
+        assert!(text.contains("refresh 2/2"), "{text}");
+        // fleet counters and span stats made the table
+        assert!(text.contains("worker.0.jobs"), "{text}");
+        assert!(text.contains("top.test.span"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        // totals are non-decreasing across frames (counters are monotonic)
+        let totals: Vec<u64> = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("worker.0.jobs"))
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(totals.len(), 2, "{text}");
+        assert!(totals[1] >= totals[0], "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn top_against_a_dead_endpoint_is_a_typed_error() {
+        // a port we just bound and released — nothing is listening
+        let server = univsa_telemetry::start_exporter("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        server.shutdown();
+        let err = run_to_string(Command::Top {
+            addr,
+            interval_ms: 10,
+            refreshes: Some(1),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot connect"), "{err}");
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * `chaos`  — the fleet's self-check: re-run the same search across a
 //!   worker-count × crash-rate matrix and fail unless every cell is
 //!   bit-identical to the single-process baseline.
+//! * `top`    — live terminal view of a running process's metrics
+//!   endpoint (started with `--listen` on the long-running subcommands
+//!   or the `UNIVSA_METRICS_ADDR` environment variable): per-stage
+//!   throughput and latency percentiles, heap figures, and per-slot
+//!   fleet counters, refreshed between polls of `/snapshot.json`.
 //! * `tasks`  — list the built-in synthetic benchmark tasks.
 //!
 //! The parsing layer is exposed for testing; `main.rs` is a thin shim.

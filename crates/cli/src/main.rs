@@ -27,8 +27,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // the UNIVSA_METRICS_ADDR environment variable serves live metrics
+    // for any subcommand; when unset this spawns no thread and opens no
+    // socket. The guard holds the endpoint open for the whole run.
+    let metrics = match univsa_telemetry::exporter_from_env() {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!(
+                "error: cannot serve metrics ({}): {e}",
+                univsa_telemetry::METRICS_ENV_VAR
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(server) = &metrics {
+        eprintln!(
+            "metrics: serving http://{}/metrics (also /snapshot.json, /healthz)",
+            server.local_addr()
+        );
+    }
     let mut stdout = std::io::stdout().lock();
     let outcome = run(command, &mut stdout);
+    drop(metrics);
     if let Err(e) = univsa_telemetry::flush() {
         eprintln!("warning: telemetry flush failed: {e}");
     }

@@ -46,7 +46,7 @@ pub use jobs::{
 };
 pub use proto::Message;
 pub use supervisor::{
-    backoff_delay, parse_workers, workers_from_env, FleetReport, Job, Supervisor,
+    backoff_delay, parse_workers, workers_from_env, FleetReport, Job, SlotStats, Supervisor,
     SupervisorOptions, WORKERS_ENV_VAR,
 };
 pub use worker::{

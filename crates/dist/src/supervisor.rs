@@ -111,7 +111,7 @@ impl Default for SupervisorOptions {
 
 /// What the fleet went through while running a batch (nondeterministic
 /// under chaos — never mix this into deterministic output).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetReport {
     /// Worker slots the batch ran with (`0` = pure in-process).
     pub workers: usize,
@@ -129,6 +129,23 @@ pub struct FleetReport {
     pub fallback_jobs: u64,
     /// Forwarded telemetry batches that failed to decode and were
     /// dropped (chaos-scrambled or truncated; never fails the job).
+    pub telemetry_dropped: u64,
+    /// Per-slot tallies, indexed by slot. These are the supervisor's own
+    /// observations, so they are populated even when telemetry (and
+    /// therefore worker-side forwarding) is off.
+    pub slots: Vec<SlotStats>,
+}
+
+/// Supervisor-side tallies for one worker slot over a batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Processes spawned into this slot, including respawns.
+    pub spawned: u64,
+    /// Tasks this slot completed successfully.
+    pub jobs: u64,
+    /// Task attempts this slot's workers failed and had redelivered.
+    pub retries: u64,
+    /// Forwarded telemetry batches from this slot dropped as undecodable.
     pub telemetry_dropped: u64,
 }
 
@@ -186,7 +203,7 @@ impl Supervisor {
                 results: Mutex::new(std::mem::take(&mut results)),
                 first_error: Mutex::new(None),
                 abort: AtomicBool::new(false),
-                counters: Counters::default(),
+                counters: Counters::with_slots(fleet),
             };
             let tracing = univsa_telemetry::trace_enabled();
             let ctx = univsa_telemetry::current_context();
@@ -213,6 +230,17 @@ impl Supervisor {
             report.crashes = state.counters.crashes.load(Ordering::Relaxed);
             report.corrupt_frames = state.counters.corrupt_frames.load(Ordering::Relaxed);
             report.telemetry_dropped = state.counters.telemetry_dropped.load(Ordering::Relaxed);
+            report.slots = state
+                .counters
+                .slots
+                .iter()
+                .map(|slot| SlotStats {
+                    spawned: slot.spawned.load(Ordering::Relaxed),
+                    jobs: slot.jobs.load(Ordering::Relaxed),
+                    retries: slot.retries.load(Ordering::Relaxed),
+                    telemetry_dropped: slot.telemetry_dropped.load(Ordering::Relaxed),
+                })
+                .collect();
             if let Some(message) = state.first_error.into_inner().expect("error lock") {
                 return Err(UniVsaError::Worker(message));
             }
@@ -289,7 +317,6 @@ struct Attempt {
     attempt: u32,
 }
 
-#[derive(Default)]
 struct Counters {
     spawned: AtomicU64,
     retries: AtomicU64,
@@ -297,6 +324,31 @@ struct Counters {
     crashes: AtomicU64,
     corrupt_frames: AtomicU64,
     telemetry_dropped: AtomicU64,
+    /// One tally block per worker slot (each manager thread writes only
+    /// its own, but atomics keep the whole struct shareable by `&`).
+    slots: Vec<SlotCounters>,
+}
+
+#[derive(Default)]
+struct SlotCounters {
+    spawned: AtomicU64,
+    jobs: AtomicU64,
+    retries: AtomicU64,
+    telemetry_dropped: AtomicU64,
+}
+
+impl Counters {
+    fn with_slots(fleet: usize) -> Self {
+        Self {
+            spawned: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
+            corrupt_frames: AtomicU64::new(0),
+            telemetry_dropped: AtomicU64::new(0),
+            slots: (0..fleet).map(|_| SlotCounters::default()).collect(),
+        }
+    }
 }
 
 /// Shared state the manager threads operate on.
@@ -369,6 +421,9 @@ impl FleetState<'_> {
                             generation += 1;
                             // Relaxed: monotonic statistic, see run_jobs
                             self.counters.spawned.fetch_add(1, Ordering::Relaxed);
+                            self.counters.slots[slot]
+                                .spawned
+                                .fetch_add(1, Ordering::Relaxed);
                             univsa_telemetry::counter("dist.spawns", 1);
                             worker = Some(handle);
                         }
@@ -395,6 +450,9 @@ impl FleetState<'_> {
                 match delivery {
                     Delivery::Done(bytes) => {
                         self.results.lock().expect("results lock")[attempt.job] = Some(bytes);
+                        self.counters.slots[slot]
+                            .jobs
+                            .fetch_add(1, Ordering::Relaxed);
                         break 'deliver;
                     }
                     Delivery::Fatal(message) => {
@@ -414,6 +472,9 @@ impl FleetState<'_> {
                         }
                         // Relaxed: monotonic statistic, see run_jobs
                         self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                        self.counters.slots[slot]
+                            .retries
+                            .fetch_add(1, Ordering::Relaxed);
                         univsa_telemetry::counter("dist.retries", 1);
                         // retries are a supervisor-side observation (the
                         // worker that caused one may be dead), so the
@@ -518,6 +579,9 @@ impl FleetState<'_> {
                 self.counters
                     .telemetry_dropped
                     .fetch_add(1, Ordering::Relaxed);
+                self.counters.slots[slot]
+                    .telemetry_dropped
+                    .fetch_add(1, Ordering::Relaxed);
                 univsa_telemetry::counter("dist.telemetry_dropped", 1);
             }
         }
@@ -573,6 +637,9 @@ impl FleetState<'_> {
             .env(univsa_par::ENV_VAR, "1")
             // keep worker stderr free of telemetry flushes
             .env_remove(univsa_telemetry::ENV_VAR)
+            // and never let a worker try to bind the parent's metrics
+            // port — the supervisor is the only exporter in the fleet
+            .env_remove(univsa_telemetry::METRICS_ENV_VAR)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
@@ -739,6 +806,16 @@ mod tests {
         assert_eq!(report.workers, 2);
         assert_eq!(report.spawned, 0);
         assert_eq!(report.fallback_jobs, 3);
+        // per-slot rows exist for every slot even when nothing spawned
+        assert_eq!(report.slots.len(), 2);
+        assert!(report.slots.iter().all(|s| *s == SlotStats::default()));
+    }
+
+    #[test]
+    fn in_process_report_has_no_slot_rows() {
+        let supervisor = Supervisor::new(SupervisorOptions::default(), standard_registry());
+        let (_, report) = supervisor.run_jobs(&echo_jobs(2)).unwrap();
+        assert!(report.slots.is_empty());
     }
 
     #[test]

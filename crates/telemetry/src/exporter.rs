@@ -1,0 +1,307 @@
+//! The live introspection plane: an opt-in background thread serving the
+//! registry over a minimal HTTP/1.1 listener on `std::net` — no
+//! dependencies, no always-on cost.
+//!
+//! Routes:
+//!
+//! | path | body |
+//! |---|---|
+//! | `/metrics` | Prometheus text exposition of the full registry (see [`crate::prometheus`]) |
+//! | `/snapshot.json` | the registry [`Snapshot`](crate::Snapshot) as JSON (what `univsa top` polls) |
+//! | `/healthz` | `ok` — readiness probe |
+//!
+//! The exporter is started explicitly ([`MetricsServer::bind`]) or from
+//! the `UNIVSA_METRICS_ADDR` environment variable
+//! ([`crate::exporter_from_env`]). When neither is set, nothing here
+//! runs: no thread is spawned and no socket is opened, preserving the
+//! registry's zero-overhead-off guarantee (verified by
+//! [`live_server_count`]).
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::prometheus;
+use crate::registry::Registry;
+
+/// The environment variable that starts the exporter at process startup
+/// (`UNIVSA_METRICS_ADDR=127.0.0.1:9188`, or `:9188` shorthand for
+/// loopback).
+pub const METRICS_ENV_VAR: &str = "UNIVSA_METRICS_ADDR";
+
+/// Count of exporter threads currently holding an open listener — the
+/// observable behind the "no socket when disabled" guarantee and its
+/// regression test.
+static LIVE_SERVERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of exporter listeners currently open in this process.
+pub fn live_server_count() -> usize {
+    LIVE_SERVERS.load(Ordering::SeqCst)
+}
+
+/// Resolves an `UNIVSA_METRICS_ADDR`-style spec: `HOST:PORT`, or `:PORT`
+/// shorthand for `127.0.0.1:PORT`. Port 0 binds an ephemeral port
+/// (reported by [`MetricsServer::local_addr`]).
+fn parse_addr(spec: &str) -> std::io::Result<SocketAddr> {
+    let spec = spec.trim();
+    let full = if spec.starts_with(':') {
+        format!("127.0.0.1{spec}")
+    } else {
+        spec.to_string()
+    };
+    full.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("no usable address in metrics spec {spec:?}"),
+        )
+    })
+}
+
+/// A running metrics exporter: one background thread accepting HTTP
+/// connections and serving registry snapshots until
+/// [`shutdown`](MetricsServer::shutdown) (or drop).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `spec` (see [`parse_addr`] forms) and spawns the exporter
+    /// thread serving `registry`. The listener is nonblocking with a
+    /// short poll interval, so shutdown is prompt and the port is
+    /// released as soon as the thread exits.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from address resolution or `bind` — a port
+    /// conflict surfaces here as `AddrInUse`, never a panic.
+    pub fn bind(spec: &str, registry: &'static Registry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(parse_addr(spec)?)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        LIVE_SERVERS.fetch_add(1, Ordering::SeqCst);
+        let handle = std::thread::Builder::new()
+            .name("univsa-metrics".into())
+            .spawn(move || {
+                while !thread_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => serve_connection(stream, registry),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(15));
+                        }
+                        // transient accept errors (aborted handshakes);
+                        // back off briefly and keep serving
+                        Err(_) => std::thread::sleep(Duration::from_millis(15)),
+                    }
+                }
+                drop(listener);
+                LIVE_SERVERS.fetch_sub(1, Ordering::SeqCst);
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0 to the ephemeral port
+    /// the OS assigned).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the exporter thread and waits for it to release the port.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Answers one HTTP connection: read the request head, route, write one
+/// `Connection: close` response. Serving is synchronous on the exporter
+/// thread — polls arrive at human rates, not request floods.
+fn serve_connection(mut stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 2048];
+    let mut read = 0usize;
+    while read < buf.len() {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                read += n;
+                if buf[..read].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..read]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus::encode_text(&registry.snapshot()),
+            ),
+            "/snapshot.json" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                registry.snapshot().to_json(),
+            ),
+            "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics, /snapshot.json, /healthz)\n".to_string(),
+            ),
+        }
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal blocking HTTP GET against a local exporter, returning
+    /// (status line, body).
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        let status = head.lines().next().unwrap_or("").to_string();
+        (status, body.to_string())
+    }
+
+    fn leaked_registry() -> &'static Registry {
+        Box::leak(Box::new(Registry::aggregate()))
+    }
+
+    #[test]
+    fn serves_healthz_metrics_and_snapshot() {
+        let registry = leaked_registry();
+        registry.counter("fleet.jobs", 4);
+        registry.record_duration("train.epoch", Duration::from_micros(80));
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/healthz");
+        assert!(status.contains("200"), "{status}");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        let samples = prometheus::parse_text(&body).expect("valid exposition");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "univsa_counter_total" && s.label("name") == Some("fleet.jobs")));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "univsa_latency_ns_bucket" && s.label("le") == Some("+Inf")));
+
+        let (status, body) = http_get(addr, "/snapshot.json");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("\"schema\":\"univsa-metrics/v1\""), "{body}");
+        assert!(body.contains("\"fleet.jobs\":4"), "{body}");
+
+        let (status, _) = http_get(addr, "/nope");
+        assert!(status.contains("404"), "{status}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn bind_conflict_is_an_io_error_not_a_panic() {
+        let registry = leaked_registry();
+        let first = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let taken = first.local_addr();
+        let err = MetricsServer::bind(&taken.to_string(), registry).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+        first.shutdown();
+    }
+
+    #[test]
+    fn shutdown_releases_the_port() {
+        let registry = leaked_registry();
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr();
+        let before = live_server_count();
+        assert!(before >= 1);
+        server.shutdown();
+        // the exact count races with other tests' servers; rebinding the
+        // same port is the ground truth that ours is gone
+        let rebound = MetricsServer::bind(&addr.to_string(), registry).unwrap();
+        rebound.shutdown();
+    }
+
+    #[test]
+    fn colon_port_shorthand_means_loopback() {
+        let addr = parse_addr(":9188").unwrap();
+        assert_eq!(addr.to_string(), "127.0.0.1:9188");
+        assert!(parse_addr("nonsense").is_err());
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let registry = leaked_registry();
+        let server = MetricsServer::bind("127.0.0.1:0", registry).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.shutdown();
+    }
+}

@@ -116,6 +116,20 @@ impl Histogram {
         (self.count > 0).then_some(self.max_ns)
     }
 
+    /// Merges another histogram into this one: buckets add index-wise
+    /// (every histogram shares the [`BUCKET_BOUNDS_NS`] layout), exact
+    /// `count`/`sum` add, and `min`/`max` fold. Merging an empty
+    /// histogram is a no-op (its `u64::MAX` min sentinel folds away).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Bucket-resolution percentile estimate: the upper bound of the
     /// bucket containing the `q`-quantile observation (clamped to the
     /// exact max for the overflow bucket). `None` when empty.
@@ -213,5 +227,68 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn percentile_rejects_bad_quantile() {
         Histogram::new().percentile_ns(1.5);
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_folds_extremes() {
+        let mut a = Histogram::new();
+        a.record(1_500);
+        a.record(900);
+        let mut b = Histogram::new();
+        b.record(7_000);
+        b.record(400_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum_ns(), 1_500 + 900 + 7_000 + 400_000);
+        assert_eq!(a.min_ns(), Some(900));
+        assert_eq!(a.max_ns(), Some(400_000));
+        assert_eq!(a.bucket_counts()[0], 1); // 900
+        assert_eq!(a.bucket_counts()[1], 1); // 1_500
+        assert_eq!(a.bucket_counts()[3], 1); // 7_000
+        assert_eq!(a.bucket_counts()[8], 1); // 400_000
+                                             // merging must equal recording the union directly
+        let mut direct = Histogram::new();
+        for v in [1_500, 900, 7_000, 400_000] {
+            direct.record(v);
+        }
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(2_500);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "merging an empty histogram changes nothing");
+        // the empty side's u64::MAX min sentinel must not leak through
+        assert_eq!(a.min_ns(), Some(2_500));
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn merge_preserves_upper_edge_percentile() {
+        // p100 must clamp to the merged exact max, including when the
+        // max lives in the overflow bucket of only one side
+        let mut a = Histogram::new();
+        for _ in 0..10 {
+            a.record(1_500);
+        }
+        let mut b = Histogram::new();
+        b.record(90_000_000_000); // overflow bucket
+        a.merge(&b);
+        assert_eq!(a.percentile_ns(1.0), Some(90_000_000_000));
+        assert_eq!(a.percentile_ns(0.5), Some(2_000));
+        // and merging the other direction agrees
+        let mut c = Histogram::new();
+        c.record(90_000_000_000);
+        let mut d = Histogram::new();
+        for _ in 0..10 {
+            d.record(1_500);
+        }
+        c.merge(&d);
+        assert_eq!(c.percentile_ns(1.0), Some(90_000_000_000));
     }
 }

@@ -19,6 +19,14 @@
 //! cycle-level hardware schedule) therefore cost nothing in production:
 //! when the mode is `off` no clock is read and no lock is taken.
 //!
+//! ## Live metrics
+//!
+//! Independently of the sink mode, `UNIVSA_METRICS_ADDR=127.0.0.1:PORT`
+//! (or [`start_exporter`]) spawns a background HTTP exporter serving
+//! `/metrics` (Prometheus text), `/snapshot.json`, and `/healthz` from a
+//! consistent registry [`Snapshot`]. When the variable is unset no
+//! thread is spawned and no socket is opened.
+//!
 //! ## Usage
 //!
 //! ```
@@ -41,12 +49,16 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exporter;
 mod forward;
 mod histogram;
 mod mem;
+pub mod prometheus;
 mod registry;
+mod snapshot;
 mod trace;
 
+pub use exporter::{live_server_count, MetricsServer, METRICS_ENV_VAR};
 pub use forward::{WorkerBatch, WorkerSpan};
 pub use histogram::{Histogram, BUCKET_BOUNDS_NS};
 pub use mem::{
@@ -54,6 +66,7 @@ pub use mem::{
     suspend_attribution, AllocDelta, AllocMark, AttributionPause, CountingAllocator, MemStats,
 };
 pub use registry::{MemAgg, Mode, Registry, Span, TraceRegion, Value};
+pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA};
 pub use trace::{
     chrome_trace_json, current_context, current_lane, enter_context, enter_lane, ContextGuard,
     CounterSample, LaneGuard, Recorder, TraceContext, TraceEvent, VirtualEvent, WorkerTraceEvent,
@@ -268,6 +281,51 @@ pub fn export_chrome_trace(path: &str) -> std::io::Result<()> {
 /// Propagates I/O errors from the JSONL sink.
 pub fn flush() -> std::io::Result<()> {
     global().flush()
+}
+
+/// Upgrades the global registry from off to silent in-memory aggregation
+/// (see [`Registry::enable_aggregation`]) and switches memory tracking on
+/// so heap gauges have data. Called by the metrics exporter so `/metrics`
+/// serves real figures even when [`ENV_VAR`] is unset; a registry already
+/// recording is left untouched.
+pub fn enable_aggregation() {
+    global().enable_aggregation();
+    mem::enable_mem_tracking();
+}
+
+/// A consistent point-in-time snapshot of the global registry (see
+/// [`Registry::snapshot`]).
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Starts the live metrics exporter on `addr` (`HOST:PORT`, or `:PORT`
+/// for loopback), serving the global registry. Enables silent
+/// aggregation first so the endpoint has data regardless of
+/// [`ENV_VAR`].
+///
+/// # Errors
+///
+/// Returns the I/O error from address resolution or bind (`AddrInUse` on
+/// a port conflict).
+pub fn start_exporter(addr: &str) -> std::io::Result<MetricsServer> {
+    enable_aggregation();
+    MetricsServer::bind(addr, global())
+}
+
+/// Starts the exporter iff [`METRICS_ENV_VAR`] is set, returning `None`
+/// (and doing nothing — no thread, no socket) when it is not.
+///
+/// # Errors
+///
+/// Propagates bind failures for a set-but-unbindable address, so a typo'd
+/// port fails loudly at startup instead of silently serving nothing.
+pub fn exporter_from_env() -> std::io::Result<Option<MetricsServer>> {
+    match std::env::var(METRICS_ENV_VAR) {
+        Err(_) => Ok(None),
+        Ok(spec) if spec.trim().is_empty() => Ok(None),
+        Ok(spec) => start_exporter(&spec).map(Some),
+    }
 }
 
 #[cfg(test)]

@@ -27,17 +27,23 @@ pub enum Mode {
     /// Every span and event is appended to a JSONL sink as it completes;
     /// aggregates are additionally dumped at flush.
     Jsonl,
+    /// Aggregates are kept in memory like [`Mode::Summary`] but
+    /// [`Registry::flush`] prints nothing — the silent collection mode the
+    /// live metrics exporter uses when `UNIVSA_TELEMETRY` is unset.
+    Aggregate,
 }
 
 impl Mode {
     const OFF: u8 = 0;
     const SUMMARY: u8 = 1;
     const JSONL: u8 = 2;
+    const AGGREGATE: u8 = 3;
 
     fn from_u8(v: u8) -> Mode {
         match v {
             Self::SUMMARY => Mode::Summary,
             Self::JSONL => Mode::Jsonl,
+            Self::AGGREGATE => Mode::Aggregate,
             _ => Mode::Off,
         }
     }
@@ -47,6 +53,7 @@ impl Mode {
             Mode::Off => Self::OFF,
             Mode::Summary => Self::SUMMARY,
             Mode::Jsonl => Self::JSONL,
+            Mode::Aggregate => Self::AGGREGATE,
         }
     }
 }
@@ -274,6 +281,26 @@ impl Registry {
     /// A summary-mode registry (aggregates only).
     pub fn summary() -> Self {
         Self::with_sink(Mode::Summary, Sink::None)
+    }
+
+    /// A silent aggregation registry: counters and histograms collect in
+    /// memory for [`Registry::snapshot`] consumers, nothing prints at
+    /// flush.
+    pub fn aggregate() -> Self {
+        Self::with_sink(Mode::Aggregate, Sink::None)
+    }
+
+    /// Upgrades an [`Mode::Off`] registry to silent in-memory aggregation
+    /// so live-metrics consumers (the `/metrics` exporter) have data to
+    /// serve even when `UNIVSA_TELEMETRY` is unset. Registries already
+    /// recording (summary/JSONL/aggregate) are left untouched.
+    pub fn enable_aggregation(&self) {
+        let _ = self.mode.compare_exchange(
+            Mode::OFF,
+            Mode::AGGREGATE,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
     }
 
     /// A JSONL registry writing to an in-memory buffer (drain it with
@@ -890,7 +917,9 @@ impl Registry {
     /// the recording site).
     pub fn flush(&self) -> std::io::Result<()> {
         match self.mode() {
-            Mode::Off => {}
+            // aggregate mode collects for live snapshot consumers only;
+            // printing at exit would break the off-mode UX it rides on
+            Mode::Off | Mode::Aggregate => {}
             Mode::Summary => {
                 let text = self.summary_text();
                 if !text.is_empty() {
@@ -988,6 +1017,25 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.clone(), *v))
             .collect()
+    }
+
+    /// A consistent point-in-time snapshot of everything the registry has
+    /// aggregated: counters, histograms, and per-span allocation rows are
+    /// all cloned under **one** lock acquisition, so the figures a
+    /// `/metrics` scrape or `/snapshot.json` poll serves agree with each
+    /// other even while other threads keep recording. The process-global
+    /// allocation ledger is sampled in the same instant.
+    pub fn snapshot(&self) -> crate::snapshot::Snapshot {
+        let _pause = mem::suspend_attribution();
+        let uptime_ns = self.now_ns();
+        let state = self.state.lock().expect("telemetry state poisoned");
+        crate::snapshot::Snapshot {
+            uptime_ns,
+            mem: mem::mem_stats(),
+            counters: state.counters.clone(),
+            histograms: state.histograms.clone(),
+            mem_aggregates: state.mem_aggregates.clone(),
+        }
     }
 }
 
@@ -1396,5 +1444,95 @@ mod tests {
         assert_eq!(fmt_ns(1_500), "1.50µs");
         assert_eq!(fmt_ns(2_500_000), "2.50ms");
         assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn aggregate_mode_collects_but_flushes_silently() {
+        let reg = Registry::aggregate();
+        assert!(reg.is_enabled());
+        assert_eq!(reg.mode(), Mode::Aggregate);
+        reg.counter("jobs", 3);
+        reg.record_duration("stage", Duration::from_micros(5));
+        assert_eq!(reg.counter_value("jobs"), 3);
+        assert_eq!(reg.histogram("stage").unwrap().count(), 1);
+        // flush must neither error nor emit JSONL aggregates anywhere
+        reg.flush().unwrap();
+        assert!(reg.take_buffer().is_empty());
+    }
+
+    #[test]
+    fn enable_aggregation_upgrades_off_and_leaves_other_modes_alone() {
+        let reg = Registry::disabled();
+        reg.counter("lost", 1); // dropped: still off
+        reg.enable_aggregation();
+        assert_eq!(reg.mode(), Mode::Aggregate);
+        reg.counter("kept", 1);
+        assert_eq!(reg.counter_value("lost"), 0);
+        assert_eq!(reg.counter_value("kept"), 1);
+        // idempotent
+        reg.enable_aggregation();
+        assert_eq!(reg.mode(), Mode::Aggregate);
+        // a registry already recording keeps its mode
+        let summary = Registry::summary();
+        summary.enable_aggregation();
+        assert_eq!(summary.mode(), Mode::Summary);
+        let jsonl = Registry::jsonl_buffer();
+        jsonl.enable_aggregation();
+        assert_eq!(jsonl.mode(), Mode::Jsonl);
+    }
+
+    #[test]
+    fn summary_text_ordering_is_deterministic() {
+        // insertion order is adversarial: reverse-alphabetical, so any
+        // regression to unordered iteration shows up as a diff
+        let build = |names: &[&str]| {
+            let reg = Registry::summary();
+            for (i, name) in names.iter().enumerate() {
+                reg.counter(name, (i + 1) as u64);
+                reg.record_duration(&format!("span.{name}"), Duration::from_micros(10));
+            }
+            reg.summary_text()
+        };
+        let forward = build(&["alpha", "mid", "zulu"]);
+        let reverse = build(&["zulu", "mid", "alpha"]);
+        // histogram section then counter section, keys sorted, regardless
+        // of recording order (values differ by construction, so compare
+        // the key order directly)
+        let names_in = |text: &str, needle: &str| {
+            text.lines()
+                .filter(|l| l.contains(needle))
+                .map(|l| l.split_whitespace().next().unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        for text in [&forward, &reverse] {
+            assert_eq!(
+                names_in(text, "span."),
+                vec!["span.alpha", "span.mid", "span.zulu"],
+                "{text}"
+            );
+        }
+        let counter_order: Vec<String> = forward
+            .lines()
+            .skip_while(|l| !l.starts_with("counter"))
+            .skip(1)
+            .map(|l| l.split_whitespace().next().unwrap().to_string())
+            .collect();
+        assert_eq!(counter_order, vec!["alpha", "mid", "zulu"], "{forward}");
+        // identical inputs render byte-identically run to run
+        assert_eq!(build(&["b", "a"]), build(&["b", "a"]));
+    }
+
+    #[test]
+    fn snapshot_clones_counters_histograms_and_mem_rows() {
+        let reg = Registry::aggregate();
+        reg.counter("jobs", 7);
+        reg.record_duration("train.epoch", Duration::from_micros(40));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("jobs"), Some(&7));
+        assert_eq!(snap.histograms.get("train.epoch").unwrap().count(), 1);
+        // the snapshot is detached: later recording does not mutate it
+        reg.counter("jobs", 1);
+        assert_eq!(snap.counters.get("jobs"), Some(&7));
+        assert_eq!(reg.counter_value("jobs"), 8);
     }
 }
