@@ -9,6 +9,19 @@
 //! * simulated hardware cycles (single-sample latency, initiation
 //!   interval, streamed-schedule makespan).
 //!
+//! Schema `univsa-perf-baseline/v6` adds a per-task `quality` block from
+//! the prediction-quality plane: the winner/runner-up similarity margin
+//! over the held-out split through the packed engine
+//! (`quality.{mean_margin,margin_p50,margin_p99}` — margins are exact
+//! integers, so these are deterministic for a seeded model), and a
+//! seeded drift-injection probe (`quality.drift`): the task's
+//! [`univsa_data::tasks::drift_stream`] with a fixed mid-stream
+//! corruption is replayed through the packed model into a
+//! [`univsa_telemetry::DriftDetector`], recording the detection latency
+//! in samples after onset (`null` when undetected). Accuracy and cycle
+//! figures are computed exactly as in v5, so regenerating a v5 baseline
+//! as v6 leaves them bit-identical.
+//!
 //! Schema `univsa-perf-baseline/v5` measures both inference engines:
 //! `latency_us` stays the reference stage-by-stage path (so the column
 //! remains comparable across every report version), while
@@ -70,6 +83,15 @@ use univsa_hw::{HwConfig, Pipeline};
 
 /// Streamed samples for the hardware schedule replay.
 const HW_STREAM_SAMPLES: usize = 64;
+
+/// Drift-probe stream geometry: `QUALITY_STREAM_SAMPLES` samples with a
+/// full-strength corruption switched on at `QUALITY_DRIFT_AT`, watched by
+/// a detector with window `QUALITY_DRIFT_WINDOW`. Fixed so detection
+/// latencies are comparable across reports.
+const QUALITY_STREAM_SAMPLES: usize = 256;
+const QUALITY_DRIFT_AT: usize = 128;
+const QUALITY_DRIFT_STRENGTH: f32 = 1.0;
+const QUALITY_DRIFT_WINDOW: usize = 32;
 
 fn num_u(v: u64) -> Json {
     Json::Num(v as f64, Some(v))
@@ -167,6 +189,76 @@ fn peak_rss_bytes() -> Json {
     Json::Null
 }
 
+/// The per-task `quality` block (v6): winner/runner-up margin statistics
+/// over the held-out split through the packed engine, and the seeded
+/// drift-injection probe. Margins are exact integers from the same totals
+/// the accuracy figures come from, so the block is deterministic for a
+/// seeded model and never perturbs the v5 columns.
+fn quality_json(
+    task: &univsa_data::Task,
+    packed: &PackedModel,
+    seed: u64,
+) -> Result<Json, UniVsaError> {
+    let mut margins: Vec<u64> = Vec::with_capacity(task.test.len());
+    for sample in task.test.samples() {
+        let detail = packed.infer_detailed(&sample.values)?;
+        margins.push(univsa::similarity_margin(&detail.totals));
+    }
+    margins.sort_unstable();
+    let mean = margins.iter().sum::<u64>() as f64 / margins.len() as f64;
+
+    let drift = univsa_data::DriftSpec {
+        at: QUALITY_DRIFT_AT,
+        strength: QUALITY_DRIFT_STRENGTH,
+    };
+    let stream = univsa_data::tasks::drift_stream(
+        &task.spec.name,
+        seed,
+        QUALITY_STREAM_SAMPLES,
+        Some(drift),
+    )
+    .expect("every Table I task has a stream generator");
+    let mut detector = univsa_telemetry::DriftDetector::new(univsa_telemetry::DriftConfig {
+        window: QUALITY_DRIFT_WINDOW,
+        seed,
+        ..univsa_telemetry::DriftConfig::default()
+    });
+    for sample in &stream {
+        let detail = packed.infer_detailed(&sample.values)?;
+        detector.observe(
+            detail.label as u32,
+            univsa::similarity_margin(&detail.totals),
+        );
+    }
+    let latency = detector
+        .first_detection()
+        .map(|at| at.saturating_sub(QUALITY_DRIFT_AT as u64));
+    Ok(Json::Obj(vec![
+        ("mean_margin".into(), num_f(mean)),
+        ("margin_p50".into(), num_u(percentile(&margins, 0.50))),
+        ("margin_p99".into(), num_u(percentile(&margins, 0.99))),
+        (
+            "drift".into(),
+            Json::Obj(vec![
+                (
+                    "stream_samples".into(),
+                    num_u(QUALITY_STREAM_SAMPLES as u64),
+                ),
+                ("at".into(), num_u(QUALITY_DRIFT_AT as u64)),
+                (
+                    "strength".into(),
+                    Json::Num(f64::from(QUALITY_DRIFT_STRENGTH), None),
+                ),
+                ("window".into(), num_u(QUALITY_DRIFT_WINDOW as u64)),
+                (
+                    "detection_latency".into(),
+                    latency.map(num_u).unwrap_or(Json::Null),
+                ),
+            ]),
+        ),
+    ]))
+}
+
 fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniVsaError> {
     let _span = univsa_telemetry::span("bench", "perf_task").field("task", task.spec.name.clone());
     // counting-allocator window for this task: collapse the peak to the
@@ -201,6 +293,8 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniV
     }
     packed_ns.sort_unstable();
     let packed_mean_ns = packed_ns.iter().sum::<u64>() as f64 / packed_ns.len() as f64;
+
+    let quality = quality_json(task, &packed, seed)?;
 
     let pipeline = Pipeline::new(HwConfig::new(outcome.model.config()));
     let trace = pipeline.schedule(HW_STREAM_SAMPLES);
@@ -304,6 +398,7 @@ fn measure_task(task: &univsa_data::Task, seed: u64) -> Result<(Json, f64), UniV
                 .collect(),
             ),
         ),
+        ("quality".into(), quality),
     ]);
     Ok((row, train_seconds))
 }
@@ -473,7 +568,7 @@ fn main() {
         rows.push(Json::Obj(fields));
     }
     let mut fields = vec![
-        ("schema".into(), Json::Str("univsa-perf-baseline/v5".into())),
+        ("schema".into(), Json::Str("univsa-perf-baseline/v6".into())),
         ("quick".into(), Json::Bool(quick_mode())),
         ("seed".into(), num_u(seed)),
         ("threads".into(), num_u(threads as u64)),

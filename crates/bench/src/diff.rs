@@ -2,7 +2,7 @@
 //! (`BENCH_univsa.json`) metric by metric against configurable thresholds.
 //!
 //! [`parse_report`] accepts every report schema published so far
-//! (`univsa-perf-baseline/v1` through `v5`) — fields added by later
+//! (`univsa-perf-baseline/v1` through `v6`) — fields added by later
 //! versions are simply optional. [`diff`] pairs tasks by name and checks:
 //!
 //! | metric | gate | meaning |
@@ -15,6 +15,8 @@
 //! | `mem.alloc_count` | `alloc_count_pct` | % allocation-count increase (v4) |
 //! | `footprint.actual_bits` | `footprint_bits` | absolute resident-bit drift (v4) |
 //! | `latency_packed_us.p99` | `packed_over_ref_pct` | packed p99 vs. reference p99 (v5) |
+//! | `quality.mean_margin` | `margin_drop_pct` | % mean-margin *decrease* (v6) |
+//! | `quality.drift.detection_latency` | `detect_latency_pct` | % detection-latency increase (v6) |
 //!
 //! A task present in the old report but missing from the new one is
 //! always a regression; a brand-new task is informational. Each gate can
@@ -32,6 +34,13 @@
 //! reference p99 measured in the same run, within `packed_over_ref_pct`
 //! percent), so wall-clock noise between machines never factors in. A
 //! pre-v5 candidate renders the row `n/a`.
+//!
+//! The v6 quality metrics follow the same both-sides rule: margins and
+//! drift-detection latencies are deterministic integers for a seeded
+//! model, so a *drop* in mean margin (the model got less confident) or an
+//! *increase* in detection latency (drift takes longer to notice) gates;
+//! a v6-vs-v5 diff renders them `n/a`. An undetected drift probe writes
+//! `null` latency, which also renders `n/a` rather than firing a gate.
 
 use std::fmt::Write as _;
 
@@ -63,6 +72,14 @@ pub struct Thresholds {
     /// report** (v5). The packed engine exists to be faster, so the
     /// default tolerates none.
     pub packed_over_ref_pct: Option<f64>,
+    /// Maximum tolerated percent *decrease* of `quality.mean_margin`
+    /// (v6): a shrinking winner/runner-up margin means the model's
+    /// decisions got less confident even where accuracy held.
+    pub margin_drop_pct: Option<f64>,
+    /// Maximum tolerated percent increase of the drift probe's
+    /// detection latency (v6). The probe is fully seeded, so the
+    /// default tolerates none.
+    pub detect_latency_pct: Option<f64>,
 }
 
 impl Default for Thresholds {
@@ -76,6 +93,8 @@ impl Default for Thresholds {
             alloc_count_pct: Some(10.0),
             footprint_bits: Some(0.0),
             packed_over_ref_pct: Some(0.0),
+            margin_drop_pct: Some(5.0),
+            detect_latency_pct: Some(0.0),
         }
     }
 }
@@ -109,6 +128,11 @@ pub struct TaskMetrics {
     pub packed_p50_us: Option<f64>,
     /// 99th-percentile packed-engine per-sample latency, microseconds (v5).
     pub packed_p99_us: Option<f64>,
+    /// Mean winner/runner-up similarity margin on the held-out split (v6).
+    pub mean_margin: Option<f64>,
+    /// Drift-probe detection latency in samples after onset (v6; absent
+    /// when the probe went undetected).
+    pub drift_detect_latency: Option<f64>,
 }
 
 /// A parsed `perf_baseline` report (any schema version).
@@ -171,6 +195,7 @@ pub fn parse_report(bytes: &[u8]) -> Result<Report, String> {
         };
         let latency = row.get("latency_us");
         let packed = row.get("latency_packed_us");
+        let quality = row.get("quality");
         let cycles = row.get("hw_cycles");
         let mem = row.get("mem");
         let footprint = row.get("footprint");
@@ -188,6 +213,10 @@ pub fn parse_report(bytes: &[u8]) -> Result<Report, String> {
             footprint_bits: footprint.and_then(|f| get_f64(f, "actual_bits")),
             packed_p50_us: packed.and_then(|l| get_f64(l, "p50")),
             packed_p99_us: packed.and_then(|l| get_f64(l, "p99")),
+            mean_margin: quality.and_then(|q| get_f64(q, "mean_margin")),
+            drift_detect_latency: quality
+                .and_then(|q| q.get("drift"))
+                .and_then(|d| get_f64(d, "detection_latency")),
         });
     }
     Ok(report)
@@ -209,6 +238,8 @@ pub fn load_report(path: &str) -> Result<Report, String> {
 pub enum Gate {
     /// Percentage increase over the old value.
     PctIncrease,
+    /// Percentage decrease below the old value (mean margin).
+    PctDecrease,
     /// Absolute decrease from the old value (accuracy).
     AbsDecrease,
     /// Absolute drift in either direction (footprint bits).
@@ -288,6 +319,12 @@ impl DiffOutcome {
                         format!("{:+.2}%", r.delta),
                         r.threshold
                             .map(|t| format!("+{t:.2}%"))
+                            .unwrap_or_else(|| "off".into()),
+                    ),
+                    Gate::PctDecrease => (
+                        format!("{:+.2}%", r.delta),
+                        r.threshold
+                            .map(|t| format!("-{t:.2}%"))
                             .unwrap_or_else(|| "off".into()),
                     ),
                     Gate::AbsDecrease => (
@@ -387,7 +424,7 @@ fn push_mem(
         (None, None) => return,
         (Some(old), Some(new)) => {
             let delta = match gate {
-                Gate::PctIncrease => {
+                Gate::PctIncrease | Gate::PctDecrease => {
                     if old <= 0.0 {
                         return;
                     }
@@ -397,7 +434,7 @@ fn push_mem(
             };
             let fired = match gate {
                 Gate::PctIncrease => threshold.is_some_and(|t| delta > t),
-                Gate::AbsDecrease => threshold.is_some_and(|t| -delta > t),
+                Gate::PctDecrease | Gate::AbsDecrease => threshold.is_some_and(|t| -delta > t),
                 Gate::AbsDrift => threshold.is_some_and(|t| delta.abs() > t),
             };
             (delta, fired)
@@ -569,6 +606,24 @@ pub fn diff(old: &Report, new: &Report, thresholds: &Thresholds) -> DiffOutcome 
             new_task.packed_p99_us,
             thresholds.packed_over_ref_pct,
         );
+        push_mem(
+            rows,
+            t,
+            "quality_mean_margin",
+            Gate::PctDecrease,
+            old_task.mean_margin,
+            new_task.mean_margin,
+            thresholds.margin_drop_pct,
+        );
+        push_mem(
+            rows,
+            t,
+            "quality_drift_latency",
+            Gate::PctIncrease,
+            old_task.drift_detect_latency,
+            new_task.drift_detect_latency,
+            thresholds.detect_latency_pct,
+        );
     }
     for new_task in &new.tasks {
         if !old.tasks.iter().any(|t| t.name == new_task.name) {
@@ -657,6 +712,8 @@ mod tests {
             alloc_count_pct: None,
             footprint_bits: None,
             packed_over_ref_pct: None,
+            margin_drop_pct: None,
+            detect_latency_pct: None,
         };
         assert!(!diff(&old, &new, &off).regressed());
     }
@@ -845,6 +902,93 @@ mod tests {
             .find(|r| r.metric == "packed_vs_ref_p99_us")
             .unwrap();
         assert!(row.skipped && !row.regressed, "{}", outcome.render());
+    }
+
+    fn v6_report(mean_margin: f64, detect_latency: &str) -> Report {
+        let text = format!(
+            r#"{{"schema":"univsa-perf-baseline/v6","quick":false,"threads":4,
+                "infer_engine":"packed","kernel_tier":"avx2",
+                "tasks":[{{"task":"HAR","train_seconds":10.0,"test_accuracy":0.95,
+                "latency_us":{{"mean":10.0,"p50":9.0,"p90":11.0,"p99":12.0}},
+                "latency_packed_us":{{"mean":2.0,"p50":1.8,"p90":2.4,"p99":3.0}},
+                "hw_cycles":{{"sample_latency":100,"initiation_interval":40,
+                "streamed_samples":64,"makespan":2620}},
+                "mem":{{"peak_alloc_bytes":1000000,"alloc_count":5000}},
+                "footprint":{{"modeled_bits":66840,"actual_bits":66840,"ratio":1.0}},
+                "quality":{{"mean_margin":{mean_margin},"margin_p50":480,"margin_p99":1210,
+                "drift":{{"stream_samples":256,"at":128,"strength":1.0,"window":32,
+                "detection_latency":{detect_latency}}}}}}}]}}"#
+        );
+        parse_report(text.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn v6_quality_fields_are_read() {
+        let r = v6_report(512.25, "31");
+        assert_eq!(r.schema, "univsa-perf-baseline/v6");
+        assert_eq!(r.tasks[0].mean_margin, Some(512.25));
+        assert_eq!(r.tasks[0].drift_detect_latency, Some(31.0));
+        // an undetected probe writes null, which parses as absent
+        assert_eq!(v6_report(512.25, "null").tasks[0].drift_detect_latency, None);
+    }
+
+    #[test]
+    fn margin_drop_fires_only_past_five_percent_and_never_on_growth() {
+        let old = v6_report(500.0, "31");
+        let ok = v6_report(480.0, "31"); // -4%
+        let bad = v6_report(470.0, "31"); // -6%
+        let grew = v6_report(600.0, "31");
+        assert!(!diff(&old, &ok, &Thresholds::default()).regressed());
+        assert!(!diff(&old, &grew, &Thresholds::default()).regressed());
+        let outcome = diff(&old, &bad, &Thresholds::default());
+        assert!(outcome
+            .rows
+            .iter()
+            .any(|r| r.metric == "quality_mean_margin" && r.regressed));
+        assert!(outcome.render().contains("-5.00%"), "{}", outcome.render());
+    }
+
+    #[test]
+    fn detection_latency_increase_fires_at_zero_tolerance() {
+        let old = v6_report(500.0, "31");
+        let slower = v6_report(500.0, "32");
+        let faster = v6_report(500.0, "15");
+        assert!(!diff(&old, &old, &Thresholds::default()).regressed());
+        assert!(!diff(&old, &faster, &Thresholds::default()).regressed());
+        let outcome = diff(&old, &slower, &Thresholds::default());
+        assert!(outcome
+            .rows
+            .iter()
+            .any(|r| r.metric == "quality_drift_latency" && r.regressed));
+    }
+
+    #[test]
+    fn v6_vs_v5_and_undetected_probes_render_quality_rows_na() {
+        let v6 = v6_report(500.0, "31");
+        let v5 = v5_report(12.0, 3.0);
+        for (old, new) in [(&v5, &v6), (&v6, &v5)] {
+            let outcome = diff(old, new, &Thresholds::default());
+            assert!(!outcome.regressed(), "{}", outcome.render());
+            let quality_rows: Vec<_> = outcome
+                .rows
+                .iter()
+                .filter(|r| r.metric.starts_with("quality_"))
+                .collect();
+            assert!(!quality_rows.is_empty());
+            assert!(quality_rows.iter().all(|r| r.skipped && !r.regressed));
+        }
+        // a probe that went undetected must not fire against a numeric
+        // baseline latency — that is schema-skew-style information loss,
+        // not a measured regression
+        let lost = v6_report(500.0, "null");
+        let outcome = diff(&v6, &lost, &Thresholds::default());
+        assert!(!outcome.regressed(), "{}", outcome.render());
+        let row = outcome
+            .rows
+            .iter()
+            .find(|r| r.metric == "quality_drift_latency")
+            .unwrap();
+        assert!(row.skipped);
     }
 
     #[test]

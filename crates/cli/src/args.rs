@@ -229,6 +229,33 @@ pub enum Command {
         /// Per-metric regression gates.
         thresholds: Thresholds,
     },
+    /// `univsa quality <TASK> [--seed S] [--epochs N] [--samples N]
+    /// [--drift-at I] [--strength P] [--window W] [--workers N]
+    /// [--listen ADDR]` — stream a seeded prediction sequence through the
+    /// task's paper-configured model and report margin/confusion/drift
+    /// statistics.
+    Quality {
+        /// Built-in task name.
+        task: String,
+        /// Seed for data generation, training, and the stream.
+        seed: u64,
+        /// Training epochs for the evaluated model.
+        epochs: usize,
+        /// Stream length.
+        samples: usize,
+        /// Sample index at which injected drift switches on (`None` =
+        /// stationary stream).
+        drift_at: Option<usize>,
+        /// Per-cell corruption probability once drift is active.
+        strength: f32,
+        /// Drift-detector window length.
+        window: usize,
+        /// Worker-process count (`None` = `UNIVSA_WORKERS` or in-process).
+        workers: Option<usize>,
+        /// Serve live metrics over HTTP while the run is in flight
+        /// (`--listen HOST:PORT` or `:PORT`).
+        listen: Option<String>,
+    },
     /// `univsa top <ADDR> [--interval MS] [--refreshes N]` — live
     /// terminal view of a running process's metrics endpoint.
     Top {
@@ -286,13 +313,16 @@ USAGE:
   univsa chaos  --task <NAME> [--workers N1,N2,…] [--crash R1,R2,…]
                  [--corrupt R] [--hang R] [--population P] [--generations G]
                  [--epochs E] [--seed S] [--surrogate] [--listen ADDR]
+  univsa quality <TASK> [--seed S] [--epochs N] [--samples N] [--drift-at I]
+                 [--strength P] [--window W] [--workers N] [--listen ADDR]
   univsa top    ADDR [--interval MS] [--refreshes N]
   univsa memsnap <TASK> [--seed S]
   univsa bench-diff OLD.json NEW.json [--max-train-regress PCT|none]
                  [--max-latency-regress PCT|none] [--max-cycles-regress PCT|none]
                  [--max-accuracy-drop ABS|none] [--max-peak-alloc-regress PCT|none]
                  [--max-alloc-count-regress PCT|none] [--max-footprint-drift BITS|none]
-                 [--max-packed-over-reference PCT|none]
+                 [--max-packed-over-reference PCT|none] [--max-margin-drop PCT|none]
+                 [--max-detect-latency-regress PCT|none]
   univsa tasks
   univsa help
 
@@ -371,6 +401,20 @@ refreshing table of per-stage throughput and latency percentiles, heap
 figures, and per-slot fleet counters. `--refreshes N` exits after N
 frames (for scripting); `--interval MS` sets the poll period.
 
+`quality` is the prediction-quality observability surface: it trains the
+task's paper configuration, regenerates a seeded prediction stream from
+the same synthetic generator (optionally with drift injected from
+`--drift-at` onward at per-cell corruption probability `--strength`),
+classifies every sample with the packed engine, and reports the margin
+sketch (count/mean/p50/p90/p99), per-class prediction counts, online
+confusion/accuracy, the calibration gap, and every drift event the
+windowed detector fired with its detection latency in samples. The
+stream, the model, and therefore every number printed are pure functions
+of `(task, seed, epochs, samples, drift)`: output is bit-identical for
+any `--workers` count and any UNIVSA_THREADS width. Drift events also
+increment the `quality.drift_detected` counter, so a paired `--listen`
+endpoint shows them as `univsa_drift_events_total` on `/metrics`.
+
 `memsnap` builds the task's paper configuration from seeded random
 weights (no training) and prints the Eq. 5 memory breakdown next to the
 footprint audit and BRAM reconciliation — the Table II memory column,
@@ -387,7 +431,14 @@ when only one report carries memory figures those rows render `n/a` and
 never fire. v5 reports also gate the packed engine against the reference
 engine *within the candidate report* (packed p99 must not exceed the
 reference p99 measured in the same run, default 0% headroom); pre-v5
-candidates render that row `n/a`. Pass `none` to disable a gate.
+candidates render that row `n/a`. v6 reports gate prediction quality:
+the mean winner/runner-up margin on the held-out split must not *drop*
+by more than 5% (`--max-margin-drop`), and the seeded drift probe's
+detection latency must not increase at all by default
+(`--max-detect-latency-regress`, percent — the probe is deterministic);
+when only one report carries quality figures, or the probe went
+undetected on one side, those rows render `n/a`. Pass `none` to disable
+a gate.
 
 Built-in tasks: EEGMMI, BCI-III-V, CHB-B, CHB-IB, ISOLET, HAR (synthetic,
 with the paper's Table I geometry). CSV format: one sample per line,
@@ -556,6 +607,7 @@ impl Command {
                     listen: parse_listen(&flags)?,
                 })
             }
+            "quality" => parse_quality(rest),
             "fleet-report" => parse_fleet_report(rest),
             "search" => parse_search(rest),
             "seu" => parse_seu(rest),
@@ -570,7 +622,7 @@ impl Command {
 }
 
 /// The threshold flags `bench-diff` accepts (everything else is a typo).
-const BENCH_DIFF_FLAGS: [&str; 8] = [
+const BENCH_DIFF_FLAGS: [&str; 10] = [
     "max-train-regress",
     "max-latency-regress",
     "max-cycles-regress",
@@ -579,6 +631,8 @@ const BENCH_DIFF_FLAGS: [&str; 8] = [
     "max-alloc-count-regress",
     "max-footprint-drift",
     "max-packed-over-reference",
+    "max-margin-drop",
+    "max-detect-latency-regress",
 ];
 
 /// Parses the optional `--engine` flag (defaults to the packed engine).
@@ -636,6 +690,12 @@ fn parse_bench_diff(rest: &[String]) -> Result<Command, ParseArgsError> {
             &flags,
             "max-packed-over-reference",
             defaults.packed_over_ref_pct,
+        )?,
+        margin_drop_pct: parse_threshold(&flags, "max-margin-drop", defaults.margin_drop_pct)?,
+        detect_latency_pct: parse_threshold(
+            &flags,
+            "max-detect-latency-regress",
+            defaults.detect_latency_pct,
         )?,
     };
     let [old, new]: [String; 2] = positionals
@@ -810,6 +870,64 @@ fn parse_seu(rest: &[String]) -> Result<Command, ParseArgsError> {
         samples: parse_at_least_one(&flags, "samples", 32)?,
         seed: parse_value(&flags, "seed", 42)?,
         chaos: parse_chaos_spec(&flags)?,
+        listen: parse_listen(&flags)?,
+    })
+}
+
+fn parse_quality(rest: &[String]) -> Result<Command, ParseArgsError> {
+    // one positional task name, then flags
+    let Some((task, rest)) = rest.split_first() else {
+        return Err(ParseArgsError(
+            "quality needs a task name: univsa quality <TASK> [--seed S] [--samples N]".into(),
+        ));
+    };
+    if task.starts_with("--") {
+        return Err(ParseArgsError(
+            "quality needs a task name before flags: univsa quality <TASK>".into(),
+        ));
+    }
+    let flags = parse_flags(rest)?;
+    reject_unknown(
+        &flags,
+        &[
+            "seed", "epochs", "samples", "drift-at", "strength", "window", "workers", "listen",
+        ],
+        "quality",
+    )?;
+    let samples = parse_at_least_one(&flags, "samples", 512)?;
+    let drift_at = match flags_get(&flags, "drift-at") {
+        Some(v) => {
+            let at: usize = v
+                .parse()
+                .map_err(|_| ParseArgsError(format!("bad --drift-at {v:?}")))?;
+            if at >= samples {
+                return Err(ParseArgsError(format!(
+                    "--drift-at {at} is past the end of a {samples}-sample stream"
+                )));
+            }
+            Some(at)
+        }
+        None => None,
+    };
+    let strength: f32 = parse_value(&flags, "strength", 0.5)?;
+    if !(0.0..=1.0).contains(&strength) {
+        return Err(ParseArgsError(format!(
+            "--strength must be a probability in [0, 1] — got {strength}"
+        )));
+    }
+    let window = parse_at_least_one(&flags, "window", 128)?;
+    if window < 2 {
+        return Err(ParseArgsError("--window must be at least 2".into()));
+    }
+    Ok(Command::Quality {
+        task: task.clone(),
+        seed: parse_value(&flags, "seed", 42)?,
+        epochs: parse_at_least_one(&flags, "epochs", 3)?,
+        samples,
+        drift_at,
+        strength,
+        window,
+        workers: parse_fleet_workers(&flags)?,
         listen: parse_listen(&flags)?,
     })
 }
@@ -1358,7 +1476,8 @@ mod tests {
             "bench-diff old.json new.json --max-train-regress none \
              --max-latency-regress 50 --max-cycles-regress 0 --max-accuracy-drop 0.01 \
              --max-peak-alloc-regress 20 --max-alloc-count-regress none \
-             --max-footprint-drift 64 --max-packed-over-reference 5",
+             --max-footprint-drift 64 --max-packed-over-reference 5 \
+             --max-margin-drop 10 --max-detect-latency-regress none",
         ))
         .unwrap();
         assert_eq!(
@@ -1375,6 +1494,8 @@ mod tests {
                     alloc_count_pct: None,
                     footprint_bits: Some(64.0),
                     packed_over_ref_pct: Some(5.0),
+                    margin_drop_pct: Some(10.0),
+                    detect_latency_pct: None,
                 },
             }
         );
@@ -1561,6 +1682,61 @@ mod tests {
         // listen-free
         assert!(Command::parse(&argv("search --task HAR --listen")).is_err());
         assert!(Command::parse(&argv("infer --model m --csv d.csv --listen :1")).is_err());
+    }
+
+    #[test]
+    fn quality_parses_with_defaults() {
+        assert_eq!(
+            Command::parse(&argv("quality bci3v")).unwrap(),
+            Command::Quality {
+                task: "bci3v".into(),
+                seed: 42,
+                epochs: 3,
+                samples: 512,
+                drift_at: None,
+                strength: 0.5,
+                window: 128,
+                workers: None,
+                listen: None,
+            }
+        );
+        match Command::parse(&argv(
+            "quality HAR --seed 7 --epochs 2 --samples 256 --drift-at 128 \
+             --strength 0.8 --window 32 --workers 2 --listen :0",
+        ))
+        .unwrap()
+        {
+            Command::Quality {
+                task,
+                seed,
+                drift_at,
+                strength,
+                window,
+                workers,
+                listen,
+                ..
+            } => {
+                assert_eq!(task, "HAR");
+                assert_eq!(seed, 7);
+                assert_eq!(drift_at, Some(128));
+                assert_eq!(strength, 0.8);
+                assert_eq!(window, 32);
+                assert_eq!(workers, Some(2));
+                assert_eq!(listen.as_deref(), Some(":0"));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quality_rejects_bad_values() {
+        assert!(Command::parse(&argv("quality")).is_err());
+        assert!(Command::parse(&argv("quality --seed 7")).is_err());
+        assert!(Command::parse(&argv("quality T --samples 0")).is_err());
+        assert!(Command::parse(&argv("quality T --strength 1.5")).is_err());
+        assert!(Command::parse(&argv("quality T --window 1")).is_err());
+        assert!(Command::parse(&argv("quality T --samples 64 --drift-at 64")).is_err());
+        assert!(Command::parse(&argv("quality T --bogus 1")).is_err());
     }
 
     #[test]

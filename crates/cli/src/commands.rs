@@ -10,10 +10,11 @@ use univsa::{
     UniVsaConfig, UniVsaError, UniVsaModel, UniVsaTrainer,
 };
 use univsa_bench::diff;
-use univsa_data::{csv, Dataset, TaskSpec};
+use univsa_data::{csv, Dataset, DriftSpec, TaskSpec};
 use univsa_dist::{
-    decode_fitness, decode_seu_outcome, standard_registry, FitnessJob, FleetReport, Job,
-    SeuTrialJob, Supervisor, SupervisorOptions, FITNESS_KIND, PROBE_KIND, SEU_TRIAL_KIND,
+    decode_fitness, decode_quality_results, decode_seu_outcome, standard_registry, FitnessJob,
+    FleetReport, Job, QualityJob, SeuTrialJob, Supervisor, SupervisorOptions, FITNESS_KIND,
+    PROBE_KIND, QUALITY_KIND, SEU_TRIAL_KIND,
 };
 use univsa_hw::{
     export_weights, CostModel, HwConfig, HwReport, Pipeline, Protection, RtlGenerator, SeuOutcome,
@@ -341,6 +342,28 @@ pub fn run(command: Command, out: &mut dyn std::io::Write) -> Result<(), Box<dyn
             epochs,
             seed,
             surrogate,
+            listen.as_deref(),
+            out,
+        ),
+        Command::Quality {
+            task,
+            seed,
+            epochs,
+            samples,
+            drift_at,
+            strength,
+            window,
+            workers,
+            listen,
+        } => run_quality(
+            &task,
+            seed,
+            epochs,
+            samples,
+            drift_at,
+            strength,
+            window,
+            workers,
             listen.as_deref(),
             out,
         ),
@@ -1158,6 +1181,19 @@ struct TopFrame {
     alloc_count: u64,
     counters: Vec<(String, u64)>,
     spans: Vec<(String, SpanRow)>,
+    quality: Option<QualityRow>,
+}
+
+/// The prediction-quality block of one frame (schema v2 `quality`
+/// section), present when the polled process recorded any predictions.
+struct QualityRow {
+    task: Option<String>,
+    count: u64,
+    mean: f64,
+    p50: u64,
+    p99: u64,
+    accuracy: Option<f64>,
+    predictions: Vec<(String, u64)>,
 }
 
 /// Latency statistics for one span name, as served by the endpoint.
@@ -1243,6 +1279,31 @@ fn parse_top_frame(body: &str) -> Result<TopFrame, UniVsaError> {
             ));
         }
     }
+    let quality = doc.get("quality").and_then(|q| {
+        let margin = q.get("margin")?;
+        let count = u64_at(margin, "count");
+        if count == 0 {
+            return None;
+        }
+        let mut predictions = Vec::new();
+        if let Some(Json::Obj(fields)) = q.get("predictions") {
+            for (class, value) in fields {
+                predictions.push((class.clone(), value.as_u64().unwrap_or(0)));
+            }
+        }
+        Some(QualityRow {
+            task: match q.get("task") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            },
+            count,
+            mean: margin.get("mean").and_then(Json::as_f64).unwrap_or(0.0),
+            p50: u64_at(margin, "p50"),
+            p99: u64_at(margin, "p99"),
+            accuracy: q.get("confusion").and_then(|c| c.get("accuracy")).and_then(Json::as_f64),
+            predictions,
+        })
+    });
     Ok(TopFrame {
         uptime_ns: doc.get("uptime_ns").and_then(Json::as_u64).unwrap_or(0),
         live_bytes: mem_field("live_bytes"),
@@ -1250,6 +1311,7 @@ fn parse_top_frame(body: &str) -> Result<TopFrame, UniVsaError> {
         alloc_count: mem_field("alloc_count"),
         counters,
         spans,
+        quality,
     })
 }
 
@@ -1293,6 +1355,30 @@ fn render_top_frame(
         mib(frame.peak_bytes),
         frame.alloc_count
     )?;
+    if let Some(q) = &frame.quality {
+        let drift = frame
+            .counters
+            .iter()
+            .find(|(n, _)| n == "quality.drift_detected")
+            .map_or(0, |(_, v)| *v);
+        let task = q.task.as_deref().unwrap_or("?");
+        let accuracy = match q.accuracy {
+            Some(a) => format!("{a:.4}"),
+            None => "-".to_string(),
+        };
+        writeln!(
+            out,
+            "quality [{task}]: {} predictions, margin mean {:.1} p50 {} p99 {}, \
+             accuracy {accuracy}, drift events {drift}",
+            q.count, q.mean, q.p50, q.p99
+        )?;
+        let classes: Vec<String> = q
+            .predictions
+            .iter()
+            .map(|(class, n)| format!("{class}:{n}"))
+            .collect();
+        writeln!(out, "  class counts: {}", classes.join(" "))?;
+    }
     writeln!(out)?;
     if frame.spans.is_empty() {
         writeln!(out, "  (no spans recorded yet)")?;
@@ -1354,7 +1440,20 @@ fn run_top(
     let mut frame_no = 0u64;
     loop {
         frame_no += 1;
-        let body = metrics_http_get(addr, "/snapshot.json")?;
+        // a first-poll failure is a plain I/O error (wrong address, not
+        // yet listening); losing an endpoint we already polled is the
+        // typed ConnectionLost, so callers stop cleanly instead of
+        // treating a finished run as a failure
+        let body = match metrics_http_get(addr, "/snapshot.json") {
+            Ok(body) => body,
+            Err(e) if prev.is_some() => {
+                return Err(Box::new(UniVsaError::ConnectionLost(format!(
+                    "metrics endpoint {addr} went away after {} frame(s): {e}",
+                    frame_no - 1
+                ))));
+            }
+            Err(e) => return Err(e.into()),
+        };
         let frame = parse_top_frame(&body)?;
         render_top_frame(addr, &frame, prev.as_ref(), frame_no, refreshes, out)?;
         prev = Some(frame);
@@ -1363,6 +1462,157 @@ fn run_top(
         }
         std::thread::sleep(Duration::from_millis(interval_ms));
     }
+    Ok(())
+}
+
+/// Samples per [`QualityJob`] shard. Fixed (never derived from the
+/// worker count) so the job list — and therefore every result byte — is
+/// identical for any `--workers` value.
+const QUALITY_SHARD: usize = 64;
+
+/// `univsa quality TASK`: trains the task's paper configuration,
+/// streams a seeded (optionally drifting) prediction sequence through
+/// the packed engine — sharded over the fleet when `--workers` is set —
+/// and reports margin, confusion, calibration, and drift statistics.
+/// Stdout carries no wall-clock figures: it is bit-identical for every
+/// worker count and thread width.
+#[allow(clippy::too_many_arguments)]
+fn run_quality(
+    task_name: &str,
+    seed: u64,
+    epochs: usize,
+    samples: usize,
+    drift_at: Option<usize>,
+    strength: f32,
+    window: usize,
+    workers: Option<usize>,
+    listen: Option<&str>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), Box<dyn Error>> {
+    // bind before the fleet spawns so worker telemetry forwarding is on
+    let _metrics = start_metrics(listen)?;
+    let task = lookup_task(task_name, seed)?;
+    let name = task.spec.name.clone();
+    univsa_telemetry::set_quality_task(&name);
+    let config = univsa_data::tasks::paper_config_tuple(&name).ok_or_else(|| {
+        UniVsaError::Config(format!("no paper configuration for task {name:?}"))
+    })?;
+    let drift = drift_at.map(|at| DriftSpec { at, strength });
+    let jobs: Vec<Job> = (0..samples)
+        .step_by(QUALITY_SHARD)
+        .map(|start| {
+            Job::new(
+                QUALITY_KIND,
+                QualityJob {
+                    task: name.clone(),
+                    seed,
+                    epochs,
+                    total: samples,
+                    drift,
+                    start,
+                    len: QUALITY_SHARD.min(samples - start),
+                }
+                .encode(),
+            )
+        })
+        .collect();
+    let supervisor = fleet_supervisor(workers, seed, ChaosSpec::default());
+    let (results, report) = supervisor.run_jobs(&jobs)?;
+    // shards come back in job order, so this is the sequential stream
+    let rows = results
+        .iter()
+        .map(|bytes| decode_quality_results(bytes))
+        .collect::<Result<Vec<_>, _>>()?
+        .concat();
+
+    let mut observer = univsa_telemetry::QualityObserver::new(univsa_telemetry::DriftConfig {
+        window,
+        seed,
+        ..univsa_telemetry::DriftConfig::default()
+    });
+    for &(truth, predicted, margin) in &rows {
+        univsa_telemetry::record_outcome(truth, predicted, margin);
+        if let Some(event) = observer.observe(Some(truth), predicted, margin) {
+            univsa_telemetry::drift_detected(&event);
+        }
+    }
+
+    writeln!(
+        out,
+        "quality {name}: paper config {config:?}, {epochs} epoch(s), seed {seed}"
+    )?;
+    match drift {
+        Some(d) => writeln!(
+            out,
+            "stream: {samples} sample(s), drift injected at {} (strength {})",
+            d.at, d.strength
+        )?,
+        None => writeln!(out, "stream: {samples} sample(s), stationary")?,
+    }
+    let confusion = &observer.confusion;
+    match confusion.accuracy() {
+        Some(a) => writeln!(
+            out,
+            "accuracy: {a:.4} ({}/{} correct)",
+            confusion.correct(),
+            confusion.labeled()
+        )?,
+        None => writeln!(out, "accuracy: - (no labeled samples)")?,
+    }
+    let margins = &observer.margins;
+    if margins.count() > 0 {
+        writeln!(
+            out,
+            "margin: mean {:.1}, p50 {}, p90 {}, p99 {}, min {}, max {}",
+            margins.mean(),
+            margins.quantile(0.5).unwrap_or(0),
+            margins.quantile(0.9).unwrap_or(0),
+            margins.quantile(0.99).unwrap_or(0),
+            margins.min().unwrap_or(0),
+            margins.max().unwrap_or(0),
+        )?;
+    }
+    match confusion.calibration_gap() {
+        Some(gap) => writeln!(out, "calibration gap: {gap:.4}")?,
+        None => writeln!(out, "calibration gap: -")?,
+    }
+    let counts: Vec<String> = observer
+        .predictions
+        .iter()
+        .map(|(class, n)| format!("{class}:{n}"))
+        .collect();
+    writeln!(out, "predicted class counts: {}", counts.join(" "))?;
+    let misses: Vec<String> = confusion
+        .pairs()
+        .iter()
+        .filter(|((truth, predicted), _)| truth != predicted)
+        .map(|((truth, predicted), n)| format!("{truth}\u{2192}{predicted} \u{00d7}{n}"))
+        .collect();
+    if !misses.is_empty() {
+        writeln!(out, "misclassified: {}", misses.join(", "))?;
+    }
+    writeln!(
+        out,
+        "drift detector: window {window}, threshold {:.4}",
+        observer.drift.threshold()
+    )?;
+    let events = observer.drift.events();
+    if events.is_empty() {
+        writeln!(out, "drift: none detected")?;
+    } else {
+        for event in events {
+            let latency = drift_at
+                .filter(|&at| event.sample_index >= at as u64)
+                .map(|at| format!(", latency {} after onset {at}", event.sample_index - at as u64))
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "drift: detected at sample {} (divergence {:.4}{latency})",
+                event.sample_index, event.divergence
+            )?;
+        }
+    }
+    report_fleet(&report);
     Ok(())
 }
 

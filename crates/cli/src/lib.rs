@@ -1,7 +1,7 @@
 //! # univsa-cli
 //!
 //! Library backing the `univsa` command-line tool: argument parsing and the
-//! five subcommands —
+//! subcommands —
 //!
 //! * `train`  — train a UniVSA model on a built-in synthetic task or a CSV
 //!   dataset and save the packed model.
@@ -19,6 +19,10 @@
 //! * `chaos`  — the fleet's self-check: re-run the same search across a
 //!   worker-count × crash-rate matrix and fail unless every cell is
 //!   bit-identical to the single-process baseline.
+//! * `quality` — train a task's paper configuration and replay a seeded
+//!   (optionally drift-injected) prediction stream through the fleet,
+//!   reporting online accuracy, margin quantiles, calibration gap, and
+//!   windowed drift detections — bit-identical for any worker count.
 //! * `top`    — live terminal view of a running process's metrics
 //!   endpoint (started with `--listen` on the long-running subcommands
 //!   or the `UNIVSA_METRICS_ADDR` environment variable): per-stage

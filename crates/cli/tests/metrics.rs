@@ -117,3 +117,60 @@ fn disabled_means_no_socket_and_live_endpoint_stays_consistent_under_fit() {
     server.shutdown();
     assert_eq!(univsa_telemetry::live_server_count(), 0);
 }
+
+/// A `Write` sink a test can watch from another thread.
+#[derive(Clone, Default)]
+struct SharedSink(Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn top_losing_a_live_endpoint_mid_poll_is_a_typed_connection_lost() {
+    let server = univsa_telemetry::start_exporter("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    let sink = SharedSink::default();
+    let mut top_out = sink.clone();
+    let top = std::thread::spawn(move || {
+        let err = univsa_cli::run(
+            univsa_cli::Command::Top {
+                addr,
+                interval_ms: 10,
+                refreshes: None,
+            },
+            &mut top_out,
+        )
+        .expect_err("top must fail once the endpoint goes away");
+        let connection_lost = matches!(
+            err.downcast_ref::<univsa::UniVsaError>(),
+            Some(univsa::UniVsaError::ConnectionLost(_))
+        );
+        (connection_lost, err.to_string())
+    });
+
+    // wait until top has rendered at least one frame, so the poll that
+    // fails is a *subsequent* one, then pull the endpoint out from under it
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while sink.0.lock().unwrap().is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "top never rendered a frame"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+
+    let (connection_lost, message) = top.join().expect("top thread");
+    assert!(connection_lost, "wrong error type: {message}");
+    assert!(message.contains("connection lost"), "{message}");
+    assert!(message.contains("frame"), "{message}");
+}

@@ -403,6 +403,10 @@ impl PackedModel {
         stage_mark(&mut timer, &mut mem, "similarity");
         if timer.is_some() {
             univsa_telemetry::counter("infer.samples", 1);
+            univsa_telemetry::record_prediction(
+                label as u32,
+                crate::infer::similarity_margin(&totals),
+            );
         }
         Ok(PackedInference { label, totals })
     }

@@ -31,6 +31,10 @@ pub enum UniVsaError {
     /// A supervised worker process definitively failed a job (after
     /// retries); the message is the first worker error, verbatim.
     Worker(String),
+    /// A live connection (e.g. the metrics endpoint `univsa top` polls)
+    /// was established and then went away — distinct from [`Self::Io`]
+    /// so callers can stop cleanly instead of reporting a failure.
+    ConnectionLost(String),
 }
 
 impl fmt::Display for UniVsaError {
@@ -45,6 +49,7 @@ impl fmt::Display for UniVsaError {
             Self::Io(msg) => write!(f, "{msg}"),
             Self::Ipc(msg) => write!(f, "ipc protocol error: {msg}"),
             Self::Worker(msg) => write!(f, "worker failed: {msg}"),
+            Self::ConnectionLost(msg) => write!(f, "connection lost: {msg}"),
         }
     }
 }
@@ -95,6 +100,8 @@ mod tests {
         assert!(e.to_string().contains("ipc protocol error"));
         let e = UniVsaError::Worker("boom".into());
         assert_eq!(e.to_string(), "worker failed: boom");
+        let e = UniVsaError::ConnectionLost("metrics endpoint closed".into());
+        assert_eq!(e.to_string(), "connection lost: metrics endpoint closed");
     }
 
     #[test]

@@ -30,6 +30,30 @@ pub(crate) fn stage_mark(
     }
 }
 
+/// The similarity margin of a decided inference: winning total minus
+/// runner-up total. Both engines compute the same exact `i64` totals
+/// before the same argmax, so margins are bit-identical between the
+/// reference and packed paths by construction. Zero when fewer than two
+/// classes exist (no runner-up) or on an exact tie.
+pub fn similarity_margin(totals: &[i64]) -> u64 {
+    let mut best = i64::MIN;
+    let mut second = i64::MIN;
+    for &t in totals {
+        if t > best {
+            second = best;
+            best = t;
+        } else if t > second {
+            second = t;
+        }
+    }
+    if second == i64::MIN {
+        0
+    } else {
+        // totals are bounded by ±(voters · D), so this never overflows
+        (best - second) as u64
+    }
+}
+
 /// All intermediates of one inference, for inspection, testing, and the
 /// hardware simulator (which replays the same pipeline cycle by cycle).
 #[derive(Debug, Clone)]
@@ -115,6 +139,7 @@ impl UniVsaModel {
         stage_mark(&mut timer, &mut mem, "similarity");
         if timer.is_some() {
             univsa_telemetry::counter("infer.samples", 1);
+            univsa_telemetry::record_prediction(label as u32, similarity_margin(&totals));
         }
         Ok(InferenceTrace {
             value_map,
@@ -163,12 +188,20 @@ impl UniVsaModel {
         // deterministic at every thread count
         let packed = crate::PackedModel::compile(self);
         let samples = dataset.samples();
+        let telemetry = univsa_telemetry::enabled();
         let preds = univsa_par::map_indexed("infer.evaluate", samples.len(), |i| {
-            packed.infer(&samples[i].values)
+            let d = packed.infer_detailed(&samples[i].values)?;
+            Ok::<_, UniVsaError>((d.label, similarity_margin(&d.totals)))
         });
         let mut correct = 0usize;
         for (pred, sample) in preds.into_iter().zip(samples) {
-            if pred? == sample.label {
+            let (label, margin) = pred?;
+            if telemetry {
+                // labels are available here, so feed the quality plane's
+                // confusion/calibration stream alongside the accuracy fold
+                univsa_telemetry::record_outcome(sample.label as u32, label as u32, margin);
+            }
+            if label == sample.label {
                 correct += 1;
             }
         }
@@ -193,12 +226,18 @@ impl UniVsaModel {
         }
         let packed = crate::PackedModel::compile(self);
         let samples = dataset.samples();
+        let telemetry = univsa_telemetry::enabled();
         let preds = univsa_par::map_indexed("infer.evaluate", samples.len(), |i| {
-            packed.infer(&samples[i].values)
+            let d = packed.infer_detailed(&samples[i].values)?;
+            Ok::<_, UniVsaError>((d.label, similarity_margin(&d.totals)))
         });
         let mut cm = univsa_nn::ConfusionMatrix::new(self.config().classes);
         for (pred, sample) in preds.into_iter().zip(samples) {
-            cm.record(sample.label, pred?);
+            let (label, margin) = pred?;
+            if telemetry {
+                univsa_telemetry::record_outcome(sample.label as u32, label as u32, margin);
+            }
+            cm.record(sample.label, label);
         }
         Ok(cm)
     }

@@ -81,7 +81,7 @@ pub use fault::{
     ChaosSpec, FaultModel, FaultOutcome, FaultSpec, FaultTarget, SensorFault, SensorFaultSpec,
     CHAOS_ENV_VAR,
 };
-pub use infer::InferenceTrace;
+pub use infer::{similarity_margin, InferenceTrace};
 pub use integrity::{crc32, CheckedInference, IntegrityReport, ModelIntegrity};
 pub use mask::Mask;
 pub use memory::{resource_estimate, HardwareLoss, MemoryReport};

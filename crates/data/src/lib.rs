@@ -46,5 +46,5 @@ mod window;
 pub use dataset::{Dataset, Sample, Task, TaskSpec};
 pub use quantize::quantize;
 pub use split::stratified_split;
-pub use synth::{ClassProfile, GeneratorParams, SyntheticGenerator};
+pub use synth::{ClassProfile, DriftSpec, GeneratorParams, SyntheticGenerator};
 pub use window::WindowSpec;

@@ -105,6 +105,16 @@ impl GeneratorParams {
     }
 }
 
+/// Where and how hard a generated stream drifts (see
+/// [`SyntheticGenerator::stream`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSpec {
+    /// Sample index at which the shift switches on.
+    pub at: usize,
+    /// Per-cell corruption probability in `[0, 1]` once active.
+    pub strength: f32,
+}
+
 /// Frozen per-class signal structure drawn once from the master seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassProfile {
@@ -360,6 +370,44 @@ impl SyntheticGenerator {
         Sample { values, label }
     }
 
+    /// Generates a labelled prediction stream: `total` samples with
+    /// classes cycling round-robin (so class frequencies are stationary
+    /// by construction), optionally switching on a seeded concept drift
+    /// at `drift.at`. Drift corrupts each discretized cell to a uniformly
+    /// random level with probability `drift.strength`, which collapses
+    /// similarity margins and scrambles predictions — the signature a
+    /// margin/class-frequency drift detector must catch.
+    ///
+    /// The RNG is only consulted for post-drift corruption *after* each
+    /// sample is drawn, so the first `drift.at` samples of a drifted
+    /// stream are bit-identical to the stationary stream from the same
+    /// RNG state — detection latency can be measured against an exact
+    /// change point.
+    pub fn stream<R: Rng + ?Sized>(
+        &self,
+        total: usize,
+        drift: Option<DriftSpec>,
+        rng: &mut R,
+    ) -> Vec<Sample> {
+        let classes = self.params.spec.classes;
+        let levels = self.params.spec.levels.min(256) as u32;
+        (0..total)
+            .map(|i| {
+                let mut s = self.sample(i % classes, rng);
+                if let Some(d) = drift {
+                    if i >= d.at && d.strength > 0.0 {
+                        for v in s.values.iter_mut() {
+                            if rng.gen::<f32>() < d.strength {
+                                *v = rng.gen_range(0..levels) as u8;
+                            }
+                        }
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+
     /// Draws a dataset with the given per-class sample counts.
     ///
     /// # Panics
@@ -532,5 +580,42 @@ mod tests {
     fn dataset_checks_class_count() {
         let g = generator(11);
         g.dataset(&[1, 1], &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn stream_cycles_classes_and_shares_prefix_with_stationary() {
+        let g = generator(12);
+        let drift = DriftSpec {
+            at: 30,
+            strength: 0.5,
+        };
+        let stationary = g.stream(60, None, &mut StdRng::seed_from_u64(5));
+        let drifted = g.stream(60, Some(drift), &mut StdRng::seed_from_u64(5));
+        for (i, s) in stationary.iter().enumerate() {
+            assert_eq!(s.label, i % 3, "round-robin labels");
+        }
+        assert_eq!(
+            &stationary[..30],
+            &drifted[..30],
+            "pre-drift samples are bit-identical"
+        );
+        assert_ne!(
+            &stationary[30..],
+            &drifted[30..],
+            "post-drift samples must differ"
+        );
+        // same seed → same drifted stream, sample for sample
+        let replay = g.stream(60, Some(drift), &mut StdRng::seed_from_u64(5));
+        assert_eq!(drifted, replay);
+        // zero strength is exactly the stationary stream
+        let zero = g.stream(
+            60,
+            Some(DriftSpec {
+                at: 30,
+                strength: 0.0,
+            }),
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(zero, stationary);
     }
 }

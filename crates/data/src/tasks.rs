@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::dataset::Task;
-use crate::{GeneratorParams, SyntheticGenerator, TaskSpec};
+use crate::{DriftSpec, GeneratorParams, Sample, SyntheticGenerator, TaskSpec};
 
 fn spec(name: &str, width: usize, length: usize, classes: usize) -> TaskSpec {
     TaskSpec {
@@ -43,9 +43,14 @@ fn build(
     }
 }
 
-/// EEGMMI-like motor-imagery task: 2 classes, `(16, 64)` windows, class
-/// information mostly in cross-feature interactions.
-pub fn eegmmi(seed: u64) -> Task {
+const EEGMMI_SALT: u64 = 0xEE61;
+const BCI3V_SALT: u64 = 0xBC13;
+const CHB_B_SALT: u64 = 0xC4BB;
+const CHB_IB_SALT: u64 = 0xC41B;
+const ISOLET_SALT: u64 = 0x1501;
+const HAR_SALT: u64 = 0x4A12;
+
+fn eegmmi_params() -> GeneratorParams {
     let mut p = GeneratorParams::new(spec("EEGMMI", 16, 64, 2));
     p.interaction = 1.0;
     p.linear_bias = 0.12;
@@ -54,12 +59,10 @@ pub fn eegmmi(seed: u64) -> Task {
     p.modes = 2;
     p.informative_fraction = 0.15;
     p.texture = 1.0;
-    build(p, &[240, 240], &[120, 120], seed ^ 0xEE61)
+    p
 }
 
-/// BCI-III-V-like mental-imagery task: 3 classes, `(16, 6)` frequency
-/// features, clean but multi-modal.
-pub fn bci3v(seed: u64) -> Task {
+fn bci3v_params() -> GeneratorParams {
     let mut p = GeneratorParams::new(spec("BCI-III-V", 16, 6, 3));
     p.interaction = 0.15;
     p.linear_bias = 0.2;
@@ -70,11 +73,10 @@ pub fn bci3v(seed: u64) -> Task {
     p.texture = 0.35;
     p.cluster_spread = 0.6;
     p.label_noise = 0.01;
-    build(p, &[160, 160, 160], &[80, 80, 80], seed ^ 0xBC13)
+    p
 }
 
-/// CHB-B-like balanced seizure detection: 2 classes, `(23, 64)`.
-pub fn chb_b(seed: u64) -> Task {
+fn chb_b_params() -> GeneratorParams {
     let mut p = GeneratorParams::new(spec("CHB-B", 23, 64, 2));
     p.interaction = 0.35;
     p.linear_bias = 0.09;
@@ -85,28 +87,16 @@ pub fn chb_b(seed: u64) -> Task {
     p.class_gain = 0.25;
     p.modes = 2;
     p.cluster_spread = 0.35;
-    build(p, &[200, 200], &[100, 100], seed ^ 0xC4BB)
+    p
 }
 
-/// CHB-IB-like imbalanced seizure detection: the CHB-B signal with a 4:1
-/// class ratio.
-pub fn chb_ib(seed: u64) -> Task {
-    let mut p = GeneratorParams::new(spec("CHB-IB", 23, 64, 2));
-    p.interaction = 0.35;
-    p.linear_bias = 0.09;
-    p.noise = 0.35;
-    p.irrelevant_rows = 0.2;
-    p.informative_fraction = 0.45;
-    p.texture = 0.25;
-    p.class_gain = 0.25;
-    p.modes = 2;
-    p.cluster_spread = 0.35;
-    build(p, &[320, 80], &[160, 40], seed ^ 0xC41B)
+fn chb_ib_params() -> GeneratorParams {
+    let mut p = chb_b_params();
+    p.spec = spec("CHB-IB", 23, 64, 2);
+    p
 }
 
-/// ISOLET-like spoken-letter task: 26 classes, `(16, 40)`, largely
-/// linearly separable.
-pub fn isolet(seed: u64) -> Task {
+fn isolet_params() -> GeneratorParams {
     let mut p = GeneratorParams::new(spec("ISOLET", 16, 40, 26));
     p.interaction = 0.2;
     p.linear_bias = 0.3;
@@ -115,14 +105,10 @@ pub fn isolet(seed: u64) -> Task {
     p.informative_fraction = 0.85;
     p.texture = 0.25;
     p.label_noise = 0.05;
-    let train = vec![40; 26];
-    let test = vec![15; 26];
-    build(p, &train, &test, seed ^ 0x1501)
+    p
 }
 
-/// HAR-like activity-recognition task: 6 classes, `(16, 36)`, noisy with
-/// many irrelevant features.
-pub fn har(seed: u64) -> Task {
+fn har_params() -> GeneratorParams {
     let mut p = GeneratorParams::new(spec("HAR", 16, 36, 6));
     p.interaction = 0.8;
     p.linear_bias = 0.3;
@@ -132,7 +118,78 @@ pub fn har(seed: u64) -> Task {
     p.informative_fraction = 0.7;
     p.texture = 0.6;
     p.label_noise = 0.05;
-    build(p, &[170; 6], &[40; 6], seed ^ 0x4A12)
+    p
+}
+
+/// EEGMMI-like motor-imagery task: 2 classes, `(16, 64)` windows, class
+/// information mostly in cross-feature interactions.
+pub fn eegmmi(seed: u64) -> Task {
+    build(eegmmi_params(), &[240, 240], &[120, 120], seed ^ EEGMMI_SALT)
+}
+
+/// BCI-III-V-like mental-imagery task: 3 classes, `(16, 6)` frequency
+/// features, clean but multi-modal.
+pub fn bci3v(seed: u64) -> Task {
+    build(bci3v_params(), &[160, 160, 160], &[80, 80, 80], seed ^ BCI3V_SALT)
+}
+
+/// CHB-B-like balanced seizure detection: 2 classes, `(23, 64)`.
+pub fn chb_b(seed: u64) -> Task {
+    build(chb_b_params(), &[200, 200], &[100, 100], seed ^ CHB_B_SALT)
+}
+
+/// CHB-IB-like imbalanced seizure detection: the CHB-B signal with a 4:1
+/// class ratio.
+pub fn chb_ib(seed: u64) -> Task {
+    build(chb_ib_params(), &[320, 80], &[160, 40], seed ^ CHB_IB_SALT)
+}
+
+/// ISOLET-like spoken-letter task: 26 classes, `(16, 40)`, largely
+/// linearly separable.
+pub fn isolet(seed: u64) -> Task {
+    build(isolet_params(), &vec![40; 26], &vec![15; 26], seed ^ ISOLET_SALT)
+}
+
+/// HAR-like activity-recognition task: 6 classes, `(16, 36)`, noisy with
+/// many irrelevant features.
+pub fn har(seed: u64) -> Task {
+    build(har_params(), &[170; 6], &[40; 6], seed ^ HAR_SALT)
+}
+
+/// The generator parameters and seed salt behind a named task
+/// (case-insensitive, accepting the same aliases as [`by_name`]).
+fn stream_setup(name: &str) -> Option<(GeneratorParams, u64)> {
+    match name.to_ascii_uppercase().as_str() {
+        "EEGMMI" => Some((eegmmi_params(), EEGMMI_SALT)),
+        "BCI-III-V" | "BCI3V" => Some((bci3v_params(), BCI3V_SALT)),
+        "CHB-B" => Some((chb_b_params(), CHB_B_SALT)),
+        "CHB-IB" => Some((chb_ib_params(), CHB_IB_SALT)),
+        "ISOLET" => Some((isolet_params(), ISOLET_SALT)),
+        "HAR" => Some((har_params(), HAR_SALT)),
+        _ => None,
+    }
+}
+
+/// Generates a labelled prediction stream for a named task: the same
+/// frozen class profiles a model trained via [`by_name`] with the same
+/// `seed` learned from, but fresh sample draws (decoupled from the
+/// train/test draws), with optional seeded drift injection. The whole
+/// stream is a pure function of `(name, seed, total, drift)`, so fleet
+/// workers can regenerate it independently and evaluate disjoint shards
+/// that concatenate into exactly this sequence.
+pub fn drift_stream(
+    name: &str,
+    seed: u64,
+    total: usize,
+    drift: Option<DriftSpec>,
+) -> Option<Vec<Sample>> {
+    let (params, salt) = stream_setup(name)?;
+    // identical construction to `build`, so the profiles match training
+    let mut grng = StdRng::seed_from_u64(seed ^ salt);
+    let generator = SyntheticGenerator::new(params, &mut grng);
+    // a salted fresh RNG: stream draws never replay train/test samples
+    let mut srng = StdRng::seed_from_u64((seed ^ salt).wrapping_add(0x5EED_57EA));
+    Some(generator.stream(total, drift, &mut srng))
 }
 
 /// All six benchmark tasks in the paper's Table I order.
@@ -246,6 +303,29 @@ mod tests {
         let b = eegmmi(9);
         assert_eq!(a.train, b.train);
         assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn drift_stream_is_deterministic_and_drift_only_touches_the_tail() {
+        let a = drift_stream("bci3v", 7, 60, None).unwrap();
+        let b = drift_stream("BCI-III-V", 7, 60, None).unwrap();
+        assert_eq!(a, b);
+        let drifted = drift_stream(
+            "bci3v",
+            7,
+            60,
+            Some(DriftSpec {
+                at: 30,
+                strength: 1.0,
+            }),
+        )
+        .unwrap();
+        assert_eq!(a[..30], drifted[..30]);
+        assert_ne!(a[30..], drifted[30..]);
+        // fresh draws: the stream must not replay the training set
+        let task = bci3v(7);
+        assert_ne!(task.train.samples()[0].values, a[0].values);
+        assert!(drift_stream("MNIST", 7, 10, None).is_none());
     }
 
     #[test]

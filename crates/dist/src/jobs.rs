@@ -11,7 +11,10 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use univsa::{TrainOptions, UniVsaError};
+use univsa::{
+    similarity_margin, PackedModel, TrainOptions, UniVsaConfig, UniVsaError, UniVsaTrainer,
+};
+use univsa_data::DriftSpec;
 use univsa_hw::{HwConfig, Pipeline, Protection, SeuCampaign, SeuOutcome};
 use univsa_search::{AccuracyHardwareObjective, Genome};
 
@@ -24,6 +27,8 @@ pub const FITNESS_KIND: &str = "search.fitness";
 pub const PROBE_KIND: &str = "search.probe";
 /// Job kind for one SEU campaign trial (see [`SeuTrialJob`]).
 pub const SEU_TRIAL_KIND: &str = "seu.trial";
+/// Job kind for one prediction-quality stream shard (see [`QualityJob`]).
+pub const QUALITY_KIND: &str = "quality.eval";
 /// Diagnostic job: echoes its payload back.
 pub const ECHO_KIND: &str = "dist.echo";
 /// Diagnostic job: fails with its payload as the error message.
@@ -111,6 +116,62 @@ pub fn standard_registry() -> JobRegistry {
         Ok(probe_fitness(&job).to_le_bytes().to_vec())
     });
 
+    // The paper-configured model is rebuilt from (task, seed, epochs) and
+    // cached so a worker trains once per stream, not once per shard.
+    let quality_cache: Mutex<HashMap<(String, u64, usize), PackedModel>> =
+        Mutex::new(HashMap::new());
+    registry.register(QUALITY_KIND, move |payload| {
+        let job = QualityJob::decode(payload).map_err(|e| e.to_string())?;
+        if job.start + job.len > job.total {
+            return Err(format!(
+                "quality shard [{}, {}) exceeds stream length {}",
+                job.start,
+                job.start + job.len,
+                job.total
+            ));
+        }
+        let key = (job.task.clone(), job.seed, job.epochs);
+        let packed = {
+            let mut cache = quality_cache.lock().expect("quality cache lock");
+            if !cache.contains_key(&key) {
+                let task = univsa_data::tasks::by_name(&job.task, job.seed)
+                    .ok_or_else(|| format!("unknown task \"{}\"", job.task))?;
+                let (d_h, d_l, d_k, o, theta) =
+                    univsa_data::tasks::paper_config_tuple(&task.spec.name)
+                        .ok_or_else(|| format!("no paper configuration for \"{}\"", job.task))?;
+                let cfg = UniVsaConfig::for_task(&task.spec)
+                    .d_h(d_h)
+                    .d_l(d_l)
+                    .d_k(d_k)
+                    .out_channels(o)
+                    .voters(theta)
+                    .build()
+                    .map_err(|e| e.to_string())?;
+                let options = TrainOptions {
+                    epochs: job.epochs,
+                    ..TrainOptions::default()
+                };
+                let outcome = UniVsaTrainer::new(cfg, options)
+                    .fit(&task.train, job.seed)
+                    .map_err(|e| e.to_string())?;
+                cache.insert(key.clone(), PackedModel::compile(&outcome.model));
+            }
+            cache[&key].clone()
+        };
+        let stream = univsa_data::tasks::drift_stream(&job.task, job.seed, job.total, job.drift)
+            .ok_or_else(|| format!("unknown task \"{}\"", job.task))?;
+        let mut rows = Vec::with_capacity(job.len);
+        for sample in &stream[job.start..job.start + job.len] {
+            let detail = packed.infer_detailed(&sample.values).map_err(|e| e.to_string())?;
+            rows.push((
+                sample.label as u32,
+                detail.label as u32,
+                similarity_margin(&detail.totals),
+            ));
+        }
+        Ok(encode_quality_results(&rows))
+    });
+
     registry.register(SEU_TRIAL_KIND, |payload| {
         let job = SeuTrialJob::decode(payload).map_err(|e| e.to_string())?;
         let config = job.genome.to_config(&job.spec).map_err(|e| e.to_string())?;
@@ -168,6 +229,119 @@ impl FitnessJob {
         r.finish()?;
         Ok(job)
     }
+}
+
+/// One shard of a prediction-quality stream evaluation. The worker
+/// retrains the task's paper-configured model from `(task, seed, epochs)`
+/// and regenerates the full drift stream, then evaluates only its
+/// `[start, start + len)` slice — so shards from any worker mix
+/// concatenate into exactly the sequential evaluation of the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityJob {
+    /// Task name resolvable by `univsa_data::tasks::by_name`.
+    pub task: String,
+    /// Seed for the task's data, the training run, and the stream.
+    pub seed: u64,
+    /// Training epochs for the evaluated model.
+    pub epochs: usize,
+    /// Total stream length (every shard must agree on it).
+    pub total: usize,
+    /// Optional drift injection applied to the stream tail.
+    pub drift: Option<DriftSpec>,
+    /// First stream index this shard evaluates.
+    pub start: usize,
+    /// Number of samples this shard evaluates.
+    pub len: usize,
+}
+
+impl QualityJob {
+    /// Serializes the job into a payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_str(&mut out, &self.task);
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&(self.epochs as u32).to_le_bytes());
+        out.extend_from_slice(&(self.total as u32).to_le_bytes());
+        match self.drift {
+            Some(d) => {
+                out.push(1);
+                out.extend_from_slice(&(d.at as u32).to_le_bytes());
+                out.extend_from_slice(&d.strength.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&(self.start as u32).to_le_bytes());
+        out.extend_from_slice(&(self.len as u32).to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`QualityJob::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`UniVsaError::Ipc`] on truncated or malformed payloads.
+    pub fn decode(bytes: &[u8]) -> Result<Self, UniVsaError> {
+        let mut r = Cursor::new(bytes);
+        let task = r.string("task name")?;
+        let seed = r.u64()?;
+        let epochs = r.u32()? as usize;
+        let total = r.u32()? as usize;
+        let drift = match r.u8()? {
+            0 => None,
+            1 => Some(DriftSpec {
+                at: r.u32()? as usize,
+                strength: f32::from_le_bytes(r.array()?),
+            }),
+            flag => {
+                return Err(UniVsaError::Ipc(format!("invalid drift flag {flag}")));
+            }
+        };
+        let job = Self {
+            task,
+            seed,
+            epochs,
+            total,
+            drift,
+            start: r.u32()? as usize,
+            len: r.u32()? as usize,
+        };
+        r.finish()?;
+        Ok(job)
+    }
+}
+
+/// Serializes [`QUALITY_KIND`] result rows: per evaluated sample, the
+/// `(truth, predicted, margin)` triple as fixed-width little-endian
+/// `(u32, u32, u64)`.
+pub fn encode_quality_results(rows: &[(u32, u32, u64)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(rows.len() * 16);
+    for (truth, predicted, margin) in rows {
+        out.extend_from_slice(&truth.to_le_bytes());
+        out.extend_from_slice(&predicted.to_le_bytes());
+        out.extend_from_slice(&margin.to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_quality_results`].
+///
+/// # Errors
+///
+/// [`UniVsaError::Ipc`] unless the payload is a whole number of 16-byte
+/// rows.
+pub fn decode_quality_results(bytes: &[u8]) -> Result<Vec<(u32, u32, u64)>, UniVsaError> {
+    if bytes.len() % 16 != 0 {
+        return Err(UniVsaError::Ipc(format!(
+            "quality result has {} bytes, expected a multiple of 16",
+            bytes.len()
+        )));
+    }
+    let mut r = Cursor::new(bytes);
+    let mut rows = Vec::with_capacity(bytes.len() / 16);
+    for _ in 0..bytes.len() / 16 {
+        rows.push((r.u32()?, r.u32()?, r.u64()?));
+    }
+    Ok(rows)
 }
 
 /// One trial of a seeded SEU campaign over a configuration's pipeline.
@@ -553,8 +727,68 @@ mod tests {
     #[test]
     fn registry_rejects_malformed_payloads_without_panicking() {
         let registry = standard_registry();
-        for kind in [FITNESS_KIND, SEU_TRIAL_KIND] {
+        for kind in [FITNESS_KIND, SEU_TRIAL_KIND, QUALITY_KIND] {
             assert!(registry.run(kind, b"junk").is_err());
         }
+    }
+
+    #[test]
+    fn quality_job_round_trips_with_and_without_drift() {
+        let mut job = QualityJob {
+            task: "BCI3V".into(),
+            seed: 7,
+            epochs: 2,
+            total: 256,
+            drift: None,
+            start: 64,
+            len: 64,
+        };
+        assert_eq!(QualityJob::decode(&job.encode()).unwrap(), job);
+        job.drift = Some(DriftSpec {
+            at: 128,
+            strength: 0.35,
+        });
+        assert_eq!(QualityJob::decode(&job.encode()).unwrap(), job);
+
+        let full = job.encode();
+        for cut in 0..full.len() {
+            assert!(matches!(
+                QualityJob::decode(&full[..cut]).unwrap_err(),
+                UniVsaError::Ipc(_)
+            ));
+        }
+        let mut bad_flag = job.encode();
+        let flag_pos = 4 + 5 + 8 + 4 + 4;
+        assert_eq!(bad_flag[flag_pos], 1);
+        bad_flag[flag_pos] = 9;
+        assert!(matches!(
+            QualityJob::decode(&bad_flag).unwrap_err(),
+            UniVsaError::Ipc(m) if m.contains("drift flag")
+        ));
+    }
+
+    #[test]
+    fn quality_results_round_trip_and_reject_ragged_payloads() {
+        let rows = vec![(0, 1, 42u64), (2, 2, 0), (1, 0, u64::MAX)];
+        let bytes = encode_quality_results(&rows);
+        assert_eq!(decode_quality_results(&bytes).unwrap(), rows);
+        assert!(decode_quality_results(&bytes[..17]).is_err());
+        assert_eq!(decode_quality_results(&[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn quality_handler_rejects_out_of_range_shards() {
+        let registry = standard_registry();
+        let job = QualityJob {
+            task: "BCI3V".into(),
+            seed: 1,
+            epochs: 1,
+            total: 16,
+            drift: None,
+            start: 8,
+            len: 9,
+        };
+        let err = registry.run(QUALITY_KIND, &job.encode()).unwrap_err();
+        assert!(err.contains("exceeds stream length"), "{err}");
     }
 }

@@ -40,9 +40,9 @@ pub mod worker;
 
 pub use frame::{read_frame, write_corrupt_frame, write_frame, Frame, HEADER_LEN, MAX_FRAME};
 pub use jobs::{
-    decode_fitness, decode_seu_outcome, encode_seu_outcome, probe_fitness, standard_registry,
-    FitnessJob, JobRegistry, SeuTrialJob, ECHO_KIND, FAIL_KIND, FITNESS_KIND, PROBE_KIND,
-    SEU_TRIAL_KIND,
+    decode_fitness, decode_quality_results, decode_seu_outcome, encode_quality_results,
+    encode_seu_outcome, probe_fitness, standard_registry, FitnessJob, JobRegistry, QualityJob,
+    SeuTrialJob, ECHO_KIND, FAIL_KIND, FITNESS_KIND, PROBE_KIND, QUALITY_KIND, SEU_TRIAL_KIND,
 };
 pub use proto::Message;
 pub use supervisor::{

@@ -13,7 +13,7 @@ use univsa_dist::{
     HEADER_LEN,
 };
 use univsa_search::Genome;
-use univsa_telemetry::{WorkerBatch, WorkerSpan};
+use univsa_telemetry::{QualityStats, WorkerBatch, WorkerSpan};
 
 fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
     (0usize..600).prop_flat_map(|n| proptest::collection::vec(any::<u8>(), n))
@@ -148,7 +148,24 @@ proptest! {
             (any::<u64>(), any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>()),
             0usize..8,
         ),
+        task in prop_oneof![
+            Just(None),
+            (0u8..26).prop_map(|n| Some(format!("task-{n}"))),
+        ],
+        predictions in proptest::collection::vec((any::<u8>(), any::<u32>()), 0usize..8),
+        outcomes in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u32>()),
+            0usize..8,
+        ),
     ) {
+        let mut quality = QualityStats::default();
+        quality.task = task;
+        for (class, margin) in predictions {
+            quality.record_prediction(class as u32, margin as u64);
+        }
+        for (truth, predicted, margin) in outcomes {
+            quality.record_outcome(truth as u32, predicted as u32, margin as u64);
+        }
         let batch = WorkerBatch {
             clock_ns: 42,
             dropped,
@@ -171,6 +188,7 @@ proptest! {
                     dur_ns,
                 })
                 .collect(),
+            quality,
         };
         prop_assert_eq!(WorkerBatch::decode(&batch.encode()).unwrap(), batch);
     }

@@ -253,7 +253,7 @@ mod tests {
 
         let (status, body) = http_get(addr, "/snapshot.json");
         assert!(status.contains("200"), "{status}");
-        assert!(body.contains("\"schema\":\"univsa-metrics/v1\""), "{body}");
+        assert!(body.contains("\"schema\":\"univsa-metrics/v2\""), "{body}");
         assert!(body.contains("\"fleet.jobs\":4"), "{body}");
 
         let (status, _) = http_get(addr, "/nope");

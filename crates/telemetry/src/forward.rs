@@ -15,8 +15,12 @@
 //! clock offset it estimated during the ping/pong handshake (see the
 //! dist crate's supervisor).
 
-/// Codec version stamped on every encoded batch.
-const VERSION: u8 = 1;
+use crate::quality::{CalibrationBin, QualityStats};
+
+/// Codec version stamped on every encoded batch. Version 2 appended the
+/// quality-stats section; version-1 batches (no quality payload) still
+/// decode, so a fleet can mix old workers with a new supervisor.
+const VERSION: u8 = 2;
 
 /// One completed span captured inside a worker process.
 ///
@@ -61,6 +65,9 @@ pub struct WorkerBatch {
     pub counters: Vec<(String, u64)>,
     /// Spans completed since the previous flush.
     pub spans: Vec<WorkerSpan>,
+    /// Prediction-quality stats accumulated since the previous flush
+    /// (codec v2; decodes empty from a v1 batch).
+    pub quality: QualityStats,
 }
 
 impl WorkerBatch {
@@ -72,6 +79,7 @@ impl WorkerBatch {
             && self.net_bytes == 0
             && self.alloc_count == 0
             && self.peak_bytes == 0
+            && self.quality.is_empty()
     }
 
     /// Serializes the batch into its compact binary form.
@@ -104,6 +112,39 @@ impl WorkerBatch {
             out.extend_from_slice(&span.start_ns.to_le_bytes());
             out.extend_from_slice(&span.dur_ns.to_le_bytes());
         }
+        // v2 quality section
+        let q = &self.quality;
+        match &q.task {
+            Some(task) => {
+                out.push(1);
+                put_str(&mut out, task);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&q.margins.count.to_le_bytes());
+        out.extend_from_slice(&q.margins.sum.to_le_bytes());
+        out.extend_from_slice(&q.margins.min.to_le_bytes());
+        out.extend_from_slice(&q.margins.max.to_le_bytes());
+        for c in &q.margins.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.extend_from_slice(&(q.predictions.len() as u32).to_le_bytes());
+        for (class, n) in &q.predictions {
+            put_str(&mut out, class);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        out.extend_from_slice(&q.confusion.labeled.to_le_bytes());
+        out.extend_from_slice(&q.confusion.correct.to_le_bytes());
+        for bin in &q.confusion.bins {
+            out.extend_from_slice(&bin.total.to_le_bytes());
+            out.extend_from_slice(&bin.correct.to_le_bytes());
+        }
+        out.extend_from_slice(&(q.confusion.pairs.len() as u32).to_le_bytes());
+        for (&(truth, predicted), &n) in &q.confusion.pairs {
+            out.extend_from_slice(&truth.to_le_bytes());
+            out.extend_from_slice(&predicted.to_le_bytes());
+            out.extend_from_slice(&n.to_le_bytes());
+        }
         out
     }
 
@@ -118,7 +159,7 @@ impl WorkerBatch {
     pub fn decode(bytes: &[u8]) -> Result<WorkerBatch, String> {
         let mut r = Reader { bytes, pos: 0 };
         let version = r.u8()?;
-        if version != VERSION {
+        if version != 1 && version != VERSION {
             return Err(format!("unsupported telemetry batch version {version}"));
         }
         let clock_ns = r.u64()?;
@@ -154,6 +195,50 @@ impl WorkerBatch {
                 dur_ns: r.u64()?,
             });
         }
+        let quality = if version >= 2 {
+            let task = match r.u8()? {
+                0 => None,
+                1 => Some(r.string("quality task")?),
+                other => return Err(format!("invalid quality task flag {other}")),
+            };
+            let mut margins = crate::quality::MarginSketch::new();
+            margins.count = r.u64()?;
+            margins.sum = r.u128()?;
+            margins.min = r.u64()?;
+            margins.max = r.u64()?;
+            for c in margins.counts.iter_mut() {
+                *c = r.u64()?;
+            }
+            let n_classes = r.count("quality classes", 12)?;
+            let mut predictions = std::collections::BTreeMap::new();
+            for _ in 0..n_classes {
+                let class = r.string("quality class")?;
+                predictions.insert(class, r.u64()?);
+            }
+            let mut confusion = crate::quality::Confusion::new();
+            confusion.labeled = r.u64()?;
+            confusion.correct = r.u64()?;
+            for bin in confusion.bins.iter_mut() {
+                *bin = CalibrationBin {
+                    total: r.u64()?,
+                    correct: r.u64()?,
+                };
+            }
+            let n_pairs = r.count("confusion pairs", 16)?;
+            for _ in 0..n_pairs {
+                let truth = r.u32()?;
+                let predicted = r.u32()?;
+                confusion.pairs.insert((truth, predicted), r.u64()?);
+            }
+            QualityStats {
+                task,
+                margins,
+                predictions,
+                confusion,
+            }
+        } else {
+            QualityStats::default()
+        };
         if r.pos != r.bytes.len() {
             return Err(format!(
                 "{} trailing bytes after telemetry batch",
@@ -168,6 +253,7 @@ impl WorkerBatch {
             peak_bytes,
             counters,
             spans,
+            quality,
         })
     }
 }
@@ -209,6 +295,12 @@ impl Reader<'_> {
     fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u128(&mut self) -> Result<u128, String> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("16 bytes"),
         ))
     }
 
@@ -271,6 +363,18 @@ mod tests {
                     dur_ns: 100,
                 },
             ],
+            quality: {
+                let mut q = QualityStats {
+                    task: Some("bci3v".into()),
+                    ..QualityStats::default()
+                };
+                q.record_prediction(0, 12);
+                q.record_prediction(2, 0);
+                q.record_prediction(2, 70_000);
+                q.record_outcome(2, 2, 70_000);
+                q.record_outcome(1, 2, 0);
+                q
+            },
         }
     }
 
@@ -344,11 +448,58 @@ mod tests {
             ..WorkerBatch::default()
         };
         let mut bytes = batch.encode();
-        // the parent flag sits right after the span count + span id
-        let flag_pos = bytes.len() - (4 + 4 + 4 + 8 + 8) - 1;
+        // the parent flag sits after the 41-byte header, the (empty)
+        // counter section's count, the span count, and the span id
+        let flag_pos = 41 + 4 + 4 + 8;
         assert_eq!(bytes[flag_pos], 0);
         bytes[flag_pos] = 7;
         let err = WorkerBatch::decode(&bytes).unwrap_err();
         assert!(err.contains("parent flag"), "{err}");
+    }
+
+    #[test]
+    fn version_one_batches_still_decode_with_empty_quality() {
+        // hand-built v1 frame: header, one counter, no spans, no quality
+        let mut bytes = vec![1u8];
+        bytes.extend_from_slice(&77u64.to_le_bytes()); // clock_ns
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // dropped
+        bytes.extend_from_slice(&(-8i64).to_le_bytes()); // net_bytes
+        bytes.extend_from_slice(&3u64.to_le_bytes()); // alloc_count
+        bytes.extend_from_slice(&4096u64.to_le_bytes()); // peak_bytes
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // counters
+        put_str(&mut bytes, "jobs");
+        bytes.extend_from_slice(&5u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // spans
+        let batch = WorkerBatch::decode(&bytes).unwrap();
+        assert_eq!(batch.clock_ns, 77);
+        assert_eq!(batch.counters, vec![("jobs".to_string(), 5)]);
+        assert!(batch.quality.is_empty());
+        // a v1 frame with trailing garbage is still rejected
+        bytes.push(0);
+        assert!(WorkerBatch::decode(&bytes).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn quality_section_round_trips_exactly() {
+        let batch = example();
+        let decoded = WorkerBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded.quality, batch.quality);
+        assert_eq!(decoded.quality.task.as_deref(), Some("bci3v"));
+        assert_eq!(decoded.quality.margins.count(), 3);
+        assert_eq!(decoded.quality.confusion.labeled(), 2);
+        assert_eq!(decoded.quality.confusion.pairs()[&(1, 2)], 1);
+    }
+
+    #[test]
+    fn invalid_quality_task_flag_is_rejected() {
+        let batch = WorkerBatch::default();
+        let mut bytes = batch.encode();
+        // the task flag is the first byte of the quality section, right
+        // after the header and the two (empty) counter/span counts
+        let flag_pos = 41 + 4 + 4;
+        assert_eq!(bytes[flag_pos], 0);
+        bytes[flag_pos] = 9;
+        let err = WorkerBatch::decode(&bytes).unwrap_err();
+        assert!(err.contains("task flag"), "{err}");
     }
 }

@@ -54,6 +54,7 @@ mod forward;
 mod histogram;
 mod mem;
 pub mod prometheus;
+mod quality;
 mod registry;
 mod snapshot;
 mod trace;
@@ -64,6 +65,10 @@ pub use histogram::{Histogram, BUCKET_BOUNDS_NS};
 pub use mem::{
     absorb_worker_alloc, enable_mem_tracking, mem_stats, mem_tracking_enabled, reset_peak,
     suspend_attribution, AllocDelta, AllocMark, AttributionPause, CountingAllocator, MemStats,
+};
+pub use quality::{
+    CalibrationBin, Confusion, DriftConfig, DriftDetector, DriftEvent, MarginSketch,
+    QualityObserver, QualityStats, MARGIN_BUCKETS, MARGIN_BUCKET_BOUNDS,
 };
 pub use registry::{MemAgg, Mode, Registry, Span, TraceRegion, Value};
 pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA};
@@ -162,6 +167,45 @@ pub fn counter_max(name: &str, value: u64) {
 /// Value of a counter on the global registry (0 when never written).
 pub fn counter_value(name: &str) -> u64 {
     global().counter_value(name)
+}
+
+/// Records one prediction (winning class + similarity margin) into the
+/// global quality stats (see [`Registry::record_prediction`]).
+pub fn record_prediction(class: u32, margin: u64) {
+    global().record_prediction(class, margin);
+}
+
+/// Records one labelled prediction outcome into the global quality stats
+/// (see [`Registry::record_outcome`]).
+pub fn record_outcome(truth: u32, predicted: u32, margin: u64) {
+    global().record_outcome(truth, predicted, margin);
+}
+
+/// Declares the task the global quality stream belongs to (first
+/// declaration wins).
+pub fn set_quality_task(task: &str) {
+    global().set_quality_task(task);
+}
+
+/// A clone of the global registry's aggregated quality stats.
+pub fn quality() -> QualityStats {
+    global().quality()
+}
+
+/// Reports one drift detection on the global registry: bumps the
+/// `quality.drift_detected` counter and emits a point-in-time event
+/// carrying the sample index and measured divergence, so the detection
+/// shows up on `/metrics`, in JSONL sinks, and in causal traces alike.
+pub fn drift_detected(event: &DriftEvent) {
+    counter("quality.drift_detected", 1);
+    global().event(
+        "quality",
+        "drift detected",
+        &[
+            ("sample", Value::U64(event.sample_index)),
+            ("divergence", Value::F64(event.divergence)),
+        ],
+    );
 }
 
 /// Nanoseconds since the global registry was created (the clock worker

@@ -13,10 +13,14 @@
 //! | `univsa_mem_live_bytes` / `univsa_mem_peak_bytes` | gauge | — |
 //! | `univsa_mem_alloc_total` / `univsa_mem_dealloc_total` | counter | — |
 //! | `univsa_uptime_seconds` | gauge | — |
+//! | `univsa_drift_events_total` | counter | — (mirrors the `quality.drift_detected` registry counter) |
+//! | `univsa_predictions_total` | counter | `task`, `class` |
+//! | `univsa_margin` | histogram | `task`; cumulative `le` bounds in raw similarity units ending in `+Inf` |
 
 use std::fmt::Write as _;
 
 use crate::histogram::BUCKET_BOUNDS_NS;
+use crate::quality::MARGIN_BUCKET_BOUNDS;
 use crate::snapshot::Snapshot;
 
 /// Escapes a label value per the exposition format: backslash, double
@@ -56,6 +60,52 @@ pub fn encode_text(snap: &Snapshot) -> String {
     out.push_str("# HELP univsa_mem_dealloc_total Heap deallocations observed.\n");
     out.push_str("# TYPE univsa_mem_dealloc_total counter\n");
     let _ = writeln!(out, "univsa_mem_dealloc_total {}", snap.mem.dealloc_count);
+    out.push_str("# HELP univsa_drift_events_total Prediction-quality drift detections.\n");
+    out.push_str("# TYPE univsa_drift_events_total counter\n");
+    let _ = writeln!(
+        out,
+        "univsa_drift_events_total {}",
+        snap.counters.get("quality.drift_detected").unwrap_or(&0)
+    );
+    let task = snap.quality.task.as_deref().unwrap_or("");
+    if !snap.quality.predictions.is_empty() {
+        out.push_str("# HELP univsa_predictions_total Predictions per winning class.\n");
+        out.push_str("# TYPE univsa_predictions_total counter\n");
+        for (class, value) in &snap.quality.predictions {
+            out.push_str("univsa_predictions_total{task=");
+            write_label_value(&mut out, task);
+            out.push_str(",class=");
+            write_label_value(&mut out, class);
+            let _ = writeln!(out, "}} {value}");
+        }
+    }
+    if snap.quality.margins.count() > 0 {
+        out.push_str(
+            "# HELP univsa_margin Winning-vs-runner-up similarity margin of predictions.\n",
+        );
+        out.push_str("# TYPE univsa_margin histogram\n");
+        let m = &snap.quality.margins;
+        let mut cumulative = 0u64;
+        for (i, &count) in m.bucket_counts().iter().enumerate() {
+            cumulative += count;
+            out.push_str("univsa_margin_bucket{task=");
+            write_label_value(&mut out, task);
+            match MARGIN_BUCKET_BOUNDS.get(i) {
+                Some(bound) => {
+                    let _ = writeln!(out, ",le=\"{bound}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, ",le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        out.push_str("univsa_margin_sum{task=");
+        write_label_value(&mut out, task);
+        let _ = writeln!(out, "}} {}", m.sum());
+        out.push_str("univsa_margin_count{task=");
+        write_label_value(&mut out, task);
+        let _ = writeln!(out, "}} {}", m.count());
+    }
     if !snap.counters.is_empty() {
         out.push_str("# HELP univsa_counter_total Registry counters, one series per name.\n");
         out.push_str("# TYPE univsa_counter_total counter\n");
@@ -311,6 +361,82 @@ mod tests {
             .find(|s| s.name == "univsa_counter_total")
             .unwrap();
         assert_eq!(s.label("name"), Some("weird\"name\\with\nstuff"));
+    }
+
+    #[test]
+    fn quality_families_encode_margins_predictions_and_drift() {
+        let mut snap = sample_snapshot();
+        snap.quality.task = Some("bci3v".into());
+        snap.quality.record_prediction(0, 7);
+        snap.quality.record_prediction(2, 7);
+        snap.quality.record_prediction(2, 90);
+        snap.counters.insert("quality.drift_detected".into(), 3);
+        let samples = parse_text(&encode_text(&snap)).unwrap();
+        let drift = samples
+            .iter()
+            .find(|s| s.name == "univsa_drift_events_total")
+            .unwrap();
+        assert_eq!(drift.value, 3.0);
+        let class2 = samples
+            .iter()
+            .find(|s| s.name == "univsa_predictions_total" && s.label("class") == Some("2"))
+            .unwrap();
+        assert_eq!(class2.value, 2.0);
+        assert_eq!(class2.label("task"), Some("bci3v"));
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "univsa_margin_bucket")
+            .collect();
+        assert_eq!(buckets.len(), MARGIN_BUCKET_BOUNDS.len() + 1);
+        let counts: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(buckets.last().unwrap().value, 3.0);
+        // both 7s land cumulatively at the le="10" bound
+        let ten = buckets.iter().find(|s| s.label("le") == Some("10")).unwrap();
+        assert_eq!(ten.value, 2.0);
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "univsa_margin_sum")
+            .unwrap();
+        assert_eq!(sum.value, 104.0);
+    }
+
+    #[test]
+    fn drift_counter_is_emitted_even_when_zero() {
+        let samples = parse_text(&encode_text(&Snapshot::empty())).unwrap();
+        let drift = samples
+            .iter()
+            .find(|s| s.name == "univsa_drift_events_total")
+            .unwrap();
+        assert_eq!(drift.value, 0.0);
+    }
+
+    #[test]
+    fn hostile_task_and_class_labels_round_trip() {
+        // label values exercising every escape the 0.0.4 text format
+        // defines: backslash, double quote, and newline
+        let task = "task\\with\"quotes\"\nand newline";
+        let class = "cls\"0\\end\n";
+        let mut snap = Snapshot::empty();
+        snap.quality.task = Some(task.into());
+        snap.quality.predictions.insert(class.into(), 4);
+        snap.quality.margins.record(11);
+        let text = encode_text(&snap);
+        assert!(text.contains("task\\\\with\\\"quotes\\\"\\nand newline"));
+        let samples = parse_text(&text).unwrap();
+        let pred = samples
+            .iter()
+            .find(|s| s.name == "univsa_predictions_total")
+            .unwrap();
+        assert_eq!(pred.label("task"), Some(task));
+        assert_eq!(pred.label("class"), Some(class));
+        let margin_count = samples
+            .iter()
+            .find(|s| s.name == "univsa_margin_count")
+            .unwrap();
+        assert_eq!(margin_count.label("task"), Some(task));
+        assert_eq!(margin_count.value, 1.0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use crate::forward::{WorkerBatch, WorkerSpan};
 use crate::histogram::Histogram;
 use crate::mem::{self, AllocDelta, AllocMark};
+use crate::quality::QualityStats;
 use crate::trace::{
     self, CounterSample, Recorder, TraceEvent, VirtualEvent, WorkerTraceEvent,
     DEFAULT_TRACE_CAPACITY,
@@ -206,6 +207,7 @@ struct State {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
     mem_aggregates: BTreeMap<String, MemAgg>,
+    quality: QualityStats,
     sink: Sink,
     /// First I/O error hit while writing JSONL lines; surfaced at flush
     /// instead of panicking mid-measurement.
@@ -265,6 +267,7 @@ impl Registry {
                 counters: BTreeMap::new(),
                 histograms: BTreeMap::new(),
                 mem_aggregates: BTreeMap::new(),
+                quality: QualityStats::default(),
                 sink,
                 sink_error: None,
                 recorder: None,
@@ -570,6 +573,51 @@ impl Registry {
         *entry = (*entry).max(value);
     }
 
+    /// Records one prediction (winning class + similarity margin) into
+    /// the quality stats — the per-inference tap both engines call from
+    /// their already-gated telemetry blocks.
+    pub fn record_prediction(&self, class: u32, margin: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let _pause = mem::suspend_attribution();
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        state.quality.record_prediction(class, margin);
+    }
+
+    /// Records one labelled prediction outcome into the quality stats'
+    /// confusion/calibration accumulator. Called by evaluation layers
+    /// that know the true label; the margin sketch itself is fed by
+    /// [`Registry::record_prediction`], so the two never double-count.
+    pub fn record_outcome(&self, truth: u32, predicted: u32, margin: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let _pause = mem::suspend_attribution();
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        state.quality.record_outcome(truth, predicted, margin);
+    }
+
+    /// Declares which task the quality stream belongs to (first non-empty
+    /// declaration wins; surfaces as the `task` label on `/metrics`).
+    pub fn set_quality_task(&self, task: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let _pause = mem::suspend_attribution();
+        let mut state = self.state.lock().expect("telemetry state poisoned");
+        if state.quality.task.is_none() {
+            state.quality.task = Some(task.to_string());
+        }
+    }
+
+    /// A clone of the aggregated quality stats.
+    pub fn quality(&self) -> QualityStats {
+        let _pause = mem::suspend_attribution();
+        let state = self.state.lock().expect("telemetry state poisoned");
+        state.quality.clone()
+    }
+
     /// Nanoseconds since this registry was created — the clock worker
     /// batch timestamps and handshake offset estimates are expressed in.
     pub fn clock_ns(&self) -> u64 {
@@ -622,6 +670,7 @@ impl Registry {
             peak_bytes: 0,
             counters,
             spans,
+            quality: std::mem::take(&mut state.quality),
         }
     }
 
@@ -671,6 +720,7 @@ impl Registry {
                 *entry = (*entry).max(batch.peak_bytes);
             }
         }
+        state.quality.merge(&batch.quality);
         if let Some(rec) = state.recorder.as_mut() {
             let mut remap: BTreeMap<u64, u64> = BTreeMap::new();
             for span in &batch.spans {
@@ -1035,6 +1085,7 @@ impl Registry {
             counters: state.counters.clone(),
             histograms: state.histograms.clone(),
             mem_aggregates: state.mem_aggregates.clone(),
+            quality: state.quality.clone(),
         }
     }
 }
@@ -1345,6 +1396,8 @@ mod tests {
             let _inner = reg.trace_region("infer", "encoding");
         }
         reg.counter("jobs", 1);
+        reg.record_prediction(2, 40);
+        reg.record_outcome(2, 2, 40);
         let batch = reg.take_worker_batch();
         assert!(reg.is_tracing(), "draining must not stop the recorder");
         assert_eq!(batch.counters, vec![("jobs".to_string(), 1)]);
@@ -1353,9 +1406,13 @@ mod tests {
         let inner = batch.spans.iter().find(|s| s.name == "encoding").unwrap();
         assert_eq!(inner.parent, Some(outer.id));
         assert_eq!(outer.lane, "main");
+        assert_eq!(batch.quality.margins.count(), 1);
+        assert_eq!(batch.quality.predictions["2"], 1);
+        assert_eq!(batch.quality.confusion.labeled(), 1);
         // the next drain starts empty
         let next = reg.take_worker_batch();
         assert!(next.counters.is_empty() && next.spans.is_empty());
+        assert!(next.quality.is_empty(), "quality drains with the batch");
         assert!(next.clock_ns >= batch.clock_ns);
     }
 
@@ -1390,15 +1447,22 @@ mod tests {
                     dur_ns: 5,
                 },
             ],
+            quality: {
+                let mut q = crate::quality::QualityStats::default();
+                q.record_prediction(1, 25);
+                q
+            },
         };
         reg.absorb_worker_batch(4, &batch, 1_000, Some(77));
         assert_eq!(reg.counter_value("worker.4.jobs"), 2);
         assert_eq!(reg.counter_value("fleet.jobs"), 2);
         assert_eq!(reg.counter_value("worker.4.alloc_count"), 9);
         assert_eq!(reg.counter_value("fleet.peak_alloc_bytes"), 4096);
+        assert_eq!(reg.quality().margins.count(), 1, "quality merges in");
         // a second batch rolls counts up and maxes peaks
         reg.absorb_worker_batch(4, &batch, 1_000, Some(77));
         assert_eq!(reg.counter_value("fleet.jobs"), 4);
+        assert_eq!(reg.quality().predictions["1"], 2);
         assert_eq!(reg.counter_value("worker.4.peak_alloc_bytes"), 4096);
         let rec = reg.take_recorder();
         assert_eq!(rec.worker_events.len(), 4);

@@ -7,11 +7,14 @@ use std::fmt::Write as _;
 
 use crate::histogram::Histogram;
 use crate::mem::MemStats;
+use crate::quality::QualityStats;
 use crate::registry::{write_json_string, MemAgg};
 
 /// Schema identifier embedded in every snapshot JSON document, bumped on
 /// breaking layout changes so pollers can refuse mismatched servers.
-pub const SNAPSHOT_SCHEMA: &str = "univsa-metrics/v1";
+/// v2 added the `quality` section (margin sketch, per-class prediction
+/// counts, confusion/calibration).
+pub const SNAPSHOT_SCHEMA: &str = "univsa-metrics/v2";
 
 /// A consistent point-in-time copy of a registry's aggregates, taken
 /// under one lock acquisition by [`crate::Registry::snapshot`]. All maps
@@ -31,6 +34,9 @@ pub struct Snapshot {
     /// Per-span allocation aggregates (empty unless memory tracking was
     /// on while spans closed).
     pub mem_aggregates: BTreeMap<String, MemAgg>,
+    /// Prediction-quality aggregates (margin sketch, per-class counts,
+    /// confusion), including fleet-merged worker contributions.
+    pub quality: QualityStats,
 }
 
 impl Snapshot {
@@ -42,6 +48,7 @@ impl Snapshot {
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
             mem_aggregates: BTreeMap::new(),
+            quality: QualityStats::default(),
         }
     }
 
@@ -108,7 +115,66 @@ impl Snapshot {
                 agg.spans, agg.net_bytes, agg.alloc_count, agg.max_peak_bytes
             );
         }
-        out.push_str("}}");
+        out.push_str("},\"quality\":{\"task\":");
+        match &self.quality.task {
+            Some(task) => write_json_string(&mut out, task),
+            None => out.push_str("null"),
+        }
+        let m = &self.quality.margins;
+        let _ = write!(
+            out,
+            ",\"margin\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            m.count(),
+            m.sum(),
+            m.min().unwrap_or(0),
+            m.max().unwrap_or(0),
+            m.mean() as u64,
+            m.quantile(0.5).unwrap_or(0),
+            m.quantile(0.9).unwrap_or(0),
+            m.quantile(0.99).unwrap_or(0),
+        );
+        for (j, c) in m.bucket_counts().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push_str("]},\"predictions\":{");
+        for (i, (class, n)) in self.quality.predictions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(&mut out, class);
+            let _ = write!(out, ":{n}");
+        }
+        let c = &self.quality.confusion;
+        let _ = write!(
+            out,
+            "}},\"confusion\":{{\"labeled\":{},\"correct\":{},\"accuracy\":",
+            c.labeled(),
+            c.correct()
+        );
+        match c.accuracy() {
+            Some(acc) => {
+                let _ = write!(out, "{acc}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"calibration_gap\":");
+        match c.calibration_gap() {
+            Some(gap) => {
+                let _ = write!(out, "{gap}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"pairs\":[");
+        for (i, (&(truth, predicted), &n)) in c.pairs().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{truth},{predicted},{n}]");
+        }
+        out.push_str("]}}}");
         out
     }
 }
@@ -120,10 +186,41 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_schema_and_empty_maps() {
         let json = Snapshot::empty().to_json();
-        assert!(json.contains("\"schema\":\"univsa-metrics/v1\""), "{json}");
+        assert!(json.contains("\"schema\":\"univsa-metrics/v2\""), "{json}");
         assert!(json.contains("\"counters\":{}"), "{json}");
         assert!(json.contains("\"histograms\":{}"), "{json}");
         assert!(json.contains("\"mem_spans\":{}"), "{json}");
+        assert!(json.contains("\"quality\":{\"task\":null"), "{json}");
+        assert!(json.contains("\"predictions\":{}"), "{json}");
+        assert!(json.contains("\"accuracy\":null"), "{json}");
+    }
+
+    #[test]
+    fn quality_section_renders_sketch_predictions_and_confusion() {
+        let mut snap = Snapshot::empty();
+        snap.quality.task = Some("har".into());
+        snap.quality.record_prediction(1, 40);
+        snap.quality.record_prediction(1, 60);
+        snap.quality.record_prediction(0, 0);
+        snap.quality.record_outcome(1, 1, 40);
+        snap.quality.record_outcome(0, 1, 60);
+        let json = snap.to_json();
+        assert!(json.contains("\"task\":\"har\""), "{json}");
+        assert!(json.contains("\"margin\":{\"count\":3,\"sum\":100"), "{json}");
+        assert!(json.contains("\"predictions\":{\"0\":1,\"1\":2}"), "{json}");
+        assert!(json.contains("\"labeled\":2,\"correct\":1"), "{json}");
+        assert!(json.contains("\"accuracy\":0.5"), "{json}");
+        assert!(json.contains("[0,1,1]"), "{json}");
+        // 18 margin bucket entries: 17 bounds + overflow
+        let buckets = json
+            .split("\"margin\":")
+            .nth(1)
+            .unwrap()
+            .split("\"buckets\":[")
+            .nth(1)
+            .unwrap();
+        let list = &buckets[..buckets.find(']').unwrap()];
+        assert_eq!(list.split(',').count(), crate::MARGIN_BUCKETS);
     }
 
     #[test]

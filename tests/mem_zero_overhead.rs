@@ -38,11 +38,32 @@ fn fit_with_telemetry_off_records_no_allocations() {
     let accuracy = model.evaluate(&task.test).unwrap();
     assert!(accuracy > 0.0, "training ran for real");
 
-    // a full fit + evaluate allocated plenty — and none of it was counted
+    // drive both inference engines through their quality-tap code paths:
+    // with telemetry off the taps must not record (or allocate) anything
+    let packed = univsa::PackedModel::compile(&model);
+    let inputs: Vec<&[u8]> = task
+        .test
+        .samples()
+        .iter()
+        .take(32)
+        .map(|s| s.values.as_slice())
+        .collect();
+    let labels = packed.infer_batch(&inputs).unwrap();
+    assert_eq!(labels.len(), inputs.len());
+    let trace = model.trace(inputs[0]).unwrap();
+    assert!(trace.totals.len() > 1);
+
+    // a full fit + evaluate + packed batch allocated plenty — and none of
+    // it was counted
     assert_eq!(
         univsa_telemetry::mem_stats(),
         MemStats::default(),
         "counting allocator must record nothing while disabled"
     );
     assert!(!univsa_telemetry::mem_tracking_enabled());
+
+    // and the quality plane stayed empty: no predictions were recorded
+    let quality = univsa_telemetry::quality();
+    assert!(quality.is_empty(), "quality plane recorded while disabled");
+    assert_eq!(quality.margins.count(), 0);
 }

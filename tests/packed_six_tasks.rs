@@ -78,6 +78,14 @@ fn packed_engine_matches_reference_on_all_six_tasks() {
                     "similarity totals diverged on {} at tier {tier}",
                     task.spec.name
                 );
+                // the quality plane records this margin from both engines;
+                // it must be the same u64 bit for bit
+                assert_eq!(
+                    univsa::similarity_margin(&lowered.totals),
+                    univsa::similarity_margin(&reference.totals),
+                    "winner/runner-up margin diverged on {} at tier {tier}",
+                    task.spec.name
+                );
             }
         }
     }
